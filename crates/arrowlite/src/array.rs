@@ -1,0 +1,454 @@
+//! Arrow arrays: primitive, variable-length, and dictionary-encoded.
+//!
+//! The variable-length representation is exactly the one the paper discusses
+//! (Fig. 3): an `i32` offsets buffer of length `n + 1` indexing into a single
+//! contiguous values buffer; a value's length is the difference between its
+//! offset and the next. NULLs are tracked in a separate validity bitmap where
+//! 1 = valid (Arrow convention).
+
+use crate::buffer::{Buffer, BufferBuilder};
+use crate::datatype::ArrowType;
+use mainline_common::bitmap::Bitmap;
+
+/// Common behaviour of all array kinds.
+pub trait Array {
+    /// Number of elements.
+    fn len(&self) -> usize;
+    /// True when there are no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Arrow type of the array.
+    fn arrow_type(&self) -> ArrowType;
+    /// Number of NULL elements.
+    fn null_count(&self) -> usize;
+    /// Validity of element `i` (true = non-null).
+    fn is_valid(&self, i: usize) -> bool;
+}
+
+/// Fixed-width primitive array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrimitiveArray {
+    ty: ArrowType,
+    len: usize,
+    validity: Option<Bitmap>,
+    values: Buffer,
+}
+
+impl PrimitiveArray {
+    /// Build from a values buffer (length must equal `len * width`).
+    pub fn new(ty: ArrowType, len: usize, validity: Option<Bitmap>, values: Buffer) -> Self {
+        let w = ty.byte_width().expect("primitive type");
+        assert_eq!(values.len(), len * w, "values buffer size mismatch");
+        if let Some(v) = &validity {
+            assert_eq!(v.len(), len);
+        }
+        PrimitiveArray { ty, len, validity, values }
+    }
+
+    /// Build an `Int64` array from options.
+    pub fn from_i64(values: &[Option<i64>]) -> Self {
+        let mut b = BufferBuilder::with_capacity(values.len() * 8);
+        let mut validity = Bitmap::new_zeroed(values.len());
+        let mut any_null = false;
+        for (i, v) in values.iter().enumerate() {
+            match v {
+                Some(x) => {
+                    validity.set(i);
+                    b.push(*x);
+                }
+                None => {
+                    any_null = true;
+                    b.push(0i64);
+                }
+            }
+        }
+        PrimitiveArray::new(
+            ArrowType::Int64,
+            values.len(),
+            any_null.then_some(validity),
+            b.finish(),
+        )
+    }
+
+    /// Raw values buffer.
+    pub fn values(&self) -> &Buffer {
+        &self.values
+    }
+
+    /// Validity bitmap if any element is NULL.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+
+    /// Typed element access (no NULL handling).
+    pub fn value<T: Copy>(&self, i: usize) -> T {
+        assert!(i < self.len);
+        self.values.typed::<T>()[i]
+    }
+
+    /// Element as `Option<i64>` for integer-typed arrays.
+    pub fn get_i64(&self, i: usize) -> Option<i64> {
+        if !self.is_valid(i) {
+            return None;
+        }
+        Some(match self.ty {
+            ArrowType::Int8 => self.value::<i8>(i) as i64,
+            ArrowType::Int16 => self.value::<i16>(i) as i64,
+            ArrowType::Int32 => self.value::<i32>(i) as i64,
+            ArrowType::Int64 => self.value::<i64>(i),
+            _ => panic!("get_i64 on {:?}", self.ty),
+        })
+    }
+}
+
+impl Array for PrimitiveArray {
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn arrow_type(&self) -> ArrowType {
+        self.ty.clone()
+    }
+    fn null_count(&self) -> usize {
+        self.validity.as_ref().map_or(0, |v| v.count_zeros())
+    }
+    fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().map_or(true, |v| v.get(i))
+    }
+}
+
+/// Variable-length binary array: offsets (i32, n+1) + contiguous values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarBinaryArray {
+    len: usize,
+    validity: Option<Bitmap>,
+    offsets: Buffer,
+    values: Buffer,
+}
+
+impl VarBinaryArray {
+    /// Build from raw buffers; validates offset monotonicity.
+    pub fn new(len: usize, validity: Option<Bitmap>, offsets: Buffer, values: Buffer) -> Self {
+        let offs = offsets.typed::<i32>();
+        assert_eq!(offs.len(), len + 1, "offsets must have n+1 entries");
+        assert!(offs.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotonic");
+        assert!(*offs.last().unwrap() as usize <= values.len());
+        if let Some(v) = &validity {
+            assert_eq!(v.len(), len);
+        }
+        VarBinaryArray { len, validity, offsets, values }
+    }
+
+    /// Build from optional byte slices.
+    pub fn from_opt_slices<S: AsRef<[u8]>>(items: &[Option<S>]) -> Self {
+        let mut offsets = BufferBuilder::with_capacity((items.len() + 1) * 4);
+        let mut values = BufferBuilder::default();
+        let mut validity = Bitmap::new_zeroed(items.len());
+        let mut any_null = false;
+        let mut off: i32 = 0;
+        offsets.push(off);
+        for (i, it) in items.iter().enumerate() {
+            match it {
+                Some(s) => {
+                    validity.set(i);
+                    values.extend_from_slice(s.as_ref());
+                    off += s.as_ref().len() as i32;
+                }
+                None => any_null = true,
+            }
+            offsets.push(off);
+        }
+        VarBinaryArray::new(
+            items.len(),
+            any_null.then_some(validity),
+            offsets.finish(),
+            values.finish(),
+        )
+    }
+
+    /// Element `i` (None for NULL).
+    pub fn get(&self, i: usize) -> Option<&[u8]> {
+        assert!(i < self.len);
+        if !self.is_valid(i) {
+            return None;
+        }
+        let offs = self.offsets.typed::<i32>();
+        Some(&self.values.as_slice()[offs[i] as usize..offs[i + 1] as usize])
+    }
+
+    /// Offsets buffer.
+    pub fn offsets(&self) -> &Buffer {
+        &self.offsets
+    }
+
+    /// Values buffer.
+    pub fn values(&self) -> &Buffer {
+        &self.values
+    }
+
+    /// Validity bitmap if any element is NULL.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+}
+
+impl Array for VarBinaryArray {
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn arrow_type(&self) -> ArrowType {
+        ArrowType::VarBinary
+    }
+    fn null_count(&self) -> usize {
+        self.validity.as_ref().map_or(0, |v| v.count_zeros())
+    }
+    fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().map_or(true, |v| v.get(i))
+    }
+}
+
+/// Dictionary-encoded varbinary: `i32` codes into a sorted dictionary
+/// (the alternative format of §4.4, as found in Parquet/ORC).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DictionaryArray {
+    len: usize,
+    validity: Option<Bitmap>,
+    codes: Buffer,
+    /// The dictionary itself is a (dense, non-null) varbinary array.
+    dictionary: VarBinaryArray,
+}
+
+impl DictionaryArray {
+    /// Build from raw parts; codes must index into the dictionary.
+    pub fn new(
+        len: usize,
+        validity: Option<Bitmap>,
+        codes: Buffer,
+        dictionary: VarBinaryArray,
+    ) -> Self {
+        let cs = codes.typed::<i32>();
+        assert_eq!(cs.len(), len);
+        assert!(cs.iter().all(|&c| (c as usize) < dictionary.len() || c == -1));
+        DictionaryArray { len, validity, codes, dictionary }
+    }
+
+    /// Dictionary-encode a set of optional values: builds the sorted distinct
+    /// dictionary and the codes array (the same two-pass scheme as §4.4).
+    pub fn encode<S: AsRef<[u8]>>(items: &[Option<S>]) -> Self {
+        // Pass 1: sorted set of distinct values.
+        let mut distinct: Vec<&[u8]> =
+            items.iter().filter_map(|i| i.as_ref().map(|s| s.as_ref())).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        // Pass 2: replace values with codes.
+        let mut codes = BufferBuilder::with_capacity(items.len() * 4);
+        let mut validity = Bitmap::new_zeroed(items.len());
+        let mut any_null = false;
+        for (i, it) in items.iter().enumerate() {
+            match it {
+                Some(s) => {
+                    validity.set(i);
+                    let c = distinct.binary_search(&s.as_ref()).unwrap() as i32;
+                    codes.push(c);
+                }
+                None => {
+                    any_null = true;
+                    codes.push(-1i32);
+                }
+            }
+        }
+        let dict_items: Vec<Option<&[u8]>> = distinct.into_iter().map(Some).collect();
+        DictionaryArray::new(
+            items.len(),
+            any_null.then_some(validity),
+            codes.finish(),
+            VarBinaryArray::from_opt_slices(&dict_items),
+        )
+    }
+
+    /// Decode element `i`.
+    pub fn get(&self, i: usize) -> Option<&[u8]> {
+        assert!(i < self.len);
+        if !self.is_valid(i) {
+            return None;
+        }
+        let c = self.codes.typed::<i32>()[i];
+        self.dictionary.get(c as usize)
+    }
+
+    /// The codes buffer.
+    pub fn codes(&self) -> &Buffer {
+        &self.codes
+    }
+
+    /// The dictionary values.
+    pub fn dictionary(&self) -> &VarBinaryArray {
+        &self.dictionary
+    }
+
+    /// Validity bitmap if any element is NULL.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+}
+
+impl Array for DictionaryArray {
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn arrow_type(&self) -> ArrowType {
+        ArrowType::DictionaryVarBinary
+    }
+    fn null_count(&self) -> usize {
+        self.validity.as_ref().map_or(0, |v| v.count_zeros())
+    }
+    fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().map_or(true, |v| v.get(i))
+    }
+}
+
+/// Type-erased column for record batches.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnArray {
+    /// Fixed-width column.
+    Primitive(PrimitiveArray),
+    /// Variable-length column.
+    VarBinary(VarBinaryArray),
+    /// Dictionary-compressed column.
+    Dictionary(DictionaryArray),
+}
+
+impl ColumnArray {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnArray::Primitive(a) => a.len(),
+            ColumnArray::VarBinary(a) => a.len(),
+            ColumnArray::Dictionary(a) => a.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Arrow type.
+    pub fn arrow_type(&self) -> ArrowType {
+        match self {
+            ColumnArray::Primitive(a) => a.arrow_type(),
+            ColumnArray::VarBinary(a) => a.arrow_type(),
+            ColumnArray::Dictionary(a) => a.arrow_type(),
+        }
+    }
+
+    /// NULL count.
+    pub fn null_count(&self) -> usize {
+        match self {
+            ColumnArray::Primitive(a) => a.null_count(),
+            ColumnArray::VarBinary(a) => a.null_count(),
+            ColumnArray::Dictionary(a) => a.null_count(),
+        }
+    }
+
+    /// Validity of one element.
+    pub fn is_valid(&self, i: usize) -> bool {
+        match self {
+            ColumnArray::Primitive(a) => a.is_valid(i),
+            ColumnArray::VarBinary(a) => a.is_valid(i),
+            ColumnArray::Dictionary(a) => a.is_valid(i),
+        }
+    }
+
+    /// Total bytes across this column's buffers (for export accounting).
+    pub fn buffer_bytes(&self) -> usize {
+        match self {
+            ColumnArray::Primitive(a) => {
+                a.values().len() + a.validity().map_or(0, |v| v.as_bytes().len())
+            }
+            ColumnArray::VarBinary(a) => {
+                a.offsets().len()
+                    + a.values().len()
+                    + a.validity().map_or(0, |v| v.as_bytes().len())
+            }
+            ColumnArray::Dictionary(a) => {
+                a.codes().len()
+                    + a.dictionary().offsets().len()
+                    + a.dictionary().values().len()
+                    + a.validity().map_or(0, |v| v.as_bytes().len())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_i64_roundtrip() {
+        let a = PrimitiveArray::from_i64(&[Some(1), None, Some(-3)]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.null_count(), 1);
+        assert_eq!(a.get_i64(0), Some(1));
+        assert_eq!(a.get_i64(1), None);
+        assert_eq!(a.get_i64(2), Some(-3));
+    }
+
+    #[test]
+    fn primitive_no_nulls_has_no_bitmap() {
+        let a = PrimitiveArray::from_i64(&[Some(1), Some(2)]);
+        assert!(a.validity().is_none());
+        assert_eq!(a.null_count(), 0);
+    }
+
+    #[test]
+    fn varbinary_layout_matches_fig3() {
+        // Fig. 3 example: ["JOE", null, "MARK"].
+        let a = VarBinaryArray::from_opt_slices(&[Some("JOE"), None, Some("MARK")]);
+        assert_eq!(a.offsets().typed::<i32>(), &[0, 3, 3, 7]);
+        assert_eq!(a.values().as_slice(), b"JOEMARK");
+        assert_eq!(a.get(0), Some(&b"JOE"[..]));
+        assert_eq!(a.get(1), None);
+        assert_eq!(a.get(2), Some(&b"MARK"[..]));
+        assert_eq!(a.null_count(), 1);
+    }
+
+    #[test]
+    fn varbinary_empty_values() {
+        let a = VarBinaryArray::from_opt_slices(&[Some(""), Some("")]);
+        assert_eq!(a.get(0), Some(&b""[..]));
+        assert_eq!(a.offsets().typed::<i32>(), &[0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn varbinary_rejects_bad_offsets() {
+        let offsets = Buffer::from_values(&[0i32, 5, 3]);
+        let values = Buffer::from_slice(b"hello");
+        VarBinaryArray::new(2, None, offsets, values);
+    }
+
+    #[test]
+    fn dictionary_encode_decode() {
+        let items = [Some("b"), Some("a"), None, Some("b"), Some("c")];
+        let d = DictionaryArray::encode(&items);
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.dictionary().len(), 3); // a, b, c
+        assert_eq!(d.dictionary().get(0), Some(&b"a"[..]));
+        for (i, item) in items.iter().enumerate() {
+            assert_eq!(d.get(i), item.map(|s| s.as_bytes()));
+        }
+        // Sorted dictionary → codes reflect sort order.
+        assert_eq!(d.codes().typed::<i32>(), &[1, 0, -1, 1, 2]);
+    }
+
+    #[test]
+    fn column_array_buffer_bytes() {
+        let p = ColumnArray::Primitive(PrimitiveArray::from_i64(&[Some(1), Some(2)]));
+        assert_eq!(p.buffer_bytes(), 16);
+        let v = ColumnArray::VarBinary(VarBinaryArray::from_opt_slices(&[Some("abcd")]));
+        // offsets: 2*4 bytes, values: 4 bytes.
+        assert_eq!(v.buffer_bytes(), 12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Record batches: a schema plus equal-length columns.
+
+use crate::array::ColumnArray;
+use crate::schema::ArrowSchema;
+use mainline_common::value::{TypeId, Value};
+
+/// A horizontal slice of a table in columnar form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordBatch {
+    schema: ArrowSchema,
+    columns: Vec<ColumnArray>,
+    num_rows: usize,
+}
+
+impl RecordBatch {
+    /// Build a batch; all columns must have the same length and the column
+    /// count must match the schema.
+    pub fn new(schema: ArrowSchema, columns: Vec<ColumnArray>) -> Self {
+        assert_eq!(schema.len(), columns.len(), "schema/column count mismatch");
+        let num_rows = columns.first().map_or(0, |c| c.len());
+        for c in &columns {
+            assert_eq!(c.len(), num_rows, "ragged columns");
+        }
+        RecordBatch { schema, columns, num_rows }
+    }
+
+    /// The batch's schema.
+    pub fn schema(&self) -> &ArrowSchema {
+        &self.schema
+    }
+
+    /// Columns in schema order.
+    pub fn columns(&self) -> &[ColumnArray] {
+        &self.columns
+    }
+
+    /// Column `i`.
+    pub fn column(&self, i: usize) -> &ColumnArray {
+        &self.columns[i]
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Total buffer bytes (zero-copy export accounting).
+    pub fn buffer_bytes(&self) -> usize {
+        self.columns.iter().map(|c| c.buffer_bytes()).sum()
+    }
+
+    /// Extract row `r` as engine values (for tests and row-protocol export).
+    pub fn row_values(&self, r: usize, types: &[TypeId]) -> Vec<Value> {
+        assert!(r < self.num_rows);
+        assert_eq!(types.len(), self.columns.len());
+        self.columns
+            .iter()
+            .zip(types)
+            .map(|(c, ty)| column_value(c, r, *ty))
+            .collect()
+    }
+}
+
+/// Read one cell out of a column as a logical [`Value`].
+pub fn column_value(col: &ColumnArray, r: usize, ty: TypeId) -> Value {
+    if !col.is_valid(r) {
+        return Value::Null;
+    }
+    match col {
+        ColumnArray::Primitive(a) => match ty {
+            TypeId::TinyInt => Value::TinyInt(a.value::<i8>(r)),
+            TypeId::SmallInt => Value::SmallInt(a.value::<i16>(r)),
+            TypeId::Integer => Value::Integer(a.value::<i32>(r)),
+            TypeId::BigInt => Value::BigInt(a.value::<i64>(r)),
+            TypeId::Double => Value::Double(a.value::<f64>(r)),
+            TypeId::Varchar => panic!("varchar stored in primitive column"),
+        },
+        ColumnArray::VarBinary(a) => Value::Varchar(a.get(r).unwrap().to_vec()),
+        ColumnArray::Dictionary(a) => Value::Varchar(a.get(r).unwrap().to_vec()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::{PrimitiveArray, VarBinaryArray};
+    use crate::datatype::ArrowType;
+    use crate::schema::ArrowField;
+
+    fn sample_batch() -> RecordBatch {
+        let schema = ArrowSchema::new(vec![
+            ArrowField::new("id", ArrowType::Int64, false),
+            ArrowField::new("name", ArrowType::VarBinary, true),
+        ]);
+        RecordBatch::new(schema, vec![
+            ColumnArray::Primitive(PrimitiveArray::from_i64(&[Some(101), Some(102), Some(103)])),
+            ColumnArray::VarBinary(VarBinaryArray::from_opt_slices(&[
+                Some("JOE"),
+                None,
+                Some("MARK"),
+            ])),
+        ])
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let b = sample_batch();
+        assert_eq!(b.num_rows(), 3);
+        assert_eq!(b.num_columns(), 2);
+        assert!(b.buffer_bytes() > 0);
+    }
+
+    #[test]
+    fn row_extraction() {
+        let b = sample_batch();
+        let tys = [TypeId::BigInt, TypeId::Varchar];
+        assert_eq!(b.row_values(0, &tys), vec![Value::BigInt(101), Value::string("JOE")]);
+        assert_eq!(b.row_values(1, &tys), vec![Value::BigInt(102), Value::Null]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_columns_rejected() {
+        let schema = ArrowSchema::new(vec![
+            ArrowField::new("a", ArrowType::Int64, false),
+            ArrowField::new("b", ArrowType::Int64, false),
+        ]);
+        RecordBatch::new(schema, vec![
+            ColumnArray::Primitive(PrimitiveArray::from_i64(&[Some(1)])),
+            ColumnArray::Primitive(PrimitiveArray::from_i64(&[Some(1), Some(2)])),
+        ]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Aligned, immutable byte buffers.
+//!
+//! Arrow requires contiguous buffers whose start is 8-byte aligned (the
+//! reference implementation uses 64-byte alignment to be SIMD-friendly; we do
+//! the same) and whose length is padded to a multiple of 8 bytes.
+
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::ptr::NonNull;
+use std::sync::Arc;
+
+/// Buffer alignment in bytes (matches the Arrow C++ default).
+pub const BUFFER_ALIGNMENT: usize = 64;
+
+/// Round `n` up to the next multiple of 8 (Arrow buffer padding).
+#[inline]
+pub fn pad8(n: usize) -> usize {
+    (n + 7) & !7
+}
+
+struct Allocation {
+    ptr: NonNull<u8>,
+    capacity: usize,
+}
+
+unsafe impl Send for Allocation {}
+unsafe impl Sync for Allocation {}
+
+impl Drop for Allocation {
+    fn drop(&mut self) {
+        if self.capacity > 0 {
+            unsafe {
+                dealloc(
+                    self.ptr.as_ptr(),
+                    Layout::from_size_align(self.capacity, BUFFER_ALIGNMENT).unwrap(),
+                )
+            }
+        }
+    }
+}
+
+/// Immutable, reference-counted, 64-byte-aligned byte buffer.
+#[derive(Clone)]
+pub struct Buffer {
+    alloc: Arc<Allocation>,
+    len: usize,
+}
+
+impl Buffer {
+    /// Empty buffer (no allocation).
+    pub fn empty() -> Self {
+        Buffer {
+            alloc: Arc::new(Allocation { ptr: NonNull::dangling(), capacity: 0 }),
+            len: 0,
+        }
+    }
+
+    /// Copy `bytes` into a fresh aligned allocation padded to 8 bytes.
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        if bytes.is_empty() {
+            return Self::empty();
+        }
+        let capacity = pad8(bytes.len()).max(8);
+        let layout = Layout::from_size_align(capacity, BUFFER_ALIGNMENT).unwrap();
+        // Zeroed so padding bytes are deterministic (Arrow recommends this).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let ptr = NonNull::new(raw).expect("allocation failed");
+        unsafe {
+            std::ptr::copy_nonoverlapping(bytes.as_ptr(), raw, bytes.len());
+        }
+        Buffer { alloc: Arc::new(Allocation { ptr, capacity }), len: bytes.len() }
+    }
+
+    /// Build from a vector of fixed-width values.
+    pub fn from_values<T: Copy>(values: &[T]) -> Self {
+        let bytes = unsafe {
+            std::slice::from_raw_parts(
+                values.as_ptr() as *const u8,
+                std::mem::size_of_val(values),
+            )
+        };
+        Self::from_slice(bytes)
+    }
+
+    /// Logical length in bytes (unpadded).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no bytes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes view.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        unsafe { std::slice::from_raw_parts(self.alloc.ptr.as_ptr(), self.len) }
+    }
+
+    /// Reinterpret as a slice of fixed-width values.
+    ///
+    /// Panics if the buffer length is not a multiple of `size_of::<T>()` or
+    /// the alignment of `T` exceeds the buffer alignment (it cannot: 64).
+    pub fn typed<T: Copy>(&self) -> &[T] {
+        let sz = std::mem::size_of::<T>();
+        assert!(std::mem::align_of::<T>() <= BUFFER_ALIGNMENT);
+        assert_eq!(self.len % sz, 0, "buffer length {} not multiple of {}", self.len, sz);
+        if self.len == 0 {
+            return &[];
+        }
+        unsafe {
+            std::slice::from_raw_parts(self.alloc.ptr.as_ptr() as *const T, self.len / sz)
+        }
+    }
+
+    /// Raw base pointer (valid while the buffer lives).
+    pub fn as_ptr(&self) -> *const u8 {
+        self.alloc.ptr.as_ptr()
+    }
+}
+
+impl std::fmt::Debug for Buffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Buffer(len={}, align={})", self.len, BUFFER_ALIGNMENT)
+    }
+}
+
+impl PartialEq for Buffer {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Buffer {}
+
+/// Growable builder that produces an aligned [`Buffer`].
+#[derive(Default)]
+pub struct BufferBuilder {
+    bytes: Vec<u8>,
+}
+
+impl BufferBuilder {
+    /// Builder with capacity hint.
+    pub fn with_capacity(n: usize) -> Self {
+        BufferBuilder { bytes: Vec::with_capacity(n) }
+    }
+
+    /// Append raw bytes.
+    pub fn extend_from_slice(&mut self, b: &[u8]) {
+        self.bytes.extend_from_slice(b);
+    }
+
+    /// Append one fixed-width value.
+    pub fn push<T: Copy>(&mut self, v: T) {
+        let p = &v as *const T as *const u8;
+        let b = unsafe { std::slice::from_raw_parts(p, std::mem::size_of::<T>()) };
+        self.bytes.extend_from_slice(b);
+    }
+
+    /// Bytes appended so far.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True if nothing appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Finish into an aligned buffer.
+    pub fn finish(self) -> Buffer {
+        Buffer::from_slice(&self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_buffer() {
+        let b = Buffer::empty();
+        assert_eq!(b.len(), 0);
+        assert!(b.is_empty());
+        assert_eq!(b.as_slice(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn alignment_and_padding() {
+        let b = Buffer::from_slice(&[1, 2, 3]);
+        assert_eq!(b.as_ptr() as usize % BUFFER_ALIGNMENT, 0);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.as_slice(), &[1, 2, 3]);
+        assert_eq!(pad8(3), 8);
+        assert_eq!(pad8(8), 8);
+        assert_eq!(pad8(9), 16);
+    }
+
+    #[test]
+    fn typed_view_roundtrip() {
+        let vals: Vec<i64> = vec![-1, 0, 42, i64::MAX];
+        let b = Buffer::from_values(&vals);
+        assert_eq!(b.typed::<i64>(), &vals[..]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn typed_view_rejects_misaligned_len() {
+        let b = Buffer::from_slice(&[1, 2, 3]);
+        let _ = b.typed::<u16>();
+    }
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = Buffer::from_slice(&[9; 100]);
+        let b = a.clone();
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let mut bb = BufferBuilder::with_capacity(16);
+        assert!(bb.is_empty());
+        bb.push(7u32);
+        bb.push(8u32);
+        bb.extend_from_slice(&[0xAA]);
+        assert_eq!(bb.len(), 9);
+        let b = bb.finish();
+        // 9 bytes: check via the byte view (typed::<u32> would reject it).
+        assert_eq!(&b.as_slice()[..4], &7u32.to_le_bytes());
+        assert_eq!(&b.as_slice()[4..8], &8u32.to_le_bytes());
+        assert_eq!(b.as_slice()[8], 0xAA);
+    }
+
+    #[test]
+    fn builder_typed_check() {
+        let mut bb = BufferBuilder::default();
+        bb.push(1u64);
+        bb.push(2u64);
+        assert_eq!(bb.finish().typed::<u64>(), &[1, 2]);
+    }
+}

@@ -1,0 +1,310 @@
+//! Minimal CSV writer/reader used by the Figure 1 reproduction (the
+//! "PostgreSQL COPY to CSV, then load into Pandas" pipeline).
+//!
+//! Values are rendered as text; varchars are quoted when they contain a
+//! delimiter, quote, or newline. NULL is the empty unquoted field.
+
+use crate::array::{ColumnArray, PrimitiveArray, VarBinaryArray};
+use crate::batch::{column_value, RecordBatch};
+use crate::buffer::BufferBuilder;
+use crate::schema::ArrowSchema;
+use mainline_common::bitmap::Bitmap;
+use mainline_common::value::{TypeId, Value};
+use mainline_common::{Error, Result};
+use std::io::Write;
+
+/// Write a batch as CSV (no header) to `out`.
+pub fn write_csv<W: Write>(batch: &RecordBatch, types: &[TypeId], out: &mut W) -> Result<()> {
+    let mut line = String::new();
+    for r in 0..batch.num_rows() {
+        line.clear();
+        for (c, ty) in types.iter().enumerate() {
+            if c > 0 {
+                line.push(',');
+            }
+            let v = column_value(batch.column(c), r, *ty);
+            write_field(&mut line, &v);
+        }
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+fn write_field(line: &mut String, v: &Value) {
+    match v {
+        Value::Null => {}
+        Value::Varchar(bytes) => {
+            let s = String::from_utf8_lossy(bytes);
+            if s.contains([',', '"', '\n']) || s.is_empty() {
+                line.push('"');
+                for ch in s.chars() {
+                    if ch == '"' {
+                        line.push('"');
+                    }
+                    line.push(ch);
+                }
+                line.push('"');
+            } else {
+                line.push_str(&s);
+            }
+        }
+        other => line.push_str(&other.to_text()),
+    }
+}
+
+/// Parse CSV text (no header) into a batch with the given schema/types.
+///
+/// This is the "load into the dataframe" half of the Fig. 1 CSV pipeline:
+/// every field is parsed from text back into a typed columnar value.
+pub fn read_csv(data: &str, schema: &ArrowSchema, types: &[TypeId]) -> Result<RecordBatch> {
+    let ncols = types.len();
+    // Column-wise accumulators.
+    let mut ints: Vec<Vec<i64>> = vec![Vec::new(); ncols];
+    let mut floats: Vec<Vec<f64>> = vec![Vec::new(); ncols];
+    let mut strs: Vec<Vec<Option<Vec<u8>>>> = vec![Vec::new(); ncols];
+    let mut valid: Vec<Vec<bool>> = vec![Vec::new(); ncols];
+    let mut nrows = 0usize;
+
+    let mut fields: Vec<Option<String>> = Vec::with_capacity(ncols);
+    for line in data.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        parse_line(line, &mut fields)?;
+        if fields.len() != ncols {
+            return Err(Error::Corrupt(format!(
+                "expected {ncols} fields, got {} in line {line:?}",
+                fields.len()
+            )));
+        }
+        for (c, f) in fields.iter().enumerate() {
+            match (types[c], f) {
+                (TypeId::Varchar, Some(s)) => {
+                    strs[c].push(Some(s.clone().into_bytes()));
+                    valid[c].push(true);
+                }
+                (TypeId::Varchar, None) => {
+                    strs[c].push(None);
+                    valid[c].push(false);
+                }
+                (TypeId::Double, Some(s)) => {
+                    floats[c].push(
+                        s.parse::<f64>()
+                            .map_err(|_| Error::Corrupt(format!("bad double {s:?}")))?,
+                    );
+                    valid[c].push(true);
+                }
+                (TypeId::Double, None) => {
+                    floats[c].push(0.0);
+                    valid[c].push(false);
+                }
+                (_, Some(s)) => {
+                    ints[c].push(
+                        s.parse::<i64>()
+                            .map_err(|_| Error::Corrupt(format!("bad int {s:?}")))?,
+                    );
+                    valid[c].push(true);
+                }
+                (_, None) => {
+                    ints[c].push(0);
+                    valid[c].push(false);
+                }
+            }
+        }
+        nrows += 1;
+    }
+
+    let mut columns = Vec::with_capacity(ncols);
+    for (c, ty) in types.iter().enumerate() {
+        let any_null = valid[c].iter().any(|&v| !v);
+        let validity = any_null.then(|| Bitmap::from_bools(&valid[c]));
+        let col = match ty {
+            TypeId::Varchar => {
+                ColumnArray::VarBinary(VarBinaryArray::from_opt_slices(&strs[c]))
+            }
+            TypeId::Double => {
+                let mut bb = BufferBuilder::with_capacity(nrows * 8);
+                for v in &floats[c] {
+                    bb.push(*v);
+                }
+                ColumnArray::Primitive(PrimitiveArray::new(
+                    crate::datatype::ArrowType::Float64,
+                    nrows,
+                    validity,
+                    bb.finish(),
+                ))
+            }
+            _ => {
+                let aty = crate::datatype::ArrowType::from_type_id(*ty);
+                let mut bb = BufferBuilder::default();
+                for v in &ints[c] {
+                    match ty {
+                        TypeId::TinyInt => bb.push(*v as i8),
+                        TypeId::SmallInt => bb.push(*v as i16),
+                        TypeId::Integer => bb.push(*v as i32),
+                        TypeId::BigInt => bb.push(*v),
+                        _ => unreachable!(),
+                    }
+                }
+                ColumnArray::Primitive(PrimitiveArray::new(aty, nrows, validity, bb.finish()))
+            }
+        };
+        columns.push(col);
+    }
+    Ok(RecordBatch::new(schema.clone(), columns))
+}
+
+/// Split one CSV line into fields; `None` = NULL (empty unquoted field).
+fn parse_line(line: &str, out: &mut Vec<Option<String>>) -> Result<()> {
+    out.clear();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    loop {
+        if i >= bytes.len() {
+            out.push(None); // trailing empty field
+            break;
+        }
+        if bytes[i] == b'"' {
+            // Quoted field.
+            let mut s = String::new();
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(Error::Corrupt("unterminated quote".into()));
+                }
+                if bytes[i] == b'"' {
+                    if i + 1 < bytes.len() && bytes[i + 1] == b'"' {
+                        s.push('"');
+                        i += 2;
+                    } else {
+                        i += 1;
+                        break;
+                    }
+                } else {
+                    s.push(bytes[i] as char);
+                    i += 1;
+                }
+            }
+            out.push(Some(s));
+            if i < bytes.len() {
+                if bytes[i] != b',' {
+                    return Err(Error::Corrupt("garbage after quote".into()));
+                }
+                i += 1;
+            } else {
+                break;
+            }
+        } else {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b',' {
+                i += 1;
+            }
+            let field = &line[start..i];
+            out.push(if field.is_empty() { None } else { Some(field.to_string()) });
+            if i < bytes.len() {
+                i += 1; // skip comma
+                if i == bytes.len() {
+                    out.push(None);
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ArrowField;
+    use crate::ArrowType;
+
+    fn schema_and_types() -> (ArrowSchema, Vec<TypeId>) {
+        (
+            ArrowSchema::new(vec![
+                ArrowField::new("id", ArrowType::Int64, false),
+                ArrowField::new("name", ArrowType::VarBinary, true),
+                ArrowField::new("price", ArrowType::Float64, true),
+            ]),
+            vec![TypeId::BigInt, TypeId::Varchar, TypeId::Double],
+        )
+    }
+
+    fn sample() -> RecordBatch {
+        let (schema, _) = schema_and_types();
+        RecordBatch::new(schema, vec![
+            ColumnArray::Primitive(PrimitiveArray::from_i64(&[Some(1), Some(2), Some(3)])),
+            ColumnArray::VarBinary(VarBinaryArray::from_opt_slices(&[
+                Some("plain"),
+                None,
+                Some("with,comma \"q\""),
+            ])),
+            ColumnArray::Primitive({
+                let mut bb = BufferBuilder::default();
+                for v in [1.5f64, 0.0, -2.25] {
+                    bb.push(v);
+                }
+                PrimitiveArray::new(
+                    ArrowType::Float64,
+                    3,
+                    Some(Bitmap::from_bools(&[true, false, true])),
+                    bb.finish(),
+                )
+            }),
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (schema, types) = schema_and_types();
+        let b = sample();
+        let mut out = Vec::new();
+        write_csv(&b, &types, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let back = read_csv(&text, &schema, &types).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn quoting() {
+        let (_, types) = schema_and_types();
+        let b = sample();
+        let mut out = Vec::new();
+        write_csv(&b, &types, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"with,comma \"\"q\"\"\""));
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn null_handling() {
+        let (schema, types) = schema_and_types();
+        let back = read_csv("5,,\n", &schema, &types).unwrap();
+        assert_eq!(back.num_rows(), 1);
+        assert!(!back.column(1).is_valid(0));
+        assert!(!back.column(2).is_valid(0));
+        assert!(back.column(0).is_valid(0));
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        let (schema, types) = schema_and_types();
+        assert!(read_csv("1,b\n", &schema, &types).is_err()); // too few fields
+        assert!(read_csv("x,b,1.0\n", &schema, &types).is_err()); // bad int
+        assert!(read_csv("1,\"unterminated,2.0\n", &schema, &types).is_err());
+    }
+
+    #[test]
+    fn parse_line_edges() {
+        let mut out = Vec::new();
+        parse_line("a,,c", &mut out).unwrap();
+        assert_eq!(out, vec![Some("a".into()), None, Some("c".into())]);
+        parse_line("\"\"", &mut out).unwrap();
+        assert_eq!(out, vec![Some(String::new())]);
+        parse_line("a,", &mut out).unwrap();
+        assert_eq!(out, vec![Some("a".into()), None]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Arrow logical data types (the subset the engine emits).
+
+use mainline_common::value::TypeId;
+
+/// Arrow-level data types.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ArrowType {
+    /// 8-bit signed integer.
+    Int8,
+    /// 16-bit signed integer.
+    Int16,
+    /// 32-bit signed integer.
+    Int32,
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE-754 float.
+    Float64,
+    /// Variable-length binary with 32-bit offsets (covers Utf8 for our uses).
+    VarBinary,
+    /// Dictionary-encoded VarBinary: 32-bit codes into a sorted dictionary.
+    DictionaryVarBinary,
+}
+
+impl ArrowType {
+    /// Fixed byte width, or `None` for variable-length types.
+    pub fn byte_width(&self) -> Option<usize> {
+        match self {
+            ArrowType::Int8 => Some(1),
+            ArrowType::Int16 => Some(2),
+            ArrowType::Int32 => Some(4),
+            ArrowType::Int64 | ArrowType::Float64 => Some(8),
+            ArrowType::VarBinary | ArrowType::DictionaryVarBinary => None,
+        }
+    }
+
+    /// Map an engine logical type to its canonical Arrow type.
+    pub fn from_type_id(ty: TypeId) -> ArrowType {
+        match ty {
+            TypeId::TinyInt => ArrowType::Int8,
+            TypeId::SmallInt => ArrowType::Int16,
+            TypeId::Integer => ArrowType::Int32,
+            TypeId::BigInt => ArrowType::Int64,
+            TypeId::Double => ArrowType::Float64,
+            TypeId::Varchar => ArrowType::VarBinary,
+        }
+    }
+
+    /// Stable numeric tag for the IPC encoding.
+    pub fn tag(&self) -> u8 {
+        match self {
+            ArrowType::Int8 => 0,
+            ArrowType::Int16 => 1,
+            ArrowType::Int32 => 2,
+            ArrowType::Int64 => 3,
+            ArrowType::Float64 => 4,
+            ArrowType::VarBinary => 5,
+            ArrowType::DictionaryVarBinary => 6,
+        }
+    }
+
+    /// Inverse of [`ArrowType::tag`].
+    pub fn from_tag(t: u8) -> Option<ArrowType> {
+        Some(match t {
+            0 => ArrowType::Int8,
+            1 => ArrowType::Int16,
+            2 => ArrowType::Int32,
+            3 => ArrowType::Int64,
+            4 => ArrowType::Float64,
+            5 => ArrowType::VarBinary,
+            6 => ArrowType::DictionaryVarBinary,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(ArrowType::Int64.byte_width(), Some(8));
+        assert_eq!(ArrowType::Int8.byte_width(), Some(1));
+        assert_eq!(ArrowType::VarBinary.byte_width(), None);
+    }
+
+    #[test]
+    fn type_id_mapping() {
+        assert_eq!(ArrowType::from_type_id(TypeId::BigInt), ArrowType::Int64);
+        assert_eq!(ArrowType::from_type_id(TypeId::Varchar), ArrowType::VarBinary);
+        assert_eq!(ArrowType::from_type_id(TypeId::Double), ArrowType::Float64);
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for t in [
+            ArrowType::Int8,
+            ArrowType::Int16,
+            ArrowType::Int32,
+            ArrowType::Int64,
+            ArrowType::Float64,
+            ArrowType::VarBinary,
+            ArrowType::DictionaryVarBinary,
+        ] {
+            assert_eq!(ArrowType::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(ArrowType::from_tag(200), None);
+    }
+}

@@ -1,0 +1,28 @@
+//! `mainline-arrowlite` — a from-scratch implementation of the subset of the
+//! Apache Arrow columnar in-memory format that the paper relies on (§2.2):
+//!
+//! * 64-byte aligned, 8-byte padded contiguous buffers,
+//! * separate validity bitmaps for NULLs,
+//! * primitive arrays and variable-length (offsets + values) arrays,
+//! * dictionary-encoded arrays (the alternative format of §4.4),
+//! * schemas and record batches,
+//! * an IPC-style framed serialization used by the Flight-like export path,
+//! * CSV read/write for the Figure 1 reproduction.
+//!
+//! This is deliberately *not* a full Arrow implementation — it implements the
+//! memory-layout contract (alignment, bitmap, offset semantics) that both the
+//! relaxed transactional format and the export experiments depend on.
+
+pub mod array;
+pub mod batch;
+pub mod buffer;
+pub mod csv;
+pub mod datatype;
+pub mod ipc;
+pub mod schema;
+
+pub use array::{Array, DictionaryArray, PrimitiveArray, VarBinaryArray};
+pub use batch::RecordBatch;
+pub use buffer::Buffer;
+pub use datatype::ArrowType;
+pub use schema::{ArrowField, ArrowSchema};

@@ -1,0 +1,93 @@
+//! Arrow schemas: named, typed, nullable fields (cf. Fig. 2 of the paper).
+
+use crate::datatype::ArrowType;
+use mainline_common::schema::Schema;
+
+/// One field of an Arrow schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrowField {
+    /// Field name.
+    pub name: String,
+    /// Arrow data type.
+    pub ty: ArrowType,
+    /// Whether the field may contain NULLs.
+    pub nullable: bool,
+}
+
+impl ArrowField {
+    /// Construct a field.
+    pub fn new(name: &str, ty: ArrowType, nullable: bool) -> Self {
+        ArrowField { name: name.to_string(), ty, nullable }
+    }
+}
+
+/// An ordered collection of fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrowSchema {
+    fields: Vec<ArrowField>,
+}
+
+impl ArrowSchema {
+    /// Build from fields.
+    pub fn new(fields: Vec<ArrowField>) -> Self {
+        ArrowSchema { fields }
+    }
+
+    /// Derive the canonical Arrow schema from an engine table schema.
+    pub fn from_table_schema(schema: &Schema) -> Self {
+        ArrowSchema {
+            fields: schema
+                .columns()
+                .iter()
+                .map(|c| ArrowField {
+                    name: c.name.clone(),
+                    ty: ArrowType::from_type_id(c.ty),
+                    nullable: c.nullable,
+                })
+                .collect(),
+        }
+    }
+
+    /// Fields in order.
+    pub fn fields(&self) -> &[ArrowField] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when there are no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mainline_common::schema::ColumnDef;
+    use mainline_common::value::TypeId;
+
+    #[test]
+    fn from_table_schema_maps_types() {
+        let ts = Schema::new(vec![
+            ColumnDef::new("id", TypeId::BigInt),
+            ColumnDef::nullable("name", TypeId::Varchar),
+        ]);
+        let s = ArrowSchema::from_table_schema(&ts);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.fields()[0].ty, ArrowType::Int64);
+        assert!(!s.fields()[0].nullable);
+        assert_eq!(s.fields()[1].ty, ArrowType::VarBinary);
+        assert!(s.fields()[1].nullable);
+        assert_eq!(s.index_of("name"), Some(1));
+        assert_eq!(s.index_of("zzz"), None);
+    }
+}

@@ -1,0 +1,101 @@
+//! Figure 10: TPC-C throughput and block-state coverage, varying worker
+//! threads, with transformation disabled / varlen-gather / dictionary.
+//!
+//! One warehouse per worker (§6.1), standard mix, open-loop workers pinned
+//! at full speed for `MAINLINE_TPCC_SECONDS` per cell. 10b reports the
+//! percentage of the transform-target tables' blocks in cooling/frozen
+//! state at the end of each run. Set `MAINLINE_TPCC_EXTRA_THREAD=1` to run
+//! the §6.1 "one additional transformation thread" ablation.
+
+use mainline_bench::{emit, env_usize};
+use mainline_common::rng::Xoshiro256;
+use mainline_db::{Database, DbConfig};
+use mainline_transform::{TransformConfig, TransformFormat};
+use mainline_workloads::tpcc::{Tpcc, TpccConfig, TpccStats};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn run_cell(workers: u32, transform: Option<TransformFormat>, seconds: u64, extra_thread: bool) {
+    let db = Database::open(DbConfig {
+        transform: transform.map(|format| TransformConfig {
+            threshold_epochs: 2, // ~the paper's aggressive 10 ms threshold
+            format,
+            ..Default::default()
+        }),
+        gc_interval: Duration::from_millis(10),
+        transform_interval: Duration::from_millis(10),
+        transform_threads: if extra_thread { 2 } else { 1 },
+        ..Default::default()
+    })
+    .unwrap();
+    let tpcc = Arc::new(
+        Tpcc::create(&db, TpccConfig::bench(workers), transform.is_some()).unwrap(),
+    );
+    tpcc.load(&db, 42).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for w in 1..=workers as i32 {
+        let db = Arc::clone(&db);
+        let tpcc = Arc::clone(&tpcc);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Xoshiro256::seed_from_u64(w as u64);
+            let mut stats = TpccStats::default();
+            while !stop.load(Ordering::Relaxed) {
+                tpcc.run_one(&db, &mut rng, w, &mut stats);
+            }
+            stats
+        }));
+    }
+    std::thread::sleep(Duration::from_secs(seconds));
+    stop.store(true, Ordering::Relaxed);
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    for h in handles {
+        let s = h.join().unwrap();
+        committed += s.total();
+        aborted += s.aborted;
+    }
+    let series = match transform {
+        None => "no_transformation",
+        Some(TransformFormat::Gather) => "varlen_gather",
+        Some(TransformFormat::Dictionary) => "dictionary_compression",
+    };
+    emit("fig10a", series, workers, committed as f64 / seconds as f64 / 1e3, "K_txn_per_s");
+
+    if let Some(pipeline) = db.pipeline() {
+        let (hot, cooling, freezing, frozen) = pipeline.block_state_census();
+        let total = (hot + cooling + freezing + frozen).max(1) as f64;
+        emit("fig10b", &format!("{series}_frozen"), workers, frozen as f64 / total * 100.0, "pct");
+        emit(
+            "fig10b",
+            &format!("{series}_cooling"),
+            workers,
+            (cooling + freezing) as f64 / total * 100.0,
+            "pct",
+        );
+    }
+    let _ = aborted;
+    tpcc.check_consistency(&db).expect("TPC-C invariants must hold after the run");
+    db.shutdown();
+}
+
+fn main() {
+    let seconds = env_usize("MAINLINE_TPCC_SECONDS", 3) as u64;
+    let threads: Vec<u32> = std::env::var("MAINLINE_TPCC_THREADS")
+        .unwrap_or_else(|_| "1,2,4".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let extra = std::env::var("MAINLINE_TPCC_EXTRA_THREAD").is_ok();
+    println!("# Figure 10 — TPC-C ({seconds}s per cell, workers {threads:?}, extra transform thread: {extra})");
+    println!("figure,series,workers,value,unit");
+    for &w in &threads {
+        run_cell(w, None, seconds, extra);
+        run_cell(w, Some(TransformFormat::Gather), seconds, extra);
+        run_cell(w, Some(TransformFormat::Dictionary), seconds, extra);
+    }
+    println!("# done");
+}

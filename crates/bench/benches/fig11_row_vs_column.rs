@@ -1,0 +1,36 @@
+//! Figure 11: row-store vs column-store raw storage throughput, varying the
+//! number of attributes (inserts: attributes per inserted tuple; updates:
+//! attributes updated).
+
+use mainline_bench::{emit, env_usize};
+use mainline_txn::TransactionManager;
+use mainline_workloads::rowcol::{run_ops, RowColTable, StorageModel};
+
+fn main() {
+    let ops = env_usize("MAINLINE_FIG11_OPS", 200_000);
+    println!("# Figure 11 — row vs column raw storage speed ({ops} ops per cell)");
+    println!("figure,series,attrs,value,unit");
+    for attrs in [1usize, 2, 4, 8, 16, 32, 64] {
+        // Inserts: tuple has `attrs` attributes.
+        for (series, model) in [
+            ("row_insert", StorageModel::Row),
+            ("column_insert", StorageModel::Column),
+        ] {
+            let t = RowColTable::new(model, attrs);
+            let m = TransactionManager::new();
+            let tput = run_ops(&t, &m, ops, attrs, false, 3);
+            emit("fig11", series, attrs, tput / 1e6, "Mops_per_s");
+        }
+        // Updates: `attrs` of 64 attributes updated.
+        for (series, model) in [
+            ("row_update", StorageModel::Row),
+            ("column_update", StorageModel::Column),
+        ] {
+            let t = RowColTable::new(model, 64);
+            let m = TransactionManager::new();
+            let tput = run_ops(&t, &m, ops, attrs, true, 4);
+            emit("fig11", series, attrs, tput / 1e6, "Mops_per_s");
+        }
+    }
+    println!("# done");
+}

@@ -1,0 +1,93 @@
+//! Figure 12: transformation-algorithm throughput (blocks/s) vs %empty.
+//!
+//! Regenerates 12a (50% varlen columns), 12b (per-phase breakdown),
+//! 12c (all fixed), and 12d (all varlen). Series: Hybrid-Gather, Snapshot,
+//! Transactional In-Place, Hybrid-Compress; breakdown series: Compaction,
+//! Varlen-Gather, Dictionary-Compression.
+
+use mainline_bench::{build_micro_table, emit, env_usize, time, MicroLayout};
+use mainline_transform::baselines::{inplace_block, snapshot_block};
+use mainline_transform::compaction;
+use mainline_transform::dictionary::compress_block;
+use mainline_transform::gather::gather_block;
+use mainline_txn::{DataTable, TransactionManager};
+use std::sync::Arc;
+
+const EMPTIES: [u32; 8] = [0, 1, 5, 10, 20, 40, 60, 80];
+
+fn compact_all(manager: &TransactionManager, table: &Arc<DataTable>) {
+    let blocks = table.blocks();
+    for group in blocks.chunks(50) {
+        let plan = compaction::plan_approximate(group);
+        let txn = manager.begin();
+        compaction::execute_plan(table, &txn, &plan, |_, _, _, _| Ok(())).unwrap();
+        manager.commit(&txn);
+        compaction::publish_insert_heads(&plan);
+    }
+}
+
+fn gather_all(table: &Arc<DataTable>, dictionary: bool) {
+    for block in table.blocks() {
+        unsafe {
+            let displaced = if dictionary {
+                compress_block(&block)
+            } else {
+                gather_block(&block)
+            };
+            displaced.free();
+        }
+    }
+}
+
+fn run_layout(fig: &str, layout: MicroLayout, nblocks: usize) {
+    for pct in EMPTIES {
+        // Hybrid-Gather: compaction + gather (with a phase breakdown).
+        let (m, t, _) = build_micro_table(layout, nblocks, pct, 42);
+        let (_, t_compact) = time(|| compact_all(&m, &t));
+        let (_, t_gather) = time(|| gather_all(&t, false));
+        emit(fig, "hybrid_gather", pct, nblocks as f64 / (t_compact + t_gather), "blocks_per_s");
+        if fig == "fig12a" {
+            emit("fig12b", "compaction", pct, nblocks as f64 / t_compact, "blocks_per_s");
+            emit("fig12b", "varlen_gather", pct, nblocks as f64 / t_gather, "blocks_per_s");
+        }
+
+        // Hybrid-Compress: compaction + dictionary compression.
+        let (m, t, _) = build_micro_table(layout, nblocks, pct, 42);
+        let (_, t_compact2) = time(|| compact_all(&m, &t));
+        let (_, t_dict) = time(|| gather_all(&t, true));
+        emit(fig, "hybrid_compress", pct, nblocks as f64 / (t_compact2 + t_dict), "blocks_per_s");
+        if fig == "fig12a" {
+            emit("fig12b", "dictionary_compression", pct, nblocks as f64 / t_dict, "blocks_per_s");
+        }
+
+        // Snapshot baseline.
+        let (m, t, _) = build_micro_table(layout, nblocks, pct, 42);
+        let (_, t_snap) = time(|| {
+            let txn = m.begin();
+            for block in t.blocks() {
+                std::hint::black_box(snapshot_block(&t, &txn, &block));
+            }
+            m.commit(&txn);
+        });
+        emit(fig, "snapshot", pct, nblocks as f64 / t_snap, "blocks_per_s");
+
+        // Transactional In-Place baseline.
+        let (m, t, _) = build_micro_table(layout, nblocks, pct, 42);
+        let (_, t_inplace) = time(|| {
+            for block in t.blocks() {
+                inplace_block(&m, &t, &block).unwrap();
+            }
+        });
+        emit(fig, "txn_inplace", pct, nblocks as f64 / t_inplace, "blocks_per_s");
+    }
+}
+
+fn main() {
+    let nblocks = env_usize("MAINLINE_BLOCKS", 12);
+    println!("# Figure 12 — transformation throughput ({nblocks} blocks per cell)");
+    println!("figure,series,pct_empty,value,unit");
+    run_layout("fig12a", MicroLayout::Mixed, nblocks);
+    run_layout("fig12c", MicroLayout::Fixed, nblocks);
+    run_layout("fig12d", MicroLayout::Varlen, nblocks);
+    println!("# done");
+}

@@ -1,0 +1,30 @@
+//! Figure 13: write amplification — tuples moved per transformation pass.
+//!
+//! "It suffices to measure the total number of tuple movements that trigger
+//! index updates. The Snapshot algorithm always moves every tuple in the
+//! compacted blocks"; compared against the approximate and the optimal
+//! block-selection algorithms of §4.3.
+
+use mainline_bench::{build_micro_table, emit, env_usize, MicroLayout};
+use mainline_transform::compaction::{plan_approximate, plan_optimal};
+
+fn main() {
+    let nblocks = env_usize("MAINLINE_BLOCKS", 50);
+    println!("# Figure 13 — write amplification ({nblocks} blocks)");
+    println!("figure,series,pct_empty,value,unit");
+    for pct in [0u32, 1, 5, 10, 20, 40, 60, 80] {
+        let (_m, t, live) = build_micro_table(MicroLayout::Mixed, nblocks, pct, 7);
+        let blocks = t.blocks();
+        let approx = plan_approximate(&blocks);
+        let optimal = plan_optimal(&blocks);
+        // Snapshot moves every live tuple.
+        emit("fig13", "snapshot", pct, live as f64, "tuples_moved");
+        emit("fig13", "approximate", pct, approx.moves.len() as f64, "tuples_moved");
+        emit("fig13", "optimal", pct, optimal.moves.len() as f64, "tuples_moved");
+        // §4.3's bound: approx − optimal ≤ t mod s.
+        let s = t.layout().num_slots() as usize;
+        assert!(approx.moves.len() >= optimal.moves.len());
+        assert!(approx.moves.len() - optimal.moves.len() <= live % s);
+    }
+    println!("# done");
+}

@@ -1,0 +1,43 @@
+//! Figure 14: sensitivity to the compaction-group size.
+//!
+//! 14a: blocks freed per pass; 14b: write-set size of the compacting
+//! transactions. "Larger group sizes result in the DBMS freeing more blocks
+//! but increases the size of the write-set ... the ideal fixed group size is
+//! between 10 and 50."
+
+use mainline_bench::{build_micro_table, emit, env_usize, MicroLayout};
+use mainline_transform::compaction;
+
+fn main() {
+    let nblocks = env_usize("MAINLINE_BLOCKS", 50);
+    // Paper group sizes {1,10,50,100,250,500} on 500 blocks; scale
+    // proportionally to the configured block count.
+    let mut group_sizes: Vec<usize> = [1usize, 10, 50, 100, 250, 500]
+        .iter()
+        .map(|&g| (g * nblocks / 500).max(1).min(nblocks))
+        .collect();
+    group_sizes.dedup();
+    println!("# Figure 14 — compaction group size sensitivity ({nblocks} blocks)");
+    println!("figure,series,pct_empty,value,unit");
+    for pct in [1u32, 5, 10, 20, 40, 60, 80] {
+        for &g in &group_sizes {
+            let (m, t, _) = build_micro_table(MicroLayout::Mixed, nblocks, pct, 11);
+            let blocks = t.blocks();
+            let mut freed = 0usize;
+            let mut max_write_set = 0usize;
+            for group in blocks.chunks(g) {
+                let plan = compaction::plan_approximate(group);
+                let txn = m.begin();
+                let stats =
+                    compaction::execute_plan(&t, &txn, &plan, |_, _, _, _| Ok(())).unwrap();
+                m.commit(&txn);
+                compaction::publish_insert_heads(&plan);
+                freed += plan.emptied.len();
+                max_write_set = max_write_set.max(stats.write_set_size);
+            }
+            emit("fig14a", &format!("group_{g}"), pct, freed as f64, "blocks_freed");
+            emit("fig14b", &format!("group_{g}"), pct, max_write_set as f64, "ops");
+        }
+    }
+    println!("# done");
+}

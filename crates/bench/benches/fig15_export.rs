@@ -1,0 +1,106 @@
+//! Figure 15: data-export speed vs the fraction of frozen blocks, for the
+//! four export mechanisms of §5. Speed is normalized to the table's Arrow
+//! payload volume (reference bytes / elapsed), so methods are comparable
+//! regardless of per-protocol framing overhead.
+
+use mainline_bench::{emit, env_usize, force_freeze, time};
+use mainline_common::rng::Xoshiro256;
+use mainline_common::schema::{ColumnDef, Schema};
+use mainline_common::value::{TypeId, Value};
+use mainline_export::{export_table, ExportMethod};
+use mainline_gc::GarbageCollector;
+use mainline_storage::block_state::{BlockState, BlockStateMachine};
+use mainline_storage::ProjectedRow;
+use mainline_txn::{DataTable, TransactionManager};
+use std::sync::Arc;
+
+/// An ORDER_LINE-shaped table (the paper exports ~6000 blocks of it).
+fn build(nblocks: usize) -> (Arc<TransactionManager>, Arc<DataTable>) {
+    use TypeId::*;
+    let m = Arc::new(TransactionManager::new());
+    let t = DataTable::new(
+        1,
+        Schema::new(vec![
+            ColumnDef::new("ol_w_id", Integer),
+            ColumnDef::new("ol_d_id", Integer),
+            ColumnDef::new("ol_o_id", BigInt),
+            ColumnDef::new("ol_number", Integer),
+            ColumnDef::new("ol_i_id", Integer),
+            ColumnDef::new("ol_supply_w_id", Integer),
+            ColumnDef::new("ol_delivery_d", BigInt),
+            ColumnDef::new("ol_quantity", Integer),
+            ColumnDef::new("ol_amount", Double),
+            ColumnDef::new("ol_dist_info", Varchar),
+        ]),
+    )
+    .unwrap();
+    let per_block = t.layout().num_slots() as usize;
+    let types: Vec<TypeId> = t.types().to_vec();
+    let mut rng = Xoshiro256::seed_from_u64(5);
+    let txn = m.begin();
+    for i in 0..(nblocks * per_block) {
+        let row = ProjectedRow::from_values(&types, &[
+            Value::Integer(1),
+            Value::Integer((i % 10) as i32),
+            Value::BigInt(i as i64 / 10),
+            Value::Integer((i % 15) as i32),
+            Value::Integer(rng.int_range(1, 100_000) as i32),
+            Value::Integer(1),
+            Value::BigInt(0),
+            Value::Integer(5),
+            Value::Double(rng.int_range(1, 999_999) as f64 / 100.0),
+            Value::Varchar(rng.alnum_string(24, 24)),
+        ]);
+        t.insert(&txn, &row);
+    }
+    m.commit(&txn);
+    let mut gc = GarbageCollector::new(Arc::clone(&m));
+    gc.run();
+    gc.run();
+    (m, t)
+}
+
+fn main() {
+    let nblocks = env_usize("MAINLINE_BLOCKS", 16);
+    println!("# Figure 15 — export speed vs %frozen ({nblocks} blocks, ORDER_LINE shape)");
+    println!("figure,series,pct_frozen,value,unit");
+    let (m, t) = build(nblocks);
+
+    // Reference volume: the canonical Arrow payload (computed at the end,
+    // after all blocks freeze; do a dry pass now to size it cheaply).
+    let reference_bytes: u64 = {
+        let stats = export_table(ExportMethod::Flight, &m, &t);
+        stats.bytes_transferred
+    };
+
+    let methods = [
+        ("rdma", ExportMethod::Rdma),
+        ("arrow_flight", ExportMethod::Flight),
+        ("vectorized", ExportMethod::Vectorized),
+        ("postgres_wire", ExportMethod::PostgresWire),
+    ];
+
+    // Sweep %frozen in increasing order, freezing additional blocks to
+    // reach each level (freezing is monotone within the run).
+    let blocks = t.blocks();
+    for pct in [0usize, 1, 5, 10, 20, 40, 60, 80, 100] {
+        let target = (nblocks * pct).div_ceil(100).min(blocks.len());
+        for block in blocks.iter().take(target) {
+            if BlockStateMachine::state(block.header()) == BlockState::Hot {
+                force_freeze(block, false);
+            }
+        }
+        let frozen_now = blocks
+            .iter()
+            .filter(|b| BlockStateMachine::state(b.header()) == BlockState::Frozen)
+            .count();
+        for (name, method) in methods {
+            let (stats, secs) = time(|| export_table(method, &m, &t));
+            let mb_per_s = reference_bytes as f64 / 1e6 / secs;
+            emit("fig15", name, pct, mb_per_s, "MBps");
+            assert!(stats.rows > 0);
+            assert_eq!(stats.frozen_blocks as usize, frozen_now.min(stats.frozen_blocks as usize));
+        }
+    }
+    println!("# done");
+}

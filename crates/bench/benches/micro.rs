@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks for engine primitives — regression guards for
+//! the hot paths the figures depend on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mainline_common::rng::Xoshiro256;
+use mainline_common::schema::{ColumnDef, Schema};
+use mainline_common::timestamp::TimestampOracle;
+use mainline_common::value::{TypeId, Value};
+use mainline_index::{BPlusTree, KeyBuilder};
+use mainline_storage::{ProjectedRow, VarlenEntry};
+use mainline_txn::{DataTable, TransactionManager};
+use std::sync::Arc;
+
+fn bench_timestamp_oracle(c: &mut Criterion) {
+    let oracle = TimestampOracle::new();
+    c.bench_function("timestamp_oracle_next", |b| b.iter(|| std::hint::black_box(oracle.next())));
+}
+
+fn bench_varlen_entry(c: &mut Criterion) {
+    c.bench_function("varlen_inline_create_read", |b| {
+        b.iter(|| {
+            let e = VarlenEntry::from_bytes(b"twelve-bytes");
+            std::hint::black_box(unsafe { e.as_slice() }.len())
+        })
+    });
+    c.bench_function("varlen_outline_create_free", |b| {
+        b.iter(|| {
+            let e = VarlenEntry::from_bytes(b"a value that needs a heap buffer here");
+            unsafe {
+                std::hint::black_box(e.as_slice().len());
+                e.free_buffer();
+            }
+        })
+    });
+}
+
+fn bench_bptree(c: &mut Criterion) {
+    let tree: BPlusTree<u64> = BPlusTree::new();
+    let mut rng = Xoshiro256::seed_from_u64(1);
+    for _ in 0..100_000 {
+        let k = KeyBuilder::new().add_i64(rng.int_range(0, 1 << 40)).finish();
+        tree.upsert(&k, 1);
+    }
+    c.bench_function("bptree_get_100k", |b| {
+        b.iter(|| {
+            let k = KeyBuilder::new().add_i64(rng.int_range(0, 1 << 40)).finish();
+            std::hint::black_box(tree.get(&k))
+        })
+    });
+    c.bench_function("bptree_insert_remove", |b| {
+        b.iter(|| {
+            let k = KeyBuilder::new().add_i64(rng.int_range(1 << 41, 1 << 42)).finish();
+            tree.insert_unique(&k, 2);
+            tree.remove(&k);
+        })
+    });
+}
+
+fn table() -> (Arc<TransactionManager>, Arc<DataTable>) {
+    let m = Arc::new(TransactionManager::new());
+    let t = DataTable::new(
+        1,
+        Schema::new(vec![
+            ColumnDef::new("id", TypeId::BigInt),
+            ColumnDef::new("name", TypeId::Varchar),
+        ]),
+    )
+    .unwrap();
+    (m, t)
+}
+
+fn bench_mvcc_ops(c: &mut Criterion) {
+    let (m, t) = table();
+    let types = [TypeId::BigInt, TypeId::Varchar];
+    c.bench_function("mvcc_insert", |b| {
+        b.iter_batched(
+            || {
+                ProjectedRow::from_values(&types, &[
+                    Value::BigInt(7),
+                    Value::string("bench-payload-value"),
+                ])
+            },
+            |row| {
+                let txn = m.begin();
+                std::hint::black_box(t.insert(&txn, &row));
+                m.commit(&txn);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let setup = m.begin();
+    let slot = t.insert(
+        &setup,
+        &ProjectedRow::from_values(&types, &[Value::BigInt(1), Value::string("select-target")]),
+    );
+    m.commit(&setup);
+    c.bench_function("mvcc_select_hot", |b| {
+        b.iter(|| {
+            let txn = m.begin();
+            std::hint::black_box(t.select_values(&txn, slot));
+            m.commit(&txn);
+        })
+    });
+    c.bench_function("mvcc_update_fixed", |b| {
+        b.iter(|| {
+            let txn = m.begin();
+            let mut d = ProjectedRow::new();
+            d.push_fixed(1, &Value::BigInt(9));
+            t.update(&txn, slot, &d).unwrap();
+            m.commit(&txn);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_timestamp_oracle, bench_varlen_entry, bench_bptree, bench_mvcc_ops
+}
+criterion_main!(benches);

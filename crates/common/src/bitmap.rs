@@ -1,0 +1,334 @@
+//! Bitmaps: the engine's allocation bitmaps and Arrow-style validity bitmaps.
+//!
+//! Three flavours live here:
+//!
+//! * [`Bitmap`] — an owned, growable bitmap (used for Arrow validity buffers
+//!   and bookkeeping off the hot path).
+//! * [`raw`] — free functions that operate on *borrowed* byte slices, used for
+//!   the bitmaps embedded inside raw 1 MB blocks where the storage crate owns
+//!   the memory.
+//! * [`atomic`] — the same operations with atomic read-modify-write semantics
+//!   for the in-block allocation bitmap, which concurrent transactions flip
+//!   when inserting/deleting (paper §3.1).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Number of bytes needed to hold `bits` bits, rounded up to an 8-byte
+/// boundary (Arrow requires 8-byte alignment of all buffers, §2.2).
+#[inline]
+pub fn bytes_for_bits_aligned(bits: usize) -> usize {
+    (bits.div_ceil(8)).div_ceil(8) * 8
+}
+
+/// Number of bytes needed to hold `bits` bits, unaligned.
+#[inline]
+pub fn bytes_for_bits(bits: usize) -> usize {
+    bits.div_ceil(8)
+}
+
+/// Operations on borrowed bitmap storage.
+pub mod raw {
+    /// Test bit `i`.
+    #[inline]
+    pub fn get(bytes: &[u8], i: usize) -> bool {
+        bytes[i / 8] & (1 << (i % 8)) != 0
+    }
+
+    /// Set bit `i` to 1.
+    #[inline]
+    pub fn set(bytes: &mut [u8], i: usize) {
+        bytes[i / 8] |= 1 << (i % 8);
+    }
+
+    /// Clear bit `i` to 0.
+    #[inline]
+    pub fn clear(bytes: &mut [u8], i: usize) {
+        bytes[i / 8] &= !(1 << (i % 8));
+    }
+
+    /// Write bit `i`.
+    #[inline]
+    pub fn put(bytes: &mut [u8], i: usize, v: bool) {
+        if v {
+            set(bytes, i)
+        } else {
+            clear(bytes, i)
+        }
+    }
+
+    /// Count set bits among the first `nbits` bits.
+    pub fn count_ones(bytes: &[u8], nbits: usize) -> usize {
+        let full = nbits / 8;
+        let mut n: usize = bytes[..full].iter().map(|b| b.count_ones() as usize).sum();
+        let rem = nbits % 8;
+        if rem != 0 {
+            n += (bytes[full] & ((1u8 << rem) - 1)).count_ones() as usize;
+        }
+        n
+    }
+
+    /// Iterate the indices of zero bits among the first `nbits` bits.
+    pub fn iter_zeros(bytes: &[u8], nbits: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..nbits).filter(move |&i| !get(bytes, i))
+    }
+
+    /// Iterate the indices of set bits among the first `nbits` bits.
+    pub fn iter_ones(bytes: &[u8], nbits: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..nbits).filter(move |&i| get(bytes, i))
+    }
+}
+
+/// Atomic bit operations over a byte region viewed as `AtomicU8`s.
+///
+/// # Safety contract
+/// Callers pass a raw pointer to a region of at least `bytes_for_bits(nbits)`
+/// bytes that outlives the call and may be concurrently mutated *only* through
+/// these atomic entry points while shared.
+pub mod atomic {
+    use super::*;
+
+    /// Test bit `i` with the given ordering.
+    ///
+    /// # Safety
+    /// `base` must point to at least `i/8 + 1` valid bytes.
+    #[inline]
+    pub unsafe fn get(base: *const u8, i: usize) -> bool {
+        let cell = &*(base.add(i / 8) as *const AtomicU8);
+        cell.load(Ordering::Acquire) & (1 << (i % 8)) != 0
+    }
+
+    /// Atomically set bit `i`; returns the previous value of the bit.
+    ///
+    /// # Safety
+    /// `base` must point to at least `i/8 + 1` valid bytes.
+    #[inline]
+    pub unsafe fn fetch_set(base: *mut u8, i: usize) -> bool {
+        let cell = &*(base.add(i / 8) as *const AtomicU8);
+        cell.fetch_or(1 << (i % 8), Ordering::AcqRel) & (1 << (i % 8)) != 0
+    }
+
+    /// Atomically clear bit `i`; returns the previous value of the bit.
+    ///
+    /// # Safety
+    /// `base` must point to at least `i/8 + 1` valid bytes.
+    #[inline]
+    pub unsafe fn fetch_clear(base: *mut u8, i: usize) -> bool {
+        let cell = &*(base.add(i / 8) as *const AtomicU8);
+        cell.fetch_and(!(1 << (i % 8)), Ordering::AcqRel) & (1 << (i % 8)) != 0
+    }
+}
+
+/// Owned bitmap with Arrow-compatible backing storage.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    bytes: Vec<u8>,
+    nbits: usize,
+}
+
+impl Bitmap {
+    /// All-zero bitmap of `nbits` bits.
+    pub fn new_zeroed(nbits: usize) -> Self {
+        Bitmap { bytes: vec![0u8; bytes_for_bits_aligned(nbits).max(8)], nbits }
+    }
+
+    /// All-one bitmap of `nbits` bits.
+    pub fn new_set(nbits: usize) -> Self {
+        let mut b = Self::new_zeroed(nbits);
+        for i in 0..nbits {
+            b.set(i);
+        }
+        b
+    }
+
+    /// Build from a bool slice.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut b = Self::new_zeroed(bools.len());
+        for (i, &v) in bools.iter().enumerate() {
+            if v {
+                b.set(i);
+            }
+        }
+        b
+    }
+
+    /// Number of logical bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nbits
+    }
+
+    /// True when the bitmap has zero logical bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nbits == 0
+    }
+
+    /// Test bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.nbits, "bit {i} out of range {}", self.nbits);
+        raw::get(&self.bytes, i)
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.nbits);
+        raw::set(&mut self.bytes, i);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.nbits);
+        raw::clear(&mut self.bytes, i);
+    }
+
+    /// Write bit `i`.
+    #[inline]
+    pub fn put(&mut self, i: usize, v: bool) {
+        assert!(i < self.nbits);
+        raw::put(&mut self.bytes, i, v);
+    }
+
+    /// Count of set bits.
+    pub fn count_ones(&self) -> usize {
+        raw::count_ones(&self.bytes, self.nbits)
+    }
+
+    /// Count of clear bits.
+    pub fn count_zeros(&self) -> usize {
+        self.nbits - self.count_ones()
+    }
+
+    /// Backing bytes (8-byte aligned length).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Iterate all bits as bools.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.nbits).map(move |i| self.get(i))
+    }
+}
+
+impl std::fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bitmap[{}; ", self.nbits)?;
+        for i in 0..self.nbits.min(64) {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        if self.nbits > 64 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_helpers() {
+        assert_eq!(bytes_for_bits(0), 0);
+        assert_eq!(bytes_for_bits(1), 1);
+        assert_eq!(bytes_for_bits(8), 1);
+        assert_eq!(bytes_for_bits(9), 2);
+        assert_eq!(bytes_for_bits_aligned(1), 8);
+        assert_eq!(bytes_for_bits_aligned(64), 8);
+        assert_eq!(bytes_for_bits_aligned(65), 16);
+    }
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut b = Bitmap::new_zeroed(100);
+        assert_eq!(b.count_ones(), 0);
+        for i in (0..100).step_by(3) {
+            b.set(i);
+        }
+        for i in 0..100 {
+            assert_eq!(b.get(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(b.count_ones(), 34);
+        b.clear(0);
+        assert!(!b.get(0));
+        assert_eq!(b.count_ones(), 33);
+    }
+
+    #[test]
+    fn new_set_is_all_ones() {
+        let b = Bitmap::new_set(17);
+        assert_eq!(b.count_ones(), 17);
+        assert_eq!(b.count_zeros(), 0);
+    }
+
+    #[test]
+    fn from_bools_matches() {
+        let pattern = [true, false, true, true, false];
+        let b = Bitmap::from_bools(&pattern);
+        assert_eq!(b.iter().collect::<Vec<_>>(), pattern);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let b = Bitmap::new_zeroed(8);
+        b.get(8);
+    }
+
+    #[test]
+    fn raw_count_ones_partial_byte() {
+        let bytes = [0xFFu8, 0xFF];
+        assert_eq!(raw::count_ones(&bytes, 12), 12);
+        assert_eq!(raw::count_ones(&bytes, 16), 16);
+        assert_eq!(raw::count_ones(&bytes, 3), 3);
+    }
+
+    #[test]
+    fn raw_iters() {
+        let mut bytes = vec![0u8; 2];
+        raw::set(&mut bytes, 1);
+        raw::set(&mut bytes, 9);
+        assert_eq!(raw::iter_ones(&bytes, 16).collect::<Vec<_>>(), vec![1, 9]);
+        assert_eq!(raw::iter_zeros(&bytes, 4).collect::<Vec<_>>(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn atomic_ops_single_thread() {
+        let mut bytes = vec![0u8; 8];
+        let p = bytes.as_mut_ptr();
+        unsafe {
+            assert!(!atomic::get(p, 5));
+            assert!(!atomic::fetch_set(p, 5));
+            assert!(atomic::get(p, 5));
+            assert!(atomic::fetch_set(p, 5)); // already set
+            assert!(atomic::fetch_clear(p, 5));
+            assert!(!atomic::get(p, 5));
+            assert!(!atomic::fetch_clear(p, 5)); // already clear
+        }
+    }
+
+    #[test]
+    fn atomic_ops_concurrent_distinct_bits() {
+        use std::sync::Arc;
+        // 256 bits, 8 threads each setting 32 distinct bits.
+        let bytes = Arc::new(vec![0u8; 32]);
+        let mut handles = vec![];
+        for t in 0..8usize {
+            let bytes = Arc::clone(&bytes);
+            handles.push(std::thread::spawn(move || {
+                let p = bytes.as_ptr() as *mut u8;
+                for i in 0..32 {
+                    unsafe {
+                        atomic::fetch_set(p, t * 32 + i);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(raw::count_ones(&bytes, 256), 256);
+    }
+}

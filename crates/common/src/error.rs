@@ -1,0 +1,110 @@
+//! Unified error type for the workspace.
+
+use std::fmt;
+
+/// Errors surfaced by the storage engine and its substrates.
+#[derive(Debug)]
+pub enum Error {
+    /// A transaction must abort because it lost a write-write conflict.
+    WriteWriteConflict,
+    /// A transaction attempted an operation after it finished.
+    TransactionFinished,
+    /// The target tuple slot does not hold a visible tuple.
+    TupleNotVisible,
+    /// A unique-key constraint would be violated.
+    DuplicateKey,
+    /// The requested key was not found.
+    KeyNotFound,
+    /// A table, column, or catalog object was not found.
+    NotFound(String),
+    /// The operation is not valid for the block's current state.
+    InvalidBlockState(&'static str),
+    /// Schema/layout constraint violated (e.g. too many columns, oversized row).
+    Layout(String),
+    /// Type mismatch between a value and a column.
+    TypeMismatch { expected: &'static str, got: &'static str },
+    /// Malformed serialized data (WAL, IPC, CSV, wire protocol).
+    Corrupt(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::WriteWriteConflict => write!(f, "write-write conflict"),
+            Error::TransactionFinished => write!(f, "transaction already finished"),
+            Error::TupleNotVisible => write!(f, "tuple not visible"),
+            Error::DuplicateKey => write!(f, "duplicate key"),
+            Error::KeyNotFound => write!(f, "key not found"),
+            Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::InvalidBlockState(s) => write!(f, "invalid block state: {s}"),
+            Error::Layout(msg) => write!(f, "layout error: {msg}"),
+            Error::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let variants: Vec<Error> = vec![
+            Error::WriteWriteConflict,
+            Error::TransactionFinished,
+            Error::TupleNotVisible,
+            Error::DuplicateKey,
+            Error::KeyNotFound,
+            Error::NotFound("t".into()),
+            Error::InvalidBlockState("hot"),
+            Error::Layout("too wide".into()),
+            Error::TypeMismatch { expected: "i64", got: "varlen" },
+            Error::Corrupt("bad magic".into()),
+            Error::Io(std::io::Error::new(std::io::ErrorKind::Other, "x")),
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        fn helper() -> Result<()> {
+            Err(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"))?;
+            Ok(())
+        }
+        assert!(matches!(helper(), Err(Error::Io(_))));
+    }
+
+    #[test]
+    fn source_only_for_io() {
+        use std::error::Error as _;
+        assert!(Error::DuplicateKey.source().is_none());
+        let io = Error::Io(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        assert!(io.source().is_some());
+    }
+}

@@ -1,0 +1,18 @@
+//! `mainline-common` — shared substrate for the mainline storage engine.
+//!
+//! This crate holds the primitive vocabulary types used by every other crate in
+//! the workspace: raw and atomic bitmaps, the sign-bit timestamp encoding from
+//! the paper (§3.1), reusable buffer-segment pools (§3.1 "undo buffers are a
+//! linked list of fixed-sized segments"), the logical type system and runtime
+//! values, and a small deterministic RNG for workload generation.
+
+pub mod bitmap;
+pub mod error;
+pub mod pool;
+pub mod rng;
+pub mod schema;
+pub mod timestamp;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use timestamp::Timestamp;

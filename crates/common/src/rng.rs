@@ -1,0 +1,210 @@
+//! Small deterministic RNG (xoshiro256**) for workload generation.
+//!
+//! Benchmarks must be reproducible run-to-run; this RNG is seedable, fast,
+//! and has no global state. It is *not* cryptographically secure.
+
+/// xoshiro256** state.
+#[derive(Debug, Clone)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seed via splitmix64 so that any u64 seed (including 0) works.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire's multiply-shift rejection-free approximation is fine here;
+        // use 128-bit multiply for unbiased-enough mapping.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    #[inline]
+    pub fn int_range(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        lo + self.next_below((hi - lo + 1) as u64) as i64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Random alphanumeric string of length in `[lo, hi]` (TPC-C a-string).
+    pub fn alnum_string(&mut self, lo: usize, hi: usize) -> Vec<u8> {
+        const CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+        let len = self.int_range(lo as i64, hi as i64) as usize;
+        (0..len).map(|_| CHARS[self.next_below(CHARS.len() as u64) as usize]).collect()
+    }
+
+    /// Shuffle a slice in place (Fisher–Yates).
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Zipfian distribution over `[0, n)` with skew `theta` (YCSB-style).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// Precompute constants for `n` items with skew `theta` in (0,1).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0);
+        assert!((0.0..1.0).contains(&theta));
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        Zipf {
+            n,
+            theta,
+            alpha: 1.0 / (1.0 - theta),
+            zetan,
+            eta: (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan),
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation is fine for the sizes the workloads use.
+        (1..=n.min(1_000_000)).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+    }
+
+    /// Draw a sample in `[0, n)`.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        let u = rng.next_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        ((self.n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64 % self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = Xoshiro256::seed_from_u64(7);
+        let mut b = Xoshiro256::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Xoshiro256::seed_from_u64(1);
+        let mut b = Xoshiro256::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut r = Xoshiro256::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v = r.next_below(10);
+            assert!(v < 10);
+            let i = r.int_range(-5, 5);
+            assert!((-5..=5).contains(&i));
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn int_range_hits_extremes() {
+        let mut r = Xoshiro256::seed_from_u64(4);
+        let mut saw_lo = false;
+        let mut saw_hi = false;
+        for _ in 0..10_000 {
+            match r.int_range(0, 3) {
+                0 => saw_lo = true,
+                3 => saw_hi = true,
+                _ => {}
+            }
+        }
+        assert!(saw_lo && saw_hi);
+    }
+
+    #[test]
+    fn alnum_string_lengths() {
+        let mut r = Xoshiro256::seed_from_u64(5);
+        for _ in 0..100 {
+            let s = r.alnum_string(3, 9);
+            assert!((3..=9).contains(&s.len()));
+            assert!(s.iter().all(|b| b.is_ascii_alphanumeric()));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Xoshiro256::seed_from_u64(6);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_skews_low_ids() {
+        let z = Zipf::new(1000, 0.9);
+        let mut r = Xoshiro256::seed_from_u64(9);
+        let mut low = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            let s = z.sample(&mut r);
+            assert!(s < 1000);
+            if s < 100 {
+                low += 1;
+            }
+        }
+        // With theta=0.9 the bottom 10% of ids should draw well over half.
+        assert!(low as f64 / n as f64 > 0.5, "low fraction {}", low as f64 / n as f64);
+    }
+}

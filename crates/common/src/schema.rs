@@ -1,0 +1,129 @@
+//! Logical table schemas.
+//!
+//! The catalog creates a [`Schema`] once per table; the storage layer derives
+//! a physical block layout from it (paper §3.2: "the system calculates layout
+//! once for a table when the application creates it").
+
+use crate::value::TypeId;
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (catalog-level; the storage layer only sees indices).
+    pub name: String,
+    /// Logical type.
+    pub ty: TypeId,
+    /// Whether NULLs are allowed.
+    pub nullable: bool,
+}
+
+impl ColumnDef {
+    /// Non-nullable column.
+    pub fn new(name: &str, ty: TypeId) -> Self {
+        ColumnDef { name: name.to_string(), ty, nullable: false }
+    }
+
+    /// Nullable column.
+    pub fn nullable(name: &str, ty: TypeId) -> Self {
+        ColumnDef { name: name.to_string(), ty, nullable: true }
+    }
+}
+
+/// A logical table schema: an ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema; panics on duplicate column names or zero columns.
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        assert!(!columns.is_empty(), "schema needs at least one column");
+        for (i, c) in columns.iter().enumerate() {
+            for other in &columns[i + 1..] {
+                assert_ne!(c.name, other.name, "duplicate column {}", c.name);
+            }
+        }
+        Schema { columns }
+    }
+
+    /// All columns in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of the column with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column at index `i`.
+    pub fn column(&self, i: usize) -> &ColumnDef {
+        &self.columns[i]
+    }
+
+    /// Iterator over the column types.
+    pub fn types(&self) -> impl Iterator<Item = TypeId> + '_ {
+        self.columns.iter().map(|c| c.ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", TypeId::BigInt),
+            ColumnDef::nullable("name", TypeId::Varchar),
+            ColumnDef::new("qty", TypeId::Integer),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.index_of("id"), Some(0));
+        assert_eq!(s.index_of("qty"), Some(2));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn column_metadata() {
+        let s = sample();
+        assert!(s.column(1).nullable);
+        assert!(!s.column(0).nullable);
+        assert_eq!(s.types().collect::<Vec<_>>(), vec![
+            TypeId::BigInt,
+            TypeId::Varchar,
+            TypeId::Integer
+        ]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![
+            ColumnDef::new("a", TypeId::BigInt),
+            ColumnDef::new("a", TypeId::Integer),
+        ]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_schema_rejected() {
+        Schema::new(vec![]);
+    }
+}

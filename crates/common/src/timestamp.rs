@@ -1,0 +1,164 @@
+//! Sign-bit timestamp encoding (paper §3.1).
+//!
+//! The transaction engine assigns each transaction a `(start, commit)` pair
+//! generated from one global counter. While a transaction is running, its
+//! "commit" timestamp is its start timestamp with the *sign bit flipped*,
+//! which makes it larger than every committed timestamp under unsigned
+//! comparison — so uncommitted versions are never visible to other readers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bit that marks a timestamp as belonging to an uncommitted transaction.
+pub const UNCOMMITTED_BIT: u64 = 1 << 63;
+
+/// A point in the global transaction order.
+///
+/// Stored as a raw `u64`; values with [`UNCOMMITTED_BIT`] set identify a
+/// *running* transaction (they are transaction ids, not commit times).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The smallest possible timestamp; nothing commits at or before it.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// Larger than every committed timestamp (but itself "uncommitted").
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// True if this value identifies a running (uncommitted) transaction.
+    #[inline]
+    pub fn is_uncommitted(self) -> bool {
+        self.0 & UNCOMMITTED_BIT != 0
+    }
+
+    /// Convert a start timestamp into the matching uncommitted transaction id.
+    #[inline]
+    pub fn as_txn_id(self) -> Timestamp {
+        Timestamp(self.0 | UNCOMMITTED_BIT)
+    }
+
+    /// Recover the start timestamp from an uncommitted transaction id.
+    #[inline]
+    pub fn strip_uncommitted(self) -> Timestamp {
+        Timestamp(self.0 & !UNCOMMITTED_BIT)
+    }
+
+    /// Version visibility (paper §3.1): a version written at `self` is visible
+    /// to a reader with start time `start` and transaction id `txn_id` iff it
+    /// committed at or before the reader started, or the reader wrote it.
+    #[inline]
+    pub fn visible_to(self, start: Timestamp, txn_id: Timestamp) -> bool {
+        // Unsigned comparison; uncommitted ids have the top bit set and are
+        // therefore never <= a start timestamp.
+        self.0 <= start.0 || self.0 == txn_id.0
+    }
+}
+
+impl std::fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_uncommitted() {
+            write!(f, "txn({})", self.0 & !UNCOMMITTED_BIT)
+        } else {
+            write!(f, "ts({})", self.0)
+        }
+    }
+}
+
+/// Monotonic source of timestamps, shared by the transaction manager and the
+/// GC (which draws "unlink epochs" from the same order, §3.3).
+#[derive(Debug)]
+pub struct TimestampOracle {
+    counter: AtomicU64,
+}
+
+impl TimestampOracle {
+    /// Start the global order at 1 so `Timestamp::ZERO` predates everything.
+    pub fn new() -> Self {
+        TimestampOracle { counter: AtomicU64::new(1) }
+    }
+
+    /// Draw the next timestamp.
+    #[inline]
+    pub fn next(&self) -> Timestamp {
+        Timestamp(self.counter.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Observe the current position of the counter without advancing it.
+    #[inline]
+    pub fn peek(&self) -> Timestamp {
+        Timestamp(self.counter.load(Ordering::SeqCst))
+    }
+}
+
+impl Default for TimestampOracle {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_roundtrip() {
+        let start = Timestamp(42);
+        let id = start.as_txn_id();
+        assert!(id.is_uncommitted());
+        assert!(!start.is_uncommitted());
+        assert_eq!(id.strip_uncommitted(), start);
+    }
+
+    #[test]
+    fn uncommitted_never_visible_to_others() {
+        let writer = Timestamp(10).as_txn_id();
+        let reader_start = Timestamp(u64::MAX >> 1); // largest committed time
+        let reader_id = Timestamp(11).as_txn_id();
+        assert!(!writer.visible_to(reader_start, reader_id));
+    }
+
+    #[test]
+    fn own_writes_visible() {
+        let me = Timestamp(10).as_txn_id();
+        assert!(me.visible_to(Timestamp(10), me));
+    }
+
+    #[test]
+    fn committed_visibility_is_start_inclusive() {
+        let commit = Timestamp(5);
+        let none = Timestamp(0).as_txn_id();
+        assert!(commit.visible_to(Timestamp(5), none));
+        assert!(commit.visible_to(Timestamp(6), none));
+        assert!(!commit.visible_to(Timestamp(4), none));
+    }
+
+    #[test]
+    fn oracle_is_monotonic() {
+        let o = TimestampOracle::new();
+        let a = o.next();
+        let b = o.next();
+        let c = o.next();
+        assert!(a < b && b < c);
+        assert!(o.peek() > c);
+    }
+
+    #[test]
+    fn oracle_concurrent_uniqueness() {
+        use std::collections::HashSet;
+        use std::sync::Arc;
+        let o = Arc::new(TimestampOracle::new());
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let o = Arc::clone(&o);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| o.next().0).collect::<Vec<_>>()
+            }));
+        }
+        let mut seen = HashSet::new();
+        for h in handles {
+            for t in h.join().unwrap() {
+                assert!(seen.insert(t), "duplicate timestamp {t}");
+            }
+        }
+        assert_eq!(seen.len(), 4000);
+    }
+}

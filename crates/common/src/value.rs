@@ -1,0 +1,246 @@
+//! Logical types and runtime values.
+//!
+//! The storage engine itself is type-oblivious (it moves fixed-size attribute
+//! bytes and 16-byte varlen entries); this module provides the *logical* layer
+//! used by the catalog, the workloads, and the export protocols.
+
+/// Logical column types supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeId {
+    /// 1-byte signed integer.
+    TinyInt,
+    /// 2-byte signed integer.
+    SmallInt,
+    /// 4-byte signed integer.
+    Integer,
+    /// 8-byte signed integer.
+    BigInt,
+    /// 8-byte IEEE-754 double.
+    Double,
+    /// Variable-length byte string, stored as a 16-byte `VarlenEntry`.
+    Varchar,
+}
+
+impl TypeId {
+    /// Physical size of the attribute inside a block, in bytes.
+    ///
+    /// Varlens occupy the 16-byte inline entry of the relaxed format (Fig. 6).
+    #[inline]
+    pub fn attr_size(self) -> u16 {
+        match self {
+            TypeId::TinyInt => 1,
+            TypeId::SmallInt => 2,
+            TypeId::Integer => 4,
+            TypeId::BigInt | TypeId::Double => 8,
+            TypeId::Varchar => 16,
+        }
+    }
+
+    /// True for variable-length types.
+    #[inline]
+    pub fn is_varlen(self) -> bool {
+        matches!(self, TypeId::Varchar)
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TypeId::TinyInt => "tinyint",
+            TypeId::SmallInt => "smallint",
+            TypeId::Integer => "integer",
+            TypeId::BigInt => "bigint",
+            TypeId::Double => "double",
+            TypeId::Varchar => "varchar",
+        }
+    }
+}
+
+/// A runtime value of one of the [`TypeId`] types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// `TypeId::TinyInt`
+    TinyInt(i8),
+    /// `TypeId::SmallInt`
+    SmallInt(i16),
+    /// `TypeId::Integer`
+    Integer(i32),
+    /// `TypeId::BigInt`
+    BigInt(i64),
+    /// `TypeId::Double`
+    Double(f64),
+    /// `TypeId::Varchar`
+    Varchar(Vec<u8>),
+}
+
+impl Value {
+    /// Type of this value, or `None` for NULL (NULL is any type).
+    pub fn type_id(&self) -> Option<TypeId> {
+        match self {
+            Value::Null => None,
+            Value::TinyInt(_) => Some(TypeId::TinyInt),
+            Value::SmallInt(_) => Some(TypeId::SmallInt),
+            Value::Integer(_) => Some(TypeId::Integer),
+            Value::BigInt(_) => Some(TypeId::BigInt),
+            Value::Double(_) => Some(TypeId::Double),
+            Value::Varchar(_) => Some(TypeId::Varchar),
+        }
+    }
+
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Check that the value can be stored in a column of type `ty`.
+    pub fn compatible_with(&self, ty: TypeId) -> bool {
+        match self.type_id() {
+            None => true,
+            Some(t) => t == ty,
+        }
+    }
+
+    /// Encode the fixed-length payload into `out` (little-endian).
+    ///
+    /// Panics for NULL and varlen values — those are handled by the caller
+    /// (NULLs via bitmaps, varlens via `VarlenEntry`).
+    pub fn encode_fixed(&self, out: &mut [u8]) {
+        match self {
+            Value::TinyInt(v) => out[..1].copy_from_slice(&v.to_le_bytes()),
+            Value::SmallInt(v) => out[..2].copy_from_slice(&v.to_le_bytes()),
+            Value::Integer(v) => out[..4].copy_from_slice(&v.to_le_bytes()),
+            Value::BigInt(v) => out[..8].copy_from_slice(&v.to_le_bytes()),
+            Value::Double(v) => out[..8].copy_from_slice(&v.to_le_bytes()),
+            Value::Null | Value::Varchar(_) => {
+                panic!("encode_fixed on {self:?}")
+            }
+        }
+    }
+
+    /// Decode a fixed-length payload of type `ty` from `bytes`.
+    pub fn decode_fixed(ty: TypeId, bytes: &[u8]) -> Value {
+        match ty {
+            TypeId::TinyInt => Value::TinyInt(i8::from_le_bytes([bytes[0]])),
+            TypeId::SmallInt => {
+                Value::SmallInt(i16::from_le_bytes([bytes[0], bytes[1]]))
+            }
+            TypeId::Integer => {
+                Value::Integer(i32::from_le_bytes(bytes[..4].try_into().unwrap()))
+            }
+            TypeId::BigInt => {
+                Value::BigInt(i64::from_le_bytes(bytes[..8].try_into().unwrap()))
+            }
+            TypeId::Double => {
+                Value::Double(f64::from_le_bytes(bytes[..8].try_into().unwrap()))
+            }
+            TypeId::Varchar => panic!("decode_fixed on varlen type"),
+        }
+    }
+
+    /// Render as text (used by the row-oriented wire protocol and CSV).
+    pub fn to_text(&self) -> String {
+        match self {
+            Value::Null => String::new(),
+            Value::TinyInt(v) => v.to_string(),
+            Value::SmallInt(v) => v.to_string(),
+            Value::Integer(v) => v.to_string(),
+            Value::BigInt(v) => v.to_string(),
+            Value::Double(v) => format!("{v}"),
+            Value::Varchar(v) => String::from_utf8_lossy(v).into_owned(),
+        }
+    }
+
+    /// Convenience constructor for string values.
+    pub fn string(s: &str) -> Value {
+        Value::Varchar(s.as_bytes().to_vec())
+    }
+
+    /// Extract an `i64` widening any integer type; `None` otherwise.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::TinyInt(v) => Some(*v as i64),
+            Value::SmallInt(v) => Some(*v as i64),
+            Value::Integer(v) => Some(*v as i64),
+            Value::BigInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract an `f64` from `Double`; `None` otherwise.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract the byte payload of a `Varchar`; `None` otherwise.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Varchar(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_sizes_match_paper() {
+        assert_eq!(TypeId::BigInt.attr_size(), 8);
+        // Fig. 6: VarlenEntry is padded to 16 bytes.
+        assert_eq!(TypeId::Varchar.attr_size(), 16);
+        assert!(TypeId::Varchar.is_varlen());
+        assert!(!TypeId::BigInt.is_varlen());
+    }
+
+    #[test]
+    fn fixed_roundtrip_all_types() {
+        let cases = [
+            Value::TinyInt(-5),
+            Value::SmallInt(1234),
+            Value::Integer(-99999),
+            Value::BigInt(1 << 40),
+            Value::Double(3.25),
+        ];
+        for v in cases {
+            let ty = v.type_id().unwrap();
+            let mut buf = [0u8; 8];
+            v.encode_fixed(&mut buf);
+            assert_eq!(Value::decode_fixed(ty, &buf), v);
+        }
+    }
+
+    #[test]
+    fn null_compat() {
+        assert!(Value::Null.compatible_with(TypeId::BigInt));
+        assert!(Value::Null.compatible_with(TypeId::Varchar));
+        assert!(Value::BigInt(1).compatible_with(TypeId::BigInt));
+        assert!(!Value::BigInt(1).compatible_with(TypeId::Integer));
+    }
+
+    #[test]
+    #[should_panic]
+    fn encode_fixed_rejects_varlen() {
+        Value::string("x").encode_fixed(&mut [0u8; 16]);
+    }
+
+    #[test]
+    fn text_rendering() {
+        assert_eq!(Value::Null.to_text(), "");
+        assert_eq!(Value::BigInt(7).to_text(), "7");
+        assert_eq!(Value::string("hi").to_text(), "hi");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::TinyInt(3).as_i64(), Some(3));
+        assert_eq!(Value::BigInt(9).as_i64(), Some(9));
+        assert_eq!(Value::Double(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::string("ab").as_bytes(), Some(&b"ab"[..]));
+        assert_eq!(Value::Null.as_i64(), None);
+    }
+}

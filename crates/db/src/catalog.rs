@@ -1,0 +1,104 @@
+//! A minimal catalog: names → indexed table handles.
+
+use crate::table_handle::{IndexSpec, TableHandle};
+use mainline_common::schema::Schema;
+use mainline_common::{Error, Result};
+use mainline_gc::DeferredQueue;
+use mainline_txn::{DataTable, TransactionManager};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// The table catalog.
+pub struct Catalog {
+    manager: Arc<TransactionManager>,
+    deferred: Arc<DeferredQueue>,
+    tables: RwLock<HashMap<String, Arc<TableHandle>>>,
+    next_id: AtomicU32,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new(manager: Arc<TransactionManager>, deferred: Arc<DeferredQueue>) -> Self {
+        Catalog {
+            manager,
+            deferred,
+            tables: RwLock::new(HashMap::new()),
+            next_id: AtomicU32::new(1),
+        }
+    }
+
+    /// Create a table with secondary indexes.
+    pub fn create_table(
+        &self,
+        name: &str,
+        schema: Schema,
+        indexes: Vec<IndexSpec>,
+    ) -> Result<Arc<TableHandle>> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(Error::DuplicateKey);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::AcqRel);
+        let table = DataTable::new(id, schema)?;
+        let handle = TableHandle::new(
+            table,
+            indexes,
+            Arc::clone(&self.manager),
+            Arc::clone(&self.deferred),
+        );
+        tables.insert(name.to_string(), Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    /// Look a table up by name.
+    pub fn table(&self, name: &str) -> Result<Arc<TableHandle>> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| Error::NotFound(format!("table {name}")))
+    }
+
+    /// All table handles, for recovery and export sweeps.
+    pub fn all_tables(&self) -> Vec<(String, Arc<TableHandle>)> {
+        self.tables.read().iter().map(|(k, v)| (k.clone(), Arc::clone(v))).collect()
+    }
+
+    /// Map table id → data table (recovery).
+    pub fn tables_by_id(&self) -> HashMap<u32, Arc<DataTable>> {
+        self.tables
+            .read()
+            .values()
+            .map(|h| (h.table().id(), Arc::clone(h.table())))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mainline_common::schema::ColumnDef;
+    use mainline_common::value::TypeId;
+
+    fn catalog() -> Catalog {
+        Catalog::new(Arc::new(TransactionManager::new()), Arc::new(DeferredQueue::new()))
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let c = catalog();
+        let schema = Schema::new(vec![ColumnDef::new("id", TypeId::BigInt)]);
+        let h = c.create_table("t1", schema.clone(), vec![]).unwrap();
+        assert_eq!(h.table().id(), 1);
+        assert!(c.table("t1").is_ok());
+        assert!(c.table("nope").is_err());
+        // Duplicate names rejected; ids increase.
+        assert!(c.create_table("t1", schema.clone(), vec![]).is_err());
+        let h2 = c.create_table("t2", schema, vec![]).unwrap();
+        assert_eq!(h2.table().id(), 2);
+        assert_eq!(c.all_tables().len(), 2);
+        assert_eq!(c.tables_by_id().len(), 2);
+    }
+}

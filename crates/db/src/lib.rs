@@ -1,0 +1,18 @@
+//! `mainline-db` — the system facade: catalog, indexed tables, and the
+//! background machinery (GC thread, log manager, transformation pipeline)
+//! wired together the way Fig. 4 + Fig. 8 describe.
+//!
+//! Index maintenance under MVCC follows the multi-version index discipline:
+//! index entries are `(key ‖ slot)` pairs inserted eagerly and deleted
+//! *lazily* — a delete is deferred through the GC's epoch queue so that
+//! readers with old snapshots can still find the old version's entry;
+//! lookups filter candidates through tuple visibility. Aborts compensate
+//! eager inserts via transaction end-actions.
+
+pub mod catalog;
+pub mod database;
+pub mod table_handle;
+
+pub use catalog::Catalog;
+pub use database::{Database, DbConfig};
+pub use table_handle::{IndexSpec, TableHandle};

@@ -1,0 +1,60 @@
+//! `mainline-export` — external access to native Arrow storage (paper §5).
+//!
+//! Four export paths, in the paper's order of increasing invasiveness:
+//!
+//! * [`postgres`] — the row-oriented PostgreSQL v3-style wire protocol
+//!   (text-encoded `DataRow` messages); the baseline every DBMS ships.
+//! * [`vectorized`] — the column-batch binary protocol of Raasveldt &
+//!   Mühleisen [46].
+//! * [`flight`] — Arrow-Flight-style zero-copy framing: frozen blocks' Arrow
+//!   buffers go onto the wire as-is; hot blocks are transactionally
+//!   materialized first.
+//! * [`rdma`] — simulated client-side RDMA: the client copies the server's
+//!   block memory directly, no protocol framing and no server-side
+//!   serialization (see DESIGN.md for why this preserves the Fig. 15
+//!   behaviour of real ConnectX hardware).
+//!
+//! [`materialize`] converts blocks to record batches, in-place for frozen
+//! blocks (taking the reader lock of Fig. 7) and through the transactional
+//! snapshot path for hot ones.
+
+pub mod flight;
+pub mod materialize;
+pub mod postgres;
+pub mod rdma;
+pub mod transport;
+pub mod vectorized;
+
+pub use transport::{ExportStats, Loopback};
+
+use mainline_txn::{DataTable, TransactionManager};
+
+/// The export methods compared in Fig. 15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExportMethod {
+    /// Row-based PostgreSQL-style wire protocol.
+    PostgresWire,
+    /// Vectorized column-batch protocol [46].
+    Vectorized,
+    /// Arrow-Flight-style zero-copy framing.
+    Flight,
+    /// Simulated client-side RDMA.
+    Rdma,
+}
+
+/// Export a whole table through the chosen method, returning byte/row
+/// accounting. The client side fully *consumes* the data (parses it back
+/// into columnar form), so the measured cost includes deserialization — the
+/// paper's point is precisely that serialization+deserialization dominates.
+pub fn export_table(
+    method: ExportMethod,
+    manager: &TransactionManager,
+    table: &DataTable,
+) -> ExportStats {
+    match method {
+        ExportMethod::PostgresWire => postgres::export(manager, table),
+        ExportMethod::Vectorized => vectorized::export(manager, table),
+        ExportMethod::Flight => flight::export(manager, table),
+        ExportMethod::Rdma => rdma::export(manager, table),
+    }
+}

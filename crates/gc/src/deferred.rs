@@ -1,0 +1,122 @@
+//! Deferred, timestamp-ordered actions (paper §3.3 / §4.4).
+//!
+//! "We extend our GC to accept arbitrary actions associated with a timestamp
+//! in the form of a callback, which it promises to invoke after the oldest
+//! alive transaction in the system is started after the given timestamp."
+
+use mainline_common::Timestamp;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+type Action = Box<dyn FnOnce() + Send>;
+
+/// A queue of `(timestamp, action)` pairs executed once the oldest active
+/// transaction started after the timestamp.
+#[derive(Default)]
+pub struct DeferredQueue {
+    inner: Mutex<VecDeque<(Timestamp, Action)>>,
+}
+
+impl DeferredQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an action to run after `ts` falls out of the visible window.
+    pub fn defer(&self, ts: Timestamp, action: impl FnOnce() + Send + 'static) {
+        self.inner.lock().push_back((ts, Box::new(action)));
+    }
+
+    /// Run every action whose timestamp is older than `oldest_active_start`;
+    /// returns how many ran. Actions are timestamp-ordered because `defer`
+    /// is called with monotonically drawn timestamps.
+    pub fn process(&self, oldest_active_start: Timestamp) -> usize {
+        let mut ran = 0;
+        loop {
+            // Pop under the lock, run outside it (actions may re-defer).
+            let action = {
+                let mut q = self.inner.lock();
+                match q.front() {
+                    Some((ts, _)) if *ts < oldest_active_start => q.pop_front().unwrap().1,
+                    _ => break,
+                }
+            };
+            action();
+            ran += 1;
+        }
+        ran
+    }
+
+    /// Actions still waiting.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Run everything unconditionally (shutdown path: no transactions left).
+    pub fn drain_all(&self) -> usize {
+        self.process(Timestamp::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn actions_wait_for_epoch() {
+        let q = DeferredQueue::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        q.defer(Timestamp(10), move || {
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(q.process(Timestamp(5)), 0); // too early
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        assert_eq!(q.process(Timestamp(10)), 0); // boundary: still visible
+        assert_eq!(q.process(Timestamp(11)), 1);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn processes_in_order_up_to_bound() {
+        let q = DeferredQueue::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in [1u64, 5, 20] {
+            let o = Arc::clone(&order);
+            q.defer(Timestamp(i), move || o.lock().push(i));
+        }
+        assert_eq!(q.process(Timestamp(10)), 2);
+        assert_eq!(*order.lock(), vec![1, 5]);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.drain_all(), 1);
+        assert_eq!(*order.lock(), vec![1, 5, 20]);
+    }
+
+    #[test]
+    fn actions_may_redefer() {
+        let q = Arc::new(DeferredQueue::new());
+        let hits = Arc::new(AtomicUsize::new(0));
+        let q2 = Arc::clone(&q);
+        let h = Arc::clone(&hits);
+        q.defer(Timestamp(1), move || {
+            h.fetch_add(1, Ordering::SeqCst);
+            let h2 = Arc::clone(&h);
+            q2.defer(Timestamp(100), move || {
+                h2.fetch_add(10, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(q.process(Timestamp(50)), 1);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert_eq!(q.process(Timestamp(200)), 1);
+        assert_eq!(hits.load(Ordering::SeqCst), 11);
+    }
+}

@@ -1,0 +1,20 @@
+//! `mainline-gc` — garbage collection and epoch protection (paper §3.3).
+//!
+//! "At the start of each run, the GC first checks the transaction engine's
+//! transactions table for the oldest active transaction's start timestamp;
+//! changes from transactions committed before this timestamp are no longer
+//! visible and are safe for removal. The GC inspects all such transactions to
+//! compute the set of TupleSlots that have invisible records in their version
+//! chains, and then truncates them exactly once. [...] the records are safe
+//! for deallocation when the oldest running transaction in the system has a
+//! larger start timestamp than the unlink time."
+//!
+//! The same epoch machinery generalizes into a [`deferred::DeferredQueue`] of
+//! arbitrary timestamped actions (§4.4), used by the transformation pipeline
+//! to reclaim gathered buffers and recycled blocks.
+
+pub mod collector;
+pub mod deferred;
+
+pub use collector::{GarbageCollector, GcStats, ModificationObserver};
+pub use deferred::DeferredQueue;

@@ -1,0 +1,616 @@
+//! Concurrent B+-tree with per-node reader-writer latches.
+//!
+//! Concurrency protocol:
+//!
+//! * **Readers** descend with hand-over-hand read latches (lock child, release
+//!   parent).
+//! * **Writers** descend with hand-over-hand write latches and *preemptively
+//!   split* any full child before entering it, so a writer never holds more
+//!   than two node latches (parent + child) and never needs to re-traverse.
+//! * **Deletes** are lazy: keys are removed from leaves without rebalancing,
+//!   so leaf sibling pointers are immutable once set and range scans can
+//!   hand-over-hand along the leaf level without deadlock.
+//!
+//! Lock ordering is strictly top-down / left-to-right, which makes the
+//! protocol deadlock-free.
+
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Max keys per node before a preemptive split.
+const NODE_CAPACITY: usize = 64;
+
+type Key = Vec<u8>;
+type NodeRef<V> = Arc<RwLock<Node<V>>>;
+
+enum Node<V> {
+    Leaf {
+        keys: Vec<Key>,
+        vals: Vec<V>,
+        next: Option<NodeRef<V>>,
+    },
+    Inner {
+        /// `keys[i]` separates `children[i]` (< key) from `children[i+1]` (>= key).
+        keys: Vec<Key>,
+        children: Vec<NodeRef<V>>,
+    },
+}
+
+impl<V: Clone> Node<V> {
+    fn is_full(&self) -> bool {
+        match self {
+            Node::Leaf { keys, .. } => keys.len() >= NODE_CAPACITY,
+            Node::Inner { keys, .. } => keys.len() >= NODE_CAPACITY,
+        }
+    }
+
+    /// Split a full node; returns (separator key, right sibling).
+    /// For leaves the separator is the first key of the right node.
+    fn split(&mut self) -> (Key, NodeRef<V>) {
+        match self {
+            Node::Leaf { keys, vals, next } => {
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid);
+                let right_vals = vals.split_off(mid);
+                let sep = right_keys[0].clone();
+                let right = Arc::new(RwLock::new(Node::Leaf {
+                    keys: right_keys,
+                    vals: right_vals,
+                    next: next.take(),
+                }));
+                *next = Some(Arc::clone(&right));
+                (sep, right)
+            }
+            Node::Inner { keys, children } => {
+                let mid = keys.len() / 2;
+                // keys[mid] moves up; right gets keys[mid+1..], children[mid+1..].
+                let right_keys = keys.split_off(mid + 1);
+                let sep = keys.pop().unwrap();
+                let right_children = children.split_off(mid + 1);
+                let right = Arc::new(RwLock::new(Node::Inner {
+                    keys: right_keys,
+                    children: right_children,
+                }));
+                (sep, right)
+            }
+        }
+    }
+
+    /// Child index to descend into for `key`.
+    fn child_index(keys: &[Key], key: &[u8]) -> usize {
+        match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+            Ok(i) => i + 1, // equal separators go right
+            Err(i) => i,
+        }
+    }
+}
+
+/// A thread-safe ordered map from byte keys to values.
+pub struct BPlusTree<V> {
+    root: RwLock<NodeRef<V>>,
+    len: AtomicUsize,
+}
+
+impl<V: Clone> Default for BPlusTree<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V: Clone> BPlusTree<V> {
+    /// Empty tree.
+    pub fn new() -> Self {
+        BPlusTree {
+            root: RwLock::new(Arc::new(RwLock::new(Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+                next: None,
+            }))),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of live entries (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Option<V> {
+        let root_ptr = self.root.read();
+        let mut cur = Arc::clone(&root_ptr);
+        drop(root_ptr);
+        let mut guard = cur.read_arc();
+        loop {
+            match &*guard {
+                Node::Leaf { keys, vals, .. } => {
+                    return keys
+                        .binary_search_by(|k| k.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| vals[i].clone());
+                }
+                Node::Inner { keys, children } => {
+                    let idx = Node::<V>::child_index(keys, key);
+                    let child = Arc::clone(&children[idx]);
+                    let child_guard = child.read_arc();
+                    drop(guard);
+                    cur = child;
+                    let _ = &cur; // cur kept alive by guard's Arc already
+                    guard = child_guard;
+                }
+            }
+        }
+    }
+
+    /// Insert if the key is absent. Returns `false` (and leaves the tree
+    /// unchanged) if the key is already present — the unique-constraint path.
+    pub fn insert_unique(&self, key: &[u8], val: V) -> bool {
+        self.write_leaf(key, |keys, vals, pos| match pos {
+            Ok(_) => false,
+            Err(i) => {
+                keys.insert(i, key.to_vec());
+                vals.insert(i, val);
+                true
+            }
+        })
+        .map(|inserted| {
+            if inserted {
+                self.len.fetch_add(1, Ordering::Relaxed);
+            }
+            inserted
+        })
+        .unwrap()
+    }
+
+    /// Insert or overwrite; returns the previous value if any.
+    pub fn upsert(&self, key: &[u8], val: V) -> Option<V> {
+        let prev = self
+            .write_leaf(key, |keys, vals, pos| match pos {
+                Ok(i) => Some(std::mem::replace(&mut vals[i], val)),
+                Err(i) => {
+                    keys.insert(i, key.to_vec());
+                    vals.insert(i, val);
+                    None
+                }
+            })
+            .unwrap();
+        if prev.is_none() {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+        prev
+    }
+
+    /// Remove a key; returns its value if it was present.
+    pub fn remove(&self, key: &[u8]) -> Option<V> {
+        let removed = self
+            .write_leaf(key, |keys, vals, pos| match pos {
+                Ok(i) => {
+                    keys.remove(i);
+                    Some(vals.remove(i))
+                }
+                Err(_) => None,
+            })
+            .unwrap();
+        if removed.is_some() {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Descend to the leaf owning `key` with write-crabbing and preemptive
+    /// splits, then run `f(keys, vals, binary_search_result)` on the leaf.
+    fn write_leaf<R>(
+        &self,
+        key: &[u8],
+        f: impl FnOnce(&mut Vec<Key>, &mut Vec<V>, std::result::Result<usize, usize>) -> R,
+    ) -> Option<R> {
+        // Handle a full root first (the only place the root pointer changes).
+        loop {
+            let root_ptr = self.root.upgradable_read();
+            let root = Arc::clone(&root_ptr);
+            let root_guard = root.write_arc();
+            if root_guard.is_full() {
+                let mut root_ptr = parking_lot::RwLockUpgradableReadGuard::upgrade(root_ptr);
+                // Re-check under the write lock on the root pointer: another
+                // writer may have already replaced the root.
+                if !Arc::ptr_eq(&root, &*root_ptr) {
+                    continue;
+                }
+                let mut old_root = root_guard;
+                let (sep, right) = old_root.split();
+                let new_root = Arc::new(RwLock::new(Node::Inner {
+                    keys: vec![sep],
+                    children: vec![Arc::clone(&root), right],
+                }));
+                *root_ptr = new_root;
+                // Restart: descend through the new root.
+                continue;
+            }
+            drop(root_ptr);
+            // Descend holding only `guard` (parent) at a time.
+            let mut guard = root_guard;
+            loop {
+                // Preemptively split the child we are about to enter.
+                let next = match &mut *guard {
+                    Node::Leaf { keys, vals, .. } => {
+                        let pos = keys.binary_search_by(|k| k.as_slice().cmp(key));
+                        return Some(f(keys, vals, pos));
+                    }
+                    Node::Inner { keys, children } => {
+                        let idx = Node::<V>::child_index(keys, key);
+                        let child = Arc::clone(&children[idx]);
+                        let mut child_guard = child.write_arc();
+                        if child_guard.is_full() {
+                            let (sep, right) = child_guard.split();
+                            // Parent has room (invariant: we never descend
+                            // into a full node).
+                            keys.insert(idx, sep.clone());
+                            children.insert(idx + 1, Arc::clone(&right));
+                            if key >= sep.as_slice() {
+                                drop(child_guard);
+                                let right_guard = right.write_arc();
+                                right_guard
+                            } else {
+                                child_guard
+                            }
+                        } else {
+                            child_guard
+                        }
+                    }
+                };
+                guard = next;
+            }
+        }
+    }
+
+    /// Range scan over `[lo, hi)` (hi `None` = unbounded). Calls `f(key, val)`
+    /// for each entry in order; stop early by returning `false`.
+    pub fn scan_range(
+        &self,
+        lo: &[u8],
+        hi: Option<&[u8]>,
+        mut f: impl FnMut(&[u8], &V) -> bool,
+    ) {
+        // Descend to the leaf containing lo with read-crabbing.
+        let root_ptr = self.root.read();
+        let cur = Arc::clone(&root_ptr);
+        drop(root_ptr);
+        let mut guard = cur.read_arc();
+        loop {
+            match &*guard {
+                Node::Inner { keys, children } => {
+                    let idx = Node::<V>::child_index(keys, lo);
+                    let child = Arc::clone(&children[idx]);
+                    let child_guard = child.read_arc();
+                    drop(guard);
+                    guard = child_guard;
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        // Walk the leaf level.
+        loop {
+            let next = match &*guard {
+                Node::Leaf { keys, vals, next } => {
+                    let start = match keys.binary_search_by(|k| k.as_slice().cmp(lo)) {
+                        Ok(i) => i,
+                        Err(i) => i,
+                    };
+                    for i in start..keys.len() {
+                        if let Some(hi) = hi {
+                            if keys[i].as_slice() >= hi {
+                                return;
+                            }
+                        }
+                        if !f(&keys[i], &vals[i]) {
+                            return;
+                        }
+                    }
+                    match next {
+                        Some(n) => Arc::clone(n),
+                        None => return,
+                    }
+                }
+                Node::Inner { .. } => unreachable!("leaf level only"),
+            };
+            let next_guard = next.read_arc();
+            drop(guard);
+            guard = next_guard;
+        }
+    }
+
+    /// Collect up to `limit` entries in `[lo, hi)`.
+    pub fn range_collect(&self, lo: &[u8], hi: Option<&[u8]>, limit: usize) -> Vec<(Key, V)> {
+        let mut out = Vec::new();
+        self.scan_range(lo, hi, |k, v| {
+            out.push((k.to_vec(), v.clone()));
+            out.len() < limit
+        });
+        out
+    }
+
+    /// Collect every entry whose key starts with `prefix`.
+    pub fn prefix_collect(&self, prefix: &[u8], limit: usize) -> Vec<(Key, V)> {
+        let hi = crate::key::prefix_upper_bound(prefix);
+        self.range_collect(prefix, hi.as_deref(), limit)
+    }
+
+    /// First entry at or after `lo` (useful for min-lookups, e.g. the oldest
+    /// NEW_ORDER in TPC-C Delivery).
+    pub fn first_at_or_after(&self, lo: &[u8]) -> Option<(Key, V)> {
+        let mut out = None;
+        self.scan_range(lo, None, |k, v| {
+            out = Some((k.to_vec(), v.clone()));
+            false
+        });
+        out
+    }
+
+    /// Depth of the tree (test/debug aid; takes read locks down the left edge).
+    pub fn depth(&self) -> usize {
+        let root_ptr = self.root.read();
+        let cur = Arc::clone(&root_ptr);
+        drop(root_ptr);
+        let mut d = 1;
+        let mut guard = cur.read_arc();
+        loop {
+            match &*guard {
+                Node::Leaf { .. } => return d,
+                Node::Inner { children, .. } => {
+                    let child = Arc::clone(&children[0]);
+                    let child_guard = child.read_arc();
+                    drop(guard);
+                    guard = child_guard;
+                    d += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::KeyBuilder;
+
+    fn key(i: i64) -> Vec<u8> {
+        KeyBuilder::new().add_i64(i).finish()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: BPlusTree<u64> = BPlusTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&key(1)), None);
+        assert_eq!(t.remove(&key(1)), None);
+        assert_eq!(t.range_collect(&key(0), None, 10), vec![]);
+    }
+
+    #[test]
+    fn insert_get_many() {
+        let t = BPlusTree::new();
+        let n = 10_000i64;
+        for i in 0..n {
+            assert!(t.insert_unique(&key(i * 7 % n), i as u64));
+        }
+        assert_eq!(t.len(), n as usize);
+        assert!(t.depth() > 1, "tree should have split");
+        for i in 0..n {
+            assert_eq!(t.get(&key(i * 7 % n)), Some(i as u64), "key {i}");
+        }
+        assert_eq!(t.get(&key(n + 1)), None);
+    }
+
+    #[test]
+    fn unique_rejects_duplicates() {
+        let t = BPlusTree::new();
+        assert!(t.insert_unique(&key(5), 1u64));
+        assert!(!t.insert_unique(&key(5), 2u64));
+        assert_eq!(t.get(&key(5)), Some(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn upsert_overwrites() {
+        let t = BPlusTree::new();
+        assert_eq!(t.upsert(&key(1), 10u64), None);
+        assert_eq!(t.upsert(&key(1), 20u64), Some(10));
+        assert_eq!(t.get(&key(1)), Some(20));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_reinsert() {
+        let t = BPlusTree::new();
+        for i in 0..1000 {
+            t.insert_unique(&key(i), i as u64);
+        }
+        for i in (0..1000).step_by(2) {
+            assert_eq!(t.remove(&key(i)), Some(i as u64));
+        }
+        assert_eq!(t.len(), 500);
+        for i in 0..1000 {
+            assert_eq!(t.get(&key(i)).is_some(), i % 2 == 1);
+        }
+        for i in (0..1000).step_by(2) {
+            assert!(t.insert_unique(&key(i), 999));
+        }
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn range_scan_ordered() {
+        let t = BPlusTree::new();
+        let mut ids: Vec<i64> = (0..5000).collect();
+        // Insert in a scrambled order.
+        let mut rng = mainline_common::rng::Xoshiro256::seed_from_u64(1);
+        rng.shuffle(&mut ids);
+        for &i in &ids {
+            t.insert_unique(&key(i), i as u64);
+        }
+        let got = t.range_collect(&key(100), Some(&key(200)), usize::MAX);
+        assert_eq!(got.len(), 100);
+        for (i, (k, v)) in got.iter().enumerate() {
+            assert_eq!(*k, key(100 + i as i64));
+            assert_eq!(*v, 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn range_scan_limit_and_early_stop() {
+        let t = BPlusTree::new();
+        for i in 0..100 {
+            t.insert_unique(&key(i), i as u64);
+        }
+        assert_eq!(t.range_collect(&key(0), None, 7).len(), 7);
+        assert_eq!(t.first_at_or_after(&key(50)).unwrap().1, 50);
+        assert_eq!(t.first_at_or_after(&key(1000)), None);
+    }
+
+    #[test]
+    fn prefix_scan_composite() {
+        let t = BPlusTree::new();
+        for d in 0..10i32 {
+            for o in 0..20i64 {
+                let k = KeyBuilder::new().add_i32(d).add_i64(o).finish();
+                t.insert_unique(&k, (d as u64) * 100 + o as u64);
+            }
+        }
+        let prefix = KeyBuilder::new().add_i32(4).finish();
+        let got = t.prefix_collect(&prefix, usize::MAX);
+        assert_eq!(got.len(), 20);
+        assert!(got.iter().all(|(_, v)| (400..420).contains(v)));
+    }
+
+    #[test]
+    fn matches_btreemap_model_random_ops() {
+        use std::collections::BTreeMap;
+        let t = BPlusTree::new();
+        let mut model = BTreeMap::new();
+        let mut rng = mainline_common::rng::Xoshiro256::seed_from_u64(42);
+        for _ in 0..20_000 {
+            let k = key(rng.int_range(0, 500));
+            match rng.next_below(3) {
+                0 => {
+                    let inserted = t.insert_unique(&k, 7u64);
+                    let model_inserted = !model.contains_key(&k);
+                    if model_inserted {
+                        model.insert(k.clone(), 7u64);
+                    }
+                    assert_eq!(inserted, model_inserted);
+                }
+                1 => {
+                    assert_eq!(t.remove(&k), model.remove(&k));
+                }
+                _ => {
+                    assert_eq!(t.get(&k), model.get(&k).copied());
+                }
+            }
+        }
+        assert_eq!(t.len(), model.len());
+        let all = t.range_collect(&[], None, usize::MAX);
+        let model_all: Vec<_> = model.into_iter().collect();
+        assert_eq!(all, model_all);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let t = Arc::new(BPlusTree::new());
+        let threads = 8;
+        let per = 5000;
+        let mut handles = vec![];
+        for tid in 0..threads {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per {
+                    let k = key((tid * per + i) as i64);
+                    assert!(t.insert_unique(&k, (tid * per + i) as u64));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), threads * per);
+        for i in 0..(threads * per) as i64 {
+            assert_eq!(t.get(&key(i)), Some(i as u64), "key {i}");
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_readers_writers_scanners() {
+        let t = Arc::new(BPlusTree::new());
+        for i in 0..2000 {
+            t.insert_unique(&key(i), i as u64);
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = vec![];
+        // Writers insert/remove high keys.
+        for tid in 0..3u64 {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut i = 0i64;
+                while !stop.load(Ordering::Relaxed) {
+                    let k = key(10_000 + (tid as i64) * 1_000_000 + i);
+                    t.insert_unique(&k, i as u64);
+                    if i % 2 == 0 {
+                        t.remove(&k);
+                    }
+                    i += 1;
+                }
+            }));
+        }
+        // Scanners check the stable low range is intact and ordered.
+        for _ in 0..3 {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let got = t.range_collect(&key(0), Some(&key(2000)), usize::MAX);
+                    assert_eq!(got.len(), 2000);
+                    assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+                }
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_race_exactly_one_wins() {
+        let t = Arc::new(BPlusTree::new());
+        let barrier = Arc::new(std::sync::Barrier::new(8));
+        let wins = Arc::new(AtomicUsize::new(0));
+        let mut handles = vec![];
+        for tid in 0..8u64 {
+            let t = Arc::clone(&t);
+            let barrier = Arc::clone(&barrier);
+            let wins = Arc::clone(&wins);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500i64 {
+                    if i % 50 == 0 {
+                        barrier.wait();
+                    }
+                    if t.insert_unique(&key(i), tid) {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(wins.load(Ordering::Relaxed), 500);
+        assert_eq!(t.len(), 500);
+    }
+}

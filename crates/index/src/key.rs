@@ -1,0 +1,168 @@
+//! Memcmp-comparable composite key encoding.
+//!
+//! Index keys are byte strings compared lexicographically. The encoders here
+//! guarantee that the byte order matches the logical order of the encoded
+//! tuple of values:
+//!
+//! * integers: big-endian with the sign bit flipped,
+//! * doubles: IEEE-754 total-order trick,
+//! * byte strings: `0x00` escaped as `0x00 0xFF`, terminated by `0x00 0x00`
+//!   (so no encoded string is a strict prefix of another).
+
+/// Incremental builder for composite keys.
+#[derive(Debug, Default, Clone)]
+pub struct KeyBuilder {
+    bytes: Vec<u8>,
+}
+
+impl KeyBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        KeyBuilder { bytes: Vec::with_capacity(24) }
+    }
+
+    /// Append an `i64` component.
+    pub fn add_i64(mut self, v: i64) -> Self {
+        let flipped = (v as u64) ^ (1 << 63);
+        self.bytes.extend_from_slice(&flipped.to_be_bytes());
+        self
+    }
+
+    /// Append an `i32` component.
+    pub fn add_i32(mut self, v: i32) -> Self {
+        let flipped = (v as u32) ^ (1 << 31);
+        self.bytes.extend_from_slice(&flipped.to_be_bytes());
+        self
+    }
+
+    /// Append an `i16` component.
+    pub fn add_i16(mut self, v: i16) -> Self {
+        let flipped = (v as u16) ^ (1 << 15);
+        self.bytes.extend_from_slice(&flipped.to_be_bytes());
+        self
+    }
+
+    /// Append an `i8` component.
+    pub fn add_i8(mut self, v: i8) -> Self {
+        self.bytes.push((v as u8) ^ (1 << 7));
+        self
+    }
+
+    /// Append an `f64` component (total order; NaNs sort high).
+    pub fn add_f64(mut self, v: f64) -> Self {
+        let bits = v.to_bits();
+        // If negative, flip all bits; if positive, flip the sign bit.
+        let ordered = if bits & (1 << 63) != 0 { !bits } else { bits ^ (1 << 63) };
+        self.bytes.extend_from_slice(&ordered.to_be_bytes());
+        self
+    }
+
+    /// Append a byte-string component (escaped and terminated).
+    pub fn add_bytes(mut self, s: &[u8]) -> Self {
+        for &b in s {
+            self.bytes.push(b);
+            if b == 0x00 {
+                self.bytes.push(0xFF);
+            }
+        }
+        self.bytes.extend_from_slice(&[0x00, 0x00]);
+        self
+    }
+
+    /// Finish into the key bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// The exclusive upper bound for a prefix scan: the shortest key strictly
+/// greater than every key starting with `prefix` (last non-`0xFF` byte
+/// incremented, trailing `0xFF`s dropped). `None` means "unbounded above"
+/// (the prefix is all `0xFF`s).
+pub fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut hi = prefix.to_vec();
+    while let Some(&last) = hi.last() {
+        if last == 0xFF {
+            hi.pop();
+        } else {
+            *hi.last_mut().unwrap() = last + 1;
+            return Some(hi);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(f: impl FnOnce(KeyBuilder) -> KeyBuilder) -> Vec<u8> {
+        f(KeyBuilder::new()).finish()
+    }
+
+    #[test]
+    fn i64_order_preserved() {
+        let vals = [i64::MIN, -100, -1, 0, 1, 100, i64::MAX];
+        let keys: Vec<_> = vals.iter().map(|&v| k(|b| b.add_i64(v))).collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn mixed_width_ints() {
+        for vals in [[-5i64, 3], [0, 1], [-1, 0]] {
+            assert!(k(|b| b.add_i32(vals[0] as i32)) < k(|b| b.add_i32(vals[1] as i32)));
+            assert!(k(|b| b.add_i16(vals[0] as i16)) < k(|b| b.add_i16(vals[1] as i16)));
+            assert!(k(|b| b.add_i8(vals[0] as i8)) < k(|b| b.add_i8(vals[1] as i8)));
+        }
+    }
+
+    #[test]
+    fn f64_order_preserved() {
+        let vals = [f64::NEG_INFINITY, -2.5, -0.0, 0.0, 1.0, f64::INFINITY];
+        let keys: Vec<_> = vals.iter().map(|&v| k(|b| b.add_f64(v))).collect();
+        for w in keys.windows(2) {
+            assert!(w[0] <= w[1], "{w:?}");
+        }
+        assert!(k(|b| b.add_f64(-1.0)) < k(|b| b.add_f64(1.0)));
+    }
+
+    #[test]
+    fn strings_not_prefix_confusable() {
+        // "ab" < "ab\0" < "abc" logically; encoded order must match.
+        let ab = k(|b| b.add_bytes(b"ab"));
+        let ab0 = k(|b| b.add_bytes(b"ab\0"));
+        let abc = k(|b| b.add_bytes(b"abc"));
+        assert!(ab < ab0);
+        assert!(ab0 < abc);
+    }
+
+    #[test]
+    fn composite_component_order_dominates() {
+        // (1, "zzz") < (2, "aaa")
+        let a = k(|b| b.add_i32(1).add_bytes(b"zzz"));
+        let b_ = k(|b| b.add_i32(2).add_bytes(b"aaa"));
+        assert!(a < b_);
+        // Same first component: second decides.
+        let c = k(|b| b.add_i32(1).add_bytes(b"aaa"));
+        assert!(c < a);
+    }
+
+    #[test]
+    fn prefix_bound_covers_extensions() {
+        let prefix = KeyBuilder::new().add_i32(7).finish();
+        let hi = prefix_upper_bound(&prefix).unwrap();
+        let inside = KeyBuilder::new().add_i32(7).add_i64(i64::MAX).finish();
+        let outside = KeyBuilder::new().add_i32(8).finish();
+        assert!(inside >= prefix && inside < hi);
+        assert!(outside >= hi);
+    }
+
+    #[test]
+    fn prefix_bound_carries_and_saturates() {
+        assert_eq!(prefix_upper_bound(&[1, 0xFF]), Some(vec![2]));
+        assert_eq!(prefix_upper_bound(&[0xFF, 0xFF]), None);
+        assert_eq!(prefix_upper_bound(&[]), None);
+    }
+}

@@ -1,0 +1,15 @@
+//! `mainline-index` — a concurrent ordered index substrate.
+//!
+//! The paper's system uses the OpenBw-Tree for all indexes (§6.1). What the
+//! experiments actually require from the index is: a thread-safe ordered map
+//! from memcmp-comparable composite keys to `TupleSlot`s, with unique-insert
+//! (for constraint checks), point lookup, deletion, and range scans (TPC-C's
+//! ORDER_LINE and NEW_ORDER access paths). This crate provides that as a
+//! B+-tree with per-node reader-writer latches and preemptive splits, plus a
+//! composite-key encoder that preserves ordering under byte comparison.
+
+pub mod bptree;
+pub mod key;
+
+pub use bptree::BPlusTree;
+pub use key::KeyBuilder;

@@ -1,0 +1,150 @@
+//! Per-block canonical Arrow side storage (paper §4.3 "Gathering").
+//!
+//! The gathering phase moves a block's variable-length values into one
+//! contiguous buffer per column (or a dictionary), then rewrites the block's
+//! `VarlenEntry`s to point into it. Those buffers cannot live inside the
+//! 1 MB block (varlen payload is unbounded), so each block carries this side
+//! structure.
+//!
+//! Lifetime rule: a gathered buffer may still be referenced by entries copied
+//! into concurrent readers even after the block reverts to Hot and is later
+//! re-gathered. Replaced buffers are therefore handed to the GC's deferred
+//! action queue instead of being dropped inline (§4.4 "Memory Management").
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Canonical storage for one varlen column of a frozen block.
+#[derive(Debug)]
+pub enum GatheredColumn {
+    /// Arrow varbinary: `offsets[i]..offsets[i+1]` into `values`.
+    Gathered {
+        /// n+1 offsets (slot-indexed; gaps have zero length).
+        offsets: Vec<i32>,
+        /// Contiguous value bytes. Boxed slice: the address is stable, which
+        /// is what block entries point into.
+        values: Box<[u8]>,
+        /// Arrow metadata computed during the gather pass.
+        null_count: usize,
+    },
+    /// Dictionary compression (§4.4): per-slot codes into a sorted dict.
+    Dictionary {
+        /// Per-slot dictionary codes (-1 for NULL/gap).
+        codes: Vec<i32>,
+        /// Dictionary word offsets (k+1).
+        dict_offsets: Vec<i32>,
+        /// Dictionary word bytes (stable address).
+        dict_values: Box<[u8]>,
+        /// Arrow metadata computed during the gather pass.
+        null_count: usize,
+    },
+}
+
+impl GatheredColumn {
+    /// Total bytes held by this gathered column.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            GatheredColumn::Gathered { offsets, values, .. } => {
+                offsets.len() * 4 + values.len()
+            }
+            GatheredColumn::Dictionary { codes, dict_offsets, dict_values, .. } => {
+                codes.len() * 4 + dict_offsets.len() * 4 + dict_values.len()
+            }
+        }
+    }
+
+    /// NULL count metadata.
+    pub fn null_count(&self) -> usize {
+        match self {
+            GatheredColumn::Gathered { null_count, .. } => *null_count,
+            GatheredColumn::Dictionary { null_count, .. } => *null_count,
+        }
+    }
+}
+
+/// The per-block map from varlen storage column id to its canonical buffers.
+#[derive(Default)]
+pub struct ArrowSide {
+    cols: Mutex<HashMap<u16, Arc<GatheredColumn>>>,
+}
+
+impl ArrowSide {
+    /// Empty side storage.
+    pub fn new() -> Self {
+        ArrowSide { cols: Mutex::new(HashMap::new()) }
+    }
+
+    /// Install the gathered buffers for `col`, returning the replaced ones
+    /// (the caller must defer-drop them through the GC).
+    #[must_use = "replaced buffers must be defer-dropped via the GC"]
+    pub fn install(&self, col: u16, data: Arc<GatheredColumn>) -> Option<Arc<GatheredColumn>> {
+        self.cols.lock().insert(col, data)
+    }
+
+    /// Current buffers for `col`, if the block has been gathered.
+    pub fn get(&self, col: u16) -> Option<Arc<GatheredColumn>> {
+        self.cols.lock().get(&col).cloned()
+    }
+
+    /// Remove all gathered columns (table drop path); returns them for
+    /// deferred dropping.
+    #[must_use = "removed buffers must be defer-dropped via the GC"]
+    pub fn take_all(&self) -> Vec<Arc<GatheredColumn>> {
+        self.cols.lock().drain().map(|(_, v)| v).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GatheredColumn {
+        GatheredColumn::Gathered {
+            offsets: vec![0, 3, 3, 7],
+            values: b"JOEMARK".to_vec().into_boxed_slice(),
+            null_count: 1,
+        }
+    }
+
+    #[test]
+    fn install_and_get() {
+        let side = ArrowSide::new();
+        assert!(side.get(2).is_none());
+        assert!(side.install(2, Arc::new(sample())).is_none());
+        let got = side.get(2).unwrap();
+        assert_eq!(got.null_count(), 1);
+        assert_eq!(got.byte_size(), 4 * 4 + 7);
+    }
+
+    #[test]
+    fn reinstall_returns_old() {
+        let side = ArrowSide::new();
+        let first = Arc::new(sample());
+        assert!(side.install(2, Arc::clone(&first)).is_none());
+        let old = side.install(2, Arc::new(sample())).unwrap();
+        assert!(Arc::ptr_eq(&old, &first));
+    }
+
+    #[test]
+    fn take_all_clears() {
+        let side = ArrowSide::new();
+        let _ = side.install(1, Arc::new(sample()));
+        let _ = side.install(2, Arc::new(sample()));
+        let all = side.take_all();
+        assert_eq!(all.len(), 2);
+        assert!(side.get(1).is_none());
+    }
+
+    #[test]
+    fn dictionary_sizes() {
+        let d = GatheredColumn::Dictionary {
+            codes: vec![0, 1, -1],
+            dict_offsets: vec![0, 1, 2],
+            dict_values: b"ab".to_vec().into_boxed_slice(),
+            null_count: 1,
+        };
+        assert_eq!(d.byte_size(), 3 * 4 + 3 * 4 + 2);
+        assert_eq!(d.null_count(), 1);
+    }
+}

@@ -1,0 +1,300 @@
+//! Block layouts: the physical arrangement of a table's attributes inside a
+//! 1 MB block (paper §3.2).
+//!
+//! "Every block has a layout object that consists of (1) the number of slots
+//! within a block, (2) a list of attribute sizes, and (3) the location offset
+//! for each column from the head of the block. Each column and its bitmap
+//! are aligned at 8-byte boundaries. The system calculates layout once for a
+//! table when the application creates it."
+//!
+//! Column 0 of every layout is the hidden **version pointer column** (§3.1):
+//! 8 bytes per slot holding the head of the tuple's version chain, invisible
+//! to Arrow readers. User columns are numbered from 1.
+
+use crate::raw_block::{BLOCK_SIZE, HEADER_SIZE};
+use mainline_common::bitmap::bytes_for_bits_aligned;
+use mainline_common::schema::Schema;
+
+/// Storage index of the hidden version-pointer column.
+pub const VERSION_COL: u16 = 0;
+
+/// Number of reserved (hidden) leading columns.
+pub const NUM_RESERVED_COLS: usize = 1;
+
+/// Physical layout of one table's blocks. Immutable once computed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockLayout {
+    /// Per-column attribute sizes in bytes, including the version column.
+    attr_sizes: Vec<u16>,
+    /// Which columns hold varlen entries (parallel to `attr_sizes`).
+    varlen: Vec<bool>,
+    /// Tuple slots per block.
+    num_slots: u32,
+    /// Offset of the allocation bitmap from the block head.
+    alloc_bitmap_offset: u32,
+    /// Per-column null-bitmap offsets from the block head.
+    bitmap_offsets: Vec<u32>,
+    /// Per-column data offsets from the block head.
+    column_offsets: Vec<u32>,
+    /// Total bytes used (<= BLOCK_SIZE).
+    used_bytes: u32,
+}
+
+impl BlockLayout {
+    /// Compute the layout for a table schema.
+    ///
+    /// Returns an error if even a single tuple cannot fit in a block.
+    pub fn from_schema(schema: &Schema) -> Result<BlockLayout, mainline_common::Error> {
+        let mut attr_sizes: Vec<u16> = Vec::with_capacity(schema.len() + NUM_RESERVED_COLS);
+        let mut varlen = Vec::with_capacity(schema.len() + NUM_RESERVED_COLS);
+        attr_sizes.push(8); // version pointer column
+        varlen.push(false);
+        for c in schema.columns() {
+            attr_sizes.push(c.ty.attr_size());
+            varlen.push(c.ty.is_varlen());
+        }
+        Self::from_attr_sizes(attr_sizes, varlen)
+    }
+
+    /// Compute a layout from raw attribute sizes (first entry must be the
+    /// 8-byte version column). Exposed for synthetic-workload layouts
+    /// (e.g. Fig. 11's simulated row-store with one wide column).
+    pub fn from_attr_sizes(
+        attr_sizes: Vec<u16>,
+        varlen: Vec<bool>,
+    ) -> Result<BlockLayout, mainline_common::Error> {
+        assert_eq!(attr_sizes.len(), varlen.len());
+        assert_eq!(attr_sizes[0], 8, "column 0 must be the 8-byte version column");
+        if attr_sizes.iter().any(|&s| s == 0) {
+            return Err(mainline_common::Error::Layout("zero-size attribute".into()));
+        }
+        // Find the largest slot count that fits via binary search on the
+        // monotone space function.
+        let fits = |n: u32| Self::space_for(&attr_sizes, n) <= BLOCK_SIZE;
+        if !fits(1) {
+            return Err(mainline_common::Error::Layout(format!(
+                "tuple too large for a {BLOCK_SIZE}-byte block"
+            )));
+        }
+        let mut lo = 1u32; // fits
+        let mut hi = BLOCK_SIZE as u32; // does not fit (conservative)
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if fits(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let num_slots = lo;
+
+        // Materialize offsets.
+        let mut cursor = HEADER_SIZE as u32;
+        let alloc_bitmap_offset = cursor;
+        cursor += bytes_for_bits_aligned(num_slots as usize) as u32;
+        let mut bitmap_offsets = Vec::with_capacity(attr_sizes.len());
+        let mut column_offsets = Vec::with_capacity(attr_sizes.len());
+        for &size in &attr_sizes {
+            bitmap_offsets.push(cursor);
+            cursor += bytes_for_bits_aligned(num_slots as usize) as u32;
+            column_offsets.push(cursor);
+            cursor += pad8(num_slots as usize * size as usize) as u32;
+        }
+        debug_assert!(cursor as usize <= BLOCK_SIZE);
+        Ok(BlockLayout {
+            attr_sizes,
+            varlen,
+            num_slots,
+            alloc_bitmap_offset,
+            bitmap_offsets,
+            column_offsets,
+            used_bytes: cursor,
+        })
+    }
+
+    fn space_for(attr_sizes: &[u16], n: u32) -> usize {
+        let n = n as usize;
+        let mut total = HEADER_SIZE + bytes_for_bits_aligned(n); // alloc bitmap
+        for &size in attr_sizes {
+            total += bytes_for_bits_aligned(n); // null bitmap
+            total += pad8(n * size as usize);
+        }
+        total
+    }
+
+    /// Slots per block.
+    #[inline]
+    pub fn num_slots(&self) -> u32 {
+        self.num_slots
+    }
+
+    /// Number of columns including the version column.
+    #[inline]
+    pub fn num_cols(&self) -> usize {
+        self.attr_sizes.len()
+    }
+
+    /// Number of user-visible columns.
+    #[inline]
+    pub fn num_user_cols(&self) -> usize {
+        self.attr_sizes.len() - NUM_RESERVED_COLS
+    }
+
+    /// Size in bytes of column `col`'s attribute.
+    #[inline]
+    pub fn attr_size(&self, col: u16) -> u16 {
+        self.attr_sizes[col as usize]
+    }
+
+    /// True if column `col` stores varlen entries.
+    #[inline]
+    pub fn is_varlen(&self, col: u16) -> bool {
+        self.varlen[col as usize]
+    }
+
+    /// Storage ids of all user columns (1-based).
+    pub fn user_cols(&self) -> impl Iterator<Item = u16> + '_ {
+        (NUM_RESERVED_COLS as u16..self.num_cols() as u16).map(|c| c)
+    }
+
+    /// Storage ids of the varlen user columns.
+    pub fn varlen_cols(&self) -> impl Iterator<Item = u16> + '_ {
+        self.user_cols().filter(|&c| self.is_varlen(c))
+    }
+
+    /// Offset of the allocation bitmap from the block head.
+    #[inline]
+    pub fn alloc_bitmap_offset(&self) -> u32 {
+        self.alloc_bitmap_offset
+    }
+
+    /// Offset of column `col`'s null bitmap from the block head.
+    #[inline]
+    pub fn bitmap_offset(&self, col: u16) -> u32 {
+        self.bitmap_offsets[col as usize]
+    }
+
+    /// Offset of column `col`'s data region from the block head.
+    #[inline]
+    pub fn column_offset(&self, col: u16) -> u32 {
+        self.column_offsets[col as usize]
+    }
+
+    /// Bytes of the block actually used by this layout.
+    #[inline]
+    pub fn used_bytes(&self) -> u32 {
+        self.used_bytes
+    }
+
+    /// Sum of the per-tuple attribute sizes (excluding bitmaps).
+    pub fn tuple_size(&self) -> usize {
+        self.attr_sizes.iter().map(|&s| s as usize).sum()
+    }
+}
+
+#[inline]
+fn pad8(n: usize) -> usize {
+    (n + 7) & !7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mainline_common::schema::ColumnDef;
+    use mainline_common::value::TypeId;
+
+    fn schema_2col() -> Schema {
+        // The §6.2 micro-benchmark table: 8-byte int + 12..24-byte varlen.
+        Schema::new(vec![
+            ColumnDef::new("fixed", TypeId::BigInt),
+            ColumnDef::new("var", TypeId::Varchar),
+        ])
+    }
+
+    #[test]
+    fn paper_microbench_layout_holds_about_32k_tuples() {
+        let l = BlockLayout::from_schema(&schema_2col()).unwrap();
+        // Paper §6.2: "each block holds ~32K tuples" for this layout.
+        assert!(
+            (30_000..34_000).contains(&l.num_slots()),
+            "num_slots = {}",
+            l.num_slots()
+        );
+        assert!(l.used_bytes() as usize <= BLOCK_SIZE);
+        // Adding one more slot must not fit.
+        let bigger = BlockLayout::space_for(&[8, 8, 16], l.num_slots() + 1);
+        assert!(bigger > BLOCK_SIZE);
+    }
+
+    #[test]
+    fn offsets_are_8_aligned_and_disjoint() {
+        let l = BlockLayout::from_schema(&schema_2col()).unwrap();
+        assert_eq!(l.alloc_bitmap_offset() % 8, 0);
+        let mut prev_end = l.alloc_bitmap_offset() as usize
+            + mainline_common::bitmap::bytes_for_bits_aligned(l.num_slots() as usize);
+        for c in 0..l.num_cols() as u16 {
+            assert_eq!(l.bitmap_offset(c) % 8, 0);
+            assert_eq!(l.column_offset(c) % 8, 0);
+            assert!(l.bitmap_offset(c) as usize >= prev_end);
+            assert!(l.column_offset(c) > l.bitmap_offset(c));
+            prev_end = l.column_offset(c) as usize
+                + l.num_slots() as usize * l.attr_size(c) as usize;
+        }
+        assert!(prev_end <= BLOCK_SIZE);
+    }
+
+    #[test]
+    fn version_column_reserved() {
+        let l = BlockLayout::from_schema(&schema_2col()).unwrap();
+        assert_eq!(l.attr_size(VERSION_COL), 8);
+        assert_eq!(l.num_cols(), 3);
+        assert_eq!(l.num_user_cols(), 2);
+        assert_eq!(l.user_cols().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(l.varlen_cols().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn wide_fixed_layout() {
+        // 64 x 8-byte attributes (Fig. 11 extreme).
+        let cols: Vec<ColumnDef> = (0..64)
+            .map(|i| ColumnDef::new(&format!("a{i}"), TypeId::BigInt))
+            .collect();
+        let l = BlockLayout::from_schema(&Schema::new(cols)).unwrap();
+        // 65 * 8 bytes/tuple + bitmaps: ~2000 slots expected.
+        assert!(l.num_slots() > 1500, "num_slots={}", l.num_slots());
+        assert!(l.used_bytes() as usize <= BLOCK_SIZE);
+    }
+
+    #[test]
+    fn simulated_row_store_layout() {
+        // One 512-byte "row" column (Fig. 11 row-store simulation).
+        let l = BlockLayout::from_attr_sizes(vec![8, 512], vec![false, false]).unwrap();
+        assert!(l.num_slots() >= 1900, "num_slots={}", l.num_slots());
+    }
+
+    #[test]
+    fn oversized_tuple_rejected() {
+        let r = BlockLayout::from_attr_sizes(
+            vec![8, (BLOCK_SIZE as u32) as u16],
+            vec![false, false],
+        );
+        // u16 can't even express it; use many columns instead.
+        drop(r);
+        let sizes: Vec<u16> = std::iter::once(8).chain((0..40_000).map(|_| 32)).collect();
+        let varlen = vec![false; sizes.len()];
+        assert!(BlockLayout::from_attr_sizes(sizes, varlen).is_err());
+    }
+
+    #[test]
+    fn small_types_have_small_footprint() {
+        let s = Schema::new(vec![
+            ColumnDef::new("t", TypeId::TinyInt),
+            ColumnDef::new("s", TypeId::SmallInt),
+            ColumnDef::new("i", TypeId::Integer),
+        ]);
+        let l = BlockLayout::from_schema(&s).unwrap();
+        assert_eq!(l.tuple_size(), 8 + 1 + 2 + 4);
+        // ~1MB / (15 bytes + 4 bitmap bits) → north of 55K slots.
+        assert!(l.num_slots() > 55_000);
+    }
+}

@@ -1,0 +1,39 @@
+//! `mainline-storage` — physical storage for the relaxed Arrow format.
+//!
+//! Implements the paper's §3.2 and §4.1:
+//!
+//! * [`raw_block`] — 1 MB blocks aligned at 1 MB boundaries, with the header
+//!   (insert head, state flag, reader counter, layout pointer, allocation
+//!   bitmap) embedded at the start of the block.
+//! * [`layout`] — PAX-style per-table block layouts: slot counts, per-column
+//!   sizes, and 8-byte-aligned column/bitmap offsets (Fig. 5 vicinity).
+//! * [`tuple_slot`] — physiological tuple identifiers packing the block
+//!   pointer and slot offset into one 64-bit word (Fig. 5).
+//! * [`varlen`] — the 16-byte `VarlenEntry` of the relaxed format (Fig. 6):
+//!   4-byte size (with an ownership bit), 4-byte prefix, 8-byte pointer, and
+//!   ≤12-byte inlining.
+//! * [`block_state`] — the Hot/Cooling/Freezing/Frozen state machine and the
+//!   reader counter that acts as a reader-writer lock for frozen blocks
+//!   (Fig. 7).
+//! * [`projected_row`] — materialized partial rows used as transaction
+//!   inputs/outputs and delta images.
+//! * [`access`] — the tuple-access strategy: raw typed readers/writers over
+//!   (block, layout, slot) triples.
+//! * [`arrow_side`] — per-block canonical Arrow buffers installed by the
+//!   gathering phase (offsets+values, or dictionary).
+
+pub mod access;
+pub mod arrow_side;
+pub mod block_state;
+pub mod layout;
+pub mod projected_row;
+pub mod raw_block;
+pub mod tuple_slot;
+pub mod varlen;
+
+pub use block_state::BlockState;
+pub use layout::{BlockLayout, VERSION_COL};
+pub use projected_row::ProjectedRow;
+pub use raw_block::{Block, RawBlock, BLOCK_SIZE};
+pub use tuple_slot::TupleSlot;
+pub use varlen::VarlenEntry;

@@ -1,0 +1,341 @@
+//! Raw 1 MB storage blocks, aligned at 1 MB boundaries (paper §3.2, Fig. 5).
+//!
+//! Alignment lets a [`crate::tuple_slot::TupleSlot`] pack the block pointer
+//! and the slot offset into a single 64-bit word: the low 20 bits of any
+//! block address are zero.
+//!
+//! The **block header** lives at the start of the block itself so the
+//! transaction hot path never consults a side table:
+//!
+//! ```text
+//! offset  0: u32  insert_head   (atomic) — next never-used slot
+//! offset  4: u32  state         (atomic) — Hot/Cooling/Freezing/Frozen
+//! offset  8: u32  reader_count  (atomic) — in-place Arrow readers (Fig. 7)
+//! offset 12: u32  _reserved
+//! offset 16: u64  layout pointer — *const BlockLayout owned by the table
+//! offset 24: allocation bitmap, then per-column [null bitmap, data]
+//! ```
+
+use crate::layout::BlockLayout;
+use std::alloc::{alloc_zeroed, dealloc, Layout};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Block size and alignment: 1 MB.
+pub const BLOCK_SIZE: usize = 1 << 20;
+
+/// Number of low-order zero bits in any block address.
+pub const BLOCK_ALIGN_BITS: u32 = 20;
+
+/// Bytes reserved for the fixed block header.
+pub const HEADER_SIZE: usize = 24;
+
+/// Byte offsets of the header fields.
+mod header {
+    pub const INSERT_HEAD: usize = 0;
+    pub const STATE: usize = 4;
+    pub const READER_COUNT: usize = 8;
+    pub const WRITER_COUNT: usize = 12;
+    pub const LAYOUT_PTR: usize = 16;
+}
+
+/// An owning handle to one raw, 1 MB-aligned, zero-initialized block.
+pub struct RawBlock {
+    ptr: NonNull<u8>,
+}
+
+unsafe impl Send for RawBlock {}
+unsafe impl Sync for RawBlock {}
+
+impl RawBlock {
+    /// Allocate a zeroed block and stamp the layout pointer into its header.
+    ///
+    /// The caller must keep `layout` alive for as long as the block exists;
+    /// tables guarantee this by owning both (blocks never outlive the table).
+    pub fn new(layout: &Arc<BlockLayout>) -> Self {
+        let mem_layout = Layout::from_size_align(BLOCK_SIZE, BLOCK_SIZE).unwrap();
+        let raw = unsafe { alloc_zeroed(mem_layout) };
+        let ptr = NonNull::new(raw).expect("block allocation failed");
+        debug_assert_eq!(raw as usize % BLOCK_SIZE, 0, "allocator must honour 1MB alignment");
+        let block = RawBlock { ptr };
+        unsafe {
+            (raw.add(header::LAYOUT_PTR) as *mut u64)
+                .write(Arc::as_ptr(layout) as usize as u64);
+        }
+        block
+    }
+
+    /// Base pointer of the block.
+    #[inline]
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.ptr.as_ptr()
+    }
+
+    /// Recover the layout from the header.
+    ///
+    /// # Safety
+    /// The layout Arc stamped at construction must still be alive.
+    #[inline]
+    pub unsafe fn layout<'a>(&self) -> &'a BlockLayout {
+        layout_of(self.ptr.as_ptr())
+    }
+}
+
+impl Drop for RawBlock {
+    fn drop(&mut self) {
+        unsafe {
+            dealloc(
+                self.ptr.as_ptr(),
+                Layout::from_size_align(BLOCK_SIZE, BLOCK_SIZE).unwrap(),
+            )
+        }
+    }
+}
+
+/// Read the layout pointer out of a raw block address.
+///
+/// # Safety
+/// `block` must be a live block created by [`RawBlock::new`] whose layout is
+/// still alive.
+#[inline]
+pub unsafe fn layout_of<'a>(block: *const u8) -> &'a BlockLayout {
+    let raw = (block.add(header::LAYOUT_PTR) as *const u64).read() as usize;
+    &*(raw as *const BlockLayout)
+}
+
+/// Typed access to the atomic header fields of a block address.
+#[derive(Clone, Copy)]
+pub struct BlockHeader {
+    base: *mut u8,
+}
+
+unsafe impl Send for BlockHeader {}
+
+impl BlockHeader {
+    /// Wrap a block base address.
+    ///
+    /// # Safety
+    /// `base` must point at a live block for the lifetime of all uses.
+    #[inline]
+    pub unsafe fn new(base: *mut u8) -> Self {
+        BlockHeader { base }
+    }
+
+    #[inline]
+    fn atomic(&self, off: usize) -> &AtomicU32 {
+        unsafe { &*(self.base.add(off) as *const AtomicU32) }
+    }
+
+    /// The insert head: index of the next never-allocated slot.
+    #[inline]
+    pub fn insert_head(&self) -> u32 {
+        self.atomic(header::INSERT_HEAD).load(Ordering::Acquire)
+    }
+
+    /// Claim `n` fresh slots; returns the first claimed index (may exceed
+    /// `num_slots`, in which case the caller must try another block).
+    #[inline]
+    pub fn claim_slots(&self, n: u32) -> u32 {
+        self.atomic(header::INSERT_HEAD).fetch_add(n, Ordering::AcqRel)
+    }
+
+    /// Set the insert head (used by recovery and compaction bookkeeping).
+    #[inline]
+    pub fn set_insert_head(&self, v: u32) {
+        self.atomic(header::INSERT_HEAD).store(v, Ordering::Release)
+    }
+
+    /// Raw state flag (see [`crate::block_state::BlockState`]). SeqCst: see
+    /// [`Self::writer_count`].
+    #[inline]
+    pub fn state_raw(&self) -> u32 {
+        self.atomic(header::STATE).load(Ordering::SeqCst)
+    }
+
+    /// Store the raw state flag.
+    #[inline]
+    pub fn set_state_raw(&self, v: u32) {
+        self.atomic(header::STATE).store(v, Ordering::SeqCst)
+    }
+
+    /// CAS on the raw state flag.
+    #[inline]
+    pub fn cas_state_raw(&self, from: u32, to: u32) -> bool {
+        self.atomic(header::STATE)
+            .compare_exchange(from, to, Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+    }
+
+    /// Number of in-place readers currently in the block.
+    #[inline]
+    pub fn reader_count(&self) -> u32 {
+        self.atomic(header::READER_COUNT).load(Ordering::Acquire)
+    }
+
+    /// Register an in-place reader.
+    #[inline]
+    pub fn inc_readers(&self) {
+        self.atomic(header::READER_COUNT).fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Deregister an in-place reader.
+    #[inline]
+    pub fn dec_readers(&self) {
+        self.atomic(header::READER_COUNT).fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Number of writers currently mid-operation in the block.
+    ///
+    /// SeqCst pairs with the freeze path's state CAS: a writer that passed
+    /// its post-increment state re-check is guaranteed visible to a freeze
+    /// that follows, closing the Fig. 9 check-and-miss window even for
+    /// blocks the compaction transaction never wrote to.
+    #[inline]
+    pub fn writer_count(&self) -> u32 {
+        self.atomic(header::WRITER_COUNT).load(Ordering::SeqCst)
+    }
+
+    /// Register an in-flight writer.
+    #[inline]
+    pub fn inc_writers(&self) {
+        self.atomic(header::WRITER_COUNT).fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Deregister an in-flight writer.
+    #[inline]
+    pub fn dec_writers(&self) {
+        self.atomic(header::WRITER_COUNT).fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A block plus its side state: the owning handle used by tables.
+///
+/// The raw memory holds everything transactions touch; `arrow` holds the
+/// canonical Arrow buffers installed by the gathering phase (§4.3), which
+/// must live outside the 1 MB budget because varlen values have unbounded
+/// total size.
+pub struct Block {
+    raw: RawBlock,
+    layout: Arc<BlockLayout>,
+    /// Canonical Arrow varlen storage per column, installed when frozen.
+    pub arrow: crate::arrow_side::ArrowSide,
+}
+
+impl Block {
+    /// Allocate a block for the given layout.
+    pub fn new(layout: Arc<BlockLayout>) -> Arc<Block> {
+        let raw = RawBlock::new(&layout);
+        Arc::new(Block { raw, layout, arrow: crate::arrow_side::ArrowSide::new() })
+    }
+
+    /// Base address.
+    #[inline]
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.raw.as_ptr()
+    }
+
+    /// The table layout (shared).
+    #[inline]
+    pub fn layout(&self) -> &Arc<BlockLayout> {
+        &self.layout
+    }
+
+    /// Header accessor.
+    #[inline]
+    pub fn header(&self) -> BlockHeader {
+        unsafe { BlockHeader::new(self.raw.as_ptr()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mainline_common::schema::{ColumnDef, Schema};
+    use mainline_common::value::TypeId;
+
+    fn layout() -> Arc<BlockLayout> {
+        Arc::new(
+            BlockLayout::from_schema(&Schema::new(vec![
+                ColumnDef::new("a", TypeId::BigInt),
+                ColumnDef::new("b", TypeId::Varchar),
+            ]))
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn alignment_invariant() {
+        let l = layout();
+        for _ in 0..4 {
+            let b = RawBlock::new(&l);
+            assert_eq!(b.as_ptr() as usize % BLOCK_SIZE, 0);
+        }
+    }
+
+    #[test]
+    fn zero_initialized() {
+        let l = layout();
+        let b = RawBlock::new(&l);
+        let bytes = unsafe { std::slice::from_raw_parts(b.as_ptr().add(HEADER_SIZE), 4096) };
+        assert!(bytes.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn layout_pointer_roundtrip() {
+        let l = layout();
+        let b = RawBlock::new(&l);
+        let got = unsafe { b.layout() };
+        assert_eq!(got.num_slots(), l.num_slots());
+        let via_fn = unsafe { layout_of(b.as_ptr()) };
+        assert_eq!(via_fn.num_cols(), l.num_cols());
+    }
+
+    #[test]
+    fn header_atomics() {
+        let l = layout();
+        let b = RawBlock::new(&l);
+        let h = unsafe { BlockHeader::new(b.as_ptr()) };
+        assert_eq!(h.insert_head(), 0);
+        assert_eq!(h.claim_slots(3), 0);
+        assert_eq!(h.claim_slots(1), 3);
+        assert_eq!(h.insert_head(), 4);
+        h.set_insert_head(10);
+        assert_eq!(h.insert_head(), 10);
+
+        assert_eq!(h.state_raw(), 0);
+        assert!(h.cas_state_raw(0, 2));
+        assert!(!h.cas_state_raw(0, 3));
+        h.set_state_raw(1);
+        assert_eq!(h.state_raw(), 1);
+
+        assert_eq!(h.reader_count(), 0);
+        h.inc_readers();
+        h.inc_readers();
+        assert_eq!(h.reader_count(), 2);
+        h.dec_readers();
+        assert_eq!(h.reader_count(), 1);
+    }
+
+    #[test]
+    fn concurrent_slot_claims_are_disjoint() {
+        use std::collections::HashSet;
+        let l = layout();
+        let b = Arc::new(RawBlock::new(&l));
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let h = unsafe { BlockHeader::new(b.as_ptr()) };
+                (0..1000).map(|_| h.claim_slots(1)).collect::<Vec<_>>()
+            }));
+        }
+        let mut seen = HashSet::new();
+        for h in handles {
+            for s in h.join().unwrap() {
+                assert!(seen.insert(s));
+            }
+        }
+        assert_eq!(seen.len(), 8000);
+    }
+}

@@ -1,0 +1,113 @@
+//! Physiological tuple identifiers (paper §3.2, Fig. 5).
+//!
+//! Because blocks are 1 MB-aligned, a block pointer's low 20 bits are always
+//! zero; the `TupleSlot` stores the slot offset there, packing both into one
+//! 64-bit word. "There are enough bits because there can never be more tuples
+//! than there are bytes in a block."
+
+use crate::raw_block::{BLOCK_ALIGN_BITS, BLOCK_SIZE};
+
+/// Mask selecting the offset bits.
+const OFFSET_MASK: u64 = (1 << BLOCK_ALIGN_BITS) - 1;
+
+/// A tuple identifier: physical block pointer + logical in-block offset.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleSlot(u64);
+
+impl TupleSlot {
+    /// The all-zero slot, used as "no tuple".
+    pub const NULL: TupleSlot = TupleSlot(0);
+
+    /// Pack a block base pointer and a slot offset.
+    #[inline]
+    pub fn new(block: *const u8, offset: u32) -> Self {
+        debug_assert_eq!(block as usize % BLOCK_SIZE, 0, "unaligned block pointer");
+        debug_assert!((offset as u64) <= OFFSET_MASK);
+        TupleSlot(block as u64 | offset as u64)
+    }
+
+    /// The base pointer of the containing block.
+    #[inline]
+    pub fn block(self) -> *mut u8 {
+        (self.0 & !OFFSET_MASK) as *mut u8
+    }
+
+    /// The slot offset within the block.
+    #[inline]
+    pub fn offset(self) -> u32 {
+        (self.0 & OFFSET_MASK) as u32
+    }
+
+    /// Raw packed representation (used by indexes and the WAL).
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild from the packed representation.
+    #[inline]
+    pub fn from_raw(raw: u64) -> Self {
+        TupleSlot(raw)
+    }
+
+    /// True for the sentinel null slot.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Debug for TupleSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TupleSlot({:p}+{})", self.block(), self.offset())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack() {
+        let fake_block = (42usize << BLOCK_ALIGN_BITS) as *const u8;
+        let s = TupleSlot::new(fake_block, 0x1234);
+        assert_eq!(s.block() as usize, fake_block as usize);
+        assert_eq!(s.offset(), 0x1234);
+    }
+
+    #[test]
+    fn fig5_example() {
+        // Fig. 5: block 0x000000010DB00000, offset 1.
+        let block = 0x0000_0001_0DB0_0000usize as *const u8;
+        let s = TupleSlot::new(block, 1);
+        assert_eq!(s.raw(), 0x0000_0001_0DB0_0001);
+        assert_eq!(s.block() as usize, 0x0000_0001_0DB0_0000);
+        assert_eq!(s.offset(), 1);
+    }
+
+    #[test]
+    fn max_offset() {
+        let block = (1usize << BLOCK_ALIGN_BITS) as *const u8;
+        let s = TupleSlot::new(block, (BLOCK_SIZE - 1) as u32);
+        assert_eq!(s.offset(), (BLOCK_SIZE - 1) as u32);
+        assert_eq!(s.block() as usize, 1 << BLOCK_ALIGN_BITS);
+    }
+
+    #[test]
+    fn null_sentinel() {
+        assert!(TupleSlot::NULL.is_null());
+        let block = (7usize << BLOCK_ALIGN_BITS) as *const u8;
+        assert!(!TupleSlot::new(block, 0).is_null());
+        assert_eq!(TupleSlot::from_raw(TupleSlot::NULL.raw()), TupleSlot::NULL);
+    }
+
+    #[test]
+    fn ordering_groups_by_block() {
+        let b1 = (1usize << BLOCK_ALIGN_BITS) as *const u8;
+        let b2 = (2usize << BLOCK_ALIGN_BITS) as *const u8;
+        let s11 = TupleSlot::new(b1, 5);
+        let s12 = TupleSlot::new(b1, 9);
+        let s20 = TupleSlot::new(b2, 0);
+        assert!(s11 < s12 && s12 < s20);
+    }
+}

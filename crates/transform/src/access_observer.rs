@@ -1,0 +1,135 @@
+//! Cold-block detection from GC-epoch access statistics (paper §4.2).
+//!
+//! Collecting per-access statistics on the transaction critical path is
+//! unacceptable for OLTP, so the observer piggybacks on the GC's scan through
+//! undo records: each record marks its block as modified "at" the current GC
+//! epoch. A block whose last modification epoch is at least `threshold`
+//! epochs old is considered cold. Mistakes are tolerated — the transformation
+//! algorithm is designed to be safely preemptible (§4.1).
+
+use mainline_gc::collector::ModificationObserver;
+use mainline_storage::TupleSlot;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Tracks per-block last-modified epochs.
+pub struct AccessObserver {
+    epoch: AtomicU64,
+    /// block base address → last modified epoch.
+    last_modified: Mutex<HashMap<u64, u64>>,
+}
+
+impl AccessObserver {
+    /// Fresh observer at epoch 0.
+    pub fn new() -> Self {
+        AccessObserver { epoch: AtomicU64::new(0), last_modified: Mutex::new(HashMap::new()) }
+    }
+
+    /// Current GC epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Last-modified epoch for a block, if ever observed.
+    pub fn last_modified(&self, block: *const u8) -> Option<u64> {
+        self.last_modified.lock().get(&(block as u64)).copied()
+    }
+
+    /// True when `block` has not been modified in the last `threshold`
+    /// epochs. Never-observed blocks are cold only once at least
+    /// `threshold` epochs have elapsed overall (avoids freezing brand-new
+    /// blocks before statistics exist).
+    pub fn is_cold(&self, block: *const u8, threshold: u64) -> bool {
+        let now = self.epoch();
+        if now < threshold {
+            return false;
+        }
+        match self.last_modified(block) {
+            Some(e) => now.saturating_sub(e) >= threshold,
+            None => true,
+        }
+    }
+
+    /// Drop statistics for a recycled block.
+    pub fn forget(&self, block: *const u8) {
+        self.last_modified.lock().remove(&(block as u64));
+    }
+
+    /// Number of tracked blocks (test/metrics aid).
+    pub fn tracked(&self) -> usize {
+        self.last_modified.lock().len()
+    }
+}
+
+impl Default for AccessObserver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModificationObserver for AccessObserver {
+    fn on_modification(&self, _table_id: u32, slot: TupleSlot) {
+        let epoch = self.epoch();
+        self.last_modified.lock().insert(slot.block() as u64, epoch);
+    }
+
+    fn on_gc_pass(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot_in(block_no: u64) -> TupleSlot {
+        TupleSlot::from_raw(block_no << 20 | 5)
+    }
+
+    #[test]
+    fn epoch_advances_on_gc_pass() {
+        let o = AccessObserver::new();
+        assert_eq!(o.epoch(), 0);
+        o.on_gc_pass();
+        o.on_gc_pass();
+        assert_eq!(o.epoch(), 2);
+    }
+
+    #[test]
+    fn modification_heats_block() {
+        let o = AccessObserver::new();
+        for _ in 0..10 {
+            o.on_gc_pass();
+        }
+        let block = (7u64 << 20) as *const u8;
+        assert!(o.is_cold(block, 3), "untouched block is cold");
+        o.on_modification(1, slot_in(7));
+        assert!(!o.is_cold(block, 3));
+        o.on_gc_pass();
+        o.on_gc_pass();
+        assert!(!o.is_cold(block, 3));
+        o.on_gc_pass();
+        assert!(o.is_cold(block, 3));
+    }
+
+    #[test]
+    fn young_system_is_never_cold() {
+        let o = AccessObserver::new();
+        let block = (7u64 << 20) as *const u8;
+        assert!(!o.is_cold(block, 5));
+        for _ in 0..5 {
+            o.on_gc_pass();
+        }
+        assert!(o.is_cold(block, 5));
+    }
+
+    #[test]
+    fn forget_drops_state() {
+        let o = AccessObserver::new();
+        o.on_modification(1, slot_in(3));
+        assert_eq!(o.tracked(), 1);
+        o.forget((3u64 << 20) as *const u8);
+        assert_eq!(o.tracked(), 0);
+    }
+}

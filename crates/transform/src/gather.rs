@@ -1,0 +1,226 @@
+//! The gathering phase (paper §4.3, phase 2).
+//!
+//! Under the exclusive *freezing* lock, each variable-length column's values
+//! are copied into one contiguous buffer and the block's `VarlenEntry`s are
+//! rewritten to point into it. Readers may continue concurrently: every
+//! rewritten 8-byte half of an entry refers to the *same logical value*
+//! (same length, same bytes), so any torn read still yields a correct value
+//! ("the gathering phase changes only the physical location of values and
+//! not the logical content of the table").
+//!
+//! In the same pass the Arrow metadata (null count) is computed.
+
+use mainline_storage::access;
+use mainline_storage::arrow_side::GatheredColumn;
+use mainline_storage::raw_block::Block;
+use mainline_storage::VarlenEntry;
+use std::sync::Arc;
+
+/// Everything the gathering of one block displaced; the pipeline must hand
+/// it to the GC's deferred queue (readers may still reference the old
+/// buffers until the epoch passes).
+#[derive(Default)]
+pub struct DisplacedBuffers {
+    /// Old owning varlen entries (their heap buffers).
+    pub old_entries: Vec<VarlenEntry>,
+    /// Replaced canonical columns from a previous freeze cycle.
+    pub old_columns: Vec<Arc<GatheredColumn>>,
+}
+
+// The entries carry raw pointers but ownership is linear: only the GC frees.
+unsafe impl Send for DisplacedBuffers {}
+
+impl DisplacedBuffers {
+    /// Free everything now.
+    ///
+    /// # Safety
+    /// No reader may still hold copies of the displaced entries (epoch must
+    /// have passed).
+    pub unsafe fn free(self) {
+        for e in self.old_entries {
+            e.free_buffer();
+        }
+        drop(self.old_columns);
+    }
+}
+
+/// Gather every varlen column of `block` into contiguous Arrow buffers.
+///
+/// # Safety
+/// The caller must hold the block in the *freezing* state (no concurrent
+/// writers) and the block's version column must be fully pruned.
+pub unsafe fn gather_block(block: &Block) -> DisplacedBuffers {
+    let layout = Arc::clone(block.layout());
+    let ptr = block.as_ptr();
+    let n = layout.num_slots();
+    let mut displaced = DisplacedBuffers::default();
+
+    for col in layout.varlen_cols().collect::<Vec<_>>() {
+        // Pass 1: size the contiguous buffer and compute metadata.
+        let mut total = 0usize;
+        let mut null_count = 0usize;
+        for slot in 0..n {
+            if access::is_allocated(ptr, &layout, slot)
+                && !access::is_null(ptr, &layout, slot, col)
+            {
+                total += access::read_varlen(ptr, &layout, slot, col).len();
+            } else {
+                null_count += 1;
+            }
+        }
+        // Pass 2a: copy values into the buffer and build offsets.
+        let mut values = vec![0u8; total].into_boxed_slice();
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        let mut cursor = 0usize;
+        offsets.push(0i32);
+        for slot in 0..n {
+            if access::is_allocated(ptr, &layout, slot)
+                && !access::is_null(ptr, &layout, slot, col)
+            {
+                let e = access::read_varlen(ptr, &layout, slot, col);
+                let bytes = e.as_slice();
+                values[cursor..cursor + bytes.len()].copy_from_slice(bytes);
+                cursor += bytes.len();
+            }
+            offsets.push(cursor as i32);
+        }
+        // Pass 2b: publish the new entries (buffer contents are complete, so
+        // concurrent readers see consistent values regardless of interleave).
+        let base = values.as_ptr();
+        for slot in 0..n {
+            let old = access::read_varlen(ptr, &layout, slot, col);
+            if access::is_allocated(ptr, &layout, slot)
+                && !access::is_null(ptr, &layout, slot, col)
+            {
+                let start = offsets[slot as usize] as usize;
+                let len = (offsets[slot as usize + 1] - offsets[slot as usize]) as usize;
+                let new = VarlenEntry::from_gathered(base.add(start), len);
+                access::write_varlen(ptr, &layout, slot, col, new);
+                if old.owns_buffer() {
+                    displaced.old_entries.push(old);
+                }
+            } else {
+                // Stale entry in a gap (or a NULL): clear it, reclaiming any
+                // buffer the last deleted tuple left behind.
+                if old.owns_buffer() {
+                    displaced.old_entries.push(old);
+                }
+                access::write_varlen(ptr, &layout, slot, col, VarlenEntry::empty());
+            }
+        }
+        let gathered = Arc::new(GatheredColumn::Gathered { offsets, values, null_count });
+        if let Some(old_col) = block.arrow.install(col, gathered) {
+            displaced.old_columns.push(old_col);
+        }
+    }
+    displaced
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mainline_common::schema::{ColumnDef, Schema};
+    use mainline_common::value::{TypeId, Value};
+    use mainline_storage::ProjectedRow;
+    use mainline_txn::{DataTable, TransactionManager};
+
+    fn setup(n: usize) -> (TransactionManager, Arc<DataTable>, Vec<mainline_storage::TupleSlot>) {
+        let m = TransactionManager::new();
+        let t = DataTable::new(
+            1,
+            Schema::new(vec![
+                ColumnDef::new("id", TypeId::BigInt),
+                ColumnDef::nullable("val", TypeId::Varchar),
+            ]),
+        )
+        .unwrap();
+        let txn = m.begin();
+        let slots: Vec<_> = (0..n)
+            .map(|i| {
+                let v = if i % 7 == 3 {
+                    Value::Null
+                } else {
+                    Value::string(&format!("this-is-value-number-{i:06}"))
+                };
+                t.insert(
+                    &txn,
+                    &ProjectedRow::from_values(
+                        &[TypeId::BigInt, TypeId::Varchar],
+                        &[Value::BigInt(i as i64), v],
+                    ),
+                )
+            })
+            .collect();
+        m.commit(&txn);
+        (m, t, slots)
+    }
+
+    #[test]
+    fn gather_builds_contiguous_buffer_and_preserves_values() {
+        let (m, t, slots) = setup(500);
+        let block = t.blocks()[0].clone();
+        let displaced = unsafe { gather_block(&block) };
+        // All non-NULL values were transaction-inserted with owning buffers
+        // (>12 bytes), so they are all displaced.
+        let nulls = (0..500).filter(|i| i % 7 == 3).count();
+        assert_eq!(displaced.old_entries.len(), 500 - nulls);
+
+        let col = block.arrow.get(2).expect("gathered column installed");
+        match &*col {
+            GatheredColumn::Gathered { offsets, values, null_count } => {
+                assert_eq!(offsets.len() as u32, t.layout().num_slots() + 1);
+                // Offsets are monotonic; gaps are zero-length.
+                assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+                assert_eq!(*offsets.last().unwrap() as usize, values.len());
+                // NULLs from the workload + every never-used tail slot.
+                let used = 500u32;
+                let tail = t.layout().num_slots() - used;
+                assert_eq!(*null_count, tail as usize + nulls);
+            }
+            _ => panic!("expected gathered"),
+        }
+
+        // Values read back identically through the transactional path.
+        let check = m.begin();
+        for (i, &slot) in slots.iter().enumerate() {
+            let got = t.select_values(&check, slot).unwrap();
+            if i % 7 == 3 {
+                assert_eq!(got[1], Value::Null);
+            } else {
+                assert_eq!(got[1], Value::string(&format!("this-is-value-number-{i:06}")));
+            }
+        }
+        m.commit(&check);
+        unsafe { displaced.free() };
+    }
+
+    #[test]
+    fn entries_now_point_into_gathered_buffer() {
+        let (_m, t, _slots) = setup(100);
+        let block = t.blocks()[0].clone();
+        let displaced = unsafe { gather_block(&block) };
+        let layout = t.layout();
+        unsafe {
+            for slot in 0..100u32 {
+                let e = access::read_varlen(block.as_ptr(), layout, slot, 2);
+                assert!(!e.owns_buffer(), "gathered entries must not own");
+            }
+        }
+        unsafe { displaced.free() };
+    }
+
+    #[test]
+    fn regather_displaces_previous_column() {
+        let (_m, t, _slots) = setup(50);
+        let block = t.blocks()[0].clone();
+        let d1 = unsafe { gather_block(&block) };
+        assert!(d1.old_columns.is_empty());
+        let d2 = unsafe { gather_block(&block) };
+        assert_eq!(d2.old_columns.len(), 1, "second gather displaces the first column");
+        assert!(d2.old_entries.is_empty(), "gathered entries own nothing");
+        unsafe {
+            d2.free();
+            d1.free();
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! `mainline-transform` — the lightweight block transformation of paper §4.
+//!
+//! The relaxed format lets transactions update blocks cheaply; this crate
+//! moves *cold* blocks back into canonical Arrow:
+//!
+//! 1. the [`access_observer`] finds blocks untouched for a threshold number
+//!    of GC epochs (§4.2),
+//! 2. the **compaction** phase transactionally shuffles tuples to make a
+//!    compaction group logically contiguous, freeing emptied blocks (§4.3
+//!    phase 1) — with both the approximate and the optimal block-selection
+//!    algorithms,
+//! 3. the **gathering** phase takes the multi-stage cooling→freezing lock
+//!    and copies variable-length values into contiguous Arrow buffers in
+//!    place (§4.3 phase 2), or into a dictionary-compressed alternative
+//!    format (§4.4),
+//! 4. [`baselines`] implements the two comparison algorithms of §6.2
+//!    (Snapshot and transactional In-Place) for the Figure 12 experiments.
+
+pub mod access_observer;
+pub mod baselines;
+pub mod compaction;
+pub mod dictionary;
+pub mod gather;
+pub mod pipeline;
+
+pub use access_observer::AccessObserver;
+pub use compaction::{CompactionPlan, CompactionStats};
+pub use pipeline::{TransformConfig, TransformFormat, TransformPipeline};

@@ -1,0 +1,629 @@
+//! The background transformation pipeline (paper Fig. 8).
+//!
+//! ```text
+//! GC epoch stats ──► cold candidates ──► [phase 1] compaction txn
+//!      (§4.2)                               │ set COOLING before commit
+//!                                           ▼
+//!                              cooling queue (await GC pruning)
+//!                                           │ version column clean?
+//!                                           ▼
+//!                    [phase 2] CAS cooling→freezing, gather / compress,
+//!                              publish FROZEN, defer old buffers to GC
+//! ```
+//!
+//! The cooling flag set *before* the compaction transaction commits is the
+//! linchpin (Fig. 9): any transaction that could race the freeze must
+//! overlap the compaction transaction, so its versions keep the GC from
+//! pruning the block's version column; once the column scans clean, every
+//! overlapping transaction has ended and freezing is safe.
+
+use crate::access_observer::AccessObserver;
+use crate::compaction::{self, CompactionStats};
+use crate::dictionary;
+use crate::gather;
+use mainline_common::Result;
+use mainline_gc::DeferredQueue;
+use mainline_storage::access;
+use mainline_storage::block_state::{BlockState, BlockStateMachine};
+use mainline_storage::raw_block::Block;
+use mainline_storage::{ProjectedRow, TupleSlot};
+use mainline_txn::{DataTable, Transaction, TransactionManager};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Which canonical format the gathering phase emits (§4.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransformFormat {
+    /// Contiguous varlen buffers (plain Arrow).
+    Gather,
+    /// Dictionary compression (Parquet/ORC-style).
+    Dictionary,
+}
+
+/// Pipeline tuning (§4.2: the threshold is workload-dependent and
+/// user-tunable; §6.2: group size trades memory reclamation for write-set
+/// size).
+#[derive(Debug, Clone)]
+pub struct TransformConfig {
+    /// GC epochs a block must stay unmodified to be considered cold.
+    pub threshold_epochs: u64,
+    /// Blocks per compaction group.
+    pub group_size: usize,
+    /// Output format.
+    pub format: TransformFormat,
+    /// Use the optimal block-selection algorithm instead of the approximate
+    /// one (Fig. 13 ablation).
+    pub optimal_selection: bool,
+}
+
+impl Default for TransformConfig {
+    fn default() -> Self {
+        TransformConfig {
+            threshold_epochs: 2,
+            group_size: 50,
+            format: TransformFormat::Gather,
+            optimal_selection: false,
+        }
+    }
+}
+
+/// Index-maintenance hook invoked for every moved tuple.
+pub trait MoveHook: Send + Sync {
+    /// `row` is the moved tuple over all user columns.
+    fn on_move(
+        &self,
+        txn: &Transaction,
+        from: TupleSlot,
+        to: TupleSlot,
+        row: &ProjectedRow,
+    ) -> Result<()>;
+}
+
+/// Hook for tables with no indexes.
+pub struct NoopHook;
+
+impl MoveHook for NoopHook {
+    fn on_move(
+        &self,
+        _txn: &Transaction,
+        _from: TupleSlot,
+        _to: TupleSlot,
+        _row: &ProjectedRow,
+    ) -> Result<()> {
+        Ok(())
+    }
+}
+
+struct TableEntry {
+    table: Arc<DataTable>,
+    hook: Arc<dyn MoveHook>,
+}
+
+/// Counters across pipeline ticks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PipelineStats {
+    /// Compaction groups processed (phase 1 successes).
+    pub groups_compacted: usize,
+    /// Compaction transactions aborted on conflicts.
+    pub groups_aborted: usize,
+    /// Tuples moved in phase 1.
+    pub tuples_moved: usize,
+    /// Blocks recycled.
+    pub blocks_freed: usize,
+    /// Blocks frozen (phase 2 completions).
+    pub blocks_frozen: usize,
+    /// Cooling preemptions observed (user transactions won, Fig. 9).
+    pub preemptions: usize,
+}
+
+/// The background transformer. Call [`TransformPipeline::tick`] on a cadence
+/// (or wire it into a thread; `mainline-db` does the latter).
+pub struct TransformPipeline {
+    manager: Arc<TransactionManager>,
+    observer: Arc<AccessObserver>,
+    deferred: Arc<DeferredQueue>,
+    config: TransformConfig,
+    tables: Mutex<Vec<TableEntry>>,
+    /// Blocks in cooling state awaiting a clean version column.
+    cooling: Mutex<Vec<(Arc<DataTable>, Arc<Block>)>>,
+    stats: Mutex<PipelineStats>,
+}
+
+impl TransformPipeline {
+    /// Build a pipeline sharing the GC's observer and deferred queue.
+    pub fn new(
+        manager: Arc<TransactionManager>,
+        observer: Arc<AccessObserver>,
+        deferred: Arc<DeferredQueue>,
+        config: TransformConfig,
+    ) -> Self {
+        TransformPipeline {
+            manager,
+            observer,
+            deferred,
+            config,
+            tables: Mutex::new(Vec::new()),
+            cooling: Mutex::new(Vec::new()),
+            stats: Mutex::new(PipelineStats::default()),
+        }
+    }
+
+    /// Register a table for transformation (the paper targets only tables
+    /// that generate cold data, §6.1).
+    pub fn add_table(&self, table: Arc<DataTable>, hook: Arc<dyn MoveHook>) {
+        self.tables.lock().push(TableEntry { table, hook });
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> PipelineStats {
+        *self.stats.lock()
+    }
+
+    /// Fraction of each registered table's blocks per state:
+    /// `(hot, cooling, freezing, frozen)` counts (Fig. 10b's metric).
+    pub fn block_state_census(&self) -> (usize, usize, usize, usize) {
+        let mut census = (0, 0, 0, 0);
+        for entry in self.tables.lock().iter() {
+            for b in entry.table.blocks() {
+                match BlockStateMachine::state(b.header()) {
+                    BlockState::Hot => census.0 += 1,
+                    BlockState::Cooling => census.1 += 1,
+                    BlockState::Freezing => census.2 += 1,
+                    BlockState::Frozen => census.3 += 1,
+                }
+            }
+        }
+        census
+    }
+
+    /// One pipeline pass: advance cooling blocks toward frozen, then pick up
+    /// newly cold blocks and compact them.
+    pub fn tick(&self) {
+        self.advance_cooling();
+        self.compact_cold();
+    }
+
+    /// Phase-2 driver: freeze cooling blocks whose version column is clean.
+    fn advance_cooling(&self) {
+        let mut cooling = self.cooling.lock();
+        let mut keep = Vec::new();
+        for (table, block) in cooling.drain(..) {
+            match self.try_freeze(&block) {
+                FreezeOutcome::Frozen => {
+                    self.stats.lock().blocks_frozen += 1;
+                }
+                FreezeOutcome::Preempted => {
+                    // A user transaction flipped the block back to hot
+                    // (Fig. 9's legal race); the observer will re-queue it.
+                    self.stats.lock().preemptions += 1;
+                }
+                FreezeOutcome::NotYet => keep.push((table, block)),
+            }
+        }
+        *cooling = keep;
+    }
+
+    fn try_freeze(&self, block: &Arc<Block>) -> FreezeOutcome {
+        let h = block.header();
+        if BlockStateMachine::state(h) != BlockState::Cooling {
+            return FreezeOutcome::Preempted;
+        }
+        // Scan the version column: any live version means a transaction
+        // overlapping the compaction transaction may still race us.
+        let layout = block.layout();
+        unsafe {
+            for slot in 0..layout.num_slots() {
+                if access::load_version(block.as_ptr(), layout, slot) != 0 {
+                    return FreezeOutcome::NotYet;
+                }
+            }
+        }
+        // The cooling sentinel catches any modification since the scan; the
+        // writer count inside `begin_freezing` catches in-flight writers
+        // that passed their status check before we flipped the flag.
+        if !BlockStateMachine::begin_freezing(h) {
+            return FreezeOutcome::Preempted;
+        }
+        // Re-scan under the exclusive lock: a writer may have installed and
+        // completed between the first scan and the CAS.
+        unsafe {
+            for slot in 0..layout.num_slots() {
+                if access::load_version(block.as_ptr(), layout, slot) != 0 {
+                    h.set_state_raw(BlockState::Hot as u32);
+                    return FreezeOutcome::NotYet;
+                }
+            }
+        }
+        let displaced = unsafe {
+            match self.config.format {
+                TransformFormat::Gather => gather::gather_block(block),
+                TransformFormat::Dictionary => dictionary::compress_block(block),
+            }
+        };
+        BlockStateMachine::finish_freezing(h);
+        // Readers may hold copies of the displaced entries until the epoch
+        // turns over (§4.4 "Memory Management").
+        let ts = self.manager.oracle().next();
+        self.deferred.defer(ts, move || unsafe { displaced.free() });
+        FreezeOutcome::Frozen
+    }
+
+    /// Phase-1 driver: group cold hot blocks per table and compact them.
+    fn compact_cold(&self) {
+        let entries: Vec<(Arc<DataTable>, Arc<dyn MoveHook>)> = self
+            .tables
+            .lock()
+            .iter()
+            .map(|e| (Arc::clone(&e.table), Arc::clone(&e.hook)))
+            .collect();
+        for (table, hook) in entries {
+            let cold: Vec<Arc<Block>> = table
+                .blocks()
+                .into_iter()
+                .filter(|b| {
+                    BlockStateMachine::state(b.header()) == BlockState::Hot
+                        && !table.is_active_block(b.as_ptr())
+                        && self.observer.is_cold(b.as_ptr(), self.config.threshold_epochs)
+                })
+                .collect();
+            for group in cold.chunks(self.config.group_size.max(1)) {
+                match self.compact_group(&table, &*hook, group) {
+                    Ok(Some(stats)) => {
+                        let mut s = self.stats.lock();
+                        s.groups_compacted += 1;
+                        s.tuples_moved += stats.tuples_moved;
+                        s.blocks_freed += stats.blocks_freed;
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        self.stats.lock().groups_aborted += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Compact one group; on success, its blocks enter the cooling queue and
+    /// emptied blocks are detached for recycling.
+    fn compact_group(
+        &self,
+        table: &Arc<DataTable>,
+        hook: &dyn MoveHook,
+        group: &[Arc<Block>],
+    ) -> Result<Option<CompactionStats>> {
+        if group.is_empty() {
+            return Ok(None);
+        }
+        let plan = if self.config.optimal_selection {
+            compaction::plan_optimal(group)
+        } else {
+            compaction::plan_approximate(group)
+        };
+        let txn = self.manager.begin();
+        let result = compaction::execute_plan(table, &txn, &plan, |txn, from, to, row| {
+            hook.on_move(txn, from, to, row)
+        });
+        let mut stats = match result {
+            Ok(s) => s,
+            Err(e) => {
+                self.manager.abort(&txn);
+                return Err(e);
+            }
+        };
+        // Fig. 9's fix: flip to cooling *before* the compaction transaction
+        // commits, so racers must overlap it.
+        for b in group {
+            if !plan.emptied.contains(&(b.as_ptr() as *const u8)) {
+                BlockStateMachine::begin_cooling(b.header());
+            }
+        }
+        self.manager.commit(&txn);
+        compaction::publish_insert_heads(&plan);
+
+        // Queue survivors for freezing.
+        {
+            let mut cooling = self.cooling.lock();
+            for b in group {
+                if !plan.emptied.contains(&(b.as_ptr() as *const u8)) {
+                    cooling.push((Arc::clone(table), Arc::clone(b)));
+                }
+            }
+        }
+        // Recycle emptied blocks: detach now (new scans skip them), free
+        // their varlen leftovers and the memory itself after the epoch.
+        if !plan.emptied.is_empty() {
+            let detached = table.detach_blocks(&plan.emptied);
+            stats.blocks_freed = detached.len();
+            for b in &detached {
+                self.observer.forget(b.as_ptr());
+            }
+            let ts = self.manager.oracle().next();
+            self.deferred.defer(ts, move || unsafe { free_block_varlens(&detached) });
+        }
+        Ok(Some(stats))
+    }
+}
+
+enum FreezeOutcome {
+    Frozen,
+    Preempted,
+    NotYet,
+}
+
+/// Free all owned varlen buffers left in detached blocks, then drop them.
+///
+/// # Safety
+/// Must run after the GC epoch proves no reader can reach the blocks.
+unsafe fn free_block_varlens(blocks: &[Arc<Block>]) {
+    for b in blocks {
+        let layout = b.layout();
+        for col in layout.varlen_cols() {
+            for slot in 0..layout.num_slots() {
+                let e = access::read_varlen(b.as_ptr(), layout, slot, col);
+                e.free_buffer();
+                access::write_varlen(
+                    b.as_ptr(),
+                    layout,
+                    slot,
+                    col,
+                    mainline_storage::VarlenEntry::empty(),
+                );
+            }
+        }
+        for col_data in b.arrow.take_all() {
+            drop(col_data);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mainline_common::schema::{ColumnDef, Schema};
+    use mainline_common::value::{TypeId, Value};
+    use mainline_gc::GarbageCollector;
+    use mainline_gc::collector::ModificationObserver;
+
+    struct Harness {
+        manager: Arc<TransactionManager>,
+        gc: GarbageCollector,
+        // Held so the GC keeps feeding it; read via the pipeline.
+        _observer: Arc<AccessObserver>,
+        pipeline: TransformPipeline,
+        table: Arc<DataTable>,
+    }
+
+    fn harness(config: TransformConfig) -> Harness {
+        let manager = Arc::new(TransactionManager::new());
+        let mut gc = GarbageCollector::new(Arc::clone(&manager));
+        let observer = Arc::new(AccessObserver::new());
+        gc.add_observer(Arc::clone(&observer) as Arc<dyn ModificationObserver>);
+        let pipeline = TransformPipeline::new(
+            Arc::clone(&manager),
+            Arc::clone(&observer),
+            gc.deferred(),
+            config,
+        );
+        let table = DataTable::new(
+            1,
+            Schema::new(vec![
+                ColumnDef::new("id", TypeId::BigInt),
+                ColumnDef::new("val", TypeId::Varchar),
+            ]),
+        )
+        .unwrap();
+        pipeline.add_table(Arc::clone(&table), Arc::new(NoopHook));
+        Harness { manager, gc, _observer: observer, pipeline, table }
+    }
+
+    fn insert_n(h: &Harness, n: usize) -> Vec<TupleSlot> {
+        let txn = h.manager.begin();
+        let slots = (0..n)
+            .map(|i| {
+                h.table.insert(
+                    &txn,
+                    &ProjectedRow::from_values(
+                        &[TypeId::BigInt, TypeId::Varchar],
+                        &[Value::BigInt(i as i64), Value::string(&format!("pipeline-val-{i:07}"))],
+                    ),
+                )
+            })
+            .collect();
+        h.manager.commit(&txn);
+        slots
+    }
+
+    /// Run GC + pipeline until the table's non-active blocks freeze.
+    fn settle(h: &mut Harness, max_iters: usize) {
+        for _ in 0..max_iters {
+            h.gc.run();
+            h.pipeline.tick();
+            let (_hot, _cooling, _freezing, frozen) = h.pipeline.block_state_census();
+            if frozen > 0 {
+                // One extra pass to drain deferred actions.
+                h.gc.run();
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn full_lifecycle_hot_to_frozen() {
+        let mut h = harness(TransformConfig { threshold_epochs: 2, ..Default::default() });
+        let slots = insert_n(&h, 1000);
+        // Delete some to create gaps.
+        let txn = h.manager.begin();
+        for &s in slots.iter().step_by(3) {
+            h.table.delete(&txn, s).unwrap();
+        }
+        h.manager.commit(&txn);
+
+        // Force a second block so the first is not the active one.
+        let big = h.table.layout().num_slots() as usize;
+        insert_n(&h, big);
+
+        settle(&mut h, 20);
+        let stats = h.pipeline.stats();
+        assert!(stats.blocks_frozen >= 1, "stats: {stats:?}");
+        assert!(stats.tuples_moved > 0);
+
+        // Data integrity after the whole lifecycle.
+        let check = h.manager.begin();
+        let expected = 1000 - slots.iter().step_by(3).count() + big;
+        assert_eq!(h.table.count_visible(&check), expected);
+        h.manager.commit(&check);
+    }
+
+    #[test]
+    fn frozen_block_reheats_on_update() {
+        let mut h = harness(TransformConfig { threshold_epochs: 1, ..Default::default() });
+        let slots = insert_n(&h, 100);
+        insert_n(&h, h.table.layout().num_slots() as usize); // push active away
+        settle(&mut h, 20);
+
+        let frozen_block = h
+            .table
+            .blocks()
+            .into_iter()
+            .find(|b| BlockStateMachine::state(b.header()) == BlockState::Frozen)
+            .expect("one block should be frozen");
+        // The tuple moved during compaction, so find its new slot by value.
+        let _ = slots;
+        let txn = h.manager.begin();
+        let cols = h.table.all_cols();
+        let mut victim = None;
+        h.table.scan(&txn, &cols, |slot, _| {
+            if slot.block() == frozen_block.as_ptr() {
+                victim = Some(slot);
+                false
+            } else {
+                true
+            }
+        });
+        let victim = victim.expect("tuple in frozen block");
+        let mut d = ProjectedRow::new();
+        d.push_varlen(2, mainline_storage::VarlenEntry::from_bytes(b"overwritten-after-freeze"));
+        h.table.update(&txn, victim, &d).unwrap();
+        h.manager.commit(&txn);
+        assert_eq!(BlockStateMachine::state(frozen_block.header()), BlockState::Hot);
+
+        // And the value reads back.
+        let check = h.manager.begin();
+        assert_eq!(
+            h.table.select_values(&check, victim).unwrap()[1],
+            Value::string("overwritten-after-freeze")
+        );
+        h.manager.commit(&check);
+    }
+
+    #[test]
+    fn emptied_blocks_are_recycled() {
+        let mut h = harness(TransformConfig {
+            threshold_epochs: 1,
+            group_size: 10,
+            ..Default::default()
+        });
+        // Two blocks of data, then delete 80% of each: compaction should
+        // free at least one block.
+        let per_block = h.table.layout().num_slots() as usize;
+        let slots = insert_n(&h, 2 * per_block);
+        let txn = h.manager.begin();
+        let mut rng = mainline_common::rng::Xoshiro256::seed_from_u64(3);
+        let mut live = 0;
+        for &s in &slots {
+            if rng.next_below(100) < 80 {
+                h.table.delete(&txn, s).unwrap();
+            } else {
+                live += 1;
+            }
+        }
+        h.manager.commit(&txn);
+        insert_n(&h, 1); // fresh active block
+
+        let before = h.table.num_blocks();
+        settle(&mut h, 30);
+        // Let deferred block frees run.
+        h.gc.run_to_quiescence();
+        let stats = h.pipeline.stats();
+        assert!(stats.blocks_freed >= 1, "stats: {stats:?}");
+        assert!(h.table.num_blocks() < before);
+
+        let check = h.manager.begin();
+        assert_eq!(h.table.count_visible(&check), live + 1);
+        h.manager.commit(&check);
+    }
+
+    #[test]
+    fn dictionary_format_freezes_too() {
+        let mut h = harness(TransformConfig {
+            threshold_epochs: 1,
+            format: TransformFormat::Dictionary,
+            ..Default::default()
+        });
+        insert_n(&h, 500);
+        insert_n(&h, h.table.layout().num_slots() as usize);
+        settle(&mut h, 30);
+        let frozen = h
+            .table
+            .blocks()
+            .into_iter()
+            .find(|b| BlockStateMachine::state(b.header()) == BlockState::Frozen)
+            .expect("frozen block");
+        let col = frozen.arrow.get(2).unwrap();
+        assert!(matches!(
+            &*col,
+            mainline_storage::arrow_side::GatheredColumn::Dictionary { .. }
+        ));
+    }
+
+    #[test]
+    fn concurrent_updates_during_transformation_never_lose_data() {
+        let mut h = harness(TransformConfig { threshold_epochs: 1, ..Default::default() });
+        let slots = insert_n(&h, 2000);
+        insert_n(&h, h.table.layout().num_slots() as usize);
+
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let manager = Arc::clone(&h.manager);
+        let table = Arc::clone(&h.table);
+        let slots2 = slots.clone();
+        let stop2 = Arc::clone(&stop);
+        // Writer thread keeps updating while the pipeline transforms. Note
+        // slots may be moved by compaction; updates then fail with
+        // TupleNotVisible, which the writer tolerates by re-finding via scan
+        // — here we simply skip, the integrity check is count-based.
+        let writer = std::thread::spawn(move || {
+            let mut rng = mainline_common::rng::Xoshiro256::seed_from_u64(5);
+            let mut updated = 0u64;
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                let txn = manager.begin();
+                let slot = slots2[rng.next_below(slots2.len() as u64) as usize];
+                let mut d = ProjectedRow::new();
+                d.push_fixed(1, &Value::BigInt(rng.int_range(0, 1 << 40)));
+                match table.update(&txn, slot, &d) {
+                    Ok(()) => {
+                        manager.commit(&txn);
+                        updated += 1;
+                    }
+                    Err(_) => manager.abort(&txn),
+                }
+            }
+            updated
+        });
+        for _ in 0..50 {
+            h.gc.run();
+            h.pipeline.tick();
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let updated = writer.join().unwrap();
+        assert!(updated > 0);
+        h.gc.run_to_quiescence();
+
+        let check = h.manager.begin();
+        assert_eq!(
+            h.table.count_visible(&check),
+            2000 + h.table.layout().num_slots() as usize
+        );
+        h.manager.commit(&check);
+    }
+}

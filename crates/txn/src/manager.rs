@@ -1,0 +1,272 @@
+//! The transaction manager: begin / commit / abort (paper §3.1, §3.4).
+
+use crate::redo::RedoRecord;
+use crate::transaction::{Transaction, TxnOutcome};
+use crossbeam::queue::SegQueue;
+use mainline_common::pool::SegmentPool;
+use mainline_common::timestamp::{Timestamp, TimestampOracle};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Where committed transactions' redo buffers go (the log manager's flush
+/// queue, §3.4). The sink must eventually invoke `callback` once the commit
+/// record is durable; the DBMS withholds results from the client until then.
+pub trait CommitSink: Send + Sync {
+    /// Queue a transaction's redo records for flushing.
+    ///
+    /// `read_only` transactions also obtain a commit record "to guard
+    /// against the anomaly" of speculative reads, but the sink may skip
+    /// writing it to disk.
+    fn queue_commit(
+        &self,
+        commit_ts: Timestamp,
+        records: Vec<RedoRecord>,
+        read_only: bool,
+        callback: Box<dyn FnOnce() + Send>,
+    );
+}
+
+/// A sink that acknowledges instantly (logging disabled).
+pub struct NoopSink;
+
+impl CommitSink for NoopSink {
+    fn queue_commit(
+        &self,
+        _commit_ts: Timestamp,
+        _records: Vec<RedoRecord>,
+        _read_only: bool,
+        callback: Box<dyn FnOnce() + Send>,
+    ) {
+        callback();
+    }
+}
+
+/// Creates, tracks, commits, and aborts transactions.
+pub struct TransactionManager {
+    oracle: TimestampOracle,
+    /// Start timestamps of running transactions (for the GC's oldest-active
+    /// computation, §3.3).
+    active: Mutex<BTreeSet<u64>>,
+    /// Finished transactions awaiting garbage collection.
+    completed: SegQueue<Arc<Transaction>>,
+    /// The §3.1 "small critical section" serializing commits.
+    commit_latch: Mutex<()>,
+    /// Shared undo/redo segment pool.
+    pool: Arc<SegmentPool>,
+    /// Log hand-off.
+    sink: Arc<dyn CommitSink>,
+}
+
+impl TransactionManager {
+    /// Manager with logging disabled.
+    pub fn new() -> Self {
+        Self::with_sink(Arc::new(NoopSink))
+    }
+
+    /// Manager wired to a log manager.
+    pub fn with_sink(sink: Arc<dyn CommitSink>) -> Self {
+        TransactionManager {
+            oracle: TimestampOracle::new(),
+            active: Mutex::new(BTreeSet::new()),
+            completed: SegQueue::new(),
+            commit_latch: Mutex::new(()),
+            pool: Arc::new(SegmentPool::default()),
+            sink,
+        }
+    }
+
+    /// The shared timestamp oracle (GC epochs draw from the same order).
+    pub fn oracle(&self) -> &TimestampOracle {
+        &self.oracle
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self) -> Arc<Transaction> {
+        // Take the latch so a concurrent committer cannot observe a state
+        // where our start timestamp is drawn but not yet registered (the GC
+        // would then compute too-new an "oldest active" bound).
+        let _guard = self.commit_latch.lock();
+        let start = self.oracle.next();
+        self.active.lock().insert(start.0);
+        Arc::new(Transaction::new(start, Arc::clone(&self.pool)))
+    }
+
+    /// Commit a transaction; returns its commit timestamp.
+    ///
+    /// The §3.1 protocol: a small critical section obtains the commit
+    /// timestamp, publishes it into the delta records, and queues the redo
+    /// buffer for the log manager.
+    pub fn commit(&self, txn: &Arc<Transaction>) -> Timestamp {
+        assert_eq!(txn.outcome(), TxnOutcome::Active, "commit on finished txn");
+        let read_only = txn.write_set_size() == 0;
+        let commit_ts;
+        {
+            let _guard = self.commit_latch.lock();
+            commit_ts = self.oracle.next();
+            txn.publish_timestamp(commit_ts);
+            txn.set_commit_ts(commit_ts);
+            txn.set_outcome(TxnOutcome::Committed);
+            // The rest of the system treats the transaction as committed as
+            // soon as its commit record is in the flush queue (§3.4).
+            let records = txn.take_redo();
+            let t = Arc::clone(txn);
+            self.sink.queue_commit(
+                commit_ts,
+                records,
+                read_only,
+                Box::new(move || t.set_durable()),
+            );
+        }
+        self.active.lock().remove(&txn.start_ts().0);
+        txn.run_end_actions(true);
+        self.completed.push(Arc::clone(txn));
+        commit_ts
+    }
+
+    /// Abort a transaction, rolling back its in-place changes (§3.1).
+    ///
+    /// For each undo record (newest first): restore the before-image, then
+    /// re-publish the record with a committed timestamp equal to the
+    /// transaction's start — readers that copied the aborted version apply
+    /// the (now redundant) record and are repaired; nothing is unlinked.
+    pub fn abort(&self, txn: &Arc<Transaction>) {
+        assert_eq!(txn.outcome(), TxnOutcome::Active, "abort on finished txn");
+        let records = txn.undo_records();
+        for r in records.iter().rev() {
+            unsafe { crate::data_table::rollback_record(txn, *r) };
+        }
+        // Publish the records as "committed" at start: the restored in-place
+        // state *is* the pre-transaction state, so applying these records is
+        // harmless for everyone.
+        for r in records.iter() {
+            r.set_timestamp(txn.start_ts());
+        }
+        txn.set_outcome(TxnOutcome::Aborted);
+        self.active.lock().remove(&txn.start_ts().0);
+        txn.run_end_actions(false);
+        self.completed.push(Arc::clone(txn));
+    }
+
+    /// Oldest running transaction's start timestamp, or the current oracle
+    /// position when none are running (§3.3).
+    pub fn oldest_active_start(&self) -> Timestamp {
+        let active = self.active.lock();
+        match active.iter().next() {
+            Some(&t) => Timestamp(t),
+            None => self.oracle.peek(),
+        }
+    }
+
+    /// Number of running transactions.
+    pub fn active_count(&self) -> usize {
+        self.active.lock().len()
+    }
+
+    /// Drain finished transactions (the GC's intake).
+    pub fn drain_completed(&self, out: &mut Vec<Arc<Transaction>>) {
+        while let Some(t) = self.completed.pop() {
+            out.push(t);
+        }
+    }
+}
+
+impl Default for TransactionManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_commit_lifecycle() {
+        let m = TransactionManager::new();
+        let t = m.begin();
+        assert_eq!(m.active_count(), 1);
+        let ct = m.commit(&t);
+        assert_eq!(m.active_count(), 0);
+        assert!(ct > t.start_ts());
+        assert_eq!(t.outcome(), TxnOutcome::Committed);
+        assert_eq!(t.commit_ts(), Some(ct));
+        // NoopSink acks instantly.
+        assert!(t.is_durable());
+        let mut v = vec![];
+        m.drain_completed(&mut v);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn oldest_active_tracks_minimum() {
+        let m = TransactionManager::new();
+        let t1 = m.begin();
+        let t2 = m.begin();
+        assert_eq!(m.oldest_active_start(), t1.start_ts());
+        m.commit(&t1);
+        assert_eq!(m.oldest_active_start(), t2.start_ts());
+        m.commit(&t2);
+        // No active: oldest is "now", which exceeds both starts.
+        assert!(m.oldest_active_start() > t2.start_ts());
+    }
+
+    #[test]
+    fn commit_timestamps_are_ordered() {
+        let m = Arc::new(TransactionManager::new());
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                (0..200)
+                    .map(|_| {
+                        let t = m.begin();
+                        m.commit(&t).0
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "commit timestamps must be unique");
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_commit_panics() {
+        let m = TransactionManager::new();
+        let t = m.begin();
+        m.commit(&t);
+        m.commit(&t);
+    }
+
+    #[test]
+    fn read_only_commit_hits_sink() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct CountingSink(AtomicUsize, AtomicUsize);
+        impl CommitSink for CountingSink {
+            fn queue_commit(
+                &self,
+                _ts: Timestamp,
+                _records: Vec<RedoRecord>,
+                read_only: bool,
+                cb: Box<dyn FnOnce() + Send>,
+            ) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                if read_only {
+                    self.1.fetch_add(1, Ordering::SeqCst);
+                }
+                cb();
+            }
+        }
+        let sink = Arc::new(CountingSink(AtomicUsize::new(0), AtomicUsize::new(0)));
+        let m = TransactionManager::with_sink(Arc::clone(&sink) as Arc<dyn CommitSink>);
+        let t = m.begin();
+        m.commit(&t);
+        // Even read-only transactions obtain a commit record (§3.4).
+        assert_eq!(sink.0.load(Ordering::SeqCst), 1);
+        assert_eq!(sink.1.load(Ordering::SeqCst), 1);
+    }
+}

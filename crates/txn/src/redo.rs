@@ -1,0 +1,112 @@
+//! Redo buffers: physical after-images destined for the log (paper §3.4).
+//!
+//! "Each transaction maintains a redo buffer [...] writes changes to its redo
+//! buffer in the order that they occur. At commit time, the transaction
+//! appends a commit record." Unlike undo records, redo records carry the
+//! actual value bytes (varlen contents included) because they outlive the
+//! process.
+
+use mainline_storage::TupleSlot;
+
+/// After-image of one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedoCol {
+    /// Storage column id (1-based).
+    pub col: u16,
+    /// `None` encodes NULL; fixed columns carry `attr_size` bytes, varlen
+    /// columns carry the full value.
+    pub value: Option<Vec<u8>>,
+}
+
+/// The operation a redo record replays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RedoOp {
+    /// Insert with full after-image.
+    Insert(Vec<RedoCol>),
+    /// Update with partial after-image.
+    Update(Vec<RedoCol>),
+    /// Delete.
+    Delete,
+}
+
+/// One redo record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedoRecord {
+    /// Catalog table id.
+    pub table_id: u32,
+    /// The slot at the time of the operation (recovery remaps it).
+    pub slot: TupleSlot,
+    /// The replayable operation.
+    pub op: RedoOp,
+}
+
+/// A transaction's redo buffer.
+#[derive(Debug, Default)]
+pub struct RedoBuffer {
+    records: Vec<RedoRecord>,
+}
+
+impl RedoBuffer {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        RedoBuffer { records: Vec::new() }
+    }
+
+    /// Append one record (in operation order).
+    pub fn push(&mut self, r: RedoRecord) {
+        self.records.push(r);
+    }
+
+    /// Records in operation order.
+    pub fn records(&self) -> &[RedoRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the transaction wrote nothing.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Take the records out (hand-off to the log manager at commit).
+    pub fn take(&mut self) -> Vec<RedoRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_accumulates_in_order() {
+        let mut b = RedoBuffer::new();
+        assert!(b.is_empty());
+        b.push(RedoRecord {
+            table_id: 1,
+            slot: TupleSlot::from_raw(1 << 20),
+            op: RedoOp::Insert(vec![RedoCol { col: 1, value: Some(vec![1, 2]) }]),
+        });
+        b.push(RedoRecord {
+            table_id: 1,
+            slot: TupleSlot::from_raw(1 << 20),
+            op: RedoOp::Delete,
+        });
+        assert_eq!(b.len(), 2);
+        assert!(matches!(b.records()[0].op, RedoOp::Insert(_)));
+        assert!(matches!(b.records()[1].op, RedoOp::Delete));
+        let taken = b.take();
+        assert_eq!(taken.len(), 2);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn null_encoding() {
+        let c = RedoCol { col: 3, value: None };
+        assert!(c.value.is_none());
+    }
+}

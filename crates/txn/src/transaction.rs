@@ -1,0 +1,310 @@
+//! Transaction contexts (paper §3.1).
+//!
+//! A transaction owns its undo buffer (the version chains point into it) and
+//! its redo buffer. Contexts are used by one worker thread at a time, but are
+//! later read by the GC and the log manager, so the mutable state sits behind
+//! a lightweight mutex (uncontended on the hot path).
+
+use crate::redo::{RedoBuffer, RedoRecord};
+use crate::undo::{UndoBuffer, UndoKind, UndoRecordRef};
+use mainline_common::pool::SegmentPool;
+use mainline_common::Timestamp;
+use mainline_storage::projected_row::AttrImage;
+use mainline_storage::{TupleSlot, VarlenEntry};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How a transaction ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Still running.
+    Active,
+    /// Committed at `commit_ts`.
+    Committed,
+    /// Rolled back.
+    Aborted,
+}
+
+/// A transaction context.
+pub struct Transaction {
+    start: Timestamp,
+    txn_id: Timestamp,
+    /// Commit timestamp once committed (0 while running/aborted).
+    commit_ts: AtomicU64,
+    outcome: Mutex<TxnOutcome>,
+    /// True once the commit record is queued (reads of this txn's results
+    /// must wait for the log callback before release to the client, §3.4).
+    durable: AtomicBool,
+    inner: Mutex<TxnBuffers>,
+    pool: Arc<SegmentPool>,
+}
+
+struct TxnBuffers {
+    undo: UndoBuffer,
+    redo: RedoBuffer,
+    /// Varlen buffers orphaned by rollback; freed by the GC once no reader
+    /// can hold a copy of the entry (§4.4 "Memory Management").
+    orphans: Vec<VarlenEntry>,
+    /// Actions run right after the transaction ends (argument: committed?).
+    /// The execution layer uses these for index maintenance compensation —
+    /// e.g. undoing an eager index insert on abort, or deferring an index
+    /// delete until old snapshots drain.
+    end_actions: Vec<Box<dyn FnOnce(bool) + Send>>,
+}
+
+impl Transaction {
+    /// Create a context. Use [`crate::manager::TransactionManager::begin`]
+    /// instead of calling this directly.
+    pub(crate) fn new(start: Timestamp, pool: Arc<SegmentPool>) -> Self {
+        Transaction {
+            start,
+            txn_id: start.as_txn_id(),
+            commit_ts: AtomicU64::new(0),
+            outcome: Mutex::new(TxnOutcome::Active),
+            durable: AtomicBool::new(false),
+            inner: Mutex::new(TxnBuffers {
+                undo: UndoBuffer::new(),
+                redo: RedoBuffer::new(),
+                orphans: Vec::new(),
+                end_actions: Vec::new(),
+            }),
+            pool,
+        }
+    }
+
+    /// Start timestamp (snapshot point).
+    #[inline]
+    pub fn start_ts(&self) -> Timestamp {
+        self.start
+    }
+
+    /// Uncommitted transaction id (start with the sign bit flipped).
+    #[inline]
+    pub fn txn_id(&self) -> Timestamp {
+        self.txn_id
+    }
+
+    /// Commit timestamp, if committed.
+    pub fn commit_ts(&self) -> Option<Timestamp> {
+        match self.commit_ts.load(Ordering::Acquire) {
+            0 => None,
+            t => Some(Timestamp(t)),
+        }
+    }
+
+    /// Current outcome.
+    pub fn outcome(&self) -> TxnOutcome {
+        *self.outcome.lock()
+    }
+
+    /// True once the log manager confirmed durability.
+    pub fn is_durable(&self) -> bool {
+        self.durable.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn set_durable(&self) {
+        self.durable.store(true, Ordering::Release);
+    }
+
+    /// MVCC visibility of a version timestamp to this transaction.
+    #[inline]
+    pub fn can_see(&self, version_ts: Timestamp) -> bool {
+        version_ts.visible_to(self.start, self.txn_id)
+    }
+
+    /// Append an undo record and return its stable reference.
+    pub(crate) fn new_undo_record(
+        &self,
+        slot: TupleSlot,
+        table_id: u32,
+        kind: UndoKind,
+        deltas: &[AttrImage],
+        varlen_flags: &[bool],
+        next_raw: u64,
+    ) -> UndoRecordRef {
+        let mut inner = self.inner.lock();
+        inner.undo.new_record(
+            &self.pool,
+            self.txn_id,
+            slot,
+            table_id,
+            kind,
+            deltas,
+            varlen_flags,
+            next_raw,
+        )
+    }
+
+    /// Append a redo record.
+    pub(crate) fn push_redo(&self, r: RedoRecord) {
+        self.inner.lock().redo.push(r);
+    }
+
+    /// Forget the most recent (never-published) undo record after a lost
+    /// version-pointer CAS.
+    pub(crate) fn pop_undo_record(&self) {
+        self.inner.lock().undo.pop_last();
+    }
+
+    /// Stash a varlen entry whose buffer must be freed once this transaction
+    /// is garbage-collected.
+    pub(crate) fn stash_orphan(&self, e: VarlenEntry) {
+        if e.owns_buffer() {
+            self.inner.lock().orphans.push(e);
+        }
+    }
+
+    /// Register an action to run when the transaction finishes; it receives
+    /// `true` on commit, `false` on abort.
+    pub fn add_end_action(&self, f: impl FnOnce(bool) + Send + 'static) {
+        self.inner.lock().end_actions.push(Box::new(f));
+    }
+
+    /// Run the registered end actions (manager-internal).
+    pub(crate) fn run_end_actions(&self, committed: bool) {
+        let actions = std::mem::take(&mut self.inner.lock().end_actions);
+        for a in actions {
+            a(committed);
+        }
+    }
+
+    /// Undo records in creation order (GC / rollback iteration).
+    pub fn undo_records(&self) -> Vec<UndoRecordRef> {
+        self.inner.lock().undo.records().to_vec()
+    }
+
+    /// Number of undo records (the transaction's write-set size).
+    pub fn write_set_size(&self) -> usize {
+        self.inner.lock().undo.len()
+    }
+
+    /// Take the redo records (log hand-off at commit).
+    pub(crate) fn take_redo(&self) -> Vec<RedoRecord> {
+        self.inner.lock().redo.take()
+    }
+
+    pub(crate) fn set_outcome(&self, o: TxnOutcome) {
+        *self.outcome.lock() = o;
+    }
+
+    pub(crate) fn set_commit_ts(&self, ts: Timestamp) {
+        self.commit_ts.store(ts.0, Ordering::Release);
+    }
+
+    /// Publish `ts` into every undo record (the §3.1 commit critical
+    /// section's bulk timestamp update).
+    pub(crate) fn publish_timestamp(&self, ts: Timestamp) {
+        let inner = self.inner.lock();
+        for r in inner.undo.records() {
+            r.set_timestamp(ts);
+        }
+    }
+
+    /// GC final reclamation: free owned varlen before-images and orphans,
+    /// then return undo segments to the pool.
+    ///
+    /// # Safety
+    /// Caller (the GC) must guarantee no version chain or reader can still
+    /// reference this transaction's records or stashed buffers.
+    pub unsafe fn reclaim(&self) {
+        let mut inner = self.inner.lock();
+        for r in inner.undo.records() {
+            if r.kind() == UndoKind::Update {
+                for i in 0..r.ncols() {
+                    if !r.delta_is_varlen(i) {
+                        continue;
+                    }
+                    let d = r.delta(i);
+                    let e = d.as_varlen();
+                    if !d.null && e.owns_buffer() {
+                        e.free_buffer();
+                    }
+                }
+            }
+        }
+        for e in inner.orphans.drain(..) {
+            e.free_buffer();
+        }
+        inner.undo.release_segments(&self.pool);
+    }
+}
+
+impl std::fmt::Debug for Transaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Transaction(start={:?}, outcome={:?}, writes={})",
+            self.start,
+            self.outcome(),
+            self.write_set_size()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn(start: u64) -> Transaction {
+        Transaction::new(Timestamp(start), Arc::new(SegmentPool::default()))
+    }
+
+    #[test]
+    fn identity() {
+        let t = txn(9);
+        assert_eq!(t.start_ts(), Timestamp(9));
+        assert!(t.txn_id().is_uncommitted());
+        assert_eq!(t.txn_id().strip_uncommitted(), Timestamp(9));
+        assert_eq!(t.outcome(), TxnOutcome::Active);
+        assert_eq!(t.commit_ts(), None);
+        assert!(!t.is_durable());
+    }
+
+    #[test]
+    fn visibility_rules() {
+        let t = txn(10);
+        assert!(t.can_see(Timestamp(10)));
+        assert!(t.can_see(Timestamp(3)));
+        assert!(!t.can_see(Timestamp(11)));
+        assert!(t.can_see(t.txn_id())); // own writes
+        assert!(!t.can_see(Timestamp(4).as_txn_id())); // other uncommitted
+    }
+
+    #[test]
+    fn undo_record_and_publish() {
+        let t = txn(5);
+        let slot = TupleSlot::from_raw(3 << 20);
+        let r1 = t.new_undo_record(slot, 7, UndoKind::Insert, &[], &[], 0);
+        let r2 = t.new_undo_record(slot, 7, UndoKind::Delete, &[], &[], r1.as_raw());
+        assert_eq!(t.write_set_size(), 2);
+        assert!(r1.timestamp().is_uncommitted());
+        t.publish_timestamp(Timestamp(99));
+        assert_eq!(r1.timestamp(), Timestamp(99));
+        assert_eq!(r2.timestamp(), Timestamp(99));
+    }
+
+    #[test]
+    fn orphan_stash_ignores_non_owned() {
+        let t = txn(1);
+        t.stash_orphan(VarlenEntry::from_bytes(b"tiny")); // inlined: ignored
+        let owned = VarlenEntry::from_bytes(b"long enough to allocate a buffer");
+        t.stash_orphan(owned);
+        assert_eq!(t.inner.lock().orphans.len(), 1);
+        unsafe { t.reclaim() };
+        assert!(t.inner.lock().orphans.is_empty());
+    }
+
+    #[test]
+    fn reclaim_frees_update_before_images() {
+        let t = txn(2);
+        let e = VarlenEntry::from_bytes(b"before image with a heap buffer");
+        let img = AttrImage::from_varlen(2, false, e);
+        let slot = TupleSlot::from_raw(3 << 20);
+        t.new_undo_record(slot, 1, UndoKind::Update, &[img], &[true], 0);
+        // reclaim must not double-free or leak (checked by miri-style review;
+        // here we just exercise the path).
+        unsafe { t.reclaim() };
+        assert_eq!(t.write_set_size(), 0);
+    }
+}

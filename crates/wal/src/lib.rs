@@ -1,0 +1,22 @@
+//! `mainline-wal` — write-ahead logging and recovery (paper §3.4).
+//!
+//! * Each transaction accumulates physical after-images in its redo buffer;
+//!   at commit the buffer (plus a commit record) lands on the log manager's
+//!   flush queue.
+//! * The log manager serializes asynchronously, group-fsyncs, and then
+//!   invokes the per-transaction durability callbacks; the DBMS withholds
+//!   results from clients until then.
+//! * Records are ordered by commit timestamp, not LSN: the commit critical
+//!   section already serializes the hand-off.
+//! * Read-only transactions obtain a commit record too (to close the
+//!   speculative-read anomaly) but it is acknowledged without being written.
+//! * Recovery replays committed transactions in commit-timestamp order with
+//!   a slot-remapping table (physical slots change across restarts).
+
+pub mod log_manager;
+pub mod record;
+pub mod recovery;
+
+pub use log_manager::{LogManager, LogManagerConfig};
+pub use record::{LogEntry, LogPayload};
+pub use recovery::{recover, RecoveryStats};

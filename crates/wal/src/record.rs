@@ -1,0 +1,271 @@
+//! On-disk log record format.
+//!
+//! A log is a stream of length-prefixed entries:
+//!
+//! ```text
+//! [u32 frame_len][u8 kind][payload]
+//! kind 0 (Redo):   [u64 commit_ts][u32 table_id][u64 slot][u8 op]
+//!                  [u16 ncols]{[u16 col][u8 has][u32 len][bytes]}*
+//! kind 1 (Commit): [u64 commit_ts]
+//! ```
+//!
+//! `op`: 0 = insert, 1 = update, 2 = delete. A transaction's redo entries all
+//! carry its commit timestamp and precede its commit entry; recovery ignores
+//! transactions whose commit entry never made it to disk (§3.4 crash rule).
+
+use mainline_common::{Error, Result, Timestamp};
+use mainline_storage::TupleSlot;
+use mainline_txn::{RedoCol, RedoOp, RedoRecord};
+
+/// Parsed log entry payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogPayload {
+    /// One replayable operation.
+    Redo(RedoRecord),
+    /// Transaction commit marker.
+    Commit,
+}
+
+/// A parsed log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Commit timestamp of the owning transaction.
+    pub commit_ts: Timestamp,
+    /// Payload.
+    pub payload: LogPayload,
+}
+
+fn op_code(op: &RedoOp) -> (u8, Option<&[RedoCol]>) {
+    match op {
+        RedoOp::Insert(cols) => (0, Some(cols)),
+        RedoOp::Update(cols) => (1, Some(cols)),
+        RedoOp::Delete => (2, None),
+    }
+}
+
+/// Append one redo entry to `out`.
+pub fn encode_redo(out: &mut Vec<u8>, commit_ts: Timestamp, r: &RedoRecord) {
+    let start = out.len();
+    out.extend_from_slice(&0u32.to_le_bytes()); // frame_len placeholder
+    out.push(0u8);
+    out.extend_from_slice(&commit_ts.0.to_le_bytes());
+    out.extend_from_slice(&r.table_id.to_le_bytes());
+    out.extend_from_slice(&r.slot.raw().to_le_bytes());
+    let (code, cols) = op_code(&r.op);
+    out.push(code);
+    let cols = cols.unwrap_or(&[]);
+    out.extend_from_slice(&(cols.len() as u16).to_le_bytes());
+    for c in cols {
+        out.extend_from_slice(&c.col.to_le_bytes());
+        match &c.value {
+            Some(v) => {
+                out.push(1);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v);
+            }
+            None => {
+                out.push(0);
+                out.extend_from_slice(&0u32.to_le_bytes());
+            }
+        }
+    }
+    patch_len(out, start);
+}
+
+/// Append one commit entry to `out`.
+pub fn encode_commit(out: &mut Vec<u8>, commit_ts: Timestamp) {
+    let start = out.len();
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.push(1u8);
+    out.extend_from_slice(&commit_ts.0.to_le_bytes());
+    patch_len(out, start);
+}
+
+fn patch_len(out: &mut Vec<u8>, start: usize) {
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Streaming decoder over a byte slice. Stops cleanly at a truncated tail
+/// (the crash case: a partially written frame is ignored).
+pub struct LogReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> LogReader<'a> {
+    /// Read from the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        LogReader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    /// Next entry; `Ok(None)` at end-of-log (including a truncated tail).
+    pub fn next_entry(&mut self) -> Result<Option<LogEntry>> {
+        let save = self.pos;
+        let Some(len_bytes) = self.take(4) else { return Ok(None) };
+        let frame_len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+        let Some(frame) = self.take(frame_len) else {
+            // Torn tail write: pretend the log ends here.
+            self.pos = save;
+            return Ok(None);
+        };
+        let mut c = Cursor { bytes: frame, pos: 0 };
+        let kind = c.u8()?;
+        match kind {
+            0 => {
+                let commit_ts = Timestamp(c.u64()?);
+                let table_id = c.u32()?;
+                let slot = TupleSlot::from_raw(c.u64()?);
+                let op_code = c.u8()?;
+                let ncols = c.u16()? as usize;
+                let mut cols = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    let col = c.u16()?;
+                    let has = c.u8()? != 0;
+                    let len = c.u32()? as usize;
+                    let value = if has { Some(c.take(len)?.to_vec()) } else { c.skip(len)? };
+                    cols.push(RedoCol { col, value });
+                }
+                let op = match op_code {
+                    0 => RedoOp::Insert(cols),
+                    1 => RedoOp::Update(cols),
+                    2 => RedoOp::Delete,
+                    x => return Err(Error::Corrupt(format!("bad op code {x}"))),
+                };
+                Ok(Some(LogEntry {
+                    commit_ts,
+                    payload: LogPayload::Redo(RedoRecord { table_id, slot, op }),
+                }))
+            }
+            1 => {
+                let commit_ts = Timestamp(c.u64()?);
+                Ok(Some(LogEntry { commit_ts, payload: LogPayload::Commit }))
+            }
+            x => Err(Error::Corrupt(format!("bad log entry kind {x}"))),
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(Error::Corrupt("truncated log frame".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn skip(&mut self, n: usize) -> Result<Option<Vec<u8>>> {
+        self.take(n)?;
+        Ok(None)
+    }
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_redo() -> RedoRecord {
+        RedoRecord {
+            table_id: 3,
+            slot: TupleSlot::from_raw((9 << 20) | 17),
+            op: RedoOp::Insert(vec![
+                RedoCol { col: 1, value: Some(vec![1, 2, 3]) },
+                RedoCol { col: 2, value: None },
+            ]),
+        }
+    }
+
+    #[test]
+    fn roundtrip_mixed_entries() {
+        let mut log = Vec::new();
+        encode_redo(&mut log, Timestamp(5), &sample_redo());
+        encode_redo(
+            &mut log,
+            Timestamp(5),
+            &RedoRecord {
+                table_id: 3,
+                slot: TupleSlot::from_raw(9 << 20),
+                op: RedoOp::Delete,
+            },
+        );
+        encode_commit(&mut log, Timestamp(5));
+
+        let mut r = LogReader::new(&log);
+        let e1 = r.next_entry().unwrap().unwrap();
+        assert_eq!(e1.commit_ts, Timestamp(5));
+        assert_eq!(e1.payload, LogPayload::Redo(sample_redo()));
+        let e2 = r.next_entry().unwrap().unwrap();
+        assert!(matches!(
+            e2.payload,
+            LogPayload::Redo(RedoRecord { op: RedoOp::Delete, .. })
+        ));
+        let e3 = r.next_entry().unwrap().unwrap();
+        assert_eq!(e3.payload, LogPayload::Commit);
+        assert!(r.next_entry().unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_tail_is_ignored() {
+        let mut log = Vec::new();
+        encode_redo(&mut log, Timestamp(1), &sample_redo());
+        encode_commit(&mut log, Timestamp(1));
+        let full_len = log.len();
+        encode_redo(&mut log, Timestamp(2), &sample_redo());
+        // Simulate a crash mid-write: cut inside the last frame.
+        let torn = &log[..full_len + 7];
+        let mut r = LogReader::new(torn);
+        assert!(r.next_entry().unwrap().is_some());
+        assert!(r.next_entry().unwrap().is_some());
+        assert!(r.next_entry().unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupt_kind_rejected() {
+        let mut log = Vec::new();
+        encode_commit(&mut log, Timestamp(1));
+        log[4] = 99; // clobber the kind byte
+        let mut r = LogReader::new(&log);
+        assert!(r.next_entry().is_err());
+    }
+
+    #[test]
+    fn update_roundtrip() {
+        let rec = RedoRecord {
+            table_id: 1,
+            slot: TupleSlot::from_raw(1 << 20),
+            op: RedoOp::Update(vec![RedoCol { col: 4, value: Some(b"new-value".to_vec()) }]),
+        };
+        let mut log = Vec::new();
+        encode_redo(&mut log, Timestamp(9), &rec);
+        let mut r = LogReader::new(&log);
+        let e = r.next_entry().unwrap().unwrap();
+        assert_eq!(e.payload, LogPayload::Redo(rec));
+    }
+}

@@ -1,0 +1,269 @@
+//! Crash recovery: replay committed transactions in commit order (§3.4).
+//!
+//! Physical slots are process-lifetime identifiers, so recovery maintains a
+//! remapping from logged slots to freshly inserted ones. Transactions whose
+//! commit record is missing (crash before the flush) are ignored.
+
+use crate::record::{LogPayload, LogReader};
+use mainline_common::value::TypeId;
+use mainline_common::{Error, Result};
+use mainline_storage::layout::NUM_RESERVED_COLS;
+use mainline_storage::{ProjectedRow, TupleSlot, VarlenEntry};
+use mainline_txn::{DataTable, RedoOp, RedoRecord, TransactionManager};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// What recovery did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Committed transactions replayed.
+    pub txns_replayed: usize,
+    /// Transactions discarded for lack of a commit record.
+    pub txns_discarded: usize,
+    /// Individual operations applied.
+    pub ops_applied: usize,
+}
+
+/// Replay `log_bytes` into the given tables (keyed by table id).
+///
+/// The log's implicit commit-timestamp ordering (§3.4) means we can apply
+/// groups in stream order; a group becomes applicable only once its commit
+/// entry appears.
+pub fn recover(
+    log_bytes: &[u8],
+    manager: &TransactionManager,
+    tables: &HashMap<u32, Arc<DataTable>>,
+) -> Result<RecoveryStats> {
+    let mut stats = RecoveryStats::default();
+    let mut reader = LogReader::new(log_bytes);
+    // Buffer of redo records per commit timestamp awaiting their commit mark.
+    let mut groups: HashMap<u64, Vec<RedoRecord>> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    let mut committed: Vec<u64> = Vec::new();
+
+    while let Some(entry) = reader.next_entry()? {
+        match entry.payload {
+            LogPayload::Redo(r) => {
+                let ts = entry.commit_ts.0;
+                if !groups.contains_key(&ts) {
+                    order.push(ts);
+                }
+                groups.entry(ts).or_default().push(r);
+            }
+            LogPayload::Commit => committed.push(entry.commit_ts.0),
+        }
+    }
+
+    // Apply committed groups in commit order.
+    committed.sort_unstable();
+    let mut slot_map: HashMap<(u32, u64), TupleSlot> = HashMap::new();
+    for ts in &committed {
+        let Some(records) = groups.remove(ts) else {
+            // Read-only or empty transaction.
+            continue;
+        };
+        let txn = manager.begin();
+        for r in records {
+            let table = tables
+                .get(&r.table_id)
+                .ok_or_else(|| Error::NotFound(format!("table {}", r.table_id)))?;
+            let key = (r.table_id, r.slot.raw());
+            match r.op {
+                RedoOp::Insert(cols) => {
+                    let row = cols_to_row(table, &cols)?;
+                    let new_slot = table.insert(&txn, &row);
+                    slot_map.insert(key, new_slot);
+                }
+                RedoOp::Update(cols) => {
+                    let slot = *slot_map
+                        .get(&key)
+                        .ok_or_else(|| Error::Corrupt("update before insert in log".into()))?;
+                    let row = cols_to_row(table, &cols)?;
+                    table
+                        .update(&txn, slot, &row)
+                        .map_err(|e| Error::Corrupt(format!("replay update failed: {e}")))?;
+                }
+                RedoOp::Delete => {
+                    let slot = *slot_map
+                        .get(&key)
+                        .ok_or_else(|| Error::Corrupt("delete before insert in log".into()))?;
+                    table
+                        .delete(&txn, slot)
+                        .map_err(|e| Error::Corrupt(format!("replay delete failed: {e}")))?;
+                }
+            }
+            stats.ops_applied += 1;
+        }
+        manager.commit(&txn);
+        stats.txns_replayed += 1;
+    }
+    stats.txns_discarded = groups.len();
+    Ok(stats)
+}
+
+fn cols_to_row(table: &DataTable, cols: &[mainline_txn::RedoCol]) -> Result<ProjectedRow> {
+    let mut row = ProjectedRow::with_capacity(cols.len());
+    let layout = table.layout();
+    for c in cols {
+        match &c.value {
+            None => row.push_null(c.col),
+            Some(bytes) => {
+                if layout.is_varlen(c.col) {
+                    row.push_varlen(c.col, VarlenEntry::from_bytes(bytes));
+                } else {
+                    let user_idx = c.col as usize - NUM_RESERVED_COLS;
+                    let ty: TypeId = table.types()[user_idx];
+                    let expected = ty.attr_size() as usize;
+                    if bytes.len() != expected {
+                        return Err(Error::Corrupt(format!(
+                            "column {} image has {} bytes, expected {expected}",
+                            c.col,
+                            bytes.len()
+                        )));
+                    }
+                    let mut image = [0u8; 16];
+                    image[..bytes.len()].copy_from_slice(bytes);
+                    row.push_raw(c.col, false, image);
+                }
+            }
+        }
+    }
+    Ok(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log_manager::{LogManager, LogManagerConfig};
+    use mainline_common::schema::{ColumnDef, Schema};
+    use mainline_common::value::Value;
+    use mainline_txn::CommitSink;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::new("id", TypeId::BigInt),
+            ColumnDef::nullable("name", TypeId::Varchar),
+        ])
+    }
+
+    fn row(id: i64, name: Option<&str>) -> ProjectedRow {
+        ProjectedRow::from_values(
+            &[TypeId::BigInt, TypeId::Varchar],
+            &[Value::BigInt(id), name.map_or(Value::Null, Value::string)],
+        )
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mainline-recovery-{}-{}", std::process::id(), name));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn end_to_end_log_and_recover() {
+        let path = tmp("e2e");
+        // --- Original lifetime ---
+        {
+            let lm = LogManager::start(LogManagerConfig {
+                fsync: false,
+                ..LogManagerConfig::new(&path)
+            })
+            .unwrap();
+            let m = TransactionManager::with_sink(
+                Arc::clone(&lm) as Arc<dyn CommitSink>
+            );
+            let t = DataTable::new(7, schema()).unwrap();
+
+            let t1 = m.begin();
+            let s1 = t.insert(&t1, &row(1, Some("first-value-quite-long")));
+            let _s2 = t.insert(&t1, &row(2, None));
+            m.commit(&t1);
+
+            let t2 = m.begin();
+            let mut d = ProjectedRow::new();
+            d.push_fixed(1, &Value::BigInt(100));
+            t.update(&t2, s1, &d).unwrap();
+            m.commit(&t2);
+
+            let t3 = m.begin();
+            let s3 = t.insert(&t3, &row(3, Some("doomed")));
+            t.delete(&t3, s3).unwrap();
+            m.commit(&t3);
+
+            // An aborted transaction must not be replayed.
+            let bad = m.begin();
+            t.insert(&bad, &row(999, Some("aborted insert")));
+            m.abort(&bad);
+
+            lm.shutdown();
+        }
+        // --- Recovery lifetime ---
+        let log = std::fs::read(&path).unwrap();
+        let m2 = TransactionManager::new();
+        let t2 = DataTable::new(7, schema()).unwrap();
+        let mut tables = HashMap::new();
+        tables.insert(7u32, Arc::clone(&t2));
+        let stats = recover(&log, &m2, &tables).unwrap();
+        assert_eq!(stats.txns_replayed, 3);
+        assert_eq!(stats.txns_discarded, 0);
+        assert!(stats.ops_applied >= 5);
+
+        let check = m2.begin();
+        let mut rows = Vec::new();
+        t2.scan(&check, &t2.all_cols(), |_, r| {
+            rows.push(t2.row_to_values(r));
+            true
+        });
+        rows.sort_by_key(|r| match r[0] {
+            Value::BigInt(x) => x,
+            _ => unreachable!(),
+        });
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![Value::BigInt(2), Value::Null]);
+        assert_eq!(rows[1], vec![Value::BigInt(100), Value::string("first-value-quite-long")]);
+        m2.commit(&check);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn uncommitted_tail_discarded() {
+        // Hand-craft a log with a group missing its commit record.
+        let mut log = Vec::new();
+        let rec = RedoRecord {
+            table_id: 7,
+            slot: TupleSlot::from_raw(1 << 20),
+            op: RedoOp::Insert(vec![
+                mainline_txn::RedoCol { col: 1, value: Some(5i64.to_le_bytes().to_vec()) },
+                mainline_txn::RedoCol { col: 2, value: None },
+            ]),
+        };
+        crate::record::encode_redo(&mut log, mainline_common::Timestamp(9), &rec);
+        // No commit entry.
+        let m = TransactionManager::new();
+        let t = DataTable::new(7, schema()).unwrap();
+        let mut tables = HashMap::new();
+        tables.insert(7u32, Arc::clone(&t));
+        let stats = recover(&log, &m, &tables).unwrap();
+        assert_eq!(stats.txns_replayed, 0);
+        assert_eq!(stats.txns_discarded, 1);
+        let check = m.begin();
+        assert_eq!(t.count_visible(&check), 0);
+        m.commit(&check);
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let mut log = Vec::new();
+        let rec = RedoRecord {
+            table_id: 99,
+            slot: TupleSlot::from_raw(1 << 20),
+            op: RedoOp::Delete,
+        };
+        crate::record::encode_redo(&mut log, mainline_common::Timestamp(1), &rec);
+        crate::record::encode_commit(&mut log, mainline_common::Timestamp(1));
+        let m = TransactionManager::new();
+        let tables = HashMap::new();
+        assert!(recover(&log, &m, &tables).is_err());
+    }
+}

@@ -1,0 +1,10 @@
+//! `mainline-workloads` — benchmark drivers for the paper's evaluation.
+//!
+//! * [`tpcc`] — TPC-C schema, loader, and the five transaction types with
+//!   the standard mix (Fig. 10).
+//! * [`tpch`] — a TPC-H `LINEITEM` generator (Fig. 1's export source).
+//! * [`rowcol`] — the row-store vs column-store micro-benchmark (Fig. 11).
+
+pub mod rowcol;
+pub mod tpcc;
+pub mod tpch;

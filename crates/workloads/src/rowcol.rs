@@ -1,0 +1,236 @@
+//! Row-store vs column-store micro-benchmark (paper Fig. 11).
+//!
+//! "We simulate a row-store by declaring a single, large column that stores
+//! all of a tuple's attributes contiguously. Each attribute is an 8-byte
+//! fixed-length integer. We fix the number of threads executing queries and
+//! scale up the number of attributes per tuple from one to 64."
+//!
+//! The single large column is a varlen column holding the packed `8·k`-byte
+//! tuple (the engine's widest fixed attribute is 16 bytes, same as the
+//! paper's system): inserts write the whole tuple once, and updates rewrite
+//! the whole tuple — the classic row-store write amplification that the
+//! experiment is about. Index maintenance is excluded ("this cost is the
+//! same for both storage models"), so this module drives `DataTable`
+//! directly.
+
+use mainline_common::rng::Xoshiro256;
+use mainline_common::schema::{ColumnDef, Schema};
+use mainline_common::value::TypeId;
+use mainline_storage::layout::NUM_RESERVED_COLS;
+use mainline_storage::{ProjectedRow, TupleSlot, VarlenEntry};
+use mainline_txn::{DataTable, TransactionManager};
+use std::sync::Arc;
+
+/// Storage model under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageModel {
+    /// One 8-byte column per attribute (the engine's native model).
+    Column,
+    /// One wide column holding the whole packed tuple.
+    Row,
+}
+
+/// A table of `attrs` 8-byte integer attributes under the given model.
+pub struct RowColTable {
+    /// Storage model.
+    pub model: StorageModel,
+    /// Logical attribute count.
+    pub attrs: usize,
+    /// The backing table.
+    pub table: Arc<DataTable>,
+}
+
+impl RowColTable {
+    /// Build the table.
+    pub fn new(model: StorageModel, attrs: usize) -> Self {
+        assert!((1..=64).contains(&attrs));
+        let table = match model {
+            StorageModel::Column => {
+                let cols =
+                    (0..attrs).map(|i| ColumnDef::new(&format!("a{i}"), TypeId::BigInt)).collect();
+                DataTable::new(1, Schema::new(cols)).unwrap()
+            }
+            StorageModel::Row => DataTable::new(
+                1,
+                Schema::new(vec![ColumnDef::new("row", TypeId::Varchar)]),
+            )
+            .unwrap(),
+        };
+        RowColTable { model, attrs, table }
+    }
+
+    fn packed_tuple(&self, rng: &mut Xoshiro256) -> Vec<u8> {
+        let mut bytes = vec![0u8; self.attrs * 8];
+        for c in 0..self.attrs {
+            bytes[c * 8..(c + 1) * 8].copy_from_slice(&rng.next_u64().to_le_bytes());
+        }
+        bytes
+    }
+
+    /// Insert one tuple; returns its slot.
+    pub fn insert(&self, txn: &mainline_txn::Transaction, rng: &mut Xoshiro256) -> TupleSlot {
+        match self.model {
+            StorageModel::Column => {
+                let mut row = ProjectedRow::with_capacity(self.attrs);
+                for c in 0..self.attrs {
+                    let mut image = [0u8; 16];
+                    image[..8].copy_from_slice(&rng.next_u64().to_le_bytes());
+                    row.push_raw((c + NUM_RESERVED_COLS) as u16, false, image);
+                }
+                self.table.insert(txn, &row)
+            }
+            StorageModel::Row => {
+                let mut row = ProjectedRow::with_capacity(1);
+                row.push_varlen(1, VarlenEntry::from_bytes(&self.packed_tuple(rng)));
+                self.table.insert(txn, &row)
+            }
+        }
+    }
+
+    /// Update `k` attributes of an existing tuple. The column-store touches
+    /// exactly `k` columns; the row-store must rewrite the whole tuple.
+    pub fn update(
+        &self,
+        txn: &mainline_txn::Transaction,
+        slot: TupleSlot,
+        k: usize,
+        rng: &mut Xoshiro256,
+    ) -> mainline_common::Result<()> {
+        let k = k.min(self.attrs);
+        match self.model {
+            StorageModel::Column => {
+                let mut delta = ProjectedRow::with_capacity(k);
+                for c in 0..k {
+                    let mut image = [0u8; 16];
+                    image[..8].copy_from_slice(&rng.next_u64().to_le_bytes());
+                    delta.push_raw((c + NUM_RESERVED_COLS) as u16, false, image);
+                }
+                self.table.update(txn, slot, &delta)
+            }
+            StorageModel::Row => {
+                // Read-modify-write of the entire packed tuple.
+                let cur = self
+                    .table
+                    .select(txn, slot, &[1])
+                    .ok_or(mainline_common::Error::TupleNotVisible)?;
+                let mut bytes = unsafe { cur.attrs()[0].as_varlen().to_vec() };
+                for c in 0..k {
+                    bytes[c * 8..(c + 1) * 8].copy_from_slice(&rng.next_u64().to_le_bytes());
+                }
+                let mut delta = ProjectedRow::with_capacity(1);
+                delta.push_varlen(1, VarlenEntry::from_bytes(&bytes));
+                self.table.update(txn, slot, &delta)
+            }
+        }
+    }
+}
+
+/// Throughput measurement for Fig. 11: `ops` inserts or updates touching
+/// `attrs_touched` attributes each; returns ops/second.
+pub fn run_ops(
+    table: &RowColTable,
+    manager: &TransactionManager,
+    ops: usize,
+    attrs_touched: usize,
+    update_mode: bool,
+    seed: u64,
+) -> f64 {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    // Pre-populate targets for updates.
+    let slots: Vec<TupleSlot> = if update_mode {
+        let txn = manager.begin();
+        let s = (0..10_000.min(ops)).map(|_| table.insert(&txn, &mut rng)).collect();
+        manager.commit(&txn);
+        s
+    } else {
+        Vec::new()
+    };
+    let start = std::time::Instant::now();
+    let txn = manager.begin();
+    if update_mode {
+        for i in 0..ops {
+            let slot = slots[i % slots.len()];
+            table.update(&txn, slot, attrs_touched, &mut rng).unwrap();
+        }
+    } else {
+        for _ in 0..ops {
+            table.insert(&txn, &mut rng);
+        }
+    }
+    manager.commit(&txn);
+    ops as f64 / start.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_model_roundtrip() {
+        let t = RowColTable::new(StorageModel::Column, 8);
+        let m = TransactionManager::new();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let txn = m.begin();
+        let slot = t.insert(&txn, &mut rng);
+        t.update(&txn, slot, 4, &mut rng).unwrap();
+        m.commit(&txn);
+        let check = m.begin();
+        assert_eq!(t.table.count_visible(&check), 1);
+        m.commit(&check);
+    }
+
+    #[test]
+    fn row_model_packs_whole_tuple() {
+        let t = RowColTable::new(StorageModel::Row, 16);
+        let m = TransactionManager::new();
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let txn = m.begin();
+        let slot = t.insert(&txn, &mut rng);
+        m.commit(&txn);
+        let check = m.begin();
+        let row = t.table.select(&check, slot, &[1]).unwrap();
+        assert_eq!(row.attrs()[0].as_varlen().len(), 16 * 8);
+        m.commit(&check);
+    }
+
+    #[test]
+    fn row_update_rewrites_tuple() {
+        let t = RowColTable::new(StorageModel::Row, 8);
+        let m = TransactionManager::new();
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let txn = m.begin();
+        let slot = t.insert(&txn, &mut rng);
+        m.commit(&txn);
+        let before = {
+            let c = m.begin();
+            let row = t.table.select(&c, slot, &[1]).unwrap();
+            let v = unsafe { row.attrs()[0].as_varlen().to_vec() };
+            m.commit(&c);
+            v
+        };
+        let txn = m.begin();
+        t.update(&txn, slot, 2, &mut rng).unwrap();
+        m.commit(&txn);
+        let after = {
+            let c = m.begin();
+            let row = t.table.select(&c, slot, &[1]).unwrap();
+            let v = unsafe { row.attrs()[0].as_varlen().to_vec() };
+            m.commit(&c);
+            v
+        };
+        assert_eq!(after.len(), before.len());
+        assert_ne!(after[..16], before[..16], "first two attrs rewritten");
+        assert_eq!(after[16..], before[16..], "remaining attrs preserved");
+    }
+
+    #[test]
+    fn throughput_helper_runs() {
+        let t = RowColTable::new(StorageModel::Column, 4);
+        let m = TransactionManager::new();
+        let tput = run_ops(&t, &m, 2_000, 4, false, 3);
+        assert!(tput > 0.0);
+        let t2 = RowColTable::new(StorageModel::Row, 4);
+        let tput2 = run_ops(&t2, &m, 2_000, 2, true, 4);
+        assert!(tput2 > 0.0);
+    }
+}

@@ -1,0 +1,1037 @@
+//! TPC-C (revision 5.9-style) against the mainline storage engine.
+//!
+//! The paper's §6.1 runs TPC-C with one warehouse per worker, JIT-compiled
+//! stored procedures, and the block transformation targeting the cold-data
+//! tables ORDER, ORDER_LINE, HISTORY, and ITEM. Here the five transactions
+//! are Rust functions over the `TableHandle` API (same role as compiled
+//! stored procedures), with the standard mix.
+
+use mainline_common::rng::Xoshiro256;
+use mainline_common::schema::{ColumnDef, Schema};
+use mainline_common::value::{TypeId, Value};
+use mainline_common::{Error, Result};
+use mainline_db::{Database, IndexSpec, TableHandle};
+use std::sync::Arc;
+
+/// Scale knobs. `TpccConfig::spec()` follows the TPC-C sizes; tests use
+/// `TpccConfig::mini()`.
+#[derive(Debug, Clone)]
+pub struct TpccConfig {
+    /// Number of warehouses.
+    pub warehouses: u32,
+    /// Items in the catalog (spec: 100_000).
+    pub items: u32,
+    /// Districts per warehouse (spec: 10).
+    pub districts: u32,
+    /// Customers per district (spec: 3_000).
+    pub customers: u32,
+    /// Initial orders per district (spec: 3_000).
+    pub orders: u32,
+}
+
+impl TpccConfig {
+    /// Spec-faithful sizes (heavy: ~500 K rows per warehouse).
+    pub fn spec(warehouses: u32) -> Self {
+        TpccConfig { warehouses, items: 100_000, districts: 10, customers: 3_000, orders: 3_000 }
+    }
+
+    /// Bench sizes: full shape at ~1/10 volume per warehouse.
+    pub fn bench(warehouses: u32) -> Self {
+        TpccConfig { warehouses, items: 10_000, districts: 10, customers: 300, orders: 300 }
+    }
+
+    /// Tiny sizes for unit tests.
+    pub fn mini(warehouses: u32) -> Self {
+        TpccConfig { warehouses, items: 200, districts: 2, customers: 30, orders: 20 }
+    }
+}
+
+/// Handles to the nine TPC-C tables.
+pub struct Tpcc {
+    /// Scale configuration.
+    pub config: TpccConfig,
+    /// WAREHOUSE.
+    pub warehouse: Arc<TableHandle>,
+    /// DISTRICT.
+    pub district: Arc<TableHandle>,
+    /// CUSTOMER.
+    pub customer: Arc<TableHandle>,
+    /// HISTORY (cold: transformation target).
+    pub history: Arc<TableHandle>,
+    /// NEW_ORDER.
+    pub new_order: Arc<TableHandle>,
+    /// ORDER (cold: transformation target).
+    pub order: Arc<TableHandle>,
+    /// ORDER_LINE (cold: transformation target).
+    pub order_line: Arc<TableHandle>,
+    /// ITEM (read-only: transformation target).
+    pub item: Arc<TableHandle>,
+    /// STOCK.
+    pub stock: Arc<TableHandle>,
+}
+
+/// Per-driver counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TpccStats {
+    /// Committed transactions by type: [NewOrder, Payment, OrderStatus, Delivery, StockLevel].
+    pub committed: [u64; 5],
+    /// Aborts (write-write conflicts + the 1% NewOrder rollbacks).
+    pub aborted: u64,
+}
+
+impl TpccStats {
+    /// Total committed transactions.
+    pub fn total(&self) -> u64 {
+        self.committed.iter().sum()
+    }
+}
+
+const V: fn(&str) -> Value = Value::string;
+
+impl Tpcc {
+    /// Create the TPC-C tables. `transform_cold_tables` registers ORDER,
+    /// ORDER_LINE, HISTORY, and ITEM with the transformation pipeline
+    /// (§6.1's target set).
+    pub fn create(db: &Database, config: TpccConfig, transform_cold_tables: bool) -> Result<Tpcc> {
+        use TypeId::*;
+        let warehouse = db.create_table(
+            "warehouse",
+            Schema::new(vec![
+                ColumnDef::new("w_id", Integer),
+                ColumnDef::new("w_name", Varchar),
+                ColumnDef::new("w_street_1", Varchar),
+                ColumnDef::new("w_street_2", Varchar),
+                ColumnDef::new("w_city", Varchar),
+                ColumnDef::new("w_state", Varchar),
+                ColumnDef::new("w_zip", Varchar),
+                ColumnDef::new("w_tax", Double),
+                ColumnDef::new("w_ytd", Double),
+            ]),
+            vec![IndexSpec::new("pk", &[0])],
+            false,
+        )?;
+        let district = db.create_table(
+            "district",
+            Schema::new(vec![
+                ColumnDef::new("d_w_id", Integer),
+                ColumnDef::new("d_id", Integer),
+                ColumnDef::new("d_name", Varchar),
+                ColumnDef::new("d_street_1", Varchar),
+                ColumnDef::new("d_city", Varchar),
+                ColumnDef::new("d_state", Varchar),
+                ColumnDef::new("d_zip", Varchar),
+                ColumnDef::new("d_tax", Double),
+                ColumnDef::new("d_ytd", Double),
+                ColumnDef::new("d_next_o_id", BigInt),
+            ]),
+            vec![IndexSpec::new("pk", &[0, 1])],
+            false,
+        )?;
+        let customer = db.create_table(
+            "customer",
+            Schema::new(vec![
+                ColumnDef::new("c_w_id", Integer),
+                ColumnDef::new("c_d_id", Integer),
+                ColumnDef::new("c_id", Integer),
+                ColumnDef::new("c_first", Varchar),
+                ColumnDef::new("c_middle", Varchar),
+                ColumnDef::new("c_last", Varchar),
+                ColumnDef::new("c_street_1", Varchar),
+                ColumnDef::new("c_city", Varchar),
+                ColumnDef::new("c_state", Varchar),
+                ColumnDef::new("c_zip", Varchar),
+                ColumnDef::new("c_phone", Varchar),
+                ColumnDef::new("c_since", BigInt),
+                ColumnDef::new("c_credit", Varchar),
+                ColumnDef::new("c_credit_lim", Double),
+                ColumnDef::new("c_discount", Double),
+                ColumnDef::new("c_balance", Double),
+                ColumnDef::new("c_ytd_payment", Double),
+                ColumnDef::new("c_payment_cnt", Integer),
+                ColumnDef::new("c_delivery_cnt", Integer),
+                ColumnDef::new("c_data", Varchar),
+            ]),
+            vec![IndexSpec::new("pk", &[0, 1, 2]), IndexSpec::new("by_last", &[0, 1, 5])],
+            false,
+        )?;
+        let history = db.create_table(
+            "history",
+            Schema::new(vec![
+                ColumnDef::new("h_c_id", Integer),
+                ColumnDef::new("h_c_d_id", Integer),
+                ColumnDef::new("h_c_w_id", Integer),
+                ColumnDef::new("h_d_id", Integer),
+                ColumnDef::new("h_w_id", Integer),
+                ColumnDef::new("h_date", BigInt),
+                ColumnDef::new("h_amount", Double),
+                ColumnDef::new("h_data", Varchar),
+            ]),
+            vec![],
+            transform_cold_tables,
+        )?;
+        let new_order = db.create_table(
+            "new_order",
+            Schema::new(vec![
+                ColumnDef::new("no_w_id", Integer),
+                ColumnDef::new("no_d_id", Integer),
+                ColumnDef::new("no_o_id", BigInt),
+            ]),
+            vec![IndexSpec::new("pk", &[0, 1, 2])],
+            false,
+        )?;
+        let order = db.create_table(
+            "order",
+            Schema::new(vec![
+                ColumnDef::new("o_w_id", Integer),
+                ColumnDef::new("o_d_id", Integer),
+                ColumnDef::new("o_id", BigInt),
+                ColumnDef::new("o_c_id", Integer),
+                ColumnDef::new("o_entry_d", BigInt),
+                ColumnDef::new("o_carrier_id", Integer),
+                ColumnDef::new("o_ol_cnt", Integer),
+                ColumnDef::new("o_all_local", Integer),
+            ]),
+            vec![IndexSpec::new("pk", &[0, 1, 2]), IndexSpec::new("by_customer", &[0, 1, 3, 2])],
+            transform_cold_tables,
+        )?;
+        let order_line = db.create_table(
+            "order_line",
+            Schema::new(vec![
+                ColumnDef::new("ol_w_id", Integer),
+                ColumnDef::new("ol_d_id", Integer),
+                ColumnDef::new("ol_o_id", BigInt),
+                ColumnDef::new("ol_number", Integer),
+                ColumnDef::new("ol_i_id", Integer),
+                ColumnDef::new("ol_supply_w_id", Integer),
+                ColumnDef::new("ol_delivery_d", BigInt),
+                ColumnDef::new("ol_quantity", Integer),
+                ColumnDef::new("ol_amount", Double),
+                ColumnDef::new("ol_dist_info", Varchar),
+            ]),
+            vec![IndexSpec::new("pk", &[0, 1, 2, 3])],
+            transform_cold_tables,
+        )?;
+        let item = db.create_table(
+            "item",
+            Schema::new(vec![
+                ColumnDef::new("i_id", Integer),
+                ColumnDef::new("i_im_id", Integer),
+                ColumnDef::new("i_name", Varchar),
+                ColumnDef::new("i_price", Double),
+                ColumnDef::new("i_data", Varchar),
+            ]),
+            vec![IndexSpec::new("pk", &[0])],
+            transform_cold_tables,
+        )?;
+        let stock = db.create_table(
+            "stock",
+            Schema::new(vec![
+                ColumnDef::new("s_w_id", Integer),
+                ColumnDef::new("s_i_id", Integer),
+                ColumnDef::new("s_quantity", Integer),
+                ColumnDef::new("s_dist_info", Varchar),
+                ColumnDef::new("s_ytd", Double),
+                ColumnDef::new("s_order_cnt", Integer),
+                ColumnDef::new("s_remote_cnt", Integer),
+                ColumnDef::new("s_data", Varchar),
+            ]),
+            vec![IndexSpec::new("pk", &[0, 1])],
+            false,
+        )?;
+        Ok(Tpcc {
+            config,
+            warehouse,
+            district,
+            customer,
+            history,
+            new_order,
+            order,
+            order_line,
+            item,
+            stock,
+        })
+    }
+
+    /// Load initial data (one transaction per warehouse region + one for
+    /// items, mirroring the usual loader granularity).
+    pub fn load(&self, db: &Database, seed: u64) -> Result<()> {
+        let cfg = &self.config;
+        let m = db.manager();
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+
+        // ITEM.
+        let txn = m.begin();
+        for i in 1..=cfg.items {
+            self.item.insert(&txn, &[
+                Value::Integer(i as i32),
+                Value::Integer(rng.int_range(1, 10_000) as i32),
+                Value::Varchar(rng.alnum_string(14, 24)),
+                Value::Double(rng.int_range(100, 10_000) as f64 / 100.0),
+                Value::Varchar(rng.alnum_string(26, 50)),
+            ]);
+        }
+        m.commit(&txn);
+
+        for w in 1..=cfg.warehouses as i32 {
+            let txn = m.begin();
+            self.warehouse.insert(&txn, &[
+                Value::Integer(w),
+                Value::Varchar(rng.alnum_string(6, 10)),
+                Value::Varchar(rng.alnum_string(10, 20)),
+                Value::Varchar(rng.alnum_string(10, 20)),
+                Value::Varchar(rng.alnum_string(10, 20)),
+                Value::Varchar(rng.alnum_string(2, 2)),
+                Value::Varchar(rng.alnum_string(9, 9)),
+                Value::Double(rng.int_range(0, 2000) as f64 / 10_000.0),
+                Value::Double(300_000.0),
+            ]);
+            // STOCK.
+            for i in 1..=cfg.items {
+                self.stock.insert(&txn, &[
+                    Value::Integer(w),
+                    Value::Integer(i as i32),
+                    Value::Integer(rng.int_range(10, 100) as i32),
+                    Value::Varchar(rng.alnum_string(24, 24)),
+                    Value::Double(0.0),
+                    Value::Integer(0),
+                    Value::Integer(0),
+                    Value::Varchar(rng.alnum_string(26, 50)),
+                ]);
+            }
+            for d in 1..=cfg.districts as i32 {
+                self.district.insert(&txn, &[
+                    Value::Integer(w),
+                    Value::Integer(d),
+                    Value::Varchar(rng.alnum_string(6, 10)),
+                    Value::Varchar(rng.alnum_string(10, 20)),
+                    Value::Varchar(rng.alnum_string(10, 20)),
+                    Value::Varchar(rng.alnum_string(2, 2)),
+                    Value::Varchar(rng.alnum_string(9, 9)),
+                    Value::Double(rng.int_range(0, 2000) as f64 / 10_000.0),
+                    Value::Double(30_000.0),
+                    Value::BigInt(cfg.orders as i64 + 1),
+                ]);
+                for c in 1..=cfg.customers as i32 {
+                    self.customer.insert(&txn, &[
+                        Value::Integer(w),
+                        Value::Integer(d),
+                        Value::Integer(c),
+                        Value::Varchar(rng.alnum_string(8, 16)),
+                        V("OE"),
+                        Value::string(&last_name((c as u64 - 1) % 1000)),
+                        Value::Varchar(rng.alnum_string(10, 20)),
+                        Value::Varchar(rng.alnum_string(10, 20)),
+                        Value::Varchar(rng.alnum_string(2, 2)),
+                        Value::Varchar(rng.alnum_string(9, 9)),
+                        Value::Varchar(rng.alnum_string(16, 16)),
+                        Value::BigInt(0),
+                        if rng.next_below(10) == 0 { V("BC") } else { V("GC") },
+                        Value::Double(50_000.0),
+                        Value::Double(rng.int_range(0, 5000) as f64 / 10_000.0),
+                        Value::Double(-10.0),
+                        Value::Double(10.0),
+                        Value::Integer(1),
+                        Value::Integer(0),
+                        Value::Varchar(rng.alnum_string(100, 200)),
+                    ]);
+                    self.history.insert(&txn, &[
+                        Value::Integer(c),
+                        Value::Integer(d),
+                        Value::Integer(w),
+                        Value::Integer(d),
+                        Value::Integer(w),
+                        Value::BigInt(0),
+                        Value::Double(10.0),
+                        Value::Varchar(rng.alnum_string(12, 24)),
+                    ]);
+                }
+                // Initial orders: each customer has exactly one, scrambled.
+                let mut cust_ids: Vec<i32> = (1..=cfg.customers as i32).collect();
+                rng.shuffle(&mut cust_ids);
+                for o in 1..=cfg.orders as i64 {
+                    let c_id = cust_ids[(o as usize - 1) % cust_ids.len()];
+                    let ol_cnt = rng.int_range(5, 15) as i32;
+                    let delivered = o <= (cfg.orders as i64 * 7 / 10);
+                    self.order.insert(&txn, &[
+                        Value::Integer(w),
+                        Value::Integer(d),
+                        Value::BigInt(o),
+                        Value::Integer(c_id),
+                        Value::BigInt(o),
+                        Value::Integer(if delivered { rng.int_range(1, 10) as i32 } else { 0 }),
+                        Value::Integer(ol_cnt),
+                        Value::Integer(1),
+                    ]);
+                    if !delivered {
+                        self.new_order.insert(&txn, &[
+                            Value::Integer(w),
+                            Value::Integer(d),
+                            Value::BigInt(o),
+                        ]);
+                    }
+                    for n in 1..=ol_cnt {
+                        self.order_line.insert(&txn, &[
+                            Value::Integer(w),
+                            Value::Integer(d),
+                            Value::BigInt(o),
+                            Value::Integer(n),
+                            Value::Integer(rng.int_range(1, cfg.items as i64) as i32),
+                            Value::Integer(w),
+                            Value::BigInt(if delivered { o } else { 0 }),
+                            Value::Integer(5),
+                            Value::Double(if delivered {
+                                0.0
+                            } else {
+                                rng.int_range(1, 999_999) as f64 / 100.0
+                            }),
+                            Value::Varchar(rng.alnum_string(24, 24)),
+                        ]);
+                    }
+                }
+            }
+            m.commit(&txn);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    /// NEW-ORDER. Returns `Err` on write-write conflict (caller aborts and
+    /// counts it); the 1% invalid-item case rolls back internally per spec.
+    pub fn new_order(&self, db: &Database, rng: &mut Xoshiro256, w_id: i32) -> Result<bool> {
+        let cfg = &self.config;
+        let m = db.manager();
+        let txn = m.begin();
+        let result = (|| -> Result<bool> {
+            let d_id = rng.int_range(1, cfg.districts as i64) as i32;
+            let c_id = rng.int_range(1, cfg.customers as i64) as i32;
+
+            let (_, wrow) = self
+                .warehouse
+                .lookup(&txn, "pk", &[Value::Integer(w_id)])?
+                .ok_or(Error::TupleNotVisible)?;
+            let w_tax = wrow[7].as_f64().unwrap();
+
+            let (d_slot, drow) = self
+                .district
+                .lookup(&txn, "pk", &[Value::Integer(w_id), Value::Integer(d_id)])?
+                .ok_or(Error::TupleNotVisible)?;
+            let d_tax = drow[7].as_f64().unwrap();
+            let o_id = drow[9].as_i64().unwrap();
+            self.district.update(&txn, d_slot, &[(9, Value::BigInt(o_id + 1))])?;
+
+            let (_, crow) = self
+                .customer
+                .lookup(&txn, "pk", &[
+                    Value::Integer(w_id),
+                    Value::Integer(d_id),
+                    Value::Integer(c_id),
+                ])?
+                .ok_or(Error::TupleNotVisible)?;
+            let c_discount = crow[14].as_f64().unwrap();
+
+            let ol_cnt = rng.int_range(5, 15) as i32;
+            // 1% of NEW-ORDERs roll back on an unused item id (spec 2.4.1.4).
+            let rollback = rng.next_below(100) == 0;
+
+            self.order.insert(&txn, &[
+                Value::Integer(w_id),
+                Value::Integer(d_id),
+                Value::BigInt(o_id),
+                Value::Integer(c_id),
+                Value::BigInt(o_id),
+                Value::Integer(0),
+                Value::Integer(ol_cnt),
+                Value::Integer(1),
+            ]);
+            self.new_order.insert(&txn, &[
+                Value::Integer(w_id),
+                Value::Integer(d_id),
+                Value::BigInt(o_id),
+            ]);
+
+            let mut total = 0.0;
+            for n in 1..=ol_cnt {
+                let i_id = if rollback && n == ol_cnt {
+                    -1 // unused item
+                } else {
+                    rng.int_range(1, cfg.items as i64) as i32
+                };
+                let Some((_, irow)) =
+                    self.item.lookup(&txn, "pk", &[Value::Integer(i_id)])?
+                else {
+                    // Spec rollback.
+                    return Ok(false);
+                };
+                let i_price = irow[3].as_f64().unwrap();
+
+                // 1% remote warehouse when multi-warehouse.
+                let supply_w = if cfg.warehouses > 1 && rng.next_below(100) == 0 {
+                    let mut o = rng.int_range(1, cfg.warehouses as i64) as i32;
+                    if o == w_id {
+                        o = o % cfg.warehouses as i32 + 1;
+                    }
+                    o
+                } else {
+                    w_id
+                };
+                let (s_slot, srow) = self
+                    .stock
+                    .lookup(&txn, "pk", &[Value::Integer(supply_w), Value::Integer(i_id)])?
+                    .ok_or(Error::TupleNotVisible)?;
+                let qty = rng.int_range(1, 10) as i32;
+                let s_qty = srow[2].as_i64().unwrap() as i32;
+                let new_qty = if s_qty >= qty + 10 { s_qty - qty } else { s_qty - qty + 91 };
+                self.stock.update(&txn, s_slot, &[
+                    (2, Value::Integer(new_qty)),
+                    (4, Value::Double(srow[4].as_f64().unwrap() + qty as f64)),
+                    (5, Value::Integer(srow[5].as_i64().unwrap() as i32 + 1)),
+                    (6, Value::Integer(
+                        srow[6].as_i64().unwrap() as i32
+                            + if supply_w != w_id { 1 } else { 0 },
+                    )),
+                ])?;
+
+                let amount = qty as f64 * i_price;
+                total += amount;
+                self.order_line.insert(&txn, &[
+                    Value::Integer(w_id),
+                    Value::Integer(d_id),
+                    Value::BigInt(o_id),
+                    Value::Integer(n),
+                    Value::Integer(i_id),
+                    Value::Integer(supply_w),
+                    Value::BigInt(0),
+                    Value::Integer(qty),
+                    Value::Double(amount),
+                    Value::Varchar(rng.alnum_string(24, 24)),
+                ]);
+            }
+            let _ = total * (1.0 + w_tax + d_tax) * (1.0 - c_discount);
+            Ok(true)
+        })();
+        match result {
+            Ok(true) => {
+                m.commit(&txn);
+                Ok(true)
+            }
+            Ok(false) | Err(_) => {
+                m.abort(&txn);
+                result
+            }
+        }
+    }
+
+    /// PAYMENT.
+    pub fn payment(&self, db: &Database, rng: &mut Xoshiro256, w_id: i32) -> Result<()> {
+        let cfg = &self.config;
+        let m = db.manager();
+        let txn = m.begin();
+        let result = (|| -> Result<()> {
+            let d_id = rng.int_range(1, cfg.districts as i64) as i32;
+            let amount = rng.int_range(100, 500_000) as f64 / 100.0;
+
+            let (w_slot, wrow) = self
+                .warehouse
+                .lookup(&txn, "pk", &[Value::Integer(w_id)])?
+                .ok_or(Error::TupleNotVisible)?;
+            self.warehouse
+                .update(&txn, w_slot, &[(8, Value::Double(wrow[8].as_f64().unwrap() + amount))])?;
+
+            let (d_slot, drow) = self
+                .district
+                .lookup(&txn, "pk", &[Value::Integer(w_id), Value::Integer(d_id)])?
+                .ok_or(Error::TupleNotVisible)?;
+            self.district
+                .update(&txn, d_slot, &[(8, Value::Double(drow[8].as_f64().unwrap() + amount))])?;
+
+            // 60% by last name, 40% by id (spec 2.5.1.2).
+            let (c_slot, crow) = if rng.next_below(100) < 60 {
+                let name = last_name(rng.int_range(0, 999) as u64 % 1000);
+                let matches = self.customer.scan_prefix(
+                    &txn,
+                    "by_last",
+                    &[Value::Integer(w_id), Value::Integer(d_id), Value::string(&name)],
+                    usize::MAX,
+                )?;
+                if matches.is_empty() {
+                    // Name not present at this scale: fall back to id.
+                    let c_id = rng.int_range(1, cfg.customers as i64) as i32;
+                    self.customer
+                        .lookup(&txn, "pk", &[
+                            Value::Integer(w_id),
+                            Value::Integer(d_id),
+                            Value::Integer(c_id),
+                        ])?
+                        .ok_or(Error::TupleNotVisible)?
+                } else {
+                    // Middle match, rounded up.
+                    matches[matches.len() / 2].clone()
+                }
+            } else {
+                let c_id = rng.int_range(1, cfg.customers as i64) as i32;
+                self.customer
+                    .lookup(&txn, "pk", &[
+                        Value::Integer(w_id),
+                        Value::Integer(d_id),
+                        Value::Integer(c_id),
+                    ])?
+                    .ok_or(Error::TupleNotVisible)?
+            };
+            self.customer.update(&txn, c_slot, &[
+                (15, Value::Double(crow[15].as_f64().unwrap() - amount)),
+                (16, Value::Double(crow[16].as_f64().unwrap() + amount)),
+                (17, Value::Integer(crow[17].as_i64().unwrap() as i32 + 1)),
+            ])?;
+
+            self.history.insert(&txn, &[
+                crow[2].clone(),
+                crow[1].clone(),
+                crow[0].clone(),
+                Value::Integer(d_id),
+                Value::Integer(w_id),
+                Value::BigInt(1),
+                Value::Double(amount),
+                Value::Varchar(rng.alnum_string(12, 24)),
+            ]);
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                m.commit(&txn);
+                Ok(())
+            }
+            Err(e) => {
+                m.abort(&txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// ORDER-STATUS (read-only).
+    pub fn order_status(&self, db: &Database, rng: &mut Xoshiro256, w_id: i32) -> Result<()> {
+        let cfg = &self.config;
+        let m = db.manager();
+        let txn = m.begin();
+        let result = (|| -> Result<()> {
+            let d_id = rng.int_range(1, cfg.districts as i64) as i32;
+            let c_id = rng.int_range(1, cfg.customers as i64) as i32;
+            let Some((_, _crow)) = self.customer.lookup(&txn, "pk", &[
+                Value::Integer(w_id),
+                Value::Integer(d_id),
+                Value::Integer(c_id),
+            ])?
+            else {
+                return Ok(());
+            };
+            // Most recent order for this customer.
+            let orders = self.order.scan_prefix(
+                &txn,
+                "by_customer",
+                &[Value::Integer(w_id), Value::Integer(d_id), Value::Integer(c_id)],
+                usize::MAX,
+            )?;
+            if let Some((_, orow)) = orders.last() {
+                let o_id = orow[2].as_i64().unwrap();
+                let lines = self.order_line.scan_prefix(
+                    &txn,
+                    "pk",
+                    &[Value::Integer(w_id), Value::Integer(d_id), Value::BigInt(o_id)],
+                    usize::MAX,
+                )?;
+                // Consistency: ol count matches o_ol_cnt.
+                debug_assert_eq!(lines.len() as i64, orow[6].as_i64().unwrap());
+            }
+            Ok(())
+        })();
+        // Read-only: always commits (and still gets a commit record, §3.4).
+        match result {
+            Ok(()) => {
+                m.commit(&txn);
+                Ok(())
+            }
+            Err(e) => {
+                m.abort(&txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// DELIVERY: deliver the oldest undelivered order in every district.
+    pub fn delivery(&self, db: &Database, rng: &mut Xoshiro256, w_id: i32) -> Result<()> {
+        let cfg = &self.config;
+        let m = db.manager();
+        let carrier = rng.int_range(1, 10) as i32;
+        let txn = m.begin();
+        let result = (|| -> Result<()> {
+            for d_id in 1..=cfg.districts as i32 {
+                let Some((no_slot, no_row)) = self.new_order.first_at_or_after(
+                    &txn,
+                    "pk",
+                    &[Value::Integer(w_id), Value::Integer(d_id), Value::BigInt(0)],
+                    &[Value::Integer(w_id), Value::Integer(d_id)],
+                )?
+                else {
+                    continue; // no undelivered orders in this district
+                };
+                let o_id = no_row[2].as_i64().unwrap();
+                self.new_order.delete(&txn, no_slot)?;
+
+                let (o_slot, orow) = self
+                    .order
+                    .lookup(&txn, "pk", &[
+                        Value::Integer(w_id),
+                        Value::Integer(d_id),
+                        Value::BigInt(o_id),
+                    ])?
+                    .ok_or(Error::TupleNotVisible)?;
+                let c_id = orow[3].as_i64().unwrap() as i32;
+                self.order.update(&txn, o_slot, &[(5, Value::Integer(carrier))])?;
+
+                let lines = self.order_line.scan_prefix(
+                    &txn,
+                    "pk",
+                    &[Value::Integer(w_id), Value::Integer(d_id), Value::BigInt(o_id)],
+                    usize::MAX,
+                )?;
+                let mut amount_sum = 0.0;
+                for (ol_slot, ol_row) in &lines {
+                    amount_sum += ol_row[8].as_f64().unwrap();
+                    self.order_line.update(&txn, *ol_slot, &[(6, Value::BigInt(1))])?;
+                }
+
+                let (c_slot, crow) = self
+                    .customer
+                    .lookup(&txn, "pk", &[
+                        Value::Integer(w_id),
+                        Value::Integer(d_id),
+                        Value::Integer(c_id),
+                    ])?
+                    .ok_or(Error::TupleNotVisible)?;
+                self.customer.update(&txn, c_slot, &[
+                    (15, Value::Double(crow[15].as_f64().unwrap() + amount_sum)),
+                    (18, Value::Integer(crow[18].as_i64().unwrap() as i32 + 1)),
+                ])?;
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                m.commit(&txn);
+                Ok(())
+            }
+            Err(e) => {
+                m.abort(&txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// STOCK-LEVEL (read-only).
+    pub fn stock_level(&self, db: &Database, rng: &mut Xoshiro256, w_id: i32) -> Result<()> {
+        let cfg = &self.config;
+        let m = db.manager();
+        let txn = m.begin();
+        let result = (|| -> Result<()> {
+            let d_id = rng.int_range(1, cfg.districts as i64) as i32;
+            let threshold = rng.int_range(10, 20) as i32;
+            let (_, drow) = self
+                .district
+                .lookup(&txn, "pk", &[Value::Integer(w_id), Value::Integer(d_id)])?
+                .ok_or(Error::TupleNotVisible)?;
+            let next_o = drow[9].as_i64().unwrap();
+            let mut distinct = std::collections::HashSet::new();
+            for o_id in (next_o - 20).max(1)..next_o {
+                let lines = self.order_line.scan_prefix(
+                    &txn,
+                    "pk",
+                    &[Value::Integer(w_id), Value::Integer(d_id), Value::BigInt(o_id)],
+                    usize::MAX,
+                )?;
+                for (_, ol) in lines {
+                    let i_id = ol[4].as_i64().unwrap() as i32;
+                    if i_id < 0 {
+                        continue;
+                    }
+                    if let Some((_, srow)) = self.stock.lookup(&txn, "pk", &[
+                        Value::Integer(w_id),
+                        Value::Integer(i_id),
+                    ])? {
+                        if (srow[2].as_i64().unwrap() as i32) < threshold {
+                            distinct.insert(i_id);
+                        }
+                    }
+                }
+            }
+            let _ = distinct.len();
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                m.commit(&txn);
+                Ok(())
+            }
+            Err(e) => {
+                m.abort(&txn);
+                Err(e)
+            }
+        }
+    }
+
+    /// Run one transaction from the standard mix (45/43/4/4/4); returns the
+    /// type index, or `None` if it aborted.
+    pub fn run_one(
+        &self,
+        db: &Database,
+        rng: &mut Xoshiro256,
+        w_id: i32,
+        stats: &mut TpccStats,
+    ) {
+        let roll = rng.next_below(100);
+        let outcome = if roll < 45 {
+            self.new_order(db, rng, w_id).map(|committed| committed.then_some(0))
+        } else if roll < 88 {
+            self.payment(db, rng, w_id).map(|_| Some(1))
+        } else if roll < 92 {
+            self.order_status(db, rng, w_id).map(|_| Some(2))
+        } else if roll < 96 {
+            self.delivery(db, rng, w_id).map(|_| Some(3))
+        } else {
+            self.stock_level(db, rng, w_id).map(|_| Some(4))
+        };
+        match outcome {
+            Ok(Some(ty)) => stats.committed[ty] += 1,
+            Ok(None) | Err(_) => stats.aborted += 1,
+        }
+    }
+
+    /// Consistency check (TPC-C §3.3.2.1-ish): for every district,
+    /// `d_next_o_id - 1` equals the max order id, and order-line counts
+    /// match their orders.
+    pub fn check_consistency(&self, db: &Database) -> Result<()> {
+        let m = db.manager();
+        let txn = m.begin();
+        for w in 1..=self.config.warehouses as i32 {
+            for d in 1..=self.config.districts as i32 {
+                let (_, drow) = self
+                    .district
+                    .lookup(&txn, "pk", &[Value::Integer(w), Value::Integer(d)])?
+                    .ok_or(Error::TupleNotVisible)?;
+                let next_o = drow[9].as_i64().unwrap();
+                let orders = self.order.scan_prefix(
+                    &txn,
+                    "pk",
+                    &[Value::Integer(w), Value::Integer(d)],
+                    usize::MAX,
+                )?;
+                let max_o = orders.iter().map(|(_, o)| o[2].as_i64().unwrap()).max().unwrap_or(0);
+                if max_o != next_o - 1 {
+                    return Err(Error::Corrupt(format!(
+                        "w{w}d{d}: max order {max_o} vs next_o_id {next_o}"
+                    )));
+                }
+                for (_, orow) in &orders {
+                    let o_id = orow[2].as_i64().unwrap();
+                    let lines = self.order_line.scan_prefix(
+                        &txn,
+                        "pk",
+                        &[Value::Integer(w), Value::Integer(d), Value::BigInt(o_id)],
+                        usize::MAX,
+                    )?;
+                    if lines.len() as i64 != orow[6].as_i64().unwrap() {
+                        return Err(Error::Corrupt(format!(
+                            "w{w}d{d}o{o_id}: {} lines vs o_ol_cnt {}",
+                            lines.len(),
+                            orow[6].as_i64().unwrap()
+                        )));
+                    }
+                }
+            }
+        }
+        m.commit(&txn);
+        Ok(())
+    }
+}
+
+/// TPC-C last-name generator (spec 4.3.2.3).
+pub fn last_name(num: u64) -> String {
+    const SYLLABLES: [&str; 10] =
+        ["BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"];
+    format!(
+        "{}{}{}",
+        SYLLABLES[(num / 100 % 10) as usize],
+        SYLLABLES[(num / 10 % 10) as usize],
+        SYLLABLES[(num % 10) as usize]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mainline_db::DbConfig;
+
+    fn mini_db() -> (Arc<Database>, Tpcc) {
+        let db = Database::open(DbConfig::default()).unwrap();
+        let tpcc = Tpcc::create(&db, TpccConfig::mini(2), false).unwrap();
+        tpcc.load(&db, 42).unwrap();
+        (db, tpcc)
+    }
+
+    #[test]
+    fn loader_populates_consistent_state() {
+        let (db, tpcc) = mini_db();
+        tpcc.check_consistency(&db).unwrap();
+        let txn = db.manager().begin();
+        let cfg = &tpcc.config;
+        assert_eq!(
+            tpcc.customer.table().count_visible(&txn),
+            (cfg.warehouses * cfg.districts * cfg.customers) as usize
+        );
+        assert_eq!(
+            tpcc.order.table().count_visible(&txn),
+            (cfg.warehouses * cfg.districts * cfg.orders) as usize
+        );
+        db.manager().commit(&txn);
+    }
+
+    #[test]
+    fn new_order_advances_district_counter() {
+        let (db, tpcc) = mini_db();
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let mut done = 0;
+        while done < 20 {
+            if tpcc.new_order(&db, &mut rng, 1).unwrap_or(false) {
+                done += 1;
+            }
+        }
+        tpcc.check_consistency(&db).unwrap();
+    }
+
+    #[test]
+    fn payment_accumulates_ytd() {
+        let (db, tpcc) = mini_db();
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        for _ in 0..20 {
+            let _ = tpcc.payment(&db, &mut rng, 1);
+        }
+        let txn = db.manager().begin();
+        let (_, wrow) = tpcc.warehouse.lookup(&txn, "pk", &[Value::Integer(1)]).unwrap().unwrap();
+        assert!(wrow[8].as_f64().unwrap() > 300_000.0);
+        // Warehouse YTD == sum of district YTDs (TPC-C consistency cond. 1).
+        let districts = tpcc
+            .district
+            .scan_prefix(&txn, "pk", &[Value::Integer(1)], usize::MAX)
+            .unwrap();
+        let d_sum: f64 = districts.iter().map(|(_, d)| d[8].as_f64().unwrap()).sum();
+        let expected = wrow[8].as_f64().unwrap() - 300_000.0 + 30_000.0 * districts.len() as f64;
+        assert!((d_sum - expected).abs() < 1e-6, "{d_sum} vs {expected}");
+        db.manager().commit(&txn);
+    }
+
+    #[test]
+    fn delivery_consumes_new_orders() {
+        let (db, tpcc) = mini_db();
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let txn = db.manager().begin();
+        let before = tpcc.new_order.table().count_visible(&txn);
+        db.manager().commit(&txn);
+        assert!(before > 0);
+        tpcc.delivery(&db, &mut rng, 1).unwrap();
+        let txn = db.manager().begin();
+        let after = tpcc.new_order.table().count_visible(&txn);
+        db.manager().commit(&txn);
+        assert_eq!(after, before - tpcc.config.districts as usize);
+        tpcc.check_consistency(&db).unwrap();
+    }
+
+    #[test]
+    fn order_status_and_stock_level_are_read_only() {
+        let (db, tpcc) = mini_db();
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let txn = db.manager().begin();
+        let orders_before = tpcc.order.table().count_visible(&txn);
+        db.manager().commit(&txn);
+        for _ in 0..10 {
+            tpcc.order_status(&db, &mut rng, 1).unwrap();
+            tpcc.stock_level(&db, &mut rng, 2).unwrap();
+        }
+        let txn = db.manager().begin();
+        assert_eq!(tpcc.order.table().count_visible(&txn), orders_before);
+        db.manager().commit(&txn);
+        tpcc.check_consistency(&db).unwrap();
+    }
+
+    #[test]
+    fn payment_by_last_name_selects_middle_customer() {
+        let (db, tpcc) = mini_db();
+        // Directly exercise the by-name index path used by Payment.
+        let txn = db.manager().begin();
+        let name = last_name(0); // "BARBARBAR": c_id 1 in every district
+        let matches = tpcc
+            .customer
+            .scan_prefix(
+                &txn,
+                "by_last",
+                &[Value::Integer(1), Value::Integer(1), Value::string(&name)],
+                usize::MAX,
+            )
+            .unwrap();
+        assert!(!matches.is_empty());
+        assert!(matches.iter().all(|(_, c)| c[5] == Value::string(&name)));
+        db.manager().commit(&txn);
+    }
+
+    #[test]
+    fn full_mix_runs_clean() {
+        let (db, tpcc) = mini_db();
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let mut stats = TpccStats::default();
+        for _ in 0..300 {
+            let w = 1 + rng.next_below(2) as i32;
+            tpcc.run_one(&db, &mut rng, w, &mut stats);
+        }
+        assert!(stats.total() > 250, "stats: {stats:?}");
+        assert!(stats.committed[0] > 0 && stats.committed[1] > 0);
+        tpcc.check_consistency(&db).unwrap();
+    }
+
+    #[test]
+    fn concurrent_workers_stay_consistent() {
+        let db = Database::open(DbConfig {
+            gc_interval: std::time::Duration::from_millis(2),
+            ..Default::default()
+        })
+        .unwrap();
+        let tpcc = Arc::new(Tpcc::create(&db, TpccConfig::mini(4), false).unwrap());
+        tpcc.load(&db, 7).unwrap();
+        let mut handles = vec![];
+        for w in 1..=4i32 {
+            let db = Arc::clone(&db);
+            let tpcc = Arc::clone(&tpcc);
+            handles.push(std::thread::spawn(move || {
+                let mut rng = Xoshiro256::seed_from_u64(w as u64);
+                let mut stats = TpccStats::default();
+                for _ in 0..150 {
+                    tpcc.run_one(&db, &mut rng, w, &mut stats);
+                }
+                stats
+            }));
+        }
+        let mut total = 0;
+        for h in handles {
+            total += h.join().unwrap().total();
+        }
+        assert!(total > 400);
+        tpcc.check_consistency(&db).unwrap();
+        db.shutdown();
+    }
+
+    #[test]
+    fn last_name_spec_examples() {
+        assert_eq!(last_name(0), "BARBARBAR");
+        assert_eq!(last_name(371), "PRICALLYOUGHT");
+        assert_eq!(last_name(999), "EINGEINGEING");
+    }
+}

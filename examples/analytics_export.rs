@@ -1,0 +1,91 @@
+//! The Figure 1 scenario in miniature: load a TPC-H LINEITEM table, then
+//! move it into an "analytics client" three ways — the in-memory Arrow
+//! hand-off, CSV export+parse, and the row-based wire protocol — and
+//! compare wall-clock costs.
+//!
+//! ```sh
+//! cargo run --release --example analytics_export [rows]
+//! ```
+
+use mainline::arrowlite::csv;
+use mainline::common::value::TypeId;
+use mainline::db::{Database, DbConfig};
+use mainline::export::materialize::block_batch;
+use mainline::export::{export_table, ExportMethod};
+use mainline::workloads::tpch;
+use std::time::Instant;
+
+fn main() {
+    let rows: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+    let db = Database::open(DbConfig {
+        transform: Some(mainline::transform::TransformConfig {
+            threshold_epochs: 1,
+            ..Default::default()
+        }),
+        gc_interval: std::time::Duration::from_millis(1),
+        transform_interval: std::time::Duration::from_millis(2),
+        ..Default::default()
+    })
+    .expect("boot");
+    println!("loading {rows} LINEITEM rows…");
+    let t0 = Instant::now();
+    let lineitem = tpch::load_lineitem(&db, rows, 42).expect("load");
+    println!("loaded in {:?}", t0.elapsed());
+    let types: Vec<TypeId> = lineitem.table().types().to_vec();
+
+    // Let the background pipeline freeze the cold blocks (Fig. 1's source
+    // data "already in the buffer pool" is frozen Arrow here).
+    let deadline = Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let (hot, cooling, freezing, frozen) = db.pipeline().unwrap().block_state_census();
+        if hot + cooling + freezing <= 1 || Instant::now() > deadline {
+            println!("block census before export: {frozen} frozen, {} not\n", hot + cooling + freezing);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // (1) In-memory Arrow hand-off: the theoretical best case of Fig. 1.
+    let t0 = Instant::now();
+    let mut batches = Vec::new();
+    for block in lineitem.table().blocks() {
+        batches.push(block_batch(db.manager(), lineitem.table(), &block).0);
+    }
+    let rows_arrow: usize = batches.iter().map(|b| b.num_rows()).sum();
+    let t_mem = t0.elapsed();
+    println!("in-memory arrow : {rows_arrow:>9} rows in {t_mem:?}");
+
+    // (2) CSV: write the table out as text, then parse it back (the
+    // "COPY to CSV, read_csv into the dataframe" pipeline).
+    let t0 = Instant::now();
+    let mut csv_bytes = Vec::new();
+    for b in &batches {
+        csv::write_csv(b, &types, &mut csv_bytes).expect("csv write");
+    }
+    let text = String::from_utf8(csv_bytes).expect("utf8");
+    let schema = mainline::arrowlite::ArrowSchema::from_table_schema(lineitem.table().schema());
+    let parsed = csv::read_csv(&text, &schema, &types).expect("csv read");
+    let t_csv = t0.elapsed();
+    println!(
+        "csv export+load : {:>9} rows in {t_csv:?} ({:.1} MB of text)",
+        parsed.num_rows(),
+        text.len() as f64 / 1e6
+    );
+
+    // (3) Row-based wire protocol (the ODBC-style worst case).
+    let t0 = Instant::now();
+    let wire = export_table(ExportMethod::PostgresWire, db.manager(), lineitem.table());
+    let t_wire = t0.elapsed();
+    println!(
+        "row wire proto  : {:>9} rows in {t_wire:?} ({:.1} MB on the wire)",
+        wire.rows,
+        wire.bytes_transferred as f64 / 1e6
+    );
+
+    println!(
+        "\nslowdown vs in-memory: csv {:.1}x, wire {:.1}x",
+        t_csv.as_secs_f64() / t_mem.as_secs_f64().max(1e-9),
+        t_wire.as_secs_f64() / t_mem.as_secs_f64().max(1e-9),
+    );
+    db.shutdown();
+}

@@ -1,0 +1,93 @@
+//! Durability demo: write-ahead logging, a simulated crash, and replay.
+//!
+//! ```sh
+//! cargo run --release --example crash_recovery
+//! ```
+
+use mainline::common::schema::{ColumnDef, Schema};
+use mainline::common::value::{TypeId, Value};
+use mainline::db::{Database, DbConfig, IndexSpec};
+use mainline::wal;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("id", TypeId::BigInt),
+        ColumnDef::new("note", TypeId::Varchar),
+    ])
+}
+
+fn main() {
+    let mut wal_path = std::env::temp_dir();
+    wal_path.push(format!("mainline-example-{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal_path);
+
+    // --- First lifetime: do work, then "crash" (drop without checkpoint). --
+    {
+        let db = Database::open(DbConfig {
+            log_path: Some(wal_path.clone()),
+            fsync: false, // demo speed; production keeps this on
+            ..Default::default()
+        })
+        .expect("boot");
+        let notes = db
+            .create_table("notes", schema(), vec![IndexSpec::new("pk", &[0])], false)
+            .expect("create");
+
+        let txn = db.manager().begin();
+        for i in 0..1000 {
+            notes.insert(&txn, &[Value::BigInt(i), Value::string(&format!("note #{i}"))]);
+        }
+        db.manager().commit(&txn);
+
+        // A transaction that updates and deletes.
+        let txn = db.manager().begin();
+        let (slot, _) = notes.lookup(&txn, "pk", &[Value::BigInt(7)]).unwrap().unwrap();
+        notes.update(&txn, slot, &[(1, Value::string("note #7 (edited)"))]).unwrap();
+        let (slot9, _) = notes.lookup(&txn, "pk", &[Value::BigInt(9)]).unwrap().unwrap();
+        notes.delete(&txn, slot9).unwrap();
+        db.manager().commit(&txn);
+
+        // An uncommitted transaction that must NOT survive the crash.
+        let doomed = db.manager().begin();
+        notes.insert(&doomed, &[Value::BigInt(99_999), Value::string("never happened")]);
+        // ... crash! (no commit; shutdown flushes only committed records)
+        db.manager().abort(&doomed);
+        db.shutdown();
+        println!("first lifetime complete; log at {}", wal_path.display());
+    }
+
+    // --- Second lifetime: recover from the log. ---
+    let db = Database::open(DbConfig::default()).expect("boot");
+    let notes = db
+        .create_table("notes", schema(), vec![IndexSpec::new("pk", &[0])], false)
+        .expect("create");
+    let log = std::fs::read(&wal_path).expect("read log");
+    let stats = wal::recover(&log, db.manager(), &db.catalog().tables_by_id()).expect("recover");
+    println!(
+        "recovered: {} txns replayed, {} ops applied, {} incomplete discarded",
+        stats.txns_replayed, stats.ops_applied, stats.txns_discarded
+    );
+
+    let txn = db.manager().begin();
+    assert_eq!(notes.table().count_visible(&txn), 999); // 1000 - 1 deleted
+    // Recovery preserved the edit and the delete; the index is rebuilt by
+    // re-inserting through the table handle, so lookups work... but note:
+    // recovery writes via DataTable directly, so re-derive slots by scan.
+    let mut edited = None;
+    let cols = notes.table().all_cols();
+    notes.table().scan(&txn, &cols, |_slot, row| {
+        let values = notes.table().row_to_values(row);
+        if values[0] == Value::BigInt(7) {
+            edited = Some(values[1].clone());
+        }
+        assert_ne!(values[0], Value::BigInt(9), "deleted row resurrected?");
+        assert_ne!(values[0], Value::BigInt(99_999), "uncommitted txn leaked?");
+        true
+    });
+    assert_eq!(edited, Some(Value::string("note #7 (edited)")));
+    println!("note #7 = {:?} — edit survived, delete survived, junk did not", "note #7 (edited)");
+    db.manager().commit(&txn);
+    db.shutdown();
+    let _ = std::fs::remove_file(&wal_path);
+    println!("done");
+}

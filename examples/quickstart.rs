@@ -1,0 +1,85 @@
+//! Quickstart: create a database, run transactions, observe MVCC snapshots.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mainline::common::schema::{ColumnDef, Schema};
+use mainline::common::value::{TypeId, Value};
+use mainline::db::{Database, DbConfig, IndexSpec};
+
+fn main() {
+    let db = Database::open(DbConfig::default()).expect("boot");
+    let accounts = db
+        .create_table(
+            "accounts",
+            Schema::new(vec![
+                ColumnDef::new("id", TypeId::BigInt),
+                ColumnDef::new("owner", TypeId::Varchar),
+                ColumnDef::new("balance", TypeId::Double),
+            ]),
+            vec![IndexSpec::new("pk", &[0])],
+            false,
+        )
+        .expect("create table");
+
+    // Load some accounts.
+    let txn = db.manager().begin();
+    for (id, owner, balance) in
+        [(1, "ada", 100.0), (2, "grace", 250.0), (3, "edsger", 42.0)]
+    {
+        accounts.insert(&txn, &[
+            Value::BigInt(id),
+            Value::string(owner),
+            Value::Double(balance),
+        ]);
+    }
+    db.manager().commit(&txn);
+    println!("loaded 3 accounts");
+
+    // A transfer, transactionally.
+    let txn = db.manager().begin();
+    let (from_slot, from) =
+        accounts.lookup(&txn, "pk", &[Value::BigInt(1)]).unwrap().expect("account 1");
+    let (to_slot, to) =
+        accounts.lookup(&txn, "pk", &[Value::BigInt(2)]).unwrap().expect("account 2");
+    let amount = 30.0;
+    accounts
+        .update(&txn, from_slot, &[(2, Value::Double(from[2].as_f64().unwrap() - amount))])
+        .unwrap();
+    accounts
+        .update(&txn, to_slot, &[(2, Value::Double(to[2].as_f64().unwrap() + amount))])
+        .unwrap();
+
+    // A concurrent reader still sees the pre-transfer snapshot.
+    let reader = db.manager().begin();
+    let (_, snapshot) = accounts.lookup(&reader, "pk", &[Value::BigInt(1)]).unwrap().unwrap();
+    println!("reader snapshot of ada while transfer in flight: {}", snapshot[2].to_text());
+    assert_eq!(snapshot[2], Value::Double(100.0));
+    db.manager().commit(&reader);
+
+    db.manager().commit(&txn);
+
+    // After commit, new transactions see the transfer.
+    let txn = db.manager().begin();
+    let (_, ada) = accounts.lookup(&txn, "pk", &[Value::BigInt(1)]).unwrap().unwrap();
+    let (_, grace) = accounts.lookup(&txn, "pk", &[Value::BigInt(2)]).unwrap().unwrap();
+    println!("after transfer: ada={} grace={}", ada[2].to_text(), grace[2].to_text());
+    assert_eq!(ada[2], Value::Double(70.0));
+    assert_eq!(grace[2], Value::Double(280.0));
+    db.manager().commit(&txn);
+
+    // An aborted transaction leaves no trace.
+    let txn = db.manager().begin();
+    let (slot, _) = accounts.lookup(&txn, "pk", &[Value::BigInt(3)]).unwrap().unwrap();
+    accounts.update(&txn, slot, &[(2, Value::Double(-1000.0))]).unwrap();
+    db.manager().abort(&txn);
+    let txn = db.manager().begin();
+    let (_, edsger) = accounts.lookup(&txn, "pk", &[Value::BigInt(3)]).unwrap().unwrap();
+    println!("edsger after aborted overdraft: {}", edsger[2].to_text());
+    assert_eq!(edsger[2], Value::Double(42.0));
+    db.manager().commit(&txn);
+
+    db.shutdown();
+    println!("done");
+}

@@ -1,0 +1,70 @@
+//! # mainline
+//!
+//! An Arrow-native, multi-versioned transactional storage engine — a
+//! from-scratch Rust reproduction of *"Mainlining Databases: Supporting Fast
+//! Transactional Workloads on Universal Columnar Data File Formats"*
+//! (Li, Butrovich, Ngom, Lim, McKinney, Pavlo; 2020).
+//!
+//! The engine keeps table data in (a relaxation of) the Arrow columnar
+//! format so OLTP transactions run at full speed on hot data while cold
+//! blocks are transformed — in place, in milliseconds — into canonical
+//! Arrow that external analytics tools can consume with zero serialization.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mainline::db::{Database, DbConfig, IndexSpec};
+//! use mainline::common::schema::{ColumnDef, Schema};
+//! use mainline::common::value::{TypeId, Value};
+//!
+//! let db = Database::open(DbConfig::default()).unwrap();
+//! let users = db
+//!     .create_table(
+//!         "users",
+//!         Schema::new(vec![
+//!             ColumnDef::new("id", TypeId::BigInt),
+//!             ColumnDef::new("name", TypeId::Varchar),
+//!         ]),
+//!         vec![IndexSpec::new("pk", &[0])],
+//!         false,
+//!     )
+//!     .unwrap();
+//!
+//! let txn = db.manager().begin();
+//! users.insert(&txn, &[Value::BigInt(1), Value::string("ada")]);
+//! db.manager().commit(&txn);
+//!
+//! let txn = db.manager().begin();
+//! let (_slot, row) = users.lookup(&txn, "pk", &[Value::BigInt(1)]).unwrap().unwrap();
+//! assert_eq!(row[1], Value::string("ada"));
+//! db.manager().commit(&txn);
+//! db.shutdown();
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`common`] | bitmaps, timestamps, values, pools |
+//! | [`arrowlite`] | the Arrow memory-format substrate |
+//! | [`index`] | concurrent B+-tree |
+//! | [`storage`] | 1 MB blocks, layouts, the relaxed format |
+//! | [`txn`] | MVCC transactions and the Data Table API |
+//! | [`gc`] | epoch GC + deferred actions |
+//! | [`wal`] | logging and recovery |
+//! | [`transform`] | hot→cold block transformation |
+//! | [`export`] | the four export protocols |
+//! | [`db`] | catalog + assembled database |
+//! | [`workloads`] | TPC-C, TPC-H LINEITEM, row-vs-column drivers |
+
+pub use mainline_arrowlite as arrowlite;
+pub use mainline_common as common;
+pub use mainline_db as db;
+pub use mainline_export as export;
+pub use mainline_gc as gc;
+pub use mainline_index as index;
+pub use mainline_storage as storage;
+pub use mainline_transform as transform;
+pub use mainline_txn as txn;
+pub use mainline_wal as wal;
+pub use mainline_workloads as workloads;

@@ -1,0 +1,173 @@
+//! Whole-system endurance: concurrent OLTP workers, background GC, the
+//! transformation pipeline, and concurrent exporters — then a full
+//! consistency audit. This is the closest test to the paper's operating
+//! regime (§6.1's workload with transformation enabled).
+
+use mainline::common::rng::Xoshiro256;
+use mainline::db::{Database, DbConfig};
+use mainline::export::{export_table, ExportMethod};
+use mainline::transform::TransformConfig;
+use mainline::workloads::tpcc::{Tpcc, TpccConfig, TpccStats};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn tpcc_with_transformation_and_concurrent_export() {
+    let db = Database::open(DbConfig {
+        transform: Some(TransformConfig { threshold_epochs: 2, ..Default::default() }),
+        gc_interval: Duration::from_millis(2),
+        transform_interval: Duration::from_millis(5),
+        ..Default::default()
+    })
+    .unwrap();
+    let tpcc = Arc::new(Tpcc::create(&db, TpccConfig::mini(2), true).unwrap());
+    tpcc.load(&db, 123).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    // OLTP workers.
+    for w in 1..=2i32 {
+        let db = Arc::clone(&db);
+        let tpcc = Arc::clone(&tpcc);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Xoshiro256::seed_from_u64(w as u64);
+            let mut stats = TpccStats::default();
+            while !stop.load(Ordering::Relaxed) {
+                tpcc.run_one(&db, &mut rng, w, &mut stats);
+            }
+            stats.total()
+        }));
+    }
+    // Concurrent exporter hammering the cold tables.
+    let export_count = {
+        let db = Arc::clone(&db);
+        let tpcc = Arc::clone(&tpcc);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut n = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let stats =
+                    export_table(ExportMethod::Flight, db.manager(), tpcc.order_line.table());
+                assert!(stats.rows > 0);
+                n += 1;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            n
+        })
+    };
+
+    std::thread::sleep(Duration::from_secs(4));
+    stop.store(true, Ordering::Relaxed);
+    let mut committed = 0;
+    for h in handles {
+        committed += h.join().unwrap();
+    }
+    let exports = export_count.join().unwrap();
+    assert!(committed > 500, "committed {committed}");
+    assert!(exports > 10, "exports {exports}");
+
+    // The workload must remain internally consistent after everything —
+    // transformation moves, index re-pointing, lazy deletes, exports.
+    tpcc.check_consistency(&db).unwrap();
+
+    // Transformation must have made progress on the cold tables.
+    let stats = db.pipeline().unwrap().stats();
+    assert!(
+        stats.blocks_frozen > 0 || stats.groups_compacted > 0,
+        "pipeline stats: {stats:?}"
+    );
+    db.shutdown();
+}
+
+#[test]
+fn sustained_churn_with_gc_reclamation() {
+    // A hot/cold churn loop: insert, update heavily, delete most rows, let
+    // compaction recycle blocks; repeat. Verifies that recycled blocks and
+    // deferred reclamation never corrupt live data.
+    use mainline::common::schema::{ColumnDef, Schema};
+    use mainline::common::value::{TypeId, Value};
+    use mainline::db::IndexSpec;
+
+    let db = Database::open(DbConfig {
+        transform: Some(TransformConfig {
+            threshold_epochs: 1,
+            group_size: 8,
+            ..Default::default()
+        }),
+        gc_interval: Duration::from_millis(1),
+        transform_interval: Duration::from_millis(2),
+        ..Default::default()
+    })
+    .unwrap();
+    let t = db
+        .create_table(
+            "churn",
+            Schema::new(vec![
+                ColumnDef::new("id", TypeId::BigInt),
+                ColumnDef::new("payload", TypeId::Varchar),
+            ]),
+            vec![IndexSpec::new("pk", &[0])],
+            true,
+        )
+        .unwrap();
+
+    let mut rng = Xoshiro256::seed_from_u64(9);
+    let mut next_id = 0i64;
+    let mut live: std::collections::BTreeSet<i64> = Default::default();
+    for round in 0..5 {
+        // Insert a wave big enough to span blocks.
+        let wave_start = next_id;
+        let txn = db.manager().begin();
+        for _ in 0..15_000 {
+            t.insert(&txn, &[
+                Value::BigInt(next_id),
+                Value::Varchar(rng.alnum_string(12, 24)),
+            ]);
+            live.insert(next_id);
+            next_id += 1;
+        }
+        db.manager().commit(&txn);
+        // Update and delete only the *current* wave: earlier blocks go cold
+        // and become transformation candidates.
+        let ids: Vec<i64> = live.range(wave_start..).copied().collect();
+        let txn = db.manager().begin();
+        for &id in ids.iter() {
+            if rng.next_below(100) < 60 {
+                if let Some((slot, _)) =
+                    t.lookup(&txn, "pk", &[Value::BigInt(id)]).unwrap()
+                {
+                    if rng.next_below(2) == 0 {
+                        t.update(&txn, slot, &[(1, Value::Varchar(rng.alnum_string(12, 24)))])
+                            .unwrap();
+                    } else {
+                        t.delete(&txn, slot).unwrap();
+                        live.remove(&id);
+                    }
+                }
+            }
+        }
+        db.manager().commit(&txn);
+        // Let the background machinery chew.
+        std::thread::sleep(Duration::from_millis(120));
+        // Audit.
+        let txn = db.manager().begin();
+        assert_eq!(
+            t.table().count_visible(&txn),
+            live.len(),
+            "round {round}: live-set size mismatch"
+        );
+        // Every live id reachable through the index.
+        for &id in live.iter().step_by(97) {
+            assert!(
+                t.lookup(&txn, "pk", &[Value::BigInt(id)]).unwrap().is_some(),
+                "round {round}: id {id} lost"
+            );
+        }
+        db.manager().commit(&txn);
+    }
+    let stats = db.pipeline().unwrap().stats();
+    assert!(stats.groups_compacted > 0, "pipeline never compacted: {stats:?}");
+    db.shutdown();
+}

@@ -1,0 +1,148 @@
+//! Cross-crate snapshot-isolation semantics through the full database
+//! facade: the anomalies SI must prevent, and the one it allows.
+
+use mainline::common::schema::{ColumnDef, Schema};
+use mainline::common::value::{TypeId, Value};
+use mainline::db::{Database, DbConfig, IndexSpec, TableHandle};
+use std::sync::Arc;
+
+fn setup() -> (Arc<Database>, Arc<TableHandle>) {
+    let db = Database::open(DbConfig::default()).unwrap();
+    let t = db
+        .create_table(
+            "kv",
+            Schema::new(vec![
+                ColumnDef::new("k", TypeId::BigInt),
+                ColumnDef::new("v", TypeId::BigInt),
+            ]),
+            vec![IndexSpec::new("pk", &[0])],
+            false,
+        )
+        .unwrap();
+    let txn = db.manager().begin();
+    for k in 0..10 {
+        t.insert(&txn, &[Value::BigInt(k), Value::BigInt(0)]);
+    }
+    db.manager().commit(&txn);
+    (db, t)
+}
+
+fn read(t: &TableHandle, txn: &Arc<mainline::txn::Transaction>, k: i64) -> Option<i64> {
+    t.lookup(txn, "pk", &[Value::BigInt(k)])
+        .unwrap()
+        .map(|(_, row)| row[1].as_i64().unwrap())
+}
+
+#[test]
+fn no_dirty_reads() {
+    let (db, t) = setup();
+    let writer = db.manager().begin();
+    let (slot, _) = t.lookup(&writer, "pk", &[Value::BigInt(1)]).unwrap().unwrap();
+    t.update(&writer, slot, &[(1, Value::BigInt(99))]).unwrap();
+    let reader = db.manager().begin();
+    assert_eq!(read(&t, &reader, 1), Some(0), "uncommitted write must be invisible");
+    db.manager().commit(&writer);
+    db.manager().commit(&reader);
+}
+
+#[test]
+fn no_non_repeatable_reads() {
+    let (db, t) = setup();
+    let reader = db.manager().begin();
+    assert_eq!(read(&t, &reader, 2), Some(0));
+    let writer = db.manager().begin();
+    let (slot, _) = t.lookup(&writer, "pk", &[Value::BigInt(2)]).unwrap().unwrap();
+    t.update(&writer, slot, &[(1, Value::BigInt(5))]).unwrap();
+    db.manager().commit(&writer);
+    // Same transaction, same read.
+    assert_eq!(read(&t, &reader, 2), Some(0), "snapshot must be repeatable");
+    db.manager().commit(&reader);
+}
+
+#[test]
+fn no_phantoms_in_scans() {
+    let (db, t) = setup();
+    let reader = db.manager().begin();
+    let before = t.scan_prefix(&reader, "pk", &[], usize::MAX).unwrap().len();
+    let writer = db.manager().begin();
+    t.insert(&writer, &[Value::BigInt(100), Value::BigInt(1)]);
+    db.manager().commit(&writer);
+    let after = t.scan_prefix(&reader, "pk", &[], usize::MAX).unwrap().len();
+    assert_eq!(before, after, "committed insert must not appear in an older snapshot");
+    db.manager().commit(&reader);
+}
+
+#[test]
+fn lost_updates_prevented_by_first_writer_wins() {
+    let (db, t) = setup();
+    let t1 = db.manager().begin();
+    let t2 = db.manager().begin();
+    let (slot, _) = t.lookup(&t1, "pk", &[Value::BigInt(3)]).unwrap().unwrap();
+    t.update(&t1, slot, &[(1, Value::BigInt(1))]).unwrap();
+    // t2 must not be able to blind-write the same tuple.
+    assert!(t.update(&t2, slot, &[(1, Value::BigInt(2))]).is_err());
+    db.manager().abort(&t2);
+    db.manager().commit(&t1);
+    let check = db.manager().begin();
+    assert_eq!(read(&t, &check, 3), Some(1));
+    db.manager().commit(&check);
+}
+
+#[test]
+fn write_skew_is_permitted() {
+    // SI (not serializability) allows write skew: two transactions each
+    // read both rows and write the *other* one. Documenting the engine's
+    // isolation level precisely.
+    let (db, t) = setup();
+    let t1 = db.manager().begin();
+    let t2 = db.manager().begin();
+    let (s4, _) = t.lookup(&t1, "pk", &[Value::BigInt(4)]).unwrap().unwrap();
+    let (s5, _) = t.lookup(&t2, "pk", &[Value::BigInt(5)]).unwrap().unwrap();
+    assert_eq!(read(&t, &t1, 5), Some(0));
+    assert_eq!(read(&t, &t2, 4), Some(0));
+    t.update(&t1, s4, &[(1, Value::BigInt(1))]).unwrap();
+    t.update(&t2, s5, &[(1, Value::BigInt(1))]).unwrap();
+    db.manager().commit(&t1);
+    db.manager().commit(&t2);
+    let check = db.manager().begin();
+    assert_eq!((read(&t, &check, 4), read(&t, &check, 5)), (Some(1), Some(1)));
+    db.manager().commit(&check);
+}
+
+#[test]
+fn read_only_transactions_are_durable_gated() {
+    // §3.4: read-only transactions also obtain a commit record so their
+    // results wait for the log. With the noop sink this is immediate, but
+    // the commit path must still run.
+    let (db, t) = setup();
+    let ro = db.manager().begin();
+    assert_eq!(read(&t, &ro, 1), Some(0));
+    db.manager().commit(&ro);
+    assert!(ro.is_durable());
+}
+
+#[test]
+fn long_version_chains_resolve_correctly() {
+    let (db, t) = setup();
+    let (slot, _) = {
+        let txn = db.manager().begin();
+        let r = t.lookup(&txn, "pk", &[Value::BigInt(7)]).unwrap().unwrap();
+        db.manager().commit(&txn);
+        r
+    };
+    // Pin snapshots at every version.
+    let mut pinned = Vec::new();
+    for i in 1..=20 {
+        pinned.push(db.manager().begin());
+        let w = db.manager().begin();
+        t.update(&w, slot, &[(1, Value::BigInt(i))]).unwrap();
+        db.manager().commit(&w);
+    }
+    // Each pinned snapshot sees exactly the version at its start.
+    for (i, txn) in pinned.iter().enumerate() {
+        assert_eq!(read(&t, txn, 7), Some(i as i64), "snapshot {i}");
+    }
+    for txn in &pinned {
+        db.manager().commit(txn);
+    }
+}

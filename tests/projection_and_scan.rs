@@ -1,0 +1,193 @@
+//! Projection, scan, and handle-level behaviours not covered by the
+//! module-level unit tests: partial-column selects, scans across mixed
+//! hot/frozen blocks, and index range semantics under churn.
+
+use mainline::common::rng::Xoshiro256;
+use mainline::common::schema::{ColumnDef, Schema};
+use mainline::common::value::{TypeId, Value};
+use mainline::db::{Database, DbConfig, IndexSpec};
+use mainline::transform::TransformConfig;
+use std::time::Duration;
+
+#[test]
+fn partial_projection_reads_only_requested_columns() {
+    let db = Database::open(DbConfig::default()).unwrap();
+    let t = db
+        .create_table(
+            "wide",
+            Schema::new(vec![
+                ColumnDef::new("a", TypeId::BigInt),
+                ColumnDef::new("b", TypeId::Varchar),
+                ColumnDef::new("c", TypeId::Integer),
+                ColumnDef::new("d", TypeId::Double),
+            ]),
+            vec![],
+            false,
+        )
+        .unwrap();
+    let txn = db.manager().begin();
+    let slot = t.insert(&txn, &[
+        Value::BigInt(1),
+        Value::string("middle-column-value"),
+        Value::Integer(7),
+        Value::Double(2.5),
+    ]);
+    db.manager().commit(&txn);
+
+    let txn = db.manager().begin();
+    // Storage columns: 1..=4 (0 is the hidden version column).
+    let row = t.table().select(&txn, slot, &[3, 1]).unwrap();
+    assert_eq!(row.len(), 2);
+    assert_eq!(row.attrs()[0].col, 3);
+    assert_eq!(row.attrs()[1].col, 1);
+    unsafe {
+        assert_eq!(row.value_at(0, t.table().layout(), TypeId::Integer), Value::Integer(7));
+        assert_eq!(row.value_at(1, t.table().layout(), TypeId::BigInt), Value::BigInt(1));
+    }
+    db.manager().commit(&txn);
+    db.shutdown();
+}
+
+#[test]
+fn scan_spans_hot_and_frozen_blocks_consistently() {
+    let db = Database::open(DbConfig {
+        transform: Some(TransformConfig { threshold_epochs: 1, ..Default::default() }),
+        gc_interval: Duration::from_millis(1),
+        transform_interval: Duration::from_millis(2),
+        ..Default::default()
+    })
+    .unwrap();
+    let t = db
+        .create_table(
+            "span",
+            Schema::new(vec![
+                ColumnDef::new("id", TypeId::BigInt),
+                ColumnDef::new("v", TypeId::Varchar),
+            ]),
+            vec![IndexSpec::new("pk", &[0])],
+            true,
+        )
+        .unwrap();
+    let per_block = t.table().layout().num_slots() as i64;
+    let n = per_block * 2 + 500; // three blocks
+    let txn = db.manager().begin();
+    let mut rng = Xoshiro256::seed_from_u64(3);
+    for i in 0..n {
+        t.insert(&txn, &[Value::BigInt(i), Value::Varchar(rng.alnum_string(13, 24))]);
+    }
+    db.manager().commit(&txn);
+
+    // Wait for at least one block to freeze, then scan: every id exactly once.
+    let deadline = std::time::Instant::now() + Duration::from_secs(15);
+    while db.pipeline().unwrap().block_state_census().3 == 0
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(db.pipeline().unwrap().block_state_census().3 > 0, "no block froze");
+
+    let txn = db.manager().begin();
+    let mut seen = vec![false; n as usize];
+    let cols = t.table().all_cols();
+    t.table().scan(&txn, &cols, |_, row| {
+        let v = t.table().row_to_values(row);
+        let id = v[0].as_i64().unwrap() as usize;
+        assert!(!seen[id], "duplicate id {id}");
+        seen[id] = true;
+        true
+    });
+    assert!(seen.iter().all(|&s| s), "missing ids after mixed-state scan");
+    db.manager().commit(&txn);
+    db.shutdown();
+}
+
+#[test]
+fn index_range_scans_survive_deletion_churn() {
+    let db = Database::open(DbConfig { gc_interval: Duration::from_millis(1), ..Default::default() })
+        .unwrap();
+    let t = db
+        .create_table(
+            "ranged",
+            Schema::new(vec![
+                ColumnDef::new("grp", TypeId::Integer),
+                ColumnDef::new("seq", TypeId::BigInt),
+                ColumnDef::new("payload", TypeId::Varchar),
+            ]),
+            vec![IndexSpec::new("pk", &[0, 1])],
+            false,
+        )
+        .unwrap();
+    let txn = db.manager().begin();
+    for g in 0..5i32 {
+        for s in 0..100i64 {
+            t.insert(&txn, &[
+                Value::Integer(g),
+                Value::BigInt(s),
+                Value::string(&format!("g{g}s{s}")),
+            ]);
+        }
+    }
+    db.manager().commit(&txn);
+
+    // Delete every third row of group 2.
+    let txn = db.manager().begin();
+    let rows = t.scan_prefix(&txn, "pk", &[Value::Integer(2)], usize::MAX).unwrap();
+    for (slot, v) in rows.iter().filter(|(_, v)| v[1].as_i64().unwrap() % 3 == 0) {
+        assert_eq!(v[0], Value::Integer(2));
+        t.delete(&txn, *slot).unwrap();
+    }
+    db.manager().commit(&txn);
+
+    // Fresh snapshot: group 2 shrunk; neighbours untouched; order intact.
+    let txn = db.manager().begin();
+    let g2 = t.scan_prefix(&txn, "pk", &[Value::Integer(2)], usize::MAX).unwrap();
+    assert_eq!(g2.len(), 66);
+    assert!(g2.windows(2).all(|w| w[0].1[1].as_i64() < w[1].1[1].as_i64()));
+    assert!(g2.iter().all(|(_, v)| v[1].as_i64().unwrap() % 3 != 0));
+    for g in [0, 1, 3, 4] {
+        assert_eq!(
+            t.scan_prefix(&txn, "pk", &[Value::Integer(g)], usize::MAX).unwrap().len(),
+            100,
+            "group {g}"
+        );
+    }
+    // first_at_or_after lands on the first surviving seq (1).
+    let first = t
+        .first_at_or_after(&txn, "pk", &[Value::Integer(2), Value::BigInt(0)], &[Value::Integer(2)])
+        .unwrap()
+        .unwrap();
+    assert_eq!(first.1[1], Value::BigInt(1));
+    db.manager().commit(&txn);
+    db.shutdown();
+}
+
+#[test]
+fn limit_and_early_stop_semantics() {
+    let db = Database::open(DbConfig::default()).unwrap();
+    let t = db
+        .create_table(
+            "lim",
+            Schema::new(vec![ColumnDef::new("id", TypeId::BigInt)]),
+            vec![IndexSpec::new("pk", &[0])],
+            false,
+        )
+        .unwrap();
+    let txn = db.manager().begin();
+    for i in 0..50 {
+        t.insert(&txn, &[Value::BigInt(i)]);
+    }
+    db.manager().commit(&txn);
+    let txn = db.manager().begin();
+    assert_eq!(t.scan_prefix(&txn, "pk", &[], 7).unwrap().len(), 7);
+    assert_eq!(t.scan_prefix(&txn, "pk", &[], usize::MAX).unwrap().len(), 50);
+    // Table scan early stop.
+    let mut visited = 0;
+    let cols = t.table().all_cols();
+    t.table().scan(&txn, &cols, |_, _| {
+        visited += 1;
+        visited < 5
+    });
+    assert_eq!(visited, 5);
+    db.manager().commit(&txn);
+    db.shutdown();
+}
