@@ -113,7 +113,7 @@ impl Array for PrimitiveArray {
         self.validity.as_ref().map_or(0, |v| v.count_zeros())
     }
     fn is_valid(&self, i: usize) -> bool {
-        self.validity.as_ref().map_or(true, |v| v.get(i))
+        self.validity.as_ref().is_none_or(|v| v.get(i))
     }
 }
 
@@ -203,7 +203,7 @@ impl Array for VarBinaryArray {
         self.validity.as_ref().map_or(0, |v| v.count_zeros())
     }
     fn is_valid(&self, i: usize) -> bool {
-        self.validity.as_ref().map_or(true, |v| v.get(i))
+        self.validity.as_ref().is_none_or(|v| v.get(i))
     }
 }
 
@@ -303,7 +303,7 @@ impl Array for DictionaryArray {
         self.validity.as_ref().map_or(0, |v| v.count_zeros())
     }
     fn is_valid(&self, i: usize) -> bool {
-        self.validity.as_ref().map_or(true, |v| v.get(i))
+        self.validity.as_ref().is_none_or(|v| v.get(i))
     }
 }
 

@@ -58,11 +58,7 @@ impl RecordBatch {
     pub fn row_values(&self, r: usize, types: &[TypeId]) -> Vec<Value> {
         assert!(r < self.num_rows);
         assert_eq!(types.len(), self.columns.len());
-        self.columns
-            .iter()
-            .zip(types)
-            .map(|(c, ty)| column_value(c, r, *ty))
-            .collect()
+        self.columns.iter().zip(types).map(|(c, ty)| column_value(c, r, *ty)).collect()
     }
 }
 
@@ -97,14 +93,21 @@ mod tests {
             ArrowField::new("id", ArrowType::Int64, false),
             ArrowField::new("name", ArrowType::VarBinary, true),
         ]);
-        RecordBatch::new(schema, vec![
-            ColumnArray::Primitive(PrimitiveArray::from_i64(&[Some(101), Some(102), Some(103)])),
-            ColumnArray::VarBinary(VarBinaryArray::from_opt_slices(&[
-                Some("JOE"),
-                None,
-                Some("MARK"),
-            ])),
-        ])
+        RecordBatch::new(
+            schema,
+            vec![
+                ColumnArray::Primitive(PrimitiveArray::from_i64(&[
+                    Some(101),
+                    Some(102),
+                    Some(103),
+                ])),
+                ColumnArray::VarBinary(VarBinaryArray::from_opt_slices(&[
+                    Some("JOE"),
+                    None,
+                    Some("MARK"),
+                ])),
+            ],
+        )
     }
 
     #[test]
@@ -130,9 +133,12 @@ mod tests {
             ArrowField::new("a", ArrowType::Int64, false),
             ArrowField::new("b", ArrowType::Int64, false),
         ]);
-        RecordBatch::new(schema, vec![
-            ColumnArray::Primitive(PrimitiveArray::from_i64(&[Some(1)])),
-            ColumnArray::Primitive(PrimitiveArray::from_i64(&[Some(1), Some(2)])),
-        ]);
+        RecordBatch::new(
+            schema,
+            vec![
+                ColumnArray::Primitive(PrimitiveArray::from_i64(&[Some(1)])),
+                ColumnArray::Primitive(PrimitiveArray::from_i64(&[Some(1), Some(2)])),
+            ],
+        );
     }
 }

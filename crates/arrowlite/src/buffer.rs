@@ -48,10 +48,7 @@ pub struct Buffer {
 impl Buffer {
     /// Empty buffer (no allocation).
     pub fn empty() -> Self {
-        Buffer {
-            alloc: Arc::new(Allocation { ptr: NonNull::dangling(), capacity: 0 }),
-            len: 0,
-        }
+        Buffer { alloc: Arc::new(Allocation { ptr: NonNull::dangling(), capacity: 0 }), len: 0 }
     }
 
     /// Copy `bytes` into a fresh aligned allocation padded to 8 bytes.
@@ -73,10 +70,7 @@ impl Buffer {
     /// Build from a vector of fixed-width values.
     pub fn from_values<T: Copy>(values: &[T]) -> Self {
         let bytes = unsafe {
-            std::slice::from_raw_parts(
-                values.as_ptr() as *const u8,
-                std::mem::size_of_val(values),
-            )
+            std::slice::from_raw_parts(values.as_ptr() as *const u8, std::mem::size_of_val(values))
         };
         Self::from_slice(bytes)
     }
@@ -113,9 +107,7 @@ impl Buffer {
         if self.len == 0 {
             return &[];
         }
-        unsafe {
-            std::slice::from_raw_parts(self.alloc.ptr.as_ptr() as *const T, self.len / sz)
-        }
+        unsafe { std::slice::from_raw_parts(self.alloc.ptr.as_ptr() as *const T, self.len / sz) }
     }
 
     /// Raw base pointer (valid while the buffer lives).

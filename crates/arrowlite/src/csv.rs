@@ -101,8 +101,7 @@ pub fn read_csv(data: &str, schema: &ArrowSchema, types: &[TypeId]) -> Result<Re
                 }
                 (_, Some(s)) => {
                     ints[c].push(
-                        s.parse::<i64>()
-                            .map_err(|_| Error::Corrupt(format!("bad int {s:?}")))?,
+                        s.parse::<i64>().map_err(|_| Error::Corrupt(format!("bad int {s:?}")))?,
                     );
                     valid[c].push(true);
                 }
@@ -120,9 +119,7 @@ pub fn read_csv(data: &str, schema: &ArrowSchema, types: &[TypeId]) -> Result<Re
         let any_null = valid[c].iter().any(|&v| !v);
         let validity = any_null.then(|| Bitmap::from_bools(&valid[c]));
         let col = match ty {
-            TypeId::Varchar => {
-                ColumnArray::VarBinary(VarBinaryArray::from_opt_slices(&strs[c]))
-            }
+            TypeId::Varchar => ColumnArray::VarBinary(VarBinaryArray::from_opt_slices(&strs[c])),
             TypeId::Double => {
                 let mut bb = BufferBuilder::with_capacity(nrows * 8);
                 for v in &floats[c] {
@@ -235,26 +232,29 @@ mod tests {
 
     fn sample() -> RecordBatch {
         let (schema, _) = schema_and_types();
-        RecordBatch::new(schema, vec![
-            ColumnArray::Primitive(PrimitiveArray::from_i64(&[Some(1), Some(2), Some(3)])),
-            ColumnArray::VarBinary(VarBinaryArray::from_opt_slices(&[
-                Some("plain"),
-                None,
-                Some("with,comma \"q\""),
-            ])),
-            ColumnArray::Primitive({
-                let mut bb = BufferBuilder::default();
-                for v in [1.5f64, 0.0, -2.25] {
-                    bb.push(v);
-                }
-                PrimitiveArray::new(
-                    ArrowType::Float64,
-                    3,
-                    Some(Bitmap::from_bools(&[true, false, true])),
-                    bb.finish(),
-                )
-            }),
-        ])
+        RecordBatch::new(
+            schema,
+            vec![
+                ColumnArray::Primitive(PrimitiveArray::from_i64(&[Some(1), Some(2), Some(3)])),
+                ColumnArray::VarBinary(VarBinaryArray::from_opt_slices(&[
+                    Some("plain"),
+                    None,
+                    Some("with,comma \"q\""),
+                ])),
+                ColumnArray::Primitive({
+                    let mut bb = BufferBuilder::default();
+                    for v in [1.5f64, 0.0, -2.25] {
+                        bb.push(v);
+                    }
+                    PrimitiveArray::new(
+                        ArrowType::Float64,
+                        3,
+                        Some(Bitmap::from_bools(&[true, false, true])),
+                        bb.finish(),
+                    )
+                }),
+            ],
+        )
     }
 
     #[test]

@@ -188,19 +188,22 @@ mod tests {
             ArrowField::new("name", ArrowType::VarBinary, true),
             ArrowField::new("tag", ArrowType::DictionaryVarBinary, true),
         ]);
-        RecordBatch::new(schema, vec![
-            ColumnArray::Primitive(PrimitiveArray::from_i64(&[Some(1), Some(2), None])),
-            ColumnArray::VarBinary(VarBinaryArray::from_opt_slices(&[
-                Some("alpha"),
-                None,
-                Some("b"),
-            ])),
-            ColumnArray::Dictionary(DictionaryArray::encode(&[
-                Some("x"),
-                Some("y"),
-                Some("x"),
-            ])),
-        ])
+        RecordBatch::new(
+            schema,
+            vec![
+                ColumnArray::Primitive(PrimitiveArray::from_i64(&[Some(1), Some(2), None])),
+                ColumnArray::VarBinary(VarBinaryArray::from_opt_slices(&[
+                    Some("alpha"),
+                    None,
+                    Some("b"),
+                ])),
+                ColumnArray::Dictionary(DictionaryArray::encode(&[
+                    Some("x"),
+                    Some("y"),
+                    Some("x"),
+                ])),
+            ],
+        )
     }
 
     #[test]
@@ -213,11 +216,9 @@ mod tests {
 
     #[test]
     fn roundtrip_empty_batch() {
-        let schema =
-            ArrowSchema::new(vec![ArrowField::new("id", ArrowType::Int64, false)]);
-        let b = RecordBatch::new(schema, vec![ColumnArray::Primitive(
-            PrimitiveArray::from_i64(&[]),
-        )]);
+        let schema = ArrowSchema::new(vec![ArrowField::new("id", ArrowType::Int64, false)]);
+        let b =
+            RecordBatch::new(schema, vec![ColumnArray::Primitive(PrimitiveArray::from_i64(&[]))]);
         let dec = decode_batch(&encode_batch(&b)).unwrap();
         assert_eq!(dec.num_rows(), 0);
     }

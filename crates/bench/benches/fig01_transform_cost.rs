@@ -63,8 +63,7 @@ fn main() {
             f.flush().unwrap();
         }
         let text = std::fs::read_to_string(&path).unwrap();
-        let schema =
-            mainline_arrowlite::ArrowSchema::from_table_schema(lineitem.table().schema());
+        let schema = mainline_arrowlite::ArrowSchema::from_table_schema(lineitem.table().schema());
         let parsed = mainline_arrowlite::csv::read_csv(&text, &schema, &types).unwrap();
         assert!(parsed.num_rows() > 0);
     });

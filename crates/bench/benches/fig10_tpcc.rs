@@ -29,9 +29,8 @@ fn run_cell(workers: u32, transform: Option<TransformFormat>, seconds: u64, extr
         ..Default::default()
     })
     .unwrap();
-    let tpcc = Arc::new(
-        Tpcc::create(&db, TpccConfig::bench(workers), transform.is_some()).unwrap(),
-    );
+    let tpcc =
+        Arc::new(Tpcc::create(&db, TpccConfig::bench(workers), transform.is_some()).unwrap());
     tpcc.load(&db, 42).unwrap();
 
     let stop = Arc::new(AtomicBool::new(false));

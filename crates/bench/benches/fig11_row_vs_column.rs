@@ -12,20 +12,18 @@ fn main() {
     println!("figure,series,attrs,value,unit");
     for attrs in [1usize, 2, 4, 8, 16, 32, 64] {
         // Inserts: tuple has `attrs` attributes.
-        for (series, model) in [
-            ("row_insert", StorageModel::Row),
-            ("column_insert", StorageModel::Column),
-        ] {
+        for (series, model) in
+            [("row_insert", StorageModel::Row), ("column_insert", StorageModel::Column)]
+        {
             let t = RowColTable::new(model, attrs);
             let m = TransactionManager::new();
             let tput = run_ops(&t, &m, ops, attrs, false, 3);
             emit("fig11", series, attrs, tput / 1e6, "Mops_per_s");
         }
         // Updates: `attrs` of 64 attributes updated.
-        for (series, model) in [
-            ("row_update", StorageModel::Row),
-            ("column_update", StorageModel::Column),
-        ] {
+        for (series, model) in
+            [("row_update", StorageModel::Row), ("column_update", StorageModel::Column)]
+        {
             let t = RowColTable::new(model, 64);
             let m = TransactionManager::new();
             let tput = run_ops(&t, &m, ops, attrs, true, 4);

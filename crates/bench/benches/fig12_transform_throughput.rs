@@ -29,11 +29,7 @@ fn compact_all(manager: &TransactionManager, table: &Arc<DataTable>) {
 fn gather_all(table: &Arc<DataTable>, dictionary: bool) {
     for block in table.blocks() {
         unsafe {
-            let displaced = if dictionary {
-                compress_block(&block)
-            } else {
-                gather_block(&block)
-            };
+            let displaced = if dictionary { compress_block(&block) } else { gather_block(&block) };
             displaced.free();
         }
     }

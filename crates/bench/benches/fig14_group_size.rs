@@ -28,8 +28,7 @@ fn main() {
             for group in blocks.chunks(g) {
                 let plan = compaction::plan_approximate(group);
                 let txn = m.begin();
-                let stats =
-                    compaction::execute_plan(&t, &txn, &plan, |_, _, _, _| Ok(())).unwrap();
+                let stats = compaction::execute_plan(&t, &txn, &plan, |_, _, _, _| Ok(())).unwrap();
                 m.commit(&txn);
                 compaction::publish_insert_heads(&plan);
                 freed += plan.emptied.len();

@@ -39,18 +39,21 @@ fn build(nblocks: usize) -> (Arc<TransactionManager>, Arc<DataTable>) {
     let mut rng = Xoshiro256::seed_from_u64(5);
     let txn = m.begin();
     for i in 0..(nblocks * per_block) {
-        let row = ProjectedRow::from_values(&types, &[
-            Value::Integer(1),
-            Value::Integer((i % 10) as i32),
-            Value::BigInt(i as i64 / 10),
-            Value::Integer((i % 15) as i32),
-            Value::Integer(rng.int_range(1, 100_000) as i32),
-            Value::Integer(1),
-            Value::BigInt(0),
-            Value::Integer(5),
-            Value::Double(rng.int_range(1, 999_999) as f64 / 100.0),
-            Value::Varchar(rng.alnum_string(24, 24)),
-        ]);
+        let row = ProjectedRow::from_values(
+            &types,
+            &[
+                Value::Integer(1),
+                Value::Integer((i % 10) as i32),
+                Value::BigInt(i as i64 / 10),
+                Value::Integer((i % 15) as i32),
+                Value::Integer(rng.int_range(1, 100_000) as i32),
+                Value::Integer(1),
+                Value::BigInt(0),
+                Value::Integer(5),
+                Value::Double(rng.int_range(1, 999_999) as f64 / 100.0),
+                Value::Varchar(rng.alnum_string(24, 24)),
+            ],
+        );
         t.insert(&txn, &row);
     }
     m.commit(&txn);

@@ -75,10 +75,10 @@ fn bench_mvcc_ops(c: &mut Criterion) {
     c.bench_function("mvcc_insert", |b| {
         b.iter_batched(
             || {
-                ProjectedRow::from_values(&types, &[
-                    Value::BigInt(7),
-                    Value::string("bench-payload-value"),
-                ])
+                ProjectedRow::from_values(
+                    &types,
+                    &[Value::BigInt(7), Value::string("bench-payload-value")],
+                )
             },
             |row| {
                 let txn = m.begin();

@@ -84,7 +84,7 @@ mod tests {
             Error::Layout("too wide".into()),
             Error::TypeMismatch { expected: "i64", got: "varlen" },
             Error::Corrupt("bad magic".into()),
-            Error::Io(std::io::Error::new(std::io::ErrorKind::Other, "x")),
+            Error::Io(std::io::Error::other("x")),
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());
@@ -104,7 +104,7 @@ mod tests {
     fn source_only_for_io() {
         use std::error::Error as _;
         assert!(Error::DuplicateKey.source().is_none());
-        let io = Error::Io(std::io::Error::new(std::io::ErrorKind::Other, "x"));
+        let io = Error::Io(std::io::Error::other("x"));
         assert!(io.source().is_some());
     }
 }

@@ -5,7 +5,7 @@
 //! The pool recycles segments to avoid allocator churn on the transaction hot
 //! path.
 
-use parking_lot_like::Mutex;
+use parking_lot::Mutex;
 
 /// Size in bytes of one undo/redo buffer segment (paper: 4096 bytes).
 pub const SEGMENT_SIZE: usize = 4096;
@@ -53,12 +53,6 @@ impl Segment {
     }
 }
 
-// Hide the parking_lot dependency choice behind a module so `common` does not
-// need the dependency: std Mutex is fine for the pool (uncontended fast path).
-mod parking_lot_like {
-    pub use std::sync::Mutex;
-}
-
 /// Global pool of [`Segment`]s with an upper bound on retained free segments.
 pub struct SegmentPool {
     free: Mutex<Vec<Segment>>,
@@ -73,7 +67,7 @@ impl SegmentPool {
 
     /// Take a segment (reused if available, freshly allocated otherwise).
     pub fn acquire(&self) -> Segment {
-        if let Some(mut s) = self.free.lock().unwrap().pop() {
+        if let Some(mut s) = self.free.lock().pop() {
             s.reset();
             return s;
         }
@@ -82,7 +76,7 @@ impl SegmentPool {
 
     /// Return a segment to the pool; drops it if the pool is full.
     pub fn release(&self, seg: Segment) {
-        let mut free = self.free.lock().unwrap();
+        let mut free = self.free.lock();
         if free.len() < self.max_retained {
             free.push(seg);
         }
@@ -90,7 +84,7 @@ impl SegmentPool {
 
     /// Number of retained free segments (for tests/metrics).
     pub fn retained(&self) -> usize {
-        self.free.lock().unwrap().len()
+        self.free.lock().len()
     }
 }
 

@@ -105,11 +105,10 @@ mod tests {
         let s = sample();
         assert!(s.column(1).nullable);
         assert!(!s.column(0).nullable);
-        assert_eq!(s.types().collect::<Vec<_>>(), vec![
-            TypeId::BigInt,
-            TypeId::Varchar,
-            TypeId::Integer
-        ]);
+        assert_eq!(
+            s.types().collect::<Vec<_>>(),
+            vec![TypeId::BigInt, TypeId::Varchar, TypeId::Integer]
+        );
     }
 
     #[test]

@@ -122,18 +122,10 @@ impl Value {
     pub fn decode_fixed(ty: TypeId, bytes: &[u8]) -> Value {
         match ty {
             TypeId::TinyInt => Value::TinyInt(i8::from_le_bytes([bytes[0]])),
-            TypeId::SmallInt => {
-                Value::SmallInt(i16::from_le_bytes([bytes[0], bytes[1]]))
-            }
-            TypeId::Integer => {
-                Value::Integer(i32::from_le_bytes(bytes[..4].try_into().unwrap()))
-            }
-            TypeId::BigInt => {
-                Value::BigInt(i64::from_le_bytes(bytes[..8].try_into().unwrap()))
-            }
-            TypeId::Double => {
-                Value::Double(f64::from_le_bytes(bytes[..8].try_into().unwrap()))
-            }
+            TypeId::SmallInt => Value::SmallInt(i16::from_le_bytes([bytes[0], bytes[1]])),
+            TypeId::Integer => Value::Integer(i32::from_le_bytes(bytes[..4].try_into().unwrap())),
+            TypeId::BigInt => Value::BigInt(i64::from_le_bytes(bytes[..8].try_into().unwrap())),
+            TypeId::Double => Value::Double(f64::from_le_bytes(bytes[..8].try_into().unwrap())),
             TypeId::Varchar => panic!("decode_fixed on varlen type"),
         }
     }

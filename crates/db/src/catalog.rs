@@ -42,12 +42,8 @@ impl Catalog {
         }
         let id = self.next_id.fetch_add(1, Ordering::AcqRel);
         let table = DataTable::new(id, schema)?;
-        let handle = TableHandle::new(
-            table,
-            indexes,
-            Arc::clone(&self.manager),
-            Arc::clone(&self.deferred),
-        );
+        let handle =
+            TableHandle::new(table, indexes, Arc::clone(&self.manager), Arc::clone(&self.deferred));
         tables.insert(name.to_string(), Arc::clone(&handle));
         Ok(handle)
     }
@@ -68,11 +64,7 @@ impl Catalog {
 
     /// Map table id → data table (recovery).
     pub fn tables_by_id(&self) -> HashMap<u32, Arc<DataTable>> {
-        self.tables
-            .read()
-            .values()
-            .map(|h| (h.table().id(), Arc::clone(h.table())))
-            .collect()
+        self.tables.read().values().map(|h| (h.table().id(), Arc::clone(h.table()))).collect()
     }
 }
 

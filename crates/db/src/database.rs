@@ -280,11 +280,9 @@ mod tests {
         path.push(format!("mainline-db-recovery-{}.wal", std::process::id()));
         let _ = std::fs::remove_file(&path);
         {
-            let db = Database::open(DbConfig {
-                log_path: Some(path.clone()),
-                ..Default::default()
-            })
-            .unwrap();
+            let db =
+                Database::open(DbConfig { log_path: Some(path.clone()), ..Default::default() })
+                    .unwrap();
             let t = db
                 .create_table(
                     "t",

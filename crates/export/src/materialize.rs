@@ -56,9 +56,7 @@ unsafe fn frozen_batch(table: &DataTable, block: &Block) -> RecordBatch {
         let mut validity = Bitmap::new_zeroed(n);
         let mut any_null = false;
         for slot in 0..n as u32 {
-            if access::is_allocated(ptr, layout, slot)
-                && !access::is_null(ptr, layout, slot, col)
-            {
+            if access::is_allocated(ptr, layout, slot) && !access::is_null(ptr, layout, slot, col) {
                 validity.set(slot as usize);
             } else {
                 any_null = true;
@@ -81,12 +79,7 @@ unsafe fn frozen_batch(table: &DataTable, block: &Block) -> RecordBatch {
                         values_buf,
                     ))
                 }
-                Some(GatheredColumn::Dictionary {
-                    codes,
-                    dict_offsets,
-                    dict_values,
-                    ..
-                }) => {
+                Some(GatheredColumn::Dictionary { codes, dict_offsets, dict_values, .. }) => {
                     let codes_buf = Buffer::from_values(&codes[..n]);
                     let dict = VarBinaryArray::new(
                         dict_offsets.len() - 1,
@@ -115,10 +108,8 @@ unsafe fn frozen_batch(table: &DataTable, block: &Block) -> RecordBatch {
             }
         } else {
             let width = layout.attr_size(col) as usize;
-            let data = std::slice::from_raw_parts(
-                ptr.add(layout.column_offset(col) as usize),
-                n * width,
-            );
+            let data =
+                std::slice::from_raw_parts(ptr.add(layout.column_offset(col) as usize), n * width);
             ColumnArray::Primitive(PrimitiveArray::new(
                 ArrowType::from_type_id(ty),
                 n,

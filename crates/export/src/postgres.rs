@@ -124,11 +124,10 @@ pub fn parse_client(wire: &mut Loopback, types: &[TypeId]) -> Vec<ColumnArray> {
             valid[c].push(true);
             match types[c] {
                 TypeId::Varchar => strs[c].push(Some(text.to_vec())),
-                TypeId::Double => floats[c].push(
-                    std::str::from_utf8(text).unwrap().parse::<f64>().unwrap(),
-                ),
-                _ => ints[c]
-                    .push(std::str::from_utf8(text).unwrap().parse::<i64>().unwrap()),
+                TypeId::Double => {
+                    floats[c].push(std::str::from_utf8(text).unwrap().parse::<f64>().unwrap())
+                }
+                _ => ints[c].push(std::str::from_utf8(text).unwrap().parse::<i64>().unwrap()),
             }
         }
         nrows += 1;

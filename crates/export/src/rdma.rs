@@ -118,9 +118,7 @@ pub fn export(manager: &TransactionManager, table: &DataTable) -> ExportStats {
 }
 
 fn bytes_of<T: Copy>(xs: &[T]) -> &[u8] {
-    unsafe {
-        std::slice::from_raw_parts(xs.as_ptr() as *const u8, std::mem::size_of_val(xs))
-    }
+    unsafe { std::slice::from_raw_parts(xs.as_ptr() as *const u8, std::mem::size_of_val(xs)) }
 }
 
 #[cfg(test)]

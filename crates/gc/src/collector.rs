@@ -295,11 +295,8 @@ mod tests {
         unsafe {
             let layout = layout_of(slot.block());
             let mut n = 0;
-            let mut cur = UndoRecordRef::from_raw(access::load_version(
-                slot.block(),
-                layout,
-                slot.offset(),
-            ));
+            let mut cur =
+                UndoRecordRef::from_raw(access::load_version(slot.block(), layout, slot.offset()));
             while let Some(r) = cur {
                 n += 1;
                 cur = r.next();

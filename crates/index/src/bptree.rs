@@ -92,13 +92,13 @@ pub struct BPlusTree<V> {
     len: AtomicUsize,
 }
 
-impl<V: Clone> Default for BPlusTree<V> {
+impl<V: Clone + 'static> Default for BPlusTree<V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<V: Clone> BPlusTree<V> {
+impl<V: Clone + 'static> BPlusTree<V> {
     /// Empty tree.
     pub fn new() -> Self {
         BPlusTree {
@@ -159,11 +159,10 @@ impl<V: Clone> BPlusTree<V> {
                 true
             }
         })
-        .map(|inserted| {
+        .inspect(|&inserted| {
             if inserted {
                 self.len.fetch_add(1, Ordering::Relaxed);
             }
-            inserted
         })
         .unwrap()
     }
@@ -254,8 +253,8 @@ impl<V: Clone> BPlusTree<V> {
                             children.insert(idx + 1, Arc::clone(&right));
                             if key >= sep.as_slice() {
                                 drop(child_guard);
-                                let right_guard = right.write_arc();
-                                right_guard
+
+                                right.write_arc()
                             } else {
                                 child_guard
                             }
@@ -271,28 +270,18 @@ impl<V: Clone> BPlusTree<V> {
 
     /// Range scan over `[lo, hi)` (hi `None` = unbounded). Calls `f(key, val)`
     /// for each entry in order; stop early by returning `false`.
-    pub fn scan_range(
-        &self,
-        lo: &[u8],
-        hi: Option<&[u8]>,
-        mut f: impl FnMut(&[u8], &V) -> bool,
-    ) {
+    pub fn scan_range(&self, lo: &[u8], hi: Option<&[u8]>, mut f: impl FnMut(&[u8], &V) -> bool) {
         // Descend to the leaf containing lo with read-crabbing.
         let root_ptr = self.root.read();
         let cur = Arc::clone(&root_ptr);
         drop(root_ptr);
         let mut guard = cur.read_arc();
-        loop {
-            match &*guard {
-                Node::Inner { keys, children } => {
-                    let idx = Node::<V>::child_index(keys, lo);
-                    let child = Arc::clone(&children[idx]);
-                    let child_guard = child.read_arc();
-                    drop(guard);
-                    guard = child_guard;
-                }
-                Node::Leaf { .. } => break,
-            }
+        while let Node::Inner { keys, children } = &*guard {
+            let idx = Node::<V>::child_index(keys, lo);
+            let child = Arc::clone(&children[idx]);
+            let child_guard = child.read_arc();
+            drop(guard);
+            guard = child_guard;
         }
         // Walk the leaf level.
         loop {

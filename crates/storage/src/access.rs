@@ -38,7 +38,13 @@ pub unsafe fn version_ptr(block: *mut u8, layout: &BlockLayout, slot: u32) -> &'
 /// # Safety
 /// Same contract as [`attr_ptr`].
 #[inline]
-pub unsafe fn read_attr(block: *mut u8, layout: &BlockLayout, slot: u32, col: u16, out: &mut [u8; 16]) {
+pub unsafe fn read_attr(
+    block: *mut u8,
+    layout: &BlockLayout,
+    slot: u32,
+    col: u16,
+    out: &mut [u8; 16],
+) {
     let p = attr_ptr(block, layout, slot, col);
     let n = layout.attr_size(col) as usize;
     std::ptr::copy_nonoverlapping(p, out.as_mut_ptr(), n);
@@ -50,7 +56,13 @@ pub unsafe fn read_attr(block: *mut u8, layout: &BlockLayout, slot: u32, col: u1
 /// Same contract as [`attr_ptr`]. Concurrency safety comes from the MVCC
 /// protocol: only the version-chain owner writes a tuple in place.
 #[inline]
-pub unsafe fn write_attr(block: *mut u8, layout: &BlockLayout, slot: u32, col: u16, img: &[u8; 16]) {
+pub unsafe fn write_attr(
+    block: *mut u8,
+    layout: &BlockLayout,
+    slot: u32,
+    col: u16,
+    img: &[u8; 16],
+) {
     let p = attr_ptr(block, layout, slot, col);
     let n = layout.attr_size(col) as usize;
     std::ptr::copy_nonoverlapping(img.as_ptr(), p, n);
@@ -61,7 +73,12 @@ pub unsafe fn write_attr(block: *mut u8, layout: &BlockLayout, slot: u32, col: u
 /// # Safety
 /// Same contract as [`attr_ptr`]; `col` must be a varlen column.
 #[inline]
-pub unsafe fn read_varlen(block: *mut u8, layout: &BlockLayout, slot: u32, col: u16) -> VarlenEntry {
+pub unsafe fn read_varlen(
+    block: *mut u8,
+    layout: &BlockLayout,
+    slot: u32,
+    col: u16,
+) -> VarlenEntry {
     debug_assert!(layout.is_varlen(col));
     (attr_ptr(block, layout, slot, col) as *const VarlenEntry).read()
 }
@@ -71,7 +88,13 @@ pub unsafe fn read_varlen(block: *mut u8, layout: &BlockLayout, slot: u32, col: 
 /// # Safety
 /// Same contract as [`read_varlen`].
 #[inline]
-pub unsafe fn write_varlen(block: *mut u8, layout: &BlockLayout, slot: u32, col: u16, e: VarlenEntry) {
+pub unsafe fn write_varlen(
+    block: *mut u8,
+    layout: &BlockLayout,
+    slot: u32,
+    col: u16,
+    e: VarlenEntry,
+) {
     (attr_ptr(block, layout, slot, col) as *mut VarlenEntry).write(e);
 }
 
@@ -169,7 +192,10 @@ mod tests {
                     let p = attr_ptr(b.as_ptr(), &l, slot, col) as usize;
                     assert_eq!(p % (l.attr_size(col).min(8) as usize), 0);
                     assert!(seen.insert(p), "aliased attribute address");
-                    assert!(p + l.attr_size(col) as usize <= b.as_ptr() as usize + crate::raw_block::BLOCK_SIZE);
+                    assert!(
+                        p + l.attr_size(col) as usize
+                            <= b.as_ptr() as usize + crate::raw_block::BLOCK_SIZE
+                    );
                 }
             }
         }

@@ -45,9 +45,7 @@ impl GatheredColumn {
     /// Total bytes held by this gathered column.
     pub fn byte_size(&self) -> usize {
         match self {
-            GatheredColumn::Gathered { offsets, values, .. } => {
-                offsets.len() * 4 + values.len()
-            }
+            GatheredColumn::Gathered { offsets, values, .. } => offsets.len() * 4 + values.len(),
             GatheredColumn::Dictionary { codes, dict_offsets, dict_values, .. } => {
                 codes.len() * 4 + dict_offsets.len() * 4 + dict_values.len()
             }

@@ -87,8 +87,7 @@ impl BlockStateMachine {
                     h.dec_writers();
                 }
                 BlockState::Cooling => {
-                    let _ =
-                        h.cas_state_raw(BlockState::Cooling as u32, BlockState::Hot as u32);
+                    let _ = h.cas_state_raw(BlockState::Cooling as u32, BlockState::Hot as u32);
                 }
                 BlockState::Frozen => {
                     if h.cas_state_raw(BlockState::Frozen as u32, BlockState::Hot as u32) {
@@ -182,11 +181,8 @@ mod tests {
 
     fn block() -> (Arc<BlockLayout>, RawBlock) {
         let l = Arc::new(
-            BlockLayout::from_schema(&Schema::new(vec![ColumnDef::new(
-                "a",
-                TypeId::BigInt,
-            )]))
-            .unwrap(),
+            BlockLayout::from_schema(&Schema::new(vec![ColumnDef::new("a", TypeId::BigInt)]))
+                .unwrap(),
         );
         let b = RawBlock::new(&l);
         (l, b)
@@ -298,9 +294,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 let h = unsafe { BlockHeader::new(b.as_ptr()) };
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                    if BlockStateMachine::begin_cooling(h)
-                        && BlockStateMachine::begin_freezing(h)
-                    {
+                    if BlockStateMachine::begin_cooling(h) && BlockStateMachine::begin_freezing(h) {
                         BlockStateMachine::finish_freezing(h);
                     }
                 }

@@ -65,7 +65,7 @@ impl BlockLayout {
     ) -> Result<BlockLayout, mainline_common::Error> {
         assert_eq!(attr_sizes.len(), varlen.len());
         assert_eq!(attr_sizes[0], 8, "column 0 must be the 8-byte version column");
-        if attr_sizes.iter().any(|&s| s == 0) {
+        if attr_sizes.contains(&0) {
             return Err(mainline_common::Error::Layout("zero-size attribute".into()));
         }
         // Find the largest slot count that fits via binary search on the
@@ -154,7 +154,7 @@ impl BlockLayout {
 
     /// Storage ids of all user columns (1-based).
     pub fn user_cols(&self) -> impl Iterator<Item = u16> + '_ {
-        (NUM_RESERVED_COLS as u16..self.num_cols() as u16).map(|c| c)
+        NUM_RESERVED_COLS as u16..self.num_cols() as u16
     }
 
     /// Storage ids of the varlen user columns.
@@ -215,11 +215,7 @@ mod tests {
     fn paper_microbench_layout_holds_about_32k_tuples() {
         let l = BlockLayout::from_schema(&schema_2col()).unwrap();
         // Paper §6.2: "each block holds ~32K tuples" for this layout.
-        assert!(
-            (30_000..34_000).contains(&l.num_slots()),
-            "num_slots = {}",
-            l.num_slots()
-        );
+        assert!((30_000..34_000).contains(&l.num_slots()), "num_slots = {}", l.num_slots());
         assert!(l.used_bytes() as usize <= BLOCK_SIZE);
         // Adding one more slot must not fit.
         let bigger = BlockLayout::space_for(&[8, 8, 16], l.num_slots() + 1);
@@ -237,8 +233,8 @@ mod tests {
             assert_eq!(l.column_offset(c) % 8, 0);
             assert!(l.bitmap_offset(c) as usize >= prev_end);
             assert!(l.column_offset(c) > l.bitmap_offset(c));
-            prev_end = l.column_offset(c) as usize
-                + l.num_slots() as usize * l.attr_size(c) as usize;
+            prev_end =
+                l.column_offset(c) as usize + l.num_slots() as usize * l.attr_size(c) as usize;
         }
         assert!(prev_end <= BLOCK_SIZE);
     }
@@ -256,9 +252,8 @@ mod tests {
     #[test]
     fn wide_fixed_layout() {
         // 64 x 8-byte attributes (Fig. 11 extreme).
-        let cols: Vec<ColumnDef> = (0..64)
-            .map(|i| ColumnDef::new(&format!("a{i}"), TypeId::BigInt))
-            .collect();
+        let cols: Vec<ColumnDef> =
+            (0..64).map(|i| ColumnDef::new(&format!("a{i}"), TypeId::BigInt)).collect();
         let l = BlockLayout::from_schema(&Schema::new(cols)).unwrap();
         // 65 * 8 bytes/tuple + bitmaps: ~2000 slots expected.
         assert!(l.num_slots() > 1500, "num_slots={}", l.num_slots());
@@ -274,10 +269,8 @@ mod tests {
 
     #[test]
     fn oversized_tuple_rejected() {
-        let r = BlockLayout::from_attr_sizes(
-            vec![8, (BLOCK_SIZE as u32) as u16],
-            vec![false, false],
-        );
+        let r =
+            BlockLayout::from_attr_sizes(vec![8, (BLOCK_SIZE as u32) as u16], vec![false, false]);
         // u16 can't even express it; use many columns instead.
         drop(r);
         let sizes: Vec<u16> = std::iter::once(8).chain((0..40_000).map(|_| 32)).collect();

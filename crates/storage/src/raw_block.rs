@@ -60,8 +60,7 @@ impl RawBlock {
         debug_assert_eq!(raw as usize % BLOCK_SIZE, 0, "allocator must honour 1MB alignment");
         let block = RawBlock { ptr };
         unsafe {
-            (raw.add(header::LAYOUT_PTR) as *mut u64)
-                .write(Arc::as_ptr(layout) as usize as u64);
+            (raw.add(header::LAYOUT_PTR) as *mut u64).write(Arc::as_ptr(layout) as usize as u64);
         }
         block
     }
@@ -85,10 +84,7 @@ impl RawBlock {
 impl Drop for RawBlock {
     fn drop(&mut self) {
         unsafe {
-            dealloc(
-                self.ptr.as_ptr(),
-                Layout::from_size_align(BLOCK_SIZE, BLOCK_SIZE).unwrap(),
-            )
+            dealloc(self.ptr.as_ptr(), Layout::from_size_align(BLOCK_SIZE, BLOCK_SIZE).unwrap())
         }
     }
 }

@@ -53,11 +53,8 @@ impl VarlenEntry {
     pub fn from_bytes(value: &[u8]) -> Self {
         assert!(value.len() < (1usize << 31), "varlen too large");
         if value.len() <= INLINE_THRESHOLD {
-            let mut e = VarlenEntry {
-                size_and_flags: value.len() as u32,
-                prefix: [0; 4],
-                pointer: 0,
-            };
+            let mut e =
+                VarlenEntry { size_and_flags: value.len() as u32, prefix: [0; 4], pointer: 0 };
             let n1 = value.len().min(4);
             e.prefix[..n1].copy_from_slice(&value[..n1]);
             if value.len() > 4 {
@@ -87,7 +84,12 @@ impl VarlenEntry {
     ///
     /// Values at or under the inline threshold are inlined instead (cheaper
     /// and removes the lifetime concern entirely).
-    pub fn from_gathered(ptr: *const u8, len: usize) -> Self {
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be valid for reads of `len` bytes, and the buffer must
+    /// outlive every reader of the returned entry (see above).
+    pub unsafe fn from_gathered(ptr: *const u8, len: usize) -> Self {
         if len <= INLINE_THRESHOLD {
             let slice = unsafe { std::slice::from_raw_parts(ptr, len) };
             return Self::from_bytes(slice);
@@ -250,7 +252,7 @@ mod tests {
     #[test]
     fn gathered_entries_do_not_own() {
         let backing = b"hello world, this is gathered".to_vec();
-        let e = VarlenEntry::from_gathered(backing.as_ptr(), backing.len());
+        let e = unsafe { VarlenEntry::from_gathered(backing.as_ptr(), backing.len()) };
         assert!(!e.owns_buffer());
         assert!(!e.is_inlined());
         assert_eq!(unsafe { e.as_slice() }, &backing[..]);
@@ -262,7 +264,7 @@ mod tests {
     #[test]
     fn gathered_short_values_inline() {
         let backing = b"short".to_vec();
-        let e = VarlenEntry::from_gathered(backing.as_ptr(), backing.len());
+        let e = unsafe { VarlenEntry::from_gathered(backing.as_ptr(), backing.len()) };
         assert!(e.is_inlined());
         drop(backing); // inlined: no dangling reference
         assert_eq!(unsafe { e.as_slice() }, b"short");

@@ -23,11 +23,7 @@ use mainline_txn::{DataTable, Transaction, TransactionManager};
 /// Snapshot one block into a standalone Arrow batch. Returns the batch and
 /// the number of tuples copied (all of them — the write amplification of the
 /// Snapshot algorithm in Fig. 13).
-pub fn snapshot_block(
-    table: &DataTable,
-    txn: &Transaction,
-    block: &Block,
-) -> (RecordBatch, usize) {
+pub fn snapshot_block(table: &DataTable, txn: &Transaction, block: &Block) -> (RecordBatch, usize) {
     let layout = table.layout();
     let cols = table.all_cols();
     let upper = block.header().insert_head().min(layout.num_slots());
@@ -101,8 +97,8 @@ pub fn inplace_block(
 ) -> Result<usize> {
     let layout = table.layout();
     let varlen_cols: Vec<u16> = layout.varlen_cols().collect();
-    let fixed_col = (NUM_RESERVED_COLS as u16..layout.num_cols() as u16)
-        .find(|&c| !layout.is_varlen(c));
+    let fixed_col =
+        (NUM_RESERVED_COLS as u16..layout.num_cols() as u16).find(|&c| !layout.is_varlen(c));
     let upper = block.header().insert_head().min(layout.num_slots());
     let txn = manager.begin();
     let mut rewritten = 0usize;
@@ -147,8 +143,8 @@ pub fn inplace_block(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mainline_common::value::TypeId;
     use mainline_common::schema::{ColumnDef, Schema};
+    use mainline_common::value::TypeId;
     use mainline_common::value::Value;
     use std::sync::Arc;
 

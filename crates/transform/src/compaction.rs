@@ -84,10 +84,7 @@ pub fn plan_approximate(blocks: &[Arc<Block>]) -> CompactionPlan {
 /// and keep the cheapest plan.
 pub fn plan_optimal(blocks: &[Arc<Block>]) -> CompactionPlan {
     let occ = scan_occupancy(blocks);
-    let s = blocks
-        .first()
-        .map(|b| b.layout().num_slots() as usize)
-        .unwrap_or(0);
+    let s = blocks.first().map(|b| b.layout().num_slots() as usize).unwrap_or(0);
     let t: usize = occ.iter().map(|o| o.filled.len()).sum();
     if s == 0 || t == 0 {
         return plan_for_order(blocks, occ);
@@ -113,7 +110,7 @@ pub fn plan_optimal(blocks: &[Arc<Block>]) -> CompactionPlan {
             })
             .collect();
         let plan = plan_for_order(blocks, occ_arranged);
-        if best.as_ref().map_or(true, |b| plan.moves.len() < b.moves.len()) {
+        if best.as_ref().is_none_or(|b| plan.moves.len() < b.moves.len()) {
             best = Some(plan);
         }
     }
@@ -123,10 +120,7 @@ pub fn plan_optimal(blocks: &[Arc<Block>]) -> CompactionPlan {
 /// Build the movement plan given an ordering where the first ⌊t/s⌋ blocks
 /// are `F`, the next is `p`, and the rest are `E`.
 fn plan_for_order(blocks: &[Arc<Block>], occ: Vec<BlockOccupancy>) -> CompactionPlan {
-    let s = blocks
-        .first()
-        .map(|b| b.layout().num_slots() as usize)
-        .unwrap_or(0);
+    let s = blocks.first().map(|b| b.layout().num_slots() as usize).unwrap_or(0);
     let t: usize = occ.iter().map(|o| o.filled.len()).sum();
     if s == 0 || t == 0 {
         return CompactionPlan {

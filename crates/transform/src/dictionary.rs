@@ -34,8 +34,7 @@ pub unsafe fn compress_block(block: &Block) -> DisplacedBuffers {
         let mut distinct: BTreeSet<Vec<u8>> = BTreeSet::new();
         let mut null_count = 0usize;
         for slot in 0..n {
-            if access::is_allocated(ptr, &layout, slot)
-                && !access::is_null(ptr, &layout, slot, col)
+            if access::is_allocated(ptr, &layout, slot) && !access::is_null(ptr, &layout, slot, col)
             {
                 distinct.insert(access::read_varlen(ptr, &layout, slot, col).to_vec());
             } else {
@@ -59,8 +58,7 @@ pub unsafe fn compress_block(block: &Block) -> DisplacedBuffers {
         let mut codes = Vec::with_capacity(n as usize);
         for slot in 0..n {
             let old = access::read_varlen(ptr, &layout, slot, col);
-            if access::is_allocated(ptr, &layout, slot)
-                && !access::is_null(ptr, &layout, slot, col)
+            if access::is_allocated(ptr, &layout, slot) && !access::is_null(ptr, &layout, slot, col)
             {
                 let value = old.as_slice();
                 let code = words
@@ -82,12 +80,8 @@ pub unsafe fn compress_block(block: &Block) -> DisplacedBuffers {
                 access::write_varlen(ptr, &layout, slot, col, VarlenEntry::empty());
             }
         }
-        let compressed = Arc::new(GatheredColumn::Dictionary {
-            codes,
-            dict_offsets,
-            dict_values,
-            null_count,
-        });
+        let compressed =
+            Arc::new(GatheredColumn::Dictionary { codes, dict_offsets, dict_values, null_count });
         if let Some(old_col) = block.arrow.install(col, compressed) {
             displaced.old_columns.push(old_col);
         }
@@ -117,11 +111,8 @@ mod tests {
         let txn = m.begin();
         let slots: Vec<_> = (0..300)
             .map(|i| {
-                let v = if i % 10 == 9 {
-                    Value::Null
-                } else {
-                    Value::string(cities[i % cities.len()])
-                };
+                let v =
+                    if i % 10 == 9 { Value::Null } else { Value::string(cities[i % cities.len()]) };
                 t.insert(
                     &txn,
                     &ProjectedRow::from_values(
@@ -146,9 +137,7 @@ mod tests {
                 // 3 distinct cities → 3 dictionary words, sorted.
                 assert_eq!(dict_offsets.len(), 4);
                 let words: Vec<&[u8]> = (0..3)
-                    .map(|i| {
-                        &dict_values[dict_offsets[i] as usize..dict_offsets[i + 1] as usize]
-                    })
+                    .map(|i| &dict_values[dict_offsets[i] as usize..dict_offsets[i + 1] as usize])
                     .collect();
                 assert!(words.windows(2).all(|w| w[0] < w[1]));
                 assert_eq!(codes.len() as u32, t.layout().num_slots());

@@ -60,8 +60,7 @@ pub unsafe fn gather_block(block: &Block) -> DisplacedBuffers {
         let mut total = 0usize;
         let mut null_count = 0usize;
         for slot in 0..n {
-            if access::is_allocated(ptr, &layout, slot)
-                && !access::is_null(ptr, &layout, slot, col)
+            if access::is_allocated(ptr, &layout, slot) && !access::is_null(ptr, &layout, slot, col)
             {
                 total += access::read_varlen(ptr, &layout, slot, col).len();
             } else {
@@ -74,8 +73,7 @@ pub unsafe fn gather_block(block: &Block) -> DisplacedBuffers {
         let mut cursor = 0usize;
         offsets.push(0i32);
         for slot in 0..n {
-            if access::is_allocated(ptr, &layout, slot)
-                && !access::is_null(ptr, &layout, slot, col)
+            if access::is_allocated(ptr, &layout, slot) && !access::is_null(ptr, &layout, slot, col)
             {
                 let e = access::read_varlen(ptr, &layout, slot, col);
                 let bytes = e.as_slice();
@@ -89,8 +87,7 @@ pub unsafe fn gather_block(block: &Block) -> DisplacedBuffers {
         let base = values.as_ptr();
         for slot in 0..n {
             let old = access::read_varlen(ptr, &layout, slot, col);
-            if access::is_allocated(ptr, &layout, slot)
-                && !access::is_null(ptr, &layout, slot, col)
+            if access::is_allocated(ptr, &layout, slot) && !access::is_null(ptr, &layout, slot, col)
             {
                 let start = offsets[slot as usize] as usize;
                 let len = (offsets[slot as usize + 1] - offsets[slot as usize]) as usize;

@@ -381,8 +381,8 @@ mod tests {
     use super::*;
     use mainline_common::schema::{ColumnDef, Schema};
     use mainline_common::value::{TypeId, Value};
-    use mainline_gc::GarbageCollector;
     use mainline_gc::collector::ModificationObserver;
+    use mainline_gc::GarbageCollector;
 
     struct Harness {
         manager: Arc<TransactionManager>,
@@ -518,11 +518,8 @@ mod tests {
 
     #[test]
     fn emptied_blocks_are_recycled() {
-        let mut h = harness(TransformConfig {
-            threshold_epochs: 1,
-            group_size: 10,
-            ..Default::default()
-        });
+        let mut h =
+            harness(TransformConfig { threshold_epochs: 1, group_size: 10, ..Default::default() });
         // Two blocks of data, then delete 80% of each: compaction should
         // free at least one block.
         let per_block = h.table.layout().num_slots() as usize;
@@ -570,10 +567,7 @@ mod tests {
             .find(|b| BlockStateMachine::state(b.header()) == BlockState::Frozen)
             .expect("frozen block");
         let col = frozen.arrow.get(2).unwrap();
-        assert!(matches!(
-            &*col,
-            mainline_storage::arrow_side::GatheredColumn::Dictionary { .. }
-        ));
+        assert!(matches!(&*col, mainline_storage::arrow_side::GatheredColumn::Dictionary { .. }));
     }
 
     #[test]
@@ -620,10 +614,7 @@ mod tests {
         h.gc.run_to_quiescence();
 
         let check = h.manager.begin();
-        assert_eq!(
-            h.table.count_visible(&check),
-            2000 + h.table.layout().num_slots() as usize
-        );
+        assert_eq!(h.table.count_visible(&check), 2000 + h.table.layout().num_slots() as usize);
         h.manager.commit(&check);
     }
 }

@@ -106,7 +106,7 @@ impl DataTable {
     /// makes precision unnecessary, but skipping the tail avoids guaranteed
     /// preemptions).
     pub fn is_active_block(&self, ptr: *const u8) -> bool {
-        self.active_block.lock().as_ptr() as *const u8 == ptr
+        std::ptr::eq(self.active_block.lock().as_ptr(), ptr)
     }
 
     /// Remove specific blocks from the table (compaction recycling). The
@@ -155,8 +155,15 @@ impl DataTable {
     /// Insert into a *specific* currently-empty slot (compaction's tuple
     /// shuffle, §4.3). Fails if the slot is occupied or still has a version
     /// chain that the GC has not pruned.
-    pub fn insert_into(&self, txn: &Transaction, slot: TupleSlot, row: &ProjectedRow) -> Result<()> {
-        unsafe { self.install_insert(txn, slot.block(), slot, row, /* fresh */ false) }
+    pub fn insert_into(
+        &self,
+        txn: &Transaction,
+        slot: TupleSlot,
+        row: &ProjectedRow,
+    ) -> Result<()> {
+        unsafe {
+            self.install_insert(txn, slot.block(), slot, row, /* fresh */ false)
+        }
     }
 
     unsafe fn install_insert(
@@ -180,10 +187,7 @@ impl DataTable {
         }
         let record = txn.new_undo_record(slot, self.id, UndoKind::Insert, &[], &[], 0);
         let vp = access::version_ptr(block, layout, idx);
-        if vp
-            .compare_exchange(0, record.as_raw(), Ordering::AcqRel, Ordering::Acquire)
-            .is_err()
-        {
+        if vp.compare_exchange(0, record.as_raw(), Ordering::AcqRel, Ordering::Acquire).is_err() {
             txn.pop_undo_record();
             return Err(Error::WriteWriteConflict);
         }
@@ -551,11 +555,7 @@ mod tests {
     fn row(id: i64, name: Option<&str>, qty: i32) -> ProjectedRow {
         ProjectedRow::from_values(
             &[TypeId::BigInt, TypeId::Varchar, TypeId::Integer],
-            &[
-                Value::BigInt(id),
-                name.map_or(Value::Null, Value::string),
-                Value::Integer(qty),
-            ],
+            &[Value::BigInt(id), name.map_or(Value::Null, Value::string), Value::Integer(qty)],
         )
     }
 
@@ -566,11 +566,10 @@ mod tests {
         let txn = m.begin();
         let slot = t.insert(&txn, &row(7, Some("a fairly long name value"), 3));
         let got = t.select_values(&txn, slot).unwrap();
-        assert_eq!(got, vec![
-            Value::BigInt(7),
-            Value::string("a fairly long name value"),
-            Value::Integer(3)
-        ]);
+        assert_eq!(
+            got,
+            vec![Value::BigInt(7), Value::string("a fairly long name value"), Value::Integer(3)]
+        );
         m.commit(&txn);
     }
 
@@ -707,11 +706,10 @@ mod tests {
 
         let check = m.begin();
         let got = t.select_values(&check, slot).unwrap();
-        assert_eq!(got, vec![
-            Value::BigInt(1),
-            Value::string("the original long value"),
-            Value::Integer(10)
-        ]);
+        assert_eq!(
+            got,
+            vec![Value::BigInt(1), Value::string("the original long value"), Value::Integer(10)]
+        );
         m.commit(&check);
     }
 

@@ -91,11 +91,7 @@ mod tests {
             slot: TupleSlot::from_raw(1 << 20),
             op: RedoOp::Insert(vec![RedoCol { col: 1, value: Some(vec![1, 2]) }]),
         });
-        b.push(RedoRecord {
-            table_id: 1,
-            slot: TupleSlot::from_raw(1 << 20),
-            op: RedoOp::Delete,
-        });
+        b.push(RedoRecord { table_id: 1, slot: TupleSlot::from_raw(1 << 20), op: RedoOp::Delete });
         assert_eq!(b.len(), 2);
         assert!(matches!(b.records()[0].op, RedoOp::Insert(_)));
         assert!(matches!(b.records()[1].op, RedoOp::Delete));

@@ -212,6 +212,7 @@ impl UndoBuffer {
     ///
     /// `deltas` carries the before-images for `Update` records (empty for
     /// insert/delete records).
+    #[allow(clippy::too_many_arguments)] // mirrors the undo-record header fields
     pub fn new_record(
         &mut self,
         pool: &SegmentPool,
@@ -336,8 +337,16 @@ mod tests {
     fn chain_linking() {
         let pool = SegmentPool::default();
         let mut buf = UndoBuffer::new();
-        let r1 =
-            buf.new_record(&pool, Timestamp(1).as_txn_id(), slot(), 0, UndoKind::Insert, &[], &[], 0);
+        let r1 = buf.new_record(
+            &pool,
+            Timestamp(1).as_txn_id(),
+            slot(),
+            0,
+            UndoKind::Insert,
+            &[],
+            &[],
+            0,
+        );
         let r2 = buf.new_record(
             &pool,
             Timestamp(1).as_txn_id(),
@@ -357,7 +366,16 @@ mod tests {
     fn timestamp_publishing() {
         let pool = SegmentPool::default();
         let mut buf = UndoBuffer::new();
-        let r = buf.new_record(&pool, Timestamp(5).as_txn_id(), slot(), 0, UndoKind::Delete, &[], &[], 0);
+        let r = buf.new_record(
+            &pool,
+            Timestamp(5).as_txn_id(),
+            slot(),
+            0,
+            UndoKind::Delete,
+            &[],
+            &[],
+            0,
+        );
         assert!(r.timestamp().is_uncommitted());
         r.set_timestamp(Timestamp(77));
         assert_eq!(r.timestamp(), Timestamp(77));
@@ -372,7 +390,16 @@ mod tests {
         let deltas = [AttrImage { col: 1, null: false, image: [0; 16] }; 4];
         let refs: Vec<_> = (0..100)
             .map(|_| {
-                buf.new_record(&pool, Timestamp(1).as_txn_id(), slot(), 0, UndoKind::Update, &deltas, &[false; 4], 0)
+                buf.new_record(
+                    &pool,
+                    Timestamp(1).as_txn_id(),
+                    slot(),
+                    0,
+                    UndoKind::Update,
+                    &deltas,
+                    &[false; 4],
+                    0,
+                )
             })
             .collect();
         assert!(buf.segments.len() >= 3, "segments: {}", buf.segments.len());
@@ -394,8 +421,16 @@ mod tests {
         let e = VarlenEntry::from_bytes(b"a value long enough to be owned");
         assert!(e.owns_buffer());
         let img = mainline_storage::projected_row::AttrImage::from_varlen(2, false, e);
-        let r =
-            buf.new_record(&pool, Timestamp(1).as_txn_id(), slot(), 0, UndoKind::Update, &[img], &[true], 0);
+        let r = buf.new_record(
+            &pool,
+            Timestamp(1).as_txn_id(),
+            slot(),
+            0,
+            UndoKind::Update,
+            &[img],
+            &[true],
+            0,
+        );
         assert!(r.delta_is_varlen(0));
         assert!(!r.delta_is_varlen(0) || r.delta(0).as_varlen().owns_buffer());
         r.clear_delta_ownership(0);

@@ -43,13 +43,19 @@ enum Msg {
         callback: Box<dyn FnOnce() + Send>,
     },
     Flush(Sender<()>),
-    Shutdown,
 }
 
 /// Handle to the background logging thread. Implements [`CommitSink`] so it
 /// plugs directly into the transaction manager.
+///
+/// Shutdown protocol: the only `Sender` lives behind `tx`; closing is done by
+/// taking it out under the write lock. The logging thread drains the channel
+/// to exhaustion (`recv` only errors once the queue is empty *and* the sender
+/// is gone), so a send that succeeded is always written and acked, and a
+/// commit arriving after close is acked immediately on the caller's thread —
+/// there is no window where an accepted callback can be lost.
 pub struct LogManager {
-    tx: Sender<Msg>,
+    tx: parking_lot::RwLock<Option<Sender<Msg>>>,
     handle: parking_lot::Mutex<Option<JoinHandle<()>>>,
     bytes_written: Arc<AtomicU64>,
 }
@@ -57,10 +63,7 @@ pub struct LogManager {
 impl LogManager {
     /// Start the logging thread.
     pub fn start(config: LogManagerConfig) -> Result<Arc<LogManager>> {
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&config.path)?;
+        let file = OpenOptions::new().create(true).append(true).open(&config.path)?;
         let (tx, rx) = bounded::<Msg>(config.queue_capacity);
         let bytes_written = Arc::new(AtomicU64::new(0));
         let counter = Arc::clone(&bytes_written);
@@ -69,7 +72,7 @@ impl LogManager {
             .spawn(move || run_loop(file, rx, config.fsync, counter))
             .expect("spawn log manager");
         Ok(Arc::new(LogManager {
-            tx,
+            tx: parking_lot::RwLock::new(Some(tx)),
             handle: parking_lot::Mutex::new(Some(handle)),
             bytes_written,
         }))
@@ -78,7 +81,12 @@ impl LogManager {
     /// Block until everything queued so far is durable.
     pub fn flush(&self) {
         let (ack_tx, ack_rx) = bounded(1);
-        if self.tx.send(Msg::Flush(ack_tx)).is_ok() {
+        let sent = match &*self.tx.read() {
+            Some(tx) => tx.send(Msg::Flush(ack_tx)).is_ok(),
+            // Already shut down: the drain-on-close made everything durable.
+            None => false,
+        };
+        if sent {
             let _ = ack_rx.recv();
         }
     }
@@ -88,10 +96,10 @@ impl LogManager {
         self.bytes_written.load(Ordering::Acquire)
     }
 
-    /// Stop the thread, flushing first.
+    /// Stop the thread. Dropping the sender lets the thread drain the queue
+    /// to exhaustion and sync before exiting, so nothing accepted is lost.
     pub fn shutdown(&self) {
-        self.flush();
-        let _ = self.tx.send(Msg::Shutdown);
+        drop(self.tx.write().take());
         if let Some(h) = self.handle.lock().take() {
             let _ = h.join();
         }
@@ -100,7 +108,7 @@ impl LogManager {
 
 impl Drop for LogManager {
     fn drop(&mut self) {
-        let _ = self.tx.send(Msg::Shutdown);
+        drop(self.tx.get_mut().take());
         if let Some(h) = self.handle.lock().take() {
             let _ = h.join();
         }
@@ -115,15 +123,21 @@ impl CommitSink for LogManager {
         read_only: bool,
         callback: Box<dyn FnOnce() + Send>,
     ) {
-        // If the thread is gone (shutdown), ack immediately: the data is
-        // lost, but so is the process — recovery semantics are unchanged.
-        if self
-            .tx
-            .send(Msg::Commit { commit_ts, records, read_only, callback })
-            .is_err()
-        {
-            // Channel closed: nothing to do; the callback was consumed by the
-            // failed send. (crossbeam returns the message, so re-extract it.)
+        match &*self.tx.read() {
+            // While we hold the read lock the sender cannot be closed, and
+            // the receiver outlives the sender, so this send cannot fail
+            // (it may block on backpressure, which is intended).
+            Some(tx) => {
+                if let Err(e) = tx.send(Msg::Commit { commit_ts, records, read_only, callback }) {
+                    if let Msg::Commit { callback, .. } = e.into_inner() {
+                        callback();
+                    }
+                }
+            }
+            // Shut down: ack immediately. The data is lost, but so is the
+            // process — recovery semantics are unchanged, and no committer
+            // waits on durability forever.
+            None => callback(),
         }
     }
 }
@@ -133,19 +147,19 @@ fn run_loop(file: File, rx: Receiver<Msg>, fsync: bool, bytes_counter: Arc<Atomi
     let mut scratch: Vec<u8> = Vec::with_capacity(1 << 16);
     let mut callbacks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
 
-    let sync_and_ack =
-        |out: &mut BufWriter<File>, callbacks: &mut Vec<Box<dyn FnOnce() + Send>>| {
-            if callbacks.is_empty() {
-                return;
-            }
-            out.flush().expect("log flush failed");
-            if fsync {
-                out.get_ref().sync_data().expect("log fsync failed");
-            }
-            for cb in callbacks.drain(..) {
-                cb();
-            }
-        };
+    let sync_and_ack = |out: &mut BufWriter<File>,
+                        callbacks: &mut Vec<Box<dyn FnOnce() + Send>>| {
+        if callbacks.is_empty() {
+            return;
+        }
+        out.flush().expect("log flush failed");
+        if fsync {
+            out.get_ref().sync_data().expect("log fsync failed");
+        }
+        for cb in callbacks.drain(..) {
+            cb();
+        }
+    };
 
     loop {
         // Block for the first message, then opportunistically drain the
@@ -161,7 +175,6 @@ fn run_loop(file: File, rx: Receiver<Msg>, fsync: bool, bytes_counter: Arc<Atomi
                 break;
             }
         }
-        let mut shutdown = false;
         for msg in batch {
             match msg {
                 Msg::Commit { commit_ts, records, read_only, callback } => {
@@ -182,14 +195,13 @@ fn run_loop(file: File, rx: Receiver<Msg>, fsync: bool, bytes_counter: Arc<Atomi
                     sync_and_ack(&mut out, &mut callbacks);
                     let _ = ack.send(());
                 }
-                Msg::Shutdown => shutdown = true,
             }
         }
         sync_and_ack(&mut out, &mut callbacks);
-        if shutdown {
-            break;
-        }
     }
+    // `recv` above only errors once the queue is drained AND the sender is
+    // closed, so reaching here means every accepted commit has been handled;
+    // this final sync covers callbacks batched in the last iteration.
     sync_and_ack(&mut out, &mut callbacks);
 }
 
@@ -218,8 +230,9 @@ mod tests {
     fn callbacks_fire_after_flush() {
         use std::sync::atomic::AtomicBool;
         let path = tmp("cb");
-        let lm = LogManager::start(LogManagerConfig { fsync: false, ..LogManagerConfig::new(&path) })
-            .unwrap();
+        let lm =
+            LogManager::start(LogManagerConfig { fsync: false, ..LogManagerConfig::new(&path) })
+                .unwrap();
         let hit = Arc::new(AtomicBool::new(false));
         let h = Arc::clone(&hit);
         lm.queue_commit(
@@ -237,10 +250,31 @@ mod tests {
     }
 
     #[test]
+    fn callback_fires_even_after_shutdown() {
+        use std::sync::atomic::AtomicBool;
+        let path = tmp("post-shutdown");
+        let lm =
+            LogManager::start(LogManagerConfig { fsync: false, ..LogManagerConfig::new(&path) })
+                .unwrap();
+        lm.shutdown();
+        let hit = Arc::new(AtomicBool::new(false));
+        let h = Arc::clone(&hit);
+        lm.queue_commit(
+            Timestamp(9),
+            vec![redo(9)],
+            false,
+            Box::new(move || h.store(true, Ordering::SeqCst)),
+        );
+        assert!(hit.load(Ordering::SeqCst), "committer must not wait on durability forever");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn read_only_commits_write_nothing() {
         let path = tmp("ro");
-        let lm = LogManager::start(LogManagerConfig { fsync: false, ..LogManagerConfig::new(&path) })
-            .unwrap();
+        let lm =
+            LogManager::start(LogManagerConfig { fsync: false, ..LogManagerConfig::new(&path) })
+                .unwrap();
         lm.queue_commit(Timestamp(1), vec![], true, Box::new(|| {}));
         lm.flush();
         lm.shutdown();
@@ -253,8 +287,9 @@ mod tests {
     fn log_contents_replayable() {
         use crate::record::{LogPayload, LogReader};
         let path = tmp("replay");
-        let lm = LogManager::start(LogManagerConfig { fsync: false, ..LogManagerConfig::new(&path) })
-            .unwrap();
+        let lm =
+            LogManager::start(LogManagerConfig { fsync: false, ..LogManagerConfig::new(&path) })
+                .unwrap();
         for ts in 1..=5u64 {
             lm.queue_commit(Timestamp(ts), vec![redo(ts)], false, Box::new(|| {}));
         }
@@ -277,8 +312,9 @@ mod tests {
     #[test]
     fn concurrent_producers() {
         let path = tmp("conc");
-        let lm = LogManager::start(LogManagerConfig { fsync: false, ..LogManagerConfig::new(&path) })
-            .unwrap();
+        let lm =
+            LogManager::start(LogManagerConfig { fsync: false, ..LogManagerConfig::new(&path) })
+                .unwrap();
         let mut handles = vec![];
         for t in 0..4u64 {
             let lm = Arc::clone(&lm);

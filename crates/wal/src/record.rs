@@ -81,7 +81,7 @@ pub fn encode_commit(out: &mut Vec<u8>, commit_ts: Timestamp) {
     patch_len(out, start);
 }
 
-fn patch_len(out: &mut Vec<u8>, start: usize) {
+fn patch_len(out: &mut [u8], start: usize) {
     let len = (out.len() - start - 4) as u32;
     out[start..start + 4].copy_from_slice(&len.to_le_bytes());
 }
@@ -209,11 +209,7 @@ mod tests {
         encode_redo(
             &mut log,
             Timestamp(5),
-            &RedoRecord {
-                table_id: 3,
-                slot: TupleSlot::from_raw(9 << 20),
-                op: RedoOp::Delete,
-            },
+            &RedoRecord { table_id: 3, slot: TupleSlot::from_raw(9 << 20), op: RedoOp::Delete },
         );
         encode_commit(&mut log, Timestamp(5));
 
@@ -222,10 +218,7 @@ mod tests {
         assert_eq!(e1.commit_ts, Timestamp(5));
         assert_eq!(e1.payload, LogPayload::Redo(sample_redo()));
         let e2 = r.next_entry().unwrap().unwrap();
-        assert!(matches!(
-            e2.payload,
-            LogPayload::Redo(RedoRecord { op: RedoOp::Delete, .. })
-        ));
+        assert!(matches!(e2.payload, LogPayload::Redo(RedoRecord { op: RedoOp::Delete, .. })));
         let e3 = r.next_entry().unwrap().unwrap();
         assert_eq!(e3.payload, LogPayload::Commit);
         assert!(r.next_entry().unwrap().is_none());

@@ -170,9 +170,7 @@ mod tests {
                 ..LogManagerConfig::new(&path)
             })
             .unwrap();
-            let m = TransactionManager::with_sink(
-                Arc::clone(&lm) as Arc<dyn CommitSink>
-            );
+            let m = TransactionManager::with_sink(Arc::clone(&lm) as Arc<dyn CommitSink>);
             let t = DataTable::new(7, schema()).unwrap();
 
             let t1 = m.begin();
@@ -255,11 +253,8 @@ mod tests {
     #[test]
     fn unknown_table_is_an_error() {
         let mut log = Vec::new();
-        let rec = RedoRecord {
-            table_id: 99,
-            slot: TupleSlot::from_raw(1 << 20),
-            op: RedoOp::Delete,
-        };
+        let rec =
+            RedoRecord { table_id: 99, slot: TupleSlot::from_raw(1 << 20), op: RedoOp::Delete };
         crate::record::encode_redo(&mut log, mainline_common::Timestamp(1), &rec);
         crate::record::encode_commit(&mut log, mainline_common::Timestamp(1));
         let m = TransactionManager::new();

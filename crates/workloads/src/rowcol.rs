@@ -50,11 +50,10 @@ impl RowColTable {
                     (0..attrs).map(|i| ColumnDef::new(&format!("a{i}"), TypeId::BigInt)).collect();
                 DataTable::new(1, Schema::new(cols)).unwrap()
             }
-            StorageModel::Row => DataTable::new(
-                1,
-                Schema::new(vec![ColumnDef::new("row", TypeId::Varchar)]),
-            )
-            .unwrap(),
+            StorageModel::Row => {
+                DataTable::new(1, Schema::new(vec![ColumnDef::new("row", TypeId::Varchar)]))
+                    .unwrap()
+            }
         };
         RowColTable { model, attrs, table }
     }

@@ -262,88 +262,106 @@ impl Tpcc {
         // ITEM.
         let txn = m.begin();
         for i in 1..=cfg.items {
-            self.item.insert(&txn, &[
-                Value::Integer(i as i32),
-                Value::Integer(rng.int_range(1, 10_000) as i32),
-                Value::Varchar(rng.alnum_string(14, 24)),
-                Value::Double(rng.int_range(100, 10_000) as f64 / 100.0),
-                Value::Varchar(rng.alnum_string(26, 50)),
-            ]);
+            self.item.insert(
+                &txn,
+                &[
+                    Value::Integer(i as i32),
+                    Value::Integer(rng.int_range(1, 10_000) as i32),
+                    Value::Varchar(rng.alnum_string(14, 24)),
+                    Value::Double(rng.int_range(100, 10_000) as f64 / 100.0),
+                    Value::Varchar(rng.alnum_string(26, 50)),
+                ],
+            );
         }
         m.commit(&txn);
 
         for w in 1..=cfg.warehouses as i32 {
             let txn = m.begin();
-            self.warehouse.insert(&txn, &[
-                Value::Integer(w),
-                Value::Varchar(rng.alnum_string(6, 10)),
-                Value::Varchar(rng.alnum_string(10, 20)),
-                Value::Varchar(rng.alnum_string(10, 20)),
-                Value::Varchar(rng.alnum_string(10, 20)),
-                Value::Varchar(rng.alnum_string(2, 2)),
-                Value::Varchar(rng.alnum_string(9, 9)),
-                Value::Double(rng.int_range(0, 2000) as f64 / 10_000.0),
-                Value::Double(300_000.0),
-            ]);
-            // STOCK.
-            for i in 1..=cfg.items {
-                self.stock.insert(&txn, &[
+            self.warehouse.insert(
+                &txn,
+                &[
                     Value::Integer(w),
-                    Value::Integer(i as i32),
-                    Value::Integer(rng.int_range(10, 100) as i32),
-                    Value::Varchar(rng.alnum_string(24, 24)),
-                    Value::Double(0.0),
-                    Value::Integer(0),
-                    Value::Integer(0),
-                    Value::Varchar(rng.alnum_string(26, 50)),
-                ]);
-            }
-            for d in 1..=cfg.districts as i32 {
-                self.district.insert(&txn, &[
-                    Value::Integer(w),
-                    Value::Integer(d),
                     Value::Varchar(rng.alnum_string(6, 10)),
+                    Value::Varchar(rng.alnum_string(10, 20)),
                     Value::Varchar(rng.alnum_string(10, 20)),
                     Value::Varchar(rng.alnum_string(10, 20)),
                     Value::Varchar(rng.alnum_string(2, 2)),
                     Value::Varchar(rng.alnum_string(9, 9)),
                     Value::Double(rng.int_range(0, 2000) as f64 / 10_000.0),
-                    Value::Double(30_000.0),
-                    Value::BigInt(cfg.orders as i64 + 1),
-                ]);
-                for c in 1..=cfg.customers as i32 {
-                    self.customer.insert(&txn, &[
+                    Value::Double(300_000.0),
+                ],
+            );
+            // STOCK.
+            for i in 1..=cfg.items {
+                self.stock.insert(
+                    &txn,
+                    &[
+                        Value::Integer(w),
+                        Value::Integer(i as i32),
+                        Value::Integer(rng.int_range(10, 100) as i32),
+                        Value::Varchar(rng.alnum_string(24, 24)),
+                        Value::Double(0.0),
+                        Value::Integer(0),
+                        Value::Integer(0),
+                        Value::Varchar(rng.alnum_string(26, 50)),
+                    ],
+                );
+            }
+            for d in 1..=cfg.districts as i32 {
+                self.district.insert(
+                    &txn,
+                    &[
                         Value::Integer(w),
                         Value::Integer(d),
-                        Value::Integer(c),
-                        Value::Varchar(rng.alnum_string(8, 16)),
-                        V("OE"),
-                        Value::string(&last_name((c as u64 - 1) % 1000)),
+                        Value::Varchar(rng.alnum_string(6, 10)),
                         Value::Varchar(rng.alnum_string(10, 20)),
                         Value::Varchar(rng.alnum_string(10, 20)),
                         Value::Varchar(rng.alnum_string(2, 2)),
                         Value::Varchar(rng.alnum_string(9, 9)),
-                        Value::Varchar(rng.alnum_string(16, 16)),
-                        Value::BigInt(0),
-                        if rng.next_below(10) == 0 { V("BC") } else { V("GC") },
-                        Value::Double(50_000.0),
-                        Value::Double(rng.int_range(0, 5000) as f64 / 10_000.0),
-                        Value::Double(-10.0),
-                        Value::Double(10.0),
-                        Value::Integer(1),
-                        Value::Integer(0),
-                        Value::Varchar(rng.alnum_string(100, 200)),
-                    ]);
-                    self.history.insert(&txn, &[
-                        Value::Integer(c),
-                        Value::Integer(d),
-                        Value::Integer(w),
-                        Value::Integer(d),
-                        Value::Integer(w),
-                        Value::BigInt(0),
-                        Value::Double(10.0),
-                        Value::Varchar(rng.alnum_string(12, 24)),
-                    ]);
+                        Value::Double(rng.int_range(0, 2000) as f64 / 10_000.0),
+                        Value::Double(30_000.0),
+                        Value::BigInt(cfg.orders as i64 + 1),
+                    ],
+                );
+                for c in 1..=cfg.customers as i32 {
+                    self.customer.insert(
+                        &txn,
+                        &[
+                            Value::Integer(w),
+                            Value::Integer(d),
+                            Value::Integer(c),
+                            Value::Varchar(rng.alnum_string(8, 16)),
+                            V("OE"),
+                            Value::string(&last_name((c as u64 - 1) % 1000)),
+                            Value::Varchar(rng.alnum_string(10, 20)),
+                            Value::Varchar(rng.alnum_string(10, 20)),
+                            Value::Varchar(rng.alnum_string(2, 2)),
+                            Value::Varchar(rng.alnum_string(9, 9)),
+                            Value::Varchar(rng.alnum_string(16, 16)),
+                            Value::BigInt(0),
+                            if rng.next_below(10) == 0 { V("BC") } else { V("GC") },
+                            Value::Double(50_000.0),
+                            Value::Double(rng.int_range(0, 5000) as f64 / 10_000.0),
+                            Value::Double(-10.0),
+                            Value::Double(10.0),
+                            Value::Integer(1),
+                            Value::Integer(0),
+                            Value::Varchar(rng.alnum_string(100, 200)),
+                        ],
+                    );
+                    self.history.insert(
+                        &txn,
+                        &[
+                            Value::Integer(c),
+                            Value::Integer(d),
+                            Value::Integer(w),
+                            Value::Integer(d),
+                            Value::Integer(w),
+                            Value::BigInt(0),
+                            Value::Double(10.0),
+                            Value::Varchar(rng.alnum_string(12, 24)),
+                        ],
+                    );
                 }
                 // Initial orders: each customer has exactly one, scrambled.
                 let mut cust_ids: Vec<i32> = (1..=cfg.customers as i32).collect();
@@ -352,40 +370,45 @@ impl Tpcc {
                     let c_id = cust_ids[(o as usize - 1) % cust_ids.len()];
                     let ol_cnt = rng.int_range(5, 15) as i32;
                     let delivered = o <= (cfg.orders as i64 * 7 / 10);
-                    self.order.insert(&txn, &[
-                        Value::Integer(w),
-                        Value::Integer(d),
-                        Value::BigInt(o),
-                        Value::Integer(c_id),
-                        Value::BigInt(o),
-                        Value::Integer(if delivered { rng.int_range(1, 10) as i32 } else { 0 }),
-                        Value::Integer(ol_cnt),
-                        Value::Integer(1),
-                    ]);
-                    if !delivered {
-                        self.new_order.insert(&txn, &[
+                    self.order.insert(
+                        &txn,
+                        &[
                             Value::Integer(w),
                             Value::Integer(d),
                             Value::BigInt(o),
-                        ]);
+                            Value::Integer(c_id),
+                            Value::BigInt(o),
+                            Value::Integer(if delivered { rng.int_range(1, 10) as i32 } else { 0 }),
+                            Value::Integer(ol_cnt),
+                            Value::Integer(1),
+                        ],
+                    );
+                    if !delivered {
+                        self.new_order.insert(
+                            &txn,
+                            &[Value::Integer(w), Value::Integer(d), Value::BigInt(o)],
+                        );
                     }
                     for n in 1..=ol_cnt {
-                        self.order_line.insert(&txn, &[
-                            Value::Integer(w),
-                            Value::Integer(d),
-                            Value::BigInt(o),
-                            Value::Integer(n),
-                            Value::Integer(rng.int_range(1, cfg.items as i64) as i32),
-                            Value::Integer(w),
-                            Value::BigInt(if delivered { o } else { 0 }),
-                            Value::Integer(5),
-                            Value::Double(if delivered {
-                                0.0
-                            } else {
-                                rng.int_range(1, 999_999) as f64 / 100.0
-                            }),
-                            Value::Varchar(rng.alnum_string(24, 24)),
-                        ]);
+                        self.order_line.insert(
+                            &txn,
+                            &[
+                                Value::Integer(w),
+                                Value::Integer(d),
+                                Value::BigInt(o),
+                                Value::Integer(n),
+                                Value::Integer(rng.int_range(1, cfg.items as i64) as i32),
+                                Value::Integer(w),
+                                Value::BigInt(if delivered { o } else { 0 }),
+                                Value::Integer(5),
+                                Value::Double(if delivered {
+                                    0.0
+                                } else {
+                                    rng.int_range(1, 999_999) as f64 / 100.0
+                                }),
+                                Value::Varchar(rng.alnum_string(24, 24)),
+                            ],
+                        );
                     }
                 }
             }
@@ -424,11 +447,11 @@ impl Tpcc {
 
             let (_, crow) = self
                 .customer
-                .lookup(&txn, "pk", &[
-                    Value::Integer(w_id),
-                    Value::Integer(d_id),
-                    Value::Integer(c_id),
-                ])?
+                .lookup(
+                    &txn,
+                    "pk",
+                    &[Value::Integer(w_id), Value::Integer(d_id), Value::Integer(c_id)],
+                )?
                 .ok_or(Error::TupleNotVisible)?;
             let c_discount = crow[14].as_f64().unwrap();
 
@@ -436,21 +459,21 @@ impl Tpcc {
             // 1% of NEW-ORDERs roll back on an unused item id (spec 2.4.1.4).
             let rollback = rng.next_below(100) == 0;
 
-            self.order.insert(&txn, &[
-                Value::Integer(w_id),
-                Value::Integer(d_id),
-                Value::BigInt(o_id),
-                Value::Integer(c_id),
-                Value::BigInt(o_id),
-                Value::Integer(0),
-                Value::Integer(ol_cnt),
-                Value::Integer(1),
-            ]);
-            self.new_order.insert(&txn, &[
-                Value::Integer(w_id),
-                Value::Integer(d_id),
-                Value::BigInt(o_id),
-            ]);
+            self.order.insert(
+                &txn,
+                &[
+                    Value::Integer(w_id),
+                    Value::Integer(d_id),
+                    Value::BigInt(o_id),
+                    Value::Integer(c_id),
+                    Value::BigInt(o_id),
+                    Value::Integer(0),
+                    Value::Integer(ol_cnt),
+                    Value::Integer(1),
+                ],
+            );
+            self.new_order
+                .insert(&txn, &[Value::Integer(w_id), Value::Integer(d_id), Value::BigInt(o_id)]);
 
             let mut total = 0.0;
             for n in 1..=ol_cnt {
@@ -459,9 +482,7 @@ impl Tpcc {
                 } else {
                     rng.int_range(1, cfg.items as i64) as i32
                 };
-                let Some((_, irow)) =
-                    self.item.lookup(&txn, "pk", &[Value::Integer(i_id)])?
-                else {
+                let Some((_, irow)) = self.item.lookup(&txn, "pk", &[Value::Integer(i_id)])? else {
                     // Spec rollback.
                     return Ok(false);
                 };
@@ -484,30 +505,40 @@ impl Tpcc {
                 let qty = rng.int_range(1, 10) as i32;
                 let s_qty = srow[2].as_i64().unwrap() as i32;
                 let new_qty = if s_qty >= qty + 10 { s_qty - qty } else { s_qty - qty + 91 };
-                self.stock.update(&txn, s_slot, &[
-                    (2, Value::Integer(new_qty)),
-                    (4, Value::Double(srow[4].as_f64().unwrap() + qty as f64)),
-                    (5, Value::Integer(srow[5].as_i64().unwrap() as i32 + 1)),
-                    (6, Value::Integer(
-                        srow[6].as_i64().unwrap() as i32
-                            + if supply_w != w_id { 1 } else { 0 },
-                    )),
-                ])?;
+                self.stock.update(
+                    &txn,
+                    s_slot,
+                    &[
+                        (2, Value::Integer(new_qty)),
+                        (4, Value::Double(srow[4].as_f64().unwrap() + qty as f64)),
+                        (5, Value::Integer(srow[5].as_i64().unwrap() as i32 + 1)),
+                        (
+                            6,
+                            Value::Integer(
+                                srow[6].as_i64().unwrap() as i32
+                                    + if supply_w != w_id { 1 } else { 0 },
+                            ),
+                        ),
+                    ],
+                )?;
 
                 let amount = qty as f64 * i_price;
                 total += amount;
-                self.order_line.insert(&txn, &[
-                    Value::Integer(w_id),
-                    Value::Integer(d_id),
-                    Value::BigInt(o_id),
-                    Value::Integer(n),
-                    Value::Integer(i_id),
-                    Value::Integer(supply_w),
-                    Value::BigInt(0),
-                    Value::Integer(qty),
-                    Value::Double(amount),
-                    Value::Varchar(rng.alnum_string(24, 24)),
-                ]);
+                self.order_line.insert(
+                    &txn,
+                    &[
+                        Value::Integer(w_id),
+                        Value::Integer(d_id),
+                        Value::BigInt(o_id),
+                        Value::Integer(n),
+                        Value::Integer(i_id),
+                        Value::Integer(supply_w),
+                        Value::BigInt(0),
+                        Value::Integer(qty),
+                        Value::Double(amount),
+                        Value::Varchar(rng.alnum_string(24, 24)),
+                    ],
+                );
             }
             let _ = total * (1.0 + w_tax + d_tax) * (1.0 - c_discount);
             Ok(true)
@@ -537,15 +568,21 @@ impl Tpcc {
                 .warehouse
                 .lookup(&txn, "pk", &[Value::Integer(w_id)])?
                 .ok_or(Error::TupleNotVisible)?;
-            self.warehouse
-                .update(&txn, w_slot, &[(8, Value::Double(wrow[8].as_f64().unwrap() + amount))])?;
+            self.warehouse.update(
+                &txn,
+                w_slot,
+                &[(8, Value::Double(wrow[8].as_f64().unwrap() + amount))],
+            )?;
 
             let (d_slot, drow) = self
                 .district
                 .lookup(&txn, "pk", &[Value::Integer(w_id), Value::Integer(d_id)])?
                 .ok_or(Error::TupleNotVisible)?;
-            self.district
-                .update(&txn, d_slot, &[(8, Value::Double(drow[8].as_f64().unwrap() + amount))])?;
+            self.district.update(
+                &txn,
+                d_slot,
+                &[(8, Value::Double(drow[8].as_f64().unwrap() + amount))],
+            )?;
 
             // 60% by last name, 40% by id (spec 2.5.1.2).
             let (c_slot, crow) = if rng.next_below(100) < 60 {
@@ -560,11 +597,11 @@ impl Tpcc {
                     // Name not present at this scale: fall back to id.
                     let c_id = rng.int_range(1, cfg.customers as i64) as i32;
                     self.customer
-                        .lookup(&txn, "pk", &[
-                            Value::Integer(w_id),
-                            Value::Integer(d_id),
-                            Value::Integer(c_id),
-                        ])?
+                        .lookup(
+                            &txn,
+                            "pk",
+                            &[Value::Integer(w_id), Value::Integer(d_id), Value::Integer(c_id)],
+                        )?
                         .ok_or(Error::TupleNotVisible)?
                 } else {
                     // Middle match, rounded up.
@@ -573,29 +610,36 @@ impl Tpcc {
             } else {
                 let c_id = rng.int_range(1, cfg.customers as i64) as i32;
                 self.customer
-                    .lookup(&txn, "pk", &[
-                        Value::Integer(w_id),
-                        Value::Integer(d_id),
-                        Value::Integer(c_id),
-                    ])?
+                    .lookup(
+                        &txn,
+                        "pk",
+                        &[Value::Integer(w_id), Value::Integer(d_id), Value::Integer(c_id)],
+                    )?
                     .ok_or(Error::TupleNotVisible)?
             };
-            self.customer.update(&txn, c_slot, &[
-                (15, Value::Double(crow[15].as_f64().unwrap() - amount)),
-                (16, Value::Double(crow[16].as_f64().unwrap() + amount)),
-                (17, Value::Integer(crow[17].as_i64().unwrap() as i32 + 1)),
-            ])?;
+            self.customer.update(
+                &txn,
+                c_slot,
+                &[
+                    (15, Value::Double(crow[15].as_f64().unwrap() - amount)),
+                    (16, Value::Double(crow[16].as_f64().unwrap() + amount)),
+                    (17, Value::Integer(crow[17].as_i64().unwrap() as i32 + 1)),
+                ],
+            )?;
 
-            self.history.insert(&txn, &[
-                crow[2].clone(),
-                crow[1].clone(),
-                crow[0].clone(),
-                Value::Integer(d_id),
-                Value::Integer(w_id),
-                Value::BigInt(1),
-                Value::Double(amount),
-                Value::Varchar(rng.alnum_string(12, 24)),
-            ]);
+            self.history.insert(
+                &txn,
+                &[
+                    crow[2].clone(),
+                    crow[1].clone(),
+                    crow[0].clone(),
+                    Value::Integer(d_id),
+                    Value::Integer(w_id),
+                    Value::BigInt(1),
+                    Value::Double(amount),
+                    Value::Varchar(rng.alnum_string(12, 24)),
+                ],
+            );
             Ok(())
         })();
         match result {
@@ -618,11 +662,11 @@ impl Tpcc {
         let result = (|| -> Result<()> {
             let d_id = rng.int_range(1, cfg.districts as i64) as i32;
             let c_id = rng.int_range(1, cfg.customers as i64) as i32;
-            let Some((_, _crow)) = self.customer.lookup(&txn, "pk", &[
-                Value::Integer(w_id),
-                Value::Integer(d_id),
-                Value::Integer(c_id),
-            ])?
+            let Some((_, _crow)) = self.customer.lookup(
+                &txn,
+                "pk",
+                &[Value::Integer(w_id), Value::Integer(d_id), Value::Integer(c_id)],
+            )?
             else {
                 return Ok(());
             };
@@ -681,11 +725,11 @@ impl Tpcc {
 
                 let (o_slot, orow) = self
                     .order
-                    .lookup(&txn, "pk", &[
-                        Value::Integer(w_id),
-                        Value::Integer(d_id),
-                        Value::BigInt(o_id),
-                    ])?
+                    .lookup(
+                        &txn,
+                        "pk",
+                        &[Value::Integer(w_id), Value::Integer(d_id), Value::BigInt(o_id)],
+                    )?
                     .ok_or(Error::TupleNotVisible)?;
                 let c_id = orow[3].as_i64().unwrap() as i32;
                 self.order.update(&txn, o_slot, &[(5, Value::Integer(carrier))])?;
@@ -704,16 +748,20 @@ impl Tpcc {
 
                 let (c_slot, crow) = self
                     .customer
-                    .lookup(&txn, "pk", &[
-                        Value::Integer(w_id),
-                        Value::Integer(d_id),
-                        Value::Integer(c_id),
-                    ])?
+                    .lookup(
+                        &txn,
+                        "pk",
+                        &[Value::Integer(w_id), Value::Integer(d_id), Value::Integer(c_id)],
+                    )?
                     .ok_or(Error::TupleNotVisible)?;
-                self.customer.update(&txn, c_slot, &[
-                    (15, Value::Double(crow[15].as_f64().unwrap() + amount_sum)),
-                    (18, Value::Integer(crow[18].as_i64().unwrap() as i32 + 1)),
-                ])?;
+                self.customer.update(
+                    &txn,
+                    c_slot,
+                    &[
+                        (15, Value::Double(crow[15].as_f64().unwrap() + amount_sum)),
+                        (18, Value::Integer(crow[18].as_i64().unwrap() as i32 + 1)),
+                    ],
+                )?;
             }
             Ok(())
         })();
@@ -755,10 +803,11 @@ impl Tpcc {
                     if i_id < 0 {
                         continue;
                     }
-                    if let Some((_, srow)) = self.stock.lookup(&txn, "pk", &[
-                        Value::Integer(w_id),
-                        Value::Integer(i_id),
-                    ])? {
+                    if let Some((_, srow)) = self.stock.lookup(
+                        &txn,
+                        "pk",
+                        &[Value::Integer(w_id), Value::Integer(i_id)],
+                    )? {
                         if (srow[2].as_i64().unwrap() as i32) < threshold {
                             distinct.insert(i_id);
                         }
@@ -780,15 +829,9 @@ impl Tpcc {
         }
     }
 
-    /// Run one transaction from the standard mix (45/43/4/4/4); returns the
-    /// type index, or `None` if it aborted.
-    pub fn run_one(
-        &self,
-        db: &Database,
-        rng: &mut Xoshiro256,
-        w_id: i32,
-        stats: &mut TpccStats,
-    ) {
+    /// Run one transaction from the standard mix (45/43/4/4/4), recording
+    /// the outcome (committed per type / aborted / failed) into `stats`.
+    pub fn run_one(&self, db: &Database, rng: &mut Xoshiro256, w_id: i32, stats: &mut TpccStats) {
         let roll = rng.next_below(100);
         let outcome = if roll < 45 {
             self.new_order(db, rng, w_id).map(|committed| committed.then_some(0))
@@ -920,10 +963,8 @@ mod tests {
         let (_, wrow) = tpcc.warehouse.lookup(&txn, "pk", &[Value::Integer(1)]).unwrap().unwrap();
         assert!(wrow[8].as_f64().unwrap() > 300_000.0);
         // Warehouse YTD == sum of district YTDs (TPC-C consistency cond. 1).
-        let districts = tpcc
-            .district
-            .scan_prefix(&txn, "pk", &[Value::Integer(1)], usize::MAX)
-            .unwrap();
+        let districts =
+            tpcc.district.scan_prefix(&txn, "pk", &[Value::Integer(1)], usize::MAX).unwrap();
         let d_sum: f64 = districts.iter().map(|(_, d)| d[8].as_f64().unwrap()).sum();
         let expected = wrow[8].as_f64().unwrap() - 300_000.0 + 30_000.0 * districts.len() as f64;
         assert!((d_sum - expected).abs() < 1e-6, "{d_sum} vs {expected}");

@@ -40,8 +40,7 @@ pub fn lineitem_schema() -> Schema {
 
 const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
 const LINE_STATUS: [&str; 2] = ["F", "O"];
-const SHIP_INSTRUCT: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const SHIP_INSTRUCT: [&str; 4] = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
 const SHIP_MODE: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// Generate one LINEITEM row.

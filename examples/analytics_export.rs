@@ -39,7 +39,10 @@ fn main() {
     loop {
         let (hot, cooling, freezing, frozen) = db.pipeline().unwrap().block_state_census();
         if hot + cooling + freezing <= 1 || Instant::now() > deadline {
-            println!("block census before export: {frozen} frozen, {} not\n", hot + cooling + freezing);
+            println!(
+                "block census before export: {frozen} frozen, {} not\n",
+                hot + cooling + freezing
+            );
             break;
         }
         std::thread::sleep(std::time::Duration::from_millis(20));

@@ -10,10 +10,7 @@ use mainline::db::{Database, DbConfig, IndexSpec};
 use mainline::wal;
 
 fn schema() -> Schema {
-    Schema::new(vec![
-        ColumnDef::new("id", TypeId::BigInt),
-        ColumnDef::new("note", TypeId::Varchar),
-    ])
+    Schema::new(vec![ColumnDef::new("id", TypeId::BigInt), ColumnDef::new("note", TypeId::Varchar)])
 }
 
 fn main() {
@@ -70,6 +67,7 @@ fn main() {
 
     let txn = db.manager().begin();
     assert_eq!(notes.table().count_visible(&txn), 999); // 1000 - 1 deleted
+
     // Recovery preserved the edit and the delete; the index is rebuilt by
     // re-inserting through the table handle, so lookups work... but note:
     // recovery writes via DataTable directly, so re-derive slots by scan.

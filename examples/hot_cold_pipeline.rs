@@ -53,12 +53,16 @@ fn main() {
             while !stop.load(Ordering::Relaxed) {
                 let txn = db.manager().begin();
                 for _ in 0..512 {
-                    events.insert(&txn, &[
-                        Value::BigInt(id),
-                        Value::string(["click", "view", "purchase"]
-                            [rng.next_below(3) as usize]),
-                        Value::Varchar(rng.alnum_string(20, 40)),
-                    ]);
+                    events.insert(
+                        &txn,
+                        &[
+                            Value::BigInt(id),
+                            Value::string(
+                                ["click", "view", "purchase"][rng.next_below(3) as usize],
+                            ),
+                            Value::Varchar(rng.alnum_string(20, 40)),
+                        ],
+                    );
                     id += 1;
                 }
                 db.manager().commit(&txn);
@@ -70,8 +74,7 @@ fn main() {
     // Watch blocks move through the state machine.
     for i in 0..40 {
         std::thread::sleep(Duration::from_millis(250));
-        let (hot, cooling, freezing, frozen) =
-            db.pipeline().unwrap().block_state_census();
+        let (hot, cooling, freezing, frozen) = db.pipeline().unwrap().block_state_census();
         println!(
             "t={:>5}ms  blocks: hot={hot} cooling={cooling} freezing={freezing} frozen={frozen}",
             (i + 1) * 250
@@ -105,10 +108,7 @@ fn main() {
         pg.bytes_transferred as f64 / 1e6,
         t_pg
     );
-    println!(
-        "flight speedup: {:.1}x",
-        t_pg.as_secs_f64() / t_flight.as_secs_f64().max(1e-9)
-    );
+    println!("flight speedup: {:.1}x", t_pg.as_secs_f64() / t_flight.as_secs_f64().max(1e-9));
     assert_eq!(flight.rows, pg.rows);
 
     // Point reads keep working on frozen data (blocks re-heat on demand).

@@ -25,14 +25,8 @@ fn main() {
 
     // Load some accounts.
     let txn = db.manager().begin();
-    for (id, owner, balance) in
-        [(1, "ada", 100.0), (2, "grace", 250.0), (3, "edsger", 42.0)]
-    {
-        accounts.insert(&txn, &[
-            Value::BigInt(id),
-            Value::string(owner),
-            Value::Double(balance),
-        ]);
+    for (id, owner, balance) in [(1, "ada", 100.0), (2, "grace", 250.0), (3, "edsger", 42.0)] {
+        accounts.insert(&txn, &[Value::BigInt(id), Value::string(owner), Value::Double(balance)]);
     }
     db.manager().commit(&txn);
     println!("loaded 3 accounts");

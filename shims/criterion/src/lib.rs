@@ -1,0 +1,235 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use: `Criterion`,
+//! `Bencher::{iter, iter_batched}`, `BatchSize`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a plain
+//! wall-clock mean over `sample_size` samples — none of the real crate's
+//! statistics, outlier analysis, or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much setup output to batch per timing measurement. Only a hint in the
+/// real crate; ignored here beyond choosing a batch count of 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+/// Benchmark driver. Collects a handful of wall-clock samples per benchmark
+/// and prints the mean per-iteration time.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+            warm_up_time: self.warm_up_time,
+            time_per_sample: self.measurement_time.max(Duration::from_millis(1))
+                / self.sample_size as u32,
+            calibrated: false,
+        };
+
+        let mut total = Duration::ZERO;
+        let mut total_iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            total += b.elapsed;
+            total_iters += b.iters;
+        }
+        if total_iters == 0 {
+            println!("{id:<40} (no iterations run)");
+            return self;
+        }
+        let mean = total.as_nanos() as f64 / total_iters as f64;
+        println!("{id:<40} time: [{}]   ({total_iters} iterations)", format_ns(mean));
+        self
+    }
+
+    /// No-op in the shim (the real crate finalizes reports here).
+    pub fn final_summary(&mut self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Handed to the closure given to [`Criterion::bench_function`]; runs the
+/// benchmark routine and records elapsed wall-clock time.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    warm_up_time: Duration,
+    time_per_sample: Duration,
+    calibrated: bool,
+}
+
+impl Bencher {
+    /// Calibrate an iteration count targeting `time_per_sample` per sample.
+    /// `timed_run(n)` must run the routine `n` times and return the elapsed
+    /// wall-clock time; warm-up runs double as calibration samples.
+    fn calibrate<F: FnMut(u64) -> Duration>(&mut self, mut timed_run: F) {
+        if self.calibrated {
+            return;
+        }
+        self.calibrated = true;
+        let mut iters: u64 = 1;
+        let deadline = Instant::now() + self.warm_up_time;
+        let mut per_iter_ns: u128;
+        loop {
+            let t = timed_run(iters);
+            per_iter_ns = (t.as_nanos() / iters as u128).max(1);
+            if Instant::now() >= deadline {
+                break;
+            }
+            if t < self.warm_up_time / 4 {
+                iters = iters.saturating_mul(2).min(1 << 20);
+            }
+        }
+        let target = self.time_per_sample.as_nanos() / per_iter_ns;
+        self.iters = (target as u64).clamp(1, 1 << 24);
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut run = |iters: u64| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            start.elapsed()
+        };
+        self.calibrate(&mut run);
+        self.elapsed += run(self.iters);
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut run = |iters: u64| {
+            let mut total = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total += start.elapsed();
+            }
+            total
+        };
+        self.calibrate(&mut run);
+        self.elapsed += run(self.iters);
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut hits = 0u64;
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        c.bench_function("counter", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_input() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}

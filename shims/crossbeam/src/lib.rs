@@ -1,0 +1,183 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the subset the workspace uses — `channel::{bounded, Sender,
+//! Receiver}` and `queue::SegQueue` — backed by `std::sync`. Lock-free
+//! performance of the real crate is not reproduced; the API and blocking
+//! semantics are.
+
+/// MPMC-ish channels. Backed by `std::sync::mpsc::sync_channel`; the
+/// receiver side is wrapped in a mutex so it stays `Sync` like crossbeam's.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, TryRecvError};
+
+    /// Error returned by [`Sender::send`] when the channel is disconnected;
+    /// carries the unsent message like crossbeam's.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> SendError<T> {
+        pub fn into_inner(self) -> T {
+            self.0
+        }
+    }
+
+    /// Sending half of a bounded channel. Cloneable; `send` blocks when the
+    /// channel is full.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: Mutex<mpsc::Receiver<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.lock().recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.lock().try_recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.lock().recv_timeout(timeout)
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+
+    /// Channel that can hold at most `cap` messages at a time.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: Mutex::new(rx) })
+    }
+}
+
+/// Concurrent queues. `SegQueue` here is a mutex-protected `VecDeque` rather
+/// than a lock-free segmented queue; same API, same FIFO behavior.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue.
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> SegQueue<T> {
+        pub const fn new() -> Self {
+            SegQueue { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        pub fn push(&self, value: T) {
+            self.lock().push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.lock().pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            match self.inner.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = channel::bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert!(rx.try_recv().is_err());
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn send_error_returns_message() {
+        let (tx, rx) = channel::bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(42), Err(channel::SendError(42)));
+    }
+
+    #[test]
+    fn segqueue_fifo() {
+        let q = queue::SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn segqueue_concurrent() {
+        use std::sync::Arc;
+        let q = Arc::new(queue::SegQueue::new());
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u64 {
+                    q.push(t * 1000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 400);
+    }
+}

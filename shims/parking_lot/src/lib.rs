@@ -1,0 +1,440 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no crates.io access, so this shim provides the
+//! subset of the `parking_lot` API the workspace uses, backed by `std::sync`
+//! primitives. Semantics match where it matters:
+//!
+//! - `lock()` / `read()` / `write()` are infallible (poisoning is swallowed —
+//!   a panic while holding a lock does not wedge every later acquisition).
+//! - `RwLock::upgradable_read` admits one upgrader at a time, concurrent with
+//!   plain readers, and `upgrade` is atomic with respect to writers (writers
+//!   funnel through the same upgrade mutex).
+//!
+//! Fairness and performance characteristics of the real crate are NOT
+//! reproduced; this is a correctness shim. Swap back to the registry crate
+//! when the build environment gains network access.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+// ---------------------------------------------------------------- Mutex
+
+/// Mutual exclusion primitive; `lock()` never returns a poison error.
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { inner }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard { inner: p.into_inner() }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<'a, T: ?Sized> Deref for MutexGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for MutexGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+// ---------------------------------------------------------------- RwLock
+
+/// Reader-writer lock with upgradable reads; acquisitions never poison-error.
+pub struct RwLock<T: ?Sized> {
+    /// Serializes upgradable readers and writers so `upgrade` is atomic:
+    /// while an upgrader holds this mutex no writer can enter, and vice
+    /// versa. Plain readers bypass it entirely.
+    upgrade: sync::Mutex<()>,
+    inner: sync::RwLock<T>,
+}
+
+/// RAII guard for shared read access.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// RAII guard for exclusive write access.
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    _upgrade: sync::MutexGuard<'a, ()>,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+/// RAII guard for an upgradable read: shared access now, upgradable to
+/// exclusive without letting a writer in between.
+pub struct RwLockUpgradableReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    upgrade: Option<sync::MutexGuard<'a, ()>>,
+    read: Option<sync::RwLockReadGuard<'a, T>>,
+}
+
+fn read_inner<T: ?Sized>(lock: &sync::RwLock<T>) -> sync::RwLockReadGuard<'_, T> {
+    match lock.read() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn write_inner<T: ?Sized>(lock: &sync::RwLock<T>) -> sync::RwLockWriteGuard<'_, T> {
+    match lock.write() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn lock_mutex(m: &sync::Mutex<()>) -> sync::MutexGuard<'_, ()> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> Self {
+        RwLock { upgrade: sync::Mutex::new(()), inner: sync::RwLock::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard { inner: read_inner(&self.inner) }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let upgrade = lock_mutex(&self.upgrade);
+        RwLockWriteGuard { _upgrade: upgrade, inner: write_inner(&self.inner) }
+    }
+
+    pub fn upgradable_read(&self) -> RwLockUpgradableReadGuard<'_, T> {
+        let upgrade = lock_mutex(&self.upgrade);
+        let read = read_inner(&self.inner);
+        RwLockUpgradableReadGuard { lock: self, upgrade: Some(upgrade), read: Some(read) }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_read() {
+            Ok(g) => f.debug_struct("RwLock").field("data", &&*g).finish(),
+            Err(sync::TryLockError::Poisoned(p)) => {
+                f.debug_struct("RwLock").field("data", &&*p.into_inner()).finish()
+            }
+            Err(sync::TryLockError::WouldBlock) => {
+                f.debug_struct("RwLock").field("data", &"<locked>").finish()
+            }
+        }
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockWriteGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<'a, T: ?Sized> DerefMut for RwLockWriteGuard<'a, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<'a, T: ?Sized> Deref for RwLockUpgradableReadGuard<'a, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.read.as_ref().expect("upgradable guard already consumed")
+    }
+}
+
+// ------------------------------------------------- owned (Arc) guards
+
+/// Owned read guard keeping its `Arc<RwLock<T>>` alive (parking_lot's
+/// `arc_lock` feature). Self-referential: the `'static` lifetime on the
+/// inner guard is a lie the `Drop` impl makes safe — the guard is dropped
+/// strictly before the `Arc`, and the lock's address is stable because it
+/// lives inside the `Arc` allocation, which is never moved.
+pub struct ArcRwLockReadGuard<T: ?Sized + 'static> {
+    guard: std::mem::ManuallyDrop<sync::RwLockReadGuard<'static, T>>,
+    arc: std::mem::ManuallyDrop<std::sync::Arc<RwLock<T>>>,
+}
+
+impl<T: ?Sized + 'static> Drop for ArcRwLockReadGuard<T> {
+    fn drop(&mut self) {
+        // SAFETY: dropped exactly once, guard strictly before the Arc that
+        // owns the lock it refers into.
+        unsafe {
+            std::mem::ManuallyDrop::drop(&mut self.guard);
+            std::mem::ManuallyDrop::drop(&mut self.arc);
+        }
+    }
+}
+
+impl<T: ?Sized + 'static> Deref for ArcRwLockReadGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// Owned write guard; see [`ArcRwLockReadGuard`] for the safety argument.
+/// Also holds the upgrade mutex, like [`RwLockWriteGuard`].
+pub struct ArcRwLockWriteGuard<T: ?Sized + 'static> {
+    guard: std::mem::ManuallyDrop<sync::RwLockWriteGuard<'static, T>>,
+    upgrade: std::mem::ManuallyDrop<sync::MutexGuard<'static, ()>>,
+    arc: std::mem::ManuallyDrop<std::sync::Arc<RwLock<T>>>,
+}
+
+impl<T: ?Sized + 'static> Drop for ArcRwLockWriteGuard<T> {
+    fn drop(&mut self) {
+        // SAFETY: as above; both lock guards before the Arc.
+        unsafe {
+            std::mem::ManuallyDrop::drop(&mut self.guard);
+            std::mem::ManuallyDrop::drop(&mut self.upgrade);
+            std::mem::ManuallyDrop::drop(&mut self.arc);
+        }
+    }
+}
+
+impl<T: ?Sized + 'static> Deref for ArcRwLockWriteGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized + 'static> DerefMut for ArcRwLockWriteGuard<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<T: ?Sized + 'static> RwLock<T> {
+    /// Shared access through an owned, `'static` guard that keeps the `Arc`
+    /// alive (hand-over-hand latching without borrow-lifetime headaches).
+    pub fn read_arc(self: &std::sync::Arc<Self>) -> ArcRwLockReadGuard<T> {
+        let arc = std::sync::Arc::clone(self);
+        // SAFETY: extending the guard's lifetime to 'static is sound because
+        // the guard never outlives `arc` (enforced by Drop order) and the
+        // referent RwLock sits at a stable heap address inside the Arc.
+        let guard = unsafe {
+            std::mem::transmute::<sync::RwLockReadGuard<'_, T>, sync::RwLockReadGuard<'static, T>>(
+                read_inner(&arc.inner),
+            )
+        };
+        ArcRwLockReadGuard {
+            guard: std::mem::ManuallyDrop::new(guard),
+            arc: std::mem::ManuallyDrop::new(arc),
+        }
+    }
+
+    /// Exclusive access through an owned guard; see [`RwLock::read_arc`].
+    pub fn write_arc(self: &std::sync::Arc<Self>) -> ArcRwLockWriteGuard<T> {
+        let arc = std::sync::Arc::clone(self);
+        // SAFETY: same lifetime-extension argument as read_arc, for both the
+        // upgrade-mutex guard and the write guard.
+        let (upgrade, guard) = unsafe {
+            let upgrade = std::mem::transmute::<
+                sync::MutexGuard<'_, ()>,
+                sync::MutexGuard<'static, ()>,
+            >(lock_mutex(&arc.upgrade));
+            let guard = std::mem::transmute::<
+                sync::RwLockWriteGuard<'_, T>,
+                sync::RwLockWriteGuard<'static, T>,
+            >(write_inner(&arc.inner));
+            (upgrade, guard)
+        };
+        ArcRwLockWriteGuard {
+            guard: std::mem::ManuallyDrop::new(guard),
+            upgrade: std::mem::ManuallyDrop::new(upgrade),
+            arc: std::mem::ManuallyDrop::new(arc),
+        }
+    }
+}
+
+impl<'a, T: ?Sized> RwLockUpgradableReadGuard<'a, T> {
+    /// Atomically trade shared access for exclusive access. The upgrade
+    /// mutex held since `upgradable_read` keeps writers out of the gap
+    /// between releasing the read lock and acquiring the write lock.
+    pub fn upgrade(mut guard: Self) -> RwLockWriteGuard<'a, T> {
+        let upgrade = guard.upgrade.take().expect("upgradable guard already consumed");
+        guard.read = None;
+        RwLockWriteGuard { _upgrade: upgrade, inner: write_inner(&guard.lock.inner) }
+    }
+
+    /// Give up the possibility of upgrading, keeping shared access.
+    pub fn downgrade(mut guard: Self) -> RwLockReadGuard<'a, T> {
+        let read = guard.read.take().expect("upgradable guard already consumed");
+        guard.upgrade = None;
+        RwLockReadGuard { inner: read }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn rwlock_basic() {
+        let l = RwLock::new(vec![1, 2]);
+        assert_eq!(l.read().len(), 2);
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn upgrade_is_exclusive() {
+        let l = Arc::new(RwLock::new(0usize));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            let hits = Arc::clone(&hits);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    let g = l.upgradable_read();
+                    let v = *g;
+                    let mut w = RwLockUpgradableReadGuard::upgrade(g);
+                    assert_eq!(*w, v, "no writer slipped in between read and upgrade");
+                    *w += 1;
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 800);
+        assert_eq!(hits.load(Ordering::Relaxed), 800);
+    }
+
+    #[test]
+    fn arc_guards_keep_lock_alive() {
+        let l = Arc::new(RwLock::new(vec![1]));
+        let g = l.read_arc();
+        drop(l); // guard holds its own Arc
+        assert_eq!(*g, vec![1]);
+        drop(g);
+
+        let l = Arc::new(RwLock::new(0));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    *l.write_arc() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read_arc(), 2000);
+    }
+
+    #[test]
+    fn poisoned_lock_still_usable() {
+        let m = Arc::new(Mutex::new(5));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*m.lock(), 5);
+    }
+}

@@ -1,0 +1,579 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the API this workspace's property tests use:
+//! the `proptest!` macro with `#![proptest_config(..)]`, `any::<T>()` for
+//! primitives, integer-range strategies, tuple strategies, `Just`,
+//! `prop_oneof!`, `proptest::collection::vec`, `proptest::option::of`, and
+//! `&str` regex-like string strategies (character classes + quantifiers).
+//!
+//! Differences from the real crate: no shrinking (a failing case panics with
+//! the generated inputs left to the assertion message), and generation is
+//! deterministic per test name so failures reproduce across runs.
+
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Deterministic splitmix64 generator: seeded from the test name so each
+    /// property sees a stable stream and failures reproduce.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed ^ 0x9E37_79B9_7F4A_7C15 }
+        }
+
+        pub fn from_name(name: &str) -> Self {
+            // FNV-1a over the test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self::from_seed(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Multiply-shift bounded sampling; bias is negligible for test use.
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Value`. Unlike real proptest there is
+    /// no value tree / shrinking: a strategy just produces a value.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f` (used by workspace tests and
+        /// handy for composition).
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erase the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy { inner: std::rc::Rc::new(self) }
+        }
+    }
+
+    /// Strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Type-erased strategy; cheap to clone.
+    pub struct BoxedStrategy<T> {
+        inner: std::rc::Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy { inner: std::rc::Rc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Uniform choice among equally-typed strategies (what `prop_oneof!`
+    /// expands to).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    // Integer / primitive range strategies: `0u8..3`, `1..512`, ...
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128 + 1) as u64;
+                    (lo as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    // Tuple strategies up to arity 4 (the workspace uses 2 and 3).
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+
+    /// `&str` strategies: a small regex-like pattern language covering what
+    /// property tests typically use — literals, `[a-z0-9_]` classes (with
+    /// ranges and negation-free membership), `.`, and the quantifiers
+    /// `{n}`, `{m,n}`, `{m,}`, `?`, `*`, `+` (unbounded repeats capped at 8).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    enum Atom {
+        Literal(char),
+        Class(Vec<char>),
+        Any,
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>, pattern: &str) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            match chars.next() {
+                None => panic!("unterminated '[' in string strategy pattern {pattern:?}"),
+                Some(']') => break,
+                Some('-') if prev.is_some() && chars.peek().is_some_and(|&c| c != ']') => {
+                    let lo = prev.take().unwrap();
+                    let hi = chars.next().unwrap();
+                    assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern:?}");
+                    for c in lo..=hi {
+                        set.push(c);
+                    }
+                }
+                Some('\\') => {
+                    let c = chars.next().unwrap_or_else(|| {
+                        panic!("dangling escape in string strategy pattern {pattern:?}")
+                    });
+                    if let Some(p) = prev.replace(c) {
+                        set.push(p);
+                    }
+                }
+                Some(c) => {
+                    if let Some(p) = prev.replace(c) {
+                        set.push(p);
+                    }
+                }
+            }
+        }
+        if let Some(p) = prev {
+            set.push(p);
+        }
+        assert!(!set.is_empty(), "empty character class in pattern {pattern:?}");
+        set
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars>,
+        pattern: &str,
+    ) -> (u32, u32) {
+        const UNBOUNDED_CAP: u32 = 8;
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        let (lo, hi) = match body.split_once(',') {
+                            None => {
+                                let n = body.trim().parse().expect("bad {n} quantifier");
+                                (n, n)
+                            }
+                            Some((lo, "")) => {
+                                let lo: u32 = lo.trim().parse().expect("bad {m,} quantifier");
+                                (lo, lo + UNBOUNDED_CAP)
+                            }
+                            Some((lo, hi)) => (
+                                lo.trim().parse().expect("bad {m,n} quantifier"),
+                                hi.trim().parse().expect("bad {m,n} quantifier"),
+                            ),
+                        };
+                        assert!(lo <= hi, "bad quantifier in pattern {pattern:?}");
+                        return (lo, hi);
+                    }
+                    body.push(c);
+                }
+                panic!("unterminated '{{' in string strategy pattern {pattern:?}")
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                chars.next();
+                (1, UNBOUNDED_CAP)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => Atom::Class(parse_class(&mut chars, pattern)),
+                '.' => Atom::Any,
+                '\\' => Atom::Literal(chars.next().unwrap_or_else(|| {
+                    panic!("dangling escape in string strategy pattern {pattern:?}")
+                })),
+                '(' | ')' | '|' => panic!(
+                    "string strategy pattern {pattern:?} uses unsupported regex feature '{c}'"
+                ),
+                c => Atom::Literal(c),
+            };
+            let (lo, hi) = parse_quantifier(&mut chars, pattern);
+            let n = lo + rng.below((hi - lo + 1) as u64) as u32;
+            for _ in 0..n {
+                match &atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                    Atom::Any => {
+                        out.push((b' ' + rng.below(95) as u8) as char) // printable ASCII
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`any`](crate::prelude::any).
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full range of `T`, with edge values (min/max/zero) over-weighted
+    /// the way real proptest biases toward boundaries.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // 1-in-16 chance of an edge value; boundaries find bugs.
+                    match rng.below(16) {
+                        0 => match rng.below(3) {
+                            0 => <$t>::MIN,
+                            1 => <$t>::MAX,
+                            _ => 0,
+                        },
+                        _ => rng.next_u64() as $t,
+                    }
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Mostly ASCII, occasionally any scalar value.
+            if rng.below(4) == 0 {
+                char::from_u32(rng.below(0x11_0000 - 0x800) as u32 + 0x800).unwrap_or('\u{FFFD}')
+            } else {
+                (b' ' + rng.below(95) as u8) as char
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range for collection::vec");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`: `None` about a quarter of the time,
+    /// matching real proptest's default weighting.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The property-test harness macro. Each `#[test] fn name(pat in strategy, ..)
+/// { body }` becomes a plain `#[test]` that generates `config.cases` input
+/// tuples and runs the body on each. No shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $($(#[$attr:meta])+ fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// `assert!` under a different name (real proptest routes this through its
+/// shrinking machinery; here a failure just panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(0u8..3), &mut rng);
+            assert!(v < 3);
+            let w = Strategy::generate(&(1usize..512), &mut rng);
+            assert!((1..512).contains(&w));
+            let x = Strategy::generate(&(-5i32..5), &mut rng);
+            assert!((-5..5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_matching() {
+        let mut rng = TestRng::from_seed(42);
+        for _ in 0..500 {
+            let s = Strategy::generate(&"[a-z]{0,20}", &mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        let s = Strategy::generate(&"ab[0-9]{2}z?", &mut rng);
+        assert!(s.starts_with("ab"));
+    }
+
+    #[test]
+    fn vec_and_option_and_oneof() {
+        let mut rng = TestRng::from_seed(3);
+        let strat = crate::collection::vec((any::<i64>(), crate::option::of("[a-z]{0,4}")), 0..200);
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..50 {
+            let rows = Strategy::generate(&strat, &mut rng);
+            assert!(rows.len() < 200);
+            for (_, s) in &rows {
+                match s {
+                    None => saw_none = true,
+                    Some(s) => {
+                        saw_some = true;
+                        assert!(s.len() <= 4);
+                    }
+                }
+            }
+        }
+        assert!(saw_none && saw_some);
+        let one = prop_oneof![Just(1u16), Just(2), Just(4), Just(8), Just(16)];
+        for _ in 0..100 {
+            let v = Strategy::generate(&one, &mut rng);
+            assert!([1, 2, 4, 8, 16].contains(&v));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(a in any::<i64>(), bs in crate::collection::vec(any::<u8>(), 1..16)) {
+            prop_assert!(!bs.is_empty());
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(bs.len(), 0);
+        }
+    }
+}

@@ -74,10 +74,7 @@ fn tpcc_with_transformation_and_concurrent_export() {
 
     // Transformation must have made progress on the cold tables.
     let stats = db.pipeline().unwrap().stats();
-    assert!(
-        stats.blocks_frozen > 0 || stats.groups_compacted > 0,
-        "pipeline stats: {stats:?}"
-    );
+    assert!(stats.blocks_frozen > 0 || stats.groups_compacted > 0, "pipeline stats: {stats:?}");
     db.shutdown();
 }
 
@@ -121,10 +118,7 @@ fn sustained_churn_with_gc_reclamation() {
         let wave_start = next_id;
         let txn = db.manager().begin();
         for _ in 0..15_000 {
-            t.insert(&txn, &[
-                Value::BigInt(next_id),
-                Value::Varchar(rng.alnum_string(12, 24)),
-            ]);
+            t.insert(&txn, &[Value::BigInt(next_id), Value::Varchar(rng.alnum_string(12, 24))]);
             live.insert(next_id);
             next_id += 1;
         }
@@ -135,9 +129,7 @@ fn sustained_churn_with_gc_reclamation() {
         let txn = db.manager().begin();
         for &id in ids.iter() {
             if rng.next_below(100) < 60 {
-                if let Some((slot, _)) =
-                    t.lookup(&txn, "pk", &[Value::BigInt(id)]).unwrap()
-                {
+                if let Some((slot, _)) = t.lookup(&txn, "pk", &[Value::BigInt(id)]).unwrap() {
                     if rng.next_below(2) == 0 {
                         t.update(&txn, slot, &[(1, Value::Varchar(rng.alnum_string(12, 24)))])
                             .unwrap();

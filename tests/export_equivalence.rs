@@ -32,15 +32,14 @@ fn build_db(freeze: bool) -> (std::sync::Arc<Database>, std::sync::Arc<mainline:
     let mut rng = Xoshiro256::seed_from_u64(77);
     let txn = db.manager().begin();
     for i in 0..60_000 {
-        t.insert(&txn, &[
-            Value::BigInt(i),
-            if i % 13 == 0 {
-                Value::Null
-            } else {
-                Value::Varchar(rng.alnum_string(5, 30))
-            },
-            Value::Double(i as f64 / 7.0),
-        ]);
+        t.insert(
+            &txn,
+            &[
+                Value::BigInt(i),
+                if i % 13 == 0 { Value::Null } else { Value::Varchar(rng.alnum_string(5, 30)) },
+                Value::Double(i as f64 / 7.0),
+            ],
+        );
     }
     db.manager().commit(&txn);
     if freeze {

@@ -28,9 +28,7 @@ fn setup() -> (Arc<Database>, Arc<TableHandle>) {
 }
 
 fn read(t: &TableHandle, txn: &Arc<mainline::txn::Transaction>, k: i64) -> Option<i64> {
-    t.lookup(txn, "pk", &[Value::BigInt(k)])
-        .unwrap()
-        .map(|(_, row)| row[1].as_i64().unwrap())
+    t.lookup(txn, "pk", &[Value::BigInt(k)]).unwrap().map(|(_, row)| row[1].as_i64().unwrap())
 }
 
 #[test]

@@ -26,12 +26,15 @@ fn partial_projection_reads_only_requested_columns() {
         )
         .unwrap();
     let txn = db.manager().begin();
-    let slot = t.insert(&txn, &[
-        Value::BigInt(1),
-        Value::string("middle-column-value"),
-        Value::Integer(7),
-        Value::Double(2.5),
-    ]);
+    let slot = t.insert(
+        &txn,
+        &[
+            Value::BigInt(1),
+            Value::string("middle-column-value"),
+            Value::Integer(7),
+            Value::Double(2.5),
+        ],
+    );
     db.manager().commit(&txn);
 
     let txn = db.manager().begin();
@@ -79,8 +82,7 @@ fn scan_spans_hot_and_frozen_blocks_consistently() {
 
     // Wait for at least one block to freeze, then scan: every id exactly once.
     let deadline = std::time::Instant::now() + Duration::from_secs(15);
-    while db.pipeline().unwrap().block_state_census().3 == 0
-        && std::time::Instant::now() < deadline
+    while db.pipeline().unwrap().block_state_census().3 == 0 && std::time::Instant::now() < deadline
     {
         std::thread::sleep(Duration::from_millis(5));
     }
@@ -103,8 +105,9 @@ fn scan_spans_hot_and_frozen_blocks_consistently() {
 
 #[test]
 fn index_range_scans_survive_deletion_churn() {
-    let db = Database::open(DbConfig { gc_interval: Duration::from_millis(1), ..Default::default() })
-        .unwrap();
+    let db =
+        Database::open(DbConfig { gc_interval: Duration::from_millis(1), ..Default::default() })
+            .unwrap();
     let t = db
         .create_table(
             "ranged",
@@ -120,11 +123,10 @@ fn index_range_scans_survive_deletion_churn() {
     let txn = db.manager().begin();
     for g in 0..5i32 {
         for s in 0..100i64 {
-            t.insert(&txn, &[
-                Value::Integer(g),
-                Value::BigInt(s),
-                Value::string(&format!("g{g}s{s}")),
-            ]);
+            t.insert(
+                &txn,
+                &[Value::Integer(g), Value::BigInt(s), Value::string(&format!("g{g}s{s}"))],
+            );
         }
     }
     db.manager().commit(&txn);

@@ -25,8 +25,8 @@ proptest! {
         }
         // Flipping every bit inverts the counts.
         let mut inv = bm.clone();
-        for i in 0..bools.len() {
-            inv.put(i, !bools[i]);
+        for (i, &b) in bools.iter().enumerate() {
+            inv.put(i, !b);
         }
         prop_assert_eq!(inv.count_ones(), bm.count_zeros());
     }

@@ -36,9 +36,7 @@ fn random_workload_replays_exactly() {
             ..Default::default()
         })
         .unwrap();
-        let t = db
-            .create_table("t", schema(), vec![IndexSpec::new("pk", &[0])], false)
-            .unwrap();
+        let t = db.create_table("t", schema(), vec![IndexSpec::new("pk", &[0])], false).unwrap();
         let mut rng = Xoshiro256::seed_from_u64(1234);
         let mut next_id = 0i64;
         for _ in 0..300 {
@@ -49,11 +47,14 @@ fn random_workload_replays_exactly() {
                 match rng.next_below(10) {
                     0..=4 => {
                         let payload = rng.alnum_string(5, 40);
-                        t.insert(&txn, &[
-                            Value::BigInt(next_id),
-                            Value::Varchar(payload.clone()),
-                            Value::Integer(0),
-                        ]);
+                        t.insert(
+                            &txn,
+                            &[
+                                Value::BigInt(next_id),
+                                Value::Varchar(payload.clone()),
+                                Value::Integer(0),
+                            ],
+                        );
                         staged.insert(next_id, (payload, 0));
                         next_id += 1;
                     }
@@ -65,12 +66,12 @@ fn random_workload_replays_exactly() {
                                 .expect("model row");
                             let v = row[2].as_i64().unwrap() as i32 + 1;
                             let payload = rng.alnum_string(5, 40);
-                            if t
-                                .update(&txn, slot, &[
-                                    (1, Value::Varchar(payload.clone())),
-                                    (2, Value::Integer(v)),
-                                ])
-                                .is_err()
+                            if t.update(
+                                &txn,
+                                slot,
+                                &[(1, Value::Varchar(payload.clone())), (2, Value::Integer(v))],
+                            )
+                            .is_err()
                             {
                                 ok = false;
                                 break;
@@ -106,9 +107,7 @@ fn random_workload_replays_exactly() {
 
     // Recover into a fresh database.
     let db = Database::open(DbConfig::default()).unwrap();
-    let t = db
-        .create_table("t", schema(), vec![IndexSpec::new("pk", &[0])], false)
-        .unwrap();
+    let t = db.create_table("t", schema(), vec![IndexSpec::new("pk", &[0])], false).unwrap();
     let log = std::fs::read(&path).unwrap();
     let stats = wal::recover(&log, db.manager(), &db.catalog().tables_by_id()).unwrap();
     assert!(stats.txns_replayed > 0);
@@ -145,11 +144,10 @@ fn torn_log_tail_recovers_prefix() {
         for batch in 0..5 {
             let txn = db.manager().begin();
             for i in 0..100 {
-                t.insert(&txn, &[
-                    Value::BigInt(batch * 100 + i),
-                    Value::string("x"),
-                    Value::Integer(0),
-                ]);
+                t.insert(
+                    &txn,
+                    &[Value::BigInt(batch * 100 + i), Value::string("x"), Value::Integer(0)],
+                );
             }
             db.manager().commit(&txn);
         }

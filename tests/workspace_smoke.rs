@@ -1,0 +1,67 @@
+//! Workspace smoke test: the `src/lib.rs` quick-start flow as a plain
+//! `#[test]`, so the doctest path is also exercised under `cargo test -q`
+//! even when doctests are skipped (e.g. `cargo test --tests`).
+
+use mainline::common::schema::{ColumnDef, Schema};
+use mainline::common::value::{TypeId, Value};
+use mainline::db::{Database, DbConfig, IndexSpec};
+
+#[test]
+fn quick_start_flow() {
+    let db = Database::open(DbConfig::default()).unwrap();
+    let users = db
+        .create_table(
+            "users",
+            Schema::new(vec![
+                ColumnDef::new("id", TypeId::BigInt),
+                ColumnDef::new("name", TypeId::Varchar),
+            ]),
+            vec![IndexSpec::new("pk", &[0])],
+            false,
+        )
+        .unwrap();
+
+    let txn = db.manager().begin();
+    users.insert(&txn, &[Value::BigInt(1), Value::string("ada")]);
+    db.manager().commit(&txn);
+
+    let txn = db.manager().begin();
+    let (_slot, row) = users.lookup(&txn, "pk", &[Value::BigInt(1)]).unwrap().unwrap();
+    assert_eq!(row[1], Value::string("ada"));
+    db.manager().commit(&txn);
+    db.shutdown();
+}
+
+#[test]
+fn quick_start_flow_survives_more_traffic() {
+    // Same flow, but with enough rows to cross block boundaries and a
+    // read-back of every row — a slightly stronger smoke signal that the
+    // assembled database (catalog, txn manager, index, storage) is wired up.
+    let db = Database::open(DbConfig::default()).unwrap();
+    let t = db
+        .create_table(
+            "events",
+            Schema::new(vec![
+                ColumnDef::new("id", TypeId::BigInt),
+                ColumnDef::new("payload", TypeId::Varchar),
+            ]),
+            vec![IndexSpec::new("pk", &[0])],
+            false,
+        )
+        .unwrap();
+
+    let n = 5_000i64;
+    let txn = db.manager().begin();
+    for i in 0..n {
+        t.insert(&txn, &[Value::BigInt(i), Value::string(&format!("payload-{i}"))]);
+    }
+    db.manager().commit(&txn);
+
+    let txn = db.manager().begin();
+    for i in (0..n).step_by(97) {
+        let (_slot, row) = t.lookup(&txn, "pk", &[Value::BigInt(i)]).unwrap().unwrap();
+        assert_eq!(row[1], Value::string(&format!("payload-{i}")));
+    }
+    db.manager().commit(&txn);
+    db.shutdown();
+}
