@@ -21,11 +21,11 @@ fn run_cell(workers: u32, transform: Option<TransformFormat>, seconds: u64, extr
         transform: transform.map(|format| TransformConfig {
             threshold_epochs: 2, // ~the paper's aggressive 10 ms threshold
             format,
+            workers: if extra_thread { 2 } else { 1 },
             ..Default::default()
         }),
         gc_interval: Duration::from_millis(10),
         transform_interval: Duration::from_millis(10),
-        transform_threads: if extra_thread { 2 } else { 1 },
         ..Default::default()
     })
     .unwrap();

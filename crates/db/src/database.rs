@@ -1,7 +1,9 @@
 //! The assembled DBMS: transaction manager + GC thread + log manager +
 //! transformation pipeline, in the configuration §6.1 uses ("one logging
 //! thread, one transformation thread, and one GC thread for every 8 worker
-//! threads" — thread counts are configurable here).
+//! threads" — thread counts are configurable here). Transformation runs as
+//! a multi-worker subsystem: one thread per coordinator shard (see
+//! [`TransformConfig::workers`]), joined and drained in order at shutdown.
 
 use crate::catalog::Catalog;
 use crate::table_handle::{IndexMoveHook, IndexSpec, TableHandle};
@@ -29,10 +31,9 @@ pub struct DbConfig {
     pub gc_interval: Duration,
     /// Transformation pipeline settings; `None` disables transformation.
     pub transform: Option<TransformConfig>,
-    /// Pipeline tick cadence.
+    /// Pipeline tick cadence. The worker *count* lives in
+    /// [`TransformConfig::workers`] (§4.4 "Scaling Transformation").
     pub transform_interval: Duration,
-    /// Number of transformation threads (§4.4 "Scaling Transformation").
-    pub transform_threads: usize,
     /// Threads for parallel GC chain truncation (§4.4 "Scaling ... GC").
     pub gc_parallelism: usize,
 }
@@ -45,7 +46,6 @@ impl Default for DbConfig {
             gc_interval: Duration::from_millis(10),
             transform: None,
             transform_interval: Duration::from_millis(10),
-            transform_threads: 1,
             gc_parallelism: 1,
         }
     }
@@ -59,8 +59,14 @@ pub struct Database {
     observer: Arc<AccessObserver>,
     pipeline: Option<Arc<TransformPipeline>>,
     log: Option<Arc<LogManager>>,
-    stop: Arc<AtomicBool>,
-    threads: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+    /// Separate stop flags: the GC must keep running until every transform
+    /// worker has *joined*, so a worker's final compaction transaction still
+    /// gets its versions pruned by the GC's quiescence pass (otherwise the
+    /// shutdown drain could never freeze those blocks).
+    stop_transform: Arc<AtomicBool>,
+    stop_gc: Arc<AtomicBool>,
+    transform_workers: parking_lot::Mutex<Vec<JoinHandle<()>>>,
+    gc_thread: parking_lot::Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Database {
@@ -92,39 +98,42 @@ impl Database {
             ))
         });
 
-        let stop = Arc::new(AtomicBool::new(false));
-        let mut threads = Vec::new();
+        let stop_transform = Arc::new(AtomicBool::new(false));
+        let stop_gc = Arc::new(AtomicBool::new(false));
 
         // GC thread.
-        {
-            let stop = Arc::clone(&stop);
+        let gc_thread = {
+            let stop = Arc::clone(&stop_gc);
             let interval = config.gc_interval;
-            threads.push(
-                std::thread::Builder::new()
-                    .name("gc".into())
-                    .spawn(move || {
-                        while !stop.load(Ordering::Relaxed) {
-                            gc.run();
-                            std::thread::sleep(interval);
-                        }
-                        gc.run_to_quiescence();
-                    })
-                    .expect("spawn gc"),
-            );
-        }
-        // Transformation threads.
+            std::thread::Builder::new()
+                .name("gc".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        gc.run();
+                        std::thread::sleep(interval);
+                    }
+                    gc.run_to_quiescence();
+                })
+                .expect("spawn gc")
+        };
+        // Transformation workers: one thread per coordinator shard, each
+        // driving only its own shard (plus stealing when its queue drains).
+        let mut transform_workers = Vec::new();
         if let Some(pipeline) = &pipeline {
-            for i in 0..config.transform_threads.max(1) {
-                let stop = Arc::clone(&stop);
+            for i in 0..pipeline.workers() {
+                let stop = Arc::clone(&stop_transform);
                 let pipeline = Arc::clone(pipeline);
                 let interval = config.transform_interval;
-                threads.push(
+                transform_workers.push(
                     std::thread::Builder::new()
                         .name(format!("transform-{i}"))
                         .spawn(move || {
                             while !stop.load(Ordering::Relaxed) {
-                                pipeline.tick();
-                                std::thread::sleep(interval);
+                                // Keep ticking while there is work; sleep
+                                // the cadence only when the shard is idle.
+                                if !pipeline.worker_tick(i) {
+                                    std::thread::sleep(interval);
+                                }
                             }
                         })
                         .expect("spawn transform"),
@@ -140,8 +149,10 @@ impl Database {
             observer,
             pipeline,
             log,
-            stop,
-            threads: parking_lot::Mutex::new(threads),
+            stop_transform,
+            stop_gc,
+            transform_workers: parking_lot::Mutex::new(transform_workers),
+            gc_thread: parking_lot::Mutex::new(Some(gc_thread)),
         }))
     }
 
@@ -197,12 +208,45 @@ impl Database {
         Ok(handle)
     }
 
-    /// Stop background threads and flush the log.
+    /// Per-worker transformation counters (empty when transformation is
+    /// disabled).
+    pub fn transform_worker_stats(&self) -> Vec<mainline_transform::WorkerStats> {
+        self.pipeline.as_ref().map(|p| p.worker_stats()).unwrap_or_default()
+    }
+
+    /// Backpressure signal for the write path: true while the transformation
+    /// cooling backlog exceeds its high-water mark (callers may throttle
+    /// ingest; always false when transformation is disabled).
+    pub fn transform_backpressure(&self) -> bool {
+        self.pipeline.as_ref().is_some_and(|p| p.overloaded())
+    }
+
+    /// Stop background threads, drain in-flight transformation work, and
+    /// flush the log — in that order, so a compaction group parked in a
+    /// cooling queue is frozen rather than abandoned, and its deferred
+    /// reclamation runs before the WAL closes.
     pub fn shutdown(&self) {
-        self.stop.store(true, Ordering::Relaxed);
-        for h in self.threads.lock().drain(..) {
+        // 1. Transformation workers first: once they have *joined*, no new
+        //    compaction transaction can appear.
+        self.stop_transform.store(true, Ordering::Relaxed);
+        for h in self.transform_workers.lock().drain(..) {
             let _ = h.join();
         }
+        // 2. Only now stop the GC: its exit path runs to quiescence,
+        //    pruning every compaction transaction's versions (including a
+        //    worker's final one) and running already-deferred actions.
+        self.stop_gc.store(true, Ordering::Relaxed);
+        if let Some(h) = self.gc_thread.lock().take() {
+            let _ = h.join();
+        }
+        // 3. Drain cooling queues: with versions pruned and no live
+        //    transactions, parked blocks freeze on the first pass.
+        if let Some(pipeline) = &self.pipeline {
+            pipeline.drain_cooling(8);
+        }
+        // 4. Run the freezes' own deferred reclamation (the GC is gone; no
+        //    reader can exist past this point).
+        self.deferred.drain_all();
         if let Some(log) = &self.log {
             log.shutdown();
         }
@@ -272,6 +316,59 @@ mod tests {
         }
         db.manager().commit(&txn);
         db.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_inflight_transformation() {
+        let db = Database::open(DbConfig {
+            transform: Some(TransformConfig { threshold_epochs: 1, ..Default::default() }),
+            gc_interval: Duration::from_millis(1),
+            transform_interval: Duration::from_millis(1),
+            ..Default::default()
+        })
+        .unwrap();
+        let t = db
+            .create_table(
+                "drain",
+                Schema::new(vec![
+                    ColumnDef::new("id", TypeId::BigInt),
+                    ColumnDef::new("data", TypeId::Varchar),
+                ]),
+                vec![],
+                true,
+            )
+            .unwrap();
+        let per_block = t.table().layout().num_slots() as i64;
+        let txn = db.manager().begin();
+        for i in 0..(3 * per_block + 10) {
+            t.insert(&txn, &[Value::BigInt(i), Value::string(&format!("drain-data-{i:08}"))]);
+        }
+        db.manager().commit(&txn);
+
+        // Wait until the pipeline has work in flight (queued or frozen),
+        // then shut down mid-stream.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while std::time::Instant::now() < deadline {
+            let (_h, cooling, freezing, frozen) = db.pipeline().unwrap().block_state_census();
+            if cooling + freezing + frozen > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        db.shutdown();
+
+        // The fix under test: no compaction group may be abandoned in a
+        // cooling queue — everything either froze or was preempted — and the
+        // freezes' deferred reclamation ran before the WAL closed.
+        let (_h, cooling, freezing, _frozen) = db.pipeline().unwrap().block_state_census();
+        assert_eq!((cooling, freezing), (0, 0), "in-flight group abandoned at shutdown");
+        assert_eq!(db.pipeline().unwrap().pending_bytes(), 0);
+        assert!(db.deferred().is_empty(), "deferred actions left unprocessed at shutdown");
+
+        // Data survives the whole dance.
+        let txn = db.manager().begin();
+        assert_eq!(t.table().count_visible(&txn), (3 * per_block + 10) as usize);
+        db.manager().commit(&txn);
     }
 
     #[test]

@@ -8,6 +8,37 @@
 //! readers with old snapshots can still find the old version's entry;
 //! lookups filter candidates through tuple visibility. Aborts compensate
 //! eager inserts via transaction end-actions.
+//!
+//! # Example
+//!
+//! ```
+//! use mainline_common::schema::{ColumnDef, Schema};
+//! use mainline_common::value::{TypeId, Value};
+//! use mainline_db::{Database, DbConfig, IndexSpec};
+//!
+//! let db = Database::open(DbConfig::default()).unwrap();
+//! let orders = db
+//!     .create_table(
+//!         "orders",
+//!         Schema::new(vec![
+//!             ColumnDef::new("id", TypeId::BigInt),
+//!             ColumnDef::new("item", TypeId::Varchar),
+//!         ]),
+//!         vec![IndexSpec::new("pk", &[0])],
+//!         false, // not registered for hot→cold transformation
+//!     )
+//!     .unwrap();
+//!
+//! let txn = db.manager().begin();
+//! orders.insert(&txn, &[Value::BigInt(1), Value::string("anvil")]);
+//! db.manager().commit(&txn);
+//!
+//! let txn = db.manager().begin();
+//! let (_slot, row) = orders.lookup(&txn, "pk", &[Value::BigInt(1)]).unwrap().unwrap();
+//! assert_eq!(row[1], Value::string("anvil"));
+//! db.manager().commit(&txn);
+//! db.shutdown();
+//! ```
 
 pub mod catalog;
 pub mod database;

@@ -5,7 +5,7 @@
 //! * [`postgres`] — the row-oriented PostgreSQL v3-style wire protocol
 //!   (text-encoded `DataRow` messages); the baseline every DBMS ships.
 //! * [`vectorized`] — the column-batch binary protocol of Raasveldt &
-//!   Mühleisen [46].
+//!   Mühleisen \[46\].
 //! * [`flight`] — Arrow-Flight-style zero-copy framing: frozen blocks' Arrow
 //!   buffers go onto the wire as-is; hot blocks are transactionally
 //!   materialized first.
@@ -17,6 +17,31 @@
 //! [`materialize`] converts blocks to record batches, in-place for frozen
 //! blocks (taking the reader lock of Fig. 7) and through the transactional
 //! snapshot path for hot ones.
+//!
+//! # Example
+//!
+//! ```
+//! use mainline_common::schema::{ColumnDef, Schema};
+//! use mainline_common::value::{TypeId, Value};
+//! use mainline_export::{export_table, ExportMethod};
+//! use mainline_storage::ProjectedRow;
+//! use mainline_txn::{DataTable, TransactionManager};
+//!
+//! let manager = TransactionManager::new();
+//! let table =
+//!     DataTable::new(1, Schema::new(vec![ColumnDef::new("id", TypeId::BigInt)])).unwrap();
+//! let txn = manager.begin();
+//! for i in 0..64 {
+//!     table.insert(&txn, &ProjectedRow::from_values(&[TypeId::BigInt], &[Value::BigInt(i)]));
+//! }
+//! manager.commit(&txn);
+//!
+//! // Hot blocks go through the transactional materialization path; frozen
+//! // blocks would ship their Arrow buffers as-is.
+//! let stats = export_table(ExportMethod::Flight, &manager, &table);
+//! assert_eq!(stats.rows, 64);
+//! assert!(stats.bytes_transferred > 0);
+//! ```
 
 pub mod flight;
 pub mod materialize;
@@ -34,7 +59,7 @@ use mainline_txn::{DataTable, TransactionManager};
 pub enum ExportMethod {
     /// Row-based PostgreSQL-style wire protocol.
     PostgresWire,
-    /// Vectorized column-batch protocol [46].
+    /// Vectorized column-batch protocol \[46\].
     Vectorized,
     /// Arrow-Flight-style zero-copy framing.
     Flight,

@@ -1,4 +1,4 @@
-//! Vectorized column-batch wire protocol (Raasveldt & Mühleisen [46]).
+//! Vectorized column-batch wire protocol (Raasveldt & Mühleisen \[46\]).
 //!
 //! Instead of one message per row, the server ships column-organized binary
 //! batches: per column a validity bitmap, then either raw fixed-width values

@@ -8,7 +8,7 @@
 //! Phase 2 (**deallocate**): a batch whose unlink happened at time `u` is
 //! reclaimed once the oldest active transaction started after `u` — no
 //! concurrent reader can still hold a pointer into the records (an
-//! epoch-protection argument, cf. FASTER [30]).
+//! epoch-protection argument, cf. FASTER \[30\]).
 
 use crate::deferred::DeferredQueue;
 use mainline_common::Timestamp;

@@ -62,6 +62,65 @@ impl DeferredQueue {
     pub fn drain_all(&self) -> usize {
         self.process(Timestamp::MAX)
     }
+
+    /// Start a local batch of deferred actions. Background workers that defer
+    /// many actions per tick (e.g. one per frozen block) accumulate them in
+    /// the batch and pay for the queue lock once at flush time instead of
+    /// once per action — the per-worker deferred batching of the multi-worker
+    /// transformation subsystem.
+    pub fn batch(&self) -> DeferredBatch<'_> {
+        DeferredBatch { queue: self, items: Vec::new() }
+    }
+}
+
+/// A worker-local accumulator of deferred actions (see
+/// [`DeferredQueue::batch`]). Flushes on [`DeferredBatch::flush`] or drop.
+pub struct DeferredBatch<'q> {
+    queue: &'q DeferredQueue,
+    items: Vec<(Timestamp, Action)>,
+}
+
+impl DeferredBatch<'_> {
+    /// Buffer an action locally; it reaches the shared queue at flush time.
+    pub fn defer(&mut self, ts: Timestamp, action: impl FnOnce() + Send + 'static) {
+        self.items.push((ts, Box::new(action)));
+    }
+
+    /// Buffered actions not yet flushed.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Publish the batch to the shared queue under a single lock.
+    pub fn flush(mut self) {
+        self.flush_inner();
+    }
+
+    fn flush_inner(&mut self) {
+        if self.items.is_empty() {
+            return;
+        }
+        let mut q = self.queue.inner.lock();
+        q.extend(self.items.drain(..));
+        // Concurrent workers draw timestamps independently, so batches can
+        // interleave out of order; `process` pops from the front while
+        // timestamps are below the bound, so restore global order here
+        // (rare — only when another worker published in between).
+        if !q.iter().map(|(ts, _)| *ts).is_sorted() {
+            q.make_contiguous().sort_by_key(|(ts, _)| *ts);
+        }
+    }
+}
+
+impl Drop for DeferredBatch<'_> {
+    fn drop(&mut self) {
+        self.flush_inner();
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +158,45 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.drain_all(), 1);
         assert_eq!(*order.lock(), vec![1, 5, 20]);
+    }
+
+    #[test]
+    fn batched_defers_flush_in_timestamp_order() {
+        let q = DeferredQueue::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        // Worker A batches {3, 7}; worker B publishes 5 directly in between.
+        let mut batch = q.batch();
+        for i in [3u64, 7] {
+            let o = Arc::clone(&order);
+            batch.defer(Timestamp(i), move || o.lock().push(i));
+        }
+        assert_eq!(batch.len(), 2);
+        assert!(q.is_empty(), "batched actions stay local until flush");
+        {
+            let o = Arc::clone(&order);
+            q.defer(Timestamp(5), move || o.lock().push(5));
+        }
+        batch.flush();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.drain_all(), 3);
+        assert_eq!(*order.lock(), vec![3, 5, 7], "flush must restore timestamp order");
+    }
+
+    #[test]
+    fn batch_flushes_on_drop() {
+        let q = DeferredQueue::new();
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let mut batch = q.batch();
+            let h = Arc::clone(&hits);
+            batch.defer(Timestamp(1), move || {
+                h.fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(!batch.is_empty());
+        } // drop flushes
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.process(Timestamp(2)), 1);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
     }
 
     #[test]

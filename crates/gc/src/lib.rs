@@ -12,9 +12,43 @@
 //! The same epoch machinery generalizes into a [`deferred::DeferredQueue`] of
 //! arbitrary timestamped actions (§4.4), used by the transformation pipeline
 //! to reclaim gathered buffers and recycled blocks.
+//!
+//! # Example
+//!
+//! ```
+//! use mainline_common::schema::{ColumnDef, Schema};
+//! use mainline_common::value::{TypeId, Value};
+//! use mainline_gc::GarbageCollector;
+//! use mainline_storage::ProjectedRow;
+//! use mainline_txn::{DataTable, TransactionManager};
+//! use std::sync::Arc;
+//!
+//! let manager = Arc::new(TransactionManager::new());
+//! let table =
+//!     DataTable::new(1, Schema::new(vec![ColumnDef::new("id", TypeId::BigInt)])).unwrap();
+//! let mut gc = GarbageCollector::new(Arc::clone(&manager));
+//!
+//! // One insert plus five updates: a six-record version chain.
+//! let txn = manager.begin();
+//! let slot =
+//!     table.insert(&txn, &ProjectedRow::from_values(&[TypeId::BigInt], &[Value::BigInt(0)]));
+//! manager.commit(&txn);
+//! for i in 1..=5 {
+//!     let txn = manager.begin();
+//!     let mut delta = ProjectedRow::new();
+//!     delta.push_fixed(1, &Value::BigInt(i));
+//!     table.update(&txn, slot, &delta).unwrap();
+//!     manager.commit(&txn);
+//! }
+//!
+//! let unlink = gc.run(); // phase 1: truncate chains
+//! assert_eq!(unlink.txns_unlinked, 6);
+//! let dealloc = gc.run(); // phase 2: reclaim after the epoch turns
+//! assert_eq!(dealloc.txns_deallocated, 6);
+//! ```
 
 pub mod collector;
 pub mod deferred;
 
 pub use collector::{GarbageCollector, GcStats, ModificationObserver};
-pub use deferred::DeferredQueue;
+pub use deferred::{DeferredBatch, DeferredQueue};

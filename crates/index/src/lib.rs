@@ -7,6 +7,26 @@
 //! ORDER_LINE and NEW_ORDER access paths). This crate provides that as a
 //! B+-tree with per-node reader-writer latches and preemptive splits, plus a
 //! composite-key encoder that preserves ordering under byte comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use mainline_index::{BPlusTree, KeyBuilder};
+//!
+//! let index: BPlusTree<u64> = BPlusTree::new();
+//! for i in 0..100i64 {
+//!     let key = KeyBuilder::new().add_i64(i).add_bytes(b"row").finish();
+//!     assert!(index.insert_unique(&key, i as u64));
+//! }
+//! let probe = KeyBuilder::new().add_i64(42).add_bytes(b"row").finish();
+//! assert_eq!(index.get(&probe), Some(42));
+//!
+//! // Encoded byte order equals logical order, so range scans work on the
+//! // encoded form (TPC-C's ORDER_LINE access path).
+//! let lo = KeyBuilder::new().add_i64(10).finish();
+//! let hi = KeyBuilder::new().add_i64(20).finish();
+//! assert_eq!(index.range_collect(&lo, Some(&hi), usize::MAX).len(), 10);
+//! ```
 
 pub mod bptree;
 pub mod key;

@@ -153,8 +153,33 @@ impl BlockStateMachine {
 
     /// Transformation: publish the canonical block. Freezing → Frozen.
     pub fn finish_freezing(h: BlockHeader) {
+        Self::assert_freeze_invariant(h);
         let ok = h.cas_state_raw(BlockState::Freezing as u32, BlockState::Frozen as u32);
         debug_assert!(ok, "finish_freezing from non-freezing state");
+    }
+
+    /// Debug assertion of the Fig. 9 correctness invariant, independent of
+    /// which transformation worker owns the block: a freeze may only complete
+    /// while the block is exclusively held in `Freezing` — the cooling flag
+    /// was set before the compaction transaction committed, so any
+    /// transaction that could race the freeze either preempted the cooling
+    /// state (the freeze never started) or left a live version that kept
+    /// `begin_freezing`'s caller from getting here.
+    ///
+    /// Note the writer count is deliberately *not* asserted here: a writer
+    /// that loaded `Hot` before the block cooled may register at any moment,
+    /// observe non-`Hot` at its re-validation, and back out without storing
+    /// — a transiently nonzero count during `Freezing` (or right after
+    /// `Frozen` is published) is legal. The dangerous writers — those that
+    /// passed re-validation *before* the freeze took the lock — are exactly
+    /// the ones [`Self::begin_freezing`]'s writer-count check aborts on.
+    #[inline]
+    pub fn assert_freeze_invariant(h: BlockHeader) {
+        debug_assert_eq!(
+            h.state_raw(),
+            BlockState::Freezing as u32,
+            "Fig. 9 invariant: freeze completing outside the Freezing state"
+        );
     }
 }
 

@@ -22,6 +22,8 @@
 //! * [`arrow_side`] — per-block canonical Arrow buffers installed by the
 //!   gathering phase (offsets+values, or dictionary).
 
+#![warn(missing_docs)]
+
 pub mod access;
 pub mod arrow_side;
 pub mod block_state;

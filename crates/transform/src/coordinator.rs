@@ -1,0 +1,476 @@
+//! Multi-worker, sharded transformation (paper §4.4 "Scaling Transformation").
+//!
+//! A single background thread transforms cold blocks serially; on a
+//! write-heavy multi-core box it becomes the bottleneck the paper warns
+//! about when data goes cold faster than one thread can freeze it. The
+//! [`TransformCoordinator`] scales the pipeline of Fig. 8 across
+//! [`TransformConfig::workers`](crate::TransformConfig::workers) threads:
+//!
+//! * **Sharding** — cold candidates are partitioned by block across workers
+//!   (a block's 1 MB-aligned address hashes to its owning shard), so
+//!   compaction groups are formed per shard and no two workers ever compact
+//!   the same block.
+//! * **Per-worker cooling queues** — phase-1 survivors enter the owning
+//!   worker's queue; phase 2 (freeze) drains it on the next tick.
+//! * **Work stealing** — a worker whose queue drains steals the back half of
+//!   the longest peer queue, so a skewed cold set cannot idle N−1 workers.
+//! * **Backpressure** — the coordinator tracks the bytes parked in cooling
+//!   queues; the write path can consult [`TransformCoordinator::overloaded`]
+//!   (pending bytes above [`TransformConfig::backpressure_bytes`]) to
+//!   throttle ingest when freezing falls behind.
+//!
+//! The Fig. 9 correctness invariant — the COOLING flag is set *before* the
+//! compaction transaction commits, and a block freezes only after its
+//! version column scans clean — is per block, not per thread, so it holds
+//! regardless of which worker owns or steals the block;
+//! [`BlockStateMachine::assert_freeze_invariant`] checks it whenever any
+//! worker completes a freeze.
+
+use crate::access_observer::AccessObserver;
+use crate::compaction::{self, CompactionStats};
+use crate::dictionary;
+use crate::gather;
+use crate::pipeline::{MoveHook, PipelineStats, TransformConfig, TransformFormat};
+use mainline_common::Result;
+use mainline_gc::{DeferredBatch, DeferredQueue};
+use mainline_storage::access;
+use mainline_storage::block_state::{BlockState, BlockStateMachine};
+use mainline_storage::raw_block::{Block, BLOCK_SIZE};
+use mainline_txn::{DataTable, TransactionManager};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct TableEntry {
+    table: Arc<DataTable>,
+    hook: Arc<dyn MoveHook>,
+}
+
+/// Per-worker counters, exposed through
+/// [`TransformCoordinator::worker_stats`] (and `Database::worker_stats` one
+/// layer up).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorkerStats {
+    /// Ticks this worker has run.
+    pub ticks: u64,
+    /// Compaction groups this worker committed (phase 1).
+    pub groups_compacted: usize,
+    /// Blocks this worker froze (phase 2).
+    pub blocks_frozen: usize,
+    /// Cooling entries this worker stole from peers' queues.
+    pub blocks_stolen: usize,
+}
+
+/// One worker's slice of the subsystem: its cooling queue and counters.
+struct Shard {
+    cooling: Mutex<VecDeque<(Arc<DataTable>, Arc<Block>)>>,
+    stats: Mutex<WorkerStats>,
+    /// GC epoch of this shard's last cold-candidate sweep. Blocks only
+    /// *become* cold when the epoch advances, so sweeping every table's
+    /// block list more often than that — N workers × every tick — is pure
+    /// overhead.
+    last_sweep_epoch: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            cooling: Mutex::new(VecDeque::new()),
+            stats: Mutex::new(WorkerStats::default()),
+            last_sweep_epoch: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+/// The multi-worker transformation subsystem. Worker thread `i` calls
+/// [`TransformCoordinator::worker_tick`]`(i)` on a cadence; single-threaded
+/// callers (tests, benches) drive every shard at once with
+/// [`TransformCoordinator::tick`].
+pub struct TransformCoordinator {
+    manager: Arc<TransactionManager>,
+    observer: Arc<AccessObserver>,
+    deferred: Arc<DeferredQueue>,
+    config: TransformConfig,
+    tables: Mutex<Vec<TableEntry>>,
+    shards: Vec<Shard>,
+    /// Bytes parked in cooling queues (the backpressure signal).
+    pending_bytes: AtomicUsize,
+    stats: Mutex<PipelineStats>,
+}
+
+impl TransformCoordinator {
+    /// Build a coordinator sharing the GC's observer and deferred queue.
+    /// Shard count comes from [`TransformConfig::workers`].
+    pub fn new(
+        manager: Arc<TransactionManager>,
+        observer: Arc<AccessObserver>,
+        deferred: Arc<DeferredQueue>,
+        config: TransformConfig,
+    ) -> Self {
+        let workers = config.workers.max(1);
+        TransformCoordinator {
+            manager,
+            observer,
+            deferred,
+            config,
+            tables: Mutex::new(Vec::new()),
+            shards: (0..workers).map(|_| Shard::new()).collect(),
+            pending_bytes: AtomicUsize::new(0),
+            stats: Mutex::new(PipelineStats::default()),
+        }
+    }
+
+    /// Register a table for transformation (the paper targets only tables
+    /// that generate cold data, §6.1).
+    pub fn add_table(&self, table: Arc<DataTable>, hook: Arc<dyn MoveHook>) {
+        self.tables.lock().push(TableEntry { table, hook });
+    }
+
+    /// Number of workers / shards.
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cumulative statistics across all workers.
+    pub fn stats(&self) -> PipelineStats {
+        *self.stats.lock()
+    }
+
+    /// Per-worker counters, indexed by worker id.
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.shards.iter().map(|s| *s.stats.lock()).collect()
+    }
+
+    /// Bytes currently parked in cooling queues awaiting phase 2.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Backpressure signal for the write path: true while the cooling
+    /// backlog exceeds the configured high-water mark, i.e. freezing is not
+    /// keeping up with the rate at which data goes cold.
+    pub fn overloaded(&self) -> bool {
+        self.pending_bytes() > self.config.backpressure_bytes
+    }
+
+    /// Fraction of each registered table's blocks per state:
+    /// `(hot, cooling, freezing, frozen)` counts (Fig. 10b's metric).
+    pub fn block_state_census(&self) -> (usize, usize, usize, usize) {
+        let mut census = (0, 0, 0, 0);
+        for entry in self.tables.lock().iter() {
+            for b in entry.table.blocks() {
+                match BlockStateMachine::state(b.header()) {
+                    BlockState::Hot => census.0 += 1,
+                    BlockState::Cooling => census.1 += 1,
+                    BlockState::Freezing => census.2 += 1,
+                    BlockState::Frozen => census.3 += 1,
+                }
+            }
+        }
+        census
+    }
+
+    /// One pass over every shard on the calling thread — the single-threaded
+    /// driver used by tests and by callers that do not spawn workers.
+    /// Returns true when any shard made progress.
+    pub fn tick(&self) -> bool {
+        let mut progressed = false;
+        for w in 0..self.shards.len() {
+            progressed |= self.worker_tick(w);
+        }
+        progressed
+    }
+
+    /// One pass of worker `worker`: advance its cooling queue toward frozen
+    /// (stealing from peers when the queue is empty), then pick up newly
+    /// cold blocks in its shard and compact them. Returns true when the tick
+    /// made progress (froze, preempted, or compacted something) so drivers
+    /// can back off when idle.
+    pub fn worker_tick(&self, worker: usize) -> bool {
+        let w = worker % self.shards.len();
+        self.shards[w].stats.lock().ticks += 1;
+        // Batch this tick's deferred actions: one queue-lock per tick
+        // instead of one per frozen block.
+        let mut batch = self.deferred.batch();
+        let advanced = self.advance_cooling(w, &mut batch);
+        let compacted = self.compact_cold(w, &mut batch);
+        batch.flush();
+        advanced + compacted > 0
+    }
+
+    /// The shard owning `block` for phase 1. Blocks are 1 MB-aligned, so the
+    /// low bits carry no information; mix the block number instead.
+    fn shard_of(&self, block: *const u8) -> usize {
+        let n = (block as usize) >> BLOCK_SIZE.trailing_zeros();
+        let mixed = (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((mixed >> 33) as usize) % self.shards.len()
+    }
+
+    /// Phase-2 driver: freeze cooling blocks whose version column is clean.
+    /// Returns how many entries left the queue for good (frozen or
+    /// preempted).
+    fn advance_cooling(&self, w: usize, batch: &mut DeferredBatch<'_>) -> usize {
+        let mut work: Vec<(Arc<DataTable>, Arc<Block>)> =
+            self.shards[w].cooling.lock().drain(..).collect();
+        if work.is_empty() {
+            work = self.steal(w);
+        }
+        if work.is_empty() {
+            return 0;
+        }
+        let mut done = 0;
+        let mut keep = Vec::new();
+        for (table, block) in work {
+            match self.try_freeze(&block, batch) {
+                FreezeOutcome::Frozen => {
+                    self.pending_bytes.fetch_sub(BLOCK_SIZE, Ordering::Relaxed);
+                    self.stats.lock().blocks_frozen += 1;
+                    self.shards[w].stats.lock().blocks_frozen += 1;
+                    done += 1;
+                }
+                FreezeOutcome::Preempted => {
+                    // A user transaction flipped the block back to hot
+                    // (Fig. 9's legal race); the observer will re-queue it.
+                    self.pending_bytes.fetch_sub(BLOCK_SIZE, Ordering::Relaxed);
+                    self.stats.lock().preemptions += 1;
+                    done += 1;
+                }
+                FreezeOutcome::NotYet => keep.push((table, block)),
+            }
+        }
+        self.shards[w].cooling.lock().extend(keep);
+        done
+    }
+
+    /// Steal the back half of the longest peer queue. Returns the stolen
+    /// entries (possibly empty). The pending-bytes gauge is unaffected: the
+    /// blocks are still queued, just on a different worker.
+    fn steal(&self, w: usize) -> Vec<(Arc<DataTable>, Arc<Block>)> {
+        let victim = (0..self.shards.len())
+            .filter(|&i| i != w)
+            .max_by_key(|&i| self.shards[i].cooling.lock().len());
+        let Some(victim) = victim else { return Vec::new() };
+        let stolen: Vec<_> = {
+            let mut q = self.shards[victim].cooling.lock();
+            let n = q.len();
+            if n == 0 {
+                return Vec::new();
+            }
+            q.split_off(n - n.div_ceil(2)).into()
+        };
+        self.shards[w].stats.lock().blocks_stolen += stolen.len();
+        stolen
+    }
+
+    fn try_freeze(&self, block: &Arc<Block>, batch: &mut DeferredBatch<'_>) -> FreezeOutcome {
+        let h = block.header();
+        if BlockStateMachine::state(h) != BlockState::Cooling {
+            return FreezeOutcome::Preempted;
+        }
+        // Scan the version column: any live version means a transaction
+        // overlapping the compaction transaction may still race us.
+        let layout = block.layout();
+        unsafe {
+            for slot in 0..layout.num_slots() {
+                if access::load_version(block.as_ptr(), layout, slot) != 0 {
+                    return FreezeOutcome::NotYet;
+                }
+            }
+        }
+        // The cooling sentinel catches any modification since the scan; the
+        // writer count inside `begin_freezing` catches in-flight writers
+        // that passed their status check before we flipped the flag.
+        if !BlockStateMachine::begin_freezing(h) {
+            return FreezeOutcome::Preempted;
+        }
+        // Re-scan under the exclusive lock: a writer may have installed and
+        // completed between the first scan and the CAS.
+        unsafe {
+            for slot in 0..layout.num_slots() {
+                if access::load_version(block.as_ptr(), layout, slot) != 0 {
+                    h.set_state_raw(BlockState::Hot as u32);
+                    return FreezeOutcome::NotYet;
+                }
+            }
+        }
+        let displaced = unsafe {
+            match self.config.format {
+                TransformFormat::Gather => gather::gather_block(block),
+                TransformFormat::Dictionary => dictionary::compress_block(block),
+            }
+        };
+        // `finish_freezing` re-checks the Fig. 9 invariant regardless of
+        // which worker (owner or thief) got here.
+        BlockStateMachine::finish_freezing(h);
+        // Readers may hold copies of the displaced entries until the epoch
+        // turns over (§4.4 "Memory Management").
+        let ts = self.manager.oracle().next();
+        batch.defer(ts, move || unsafe { displaced.free() });
+        FreezeOutcome::Frozen
+    }
+
+    /// Phase-1 driver: group the cold hot blocks of worker `w`'s shard per
+    /// table and compact them. Returns how many groups were attempted.
+    fn compact_cold(&self, w: usize, batch: &mut DeferredBatch<'_>) -> usize {
+        // Sweep at most once per GC epoch per shard: the cold set cannot
+        // have grown since the last sweep at the same epoch.
+        let epoch = self.observer.epoch();
+        if self.shards[w].last_sweep_epoch.swap(epoch, Ordering::Relaxed) == epoch {
+            return 0;
+        }
+        let mut attempted = 0;
+        let entries: Vec<(Arc<DataTable>, Arc<dyn MoveHook>)> = self
+            .tables
+            .lock()
+            .iter()
+            .map(|e| (Arc::clone(&e.table), Arc::clone(&e.hook)))
+            .collect();
+        for (table, hook) in entries {
+            let cold: Vec<Arc<Block>> = table
+                .blocks()
+                .into_iter()
+                .filter(|b| {
+                    self.shard_of(b.as_ptr()) == w
+                        && BlockStateMachine::state(b.header()) == BlockState::Hot
+                        && !table.is_active_block(b.as_ptr())
+                        && self.observer.is_cold(b.as_ptr(), self.config.threshold_epochs)
+                })
+                .collect();
+            for group in cold.chunks(self.config.group_size.max(1)) {
+                match self.compact_group(&table, &*hook, group, w, batch) {
+                    Ok(Some(stats)) => {
+                        attempted += 1;
+                        let mut s = self.stats.lock();
+                        s.groups_compacted += 1;
+                        s.tuples_moved += stats.tuples_moved;
+                        s.blocks_freed += stats.blocks_freed;
+                        drop(s);
+                        self.shards[w].stats.lock().groups_compacted += 1;
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        attempted += 1;
+                        self.stats.lock().groups_aborted += 1;
+                    }
+                }
+            }
+        }
+        attempted
+    }
+
+    /// Compact one group; on success, its blocks enter worker `w`'s cooling
+    /// queue and emptied blocks are detached for recycling.
+    fn compact_group(
+        &self,
+        table: &Arc<DataTable>,
+        hook: &dyn MoveHook,
+        group: &[Arc<Block>],
+        w: usize,
+        batch: &mut DeferredBatch<'_>,
+    ) -> Result<Option<CompactionStats>> {
+        if group.is_empty() {
+            return Ok(None);
+        }
+        let plan = if self.config.optimal_selection {
+            compaction::plan_optimal(group)
+        } else {
+            compaction::plan_approximate(group)
+        };
+        let txn = self.manager.begin();
+        let result = compaction::execute_plan(table, &txn, &plan, |txn, from, to, row| {
+            hook.on_move(txn, from, to, row)
+        });
+        let mut stats = match result {
+            Ok(s) => s,
+            Err(e) => {
+                self.manager.abort(&txn);
+                return Err(e);
+            }
+        };
+        // Fig. 9's fix: flip to cooling *before* the compaction transaction
+        // commits, so racers must overlap it. This ordering is what the
+        // freeze invariant relies on, per block group, whichever worker runs
+        // the group.
+        for b in group {
+            if !plan.emptied.contains(&(b.as_ptr() as *const u8)) {
+                BlockStateMachine::begin_cooling(b.header());
+            }
+        }
+        self.manager.commit(&txn);
+        compaction::publish_insert_heads(&plan);
+
+        // Queue survivors for freezing on this worker's shard.
+        {
+            let mut cooling = self.shards[w].cooling.lock();
+            for b in group {
+                if !plan.emptied.contains(&(b.as_ptr() as *const u8)) {
+                    self.pending_bytes.fetch_add(BLOCK_SIZE, Ordering::Relaxed);
+                    cooling.push_back((Arc::clone(table), Arc::clone(b)));
+                }
+            }
+        }
+        // Recycle emptied blocks: detach now (new scans skip them), free
+        // their varlen leftovers and the memory itself after the epoch.
+        if !plan.emptied.is_empty() {
+            let detached = table.detach_blocks(&plan.emptied);
+            stats.blocks_freed = detached.len();
+            for b in &detached {
+                self.observer.forget(b.as_ptr());
+            }
+            let ts = self.manager.oracle().next();
+            batch.defer(ts, move || unsafe { free_block_varlens(&detached) });
+        }
+        Ok(Some(stats))
+    }
+
+    /// Shutdown helper: freeze whatever is still parked in cooling queues
+    /// without starting new compactions (new compaction transactions could
+    /// not have their versions pruned once the GC thread is gone). Call
+    /// after the GC has quiesced; returns true when every queue drained.
+    pub fn drain_cooling(&self, max_iters: usize) -> bool {
+        for _ in 0..max_iters {
+            let mut batch = self.deferred.batch();
+            for w in 0..self.shards.len() {
+                self.advance_cooling(w, &mut batch);
+            }
+            batch.flush();
+            if self.shards.iter().all(|s| s.cooling.lock().is_empty()) {
+                return true;
+            }
+        }
+        self.shards.iter().all(|s| s.cooling.lock().is_empty())
+    }
+}
+
+enum FreezeOutcome {
+    Frozen,
+    Preempted,
+    NotYet,
+}
+
+/// Free all owned varlen buffers left in detached blocks, then drop them.
+///
+/// # Safety
+/// Must run after the GC epoch proves no reader can reach the blocks.
+unsafe fn free_block_varlens(blocks: &[Arc<Block>]) {
+    for b in blocks {
+        let layout = b.layout();
+        for col in layout.varlen_cols() {
+            for slot in 0..layout.num_slots() {
+                let e = access::read_varlen(b.as_ptr(), layout, slot, col);
+                e.free_buffer();
+                access::write_varlen(
+                    b.as_ptr(),
+                    layout,
+                    slot,
+                    col,
+                    mainline_storage::VarlenEntry::empty(),
+                );
+            }
+        }
+        for col_data in b.arrow.take_all() {
+            drop(col_data);
+        }
+    }
+}

@@ -15,14 +15,24 @@
 //!    format (§4.4),
 //! 4. [`baselines`] implements the two comparison algorithms of §6.2
 //!    (Snapshot and transactional In-Place) for the Figure 12 experiments.
+//!
+//! Steps 1–3 are driven by the [`coordinator`]: cold candidates are sharded
+//! by block across N workers with per-worker cooling queues, work stealing,
+//! and a pending-bytes backpressure signal (§4.4 "Scaling Transformation").
+
+#![warn(missing_docs)]
 
 pub mod access_observer;
 pub mod baselines;
 pub mod compaction;
+pub mod coordinator;
 pub mod dictionary;
 pub mod gather;
 pub mod pipeline;
 
 pub use access_observer::AccessObserver;
 pub use compaction::{CompactionPlan, CompactionStats};
-pub use pipeline::{TransformConfig, TransformFormat, TransformPipeline};
+pub use coordinator::{TransformCoordinator, WorkerStats};
+pub use pipeline::{
+    MoveHook, NoopHook, PipelineStats, TransformConfig, TransformFormat, TransformPipeline,
+};

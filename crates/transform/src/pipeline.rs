@@ -16,20 +16,14 @@
 //! overlap the compaction transaction, so its versions keep the GC from
 //! pruning the block's version column; once the column scans clean, every
 //! overlapping transaction has ended and freezing is safe.
+//!
+//! This module holds the pipeline's configuration and hook types; the
+//! mechanics — sharded across N workers with work stealing and a
+//! backpressure gauge — live in [`crate::coordinator`].
 
-use crate::access_observer::AccessObserver;
-use crate::compaction::{self, CompactionStats};
-use crate::dictionary;
-use crate::gather;
 use mainline_common::Result;
-use mainline_gc::DeferredQueue;
-use mainline_storage::access;
-use mainline_storage::block_state::{BlockState, BlockStateMachine};
-use mainline_storage::raw_block::Block;
 use mainline_storage::{ProjectedRow, TupleSlot};
-use mainline_txn::{DataTable, Transaction, TransactionManager};
-use parking_lot::Mutex;
-use std::sync::Arc;
+use mainline_txn::Transaction;
 
 /// Which canonical format the gathering phase emits (§4.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +48,15 @@ pub struct TransformConfig {
     /// Use the optimal block-selection algorithm instead of the approximate
     /// one (Fig. 13 ablation).
     pub optimal_selection: bool,
+    /// Transformation workers (= shards). Cold candidates are partitioned
+    /// by block across this many workers; `mainline-db` spawns one thread
+    /// per worker. Defaults to the machine's available parallelism.
+    pub workers: usize,
+    /// Backpressure high-water mark: when more than this many bytes sit in
+    /// cooling queues awaiting phase 2, the coordinator reports itself
+    /// [`overloaded`](crate::TransformCoordinator::overloaded) and the write
+    /// path may throttle.
+    pub backpressure_bytes: usize,
 }
 
 impl Default for TransformConfig {
@@ -63,6 +66,8 @@ impl Default for TransformConfig {
             group_size: 50,
             format: TransformFormat::Gather,
             optimal_selection: false,
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            backpressure_bytes: 64 * mainline_storage::raw_block::BLOCK_SIZE,
         }
     }
 }
@@ -94,11 +99,6 @@ impl MoveHook for NoopHook {
     }
 }
 
-struct TableEntry {
-    table: Arc<DataTable>,
-    hook: Arc<dyn MoveHook>,
-}
-
 /// Counters across pipeline ticks.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct PipelineStats {
@@ -116,273 +116,25 @@ pub struct PipelineStats {
     pub preemptions: usize,
 }
 
-/// The background transformer. Call [`TransformPipeline::tick`] on a cadence
-/// (or wire it into a thread; `mainline-db` does the latter).
-pub struct TransformPipeline {
-    manager: Arc<TransactionManager>,
-    observer: Arc<AccessObserver>,
-    deferred: Arc<DeferredQueue>,
-    config: TransformConfig,
-    tables: Mutex<Vec<TableEntry>>,
-    /// Blocks in cooling state awaiting a clean version column.
-    cooling: Mutex<Vec<(Arc<DataTable>, Arc<Block>)>>,
-    stats: Mutex<PipelineStats>,
-}
-
-impl TransformPipeline {
-    /// Build a pipeline sharing the GC's observer and deferred queue.
-    pub fn new(
-        manager: Arc<TransactionManager>,
-        observer: Arc<AccessObserver>,
-        deferred: Arc<DeferredQueue>,
-        config: TransformConfig,
-    ) -> Self {
-        TransformPipeline {
-            manager,
-            observer,
-            deferred,
-            config,
-            tables: Mutex::new(Vec::new()),
-            cooling: Mutex::new(Vec::new()),
-            stats: Mutex::new(PipelineStats::default()),
-        }
-    }
-
-    /// Register a table for transformation (the paper targets only tables
-    /// that generate cold data, §6.1).
-    pub fn add_table(&self, table: Arc<DataTable>, hook: Arc<dyn MoveHook>) {
-        self.tables.lock().push(TableEntry { table, hook });
-    }
-
-    /// Cumulative statistics.
-    pub fn stats(&self) -> PipelineStats {
-        *self.stats.lock()
-    }
-
-    /// Fraction of each registered table's blocks per state:
-    /// `(hot, cooling, freezing, frozen)` counts (Fig. 10b's metric).
-    pub fn block_state_census(&self) -> (usize, usize, usize, usize) {
-        let mut census = (0, 0, 0, 0);
-        for entry in self.tables.lock().iter() {
-            for b in entry.table.blocks() {
-                match BlockStateMachine::state(b.header()) {
-                    BlockState::Hot => census.0 += 1,
-                    BlockState::Cooling => census.1 += 1,
-                    BlockState::Freezing => census.2 += 1,
-                    BlockState::Frozen => census.3 += 1,
-                }
-            }
-        }
-        census
-    }
-
-    /// One pipeline pass: advance cooling blocks toward frozen, then pick up
-    /// newly cold blocks and compact them.
-    pub fn tick(&self) {
-        self.advance_cooling();
-        self.compact_cold();
-    }
-
-    /// Phase-2 driver: freeze cooling blocks whose version column is clean.
-    fn advance_cooling(&self) {
-        let mut cooling = self.cooling.lock();
-        let mut keep = Vec::new();
-        for (table, block) in cooling.drain(..) {
-            match self.try_freeze(&block) {
-                FreezeOutcome::Frozen => {
-                    self.stats.lock().blocks_frozen += 1;
-                }
-                FreezeOutcome::Preempted => {
-                    // A user transaction flipped the block back to hot
-                    // (Fig. 9's legal race); the observer will re-queue it.
-                    self.stats.lock().preemptions += 1;
-                }
-                FreezeOutcome::NotYet => keep.push((table, block)),
-            }
-        }
-        *cooling = keep;
-    }
-
-    fn try_freeze(&self, block: &Arc<Block>) -> FreezeOutcome {
-        let h = block.header();
-        if BlockStateMachine::state(h) != BlockState::Cooling {
-            return FreezeOutcome::Preempted;
-        }
-        // Scan the version column: any live version means a transaction
-        // overlapping the compaction transaction may still race us.
-        let layout = block.layout();
-        unsafe {
-            for slot in 0..layout.num_slots() {
-                if access::load_version(block.as_ptr(), layout, slot) != 0 {
-                    return FreezeOutcome::NotYet;
-                }
-            }
-        }
-        // The cooling sentinel catches any modification since the scan; the
-        // writer count inside `begin_freezing` catches in-flight writers
-        // that passed their status check before we flipped the flag.
-        if !BlockStateMachine::begin_freezing(h) {
-            return FreezeOutcome::Preempted;
-        }
-        // Re-scan under the exclusive lock: a writer may have installed and
-        // completed between the first scan and the CAS.
-        unsafe {
-            for slot in 0..layout.num_slots() {
-                if access::load_version(block.as_ptr(), layout, slot) != 0 {
-                    h.set_state_raw(BlockState::Hot as u32);
-                    return FreezeOutcome::NotYet;
-                }
-            }
-        }
-        let displaced = unsafe {
-            match self.config.format {
-                TransformFormat::Gather => gather::gather_block(block),
-                TransformFormat::Dictionary => dictionary::compress_block(block),
-            }
-        };
-        BlockStateMachine::finish_freezing(h);
-        // Readers may hold copies of the displaced entries until the epoch
-        // turns over (§4.4 "Memory Management").
-        let ts = self.manager.oracle().next();
-        self.deferred.defer(ts, move || unsafe { displaced.free() });
-        FreezeOutcome::Frozen
-    }
-
-    /// Phase-1 driver: group cold hot blocks per table and compact them.
-    fn compact_cold(&self) {
-        let entries: Vec<(Arc<DataTable>, Arc<dyn MoveHook>)> = self
-            .tables
-            .lock()
-            .iter()
-            .map(|e| (Arc::clone(&e.table), Arc::clone(&e.hook)))
-            .collect();
-        for (table, hook) in entries {
-            let cold: Vec<Arc<Block>> = table
-                .blocks()
-                .into_iter()
-                .filter(|b| {
-                    BlockStateMachine::state(b.header()) == BlockState::Hot
-                        && !table.is_active_block(b.as_ptr())
-                        && self.observer.is_cold(b.as_ptr(), self.config.threshold_epochs)
-                })
-                .collect();
-            for group in cold.chunks(self.config.group_size.max(1)) {
-                match self.compact_group(&table, &*hook, group) {
-                    Ok(Some(stats)) => {
-                        let mut s = self.stats.lock();
-                        s.groups_compacted += 1;
-                        s.tuples_moved += stats.tuples_moved;
-                        s.blocks_freed += stats.blocks_freed;
-                    }
-                    Ok(None) => {}
-                    Err(_) => {
-                        self.stats.lock().groups_aborted += 1;
-                    }
-                }
-            }
-        }
-    }
-
-    /// Compact one group; on success, its blocks enter the cooling queue and
-    /// emptied blocks are detached for recycling.
-    fn compact_group(
-        &self,
-        table: &Arc<DataTable>,
-        hook: &dyn MoveHook,
-        group: &[Arc<Block>],
-    ) -> Result<Option<CompactionStats>> {
-        if group.is_empty() {
-            return Ok(None);
-        }
-        let plan = if self.config.optimal_selection {
-            compaction::plan_optimal(group)
-        } else {
-            compaction::plan_approximate(group)
-        };
-        let txn = self.manager.begin();
-        let result = compaction::execute_plan(table, &txn, &plan, |txn, from, to, row| {
-            hook.on_move(txn, from, to, row)
-        });
-        let mut stats = match result {
-            Ok(s) => s,
-            Err(e) => {
-                self.manager.abort(&txn);
-                return Err(e);
-            }
-        };
-        // Fig. 9's fix: flip to cooling *before* the compaction transaction
-        // commits, so racers must overlap it.
-        for b in group {
-            if !plan.emptied.contains(&(b.as_ptr() as *const u8)) {
-                BlockStateMachine::begin_cooling(b.header());
-            }
-        }
-        self.manager.commit(&txn);
-        compaction::publish_insert_heads(&plan);
-
-        // Queue survivors for freezing.
-        {
-            let mut cooling = self.cooling.lock();
-            for b in group {
-                if !plan.emptied.contains(&(b.as_ptr() as *const u8)) {
-                    cooling.push((Arc::clone(table), Arc::clone(b)));
-                }
-            }
-        }
-        // Recycle emptied blocks: detach now (new scans skip them), free
-        // their varlen leftovers and the memory itself after the epoch.
-        if !plan.emptied.is_empty() {
-            let detached = table.detach_blocks(&plan.emptied);
-            stats.blocks_freed = detached.len();
-            for b in &detached {
-                self.observer.forget(b.as_ptr());
-            }
-            let ts = self.manager.oracle().next();
-            self.deferred.defer(ts, move || unsafe { free_block_varlens(&detached) });
-        }
-        Ok(Some(stats))
-    }
-}
-
-enum FreezeOutcome {
-    Frozen,
-    Preempted,
-    NotYet,
-}
-
-/// Free all owned varlen buffers left in detached blocks, then drop them.
-///
-/// # Safety
-/// Must run after the GC epoch proves no reader can reach the blocks.
-unsafe fn free_block_varlens(blocks: &[Arc<Block>]) {
-    for b in blocks {
-        let layout = b.layout();
-        for col in layout.varlen_cols() {
-            for slot in 0..layout.num_slots() {
-                let e = access::read_varlen(b.as_ptr(), layout, slot, col);
-                e.free_buffer();
-                access::write_varlen(
-                    b.as_ptr(),
-                    layout,
-                    slot,
-                    col,
-                    mainline_storage::VarlenEntry::empty(),
-                );
-            }
-        }
-        for col_data in b.arrow.take_all() {
-            drop(col_data);
-        }
-    }
-}
+/// The background transformer — the historical name for the subsystem now
+/// implemented by [`TransformCoordinator`](crate::TransformCoordinator).
+/// Call [`tick`](crate::TransformCoordinator::tick) on a cadence for
+/// single-threaded use, or have N threads call
+/// [`worker_tick`](crate::TransformCoordinator::worker_tick) (`mainline-db`
+/// does the latter).
+pub type TransformPipeline = crate::coordinator::TransformCoordinator;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::access_observer::AccessObserver;
     use mainline_common::schema::{ColumnDef, Schema};
     use mainline_common::value::{TypeId, Value};
     use mainline_gc::collector::ModificationObserver;
     use mainline_gc::GarbageCollector;
+    use mainline_storage::block_state::{BlockState, BlockStateMachine};
+    use mainline_txn::{DataTable, TransactionManager};
+    use std::sync::Arc;
 
     struct Harness {
         manager: Arc<TransactionManager>,
@@ -616,5 +368,121 @@ mod tests {
         let check = h.manager.begin();
         assert_eq!(h.table.count_visible(&check), 2000 + h.table.layout().num_slots() as usize);
         h.manager.commit(&check);
+    }
+
+    #[test]
+    fn sharded_coordinator_freezes_across_workers() {
+        // Four shards, single-threaded driver: every cold block must still
+        // freeze no matter which shard owns it, and per-worker stats must
+        // sum to the aggregate.
+        let mut h = harness(TransformConfig {
+            threshold_epochs: 1,
+            group_size: 4,
+            workers: 4,
+            ..Default::default()
+        });
+        let per_block = h.table.layout().num_slots() as usize;
+        insert_n(&h, 6 * per_block);
+        insert_n(&h, 1); // fresh active block
+        for _ in 0..40 {
+            h.gc.run();
+            h.pipeline.tick();
+            let (_hot, cooling, freezing, _frozen) = h.pipeline.block_state_census();
+            if cooling == 0 && freezing == 0 && h.pipeline.stats().blocks_frozen > 0 {
+                break;
+            }
+        }
+        h.gc.run_to_quiescence();
+        let stats = h.pipeline.stats();
+        assert!(stats.blocks_frozen >= 1, "stats: {stats:?}");
+        let per_worker = h.pipeline.worker_stats();
+        assert_eq!(per_worker.len(), 4);
+        assert_eq!(
+            per_worker.iter().map(|w| w.blocks_frozen).sum::<usize>(),
+            stats.blocks_frozen,
+            "per-worker freeze counts must sum to the aggregate"
+        );
+        assert_eq!(h.pipeline.pending_bytes(), 0, "drained pipeline holds no pending bytes");
+        assert!(!h.pipeline.overloaded());
+
+        let check = h.manager.begin();
+        assert_eq!(h.table.count_visible(&check), 6 * per_block + 1);
+        h.manager.commit(&check);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_loaded_queues() {
+        // One shard owns all the cold blocks (workers=1 partitioning would
+        // do that trivially, so instead drive only worker 0's compaction and
+        // then let a different worker advance the cooling queue via steal).
+        let mut h = harness(TransformConfig {
+            threshold_epochs: 1,
+            group_size: 50,
+            workers: 2,
+            ..Default::default()
+        });
+        let per_block = h.table.layout().num_slots() as usize;
+        insert_n(&h, 4 * per_block);
+        insert_n(&h, 1);
+        // Compact on both shards but never advance their own queues again:
+        // after compaction lands, tick only the worker that owns nothing.
+        for _ in 0..30 {
+            h.gc.run();
+            h.pipeline.tick();
+            let (_hot, cooling, _freezing, _frozen) = h.pipeline.block_state_census();
+            if cooling > 0 {
+                break;
+            }
+        }
+        // Let GC prune the compaction versions, then freeze exclusively from
+        // worker 1 — anything parked on worker 0's queue must be stolen.
+        for _ in 0..20 {
+            h.gc.run();
+            h.pipeline.worker_tick(1);
+        }
+        h.gc.run_to_quiescence();
+        let stats = h.pipeline.stats();
+        assert!(stats.blocks_frozen >= 1, "stats: {stats:?}");
+        let per_worker = h.pipeline.worker_stats();
+        // Everything frozen after the switch was frozen by worker 1; if
+        // worker 0 ever owned queued blocks, worker 1 must have stolen.
+        if per_worker[0].groups_compacted > 0 {
+            assert!(
+                per_worker[1].blocks_stolen > 0 || per_worker[1].blocks_frozen == 0,
+                "worker 1 froze worker 0's blocks without stealing: {per_worker:?}"
+            );
+        }
+        let check = h.manager.begin();
+        assert_eq!(h.table.count_visible(&check), 4 * per_block + 1);
+        h.manager.commit(&check);
+    }
+
+    #[test]
+    fn backpressure_signals_on_cooling_backlog() {
+        // Tiny high-water mark: a single cooling block must trip the signal,
+        // and freezing must clear it.
+        let mut h = harness(TransformConfig {
+            threshold_epochs: 1,
+            workers: 1,
+            backpressure_bytes: mainline_storage::raw_block::BLOCK_SIZE / 2,
+            ..Default::default()
+        });
+        let per_block = h.table.layout().num_slots() as usize;
+        insert_n(&h, 2 * per_block);
+        insert_n(&h, 1);
+        let mut saw_overload = false;
+        for _ in 0..40 {
+            h.gc.run();
+            h.pipeline.tick();
+            saw_overload |= h.pipeline.overloaded();
+            let (_hot, cooling, freezing, frozen) = h.pipeline.block_state_census();
+            if frozen > 0 && cooling == 0 && freezing == 0 {
+                break;
+            }
+        }
+        assert!(saw_overload, "cooling backlog never tripped the backpressure signal");
+        h.gc.run_to_quiescence();
+        assert_eq!(h.pipeline.pending_bytes(), 0);
+        assert!(!h.pipeline.overloaded(), "signal must clear once queues drain");
     }
 }

@@ -4,6 +4,20 @@
 //!   the standard mix (Fig. 10).
 //! * [`tpch`] — a TPC-H `LINEITEM` generator (Fig. 1's export source).
 //! * [`rowcol`] — the row-store vs column-store micro-benchmark (Fig. 11).
+//!
+//! # Example
+//!
+//! ```
+//! use mainline_db::{Database, DbConfig};
+//! use mainline_workloads::tpch;
+//!
+//! let db = Database::open(DbConfig::default()).unwrap();
+//! let lineitem = tpch::load_lineitem(&db, 500, 42).unwrap();
+//! let txn = db.manager().begin();
+//! assert_eq!(lineitem.table().count_visible(&txn), 500);
+//! db.manager().commit(&txn);
+//! db.shutdown();
+//! ```
 
 pub mod rowcol;
 pub mod tpcc;

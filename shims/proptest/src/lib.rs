@@ -344,7 +344,7 @@ pub mod arbitrary {
         fn arbitrary(rng: &mut TestRng) -> Self;
     }
 
-    /// Strategy returned by [`any`](crate::prelude::any).
+    /// Strategy returned by [`any`].
     pub struct Any<T>(PhantomData<T>);
 
     impl<T: Arbitrary> Strategy for Any<T> {

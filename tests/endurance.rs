@@ -78,6 +78,90 @@ fn tpcc_with_transformation_and_concurrent_export() {
     db.shutdown();
 }
 
+/// Regression coverage for the ROADMAP watch item: `tpcc.run_one` once
+/// panicked when two full test suites ran concurrently on a 1-CPU machine.
+/// This reproduces that regime deliberately — more OLTP threads than cores
+/// plus a full multi-worker transformation pipeline — and wraps every
+/// `run_one` in `catch_unwind` so that, if the panic ever comes back, its
+/// message lands verbatim in the assertion failure instead of being lost in
+/// a worker thread's stderr.
+#[test]
+fn tpcc_multiworker_oversubscribed_captures_run_one_panics() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let db = Database::open(DbConfig {
+        transform: Some(TransformConfig {
+            threshold_epochs: 1,
+            // At least two transformation workers even on a 1-CPU host, so
+            // sharding + stealing run under contention.
+            workers: cores.max(2),
+            ..Default::default()
+        }),
+        gc_interval: Duration::from_millis(1),
+        transform_interval: Duration::from_millis(2),
+        ..Default::default()
+    })
+    .unwrap();
+    let tpcc = Arc::new(Tpcc::create(&db, TpccConfig::mini(2), true).unwrap());
+    tpcc.load(&db, 77).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let oltp_threads = (2 * cores).max(4); // oversubscribe on purpose
+    let mut handles = Vec::new();
+    for t in 0..oltp_threads {
+        let db = Arc::clone(&db);
+        let tpcc = Arc::clone(&tpcc);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let warehouse = (t % 2) as i32 + 1;
+            let mut rng = Xoshiro256::seed_from_u64(1000 + t as u64);
+            let mut stats = TpccStats::default();
+            let mut committed = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    tpcc.run_one(&db, &mut rng, warehouse, &mut stats);
+                }));
+                match attempt {
+                    Ok(()) => committed = stats.total(),
+                    Err(payload) => {
+                        // Capture the panic message for the assertion below.
+                        let msg = payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        return (committed, Some(msg));
+                    }
+                }
+            }
+            (committed, None)
+        }));
+    }
+
+    std::thread::sleep(Duration::from_secs(3));
+    stop.store(true, Ordering::Relaxed);
+    let mut committed = 0u64;
+    let mut panics = Vec::new();
+    for h in handles {
+        let (c, panic) = h.join().unwrap();
+        committed += c;
+        if let Some(msg) = panic {
+            panics.push(msg);
+        }
+    }
+    assert!(
+        panics.is_empty(),
+        "tpcc.run_one panicked under multi-worker oversubscription \
+         (ROADMAP watch item — captured message(s)): {panics:#?}"
+    );
+    assert!(committed > 100, "committed {committed}");
+
+    // Full consistency after the storm, then a clean drain-at-shutdown.
+    tpcc.check_consistency(&db).unwrap();
+    db.shutdown();
+    let (_h, cooling, freezing, _f) = db.pipeline().unwrap().block_state_census();
+    assert_eq!((cooling, freezing), (0, 0), "shutdown abandoned in-flight cooling blocks");
+}
+
 #[test]
 fn sustained_churn_with_gc_reclamation() {
     // A hot/cold churn loop: insert, update heavily, delete most rows, let
