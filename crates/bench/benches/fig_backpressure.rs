@@ -1,0 +1,126 @@
+//! Admission-control sweep: ingest throughput and writer stall time vs the
+//! backpressure watermark (§4.4's control loop, closed by ISSUE 3).
+//!
+//! Each cell opens a full `Database` (GC thread + multi-worker
+//! transformation), then hammers it with concurrent insert/delete writers
+//! for a fixed wall-clock window. The watermark sweeps from "disabled"
+//! (zero — writers never throttle, the cooling backlog is unbounded) down
+//! to a few blocks. Reported per cell:
+//!
+//! * `rows_per_s` — sustained ingest throughput;
+//! * `stall_ms` — total wall-clock time writers spent blocked;
+//! * `stall_count` / `yield_count` — graduated-response breakdown;
+//! * `pending_hw_mb` — the gauge's high-water mark, which must stay within
+//!   one block per worker of the hard watermark when it is non-zero.
+//!
+//! Knobs: `MAINLINE_BP_SECONDS` (seconds per cell, default 2),
+//! `MAINLINE_BP_THREADS` (writer threads, default 2).
+
+use mainline_bench::{emit, env_usize};
+use mainline_db::{Database, DbConfig};
+use mainline_storage::BLOCK_SIZE;
+use mainline_transform::TransformConfig;
+use mainline_workloads::stress::{wide_row, wide_schema};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const COLS: usize = 32;
+
+struct Cell {
+    rows_per_s: f64,
+    stall_ms: f64,
+    stall_count: u64,
+    yield_count: u64,
+    pending_hw_mb: f64,
+    budget_ok: bool,
+}
+
+fn run_cell(watermark: usize, seconds: f64, threads: usize) -> Cell {
+    let workers = 2;
+    let db = Database::open(DbConfig {
+        transform: Some(TransformConfig {
+            threshold_epochs: 1,
+            group_size: 2,
+            workers,
+            backpressure_bytes: watermark,
+            stall_timeout: Duration::from_millis(5),
+            ..Default::default()
+        }),
+        gc_interval: Duration::from_millis(3),
+        transform_interval: Duration::from_millis(1),
+        ..Default::default()
+    })
+    .unwrap();
+    let t = db.create_table("bp", wide_schema(COLS), vec![], true).unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for w in 0..threads {
+        let db = Arc::clone(&db);
+        let t = Arc::clone(&t);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut i = (w as i64) << 40;
+            let mut rows = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let txn = db.manager().begin();
+                let mut slots = Vec::with_capacity(200);
+                for _ in 0..200 {
+                    slots.push(t.insert(&txn, &wide_row(COLS, i)));
+                    i += 1;
+                    rows += 1;
+                }
+                // Gaps make compaction move tuples, so cooling blocks hold
+                // versions and the backlog is real.
+                for slot in slots.into_iter().step_by(10) {
+                    let _ = t.delete(&txn, slot);
+                }
+                db.manager().commit(&txn);
+            }
+            rows
+        }));
+    }
+    std::thread::sleep(Duration::from_secs_f64(seconds));
+    stop.store(true, Ordering::Relaxed);
+    let rows: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let adm = db.admission_stats();
+    db.shutdown();
+    Cell {
+        rows_per_s: rows as f64 / seconds,
+        stall_ms: adm.stalled_nanos as f64 / 1e6,
+        stall_count: adm.stall_count,
+        yield_count: adm.yield_count,
+        pending_hw_mb: adm.pending_high_water as f64 / (1 << 20) as f64,
+        budget_ok: watermark == 0 || adm.pending_high_water <= watermark + workers * BLOCK_SIZE,
+    }
+}
+
+fn main() {
+    let seconds = env_usize("MAINLINE_BP_SECONDS", 2) as f64;
+    let threads = env_usize("MAINLINE_BP_THREADS", 2);
+    println!("# Backpressure admission-control sweep ({threads} writer threads, {seconds}s/cell)");
+    println!("figure,series,watermark_mb,value,unit");
+    // 0 = disabled, then 32 / 8 / 2 blocks, then a quarter block (well
+    // below any single cooling entry, so the bounded-stall path engages).
+    for watermark in [0usize, 32 * BLOCK_SIZE, 8 * BLOCK_SIZE, 2 * BLOCK_SIZE, BLOCK_SIZE / 4] {
+        let label = watermark as f64 / (1 << 20) as f64;
+        let cell = run_cell(watermark, seconds, threads);
+        emit("fig_bp", "rows_per_s", label, cell.rows_per_s, "rows_per_s");
+        emit("fig_bp", "stall_ms", label, cell.stall_ms, "ms");
+        emit("fig_bp", "stall_count", label, cell.stall_count as f64, "stalls");
+        emit("fig_bp", "yield_count", label, cell.yield_count as f64, "yields");
+        emit("fig_bp", "pending_high_water", label, cell.pending_hw_mb, "MB");
+        if !cell.budget_ok {
+            println!(
+                "# WARNING: watermark={label}MB cell exceeded the admission budget \
+                 (high water {:.1} MB)",
+                cell.pending_hw_mb
+            );
+        }
+        if watermark == 0 && (cell.stall_count > 0 || cell.yield_count > 0) {
+            println!("# WARNING: disabled watermark still recorded throttling");
+        }
+    }
+    println!("# done");
+}

@@ -1,5 +1,6 @@
 //! A minimal catalog: names → indexed table handles.
 
+use crate::admission::AdmissionController;
 use crate::table_handle::{IndexSpec, TableHandle};
 use mainline_common::schema::Schema;
 use mainline_common::{Error, Result};
@@ -14,16 +15,23 @@ use std::sync::Arc;
 pub struct Catalog {
     manager: Arc<TransactionManager>,
     deferred: Arc<DeferredQueue>,
+    admission: Arc<AdmissionController>,
     tables: RwLock<HashMap<String, Arc<TableHandle>>>,
     next_id: AtomicU32,
 }
 
 impl Catalog {
-    /// Empty catalog.
-    pub fn new(manager: Arc<TransactionManager>, deferred: Arc<DeferredQueue>) -> Self {
+    /// Empty catalog. Every table handle it creates shares `admission`, so
+    /// all write entry points consult the same controller.
+    pub fn new(
+        manager: Arc<TransactionManager>,
+        deferred: Arc<DeferredQueue>,
+        admission: Arc<AdmissionController>,
+    ) -> Self {
         Catalog {
             manager,
             deferred,
+            admission,
             tables: RwLock::new(HashMap::new()),
             next_id: AtomicU32::new(1),
         }
@@ -42,10 +50,22 @@ impl Catalog {
         }
         let id = self.next_id.fetch_add(1, Ordering::AcqRel);
         let table = DataTable::new(id, schema)?;
-        let handle =
-            TableHandle::new(table, indexes, Arc::clone(&self.manager), Arc::clone(&self.deferred));
+        let handle = TableHandle::new(
+            table,
+            indexes,
+            Arc::clone(&self.manager),
+            Arc::clone(&self.deferred),
+            Arc::clone(&self.admission),
+        );
         tables.insert(name.to_string(), Arc::clone(&handle));
         Ok(handle)
+    }
+
+    /// Remove a table by name, returning its handle (so the caller can
+    /// deregister it from the transformation pipeline). Existing `Arc`s to
+    /// the handle stay usable; the name becomes free for reuse.
+    pub fn drop_table(&self, name: &str) -> Result<Arc<TableHandle>> {
+        self.tables.write().remove(name).ok_or_else(|| Error::NotFound(format!("table {name}")))
     }
 
     /// Look a table up by name.
@@ -75,7 +95,11 @@ mod tests {
     use mainline_common::value::TypeId;
 
     fn catalog() -> Catalog {
-        Catalog::new(Arc::new(TransactionManager::new()), Arc::new(DeferredQueue::new()))
+        Catalog::new(
+            Arc::new(TransactionManager::new()),
+            Arc::new(DeferredQueue::new()),
+            Arc::new(AdmissionController::disabled()),
+        )
     }
 
     #[test]
@@ -92,5 +116,19 @@ mod tests {
         assert_eq!(h2.table().id(), 2);
         assert_eq!(c.all_tables().len(), 2);
         assert_eq!(c.tables_by_id().len(), 2);
+    }
+
+    #[test]
+    fn drop_table_frees_the_name() {
+        let c = catalog();
+        let schema = Schema::new(vec![ColumnDef::new("id", TypeId::BigInt)]);
+        let h = c.create_table("t", schema.clone(), vec![]).unwrap();
+        assert!(c.drop_table("nope").is_err());
+        let dropped = c.drop_table("t").unwrap();
+        assert!(Arc::ptr_eq(&h, &dropped));
+        assert!(c.table("t").is_err());
+        // The name is reusable and ids keep increasing.
+        let h2 = c.create_table("t", schema, vec![]).unwrap();
+        assert_eq!(h2.table().id(), 2);
     }
 }

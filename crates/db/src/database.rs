@@ -4,14 +4,18 @@
 //! threads" — thread counts are configurable here). Transformation runs as
 //! a multi-worker subsystem: one thread per coordinator shard (see
 //! [`TransformConfig::workers`]), joined and drained in order at shutdown.
+//! Its pending-bytes gauge feeds the per-database [`AdmissionController`],
+//! which throttles every write entry point when freezing falls behind
+//! (§4.4's control loop).
 
+use crate::admission::{AdmissionController, AdmissionStats};
 use crate::catalog::Catalog;
 use crate::table_handle::{IndexMoveHook, IndexSpec, TableHandle};
 use mainline_common::schema::Schema;
 use mainline_common::Result;
 use mainline_gc::collector::ModificationObserver;
 use mainline_gc::{DeferredQueue, GarbageCollector};
-use mainline_transform::{AccessObserver, TransformConfig, TransformPipeline};
+use mainline_transform::{AccessObserver, BackpressureLevel, TransformConfig, TransformPipeline};
 use mainline_txn::{CommitSink, TransactionManager};
 use mainline_wal::{LogManager, LogManagerConfig};
 use std::path::PathBuf;
@@ -58,6 +62,7 @@ pub struct Database {
     deferred: Arc<DeferredQueue>,
     observer: Arc<AccessObserver>,
     pipeline: Option<Arc<TransformPipeline>>,
+    admission: Arc<AdmissionController>,
     log: Option<Arc<LogManager>>,
     /// Separate stop flags: the GC must keep running until every transform
     /// worker has *joined*, so a worker's final compaction transaction still
@@ -130,9 +135,17 @@ impl Database {
                         .spawn(move || {
                             while !stop.load(Ordering::Relaxed) {
                                 // Keep ticking while there is work; sleep
-                                // the cadence only when the shard is idle.
+                                // the cadence only when the shard is idle —
+                                // a shortened cadence under backpressure
+                                // (the admission control loop's "hurry"
+                                // hint: draining the cooling queues is what
+                                // un-stalls writers).
                                 if !pipeline.worker_tick(i) {
-                                    std::thread::sleep(interval);
+                                    let nap = match pipeline.pressure() {
+                                        BackpressureLevel::Clear => interval,
+                                        _ => (interval / 8).max(Duration::from_micros(50)),
+                                    };
+                                    std::thread::sleep(nap);
                                 }
                             }
                         })
@@ -141,13 +154,16 @@ impl Database {
             }
         }
 
-        let catalog = Catalog::new(Arc::clone(&manager), Arc::clone(&deferred));
+        let admission = Arc::new(AdmissionController::new(pipeline.clone()));
+        let catalog =
+            Catalog::new(Arc::clone(&manager), Arc::clone(&deferred), Arc::clone(&admission));
         Ok(Arc::new(Database {
             manager,
             catalog,
             deferred,
             observer,
             pipeline,
+            admission,
             log,
             stop_transform,
             stop_gc,
@@ -208,6 +224,18 @@ impl Database {
         Ok(handle)
     }
 
+    /// Drop a table: it leaves the catalog immediately and is deregistered
+    /// from the transformation pipeline's sharded registry (slices
+    /// rebalance). Blocks already parked in cooling queues finish their
+    /// freeze or preempt normally.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let handle = self.catalog.drop_table(name)?;
+        if let Some(pipeline) = &self.pipeline {
+            pipeline.remove_table(handle.table());
+        }
+        Ok(())
+    }
+
     /// Per-worker transformation counters (empty when transformation is
     /// disabled).
     pub fn transform_worker_stats(&self) -> Vec<mainline_transform::WorkerStats> {
@@ -215,10 +243,25 @@ impl Database {
     }
 
     /// Backpressure signal for the write path: true while the transformation
-    /// cooling backlog exceeds its high-water mark (callers may throttle
-    /// ingest; always false when transformation is disabled).
+    /// cooling backlog exceeds its hard watermark (callers may throttle
+    /// ingest; always false when transformation is disabled or the
+    /// watermark is zero).
     pub fn transform_backpressure(&self) -> bool {
         self.pipeline.as_ref().is_some_and(|p| p.overloaded())
+    }
+
+    /// The admission controller consulted by every write entry point.
+    /// External drivers (e.g. the TPC-C loop) may also consult it at
+    /// transaction boundaries — the safest point to pause.
+    pub fn admission(&self) -> &Arc<AdmissionController> {
+        &self.admission
+    }
+
+    /// Per-database stall statistics (yields, stalls, stalled nanoseconds,
+    /// pending-bytes high-water mark), alongside
+    /// [`transform_worker_stats`](Self::transform_worker_stats).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.admission.stats()
     }
 
     /// Stop background threads, drain in-flight transformation work, and
@@ -369,6 +412,34 @@ mod tests {
         let txn = db.manager().begin();
         assert_eq!(t.table().count_visible(&txn), (3 * per_block + 10) as usize);
         db.manager().commit(&txn);
+    }
+
+    #[test]
+    fn drop_table_deregisters_from_pipeline() {
+        let db = Database::open(DbConfig {
+            transform: Some(TransformConfig { threshold_epochs: 1, ..Default::default() }),
+            ..Default::default()
+        })
+        .unwrap();
+        let schema = || Schema::new(vec![ColumnDef::new("id", TypeId::BigInt)]);
+        db.create_table("keep", schema(), vec![], true).unwrap();
+        db.create_table("drop", schema(), vec![], true).unwrap();
+        let pipeline = db.pipeline().unwrap();
+        assert_eq!(pipeline.tables_per_shard().iter().sum::<usize>(), 2);
+        assert!(db.drop_table("nope").is_err());
+        db.drop_table("drop").unwrap();
+        assert!(db.catalog().table("drop").is_err());
+        assert_eq!(
+            pipeline.tables_per_shard().iter().sum::<usize>(),
+            1,
+            "dropped table must leave the sharded registry"
+        );
+        // A table created without transformation never registers, so
+        // dropping it must not disturb the registry either.
+        db.create_table("cold-only", schema(), vec![], false).unwrap();
+        db.drop_table("cold-only").unwrap();
+        assert_eq!(pipeline.tables_per_shard().iter().sum::<usize>(), 1);
+        db.shutdown();
     }
 
     #[test]

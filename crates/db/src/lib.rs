@@ -40,10 +40,12 @@
 //! db.shutdown();
 //! ```
 
+pub mod admission;
 pub mod catalog;
 pub mod database;
 pub mod table_handle;
 
+pub use admission::{Admission, AdmissionController, AdmissionStats};
 pub use catalog::Catalog;
 pub use database::{Database, DbConfig};
 pub use table_handle::{IndexSpec, TableHandle};

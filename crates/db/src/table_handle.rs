@@ -2,6 +2,7 @@
 //! MVCC, plus the compaction move-hook (Fig. 13's index write amplification
 //! happens here).
 
+use crate::admission::AdmissionController;
 use mainline_common::value::{TypeId, Value};
 use mainline_common::{Error, Result};
 use mainline_gc::DeferredQueue;
@@ -72,6 +73,9 @@ pub struct TableHandle {
     indexes: Vec<Arc<TableIndex>>,
     manager: Arc<TransactionManager>,
     deferred: Arc<DeferredQueue>,
+    /// Consulted at the top of every write entry point (§4.4's control
+    /// loop: transformation backpressure throttles ingest).
+    admission: Arc<AdmissionController>,
 }
 
 impl TableHandle {
@@ -80,12 +84,13 @@ impl TableHandle {
         specs: Vec<IndexSpec>,
         manager: Arc<TransactionManager>,
         deferred: Arc<DeferredQueue>,
+        admission: Arc<AdmissionController>,
     ) -> Arc<Self> {
         let indexes = specs
             .into_iter()
             .map(|spec| Arc::new(TableIndex { spec, tree: BPlusTree::new() }))
             .collect();
-        Arc::new(TableHandle { table, indexes, manager, deferred })
+        Arc::new(TableHandle { table, indexes, manager, deferred, admission })
     }
 
     /// The underlying data table.
@@ -111,7 +116,10 @@ impl TableHandle {
     }
 
     /// Insert a full row (values over user columns, in schema order).
+    /// Subject to admission control: may yield or stall (bounded) while the
+    /// transformation pipeline is behind.
     pub fn insert(&self, txn: &Arc<Transaction>, values: &[Value]) -> TupleSlot {
+        self.admission.admit();
         let row = ProjectedRow::from_values(self.table.types(), values);
         let slot = self.table.insert(txn, &row);
         for index in &self.indexes {
@@ -132,8 +140,9 @@ impl TableHandle {
 
     /// Delete a row by slot. Index entries are removed lazily: on commit the
     /// removal is deferred past the GC epoch so old snapshots keep finding
-    /// the entry; on abort nothing happens.
+    /// the entry; on abort nothing happens. Subject to admission control.
     pub fn delete(&self, txn: &Arc<Transaction>, slot: TupleSlot) -> Result<()> {
+        self.admission.admit();
         let values = self.table.select_values(txn, slot).ok_or(Error::TupleNotVisible)?;
         self.table.delete(txn, slot)?;
         for index in &self.indexes {
@@ -157,12 +166,14 @@ impl TableHandle {
     /// Update non-key columns of a row. `updates` maps user-column positions
     /// to new values. Key-column updates are rejected (TPC-C never needs
     /// them; a full implementation would model them as delete+insert).
+    /// Subject to admission control.
     pub fn update(
         &self,
         txn: &Arc<Transaction>,
         slot: TupleSlot,
         updates: &[(usize, Value)],
     ) -> Result<()> {
+        self.admission.admit();
         for index in &self.indexes {
             for (c, _) in updates {
                 if index.spec.key_cols.contains(c) {
@@ -337,6 +348,7 @@ mod tests {
             vec![IndexSpec::new("pk", &[0, 1]), IndexSpec::new("by_name", &[2])],
             Arc::clone(&manager),
             deferred,
+            Arc::new(AdmissionController::disabled()),
         );
         (manager, h)
     }

@@ -186,6 +186,16 @@ impl BlockLayout {
         self.used_bytes
     }
 
+    /// Fixed-size footprint of the first `n` slots of a block using this
+    /// layout: header, allocation bitmap, and every column's null bitmap +
+    /// data region sized for `n` slots. `n` is clamped to
+    /// [`num_slots`](Self::num_slots). This is the per-slot-prefix version
+    /// of [`used_bytes`](Self::used_bytes), used by backpressure accounting
+    /// to charge partially-filled blocks with what they actually occupy.
+    pub fn bytes_for_slots(&self, n: u32) -> usize {
+        Self::space_for(&self.attr_sizes, n.min(self.num_slots))
+    }
+
     /// Sum of the per-tuple attribute sizes (excluding bitmaps).
     pub fn tuple_size(&self) -> usize {
         self.attr_sizes.iter().map(|&s| s as usize).sum()
@@ -276,6 +286,21 @@ mod tests {
         let sizes: Vec<u16> = std::iter::once(8).chain((0..40_000).map(|_| 32)).collect();
         let varlen = vec![false; sizes.len()];
         assert!(BlockLayout::from_attr_sizes(sizes, varlen).is_err());
+    }
+
+    #[test]
+    fn bytes_for_slots_is_monotone_and_clamped() {
+        let l = BlockLayout::from_schema(&schema_2col()).unwrap();
+        assert_eq!(l.bytes_for_slots(0), HEADER_SIZE);
+        let mut prev = 0;
+        for n in [1u32, 2, 100, 1000, l.num_slots()] {
+            let b = l.bytes_for_slots(n);
+            assert!(b > prev, "footprint must grow with the slot prefix");
+            prev = b;
+        }
+        // Full prefix matches the whole-layout figure and clamping holds.
+        assert_eq!(l.bytes_for_slots(l.num_slots()), l.used_bytes() as usize);
+        assert_eq!(l.bytes_for_slots(u32::MAX), l.used_bytes() as usize);
     }
 
     #[test]

@@ -6,18 +6,22 @@
 //! [`TransformCoordinator`] scales the pipeline of Fig. 8 across
 //! [`TransformConfig::workers`](crate::TransformConfig::workers) threads:
 //!
-//! * **Sharding** — cold candidates are partitioned by block across workers
-//!   (a block's 1 MB-aligned address hashes to its owning shard), so
-//!   compaction groups are formed per shard and no two workers ever compact
-//!   the same block.
-//! * **Per-worker cooling queues** — phase-1 survivors enter the owning
-//!   worker's queue; phase 2 (freeze) drains it on the next tick.
+//! * **Sharded table registry** — registered tables are partitioned into
+//!   per-shard slices (rebalanced on register/deregister), so worker `i`'s
+//!   phase-1 sweep walks only its own tables' block lists instead of every
+//!   worker rescanning the global list each tick.
+//! * **Cooling spray** — phase-1 survivors are enqueued by block-address
+//!   hash across *all* workers' cooling queues, so phase 2 (the expensive
+//!   gather/compress) parallelizes even when a single table owns the whole
+//!   cold set.
 //! * **Work stealing** — a worker whose queue drains steals the back half of
 //!   the longest peer queue, so a skewed cold set cannot idle N−1 workers.
-//! * **Backpressure** — the coordinator tracks the bytes parked in cooling
-//!   queues; the write path can consult [`TransformCoordinator::overloaded`]
-//!   (pending bytes above [`TransformConfig::backpressure_bytes`]) to
-//!   throttle ingest when freezing falls behind.
+//! * **Backpressure** — every queued block charges its *measured* live bytes
+//!   ([`Block::live_bytes`]) to a pending-bytes gauge. The write path
+//!   consults [`TransformCoordinator::pressure`] to throttle ingest, and the
+//!   sweep itself stops admitting new compaction groups once the gauge
+//!   reaches [`TransformConfig::backpressure_bytes`], so the gauge never
+//!   overshoots the hard watermark by more than one block per worker.
 //!
 //! The Fig. 9 correctness invariant — the COOLING flag is set *before* the
 //! compaction transaction commits, and a block freezes only after its
@@ -39,12 +43,32 @@ use mainline_storage::raw_block::{Block, BLOCK_SIZE};
 use mainline_txn::{DataTable, TransactionManager};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 struct TableEntry {
     table: Arc<DataTable>,
     hook: Arc<dyn MoveHook>,
+    /// At most one worker sweeps a table at a time (`try_lock`, skip if
+    /// held). Sweeps run on lock-free slice snapshots, so without this a
+    /// concurrent `remove_table` rebalance could hand the entry to another
+    /// worker mid-sweep and two workers would compact the same blocks.
+    sweep_lock: Arc<Mutex<()>>,
+}
+
+/// How far behind phase 2 is, as seen by the write path (the §4.4 control
+/// loop: worker → pending-bytes gauge → admission control).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressureLevel {
+    /// Pending bytes at or below the soft watermark (or backpressure
+    /// disabled): admit writes at full speed.
+    Clear,
+    /// Between the soft and hard watermarks: writers should yield
+    /// cooperatively and workers should tick eagerly.
+    Soft,
+    /// Above the hard watermark: writers may block (bounded) until the
+    /// cooling backlog drains.
+    Hard,
 }
 
 /// Per-worker counters, exposed through
@@ -62,15 +86,32 @@ pub struct WorkerStats {
     pub blocks_stolen: usize,
 }
 
+/// One entry parked in a cooling queue awaiting phase 2. `bytes` is the
+/// measured footprint charged to the pending gauge at enqueue time; the
+/// same figure is credited back when the entry leaves the queue, so the
+/// gauge always equals the sum of queued entries' sizes.
+struct CoolingEntry {
+    /// Never read, but keeps the owning table — and therefore the block's
+    /// layout — alive for as long as the block is queued, even if the table
+    /// is deregistered mid-flight.
+    _table: Arc<DataTable>,
+    block: Arc<Block>,
+    bytes: usize,
+}
+
 /// One worker's slice of the subsystem: its cooling queue and counters.
 struct Shard {
-    cooling: Mutex<VecDeque<(Arc<DataTable>, Arc<Block>)>>,
+    cooling: Mutex<VecDeque<CoolingEntry>>,
     stats: Mutex<WorkerStats>,
     /// GC epoch of this shard's last cold-candidate sweep. Blocks only
     /// *become* cold when the epoch advances, so sweeping every table's
     /// block list more often than that — N workers × every tick — is pure
     /// overhead.
     last_sweep_epoch: AtomicU64,
+    /// Set when a sweep stopped early because the pending-bytes gauge hit
+    /// the hard watermark; the next tick re-sweeps as soon as the gauge
+    /// drops instead of waiting for a new GC epoch.
+    sweep_incomplete: AtomicBool,
 }
 
 impl Shard {
@@ -79,6 +120,7 @@ impl Shard {
             cooling: Mutex::new(VecDeque::new()),
             stats: Mutex::new(WorkerStats::default()),
             last_sweep_epoch: AtomicU64::new(u64::MAX),
+            sweep_incomplete: AtomicBool::new(false),
         }
     }
 }
@@ -92,10 +134,21 @@ pub struct TransformCoordinator {
     observer: Arc<AccessObserver>,
     deferred: Arc<DeferredQueue>,
     config: TransformConfig,
-    tables: Mutex<Vec<TableEntry>>,
+    /// The sharded table registry: `tables[w]` is the slice worker `w`
+    /// sweeps in phase 1. Rebalanced on register/deregister so slice sizes
+    /// never differ by more than one.
+    tables: Mutex<Vec<Vec<TableEntry>>>,
     shards: Vec<Shard>,
     /// Bytes parked in cooling queues (the backpressure signal).
     pending_bytes: AtomicUsize,
+    /// Bytes admitted by in-flight sweeps but not yet enqueued. The
+    /// admission budget counts `pending_bytes + sweep_reserved`, so
+    /// concurrent sweeps reading the gauge at the same instant cannot
+    /// collectively blow past the watermark — total overshoot stays at one
+    /// block per worker.
+    sweep_reserved: AtomicUsize,
+    /// Highest value the pending-bytes gauge ever reached.
+    pending_high_water: AtomicUsize,
     stats: Mutex<PipelineStats>,
 }
 
@@ -114,17 +167,72 @@ impl TransformCoordinator {
             observer,
             deferred,
             config,
-            tables: Mutex::new(Vec::new()),
+            tables: Mutex::new((0..workers).map(|_| Vec::new()).collect()),
             shards: (0..workers).map(|_| Shard::new()).collect(),
             pending_bytes: AtomicUsize::new(0),
+            sweep_reserved: AtomicUsize::new(0),
+            pending_high_water: AtomicUsize::new(0),
             stats: Mutex::new(PipelineStats::default()),
         }
     }
 
+    /// The configuration this coordinator runs with.
+    pub fn config(&self) -> &TransformConfig {
+        &self.config
+    }
+
     /// Register a table for transformation (the paper targets only tables
-    /// that generate cold data, §6.1).
+    /// that generate cold data, §6.1). The table joins the least-loaded
+    /// shard's slice.
     pub fn add_table(&self, table: Arc<DataTable>, hook: Arc<dyn MoveHook>) {
-        self.tables.lock().push(TableEntry { table, hook });
+        let mut slices = self.tables.lock();
+        let target = (0..slices.len()).min_by_key(|&w| slices[w].len()).unwrap_or(0);
+        slices[target].push(TableEntry { table, hook, sweep_lock: Arc::new(Mutex::new(())) });
+    }
+
+    /// Deregister a table (dropped tables must stop being swept). Entries
+    /// already parked in cooling queues are left to freeze or preempt
+    /// normally — they hold their own `Arc<DataTable>`. Slices are
+    /// rebalanced afterwards. Returns whether the table was registered.
+    pub fn remove_table(&self, table: &Arc<DataTable>) -> bool {
+        let mut slices = self.tables.lock();
+        let mut found = false;
+        for slice in slices.iter_mut() {
+            let before = slice.len();
+            slice.retain(|e| !Arc::ptr_eq(&e.table, table));
+            found |= slice.len() != before;
+        }
+        if found {
+            Self::rebalance(&mut slices);
+        }
+        found
+    }
+
+    /// Even out registry slices: move tables from the longest slice to the
+    /// shortest until they differ by at most one.
+    fn rebalance(slices: &mut [Vec<TableEntry>]) {
+        loop {
+            let (mut lo, mut hi) = (0, 0);
+            for w in 0..slices.len() {
+                if slices[w].len() < slices[lo].len() {
+                    lo = w;
+                }
+                if slices[w].len() > slices[hi].len() {
+                    hi = w;
+                }
+            }
+            if slices[hi].len() <= slices[lo].len() + 1 {
+                return;
+            }
+            let moved = slices[hi].pop().expect("longest slice is non-empty");
+            slices[lo].push(moved);
+        }
+    }
+
+    /// Number of registered tables per shard slice (registry topology, for
+    /// tests and metrics).
+    pub fn tables_per_shard(&self) -> Vec<usize> {
+        self.tables.lock().iter().map(|s| s.len()).collect()
     }
 
     /// Number of workers / shards.
@@ -147,18 +255,51 @@ impl TransformCoordinator {
         self.pending_bytes.load(Ordering::Relaxed)
     }
 
+    /// Highest value the pending-bytes gauge ever reached. The sweep's
+    /// admission budget bounds this to the hard watermark plus at most one
+    /// block's measured bytes per worker.
+    pub fn pending_high_water(&self) -> usize {
+        self.pending_high_water.load(Ordering::Relaxed)
+    }
+
+    /// Sum of queued entry sizes per cooling queue. Invariant (tested by
+    /// the root proptest battery): the totals always sum to
+    /// [`pending_bytes`](Self::pending_bytes).
+    pub fn cooling_queue_bytes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.cooling.lock().iter().map(|e| e.bytes).sum()).collect()
+    }
+
+    /// Graduated backpressure signal for the write path. Soft watermark is
+    /// half the hard one ([`TransformConfig::soft_backpressure_bytes`]); a
+    /// zero hard watermark disables backpressure entirely.
+    pub fn pressure(&self) -> BackpressureLevel {
+        let hard = self.config.backpressure_bytes;
+        if hard == 0 {
+            return BackpressureLevel::Clear;
+        }
+        let pending = self.pending_bytes();
+        if pending > hard {
+            BackpressureLevel::Hard
+        } else if pending > self.config.soft_backpressure_bytes() {
+            BackpressureLevel::Soft
+        } else {
+            BackpressureLevel::Clear
+        }
+    }
+
     /// Backpressure signal for the write path: true while the cooling
-    /// backlog exceeds the configured high-water mark, i.e. freezing is not
-    /// keeping up with the rate at which data goes cold.
+    /// backlog exceeds the configured hard watermark, i.e. freezing is not
+    /// keeping up with the rate at which data goes cold. Always false when
+    /// [`TransformConfig::backpressure_bytes`] is zero (disabled).
     pub fn overloaded(&self) -> bool {
-        self.pending_bytes() > self.config.backpressure_bytes
+        matches!(self.pressure(), BackpressureLevel::Hard)
     }
 
     /// Fraction of each registered table's blocks per state:
     /// `(hot, cooling, freezing, frozen)` counts (Fig. 10b's metric).
     pub fn block_state_census(&self) -> (usize, usize, usize, usize) {
         let mut census = (0, 0, 0, 0);
-        for entry in self.tables.lock().iter() {
+        for entry in self.tables.lock().iter().flatten() {
             for b in entry.table.blocks() {
                 match BlockStateMachine::state(b.header()) {
                     BlockState::Hot => census.0 += 1,
@@ -184,9 +325,9 @@ impl TransformCoordinator {
 
     /// One pass of worker `worker`: advance its cooling queue toward frozen
     /// (stealing from peers when the queue is empty), then pick up newly
-    /// cold blocks in its shard and compact them. Returns true when the tick
-    /// made progress (froze, preempted, or compacted something) so drivers
-    /// can back off when idle.
+    /// cold blocks in its table slice and compact them. Returns true when
+    /// the tick made progress (froze, preempted, or compacted something) so
+    /// drivers can back off when idle.
     pub fn worker_tick(&self, worker: usize) -> bool {
         let w = worker % self.shards.len();
         self.shards[w].stats.lock().ticks += 1;
@@ -199,8 +340,9 @@ impl TransformCoordinator {
         advanced + compacted > 0
     }
 
-    /// The shard owning `block` for phase 1. Blocks are 1 MB-aligned, so the
-    /// low bits carry no information; mix the block number instead.
+    /// The cooling queue a compacted block is sprayed to. Blocks are
+    /// 1 MB-aligned, so the low bits carry no information; mix the block
+    /// number instead.
     fn shard_of(&self, block: *const u8) -> usize {
         let n = (block as usize) >> BLOCK_SIZE.trailing_zeros();
         let mixed = (n as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -211,8 +353,7 @@ impl TransformCoordinator {
     /// Returns how many entries left the queue for good (frozen or
     /// preempted).
     fn advance_cooling(&self, w: usize, batch: &mut DeferredBatch<'_>) -> usize {
-        let mut work: Vec<(Arc<DataTable>, Arc<Block>)> =
-            self.shards[w].cooling.lock().drain(..).collect();
+        let mut work: Vec<CoolingEntry> = self.shards[w].cooling.lock().drain(..).collect();
         if work.is_empty() {
             work = self.steal(w);
         }
@@ -221,10 +362,10 @@ impl TransformCoordinator {
         }
         let mut done = 0;
         let mut keep = Vec::new();
-        for (table, block) in work {
-            match self.try_freeze(&block, batch) {
+        for entry in work {
+            match self.try_freeze(&entry.block, batch) {
                 FreezeOutcome::Frozen => {
-                    self.pending_bytes.fetch_sub(BLOCK_SIZE, Ordering::Relaxed);
+                    self.pending_bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
                     self.stats.lock().blocks_frozen += 1;
                     self.shards[w].stats.lock().blocks_frozen += 1;
                     done += 1;
@@ -232,11 +373,11 @@ impl TransformCoordinator {
                 FreezeOutcome::Preempted => {
                     // A user transaction flipped the block back to hot
                     // (Fig. 9's legal race); the observer will re-queue it.
-                    self.pending_bytes.fetch_sub(BLOCK_SIZE, Ordering::Relaxed);
+                    self.pending_bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
                     self.stats.lock().preemptions += 1;
                     done += 1;
                 }
-                FreezeOutcome::NotYet => keep.push((table, block)),
+                FreezeOutcome::NotYet => keep.push(entry),
             }
         }
         self.shards[w].cooling.lock().extend(keep);
@@ -246,7 +387,7 @@ impl TransformCoordinator {
     /// Steal the back half of the longest peer queue. Returns the stolen
     /// entries (possibly empty). The pending-bytes gauge is unaffected: the
     /// blocks are still queued, just on a different worker.
-    fn steal(&self, w: usize) -> Vec<(Arc<DataTable>, Arc<Block>)> {
+    fn steal(&self, w: usize) -> Vec<CoolingEntry> {
         let victim = (0..self.shards.len())
             .filter(|&i| i != w)
             .max_by_key(|&i| self.shards[i].cooling.lock().len());
@@ -310,35 +451,90 @@ impl TransformCoordinator {
         FreezeOutcome::Frozen
     }
 
-    /// Phase-1 driver: group the cold hot blocks of worker `w`'s shard per
-    /// table and compact them. Returns how many groups were attempted.
+    /// Phase-1 driver: sweep worker `w`'s table slice for cold blocks,
+    /// group and compact them within the pending-bytes budget. Returns how
+    /// many groups were attempted.
     fn compact_cold(&self, w: usize, batch: &mut DeferredBatch<'_>) -> usize {
-        // Sweep at most once per GC epoch per shard: the cold set cannot
-        // have grown since the last sweep at the same epoch.
+        // Sweep at most once per GC epoch per shard (the cold set cannot
+        // have grown since the last sweep at the same epoch) — unless the
+        // previous sweep was cut short by the backpressure budget.
         let epoch = self.observer.epoch();
-        if self.shards[w].last_sweep_epoch.swap(epoch, Ordering::Relaxed) == epoch {
+        let fresh_epoch = self.shards[w].last_sweep_epoch.swap(epoch, Ordering::Relaxed) != epoch;
+        let retry = self.shards[w].sweep_incomplete.swap(false, Ordering::Relaxed);
+        if !fresh_epoch && !retry {
             return 0;
         }
-        let mut attempted = 0;
-        let entries: Vec<(Arc<DataTable>, Arc<dyn MoveHook>)> = self
-            .tables
-            .lock()
+        let hard = self.config.backpressure_bytes;
+        // The admission budget counts the gauge plus peer sweeps'
+        // reservations, so racing workers cannot collectively overshoot.
+        let budget_spent = || self.pending_bytes() + self.sweep_reserved.load(Ordering::Relaxed);
+        if hard != 0 && budget_spent() >= hard {
+            // Phase 2 must drain first; re-arm the retry flag so the sweep
+            // reruns as soon as the gauge drops, not at the next epoch.
+            self.shards[w].sweep_incomplete.store(true, Ordering::Relaxed);
+            return 0;
+        }
+        // Snapshot of the slice: (table, hook, per-table sweep lock).
+        type SweepEntry = (Arc<DataTable>, Arc<dyn MoveHook>, Arc<Mutex<()>>);
+        let entries: Vec<SweepEntry> = self.tables.lock()[w]
             .iter()
-            .map(|e| (Arc::clone(&e.table), Arc::clone(&e.hook)))
+            .map(|e| (Arc::clone(&e.table), Arc::clone(&e.hook), Arc::clone(&e.sweep_lock)))
             .collect();
-        for (table, hook) in entries {
+        let mut attempted = 0;
+        'sweep: for (table, hook, sweep_lock) in entries {
+            // Skip a table another worker is already sweeping (possible
+            // when a remove_table rebalance moved it mid-sweep): compaction
+            // groups must stay disjoint across workers.
+            let Some(_table_guard) = sweep_lock.try_lock() else { continue };
             let cold: Vec<Arc<Block>> = table
                 .blocks()
                 .into_iter()
                 .filter(|b| {
-                    self.shard_of(b.as_ptr()) == w
-                        && BlockStateMachine::state(b.header()) == BlockState::Hot
+                    BlockStateMachine::state(b.header()) == BlockState::Hot
                         && !table.is_active_block(b.as_ptr())
                         && self.observer.is_cold(b.as_ptr(), self.config.threshold_epochs)
                 })
                 .collect();
-            for group in cold.chunks(self.config.group_size.max(1)) {
-                match self.compact_group(&table, &*hook, group, w, batch) {
+            let mut idx = 0;
+            while idx < cold.len() {
+                if hard != 0 && budget_spent() >= hard {
+                    self.shards[w].sweep_incomplete.store(true, Ordering::Relaxed);
+                    break 'sweep;
+                }
+                // Form one group: up to `group_size` blocks, each reserved
+                // against the budget before it is admitted (blocks are
+                // measured lazily — a budget-truncated sweep never scans
+                // the tail it cannot admit). The first block of a group is
+                // always admitted — the gate above guarantees the budget
+                // started below the watermark — so overshoot is bounded by
+                // one block per concurrently-sweeping worker.
+                let mut group = Vec::new();
+                let mut group_reserved = 0usize;
+                let mut over_budget = false;
+                while idx < cold.len() && group.len() < self.config.group_size.max(1) {
+                    let b = &cold[idx];
+                    let bytes = b.live_bytes();
+                    if hard != 0 {
+                        let prev = self.sweep_reserved.fetch_add(bytes, Ordering::Relaxed);
+                        if !group.is_empty() && self.pending_bytes() + prev + bytes > hard {
+                            self.sweep_reserved.fetch_sub(bytes, Ordering::Relaxed);
+                            over_budget = true;
+                            break;
+                        }
+                    }
+                    group_reserved += bytes;
+                    group.push(Arc::clone(b));
+                    idx += 1;
+                }
+                if group.is_empty() {
+                    break;
+                }
+                let result = self.compact_group(&table, &*hook, &group, batch);
+                // Release the reservation only after the survivors' real
+                // bytes are on the gauge (briefly double-counted, which
+                // errs on the conservative side).
+                self.sweep_reserved.fetch_sub(group_reserved, Ordering::Relaxed);
+                match result {
                     Ok(Some(stats)) => {
                         attempted += 1;
                         let mut s = self.stats.lock();
@@ -354,19 +550,24 @@ impl TransformCoordinator {
                         self.stats.lock().groups_aborted += 1;
                     }
                 }
+                if over_budget {
+                    self.shards[w].sweep_incomplete.store(true, Ordering::Relaxed);
+                    break 'sweep;
+                }
             }
         }
         attempted
     }
 
-    /// Compact one group; on success, its blocks enter worker `w`'s cooling
-    /// queue and emptied blocks are detached for recycling.
+    /// Compact one group; on success, its surviving blocks are sprayed
+    /// across the cooling queues by block-address hash (each charging its
+    /// measured bytes to the gauge) and emptied blocks are detached for
+    /// recycling.
     fn compact_group(
         &self,
         table: &Arc<DataTable>,
         hook: &dyn MoveHook,
         group: &[Arc<Block>],
-        w: usize,
         batch: &mut DeferredBatch<'_>,
     ) -> Result<Option<CompactionStats>> {
         if group.is_empty() {
@@ -400,14 +601,20 @@ impl TransformCoordinator {
         self.manager.commit(&txn);
         compaction::publish_insert_heads(&plan);
 
-        // Queue survivors for freezing on this worker's shard.
-        {
-            let mut cooling = self.shards[w].cooling.lock();
-            for b in group {
-                if !plan.emptied.contains(&(b.as_ptr() as *const u8)) {
-                    self.pending_bytes.fetch_add(BLOCK_SIZE, Ordering::Relaxed);
-                    cooling.push_back((Arc::clone(table), Arc::clone(b)));
-                }
+        // Queue survivors for freezing, sharded by block address so phase 2
+        // parallelizes even when one table owns the whole cold set. Each
+        // entry charges its measured post-compaction bytes.
+        for b in group {
+            if !plan.emptied.contains(&(b.as_ptr() as *const u8)) {
+                let bytes = b.live_bytes();
+                let now = self.pending_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+                self.pending_high_water.fetch_max(now, Ordering::Relaxed);
+                let target = self.shard_of(b.as_ptr());
+                self.shards[target].cooling.lock().push_back(CoolingEntry {
+                    _table: Arc::clone(table),
+                    block: Arc::clone(b),
+                    bytes,
+                });
             }
         }
         // Recycle emptied blocks: detach now (new scans skip them), free

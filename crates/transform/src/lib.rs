@@ -16,9 +16,11 @@
 //! 4. [`baselines`] implements the two comparison algorithms of §6.2
 //!    (Snapshot and transactional In-Place) for the Figure 12 experiments.
 //!
-//! Steps 1–3 are driven by the [`coordinator`]: cold candidates are sharded
-//! by block across N workers with per-worker cooling queues, work stealing,
-//! and a pending-bytes backpressure signal (§4.4 "Scaling Transformation").
+//! Steps 1–3 are driven by the [`coordinator`]: registered tables are
+//! sharded into per-worker registry slices for the phase-1 sweep, survivors
+//! spray across per-worker cooling queues by block hash, idle workers steal,
+//! and a measured pending-bytes gauge feeds backpressure/admission control
+//! (§4.4 "Scaling Transformation").
 
 #![warn(missing_docs)]
 
@@ -32,7 +34,7 @@ pub mod pipeline;
 
 pub use access_observer::AccessObserver;
 pub use compaction::{CompactionPlan, CompactionStats};
-pub use coordinator::{TransformCoordinator, WorkerStats};
+pub use coordinator::{BackpressureLevel, TransformCoordinator, WorkerStats};
 pub use pipeline::{
     MoveHook, NoopHook, PipelineStats, TransformConfig, TransformFormat, TransformPipeline,
 };

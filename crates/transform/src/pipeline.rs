@@ -24,6 +24,7 @@
 use mainline_common::Result;
 use mainline_storage::{ProjectedRow, TupleSlot};
 use mainline_txn::Transaction;
+use std::time::Duration;
 
 /// Which canonical format the gathering phase emits (§4.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,26 +49,55 @@ pub struct TransformConfig {
     /// Use the optimal block-selection algorithm instead of the approximate
     /// one (Fig. 13 ablation).
     pub optimal_selection: bool,
-    /// Transformation workers (= shards). Cold candidates are partitioned
-    /// by block across this many workers; `mainline-db` spawns one thread
-    /// per worker. Defaults to the machine's available parallelism.
+    /// Transformation workers (= shards). Registered tables are partitioned
+    /// into per-worker slices for the phase-1 sweep; `mainline-db` spawns
+    /// one thread per worker. Defaults to the machine's available
+    /// parallelism.
     pub workers: usize,
-    /// Backpressure high-water mark: when more than this many bytes sit in
-    /// cooling queues awaiting phase 2, the coordinator reports itself
-    /// [`overloaded`](crate::TransformCoordinator::overloaded) and the write
-    /// path may throttle.
+    /// Backpressure **hard** watermark: when more than this many measured
+    /// bytes sit in cooling queues awaiting phase 2, the coordinator
+    /// reports itself [`overloaded`](crate::TransformCoordinator::overloaded),
+    /// the sweep stops admitting new compaction groups, and `mainline-db`'s
+    /// admission control blocks writers (bounded by
+    /// [`stall_timeout`](Self::stall_timeout)). The **soft** watermark is
+    /// half of this ([`soft_backpressure_bytes`](Self::soft_backpressure_bytes)):
+    /// between the two, writers yield cooperatively and workers tick
+    /// eagerly. **Zero disables backpressure and admission control
+    /// entirely.** The default (64 blocks) can be overridden with the
+    /// `MAINLINE_BACKPRESSURE_BYTES` environment variable — CI forces it
+    /// small so the stall path is exercised on every push.
     pub backpressure_bytes: usize,
+    /// Upper bound on a single admission-control stall at the hard
+    /// watermark. A writer parked here may itself be the open transaction
+    /// whose versions keep the cooling queue from draining, so unbounded
+    /// blocking could deadlock the control loop; the timeout guarantees
+    /// forward progress.
+    pub stall_timeout: Duration,
+}
+
+impl TransformConfig {
+    /// The soft watermark: half the hard one. Below it admission control is
+    /// a no-op; between it and [`backpressure_bytes`](Self::backpressure_bytes)
+    /// writers yield cooperatively.
+    pub fn soft_backpressure_bytes(&self) -> usize {
+        self.backpressure_bytes / 2
+    }
 }
 
 impl Default for TransformConfig {
     fn default() -> Self {
+        let backpressure_bytes = std::env::var("MAINLINE_BACKPRESSURE_BYTES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64 * mainline_storage::raw_block::BLOCK_SIZE);
         TransformConfig {
             threshold_epochs: 2,
             group_size: 50,
             format: TransformFormat::Gather,
             optimal_selection: false,
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-            backpressure_bytes: 64 * mainline_storage::raw_block::BLOCK_SIZE,
+            backpressure_bytes,
+            stall_timeout: Duration::from_millis(20),
         }
     }
 }
@@ -412,9 +442,9 @@ mod tests {
 
     #[test]
     fn idle_workers_steal_from_loaded_queues() {
-        // One shard owns all the cold blocks (workers=1 partitioning would
-        // do that trivially, so instead drive only worker 0's compaction and
-        // then let a different worker advance the cooling queue via steal).
+        // Compact with a full tick (survivors spray across both cooling
+        // queues by block hash), then freeze exclusively from worker 1 —
+        // anything parked on worker 0's queue must be stolen.
         let mut h = harness(TransformConfig {
             threshold_epochs: 1,
             group_size: 50,
@@ -424,8 +454,6 @@ mod tests {
         let per_block = h.table.layout().num_slots() as usize;
         insert_n(&h, 4 * per_block);
         insert_n(&h, 1);
-        // Compact on both shards but never advance their own queues again:
-        // after compaction lands, tick only the worker that owns nothing.
         for _ in 0..30 {
             h.gc.run();
             h.pipeline.tick();
@@ -434,8 +462,8 @@ mod tests {
                 break;
             }
         }
-        // Let GC prune the compaction versions, then freeze exclusively from
-        // worker 1 — anything parked on worker 0's queue must be stolen.
+        let q0_loaded = h.pipeline.cooling_queue_bytes()[0] > 0;
+        // Let GC prune the compaction versions, then drive only worker 1.
         for _ in 0..20 {
             h.gc.run();
             h.pipeline.worker_tick(1);
@@ -444,17 +472,74 @@ mod tests {
         let stats = h.pipeline.stats();
         assert!(stats.blocks_frozen >= 1, "stats: {stats:?}");
         let per_worker = h.pipeline.worker_stats();
-        // Everything frozen after the switch was frozen by worker 1; if
-        // worker 0 ever owned queued blocks, worker 1 must have stolen.
-        if per_worker[0].groups_compacted > 0 {
+        // Every freeze after the switch ran on worker 1; whatever sat on
+        // worker 0's queue can only have left it by being stolen.
+        if q0_loaded {
             assert!(
-                per_worker[1].blocks_stolen > 0 || per_worker[1].blocks_frozen == 0,
-                "worker 1 froze worker 0's blocks without stealing: {per_worker:?}"
+                per_worker[1].blocks_stolen > 0,
+                "worker 1 drained worker 0's queue without stealing: {per_worker:?}"
             );
         }
         let check = h.manager.begin();
         assert_eq!(h.table.count_visible(&check), 4 * per_block + 1);
         h.manager.commit(&check);
+    }
+
+    #[test]
+    fn gauge_charges_measured_bytes_and_registry_shards_tables() {
+        // A block far from full must charge far less than the flat 1 MB the
+        // gauge used to assume; and registered tables must spread across
+        // shard slices, rebalancing on removal.
+        let mut h = harness(TransformConfig {
+            threshold_epochs: 1,
+            workers: 3,
+            // Generous hard watermark so gating never trims the sweep here.
+            backpressure_bytes: 64 * mainline_storage::raw_block::BLOCK_SIZE,
+            ..Default::default()
+        });
+        assert_eq!(h.pipeline.tables_per_shard().iter().sum::<usize>(), 1);
+        // Add two more tables: slices must stay balanced (1 each).
+        let extra: Vec<_> = (0..2)
+            .map(|i| {
+                let t =
+                    DataTable::new(10 + i, Schema::new(vec![ColumnDef::new("id", TypeId::BigInt)]))
+                        .unwrap();
+                h.pipeline.add_table(Arc::clone(&t), Arc::new(NoopHook));
+                t
+            })
+            .collect();
+        assert_eq!(h.pipeline.tables_per_shard(), vec![1, 1, 1]);
+        assert!(h.pipeline.remove_table(&extra[0]));
+        assert!(!h.pipeline.remove_table(&extra[0]), "second removal must report absence");
+        assert_eq!(h.pipeline.tables_per_shard().iter().sum::<usize>(), 2);
+
+        // Exactly one cold block (full of ~20-byte out-of-line varlens),
+        // then a fresh active block: the single cooling entry must charge
+        // its *measured* footprint — fixed region plus varlen buffers —
+        // which exceeds the flat 1 MB the gauge used to assume per block.
+        use mainline_storage::raw_block::BLOCK_SIZE;
+        insert_n(&h, h.table.layout().num_slots() as usize);
+        insert_n(&h, 1);
+        for _ in 0..30 {
+            h.gc.run();
+            h.pipeline.tick();
+            let sum: usize = h.pipeline.cooling_queue_bytes().iter().sum();
+            assert_eq!(h.pipeline.pending_bytes(), sum, "gauge must equal queued entry sizes");
+            let (_hot, cooling, freezing, frozen) = h.pipeline.block_state_census();
+            if frozen > 0 && cooling == 0 && freezing == 0 {
+                break;
+            }
+        }
+        h.gc.run_to_quiescence();
+        // The high-water mark is recorded at enqueue time, so it sees the
+        // entry even when compaction and freeze land within one tick.
+        let high = h.pipeline.pending_high_water();
+        assert!(
+            high > BLOCK_SIZE && high < 2 * BLOCK_SIZE,
+            "one full varlen block must charge measured bytes (fixed + out-of-line \
+             buffers), not a flat 1 MB: {high}"
+        );
+        assert_eq!(h.pipeline.pending_bytes(), 0);
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //!   the standard mix (Fig. 10).
 //! * [`tpch`] — a TPC-H `LINEITEM` generator (Fig. 1's export source).
 //! * [`rowcol`] — the row-store vs column-store micro-benchmark (Fig. 11).
+//! * [`stress`] — wide-schema helpers shared by the backpressure /
+//!   admission-control stress tests and the `fig_backpressure` bench.
 //!
 //! # Example
 //!
@@ -20,5 +22,6 @@
 //! ```
 
 pub mod rowcol;
+pub mod stress;
 pub mod tpcc;
 pub mod tpch;

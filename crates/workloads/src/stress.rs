@@ -1,0 +1,21 @@
+//! Shared scaffolding for write-burst / backpressure stress drivers.
+//!
+//! The admission-control tests and the `fig_backpressure` bench all need
+//! the same ingredients: a wide fixed-size schema (so a block holds only a
+//! few thousand rows and a burst spans many blocks without six-figure
+//! insert counts) and deterministic rows for it. They live here so the
+//! recipe is defined once.
+
+use mainline_common::schema::{ColumnDef, Schema};
+use mainline_common::value::{TypeId, Value};
+
+/// A schema of `cols` BigInt columns. At 32 columns a row occupies ~270
+/// bytes (with bitmaps), so a 1 MB block holds ~3.9 K rows.
+pub fn wide_schema(cols: usize) -> Schema {
+    Schema::new((0..cols).map(|i| ColumnDef::new(&format!("c{i}"), TypeId::BigInt)).collect())
+}
+
+/// Row `i` for [`wide_schema`]`(cols)`: deterministic, distinct per column.
+pub fn wide_row(cols: usize, i: i64) -> Vec<Value> {
+    (0..cols as i64).map(|c| Value::BigInt(i ^ (c << 32))).collect()
+}

@@ -77,6 +77,10 @@ pub struct TpccStats {
     pub committed: [u64; 5],
     /// Aborts (write-write conflicts + the 1% NewOrder rollbacks).
     pub aborted: u64,
+    /// Transactions whose admission was throttled (yielded or stalled)
+    /// because the transformation pipeline fell behind (§4.4's control
+    /// loop; always 0 when transformation or backpressure is disabled).
+    pub throttled: u64,
 }
 
 impl TpccStats {
@@ -831,7 +835,15 @@ impl Tpcc {
 
     /// Run one transaction from the standard mix (45/43/4/4/4), recording
     /// the outcome (committed per type / aborted / failed) into `stats`.
+    ///
+    /// The driver consults admission control at the transaction boundary —
+    /// the safest point to pause, before any version-chain entry is created
+    /// — so a backlogged transformation pipeline throttles the whole mix,
+    /// not just individual writes inside open transactions.
     pub fn run_one(&self, db: &Database, rng: &mut Xoshiro256, w_id: i32, stats: &mut TpccStats) {
+        if db.admission().admit() != mainline_db::Admission::Admitted {
+            stats.throttled += 1;
+        }
         let roll = rng.next_below(100);
         let outcome = if roll < 45 {
             self.new_order(db, rng, w_id).map(|committed| committed.then_some(0))

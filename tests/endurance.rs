@@ -85,15 +85,24 @@ fn tpcc_with_transformation_and_concurrent_export() {
 /// `run_one` in `catch_unwind` so that, if the panic ever comes back, its
 /// message lands verbatim in the assertion failure instead of being lost in
 /// a worker thread's stderr.
+///
+/// The pipeline runs with a deliberately small backpressure watermark, so
+/// oversubscription is exercised in the *throttled* regime too: admission
+/// control may stall writers mid-storm, and afterwards the recorded stall
+/// statistics and pending-bytes high-water mark must be sane.
 #[test]
 fn tpcc_multiworker_oversubscribed_captures_run_one_panics() {
+    use mainline::storage::BLOCK_SIZE;
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hard = 2 * BLOCK_SIZE;
     let db = Database::open(DbConfig {
         transform: Some(TransformConfig {
             threshold_epochs: 1,
             // At least two transformation workers even on a 1-CPU host, so
             // sharding + stealing run under contention.
             workers: cores.max(2),
+            backpressure_bytes: hard,
+            stall_timeout: Duration::from_millis(2),
             ..Default::default()
         }),
         gc_interval: Duration::from_millis(1),
@@ -154,6 +163,24 @@ fn tpcc_multiworker_oversubscribed_captures_run_one_panics() {
          (ROADMAP watch item — captured message(s)): {panics:#?}"
     );
     assert!(committed > 100, "committed {committed}");
+
+    // Stall statistics from the throttled regime must be sane: time is
+    // accounted iff stalls happened, and the sweep's admission budget
+    // bounds the gauge's high-water mark to the hard watermark plus one
+    // block's measured bytes per worker (TPC-C varlens live out of line,
+    // so a block can measure up to ~2x BLOCK_SIZE).
+    let adm = db.admission_stats();
+    let workers = db.pipeline().unwrap().workers();
+    assert_eq!(
+        adm.stall_count == 0,
+        adm.stalled_nanos == 0,
+        "stalled time without stalls (or vice versa): {adm:?}"
+    );
+    assert!(
+        adm.pending_high_water <= hard + workers * 2 * mainline::storage::BLOCK_SIZE,
+        "pending high-water {} blew past the admission budget (hard {hard}, {workers} workers)",
+        adm.pending_high_water
+    );
 
     // Full consistency after the storm, then a clean drain-at-shutdown.
     tpcc.check_consistency(&db).unwrap();

@@ -183,6 +183,96 @@ proptest! {
         }
     }
 
+    // ---------------- pending-bytes backpressure gauge ----------------
+
+    #[test]
+    fn pending_gauge_matches_cooling_queues(
+        ops in proptest::collection::vec((0u8..4, any::<u8>()), 1..25),
+    ) {
+        // Under random insert / delete / gc / worker-tick sequences (ticks
+        // on empty-queue workers exercise stealing; freezes and preemptions
+        // exercise dequeue), the gauge must (1) never underflow, (2) always
+        // equal the sum of the queued entries' measured sizes, and
+        // (3) return to zero once the pipeline drains.
+        use mainline::gc::collector::ModificationObserver;
+        use mainline::gc::GarbageCollector;
+        use mainline::transform::{
+            AccessObserver, NoopHook, TransformConfig, TransformPipeline,
+        };
+        use std::sync::Arc;
+
+        const WORKERS: usize = 3;
+        let manager = Arc::new(mainline::txn::TransactionManager::new());
+        let mut gc = GarbageCollector::new(Arc::clone(&manager));
+        let observer = Arc::new(AccessObserver::new());
+        gc.add_observer(Arc::clone(&observer) as Arc<dyn ModificationObserver>);
+        let pipeline = TransformPipeline::new(
+            Arc::clone(&manager),
+            observer,
+            gc.deferred(),
+            TransformConfig {
+                threshold_epochs: 1,
+                group_size: 2,
+                workers: WORKERS,
+                ..Default::default()
+            },
+        );
+        // Wide fixed rows so a handful of inserts spans blocks.
+        let table = mainline::txn::DataTable::new(
+            1,
+            mainline::workloads::stress::wide_schema(24),
+        )
+        .unwrap();
+        pipeline.add_table(Arc::clone(&table), Arc::new(NoopHook));
+        let types = vec![TypeId::BigInt; 24];
+
+        let mut slots: Vec<mainline::storage::TupleSlot> = Vec::new();
+        let mut next = 0i64;
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    let txn = manager.begin();
+                    for _ in 0..600 {
+                        let values = mainline::workloads::stress::wide_row(24, next);
+                        slots.push(table.insert(&txn, &ProjectedRow::from_values(&types, &values)));
+                        next += 1;
+                    }
+                    manager.commit(&txn);
+                }
+                1 => {
+                    // Delete a scattering; slots may have been moved by
+                    // compaction, in which case the delete fails — fine,
+                    // the point is the churn.
+                    let txn = manager.begin();
+                    for slot in slots.iter().skip(arg as usize % 7).step_by(11) {
+                        let _ = table.delete(&txn, *slot);
+                    }
+                    manager.commit(&txn);
+                }
+                2 => {
+                    gc.run();
+                }
+                _ => {
+                    pipeline.worker_tick(arg as usize % WORKERS);
+                }
+            }
+            let pending = pipeline.pending_bytes();
+            prop_assert!(pending < 1 << 40, "gauge underflowed (wrapped): {pending}");
+            let queued: usize = pipeline.cooling_queue_bytes().iter().sum();
+            prop_assert_eq!(pending, queued, "gauge must equal the sum of queued block sizes");
+        }
+        // Drain: let GC prune every version, then freeze whatever is parked.
+        for _ in 0..15 {
+            gc.run();
+            pipeline.tick();
+        }
+        gc.run_to_quiescence();
+        pipeline.drain_cooling(16);
+        prop_assert_eq!(pipeline.pending_bytes(), 0, "gauge must return to 0 after drain");
+        let queued: usize = pipeline.cooling_queue_bytes().iter().sum();
+        prop_assert_eq!(queued, 0);
+    }
+
     // ---------------- MVCC vs sequential oracle ----------------
 
     #[test]

@@ -6,8 +6,10 @@ use mainline::common::rng::Xoshiro256;
 use mainline::common::schema::{ColumnDef, Schema};
 use mainline::common::value::{TypeId, Value};
 use mainline::db::{Database, DbConfig, IndexSpec};
+use mainline::transform::TransformConfig;
 use mainline::wal;
 use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
 
 fn schema() -> Schema {
     Schema::new(vec![
@@ -126,6 +128,79 @@ fn random_workload_replays_exactly() {
     });
     db.manager().commit(&txn);
     assert_eq!(recovered, model);
+    db.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Crash a database *mid-stall*: with a tiny backpressure watermark the
+/// write path is throttling when the process "dies" (the handle is leaked —
+/// no shutdown, no drain, background threads abandoned). WAL recovery must
+/// still replay every acknowledged commit: admission control sits in front
+/// of the write path and must never interact with durability.
+#[test]
+fn mid_stall_crash_replays_every_acked_commit() {
+    let path = tmp("mid-stall");
+    let schema = || mainline::workloads::stress::wide_schema(24);
+    let row = |i: i64| mainline::workloads::stress::wide_row(24, i);
+    let inserted;
+    {
+        let db = Database::open(DbConfig {
+            log_path: Some(path.clone()),
+            fsync: false,
+            transform: Some(TransformConfig {
+                threshold_epochs: 1,
+                group_size: 2,
+                workers: 2,
+                backpressure_bytes: mainline::storage::BLOCK_SIZE / 4,
+                stall_timeout: Duration::from_millis(5),
+                ..Default::default()
+            }),
+            gc_interval: Duration::from_millis(3),
+            transform_interval: Duration::from_millis(1),
+            ..Default::default()
+        })
+        .unwrap();
+        let t = db.create_table("t", schema(), vec![], true).unwrap();
+        let mut n = 0i64;
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while db.admission_stats().stall_count == 0 {
+            assert!(Instant::now() < deadline, "no stall after 30 s of bursting");
+            let txn = db.manager().begin();
+            let mut slots = Vec::with_capacity(400);
+            for _ in 0..400 {
+                slots.push(t.insert(&txn, &row(n)));
+                n += 1;
+            }
+            // Gaps keep the cooling blocks' version columns busy, so the
+            // stall regime persists while we "crash".
+            for slot in slots.into_iter().step_by(10) {
+                t.delete(&txn, slot).unwrap();
+                n -= 1; // net count of acked live rows
+            }
+            db.manager().commit(&txn);
+        }
+        // Everything queued so far becomes durable (= acked)...
+        db.log_manager().unwrap().flush();
+        inserted = n;
+        // ...then the process "dies" mid-stall: leak the handle. Drop would
+        // run the orderly shutdown (join workers, drain cooling, close the
+        // WAL) — exactly what a crash does not get to do.
+        std::mem::forget(db);
+    }
+
+    // A fresh process replays the log into a fresh database.
+    let log = std::fs::read(&path).unwrap();
+    let db = Database::open(DbConfig::default()).unwrap();
+    let t = db.create_table("t", schema(), vec![], false).unwrap();
+    let stats = wal::recover(&log, db.manager(), &db.catalog().tables_by_id()).unwrap();
+    assert!(stats.txns_replayed > 0);
+    let txn = db.manager().begin();
+    assert_eq!(
+        t.table().count_visible(&txn),
+        inserted as usize,
+        "every acked commit must replay, stall or no stall"
+    );
+    db.manager().commit(&txn);
     db.shutdown();
     let _ = std::fs::remove_file(&path);
 }
