@@ -76,6 +76,19 @@ fn run_cell(workers: u32, transform: Option<TransformFormat>, seconds: u64, extr
             "pct",
         );
     }
+    // Admission-control outcome per cell, the way fig_backpressure reports
+    // it: how much the §4.4 loop throttled this TPC-C run.
+    let adm = db.admission_stats();
+    emit("fig10c", &format!("{series}_stall_count"), workers, adm.stall_count as f64, "stalls");
+    emit("fig10c", &format!("{series}_stall_ms"), workers, adm.stalled_nanos as f64 / 1e6, "ms");
+    emit("fig10c", &format!("{series}_yield_count"), workers, adm.yield_count as f64, "yields");
+    emit(
+        "fig10c",
+        &format!("{series}_pending_high_water"),
+        workers,
+        adm.pending_high_water as f64 / (1 << 20) as f64,
+        "MB",
+    );
     let _ = aborted;
     tpcc.check_consistency(&db).expect("TPC-C invariants must hold after the run");
     db.shutdown();

@@ -1,0 +1,231 @@
+//! Restart-speed sweep: WAL length × checkpoint on/off (ISSUE 4).
+//!
+//! Each cell runs a logged workload (inserts + updates + deletes, with the
+//! transformation pipeline freezing cold blocks), takes an online
+//! checkpoint mid-stream, appends a tail, "crashes" (no shutdown), and then
+//! measures both restart paths against the *same* log bytes:
+//!
+//! * **cold** — replay the full WAL from genesis into a fresh database;
+//! * **checkpoint** — `Database::open_from_checkpoint`: load frozen-block
+//!   IPC segments directly, replay the hot delta, then only the WAL tail.
+//!
+//! Reported per cell: checkpoint write bandwidth (MB/s), records replayed
+//! by each path, restart wall time, the speedup, and how many WAL segments
+//! a post-checkpoint truncation drops.
+//!
+//! Knobs: `MAINLINE_RECOVERY_ROWS` (comma list of row counts per cell,
+//! default "60000,120000").
+
+use mainline_bench::{emit, time};
+use mainline_common::rng::Xoshiro256;
+use mainline_common::schema::{ColumnDef, Schema};
+use mainline_common::value::{TypeId, Value};
+use mainline_db::{CheckpointConfig, Database, DbConfig, IndexSpec, TableHandle};
+use mainline_transform::TransformConfig;
+use std::time::{Duration, Instant};
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("id", TypeId::BigInt),
+        ColumnDef::nullable("payload", TypeId::Varchar),
+        ColumnDef::new("version", TypeId::Integer),
+    ])
+}
+
+fn insert_rows(db: &Database, t: &TableHandle, ids: std::ops::Range<i64>, rng: &mut Xoshiro256) {
+    for chunk_start in ids.clone().step_by(1000) {
+        let txn = db.manager().begin();
+        for i in chunk_start..(chunk_start + 1000).min(ids.end) {
+            t.insert(
+                &txn,
+                &[
+                    Value::BigInt(i),
+                    if i % 11 == 0 { Value::Null } else { Value::Varchar(rng.alnum_string(8, 40)) },
+                    Value::Integer(0),
+                ],
+            );
+        }
+        db.manager().commit(&txn);
+    }
+}
+
+fn mutate_every(db: &Database, t: &TableHandle, upper: i64, step: usize, rng: &mut Xoshiro256) {
+    let txn = db.manager().begin();
+    for i in (0..upper).step_by(step) {
+        let Some((slot, row)) = t.lookup(&txn, "pk", &[Value::BigInt(i)]).unwrap() else {
+            continue;
+        };
+        if i % 5 == 0 {
+            let _ = t.delete(&txn, slot);
+        } else {
+            let v = row[2].as_i64().unwrap() as i32 + 1;
+            let _ = t.update(
+                &txn,
+                slot,
+                &[(1, Value::Varchar(rng.alnum_string(8, 40))), (2, Value::Integer(v))],
+            );
+        }
+    }
+    db.manager().commit(&txn);
+}
+
+/// Wait until the WAL byte counter stops moving (the transformation
+/// pipeline's compaction transactions are logged too; reading the segment
+/// files while they still rotate would race).
+fn wait_wal_stable(db: &Database) {
+    let log = db.log_manager().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut last = log.bytes_written();
+    loop {
+        std::thread::sleep(Duration::from_millis(150));
+        let now = log.bytes_written();
+        if now == last || Instant::now() > deadline {
+            break;
+        }
+        last = now;
+    }
+    log.flush();
+}
+
+fn run_cell(rows: i64) {
+    let mut wal = std::env::temp_dir();
+    wal.push(format!("mainline-fig-recovery-{}-{rows}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal);
+    for seg in mainline_wal::segments::list_segments(&wal).unwrap() {
+        let _ = std::fs::remove_file(&seg.path);
+    }
+    let ckpt_root = wal.with_extension("ckpt");
+    let _ = std::fs::remove_dir_all(&ckpt_root);
+
+    let mut rng = Xoshiro256::seed_from_u64(rows as u64);
+    let checkpoint_ts;
+    let ckpt_mb_s;
+    {
+        let db = Database::open(DbConfig {
+            log_path: Some(wal.clone()),
+            fsync: false,
+            wal_segment_bytes: Some(256 * 1024),
+            checkpoint: Some(CheckpointConfig {
+                dir: ckpt_root.clone(),
+                wal_growth_bytes: u64::MAX, // manual checkpoints only
+                poll_interval: Duration::from_millis(50),
+                truncate_wal: false, // keep the full log for the cold side
+            }),
+            transform: Some(TransformConfig {
+                threshold_epochs: 1,
+                workers: 2,
+                ..Default::default()
+            }),
+            gc_interval: Duration::from_millis(2),
+            transform_interval: Duration::from_millis(2),
+            ..Default::default()
+        })
+        .unwrap();
+        let t = db.create_table("t", schema(), vec![IndexSpec::new("pk", &[0])], true).unwrap();
+
+        // Body workload, then let the pipeline freeze what went cold: wait
+        // until at most one block (the active one) is still unfrozen, so
+        // the checkpoint's cold/delta split reflects a settled system.
+        insert_rows(&db, &t, 0..rows, &mut rng);
+        mutate_every(&db, &t, rows, 23, &mut rng);
+        if t.table().num_blocks() > 1 {
+            let deadline = Instant::now() + Duration::from_secs(30);
+            while Instant::now() < deadline {
+                let (hot, cooling, freezing, _frozen) = db.pipeline().unwrap().block_state_census();
+                if hot + cooling + freezing <= 1 {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+
+        let stats = db.checkpoint().unwrap();
+        checkpoint_ts = stats.checkpoint_ts;
+        let mb = (stats.cold_bytes + stats.delta_bytes) as f64 / (1 << 20) as f64;
+        ckpt_mb_s = mb / stats.duration_secs.max(1e-9);
+        emit("fig_recovery", "ckpt_write_mb_s", rows, ckpt_mb_s, "MB_per_s");
+        emit("fig_recovery", "ckpt_frozen_blocks", rows, stats.frozen_blocks as f64, "blocks");
+        emit("fig_recovery", "ckpt_delta_rows", rows, stats.delta_rows as f64, "rows");
+
+        // Tail workload after the checkpoint, then "crash": leak the handle
+        // once the log has quiesced (no orderly shutdown/drain).
+        insert_rows(&db, &t, rows..rows + rows / 4, &mut rng);
+        mutate_every(&db, &t, rows + rows / 4, 17, &mut rng);
+        wait_wal_stable(&db);
+        std::mem::forget(db);
+    }
+
+    // --- cold restart: full-WAL replay from genesis ---
+    let ((cold_count, cold_ops), cold_secs) = time(|| {
+        let log = mainline_wal::segments::read_log(&wal).unwrap();
+        let db = Database::open(DbConfig::default()).unwrap();
+        let t = db.create_table("t", schema(), vec![IndexSpec::new("pk", &[0])], false).unwrap();
+        let stats =
+            mainline_wal::recover(&log, db.manager(), &db.catalog().tables_by_id()).unwrap();
+        // A usable restart needs its secondary indexes back too — replay
+        // writes below the index layer, exactly like the checkpoint path,
+        // so both sides pay the same rebuild scan.
+        let txn = db.manager().begin();
+        t.rebuild_indexes(&txn);
+        let n = t.table().count_visible(&txn);
+        db.manager().commit(&txn);
+        db.shutdown();
+        (n, stats.ops_applied)
+    });
+
+    // --- checkpoint restart: image + tail ---
+    let ((ckpt_count, tail_ops, loaded), ckpt_secs) = time(|| {
+        let (db, rs) =
+            Database::open_from_checkpoint(DbConfig::default(), &ckpt_root, Some(&wal)).unwrap();
+        let t = db.catalog().table("t").unwrap();
+        let txn = db.manager().begin();
+        let n = t.table().count_visible(&txn);
+        db.manager().commit(&txn);
+        db.shutdown();
+        (n, rs.tail.ops_applied, rs.cold_rows_loaded + rs.delta_rows_loaded)
+    });
+
+    emit("fig_recovery", "cold_replay_records", rows, cold_ops as f64, "ops");
+    emit("fig_recovery", "ckpt_replay_records", rows, tail_ops as f64, "ops");
+    emit("fig_recovery", "ckpt_loaded_rows", rows, loaded as f64, "rows");
+    emit("fig_recovery", "cold_restart_s", rows, cold_secs, "s");
+    emit("fig_recovery", "ckpt_restart_s", rows, ckpt_secs, "s");
+    emit("fig_recovery", "restart_speedup", rows, cold_secs / ckpt_secs.max(1e-9), "x");
+    if cold_count != ckpt_count {
+        println!(
+            "# WARNING: restart paths disagree at rows={rows}: cold {cold_count} vs ckpt {ckpt_count}"
+        );
+    }
+    if tail_ops >= cold_ops {
+        println!(
+            "# WARNING: checkpoint restart did not replay fewer records at rows={rows} \
+             ({tail_ops} vs {cold_ops})"
+        );
+    }
+
+    // What truncation would reclaim now that the checkpoint covers history.
+    let before = mainline_wal::segments::list_segments(&wal).unwrap().len();
+    let dropped = mainline_wal::segments::truncate_below(&wal, checkpoint_ts).unwrap();
+    emit("fig_recovery", "wal_segments_before", rows, before as f64, "segments");
+    emit("fig_recovery", "wal_segments_dropped", rows, dropped as f64, "segments");
+
+    let _ = std::fs::remove_file(&wal);
+    for seg in mainline_wal::segments::list_segments(&wal).unwrap() {
+        let _ = std::fs::remove_file(&seg.path);
+    }
+    let _ = std::fs::remove_dir_all(&ckpt_root);
+}
+
+fn main() {
+    let rows: Vec<i64> = std::env::var("MAINLINE_RECOVERY_ROWS")
+        .unwrap_or_else(|_| "60000,120000".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    println!("# Restart speed — checkpoint + WAL tail vs full replay (rows {rows:?})");
+    println!("figure,series,rows,value,unit");
+    for &r in &rows {
+        run_cell(r);
+    }
+    println!("# done");
+}

@@ -1,0 +1,61 @@
+//! `mainline-checkpoint` — Arrow-native checkpoints and fast restart.
+//!
+//! The paper's central claim is that cold blocks *are* canonical Arrow, so
+//! exporting them costs zero transformation (§5). This crate applies the
+//! same claim to **durability**: a checkpoint snapshots every frozen block
+//! as the raw Arrow IPC frame the export path would put on the wire —
+//! literally the same bytes, produced by the same
+//! [`frozen_batch`](mainline_export::materialize::frozen_batch) — while hot
+//! blocks are materialized through the ordinary MVCC snapshot-read path into
+//! a *delta segment*. Together with WAL segmentation
+//! ([`mainline_wal::segments`]) this bounds restart time by **live data + WAL
+//! tail** instead of by history:
+//!
+//! ```text
+//!  checkpoint (online, writers keep running)
+//!  ┌──────────────────────────────────────────────────────────┐
+//!  │ pick ts via txn manager (the open txn pins GC pruning,   │
+//!  │ so a block observed Frozen holds only data ≤ ts)         │
+//!  │   frozen block ──► raw Arrow IPC frame   (zero transform)│
+//!  │   hot block    ──► MVCC snapshot ──► delta redo stream   │
+//!  │ manifest written last, atomically renamed                │
+//!  └──────────────────────────────────────────────────────────┘
+//!  restart = load IPC frames straight into frozen blocks
+//!          + replay delta rows
+//!          + replay only the WAL tail (commit ts > checkpoint ts)
+//! ```
+//!
+//! ## Consistency argument
+//!
+//! The checkpoint transaction stays open for the whole block walk. While it
+//! is open, `oldest_active_start() <= checkpoint_ts`, so the GC cannot prune
+//! the version of any transaction that committed *after* the checkpoint
+//! timestamp — and a block cannot freeze until its version column is fully
+//! pruned. Therefore any block observed `Frozen` during the walk contains
+//! exactly the committed data visible at `checkpoint_ts`, and copying its
+//! raw bytes *is* a consistent snapshot. Hot, cooling, and freezing blocks
+//! go through `DataTable::select`, which is MVCC-correct by construction.
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <root>/CURRENT              name of the live checkpoint directory
+//! <root>/ckpt-<ts>/MANIFEST   tables, schemas, indexes, segment list
+//! <root>/ckpt-<ts>/table-<id>.cold    frozen-block IPC frames
+//! <root>/ckpt-<ts>/table-<id>.delta   hot-row redo stream
+//! ```
+//!
+//! The manifest is written last and the directory + `CURRENT` pointer are
+//! published by atomic rename, so a crash mid-checkpoint leaves the previous
+//! checkpoint (or none) intact and the WAL untouched — truncation only runs
+//! after `CURRENT` points at the new checkpoint.
+
+#![warn(missing_docs)]
+
+pub mod manifest;
+pub mod restore;
+pub mod writer;
+
+pub use manifest::{IndexManifest, Manifest, SegmentEntry, SegmentKind, TableManifest};
+pub use restore::{load_into, read_manifest, ColdFrame, LoadStats};
+pub use writer::{write_checkpoint, CheckpointStats, TableCheckpointSpec};

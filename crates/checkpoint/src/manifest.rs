@@ -1,0 +1,357 @@
+//! The checkpoint manifest: a small, line-oriented description of what the
+//! checkpoint contains — tables (with schemas and index definitions, so a
+//! restart can recreate the catalog without outside help), the checkpoint
+//! timestamp, and the segment files.
+//!
+//! Format (tab-separated, names last so they may contain spaces):
+//!
+//! ```text
+//! mainline-checkpoint<TAB>v1
+//! ts<TAB><u64>
+//! table<TAB><id><TAB><0|1 transform><TAB><name>
+//! col<TAB><table id><TAB><type><TAB><0|1 nullable><TAB><name>
+//! index<TAB><table id><TAB><c0,c1,...><TAB><name>
+//! segment<TAB><table id><TAB><cold|delta><TAB><count><TAB><file>
+//! end
+//! ```
+//!
+//! The trailing `end` line doubles as a torn-write detector: the writer
+//! emits it last and the parser rejects a manifest without it.
+
+use mainline_common::schema::{ColumnDef, Schema};
+use mainline_common::value::TypeId;
+use mainline_common::{Error, Result, Timestamp};
+use std::path::Path;
+
+/// One secondary-index definition, recorded so restart can rebuild it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexManifest {
+    /// Index name (unique per table).
+    pub name: String,
+    /// User-column positions forming the composite key, in order.
+    pub key_cols: Vec<usize>,
+}
+
+/// One table in the checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableManifest {
+    /// Catalog id in the checkpointed process (restart recreates tables so
+    /// ids — which the WAL references — line up).
+    pub id: u32,
+    /// Table name.
+    pub name: String,
+    /// Whether the table was registered with the transformation pipeline.
+    pub transform: bool,
+    /// Column definitions, in schema order.
+    pub columns: Vec<ColumnDef>,
+    /// Secondary indexes.
+    pub indexes: Vec<IndexManifest>,
+}
+
+impl TableManifest {
+    /// The table's logical schema.
+    pub fn schema(&self) -> Schema {
+        Schema::new(self.columns.clone())
+    }
+}
+
+/// Which kind of payload a segment file holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Frozen-block Arrow IPC frames (zero-transformation path).
+    Cold,
+    /// Hot-row redo stream (MVCC snapshot materialization).
+    Delta,
+}
+
+/// One segment file of the checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// Owning table id.
+    pub table_id: u32,
+    /// Payload kind.
+    pub kind: SegmentKind,
+    /// Frozen blocks (cold) or materialized rows (delta) in the file.
+    pub count: u64,
+    /// File name relative to the checkpoint directory.
+    pub file: String,
+}
+
+/// Everything a restart needs to know about a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The checkpoint timestamp: every row image in the checkpoint is the
+    /// version visible at this timestamp, and WAL replay resumes strictly
+    /// after it.
+    pub checkpoint_ts: Timestamp,
+    /// Checkpointed tables.
+    pub tables: Vec<TableManifest>,
+    /// Segment files.
+    pub segments: Vec<SegmentEntry>,
+}
+
+fn type_name(ty: TypeId) -> &'static str {
+    match ty {
+        TypeId::TinyInt => "tinyint",
+        TypeId::SmallInt => "smallint",
+        TypeId::Integer => "integer",
+        TypeId::BigInt => "bigint",
+        TypeId::Double => "double",
+        TypeId::Varchar => "varchar",
+    }
+}
+
+fn type_from_name(s: &str) -> Result<TypeId> {
+    Ok(match s {
+        "tinyint" => TypeId::TinyInt,
+        "smallint" => TypeId::SmallInt,
+        "integer" => TypeId::Integer,
+        "bigint" => TypeId::BigInt,
+        "double" => TypeId::Double,
+        "varchar" => TypeId::Varchar,
+        other => return Err(Error::Corrupt(format!("unknown manifest type {other}"))),
+    })
+}
+
+fn check_name(name: &str) -> Result<()> {
+    if name.contains('\t') || name.contains('\n') {
+        return Err(Error::Layout(format!("name {name:?} cannot be checkpointed")));
+    }
+    Ok(())
+}
+
+impl Manifest {
+    /// Serialize to the line format above.
+    pub fn encode(&self) -> Result<String> {
+        let mut out = String::new();
+        out.push_str("mainline-checkpoint\tv1\n");
+        out.push_str(&format!("ts\t{}\n", self.checkpoint_ts.0));
+        for t in &self.tables {
+            check_name(&t.name)?;
+            out.push_str(&format!("table\t{}\t{}\t{}\n", t.id, t.transform as u8, t.name));
+            for c in &t.columns {
+                check_name(&c.name)?;
+                out.push_str(&format!(
+                    "col\t{}\t{}\t{}\t{}\n",
+                    t.id,
+                    type_name(c.ty),
+                    c.nullable as u8,
+                    c.name
+                ));
+            }
+            for ix in &t.indexes {
+                check_name(&ix.name)?;
+                let cols: Vec<String> = ix.key_cols.iter().map(|c| c.to_string()).collect();
+                out.push_str(&format!("index\t{}\t{}\t{}\n", t.id, cols.join(","), ix.name));
+            }
+        }
+        for s in &self.segments {
+            check_name(&s.file)?;
+            let kind = match s.kind {
+                SegmentKind::Cold => "cold",
+                SegmentKind::Delta => "delta",
+            };
+            out.push_str(&format!("segment\t{}\t{}\t{}\t{}\n", s.table_id, kind, s.count, s.file));
+        }
+        out.push_str("end\n");
+        Ok(out)
+    }
+
+    /// Parse the line format. Rejects manifests without the trailing `end`
+    /// marker (torn write) or without a `ts` line — a defaulted checkpoint
+    /// timestamp of zero would make the tail replay re-apply every
+    /// pre-checkpoint transaction on top of the loaded image.
+    pub fn parse(text: &str) -> Result<Manifest> {
+        let corrupt = |msg: &str| Error::Corrupt(format!("manifest: {msg}"));
+        let mut lines = text.lines();
+        if lines.next() != Some("mainline-checkpoint\tv1") {
+            return Err(corrupt("bad header"));
+        }
+        let mut manifest =
+            Manifest { checkpoint_ts: Timestamp::ZERO, tables: Vec::new(), segments: Vec::new() };
+        let mut ended = false;
+        for line in lines {
+            let mut f = line.split('\t');
+            match f.next() {
+                Some("ts") => {
+                    let v = f.next().ok_or_else(|| corrupt("ts"))?;
+                    manifest.checkpoint_ts = Timestamp(v.parse().map_err(|_| corrupt("ts value"))?);
+                }
+                Some("table") => {
+                    let id = parse_field(f.next(), "table id")?;
+                    let transform: u8 = parse_field(f.next(), "table transform")?;
+                    let name = f.next().ok_or_else(|| corrupt("table name"))?;
+                    manifest.tables.push(TableManifest {
+                        id,
+                        name: name.to_string(),
+                        transform: transform != 0,
+                        columns: Vec::new(),
+                        indexes: Vec::new(),
+                    });
+                }
+                Some("col") => {
+                    let id: u32 = parse_field(f.next(), "col table")?;
+                    let ty = type_from_name(f.next().ok_or_else(|| corrupt("col type"))?)?;
+                    let nullable: u8 = parse_field(f.next(), "col nullable")?;
+                    let name = f.next().ok_or_else(|| corrupt("col name"))?;
+                    let t = table_mut(&mut manifest, id)?;
+                    t.columns.push(ColumnDef {
+                        name: name.to_string(),
+                        ty,
+                        nullable: nullable != 0,
+                    });
+                }
+                Some("index") => {
+                    let id: u32 = parse_field(f.next(), "index table")?;
+                    let cols = f.next().ok_or_else(|| corrupt("index cols"))?;
+                    let name = f.next().ok_or_else(|| corrupt("index name"))?;
+                    let key_cols = cols
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(|s| s.parse().map_err(|_| corrupt("index col")))
+                        .collect::<Result<Vec<usize>>>()?;
+                    let t = table_mut(&mut manifest, id)?;
+                    t.indexes.push(IndexManifest { name: name.to_string(), key_cols });
+                }
+                Some("segment") => {
+                    let table_id: u32 = parse_field(f.next(), "segment table")?;
+                    let kind = match f.next() {
+                        Some("cold") => SegmentKind::Cold,
+                        Some("delta") => SegmentKind::Delta,
+                        _ => return Err(corrupt("segment kind")),
+                    };
+                    let count: u64 = parse_field(f.next(), "segment count")?;
+                    let file = f.next().ok_or_else(|| corrupt("segment file"))?;
+                    manifest.segments.push(SegmentEntry {
+                        table_id,
+                        kind,
+                        count,
+                        file: file.to_string(),
+                    });
+                }
+                Some("end") => {
+                    ended = true;
+                    break;
+                }
+                _ => return Err(corrupt("unknown line")),
+            }
+        }
+        if !ended {
+            return Err(corrupt("missing end marker (torn write?)"));
+        }
+        if manifest.checkpoint_ts == Timestamp::ZERO {
+            return Err(corrupt("missing checkpoint timestamp"));
+        }
+        Ok(manifest)
+    }
+
+    /// Write to `path` via a temp file + atomic rename, syncing the data
+    /// first so the rename never publishes a torn manifest.
+    pub fn write_to(&self, path: &Path) -> Result<()> {
+        let tmp = path.with_extension("tmp");
+        let text = self.encode()?;
+        std::fs::write(&tmp, text.as_bytes())?;
+        let f = std::fs::File::open(&tmp)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and parse the manifest at `path`.
+    pub fn read_from(path: &Path) -> Result<Manifest> {
+        let text = std::fs::read_to_string(path)?;
+        Manifest::parse(&text)
+    }
+}
+
+fn parse_field<T: std::str::FromStr>(field: Option<&str>, what: &str) -> Result<T> {
+    field
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::Corrupt(format!("manifest: bad {what}")))
+}
+
+fn table_mut(m: &mut Manifest, id: u32) -> Result<&mut TableManifest> {
+    m.tables
+        .iter_mut()
+        .find(|t| t.id == id)
+        .ok_or_else(|| Error::Corrupt(format!("manifest: col/index before table {id}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            checkpoint_ts: Timestamp(4242),
+            tables: vec![TableManifest {
+                id: 1,
+                name: "orders with spaces".into(),
+                transform: true,
+                columns: vec![
+                    ColumnDef::new("id", TypeId::BigInt),
+                    ColumnDef::nullable("note", TypeId::Varchar),
+                ],
+                indexes: vec![IndexManifest { name: "pk".into(), key_cols: vec![0] }],
+            }],
+            segments: vec![
+                SegmentEntry {
+                    table_id: 1,
+                    kind: SegmentKind::Cold,
+                    count: 3,
+                    file: "table-1.cold".into(),
+                },
+                SegmentEntry {
+                    table_id: 1,
+                    kind: SegmentKind::Delta,
+                    count: 120,
+                    file: "table-1.delta".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let parsed = Manifest::parse(&m.encode().unwrap()).unwrap();
+        assert_eq!(parsed, m);
+    }
+
+    #[test]
+    fn torn_manifest_rejected() {
+        let text = sample().encode().unwrap();
+        // Cut before the end marker: must be rejected.
+        let cut = text.rfind("end").unwrap();
+        assert!(Manifest::parse(&text[..cut]).is_err());
+        assert!(Manifest::parse("garbage").is_err());
+    }
+
+    #[test]
+    fn missing_ts_line_rejected() {
+        // A zero-defaulted checkpoint timestamp would silently double-apply
+        // history at restart, so its absence must be a parse error.
+        let text = sample().encode().unwrap();
+        let without_ts: String =
+            text.lines().filter(|l| !l.starts_with("ts\t")).map(|l| format!("{l}\n")).collect();
+        assert!(Manifest::parse(&without_ts).is_err());
+    }
+
+    #[test]
+    fn names_with_tabs_rejected_at_write() {
+        let mut m = sample();
+        m.tables[0].name = "bad\tname".into();
+        assert!(m.encode().is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic_renamed() {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mainline-manifest-{}", std::process::id()));
+        let m = sample();
+        m.write_to(&p).unwrap();
+        assert!(!p.with_extension("tmp").exists());
+        assert_eq!(Manifest::read_from(&p).unwrap(), m);
+        let _ = std::fs::remove_file(&p);
+    }
+}

@@ -1,0 +1,329 @@
+//! Checkpoint loading: the fast half of a two-phase restart.
+//!
+//! Cold segments are decoded and loaded **directly into frozen blocks** — a
+//! column-at-a-time reconstruction (one memcpy per fixed column, one
+//! gathered buffer per varlen column, per-slot 16-byte entry rewrites) with
+//! no per-row MVCC inserts, no version chains, and no WAL records. This is
+//! the restart-side face of the zero-transformation claim: cold data goes
+//! disk → memory at buffer granularity.
+//!
+//! Delta segments are WAL-format redo streams and replay through the
+//! ordinary recovery machinery ([`mainline_wal::recover_from`]).
+//!
+//! Both paths feed a slot map (`(table_id, old raw slot)` → new slot) so the
+//! subsequent WAL-tail replay can resolve updates and deletes against rows
+//! that came out of the checkpoint image.
+
+use crate::manifest::{Manifest, SegmentKind};
+use crate::writer::{COLD_MAGIC, DELTA_MAGIC};
+use mainline_arrowlite::array::ColumnArray;
+use mainline_arrowlite::batch::RecordBatch;
+use mainline_arrowlite::ipc;
+use mainline_common::{Error, Result, Timestamp};
+use mainline_storage::arrow_side::GatheredColumn;
+use mainline_storage::block_state::BlockState;
+use mainline_storage::raw_block::Block;
+use mainline_storage::{access, TupleSlot, VarlenEntry};
+use mainline_txn::{DataTable, TransactionManager};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// What a checkpoint load did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Frozen blocks reconstructed without row materialization.
+    pub frozen_blocks: usize,
+    /// Live rows inside those blocks (allocated slots).
+    pub cold_rows: u64,
+    /// Rows replayed from delta segments (per-row MVCC inserts).
+    pub delta_rows: u64,
+}
+
+/// One parsed frame of a cold segment. Exposed so tests can verify the
+/// payload is byte-identical to the Flight export of the same block.
+#[derive(Debug, Clone)]
+pub struct ColdFrame {
+    /// Owning table.
+    pub table_id: u32,
+    /// Block base address in the checkpointed process (slot-remap key).
+    pub old_base: u64,
+    /// Insert head: number of slot-indexed rows in the payload.
+    pub n: u32,
+    /// Allocation bitmap over those `n` slots (bit set = live row).
+    pub alloc: Vec<u8>,
+    /// The raw Arrow IPC frame — exactly what Flight export emits.
+    pub payload: Vec<u8>,
+}
+
+impl ColdFrame {
+    /// Whether slot `i` held a live row.
+    pub fn is_allocated(&self, i: u32) -> bool {
+        self.alloc.get(i as usize / 8).is_some_and(|b| b & (1 << (i % 8)) != 0)
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        // `pos <= len` is an invariant, so this subtraction-form bounds
+        // check cannot overflow even when a corrupt length field reads as
+        // a near-`u64::MAX` value.
+        if n > self.bytes.len() - self.pos {
+            return Err(Error::Corrupt("truncated checkpoint segment".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// Parse a cold segment file into its frames.
+pub fn read_cold_frames(path: &Path) -> Result<Vec<ColdFrame>> {
+    let bytes = std::fs::read(path)?;
+    let mut c = Cursor { bytes: &bytes, pos: 0 };
+    if c.take(8)? != COLD_MAGIC {
+        return Err(Error::Corrupt("bad cold-segment magic".into()));
+    }
+    let table_id = c.u32()?;
+    let mut frames = Vec::new();
+    while !c.done() {
+        let old_base = c.u64()?;
+        let n = c.u32()?;
+        let bitmap_len = c.u32()? as usize;
+        let alloc = c.take(bitmap_len)?.to_vec();
+        let payload_len = c.u64()? as usize;
+        let payload = c.take(payload_len)?.to_vec();
+        frames.push(ColdFrame { table_id, old_base, n, alloc, payload });
+    }
+    Ok(frames)
+}
+
+/// Resolve the live checkpoint under `root` via its `CURRENT` pointer and
+/// read the manifest. Returns the checkpoint directory alongside it.
+pub fn read_manifest(root: &Path) -> Result<(PathBuf, Manifest)> {
+    let current = std::fs::read_to_string(root.join("CURRENT"))
+        .map_err(|_| Error::NotFound(format!("no checkpoint CURRENT under {}", root.display())))?;
+    let dir = root.join(current.trim());
+    let manifest = Manifest::read_from(&dir.join("MANIFEST"))?;
+    Ok((dir, manifest))
+}
+
+/// Load a checkpoint into freshly created tables (keyed by the manifest's
+/// table ids). `slot_map` is filled with the old-slot → new-slot mapping of
+/// every restored row; pass it on to [`mainline_wal::recover_from`] for the
+/// tail replay.
+pub fn load_into(
+    dir: &Path,
+    manifest: &Manifest,
+    manager: &TransactionManager,
+    tables: &HashMap<u32, Arc<DataTable>>,
+    slot_map: &mut HashMap<(u32, u64), TupleSlot>,
+) -> Result<LoadStats> {
+    let mut stats = LoadStats::default();
+    for seg in &manifest.segments {
+        let table = tables
+            .get(&seg.table_id)
+            .ok_or_else(|| Error::NotFound(format!("checkpoint table {}", seg.table_id)))?;
+        let path = dir.join(&seg.file);
+        match seg.kind {
+            SegmentKind::Cold => {
+                for frame in read_cold_frames(&path)? {
+                    let batch = ipc::decode_batch(&frame.payload)?;
+                    let live = rebuild_frozen_block(table, &frame, &batch, slot_map)?;
+                    stats.frozen_blocks += 1;
+                    stats.cold_rows += live;
+                }
+            }
+            SegmentKind::Delta => {
+                let bytes = std::fs::read(&path)?;
+                if bytes.len() < 12 || &bytes[..8] != DELTA_MAGIC {
+                    return Err(Error::Corrupt("bad delta-segment magic".into()));
+                }
+                let rec = mainline_wal::recover_from(
+                    &bytes[12..],
+                    Timestamp::ZERO,
+                    manager,
+                    tables,
+                    slot_map,
+                )?;
+                stats.delta_rows += rec.ops_applied as u64;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// Reconstruct one frozen block from its IPC payload + envelope and append
+/// it to `table`'s block list. Returns the number of live rows.
+///
+/// The inverse of the gather pass: fixed columns are one memcpy each, varlen
+/// columns become a canonical side buffer plus per-slot non-owning entries —
+/// exactly the layout [`mainline_transform`]'s freeze would have produced,
+/// so the block participates in scans, exports, re-heating, and future
+/// checkpoints like any other frozen block.
+fn rebuild_frozen_block(
+    table: &Arc<DataTable>,
+    frame: &ColdFrame,
+    batch: &RecordBatch,
+    slot_map: &mut HashMap<(u32, u64), TupleSlot>,
+) -> Result<u64> {
+    let layout = Arc::clone(table.layout());
+    let n = frame.n;
+    if n > layout.num_slots() {
+        return Err(Error::Corrupt(format!("cold frame claims {n} slots", n = n)));
+    }
+    if batch.num_rows() != n as usize || batch.num_columns() != layout.num_user_cols() {
+        return Err(Error::Corrupt(format!(
+            "cold frame shape {}x{} does not match table {} ({} slots, {} cols)",
+            batch.num_rows(),
+            batch.num_columns(),
+            table.id(),
+            n,
+            layout.num_user_cols()
+        )));
+    }
+    let block = Block::new(Arc::clone(&layout));
+    let ptr = block.as_ptr();
+    let total_slots = layout.num_slots() as usize;
+
+    // Allocation bitmap + per-column null bitmaps first: entry/value writes
+    // below assume the slot population is settled.
+    let mut live = 0u64;
+    for slot in 0..n {
+        if frame.is_allocated(slot) {
+            unsafe { access::set_allocated(ptr, &layout, slot) };
+            live += 1;
+        }
+    }
+    for (u, &col) in table.all_cols().iter().enumerate() {
+        let array = batch.column(u);
+        for slot in 0..n {
+            if frame.is_allocated(slot) {
+                unsafe {
+                    access::set_null(ptr, &layout, slot, col, !array.is_valid(slot as usize))
+                };
+            }
+        }
+        match array {
+            ColumnArray::Primitive(a) => {
+                let width = layout.attr_size(col) as usize;
+                let values = a.values().as_slice();
+                if values.len() != n as usize * width {
+                    return Err(Error::Corrupt(format!(
+                        "primitive column {col}: {} bytes for {n} slots of width {width}",
+                        values.len()
+                    )));
+                }
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        values.as_ptr(),
+                        ptr.add(layout.column_offset(col) as usize),
+                        values.len(),
+                    );
+                }
+            }
+            ColumnArray::VarBinary(a) => {
+                let short = a.offsets().typed::<i32>();
+                if short.len() != n as usize + 1 {
+                    return Err(Error::Corrupt(format!(
+                        "varbinary column {col}: {} offsets for {n} slots",
+                        short.len()
+                    )));
+                }
+                // Extend to the full-slot shape the gather pass produces:
+                // never-used tail slots get zero-length gaps.
+                let mut offsets = short.to_vec();
+                offsets.resize(total_slots + 1, *short.last().unwrap_or(&0));
+                let values: Box<[u8]> = a.values().as_slice().into();
+                let base = values.as_ptr();
+                let mut valid = 0usize;
+                for slot in 0..n {
+                    let ok = frame.is_allocated(slot) && array.is_valid(slot as usize);
+                    unsafe {
+                        let entry = if ok {
+                            valid += 1;
+                            let start = offsets[slot as usize] as usize;
+                            let len =
+                                (offsets[slot as usize + 1] - offsets[slot as usize]) as usize;
+                            VarlenEntry::from_gathered(base.add(start), len)
+                        } else {
+                            VarlenEntry::empty()
+                        };
+                        access::write_varlen(ptr, &layout, slot, col, entry);
+                    }
+                }
+                let gathered =
+                    GatheredColumn::Gathered { offsets, values, null_count: total_slots - valid };
+                let _ = block.arrow.install(col, Arc::new(gathered));
+            }
+            ColumnArray::Dictionary(a) => {
+                let short = a.codes().typed::<i32>();
+                if short.len() != n as usize {
+                    return Err(Error::Corrupt(format!(
+                        "dictionary column {col}: {} codes for {n} slots",
+                        short.len()
+                    )));
+                }
+                let mut codes = short.to_vec();
+                codes.resize(total_slots, -1);
+                let dict_offsets = a.dictionary().offsets().typed::<i32>().to_vec();
+                let dict_values: Box<[u8]> = a.dictionary().values().as_slice().into();
+                let base = dict_values.as_ptr();
+                let mut valid = 0usize;
+                for slot in 0..n {
+                    let code = codes[slot as usize];
+                    let ok = frame.is_allocated(slot) && array.is_valid(slot as usize) && code >= 0;
+                    unsafe {
+                        let entry = if ok {
+                            valid += 1;
+                            let start = dict_offsets[code as usize] as usize;
+                            let len = (dict_offsets[code as usize + 1]
+                                - dict_offsets[code as usize])
+                                as usize;
+                            VarlenEntry::from_gathered(base.add(start), len)
+                        } else {
+                            VarlenEntry::empty()
+                        };
+                        access::write_varlen(ptr, &layout, slot, col, entry);
+                    }
+                }
+                let compressed = GatheredColumn::Dictionary {
+                    codes,
+                    dict_offsets,
+                    dict_values,
+                    null_count: total_slots - valid,
+                };
+                let _ = block.arrow.install(col, Arc::new(compressed));
+            }
+        }
+    }
+
+    let h = block.header();
+    h.set_insert_head(n);
+    h.set_state_raw(BlockState::Frozen as u32);
+
+    for slot in 0..n {
+        if frame.is_allocated(slot) {
+            slot_map.insert(
+                (frame.table_id, frame.old_base | slot as u64),
+                TupleSlot::new(block.as_ptr(), slot),
+            );
+        }
+    }
+    table.blocks_handle().write().push(block);
+    Ok(live)
+}

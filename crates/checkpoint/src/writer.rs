@@ -1,0 +1,339 @@
+//! The online checkpoint writer.
+//!
+//! One checkpoint = one MVCC transaction held open across a walk of every
+//! table's block list (see the crate docs for why the open transaction makes
+//! the frozen-block fast path consistent). Writers keep running throughout —
+//! the walk takes no locks beyond each frozen block's Fig. 7 reader counter.
+//!
+//! Segment encodings:
+//!
+//! * `table-<id>.cold` — `MLCKCLD1` + `u32 table_id`, then one frame per
+//!   frozen block: `[u64 old_base][u32 n][u32 bitmap_len][alloc bitmap]`
+//!   `[u64 payload_len][payload]`, where `payload` is **exactly** the Arrow
+//!   IPC frame Flight export would emit for the block
+//!   ([`ipc::encode_batch`] of
+//!   [`mainline_export::materialize::frozen_batch`]) — the
+//!   zero-transformation claim, byte for byte. The envelope carries what the
+//!   IPC payload cannot: the block's old base address (for WAL slot
+//!   remapping) and the allocation bitmap (Arrow validity conflates a gap
+//!   with an all-NULL row).
+//! * `table-<id>.delta` — `MLCKDLT1` + `u32 table_id`, then a WAL-format
+//!   redo stream: one insert frame per visible hot row (slot = the row's
+//!   current physical slot, for the same remapping) and a single commit
+//!   marker at the checkpoint timestamp. Restart replays it with the
+//!   ordinary recovery machinery.
+
+use crate::manifest::{IndexManifest, Manifest, SegmentEntry, SegmentKind, TableManifest};
+use mainline_arrowlite::ipc;
+use mainline_common::value::{TypeId, Value};
+use mainline_common::{Result, Timestamp};
+use mainline_export::materialize::frozen_batch;
+use mainline_storage::block_state::BlockStateMachine;
+use mainline_storage::layout::NUM_RESERVED_COLS;
+use mainline_storage::{access, TupleSlot};
+use mainline_txn::{DataTable, RedoCol, RedoOp, RedoRecord, TransactionManager};
+use mainline_wal::record::{encode_commit, encode_redo};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Magic prefixes of the two segment encodings.
+pub(crate) const COLD_MAGIC: &[u8; 8] = b"MLCKCLD1";
+pub(crate) const DELTA_MAGIC: &[u8; 8] = b"MLCKDLT1";
+
+/// Everything the writer needs to know about one table. `mainline-db` builds
+/// these from its catalog; tests may hand-construct them.
+pub struct TableCheckpointSpec {
+    /// Table name (recorded for restart's catalog rebuild).
+    pub name: String,
+    /// Whether the table is registered with the transformation pipeline.
+    pub transform: bool,
+    /// Secondary-index definitions: `(name, user-column positions)`.
+    pub indexes: Vec<(String, Vec<usize>)>,
+    /// The data table itself.
+    pub table: Arc<DataTable>,
+}
+
+/// What a checkpoint wrote.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointStats {
+    /// The checkpoint timestamp (WAL replay resumes strictly after it).
+    pub checkpoint_ts: Timestamp,
+    /// Frozen blocks captured via the zero-transformation IPC path.
+    pub frozen_blocks: usize,
+    /// Bytes of raw Arrow IPC payload written (excluding envelopes).
+    pub cold_bytes: u64,
+    /// Hot rows materialized through the MVCC snapshot path.
+    pub delta_rows: u64,
+    /// Bytes of delta redo stream written.
+    pub delta_bytes: u64,
+    /// Tables captured.
+    pub tables: usize,
+    /// Wall-clock seconds the checkpoint took.
+    pub duration_secs: f64,
+    /// The published checkpoint directory.
+    pub dir: PathBuf,
+}
+
+fn value_to_redo_bytes(ty: TypeId, v: &Value) -> Option<Vec<u8>> {
+    match (ty, v) {
+        (_, Value::Null) => None,
+        (TypeId::TinyInt, Value::TinyInt(x)) => Some(x.to_le_bytes().to_vec()),
+        (TypeId::SmallInt, Value::SmallInt(x)) => Some(x.to_le_bytes().to_vec()),
+        (TypeId::Integer, Value::Integer(x)) => Some(x.to_le_bytes().to_vec()),
+        (TypeId::BigInt, Value::BigInt(x)) => Some(x.to_le_bytes().to_vec()),
+        (TypeId::Double, Value::Double(x)) => Some(x.to_le_bytes().to_vec()),
+        (TypeId::Varchar, Value::Varchar(b)) => Some(b.clone()),
+        (ty, v) => unreachable!("select_values returned {v:?} for {ty:?}"),
+    }
+}
+
+/// Name of the checkpoint subdirectory for a timestamp (zero-padded so
+/// lexical order is timestamp order).
+fn ckpt_dir_name(ts: Timestamp) -> String {
+    format!("ckpt-{:020}", ts.0)
+}
+
+/// Write a consistent online checkpoint of `specs` under `root` and publish
+/// it via the `CURRENT` pointer. Older checkpoints under `root` are pruned
+/// after the new one is live. See the crate docs for the protocol; callers
+/// that also want WAL truncation do it *after* this returns, using
+/// [`CheckpointStats::checkpoint_ts`].
+pub fn write_checkpoint(
+    manager: &TransactionManager,
+    specs: &[TableCheckpointSpec],
+    root: &Path,
+) -> Result<CheckpointStats> {
+    let t0 = std::time::Instant::now();
+    std::fs::create_dir_all(root)?;
+
+    // The open transaction is the consistency anchor: hold it across the
+    // entire walk (see the crate-level argument).
+    let txn = manager.begin();
+    let checkpoint_ts = txn.start_ts();
+
+    let dir_name = ckpt_dir_name(checkpoint_ts);
+    let tmp_dir = root.join(format!("{dir_name}.tmp"));
+    let final_dir = root.join(&dir_name);
+    let _ = std::fs::remove_dir_all(&tmp_dir);
+    std::fs::create_dir_all(&tmp_dir)?;
+
+    let mut stats = CheckpointStats {
+        checkpoint_ts,
+        frozen_blocks: 0,
+        cold_bytes: 0,
+        delta_rows: 0,
+        delta_bytes: 0,
+        tables: specs.len(),
+        duration_secs: 0.0,
+        dir: final_dir.clone(),
+    };
+    let mut manifest = Manifest { checkpoint_ts, tables: Vec::new(), segments: Vec::new() };
+
+    for spec in specs {
+        let table = &spec.table;
+        let id = table.id();
+        manifest.tables.push(TableManifest {
+            id,
+            name: spec.name.clone(),
+            transform: spec.transform,
+            columns: table.schema().columns().to_vec(),
+            indexes: spec
+                .indexes
+                .iter()
+                .map(|(name, key_cols)| IndexManifest {
+                    name: name.clone(),
+                    key_cols: key_cols.clone(),
+                })
+                .collect(),
+        });
+
+        let layout = table.layout();
+        let types = table.types();
+        let mut cold = SegmentWriter::new(&tmp_dir, format!("table-{id}.cold"), COLD_MAGIC, id)?;
+        let mut delta = SegmentWriter::new(&tmp_dir, format!("table-{id}.delta"), DELTA_MAGIC, id)?;
+        let mut scratch = Vec::new();
+
+        for block in table.blocks() {
+            let h = block.header();
+            if BlockStateMachine::reader_acquire(h) {
+                // Zero-transformation path: the payload is the exact IPC
+                // frame export would produce; copy raw buffers, no per-row
+                // work. The open txn guarantees the content is the
+                // checkpoint-timestamp snapshot (crate docs).
+                let n = h.insert_head().min(layout.num_slots());
+                let payload = ipc::encode_batch(&unsafe { frozen_batch(table, &block) });
+                let mut bitmap = vec![0u8; (n as usize).div_ceil(8)];
+                for slot in 0..n {
+                    if unsafe { access::is_allocated(block.as_ptr(), layout, slot) } {
+                        bitmap[slot as usize / 8] |= 1 << (slot % 8);
+                    }
+                }
+                BlockStateMachine::reader_release(h);
+                cold.frame_header(block.as_ptr() as u64, n, &bitmap, payload.len() as u64)?;
+                cold.write(&payload)?;
+                cold.count += 1;
+                stats.frozen_blocks += 1;
+                stats.cold_bytes += payload.len() as u64;
+            } else {
+                // Hot / cooling / freezing: materialize the checkpoint
+                // snapshot of each visible row through the MVCC read path
+                // into the delta redo stream.
+                let upper = h.insert_head().min(layout.num_slots());
+                for idx in 0..upper {
+                    let slot = TupleSlot::new(block.as_ptr(), idx);
+                    let Some(values) = table.select_values(&txn, slot) else { continue };
+                    let cols = values
+                        .iter()
+                        .enumerate()
+                        .map(|(u, v)| RedoCol {
+                            col: (u + NUM_RESERVED_COLS) as u16,
+                            value: value_to_redo_bytes(types[u], v),
+                        })
+                        .collect();
+                    let record = RedoRecord { table_id: id, slot, op: RedoOp::Insert(cols) };
+                    scratch.clear();
+                    encode_redo(&mut scratch, checkpoint_ts, &record);
+                    delta.write(&scratch)?;
+                    delta.count += 1;
+                }
+            }
+        }
+        if delta.count > 0 {
+            scratch.clear();
+            encode_commit(&mut scratch, checkpoint_ts);
+            delta.write(&scratch)?;
+        }
+        stats.delta_rows += delta.count;
+        stats.delta_bytes += delta.bytes;
+        if let Some(entry) = cold.finish(SegmentKind::Cold)? {
+            manifest.segments.push(entry);
+        }
+        if let Some(entry) = delta.finish(SegmentKind::Delta)? {
+            manifest.segments.push(entry);
+        }
+    }
+
+    // The walk is complete: every byte that needed the consistency anchor
+    // has been read. Release the transaction before the (potentially slow)
+    // fsync/publish dance so GC pruning resumes as early as possible.
+    manager.commit(&txn);
+
+    manifest.write_to(&tmp_dir.join("MANIFEST"))?;
+    // The segment/MANIFEST *contents* are synced above; this makes their
+    // directory entries durable before the directory is published.
+    fsync_dir(&tmp_dir);
+    let _ = std::fs::remove_dir_all(&final_dir);
+    std::fs::rename(&tmp_dir, &final_dir)?;
+    fsync_dir(root);
+
+    // Publish: CURRENT names the live checkpoint (atomic rename), then prune
+    // superseded checkpoints. The directory fsyncs make the renames durable
+    // *before* anything is deleted — pruning (or the caller's WAL
+    // truncation) ahead of the rename reaching the journal could leave a
+    // crash with neither the old checkpoint nor the new one.
+    let current_tmp = root.join("CURRENT.tmp");
+    std::fs::write(&current_tmp, format!("{dir_name}\n"))?;
+    std::fs::File::open(&current_tmp)?.sync_all()?;
+    std::fs::rename(&current_tmp, root.join("CURRENT"))?;
+    fsync_dir(root);
+    prune_old(root, &dir_name);
+
+    stats.duration_secs = t0.elapsed().as_secs_f64();
+    Ok(stats)
+}
+
+/// Fsync a directory so the renames inside it are durable. Best-effort:
+/// opening a directory for sync is POSIX behavior; on platforms where it
+/// fails the renames are still atomic, just not crash-ordered.
+fn fsync_dir(dir: &Path) {
+    if let Ok(f) = std::fs::File::open(dir) {
+        let _ = f.sync_all();
+    }
+}
+
+/// Best-effort removal of superseded checkpoint directories and stale tmp
+/// dirs. Failures are ignored: an orphan directory wastes disk, nothing
+/// more, and the next checkpoint retries.
+fn prune_old(root: &Path, keep: &str) {
+    let Ok(entries) = std::fs::read_dir(root) else { return };
+    for e in entries.flatten() {
+        let name = e.file_name().to_string_lossy().into_owned();
+        if name.starts_with("ckpt-") && name != keep {
+            let _ = std::fs::remove_dir_all(e.path());
+        }
+    }
+}
+
+/// Lazily-created segment file: nothing touches disk until the first write,
+/// so tables with no frozen blocks (or no hot rows) produce no file and no
+/// manifest entry.
+struct SegmentWriter {
+    dir: PathBuf,
+    file_name: String,
+    magic: &'static [u8; 8],
+    table_id: u32,
+    out: Option<std::io::BufWriter<std::fs::File>>,
+    count: u64,
+    bytes: u64,
+}
+
+impl SegmentWriter {
+    fn new(dir: &Path, file_name: String, magic: &'static [u8; 8], table_id: u32) -> Result<Self> {
+        Ok(SegmentWriter {
+            dir: dir.to_path_buf(),
+            file_name,
+            magic,
+            table_id,
+            out: None,
+            count: 0,
+            bytes: 0,
+        })
+    }
+
+    fn out(&mut self) -> Result<&mut std::io::BufWriter<std::fs::File>> {
+        if self.out.is_none() {
+            let f = std::fs::File::create(self.dir.join(&self.file_name))?;
+            let mut w = std::io::BufWriter::new(f);
+            w.write_all(self.magic)?;
+            w.write_all(&self.table_id.to_le_bytes())?;
+            self.out = Some(w);
+        }
+        Ok(self.out.as_mut().unwrap())
+    }
+
+    fn write(&mut self, bytes: &[u8]) -> Result<()> {
+        self.out()?.write_all(bytes)?;
+        self.bytes += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn frame_header(
+        &mut self,
+        old_base: u64,
+        n: u32,
+        bitmap: &[u8],
+        payload_len: u64,
+    ) -> Result<()> {
+        let w = self.out()?;
+        w.write_all(&old_base.to_le_bytes())?;
+        w.write_all(&n.to_le_bytes())?;
+        w.write_all(&(bitmap.len() as u32).to_le_bytes())?;
+        w.write_all(bitmap)?;
+        w.write_all(&payload_len.to_le_bytes())?;
+        self.bytes += 8 + 4 + 4 + bitmap.len() as u64 + 8;
+        Ok(())
+    }
+
+    fn finish(mut self, kind: SegmentKind) -> Result<Option<SegmentEntry>> {
+        let Some(mut w) = self.out.take() else { return Ok(None) };
+        w.flush()?;
+        w.get_ref().sync_all()?;
+        Ok(Some(SegmentEntry {
+            table_id: self.table_id,
+            kind,
+            count: self.count,
+            file: self.file_name,
+        }))
+    }
+}

@@ -87,6 +87,16 @@ impl TimestampOracle {
     pub fn peek(&self) -> Timestamp {
         Timestamp(self.counter.load(Ordering::SeqCst))
     }
+
+    /// Ensure every future draw is strictly greater than `ts`. Recovery uses
+    /// this so transactions begun after a replay sort *after* the replayed
+    /// history — without it a fresh oracle would re-issue timestamps the
+    /// crashed process already committed under, corrupting any log written
+    /// from here on. Never moves the counter backwards.
+    #[inline]
+    pub fn advance_past(&self, ts: Timestamp) {
+        self.counter.fetch_max(ts.0.saturating_add(1), Ordering::SeqCst);
+    }
 }
 
 impl Default for TimestampOracle {

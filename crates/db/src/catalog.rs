@@ -37,12 +37,15 @@ impl Catalog {
         }
     }
 
-    /// Create a table with secondary indexes.
+    /// Create a table with secondary indexes. `transform` records whether
+    /// the caller registers the table with the transformation pipeline — the
+    /// checkpoint manifest persists the flag so a restart can re-register.
     pub fn create_table(
         &self,
         name: &str,
         schema: Schema,
         indexes: Vec<IndexSpec>,
+        transform: bool,
     ) -> Result<Arc<TableHandle>> {
         let mut tables = self.tables.write();
         if tables.contains_key(name) {
@@ -53,12 +56,21 @@ impl Catalog {
         let handle = TableHandle::new(
             table,
             indexes,
+            transform,
             Arc::clone(&self.manager),
             Arc::clone(&self.deferred),
             Arc::clone(&self.admission),
         );
         tables.insert(name.to_string(), Arc::clone(&handle));
         Ok(handle)
+    }
+
+    /// Pin the id the *next* [`create_table`](Self::create_table) call will
+    /// receive. Restart uses this to recreate tables under the exact ids the
+    /// checkpoint manifest and the WAL reference (the crashed catalog may
+    /// have had gaps from dropped tables). Never moves the counter backwards.
+    pub(crate) fn pin_next_id(&self, id: u32) {
+        self.next_id.fetch_max(id, Ordering::AcqRel);
     }
 
     /// Remove a table by name, returning its handle (so the caller can
@@ -106,13 +118,13 @@ mod tests {
     fn create_and_lookup() {
         let c = catalog();
         let schema = Schema::new(vec![ColumnDef::new("id", TypeId::BigInt)]);
-        let h = c.create_table("t1", schema.clone(), vec![]).unwrap();
+        let h = c.create_table("t1", schema.clone(), vec![], false).unwrap();
         assert_eq!(h.table().id(), 1);
         assert!(c.table("t1").is_ok());
         assert!(c.table("nope").is_err());
         // Duplicate names rejected; ids increase.
-        assert!(c.create_table("t1", schema.clone(), vec![]).is_err());
-        let h2 = c.create_table("t2", schema, vec![]).unwrap();
+        assert!(c.create_table("t1", schema.clone(), vec![], false).is_err());
+        let h2 = c.create_table("t2", schema, vec![], false).unwrap();
         assert_eq!(h2.table().id(), 2);
         assert_eq!(c.all_tables().len(), 2);
         assert_eq!(c.tables_by_id().len(), 2);
@@ -122,13 +134,13 @@ mod tests {
     fn drop_table_frees_the_name() {
         let c = catalog();
         let schema = Schema::new(vec![ColumnDef::new("id", TypeId::BigInt)]);
-        let h = c.create_table("t", schema.clone(), vec![]).unwrap();
+        let h = c.create_table("t", schema.clone(), vec![], false).unwrap();
         assert!(c.drop_table("nope").is_err());
         let dropped = c.drop_table("t").unwrap();
         assert!(Arc::ptr_eq(&h, &dropped));
         assert!(c.table("t").is_err());
         // The name is reusable and ids keep increasing.
-        let h2 = c.create_table("t", schema, vec![]).unwrap();
+        let h2 = c.create_table("t", schema, vec![], false).unwrap();
         assert_eq!(h2.table().id(), 2);
     }
 }

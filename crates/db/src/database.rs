@@ -11,18 +11,63 @@
 use crate::admission::{AdmissionController, AdmissionStats};
 use crate::catalog::Catalog;
 use crate::table_handle::{IndexMoveHook, IndexSpec, TableHandle};
+use mainline_checkpoint::{write_checkpoint, CheckpointStats, TableCheckpointSpec};
 use mainline_common::schema::Schema;
-use mainline_common::Result;
+use mainline_common::{Error, Result};
 use mainline_gc::collector::ModificationObserver;
 use mainline_gc::{DeferredQueue, GarbageCollector};
 use mainline_transform::{AccessObserver, BackpressureLevel, TransformConfig, TransformPipeline};
 use mainline_txn::{CommitSink, TransactionManager};
 use mainline_wal::{LogManager, LogManagerConfig};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Background checkpointing (see [`mainline_checkpoint`]).
+///
+/// The trigger is **WAL growth**: once [`wal_growth_bytes`] of new log have
+/// accumulated since the last checkpoint, the checkpoint thread snapshots
+/// every table and — when [`truncate_wal`] is set — drops the WAL segments
+/// the snapshot covers. The thread respects the §4.4 control loop: while the
+/// transformation pipeline reports backpressure it *defers* (a checkpoint
+/// holds a transaction open for its whole walk, which pins GC pruning — the
+/// very thing a stalled writer is waiting on — so checkpointing into a
+/// stall would amplify it).
+///
+/// [`wal_growth_bytes`]: CheckpointConfig::wal_growth_bytes
+/// [`truncate_wal`]: CheckpointConfig::truncate_wal
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Checkpoint root directory (`CURRENT` + `ckpt-<ts>/` live here).
+    pub dir: PathBuf,
+    /// Take a checkpoint after this many bytes of WAL growth.
+    pub wal_growth_bytes: u64,
+    /// How often the trigger thread re-reads the WAL byte counter.
+    pub poll_interval: Duration,
+    /// Drop fully-covered WAL segments after each successful checkpoint.
+    /// Requires [`LogManagerConfig::segment_bytes`] rotation to have any
+    /// effect (the active segment is never dropped).
+    pub truncate_wal: bool,
+}
+
+impl CheckpointConfig {
+    /// Checkpoint into `dir`, every 64 MB of WAL growth (or the
+    /// `MAINLINE_CHECKPOINT_BYTES` override), truncating covered segments.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            dir: dir.into(),
+            wal_growth_bytes: env_checkpoint_bytes().unwrap_or(64 << 20),
+            poll_interval: Duration::from_millis(25),
+            truncate_wal: true,
+        }
+    }
+}
+
+fn env_checkpoint_bytes() -> Option<u64> {
+    std::env::var("MAINLINE_CHECKPOINT_BYTES").ok().and_then(|v| v.parse().ok())
+}
 
 /// Database configuration.
 #[derive(Debug, Clone)]
@@ -31,6 +76,16 @@ pub struct DbConfig {
     pub log_path: Option<PathBuf>,
     /// fsync after group commits.
     pub fsync: bool,
+    /// WAL segment-rotation budget override; `None` keeps
+    /// [`LogManagerConfig::new`]'s default (the `MAINLINE_WAL_SEGMENT_BYTES`
+    /// environment variable, else no rotation).
+    pub wal_segment_bytes: Option<u64>,
+    /// Background checkpointing; `None` disables it — unless logging is on
+    /// *and* `MAINLINE_CHECKPOINT_BYTES` is set, in which case a forced
+    /// write-only configuration (no WAL truncation, so full-log replay
+    /// stays valid) is derived next to the log file. CI uses the forced
+    /// mode to run the checkpoint write path under the whole test suite.
+    pub checkpoint: Option<CheckpointConfig>,
     /// GC cadence (the paper runs GC every ~10 ms).
     pub gc_interval: Duration,
     /// Transformation pipeline settings; `None` disables transformation.
@@ -47,6 +102,8 @@ impl Default for DbConfig {
         DbConfig {
             log_path: None,
             fsync: false,
+            wal_segment_bytes: None,
+            checkpoint: None,
             gc_interval: Duration::from_millis(10),
             transform: None,
             transform_interval: Duration::from_millis(10),
@@ -58,30 +115,56 @@ impl Default for DbConfig {
 /// A running database instance.
 pub struct Database {
     manager: Arc<TransactionManager>,
-    catalog: Catalog,
+    catalog: Arc<Catalog>,
     deferred: Arc<DeferredQueue>,
     observer: Arc<AccessObserver>,
     pipeline: Option<Arc<TransformPipeline>>,
     admission: Arc<AdmissionController>,
     log: Option<Arc<LogManager>>,
+    checkpoint_cfg: Option<CheckpointConfig>,
+    /// Serializes checkpoint passes: a manual [`Database::checkpoint`]
+    /// racing the trigger thread could otherwise publish an *older*
+    /// checkpoint over a newer one whose WAL cover was already truncated.
+    checkpoint_lock: Arc<parking_lot::Mutex<()>>,
+    /// WAL byte counter at the last completed checkpoint (trigger baseline).
+    ckpt_wal_baseline: Arc<AtomicU64>,
+    /// Completed checkpoints (metrics/tests).
+    checkpoints_taken: Arc<AtomicU64>,
     /// Separate stop flags: the GC must keep running until every transform
     /// worker has *joined*, so a worker's final compaction transaction still
     /// gets its versions pruned by the GC's quiescence pass (otherwise the
-    /// shutdown drain could never freeze those blocks).
+    /// shutdown drain could never freeze those blocks). The checkpoint
+    /// thread stops first of all — a checkpoint must never race shutdown's
+    /// drain.
     stop_transform: Arc<AtomicBool>,
     stop_gc: Arc<AtomicBool>,
+    stop_checkpoint: Arc<AtomicBool>,
     transform_workers: parking_lot::Mutex<Vec<JoinHandle<()>>>,
     gc_thread: parking_lot::Mutex<Option<JoinHandle<()>>>,
+    checkpoint_thread: parking_lot::Mutex<Option<JoinHandle<()>>>,
 }
 
 impl Database {
     /// Boot a database.
     pub fn open(config: DbConfig) -> Result<Arc<Database>> {
+        Self::open_internal(config, true)
+    }
+
+    /// [`open`](Self::open), with the checkpoint trigger optionally left
+    /// unarmed — restart arms it only after replay completes.
+    pub(crate) fn open_internal(
+        config: DbConfig,
+        start_checkpoint_trigger: bool,
+    ) -> Result<Arc<Database>> {
         let log = match &config.log_path {
-            Some(path) => Some(LogManager::start(LogManagerConfig {
-                fsync: config.fsync,
-                ..LogManagerConfig::new(path)
-            })?),
+            Some(path) => {
+                let mut lm_config =
+                    LogManagerConfig { fsync: config.fsync, ..LogManagerConfig::new(path) };
+                if let Some(seg) = config.wal_segment_bytes {
+                    lm_config.segment_bytes = seg;
+                }
+                Some(LogManager::start(lm_config)?)
+            }
             None => None,
         };
         let manager = Arc::new(match &log {
@@ -155,9 +238,34 @@ impl Database {
         }
 
         let admission = Arc::new(AdmissionController::new(pipeline.clone()));
-        let catalog =
-            Catalog::new(Arc::clone(&manager), Arc::clone(&deferred), Arc::clone(&admission));
-        Ok(Arc::new(Database {
+        let catalog = Arc::new(Catalog::new(
+            Arc::clone(&manager),
+            Arc::clone(&deferred),
+            Arc::clone(&admission),
+        ));
+
+        // Checkpointing: explicit config wins; otherwise the forced mode
+        // derives a write-only (never-truncating) configuration from the
+        // `MAINLINE_CHECKPOINT_BYTES` environment variable so CI can run the
+        // checkpoint write path under the whole suite without invalidating
+        // tests that replay the full log.
+        let checkpoint_cfg = config.checkpoint.clone().or_else(|| {
+            let growth = env_checkpoint_bytes()?;
+            let log_path = config.log_path.as_ref()?;
+            Some(CheckpointConfig {
+                dir: log_path.with_extension("ckpt"),
+                wal_growth_bytes: growth,
+                poll_interval: Duration::from_millis(25),
+                truncate_wal: false,
+            })
+        });
+
+        let stop_checkpoint = Arc::new(AtomicBool::new(false));
+        let ckpt_wal_baseline = Arc::new(AtomicU64::new(0));
+        let checkpoints_taken = Arc::new(AtomicU64::new(0));
+        let checkpoint_lock = Arc::new(parking_lot::Mutex::new(()));
+
+        let db = Arc::new(Database {
             manager,
             catalog,
             deferred,
@@ -165,11 +273,100 @@ impl Database {
             pipeline,
             admission,
             log,
+            checkpoint_cfg,
+            checkpoint_lock,
+            ckpt_wal_baseline,
+            checkpoints_taken,
             stop_transform,
             stop_gc,
+            stop_checkpoint,
             transform_workers: parking_lot::Mutex::new(transform_workers),
             gc_thread: parking_lot::Mutex::new(Some(gc_thread)),
-        }))
+            checkpoint_thread: parking_lot::Mutex::new(None),
+        });
+        if start_checkpoint_trigger {
+            db.start_checkpoint_trigger();
+        }
+        Ok(db)
+    }
+
+    /// Arm the background checkpoint trigger (no-op when checkpointing or
+    /// logging is off, or when it is already armed). Restart calls this only
+    /// after replay completes — a trigger firing mid-restore would publish a
+    /// checkpoint of a half-restored database and prune the very image being
+    /// restored from.
+    pub(crate) fn start_checkpoint_trigger(&self) {
+        let mut slot = self.checkpoint_thread.lock();
+        if slot.is_some() {
+            return;
+        }
+        let (Some(cfg), Some(log)) = (&self.checkpoint_cfg, &self.log) else { return };
+        // The trigger thread holds only the pieces it needs — never the
+        // `Database` itself, so it cannot be the one running `Drop`.
+        let cfg = cfg.clone();
+        let log = Arc::clone(log);
+        let manager = Arc::clone(&self.manager);
+        let catalog = Arc::clone(&self.catalog);
+        let pipeline = self.pipeline.clone();
+        let stop = Arc::clone(&self.stop_checkpoint);
+        let baseline = Arc::clone(&self.ckpt_wal_baseline);
+        let taken = Arc::clone(&self.checkpoints_taken);
+        let lock = Arc::clone(&self.checkpoint_lock);
+        *slot = Some(
+            std::thread::Builder::new()
+                .name("checkpoint".into())
+                .spawn(move || {
+                    // Exponential error backoff: a persistently failing
+                    // checkpoint (full disk, read-only dir) must not pin GC
+                    // with a full-table walk every poll tick.
+                    let mut pause = cfg.poll_interval;
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(pause);
+                        let written = log.bytes_written();
+                        if written.saturating_sub(baseline.load(Ordering::Relaxed))
+                            < cfg.wal_growth_bytes
+                        {
+                            continue;
+                        }
+                        // Defer under backpressure: a checkpoint's open
+                        // transaction pins GC pruning, which is exactly
+                        // what a stalled writer waits on.
+                        if pipeline
+                            .as_ref()
+                            .is_some_and(|p| p.pressure() != BackpressureLevel::Clear)
+                        {
+                            continue;
+                        }
+                        let result = {
+                            let _serialize = lock.lock();
+                            // Re-read under the lock: a manual checkpoint we
+                            // waited behind may have just covered this
+                            // growth — a stale reading would run a redundant
+                            // full walk and regress the baseline.
+                            let written = log.bytes_written();
+                            if written.saturating_sub(baseline.load(Ordering::Relaxed))
+                                < cfg.wal_growth_bytes
+                            {
+                                continue;
+                            }
+                            run_checkpoint(
+                                &manager,
+                                &catalog,
+                                &cfg,
+                                written,
+                                Some(&log),
+                                &baseline,
+                                &taken,
+                            )
+                        };
+                        pause = match result {
+                            Ok(_) => cfg.poll_interval,
+                            Err(_) => (pause * 2).min(Duration::from_secs(5)),
+                        };
+                    }
+                })
+                .expect("spawn checkpoint"),
+        );
     }
 
     /// The transaction manager (begin/commit/abort).
@@ -212,7 +409,7 @@ impl Database {
         indexes: Vec<IndexSpec>,
         transform: bool,
     ) -> Result<Arc<TableHandle>> {
-        let handle = self.catalog.create_table(name, schema, indexes)?;
+        let handle = self.catalog.create_table(name, schema, indexes, transform)?;
         if transform {
             if let Some(pipeline) = &self.pipeline {
                 pipeline.add_table(
@@ -264,12 +461,51 @@ impl Database {
         self.admission.stats()
     }
 
+    /// Take a checkpoint right now (requires [`DbConfig::checkpoint`], or
+    /// the forced environment mode): snapshot every table under an open MVCC
+    /// transaction — frozen blocks as raw Arrow IPC, hot blocks through the
+    /// snapshot-read path — publish it atomically, and (when configured)
+    /// truncate the WAL segments it covers. Writers keep running throughout.
+    pub fn checkpoint(&self) -> Result<CheckpointStats> {
+        let cfg = self
+            .checkpoint_cfg
+            .as_ref()
+            .ok_or_else(|| Error::NotFound("checkpointing is not configured".into()))?;
+        let _serialize = self.checkpoint_lock.lock();
+        let written = self.log.as_ref().map(|l| l.bytes_written()).unwrap_or(0);
+        run_checkpoint(
+            &self.manager,
+            &self.catalog,
+            cfg,
+            written,
+            self.log.as_deref(),
+            &self.ckpt_wal_baseline,
+            &self.checkpoints_taken,
+        )
+    }
+
+    /// The effective checkpoint configuration, if any.
+    pub fn checkpoint_config(&self) -> Option<&CheckpointConfig> {
+        self.checkpoint_cfg.as_ref()
+    }
+
+    /// Completed checkpoints since boot (manual + background).
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken.load(Ordering::Relaxed)
+    }
+
     /// Stop background threads, drain in-flight transformation work, and
     /// flush the log — in that order, so a compaction group parked in a
     /// cooling queue is frozen rather than abandoned, and its deferred
     /// reclamation runs before the WAL closes.
     pub fn shutdown(&self) {
-        // 1. Transformation workers first: once they have *joined*, no new
+        // 0. Checkpoint trigger first: a checkpoint transaction opened after
+        //    this point would pin the GC quiescence the drain depends on.
+        self.stop_checkpoint.store(true, Ordering::Relaxed);
+        if let Some(h) = self.checkpoint_thread.lock().take() {
+            let _ = h.join();
+        }
+        // 1. Transformation workers next: once they have *joined*, no new
         //    compaction transaction can appear.
         self.stop_transform.store(true, Ordering::Relaxed);
         for h in self.transform_workers.lock().drain(..) {
@@ -300,6 +536,48 @@ impl Drop for Database {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// One checkpoint pass, shared by [`Database::checkpoint`] and the trigger
+/// thread (which deliberately holds the parts, never the `Database`, so it
+/// can never be the thread running `Drop`). `wal_bytes_at_start` becomes the
+/// next trigger baseline on success.
+#[allow(clippy::too_many_arguments)] // internal plumbing shared by two callers
+fn run_checkpoint(
+    manager: &Arc<TransactionManager>,
+    catalog: &Catalog,
+    cfg: &CheckpointConfig,
+    wal_bytes_at_start: u64,
+    log: Option<&LogManager>,
+    baseline: &AtomicU64,
+    taken: &AtomicU64,
+) -> Result<CheckpointStats> {
+    let specs: Vec<TableCheckpointSpec> = catalog
+        .all_tables()
+        .into_iter()
+        .map(|(name, handle)| TableCheckpointSpec {
+            name,
+            transform: handle.is_transform(),
+            indexes: handle
+                .index_specs()
+                .into_iter()
+                .map(|spec| (spec.name, spec.key_cols))
+                .collect(),
+            table: Arc::clone(handle.table()),
+        })
+        .collect();
+    let stats = write_checkpoint(manager, &specs, &cfg.dir)?;
+    if cfg.truncate_wal {
+        if let Some(log) = log {
+            // Only after the manifest is durably published: dropping a
+            // covered segment is safe exactly because the checkpoint image
+            // replaces it.
+            log.truncate_below(stats.checkpoint_ts)?;
+        }
+    }
+    baseline.store(wal_bytes_at_start, Ordering::Relaxed);
+    taken.fetch_add(1, Ordering::Relaxed);
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -476,8 +754,9 @@ mod tests {
                 false,
             )
             .unwrap();
-        // Table ids restart from 1, matching the logged id.
-        let log = std::fs::read(&path).unwrap();
+        // Table ids restart from 1, matching the logged id. Segment-aware
+        // read: under forced rotation the log may span several files.
+        let log = mainline_wal::segments::read_log(&path).unwrap();
         let stats =
             mainline_wal::recover(&log, db.manager(), &db.catalog().tables_by_id()).unwrap();
         assert_eq!(stats.txns_replayed, 1);

@@ -40,12 +40,16 @@
 //! db.shutdown();
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod admission;
 pub mod catalog;
 pub mod database;
+pub mod restart;
 pub mod table_handle;
 
 pub use admission::{Admission, AdmissionController, AdmissionStats};
 pub use catalog::Catalog;
-pub use database::{Database, DbConfig};
+pub use database::{CheckpointConfig, Database, DbConfig};
+pub use restart::RestartStats;
 pub use table_handle::{IndexSpec, TableHandle};

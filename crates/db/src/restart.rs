@@ -1,0 +1,165 @@
+//! Two-phase restart: checkpoint image + WAL tail.
+//!
+//! Phase 1 loads the checkpoint — cold segments go **directly into frozen
+//! blocks** (buffer-granularity copies, no per-row inserts), delta segments
+//! replay through the recovery machinery. Phase 2 replays only the WAL tail:
+//! transactions committed strictly after the checkpoint timestamp. Restart
+//! cost is therefore bounded by live data plus tail length, not by history.
+//!
+//! Afterwards the timestamp oracle is advanced past everything replayed and
+//! every secondary index is rebuilt from a scan (both load paths write
+//! through `DataTable`, below the index layer).
+
+use crate::database::{Database, DbConfig};
+use crate::table_handle::{IndexMoveHook, IndexSpec};
+use mainline_common::{Error, Result, Timestamp};
+use mainline_storage::TupleSlot;
+use mainline_wal::RecoveryStats;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// What a restart did, phase by phase.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RestartStats {
+    /// The checkpoint timestamp the image was taken at.
+    pub checkpoint_ts: u64,
+    /// Frozen blocks loaded without row materialization.
+    pub frozen_blocks_loaded: usize,
+    /// Live rows inside those blocks.
+    pub cold_rows_loaded: u64,
+    /// Rows replayed from the checkpoint's hot-block delta segments.
+    pub delta_rows_loaded: u64,
+    /// WAL-tail replay outcome (`txns_skipped`/`ops_skipped` count what the
+    /// checkpoint made unnecessary — the restart-speed win).
+    pub tail: RecoveryStats,
+    /// Secondary-index entries rebuilt.
+    pub index_entries_rebuilt: usize,
+}
+
+impl Database {
+    /// Boot from a checkpoint plus the crashed process's WAL.
+    ///
+    /// * `checkpoint_root` — the directory a [`crate::CheckpointConfig`]
+    ///   pointed at (resolved through its `CURRENT` file).
+    /// * `wal_tail` — the crashed process's log path, read segment-aware via
+    ///   [`mainline_wal::segments::read_log`]; only records committed after
+    ///   the checkpoint replay. `None` restores the bare image.
+    ///
+    /// Tables are recreated from the manifest (schemas, indexes, pipeline
+    /// registration) under their original ids, so `config` needs no table
+    /// knowledge. Pipeline registration is deferred until after replay —
+    /// compaction moving rows mid-replay would invalidate the slot map.
+    ///
+    /// `config.log_path`, if set, starts a **new log era**. Replay commits
+    /// go through the ordinary transaction manager, so delta and tail rows
+    /// *are* re-logged into the new era (an O(image-delta) cost), but rows
+    /// loaded as frozen blocks are not — the new log alone is therefore not
+    /// a complete image. Take a checkpoint promptly (the `crash_recovery`
+    /// example shows the sequence; with a configured trigger the WAL growth
+    /// from replay usually fires one automatically once it arms) — until
+    /// then a further crash must restart from this same checkpoint + old
+    /// tail again. The background checkpoint trigger is armed only after
+    /// replay completes, so it can never checkpoint a half-restored state.
+    pub fn open_from_checkpoint(
+        config: DbConfig,
+        checkpoint_root: &Path,
+        wal_tail: Option<&Path>,
+    ) -> Result<(Arc<Database>, RestartStats)> {
+        if let (Some(new_log), Some(old_log)) = (&config.log_path, wal_tail) {
+            // Appending the new era to the very file phase 2 reads would
+            // interleave eras and race the log thread's buffered writes
+            // against the tail read.
+            if new_log == old_log {
+                return Err(Error::Layout(
+                    "open_from_checkpoint: config.log_path must differ from the crashed \
+                     process's WAL (a restart starts a new log era)"
+                        .into(),
+                ));
+            }
+        }
+        let (ckpt_dir, manifest) = mainline_checkpoint::read_manifest(checkpoint_root)?;
+        let db = Database::open_internal(config, false)?;
+        let mut stats =
+            RestartStats { checkpoint_ts: manifest.checkpoint_ts.0, ..Default::default() };
+
+        // Recreate the catalog under the manifest's ids (ascending order so
+        // id pinning only ever moves forward).
+        let mut metas = manifest.tables.clone();
+        metas.sort_by_key(|t| t.id);
+        let mut handles = Vec::with_capacity(metas.len());
+        for meta in &metas {
+            db.catalog().pin_next_id(meta.id);
+            let indexes = meta
+                .indexes
+                .iter()
+                .map(|ix| IndexSpec { name: ix.name.clone(), key_cols: ix.key_cols.clone() })
+                .collect();
+            let handle =
+                db.catalog().create_table(&meta.name, meta.schema(), indexes, meta.transform)?;
+            if handle.table().id() != meta.id {
+                return Err(Error::Corrupt(format!(
+                    "restart id mismatch for {}: manifest {} vs catalog {}",
+                    meta.name,
+                    meta.id,
+                    handle.table().id()
+                )));
+            }
+            handles.push(handle);
+        }
+
+        // Phase 1: the checkpoint image. Cold rows land in frozen blocks,
+        // hot rows replay; both feed the slot map the tail needs.
+        let tables = db.catalog().tables_by_id();
+        let mut slot_map: HashMap<(u32, u64), TupleSlot> = HashMap::new();
+        let load = mainline_checkpoint::load_into(
+            &ckpt_dir,
+            &manifest,
+            db.manager(),
+            &tables,
+            &mut slot_map,
+        )?;
+        stats.frozen_blocks_loaded = load.frozen_blocks;
+        stats.cold_rows_loaded = load.cold_rows;
+        stats.delta_rows_loaded = load.delta_rows;
+
+        // Phase 2: only the WAL tail — everything at or below the
+        // checkpoint timestamp is already in the image.
+        if let Some(path) = wal_tail {
+            let bytes = mainline_wal::segments::read_log(path)?;
+            stats.tail = mainline_wal::recover_from(
+                &bytes,
+                manifest.checkpoint_ts,
+                db.manager(),
+                &tables,
+                &mut slot_map,
+            )?;
+        }
+
+        // New transactions must sort after the replayed history.
+        db.manager()
+            .oracle()
+            .advance_past(Timestamp(stats.tail.max_commit_ts.max(manifest.checkpoint_ts.0)));
+
+        // Rebuild indexes from a scan, then hand transform-flagged tables to
+        // the pipeline (only now — see the method docs).
+        let txn = db.manager().begin();
+        for handle in &handles {
+            stats.index_entries_rebuilt += handle.rebuild_indexes(&txn);
+        }
+        db.manager().commit(&txn);
+        if let Some(pipeline) = db.pipeline() {
+            for handle in &handles {
+                if handle.is_transform() {
+                    pipeline.add_table(
+                        Arc::clone(handle.table()),
+                        Arc::new(IndexMoveHook { handle: Arc::clone(handle) }),
+                    );
+                }
+            }
+        }
+        // Only now is the database whole enough to checkpoint.
+        db.start_checkpoint_trigger();
+        Ok((db, stats))
+    }
+}

@@ -71,6 +71,9 @@ pub fn encode_component(kb: KeyBuilder, ty: TypeId, v: &Value) -> KeyBuilder {
 pub struct TableHandle {
     table: Arc<DataTable>,
     indexes: Vec<Arc<TableIndex>>,
+    /// Whether the table is registered with the transformation pipeline
+    /// (persisted by checkpoints so restart can re-register).
+    transform: bool,
     manager: Arc<TransactionManager>,
     deferred: Arc<DeferredQueue>,
     /// Consulted at the top of every write entry point (§4.4's control
@@ -82,6 +85,7 @@ impl TableHandle {
     pub(crate) fn new(
         table: Arc<DataTable>,
         specs: Vec<IndexSpec>,
+        transform: bool,
         manager: Arc<TransactionManager>,
         deferred: Arc<DeferredQueue>,
         admission: Arc<AdmissionController>,
@@ -90,7 +94,7 @@ impl TableHandle {
             .into_iter()
             .map(|spec| Arc::new(TableIndex { spec, tree: BPlusTree::new() }))
             .collect();
-        Arc::new(TableHandle { table, indexes, manager, deferred, admission })
+        Arc::new(TableHandle { table, indexes, transform, manager, deferred, admission })
     }
 
     /// The underlying data table.
@@ -98,9 +102,42 @@ impl TableHandle {
         &self.table
     }
 
+    /// Whether the table participates in hot→cold transformation.
+    pub fn is_transform(&self) -> bool {
+        self.transform
+    }
+
     /// Number of secondary indexes.
     pub fn num_indexes(&self) -> usize {
         self.indexes.len()
+    }
+
+    /// The index definitions, for checkpoint manifests.
+    pub fn index_specs(&self) -> Vec<IndexSpec> {
+        self.indexes.iter().map(|i| i.spec.clone()).collect()
+    }
+
+    /// Rebuild every secondary index from a full table scan — the restart
+    /// path: checkpoint loading and WAL replay write through `DataTable`
+    /// directly, so the trees start empty. Must run on otherwise-idle,
+    /// freshly restored tables. Returns the number of entries inserted.
+    pub fn rebuild_indexes(&self, txn: &Arc<Transaction>) -> usize {
+        if self.indexes.is_empty() {
+            return 0;
+        }
+        let cols = self.table.all_cols();
+        let mut inserted = 0;
+        self.table.scan(txn, &cols, |slot, row| {
+            let values = self.table.row_to_values(row);
+            for index in &self.indexes {
+                let key = index.key_of(self.table.types(), &values);
+                let full = index.full_key(&key, slot);
+                index.tree.insert_unique(&full, slot.raw());
+                inserted += 1;
+            }
+            true
+        });
+        inserted
     }
 
     /// Approximate entry count of index `i` (test/metrics aid).
@@ -346,6 +383,7 @@ mod tests {
         let h = TableHandle::new(
             table,
             vec![IndexSpec::new("pk", &[0, 1]), IndexSpec::new("by_name", &[2])],
+            false,
             Arc::clone(&manager),
             deferred,
             Arc::new(AdmissionController::disabled()),

@@ -39,11 +39,14 @@ pub fn block_batch(
     }
 }
 
-/// Build the Arrow projection of a frozen block directly from its memory.
+/// Build the Arrow projection of a frozen block directly from its memory —
+/// the zero-transformation path shared by Flight export and the checkpoint
+/// writer (both must produce the *same bytes* for the same frozen block;
+/// the checkpoint tests assert it).
 ///
 /// # Safety
 /// Caller must hold the block's reader lock (state == Frozen).
-unsafe fn frozen_batch(table: &DataTable, block: &Block) -> RecordBatch {
+pub unsafe fn frozen_batch(table: &DataTable, block: &Block) -> RecordBatch {
     let layout = table.layout();
     let ptr = block.as_ptr();
     let n = block.header().insert_head().min(layout.num_slots()) as usize;

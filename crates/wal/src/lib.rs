@@ -12,11 +12,20 @@
 //!   speculative-read anomaly) but it is acknowledged without being written.
 //! * Recovery replays committed transactions in commit-timestamp order with
 //!   a slot-remapping table (physical slots change across restarts).
+//! * The log is split into size-bounded **segments**: the active file rotates
+//!   into an archive (named after its last commit timestamp) once it exceeds
+//!   [`LogManagerConfig::segment_bytes`], and a completed checkpoint lets
+//!   [`segments::truncate_below`] drop every archive wholly below the
+//!   checkpoint timestamp — restart cost becomes proportional to the WAL
+//!   *tail*, not to history.
+
+#![warn(missing_docs)]
 
 pub mod log_manager;
 pub mod record;
 pub mod recovery;
+pub mod segments;
 
 pub use log_manager::{LogManager, LogManagerConfig};
 pub use record::{LogEntry, LogPayload};
-pub use recovery::{recover, RecoveryStats};
+pub use recovery::{recover, recover_from, RecoveryStats};

@@ -5,8 +5,15 @@
 //! ("we implement callbacks by embedding a function pointer in the commit
 //! record; when the log manager writes the commit record, it adds that
 //! pointer to a list of callbacks to invoke after the next fsync").
+//!
+//! The log thread also rotates the active file into archive segments (see
+//! [`crate::segments`]) once it exceeds [`LogManagerConfig::segment_bytes`].
+//! Rotation happens only between commit groups, so a transaction's redo
+//! records and its commit marker always land in the same segment — which is
+//! what lets checkpoint truncation reason per segment.
 
 use crate::record::{encode_commit, encode_redo};
+use crate::segments;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use mainline_common::{Result, Timestamp};
 use mainline_txn::{CommitSink, RedoRecord};
@@ -20,18 +27,33 @@ use std::thread::JoinHandle;
 /// Tuning knobs for the log manager.
 #[derive(Debug, Clone)]
 pub struct LogManagerConfig {
-    /// Log file path.
+    /// Log file path (the *active* segment; archives rotate next to it).
     pub path: PathBuf,
     /// Whether to `fsync` after each group (benchmarks may disable it).
     pub fsync: bool,
     /// Max queued commits before producers block (backpressure).
     pub queue_capacity: usize,
+    /// Rotate the active file into an archive segment once it exceeds this
+    /// many bytes (checked between commit groups). Zero disables rotation —
+    /// the log stays a single file, exactly the pre-segmentation behavior.
+    /// [`LogManagerConfig::new`] honours the `MAINLINE_WAL_SEGMENT_BYTES`
+    /// environment variable, which CI uses to force rotation everywhere.
+    pub segment_bytes: u64,
 }
 
 impl LogManagerConfig {
     /// Default configuration for a path.
     pub fn new(path: impl AsRef<Path>) -> Self {
-        LogManagerConfig { path: path.as_ref().to_path_buf(), fsync: true, queue_capacity: 4096 }
+        let segment_bytes = std::env::var("MAINLINE_WAL_SEGMENT_BYTES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        LogManagerConfig {
+            path: path.as_ref().to_path_buf(),
+            fsync: true,
+            queue_capacity: 4096,
+            segment_bytes,
+        }
     }
 }
 
@@ -58,23 +80,39 @@ pub struct LogManager {
     tx: parking_lot::RwLock<Option<Sender<Msg>>>,
     handle: parking_lot::Mutex<Option<JoinHandle<()>>>,
     bytes_written: Arc<AtomicU64>,
+    path: PathBuf,
 }
 
 impl LogManager {
     /// Start the logging thread.
     pub fn start(config: LogManagerConfig) -> Result<Arc<LogManager>> {
         let file = OpenOptions::new().create(true).append(true).open(&config.path)?;
+        let existing = file.metadata().map(|m| m.len()).unwrap_or(0);
+        let next_seq =
+            segments::list_segments(&config.path)?.last().map(|s| s.seq + 1).unwrap_or(1);
         let (tx, rx) = bounded::<Msg>(config.queue_capacity);
         let bytes_written = Arc::new(AtomicU64::new(0));
-        let counter = Arc::clone(&bytes_written);
+        let path = config.path.clone();
+        let mut writer = SegmentedWriter {
+            out: BufWriter::with_capacity(1 << 20, file),
+            path: config.path.clone(),
+            fsync: config.fsync,
+            segment_bytes: config.segment_bytes,
+            active_bytes: existing,
+            next_seq,
+            last_commit_ts: Timestamp::ZERO,
+            has_commits: false,
+            bytes_written: Arc::clone(&bytes_written),
+        };
         let handle = std::thread::Builder::new()
             .name("log-manager".into())
-            .spawn(move || run_loop(file, rx, config.fsync, counter))
+            .spawn(move || run_loop(&mut writer, rx))
             .expect("spawn log manager");
         Ok(Arc::new(LogManager {
             tx: parking_lot::RwLock::new(Some(tx)),
             handle: parking_lot::Mutex::new(Some(handle)),
             bytes_written,
+            path,
         }))
     }
 
@@ -91,9 +129,22 @@ impl LogManager {
         }
     }
 
-    /// Bytes serialized to the log so far.
+    /// Bytes serialized to the log so far (cumulative across rotations —
+    /// the checkpoint trigger measures WAL *growth* against this counter).
     pub fn bytes_written(&self) -> u64 {
         self.bytes_written.load(Ordering::Acquire)
+    }
+
+    /// The active log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Drop every archive segment wholly at or below `checkpoint_ts` (see
+    /// [`segments::truncate_below`]). Call only after a checkpoint at that
+    /// timestamp is durable. Returns how many segments were removed.
+    pub fn truncate_below(&self, checkpoint_ts: Timestamp) -> Result<usize> {
+        segments::truncate_below(&self.path, checkpoint_ts)
     }
 
     /// Stop the thread. Dropping the sender lets the thread drain the queue
@@ -142,20 +193,72 @@ impl CommitSink for LogManager {
     }
 }
 
-fn run_loop(file: File, rx: Receiver<Msg>, fsync: bool, bytes_counter: Arc<AtomicU64>) {
-    let mut out = BufWriter::with_capacity(1 << 20, file);
+/// The log thread's output: a buffered writer over the active file plus the
+/// bookkeeping rotation needs (bytes in the active segment, last commit
+/// timestamp written, next archive sequence number).
+struct SegmentedWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    fsync: bool,
+    segment_bytes: u64,
+    active_bytes: u64,
+    next_seq: u64,
+    last_commit_ts: Timestamp,
+    has_commits: bool,
+    bytes_written: Arc<AtomicU64>,
+}
+
+impl SegmentedWriter {
+    fn write_group(&mut self, bytes: &[u8], commit_ts: Timestamp) {
+        self.out.write_all(bytes).expect("log write failed");
+        self.active_bytes += bytes.len() as u64;
+        self.bytes_written.fetch_add(bytes.len() as u64, Ordering::AcqRel);
+        self.last_commit_ts = commit_ts;
+        self.has_commits = true;
+    }
+
+    fn sync(&mut self) {
+        self.out.flush().expect("log flush failed");
+        if self.fsync {
+            self.out.get_ref().sync_data().expect("log fsync failed");
+        }
+    }
+
+    /// Rotate the active file into an archive segment if it outgrew the
+    /// budget. Runs only between commit groups, after a sync, so every
+    /// segment holds whole transactions and its last commit timestamp is
+    /// its maximum.
+    fn maybe_rotate(&mut self) {
+        if self.segment_bytes == 0 || !self.has_commits || self.active_bytes < self.segment_bytes {
+            return;
+        }
+        self.sync();
+        let archive = segments::archive_path(&self.path, self.next_seq, self.last_commit_ts);
+        if std::fs::rename(&self.path, &archive).is_err() {
+            // Rename failure (exotic filesystem): keep appending to the
+            // oversized active file rather than losing the log.
+            return;
+        }
+        let file = match OpenOptions::new().create(true).append(true).open(&self.path) {
+            Ok(f) => f,
+            Err(e) => panic!("reopen log after rotation failed: {e}"),
+        };
+        self.out = BufWriter::with_capacity(1 << 20, file);
+        self.next_seq += 1;
+        self.active_bytes = 0;
+        self.has_commits = false;
+    }
+}
+
+fn run_loop(w: &mut SegmentedWriter, rx: Receiver<Msg>) {
     let mut scratch: Vec<u8> = Vec::with_capacity(1 << 16);
     let mut callbacks: Vec<Box<dyn FnOnce() + Send>> = Vec::new();
 
-    let sync_and_ack = |out: &mut BufWriter<File>,
-                        callbacks: &mut Vec<Box<dyn FnOnce() + Send>>| {
+    let sync_and_ack = |w: &mut SegmentedWriter, callbacks: &mut Vec<Box<dyn FnOnce() + Send>>| {
         if callbacks.is_empty() {
             return;
         }
-        out.flush().expect("log flush failed");
-        if fsync {
-            out.get_ref().sync_data().expect("log fsync failed");
-        }
+        w.sync();
         for cb in callbacks.drain(..) {
             cb();
         }
@@ -184,25 +287,26 @@ fn run_loop(file: File, rx: Receiver<Msg>, fsync: bool, bytes_counter: Arc<Atomi
                             encode_redo(&mut scratch, commit_ts, r);
                         }
                         encode_commit(&mut scratch, commit_ts);
-                        out.write_all(&scratch).expect("log write failed");
-                        bytes_counter.fetch_add(scratch.len() as u64, Ordering::AcqRel);
+                        w.write_group(&scratch, commit_ts);
                     }
                     // Read-only commit records are acknowledged without being
                     // written (§3.4).
                     callbacks.push(callback);
                 }
                 Msg::Flush(ack) => {
-                    sync_and_ack(&mut out, &mut callbacks);
+                    sync_and_ack(w, &mut callbacks);
                     let _ = ack.send(());
                 }
             }
         }
-        sync_and_ack(&mut out, &mut callbacks);
+        sync_and_ack(w, &mut callbacks);
+        w.maybe_rotate();
     }
     // `recv` above only errors once the queue is drained AND the sender is
     // closed, so reaching here means every accepted commit has been handled;
     // this final sync covers callbacks batched in the last iteration.
-    sync_and_ack(&mut out, &mut callbacks);
+    sync_and_ack(w, &mut callbacks);
+    w.sync();
 }
 
 #[cfg(test)]
@@ -215,7 +319,17 @@ mod tests {
         let mut p = std::env::temp_dir();
         p.push(format!("mainline-wal-test-{}-{}", std::process::id(), name));
         let _ = std::fs::remove_file(&p);
+        for seg in segments::list_segments(&p).unwrap() {
+            let _ = std::fs::remove_file(&seg.path);
+        }
         p
+    }
+
+    fn cleanup(p: &Path) {
+        let _ = std::fs::remove_file(p);
+        for seg in segments::list_segments(p).unwrap() {
+            let _ = std::fs::remove_file(&seg.path);
+        }
     }
 
     fn redo(ts: u64) -> RedoRecord {
@@ -244,9 +358,9 @@ mod tests {
         lm.flush();
         assert!(hit.load(Ordering::SeqCst));
         lm.shutdown();
-        let bytes = std::fs::read(&path).unwrap();
+        let bytes = segments::read_log(&path).unwrap();
         assert!(!bytes.is_empty());
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -266,7 +380,7 @@ mod tests {
             Box::new(move || h.store(true, Ordering::SeqCst)),
         );
         assert!(hit.load(Ordering::SeqCst), "committer must not wait on durability forever");
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -278,9 +392,9 @@ mod tests {
         lm.queue_commit(Timestamp(1), vec![], true, Box::new(|| {}));
         lm.flush();
         lm.shutdown();
-        assert_eq!(std::fs::read(&path).unwrap().len(), 0);
+        assert_eq!(segments::read_log(&path).unwrap().len(), 0);
         assert_eq!(lm.bytes_written(), 0);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -295,7 +409,7 @@ mod tests {
         }
         lm.flush();
         lm.shutdown();
-        let bytes = std::fs::read(&path).unwrap();
+        let bytes = segments::read_log(&path).unwrap();
         let mut r = LogReader::new(&bytes);
         let mut commits = 0;
         let mut redos = 0;
@@ -306,7 +420,7 @@ mod tests {
             }
         }
         assert_eq!((redos, commits), (5, 5));
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
     }
 
     #[test]
@@ -330,7 +444,7 @@ mod tests {
         lm.flush();
         lm.shutdown();
         use crate::record::{LogPayload, LogReader};
-        let bytes = std::fs::read(&path).unwrap();
+        let bytes = segments::read_log(&path).unwrap();
         let mut r = LogReader::new(&bytes);
         let mut commits = 0;
         while let Some(e) = r.next_entry().unwrap() {
@@ -339,6 +453,114 @@ mod tests {
             }
         }
         assert_eq!(commits, 400);
-        let _ = std::fs::remove_file(&path);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn rotation_archives_whole_commit_groups_and_resumes_sequencing() {
+        use crate::record::{LogPayload, LogReader};
+        let path = tmp("rotate");
+        let config = LogManagerConfig {
+            fsync: false,
+            segment_bytes: 256, // tiny: a handful of commits per segment
+            ..LogManagerConfig::new(&path)
+        };
+        let lm = LogManager::start(config.clone()).unwrap();
+        for ts in 1..=50u64 {
+            lm.queue_commit(Timestamp(ts), vec![redo(ts)], false, Box::new(|| {}));
+            // Flush each commit so groups stay small and rotation triggers
+            // deterministically between them.
+            lm.flush();
+        }
+        lm.shutdown();
+
+        let segs = segments::list_segments(&path).unwrap();
+        assert!(segs.len() >= 2, "tiny segment budget must have rotated: {segs:?}");
+        // Sequence numbers are dense from 1 and last-commit timestamps are
+        // strictly increasing (records are written in commit order).
+        for (i, s) in segs.iter().enumerate() {
+            assert_eq!(s.seq, i as u64 + 1);
+        }
+        assert!(segs.windows(2).all(|w| w[0].last_commit_ts < w[1].last_commit_ts));
+
+        // Each archive really is a parseable stream of whole transactions,
+        // and its filename timestamp matches its content.
+        for s in &segs {
+            let bytes = std::fs::read(&s.path).unwrap();
+            let mut r = LogReader::new(&bytes);
+            let mut last_commit = 0;
+            let mut dangling_redo = false;
+            while let Some(e) = r.next_entry().unwrap() {
+                match e.payload {
+                    LogPayload::Redo(_) => dangling_redo = true,
+                    LogPayload::Commit => {
+                        dangling_redo = false;
+                        last_commit = e.commit_ts.0;
+                    }
+                }
+            }
+            assert!(!dangling_redo, "segment ends mid-transaction");
+            assert_eq!(Timestamp(last_commit), s.last_commit_ts);
+        }
+
+        // The concatenated log replays all 50 commits in order.
+        let bytes = segments::read_log(&path).unwrap();
+        let mut r = LogReader::new(&bytes);
+        let mut commits = Vec::new();
+        while let Some(e) = r.next_entry().unwrap() {
+            if matches!(e.payload, LogPayload::Commit) {
+                commits.push(e.commit_ts.0);
+            }
+        }
+        assert_eq!(commits, (1..=50).collect::<Vec<_>>());
+
+        // A reopened log continues the sequence instead of clobbering it.
+        let lm = LogManager::start(config).unwrap();
+        for ts in 51..=80u64 {
+            lm.queue_commit(Timestamp(ts), vec![redo(ts)], false, Box::new(|| {}));
+            lm.flush();
+        }
+        lm.shutdown();
+        let reopened = segments::list_segments(&path).unwrap();
+        assert!(reopened.len() > segs.len());
+        for (i, s) in reopened.iter().enumerate() {
+            assert_eq!(s.seq, i as u64 + 1, "sequence must continue across restarts");
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn truncate_below_drops_only_covered_segments() {
+        let path = tmp("trunc");
+        let lm = LogManager::start(LogManagerConfig {
+            fsync: false,
+            segment_bytes: 256,
+            ..LogManagerConfig::new(&path)
+        })
+        .unwrap();
+        for ts in 1..=60u64 {
+            lm.queue_commit(Timestamp(ts), vec![redo(ts)], false, Box::new(|| {}));
+            lm.flush();
+        }
+        let segs = segments::list_segments(&path).unwrap();
+        assert!(segs.len() >= 3);
+        let cut = segs[segs.len() / 2].last_commit_ts;
+        let dropped = lm.truncate_below(cut).unwrap();
+        assert!(dropped > 0);
+        // Every record above the cut is still replayable.
+        use crate::record::{LogPayload, LogReader};
+        lm.shutdown();
+        let bytes = segments::read_log(&path).unwrap();
+        let mut r = LogReader::new(&bytes);
+        let mut commits = Vec::new();
+        while let Some(e) = r.next_entry().unwrap() {
+            if matches!(e.payload, LogPayload::Commit) {
+                commits.push(e.commit_ts.0);
+            }
+        }
+        for ts in cut.0 + 1..=60 {
+            assert!(commits.contains(&ts), "commit {ts} lost by truncation");
+        }
+        cleanup(&path);
     }
 }

@@ -6,7 +6,7 @@
 
 use crate::record::{LogPayload, LogReader};
 use mainline_common::value::TypeId;
-use mainline_common::{Error, Result};
+use mainline_common::{Error, Result, Timestamp};
 use mainline_storage::layout::NUM_RESERVED_COLS;
 use mainline_storage::{ProjectedRow, TupleSlot, VarlenEntry};
 use mainline_txn::{DataTable, RedoOp, RedoRecord, TransactionManager};
@@ -22,6 +22,15 @@ pub struct RecoveryStats {
     pub txns_discarded: usize,
     /// Individual operations applied.
     pub ops_applied: usize,
+    /// Committed transactions skipped because they are already covered by a
+    /// checkpoint (commit timestamp at or below [`recover_from`]'s cut).
+    pub txns_skipped: usize,
+    /// Individual operations skipped the same way.
+    pub ops_skipped: usize,
+    /// Largest commit timestamp observed in the log (replayed or skipped);
+    /// restart advances the oracle past it so new commits sort after the
+    /// replayed history.
+    pub max_commit_ts: u64,
 }
 
 /// Replay `log_bytes` into the given tables (keyed by table id).
@@ -34,21 +43,34 @@ pub fn recover(
     manager: &TransactionManager,
     tables: &HashMap<u32, Arc<DataTable>>,
 ) -> Result<RecoveryStats> {
+    let mut slot_map = HashMap::new();
+    recover_from(log_bytes, Timestamp::ZERO, manager, tables, &mut slot_map)
+}
+
+/// [`recover`], but skip every transaction committed at or below `after` —
+/// the checkpoint-tail replay of a two-phase restart. `slot_map` maps the
+/// crashed process's physical slots (`(table_id, raw slot)`) to their new
+/// locations; the checkpoint loader pre-populates it for rows restored from
+/// the checkpoint image, and replayed inserts extend it, so tail updates and
+/// deletes resolve no matter which side of the checkpoint their target row
+/// came from.
+pub fn recover_from(
+    log_bytes: &[u8],
+    after: Timestamp,
+    manager: &TransactionManager,
+    tables: &HashMap<u32, Arc<DataTable>>,
+    slot_map: &mut HashMap<(u32, u64), TupleSlot>,
+) -> Result<RecoveryStats> {
     let mut stats = RecoveryStats::default();
     let mut reader = LogReader::new(log_bytes);
     // Buffer of redo records per commit timestamp awaiting their commit mark.
     let mut groups: HashMap<u64, Vec<RedoRecord>> = HashMap::new();
-    let mut order: Vec<u64> = Vec::new();
     let mut committed: Vec<u64> = Vec::new();
 
     while let Some(entry) = reader.next_entry()? {
         match entry.payload {
             LogPayload::Redo(r) => {
-                let ts = entry.commit_ts.0;
-                if !groups.contains_key(&ts) {
-                    order.push(ts);
-                }
-                groups.entry(ts).or_default().push(r);
+                groups.entry(entry.commit_ts.0).or_default().push(r);
             }
             LogPayload::Commit => committed.push(entry.commit_ts.0),
         }
@@ -56,8 +78,16 @@ pub fn recover(
 
     // Apply committed groups in commit order.
     committed.sort_unstable();
-    let mut slot_map: HashMap<(u32, u64), TupleSlot> = HashMap::new();
     for ts in &committed {
+        stats.max_commit_ts = stats.max_commit_ts.max(*ts);
+        if Timestamp(*ts) <= after {
+            // Fully covered by the checkpoint image.
+            if let Some(records) = groups.remove(ts) {
+                stats.txns_skipped += 1;
+                stats.ops_skipped += records.len();
+            }
+            continue;
+        }
         let Some(records) = groups.remove(ts) else {
             // Read-only or empty transaction.
             continue;

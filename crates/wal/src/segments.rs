@@ -1,0 +1,160 @@
+//! WAL segment files: naming, enumeration, concatenated reads, truncation.
+//!
+//! The log manager appends to the *active* file at the configured path. When
+//! the active file exceeds [`crate::LogManagerConfig::segment_bytes`], it is
+//! atomically renamed into an **archive segment** in the same directory:
+//!
+//! ```text
+//! <name>.<seq:08>.<last_commit_ts:020>.seg
+//! ```
+//!
+//! `seq` preserves write order across restarts and `last_commit_ts` is the
+//! largest commit timestamp serialized into the segment. Records are written
+//! in commit-timestamp order (the commit critical section serializes the
+//! hand-off, §3.4), so the last commit of a segment is also its maximum —
+//! which makes truncation a pure filename decision: an archive is droppable
+//! after a checkpoint at timestamp `T` iff `last_commit_ts <= T`, i.e. every
+//! record in it is already covered by the checkpoint image.
+//!
+//! The active file is never deleted: it may still receive records.
+
+use mainline_common::{Result, Timestamp};
+use std::path::{Path, PathBuf};
+
+/// One archived (rotated-out) WAL segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentFile {
+    /// Location of the archive file.
+    pub path: PathBuf,
+    /// Rotation sequence number (write order).
+    pub seq: u64,
+    /// Largest commit timestamp serialized into the segment.
+    pub last_commit_ts: Timestamp,
+}
+
+/// The archive file name for segment `seq` of the log at `path`.
+pub fn archive_path(path: &Path, seq: u64, last_commit_ts: Timestamp) -> PathBuf {
+    let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    path.with_file_name(format!("{name}.{seq:08}.{:020}.seg", last_commit_ts.0))
+}
+
+fn parse_archive_name(active_name: &str, candidate: &str) -> Option<(u64, u64)> {
+    let rest = candidate.strip_prefix(active_name)?.strip_prefix('.')?;
+    let rest = rest.strip_suffix(".seg")?;
+    let (seq, ts) = rest.split_once('.')?;
+    Some((seq.parse().ok()?, ts.parse().ok()?))
+}
+
+/// All archive segments of the log at `path`, sorted by sequence number.
+/// An absent directory or a log that never rotated yields an empty list.
+pub fn list_segments(path: &Path) -> Result<Vec<SegmentFile>> {
+    let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+        return Ok(Vec::new());
+    };
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty()).unwrap_or(Path::new("."));
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(Vec::new()),
+    };
+    for entry in entries.flatten() {
+        let candidate = entry.file_name().to_string_lossy().into_owned();
+        if let Some((seq, ts)) = parse_archive_name(&name, &candidate) {
+            out.push(SegmentFile { path: entry.path(), seq, last_commit_ts: Timestamp(ts) });
+        }
+    }
+    out.sort_by_key(|s| s.seq);
+    Ok(out)
+}
+
+/// Read the whole log — every archive segment in rotation order, then the
+/// active file — as one contiguous byte stream suitable for
+/// [`crate::recover`]/[`crate::recover_from`]. A missing active file (the
+/// log never wrote anything, or everything rotated) contributes nothing.
+pub fn read_log(path: &Path) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    for seg in list_segments(path)? {
+        out.extend_from_slice(&std::fs::read(&seg.path)?);
+    }
+    match std::fs::read(path) {
+        Ok(bytes) => out.extend_from_slice(&bytes),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(e.into()),
+    }
+    Ok(out)
+}
+
+/// Delete every archive segment whose records all carry commit timestamps at
+/// or below `checkpoint_ts` (they are fully covered by the checkpoint image).
+/// Returns how many segments were removed. The active file and any archive
+/// containing records above the checkpoint are never touched.
+pub fn truncate_below(path: &Path, checkpoint_ts: Timestamp) -> Result<usize> {
+    let mut dropped = 0;
+    for seg in list_segments(path)? {
+        if seg.last_commit_ts <= checkpoint_ts {
+            std::fs::remove_file(&seg.path)?;
+            dropped += 1;
+        }
+    }
+    Ok(dropped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("mainline-wal-seg-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        for seg in list_segments(path).unwrap() {
+            let _ = std::fs::remove_file(&seg.path);
+        }
+    }
+
+    #[test]
+    fn archive_names_roundtrip() {
+        let path = tmp("names");
+        cleanup(&path);
+        let a = archive_path(&path, 3, Timestamp(99));
+        std::fs::write(&a, b"x").unwrap();
+        std::fs::write(archive_path(&path, 1, Timestamp(7)), b"y").unwrap();
+        // Noise that must not parse as a segment.
+        std::fs::write(path.with_file_name("unrelated.seg"), b"z").unwrap();
+        let segs = list_segments(&path).unwrap();
+        assert_eq!(segs.len(), 2);
+        assert_eq!((segs[0].seq, segs[0].last_commit_ts), (1, Timestamp(7)));
+        assert_eq!((segs[1].seq, segs[1].last_commit_ts), (3, Timestamp(99)));
+        let _ = std::fs::remove_file(path.with_file_name("unrelated.seg"));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn read_log_concatenates_in_order_and_truncate_respects_the_cut() {
+        let path = tmp("concat");
+        cleanup(&path);
+        std::fs::write(archive_path(&path, 1, Timestamp(10)), b"AA").unwrap();
+        std::fs::write(archive_path(&path, 2, Timestamp(20)), b"BB").unwrap();
+        std::fs::write(&path, b"CC").unwrap();
+        assert_eq!(read_log(&path).unwrap(), b"AABBCC");
+
+        // Cut between the archives: only the first may go.
+        assert_eq!(truncate_below(&path, Timestamp(15)).unwrap(), 1);
+        assert_eq!(read_log(&path).unwrap(), b"BBCC");
+        // Cut above everything: the active file still survives.
+        assert_eq!(truncate_below(&path, Timestamp(1000)).unwrap(), 1);
+        assert_eq!(read_log(&path).unwrap(), b"CC");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn read_log_of_missing_files_is_empty() {
+        let path = tmp("missing");
+        cleanup(&path);
+        assert!(read_log(&path).unwrap().is_empty());
+    }
+}

@@ -51,13 +51,15 @@
 //! | [`storage`] | 1 MB blocks, layouts, the relaxed format |
 //! | [`txn`] | MVCC transactions and the Data Table API |
 //! | [`gc`] | epoch GC + deferred actions |
-//! | [`wal`] | logging and recovery |
+//! | [`wal`] | segmented logging and recovery |
+//! | [`checkpoint`] | Arrow-native checkpoints + fast restart |
 //! | [`transform`] | hot→cold block transformation |
 //! | [`export`] | the four export protocols |
 //! | [`db`] | catalog + assembled database |
 //! | [`workloads`] | TPC-C, TPC-H LINEITEM, row-vs-column drivers |
 
 pub use mainline_arrowlite as arrowlite;
+pub use mainline_checkpoint as checkpoint;
 pub use mainline_common as common;
 pub use mainline_db as db;
 pub use mainline_export as export;

@@ -1,0 +1,21 @@
+//! Helpers shared by the integration tests.
+
+use mainline::common::value::Value;
+use mainline::txn::{DataTable, TransactionManager};
+
+/// Materialize the full visible relation of `table` through the
+/// transactional read path, sorted by the first column (assumed to be a
+/// unique integer id) so relations from different processes compare
+/// row-for-row.
+pub fn relation(manager: &TransactionManager, table: &DataTable) -> Vec<Vec<Value>> {
+    let txn = manager.begin();
+    let mut rows = Vec::new();
+    let cols = table.all_cols();
+    table.scan(&txn, &cols, |_, row| {
+        rows.push(table.row_to_values(row));
+        true
+    });
+    manager.commit(&txn);
+    rows.sort_by_key(|r| r[0].as_i64().expect("sortable integer id in column 0"));
+    rows
+}

@@ -1,6 +1,9 @@
 //! All four export protocols must deliver the same logical relation, hot or
 //! frozen — the paper's claim is that they differ in *cost*, never content.
 
+mod common;
+
+use common::relation;
 use mainline::common::rng::Xoshiro256;
 use mainline::common::schema::{ColumnDef, Schema};
 use mainline::common::value::{TypeId, Value};
@@ -99,14 +102,7 @@ fn flight_payload_roundtrips_exactly() {
     let (db, t) = build_db(true);
     let types = t.table().types().to_vec();
     // Expected relation via the transactional read path.
-    let txn = db.manager().begin();
-    let mut expected = Vec::new();
-    let cols = t.table().all_cols();
-    t.table().scan(&txn, &cols, |_, row| {
-        expected.push(t.table().row_to_values(row));
-        true
-    });
-    db.manager().commit(&txn);
+    let expected = relation(db.manager(), t.table());
 
     // Actual relation via encode/decode of the export batches.
     let mut actual = Vec::new();
@@ -123,7 +119,6 @@ fn flight_payload_roundtrips_exactly() {
             }
         }
     }
-    expected.sort_by_key(|r| r[0].as_i64().unwrap());
     actual.sort_by_key(|r| r[0].as_i64().unwrap());
     assert_eq!(expected.len(), actual.len());
     assert_eq!(expected, actual);

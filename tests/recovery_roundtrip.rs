@@ -23,6 +23,11 @@ fn tmp(name: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
     p.push(format!("mainline-it-recovery-{}-{}", std::process::id(), name));
     let _ = std::fs::remove_file(&p);
+    // Under forced rotation (MAINLINE_WAL_SEGMENT_BYTES) the log may have
+    // left archive segments behind; stale ones would corrupt a rerun.
+    for seg in wal::segments::list_segments(&p).unwrap() {
+        let _ = std::fs::remove_file(&seg.path);
+    }
     p
 }
 
@@ -110,7 +115,7 @@ fn random_workload_replays_exactly() {
     // Recover into a fresh database.
     let db = Database::open(DbConfig::default()).unwrap();
     let t = db.create_table("t", schema(), vec![IndexSpec::new("pk", &[0])], false).unwrap();
-    let log = std::fs::read(&path).unwrap();
+    let log = wal::segments::read_log(&path).unwrap();
     let stats = wal::recover(&log, db.manager(), &db.catalog().tables_by_id()).unwrap();
     assert!(stats.txns_replayed > 0);
 
@@ -189,7 +194,7 @@ fn mid_stall_crash_replays_every_acked_commit() {
     }
 
     // A fresh process replays the log into a fresh database.
-    let log = std::fs::read(&path).unwrap();
+    let log = wal::segments::read_log(&path).unwrap();
     let db = Database::open(DbConfig::default()).unwrap();
     let t = db.create_table("t", schema(), vec![], false).unwrap();
     let stats = wal::recover(&log, db.manager(), &db.catalog().tables_by_id()).unwrap();
@@ -229,7 +234,7 @@ fn torn_log_tail_recovers_prefix() {
         db.shutdown();
     }
     // Truncate the log mid-frame to simulate a crash during a write.
-    let mut log = std::fs::read(&path).unwrap();
+    let mut log = wal::segments::read_log(&path).unwrap();
     log.truncate(log.len() - 37);
     let db = Database::open(DbConfig::default()).unwrap();
     let t = db.create_table("t", schema(), vec![], false).unwrap();
