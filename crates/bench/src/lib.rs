@@ -125,6 +125,7 @@ pub fn force_freeze(block: &Arc<Block>, dictionary: bool) {
         } else {
             mainline_transform::gather::gather_block(block)
         };
+        block.stamp_freeze();
         BlockStateMachine::finish_freezing(h);
         displaced.free();
     }

@@ -36,19 +36,36 @@
 //! raw bytes *is* a consistent snapshot. Hot, cooling, and freezing blocks
 //! go through `DataTable::select`, which is MVCC-correct by construction.
 //!
+//! ## Incremental checkpoints
+//!
+//! A frozen block's bytes are immutable until a writer thaws it, and every
+//! freeze draws a fresh process-unique **freeze stamp**
+//! ([`mainline_storage::raw_block::Block::stamp_freeze`]). The checkpoint
+//! writer indexes the previous manifest's cold frames by
+//! `(table, base, stamp)` and, for any frozen block whose identity already
+//! appears there, emits a manifest `frame` line *referencing* the prior
+//! checkpoint's segment file instead of rewriting the bytes — manifest-diff
+//! style. References may span several generations; the restore loader
+//! resolves them under the shared root, and pruning keeps every directory
+//! the published manifest still references. Checkpoint cost is therefore
+//! O(changed data), not O(all data).
+//!
 //! ## On-disk layout
 //!
 //! ```text
 //! <root>/CURRENT              name of the live checkpoint directory
-//! <root>/ckpt-<ts>/MANIFEST   tables, schemas, indexes, segment list
-//! <root>/ckpt-<ts>/table-<id>.cold    frozen-block IPC frames
+//! <root>/ckpt-<ts>/MANIFEST   tables, schemas, indexes, segments, frames
+//! <root>/ckpt-<ts>/table-<id>.cold    frozen-block IPC frames (new ones)
 //! <root>/ckpt-<ts>/table-<id>.delta   hot-row redo stream
 //! ```
 //!
 //! The manifest is written last and the directory + `CURRENT` pointer are
 //! published by atomic rename, so a crash mid-checkpoint leaves the previous
 //! checkpoint (or none) intact and the WAL untouched — truncation only runs
-//! after `CURRENT` points at the new checkpoint.
+//! after `CURRENT` points at the new checkpoint. Every file operation of the
+//! publish sequence is crash-injectable via [`mainline_common::failpoint`];
+//! the root-level `crash_matrix` test battery iterates a simulated crash
+//! across all of them.
 
 #![warn(missing_docs)]
 
@@ -56,6 +73,8 @@ pub mod manifest;
 pub mod restore;
 pub mod writer;
 
-pub use manifest::{IndexManifest, Manifest, SegmentEntry, SegmentKind, TableManifest};
+pub use manifest::{FrameRef, IndexManifest, Manifest, SegmentEntry, SegmentKind, TableManifest};
 pub use restore::{load_into, read_manifest, ColdFrame, LoadStats};
-pub use writer::{write_checkpoint, CheckpointStats, TableCheckpointSpec};
+pub use writer::{
+    write_checkpoint, write_checkpoint_anchored, CheckpointStats, TableCheckpointSpec,
+};

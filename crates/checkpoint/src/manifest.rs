@@ -1,19 +1,36 @@
 //! The checkpoint manifest: a small, line-oriented description of what the
 //! checkpoint contains — tables (with schemas and index definitions, so a
 //! restart can recreate the catalog without outside help), the checkpoint
-//! timestamp, and the segment files.
+//! timestamp, the segment files, and — since v2 — one `frame` line per cold
+//! (frozen-block) frame giving its content identity and its location, which
+//! may live in an **earlier checkpoint's directory** (incremental
+//! checkpoints reference unchanged frames instead of rewriting them).
 //!
 //! Format (tab-separated, names last so they may contain spaces):
 //!
 //! ```text
-//! mainline-checkpoint<TAB>v1
+//! mainline-checkpoint<TAB>v2
 //! ts<TAB><u64>
+//! nextid<TAB><u32>                      (optional: catalog's next table id)
 //! table<TAB><id><TAB><0|1 transform><TAB><name>
 //! col<TAB><table id><TAB><type><TAB><0|1 nullable><TAB><name>
 //! index<TAB><table id><TAB><c0,c1,...><TAB><name>
 //! segment<TAB><table id><TAB><cold|delta><TAB><count><TAB><file>
+//! frame<TAB><table id><TAB><base><TAB><stamp><TAB><idx><TAB><bytes><TAB><dir>/<file>
 //! end
 //! ```
+//!
+//! The parser accepts v2 only. The PR-4 v1 format is deliberately rejected
+//! with a loud error rather than migrated: checkpoints are regenerable
+//! artifacts of a research engine, no deployment contract covers them, and
+//! silently misreading a v1 cold segment list as same-directory frames
+//! would be worse than failing.
+//!
+//! A `frame` line's `<dir>` is a checkpoint directory name under the same
+//! root (the current checkpoint's own directory for freshly written frames);
+//! `<idx>` is the zero-based frame index inside that cold segment file. The
+//! complete cold image of the checkpoint is exactly its `frame` lines —
+//! `segment … cold` lines only describe files *written by* this checkpoint.
 //!
 //! The trailing `end` line doubles as a torn-write detector: the writer
 //! emits it last and the parser rejects a manifest without it.
@@ -21,6 +38,7 @@
 use mainline_common::schema::{ColumnDef, Schema};
 use mainline_common::value::TypeId;
 use mainline_common::{Error, Result, Timestamp};
+use std::collections::BTreeSet;
 use std::path::Path;
 
 /// One secondary-index definition, recorded so restart can rebuild it.
@@ -77,6 +95,31 @@ pub struct SegmentEntry {
     pub file: String,
 }
 
+/// One cold (frozen-block) frame of the checkpoint: its content identity
+/// (`old_base`, `freeze_stamp`) and where its bytes live. The location may
+/// point into an earlier checkpoint's directory — that is what makes
+/// checkpoints incremental.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameRef {
+    /// Owning table id.
+    pub table_id: u32,
+    /// Block base address in the checkpointed process (slot-remap key, and
+    /// half of the content identity).
+    pub old_base: u64,
+    /// The block's freeze stamp at capture time (the other half of the
+    /// identity; 0 = unknown, never matched by a later diff).
+    pub freeze_stamp: u64,
+    /// Zero-based frame index inside the cold segment file.
+    pub index: u32,
+    /// Raw Arrow IPC payload bytes of the frame (bookkeeping for the
+    /// incremental-savings accounting; not needed to read the frame).
+    pub bytes: u64,
+    /// Checkpoint directory name (under the shared root) holding the file.
+    pub dir: String,
+    /// Cold segment file name inside `dir`.
+    pub file: String,
+}
+
 /// Everything a restart needs to know about a checkpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
@@ -84,10 +127,36 @@ pub struct Manifest {
     /// version visible at this timestamp, and WAL replay resumes strictly
     /// after it.
     pub checkpoint_ts: Timestamp,
+    /// The catalog's next table id at the checkpoint (0 = unrecorded).
+    /// Restart uses it to classify a WAL-tail record referencing an id
+    /// below this bound that is in neither the manifest nor a replayed
+    /// `CREATE`: the table was dropped before the checkpoint (and the
+    /// `DROP` record may have been truncated away), so the straggler is
+    /// discarded instead of failing the restart.
+    pub next_table_id: u32,
+    /// The writing process's freeze-stamp era
+    /// ([`mainline_storage::raw_block::freeze_era`]; 0 = unknown). Frame
+    /// identities `(base, stamp)` are only unique *within* one era, so the
+    /// incremental writer reuses frames exclusively from a manifest of its
+    /// own era — a different process's manifest is diffed as empty.
+    pub freeze_era: u64,
     /// Checkpointed tables.
     pub tables: Vec<TableManifest>,
-    /// Segment files.
+    /// Segment files *written by this checkpoint* (cold files hold only the
+    /// frames that changed since the previous checkpoint; delta files are
+    /// always fresh).
     pub segments: Vec<SegmentEntry>,
+    /// The complete cold image: every frozen-block frame, wherever its bytes
+    /// live in the checkpoint chain.
+    pub frames: Vec<FrameRef>,
+}
+
+impl Manifest {
+    /// Every checkpoint directory name this manifest's frames reference —
+    /// the set a pruner must keep alive (plus the manifest's own directory).
+    pub fn referenced_dirs(&self) -> BTreeSet<String> {
+        self.frames.iter().map(|f| f.dir.clone()).collect()
+    }
 }
 
 fn type_name(ty: TypeId) -> &'static str {
@@ -124,8 +193,14 @@ impl Manifest {
     /// Serialize to the line format above.
     pub fn encode(&self) -> Result<String> {
         let mut out = String::new();
-        out.push_str("mainline-checkpoint\tv1\n");
+        out.push_str("mainline-checkpoint\tv2\n");
         out.push_str(&format!("ts\t{}\n", self.checkpoint_ts.0));
+        if self.next_table_id != 0 {
+            out.push_str(&format!("nextid\t{}\n", self.next_table_id));
+        }
+        if self.freeze_era != 0 {
+            out.push_str(&format!("era\t{}\n", self.freeze_era));
+        }
         for t in &self.tables {
             check_name(&t.name)?;
             out.push_str(&format!("table\t{}\t{}\t{}\n", t.id, t.transform as u8, t.name));
@@ -153,6 +228,20 @@ impl Manifest {
             };
             out.push_str(&format!("segment\t{}\t{}\t{}\t{}\n", s.table_id, kind, s.count, s.file));
         }
+        for f in &self.frames {
+            check_name(&f.dir)?;
+            check_name(&f.file)?;
+            if f.dir.contains('/') || f.file.contains('/') {
+                return Err(Error::Layout(format!(
+                    "frame location {}/{} cannot be checkpointed",
+                    f.dir, f.file
+                )));
+            }
+            out.push_str(&format!(
+                "frame\t{}\t{}\t{}\t{}\t{}\t{}/{}\n",
+                f.table_id, f.old_base, f.freeze_stamp, f.index, f.bytes, f.dir, f.file
+            ));
+        }
         out.push_str("end\n");
         Ok(out)
     }
@@ -164,11 +253,17 @@ impl Manifest {
     pub fn parse(text: &str) -> Result<Manifest> {
         let corrupt = |msg: &str| Error::Corrupt(format!("manifest: {msg}"));
         let mut lines = text.lines();
-        if lines.next() != Some("mainline-checkpoint\tv1") {
+        if lines.next() != Some("mainline-checkpoint\tv2") {
             return Err(corrupt("bad header"));
         }
-        let mut manifest =
-            Manifest { checkpoint_ts: Timestamp::ZERO, tables: Vec::new(), segments: Vec::new() };
+        let mut manifest = Manifest {
+            checkpoint_ts: Timestamp::ZERO,
+            next_table_id: 0,
+            freeze_era: 0,
+            tables: Vec::new(),
+            segments: Vec::new(),
+            frames: Vec::new(),
+        };
         let mut ended = false;
         for line in lines {
             let mut f = line.split('\t');
@@ -176,6 +271,12 @@ impl Manifest {
                 Some("ts") => {
                     let v = f.next().ok_or_else(|| corrupt("ts"))?;
                     manifest.checkpoint_ts = Timestamp(v.parse().map_err(|_| corrupt("ts value"))?);
+                }
+                Some("nextid") => {
+                    manifest.next_table_id = parse_field(f.next(), "nextid")?;
+                }
+                Some("era") => {
+                    manifest.freeze_era = parse_field(f.next(), "era")?;
                 }
                 Some("table") => {
                     let id = parse_field(f.next(), "table id")?;
@@ -229,6 +330,28 @@ impl Manifest {
                         file: file.to_string(),
                     });
                 }
+                Some("frame") => {
+                    let table_id: u32 = parse_field(f.next(), "frame table")?;
+                    let old_base: u64 = parse_field(f.next(), "frame base")?;
+                    let freeze_stamp: u64 = parse_field(f.next(), "frame stamp")?;
+                    let index: u32 = parse_field(f.next(), "frame index")?;
+                    let bytes: u64 = parse_field(f.next(), "frame bytes")?;
+                    let loc = f.next().ok_or_else(|| corrupt("frame location"))?;
+                    let (dir, file) =
+                        loc.split_once('/').ok_or_else(|| corrupt("frame location"))?;
+                    if dir.is_empty() || file.is_empty() || file.contains('/') {
+                        return Err(corrupt("frame location"));
+                    }
+                    manifest.frames.push(FrameRef {
+                        table_id,
+                        old_base,
+                        freeze_stamp,
+                        index,
+                        bytes,
+                        dir: dir.to_string(),
+                        file: file.to_string(),
+                    });
+                }
                 Some("end") => {
                     ended = true;
                     break;
@@ -248,11 +371,15 @@ impl Manifest {
     /// Write to `path` via a temp file + atomic rename, syncing the data
     /// first so the rename never publishes a torn manifest.
     pub fn write_to(&self, path: &Path) -> Result<()> {
+        use mainline_common::failpoint;
         let tmp = path.with_extension("tmp");
         let text = self.encode()?;
+        failpoint::check("manifest.write")?;
         std::fs::write(&tmp, text.as_bytes())?;
+        failpoint::check("manifest.fsync")?;
         let f = std::fs::File::open(&tmp)?;
         f.sync_all()?;
+        failpoint::check("manifest.rename")?;
         std::fs::rename(&tmp, path)?;
         Ok(())
     }
@@ -284,6 +411,8 @@ mod tests {
     fn sample() -> Manifest {
         Manifest {
             checkpoint_ts: Timestamp(4242),
+            next_table_id: 7,
+            freeze_era: 0xDEAD_BEEF,
             tables: vec![TableManifest {
                 id: 1,
                 name: "orders with spaces".into(),
@@ -306,6 +435,26 @@ mod tests {
                     kind: SegmentKind::Delta,
                     count: 120,
                     file: "table-1.delta".into(),
+                },
+            ],
+            frames: vec![
+                FrameRef {
+                    table_id: 1,
+                    old_base: 7 << 20,
+                    freeze_stamp: 31,
+                    index: 0,
+                    bytes: 4096,
+                    dir: "ckpt-00000000000000004242".into(),
+                    file: "table-1.cold".into(),
+                },
+                FrameRef {
+                    table_id: 1,
+                    old_base: 9 << 20,
+                    freeze_stamp: 12,
+                    index: 2,
+                    bytes: 1024,
+                    dir: "ckpt-00000000000000001111".into(),
+                    file: "table-1.cold".into(),
                 },
             ],
         }
@@ -341,6 +490,31 @@ mod tests {
     fn names_with_tabs_rejected_at_write() {
         let mut m = sample();
         m.tables[0].name = "bad\tname".into();
+        assert!(m.encode().is_err());
+    }
+
+    #[test]
+    fn frame_lines_roundtrip_and_locate_across_generations() {
+        let m = sample();
+        let parsed = Manifest::parse(&m.encode().unwrap()).unwrap();
+        assert_eq!(parsed.frames, m.frames);
+        // The second frame points into an *older* checkpoint directory: the
+        // incremental chain. `referenced_dirs` is what pruning must keep.
+        assert_eq!(
+            parsed.referenced_dirs().into_iter().collect::<Vec<_>>(),
+            vec!["ckpt-00000000000000001111".to_string(), "ckpt-00000000000000004242".to_string()]
+        );
+    }
+
+    #[test]
+    fn malformed_frame_lines_rejected() {
+        let good = sample().encode().unwrap();
+        // Location without a dir/file separator.
+        let bad = good.replace("ckpt-00000000000000001111/table-1.cold", "no-separator");
+        assert!(Manifest::parse(&bad).is_err());
+        // Nested path components cannot be encoded in the first place.
+        let mut m = sample();
+        m.frames[0].file = "../escape".into();
         assert!(m.encode().is_err());
     }
 

@@ -126,7 +126,14 @@ pub fn read_manifest(root: &Path) -> Result<(PathBuf, Manifest)> {
 /// table ids). `slot_map` is filled with the old-slot → new-slot mapping of
 /// every restored row; pass it on to [`mainline_wal::recover_from`] for the
 /// tail replay.
+///
+/// `root` is the checkpoint root and `dir` the manifest's own directory (as
+/// returned by [`read_manifest`]): an incremental manifest's `frame` lines
+/// may point into *earlier* checkpoint directories under the same root, and
+/// the loader resolves them there — the restore-time half of the
+/// manifest-diff chain.
 pub fn load_into(
+    root: &Path,
     dir: &Path,
     manifest: &Manifest,
     manager: &TransactionManager,
@@ -134,37 +141,91 @@ pub fn load_into(
     slot_map: &mut HashMap<(u32, u64), TupleSlot>,
 ) -> Result<LoadStats> {
     let mut stats = LoadStats::default();
-    for seg in &manifest.segments {
-        let table = tables
-            .get(&seg.table_id)
-            .ok_or_else(|| Error::NotFound(format!("checkpoint table {}", seg.table_id)))?;
-        let path = dir.join(&seg.file);
-        match seg.kind {
-            SegmentKind::Cold => {
-                for frame in read_cold_frames(&path)? {
-                    let batch = ipc::decode_batch(&frame.payload)?;
-                    let live = rebuild_frozen_block(table, &frame, &batch, slot_map)?;
-                    stats.frozen_blocks += 1;
-                    stats.cold_rows += live;
-                }
-            }
-            SegmentKind::Delta => {
-                let bytes = std::fs::read(&path)?;
-                if bytes.len() < 12 || &bytes[..8] != DELTA_MAGIC {
-                    return Err(Error::Corrupt("bad delta-segment magic".into()));
-                }
-                let rec = mainline_wal::recover_from(
-                    &bytes[12..],
-                    Timestamp::ZERO,
-                    manager,
-                    tables,
-                    slot_map,
-                )?;
-                stats.delta_rows += rec.ops_applied as u64;
-            }
+
+    // Cold image: the manifest's frame list, wherever each frame's bytes
+    // live in the chain. Refs are grouped by file so each cold segment is
+    // read, consumed, and dropped before the next — peak memory is one
+    // file's frames, not the whole generation chain.
+    let mut by_file: Vec<((String, String), Vec<&crate::manifest::FrameRef>)> = Vec::new();
+    for frame_ref in &manifest.frames {
+        let key = (frame_ref.dir.clone(), frame_ref.file.clone());
+        match by_file.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, refs)) => refs.push(frame_ref),
+            None => by_file.push((key, vec![frame_ref])),
         }
     }
+    for ((dir_name, file), refs) in by_file {
+        let frames = read_cold_frames(&root.join(&dir_name).join(&file))?;
+        for frame_ref in refs {
+            let table = tables.get(&frame_ref.table_id).ok_or_else(|| {
+                Error::NotFound(format!("checkpoint table {}", frame_ref.table_id))
+            })?;
+            let frame = frames.get(frame_ref.index as usize).ok_or_else(|| {
+                Error::Corrupt(format!(
+                    "manifest references frame {} of {dir_name}/{file}, which has only {}",
+                    frame_ref.index,
+                    frames.len()
+                ))
+            })?;
+            if frame.table_id != frame_ref.table_id || frame.old_base != frame_ref.old_base {
+                return Err(Error::Corrupt(format!(
+                    "frame {} of {dir_name}/{file} is (table {}, base {:#x}), manifest says \
+                     (table {}, base {:#x})",
+                    frame_ref.index,
+                    frame.table_id,
+                    frame.old_base,
+                    frame_ref.table_id,
+                    frame_ref.old_base
+                )));
+            }
+            let batch = ipc::decode_batch(&frame.payload)?;
+            let live = rebuild_frozen_block(table, frame, &batch, slot_map)?;
+            stats.frozen_blocks += 1;
+            stats.cold_rows += live;
+        }
+    }
+
+    // Delta segments always live in the manifest's own directory (hot-row
+    // snapshots are never shared between generations). These streams are
+    // written by the checkpoint writer and can never contain DDL.
+    for seg in &manifest.segments {
+        if seg.kind != SegmentKind::Delta {
+            continue;
+        }
+        if !tables.contains_key(&seg.table_id) {
+            return Err(Error::NotFound(format!("checkpoint table {}", seg.table_id)));
+        }
+        let path = dir.join(&seg.file);
+        let bytes = std::fs::read(&path)?;
+        if bytes.len() < 12 || &bytes[..8] != DELTA_MAGIC {
+            return Err(Error::Corrupt("bad delta-segment magic".into()));
+        }
+        let rec = mainline_wal::recover_from(
+            &bytes[12..],
+            Timestamp::ZERO,
+            manager,
+            tables,
+            slot_map,
+            &mut mainline_wal::NoDdl,
+        )?;
+        stats.delta_rows += rec.ops_applied as u64;
+    }
     Ok(stats)
+}
+
+/// Validate an i32 offsets array before raw pointers are derived from it:
+/// non-negative, non-decreasing, and bounded by the value buffer's length.
+fn check_offsets(offsets: &[i32], values_len: usize, col: u16, what: &str) -> Result<()> {
+    let mut prev = 0i32;
+    for &o in offsets {
+        if o < prev || o as usize > values_len {
+            return Err(Error::Corrupt(format!(
+                "{what} column {col}: offset {o} invalid (prev {prev}, {values_len} value bytes)"
+            )));
+        }
+        prev = o;
+    }
+    Ok(())
 }
 
 /// Reconstruct one frozen block from its IPC payload + envelope and append
@@ -249,6 +310,10 @@ fn rebuild_frozen_block(
                 let mut offsets = short.to_vec();
                 offsets.resize(total_slots + 1, *short.last().unwrap_or(&0));
                 let values: Box<[u8]> = a.values().as_slice().into();
+                // The entries below are raw pointers computed from these
+                // offsets; a corrupt file must become an error here, not an
+                // out-of-bounds pointer in a live block.
+                check_offsets(&offsets, values.len(), col, "varbinary")?;
                 let base = values.as_ptr();
                 let mut valid = 0usize;
                 for slot in 0..n {
@@ -282,6 +347,13 @@ fn rebuild_frozen_block(
                 codes.resize(total_slots, -1);
                 let dict_offsets = a.dictionary().offsets().typed::<i32>().to_vec();
                 let dict_values: Box<[u8]> = a.dictionary().values().as_slice().into();
+                check_offsets(&dict_offsets, dict_values.len(), col, "dictionary")?;
+                let max_code = dict_offsets.len().saturating_sub(1) as i64;
+                if codes.iter().any(|&c| (c as i64) >= max_code) {
+                    return Err(Error::Corrupt(format!(
+                        "dictionary column {col}: code out of range (dict has {max_code} entries)"
+                    )));
+                }
                 let base = dict_values.as_ptr();
                 let mut valid = 0usize;
                 for slot in 0..n {
@@ -314,6 +386,10 @@ fn rebuild_frozen_block(
 
     let h = block.header();
     h.set_insert_head(n);
+    // Fresh identity for the rebuilt content: the next incremental
+    // checkpoint in *this* process diffs against its own manifest chain, and
+    // the restored block is new content as far as that chain is concerned.
+    block.stamp_freeze();
     h.set_state_raw(BlockState::Frozen as u32);
 
     for slot in 0..n {

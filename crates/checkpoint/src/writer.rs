@@ -5,6 +5,14 @@
 //! the frozen-block fast path consistent). Writers keep running throughout —
 //! the walk takes no locks beyond each frozen block's Fig. 7 reader counter.
 //!
+//! **Incremental:** before the walk, the writer reads the previous
+//! checkpoint's manifest (via `CURRENT`) and indexes its cold frames by
+//! `(table id, block base, freeze stamp)`. A frozen block whose identity
+//! already appears there is not re-encoded or re-written — its manifest
+//! `frame` line simply carries the prior location forward (possibly several
+//! generations back). Checkpoint cost is therefore bounded by *changed*
+//! data; pruning keeps every directory the new manifest still references.
+//!
 //! Segment encodings:
 //!
 //! * `table-<id>.cold` — `MLCKCLD1` + `u32 table_id`, then one frame per
@@ -22,17 +30,24 @@
 //!   current physical slot, for the same remapping) and a single commit
 //!   marker at the checkpoint timestamp. Restart replays it with the
 //!   ordinary recovery machinery.
+//!
+//! Every externally visible file operation of the publish sequence consults
+//! [`mainline_common::failpoint`], so the crash-matrix battery can kill the
+//! sequence after any prefix and prove the surviving state restores.
 
-use crate::manifest::{IndexManifest, Manifest, SegmentEntry, SegmentKind, TableManifest};
+use crate::manifest::{
+    FrameRef, IndexManifest, Manifest, SegmentEntry, SegmentKind, TableManifest,
+};
 use mainline_arrowlite::ipc;
 use mainline_common::value::{TypeId, Value};
-use mainline_common::{Result, Timestamp};
+use mainline_common::{failpoint, Result, Timestamp};
 use mainline_export::materialize::frozen_batch;
 use mainline_storage::block_state::BlockStateMachine;
 use mainline_storage::layout::NUM_RESERVED_COLS;
 use mainline_storage::{access, TupleSlot};
 use mainline_txn::{DataTable, RedoCol, RedoOp, RedoRecord, TransactionManager};
 use mainline_wal::record::{encode_commit, encode_redo};
+use std::collections::{BTreeSet, HashMap};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -59,10 +74,17 @@ pub struct TableCheckpointSpec {
 pub struct CheckpointStats {
     /// The checkpoint timestamp (WAL replay resumes strictly after it).
     pub checkpoint_ts: Timestamp,
-    /// Frozen blocks captured via the zero-transformation IPC path.
+    /// Frozen blocks newly captured via the zero-transformation IPC path
+    /// (excluding frames reused from the previous checkpoint).
     pub frozen_blocks: usize,
-    /// Bytes of raw Arrow IPC payload written (excluding envelopes).
+    /// Frozen blocks whose `(base, freeze stamp)` already appeared in the
+    /// previous checkpoint: referenced, not rewritten.
+    pub frozen_blocks_reused: usize,
+    /// Bytes of raw Arrow IPC payload written (excluding envelopes and
+    /// reused frames).
     pub cold_bytes: u64,
+    /// IPC payload bytes covered by reused frames — the incremental saving.
+    pub cold_bytes_reused: u64,
     /// Hot rows materialized through the MVCC snapshot path.
     pub delta_rows: u64,
     /// Bytes of delta redo stream written.
@@ -94,22 +116,85 @@ fn ckpt_dir_name(ts: Timestamp) -> String {
     format!("ckpt-{:020}", ts.0)
 }
 
+/// The previous checkpoint's cold frames, indexed by content identity, plus
+/// an existence cache for the files they live in (defensive: a manually
+/// deleted old segment must cause a fresh write, not a dangling reference).
+struct PrevFrames {
+    by_identity: HashMap<(u32, u64, u64), FrameRef>,
+    file_exists: HashMap<(String, String), bool>,
+}
+
+impl PrevFrames {
+    fn load(root: &Path) -> PrevFrames {
+        let by_identity = match crate::restore::read_manifest(root) {
+            // Frame identities are only unique within one process's
+            // freeze-stamp era: the counter restarts at 1 per process and
+            // block addresses can recur, so a manifest written by a
+            // different process (a restart, or a fresh engine over an old
+            // root) is diffed as empty — the first checkpoint of a new era
+            // rewrites everything rather than risking a stale-frame match.
+            Ok((_, prev)) if prev.freeze_era == mainline_storage::raw_block::freeze_era() => prev
+                .frames
+                .into_iter()
+                .filter(|f| f.freeze_stamp != 0)
+                .map(|f| ((f.table_id, f.old_base, f.freeze_stamp), f))
+                .collect(),
+            _ => HashMap::new(),
+        };
+        PrevFrames { by_identity, file_exists: HashMap::new() }
+    }
+
+    /// A reusable prior frame for this identity, if its file still exists.
+    fn reusable(&mut self, root: &Path, key: (u32, u64, u64)) -> Option<FrameRef> {
+        let frame = self.by_identity.get(&key)?.clone();
+        let loc = (frame.dir.clone(), frame.file.clone());
+        let exists = *self
+            .file_exists
+            .entry(loc)
+            .or_insert_with(|| root.join(&frame.dir).join(&frame.file).is_file());
+        exists.then_some(frame)
+    }
+}
+
 /// Write a consistent online checkpoint of `specs` under `root` and publish
-/// it via the `CURRENT` pointer. Older checkpoints under `root` are pruned
-/// after the new one is live. See the crate docs for the protocol; callers
-/// that also want WAL truncation do it *after* this returns, using
+/// it via the `CURRENT` pointer. Frozen blocks already captured by the
+/// previous checkpoint are *referenced* instead of rewritten (see the module
+/// docs); checkpoints under `root` that the new manifest no longer
+/// references are pruned after the new one is live. Callers that also want
+/// WAL truncation do it *after* this returns, using
 /// [`CheckpointStats::checkpoint_ts`].
 pub fn write_checkpoint(
     manager: &TransactionManager,
     specs: &[TableCheckpointSpec],
     root: &Path,
 ) -> Result<CheckpointStats> {
-    let t0 = std::time::Instant::now();
-    std::fs::create_dir_all(root)?;
-
     // The open transaction is the consistency anchor: hold it across the
     // entire walk (see the crate-level argument).
     let txn = manager.begin();
+    write_checkpoint_anchored(manager, txn, specs, 0, root)
+}
+
+/// [`write_checkpoint`] with a caller-provided anchor transaction.
+///
+/// DDL and checkpointing race: the manifest's table set must equal the
+/// catalog state *at the checkpoint timestamp*, or a `CREATE`/`DROP`
+/// committing between the catalog snapshot and the anchor `begin()` would
+/// be both missing from the manifest and skipped by the tail replay (its
+/// commit ts ≤ checkpoint ts). The database layer therefore snapshots its
+/// catalog and begins the anchor under the same catalog lock that orders
+/// DDL commits, then hands both here. `next_table_id` (0 = unknown) is
+/// recorded in the manifest so restart can tell a long-dropped table's
+/// straggler records from corruption.
+pub fn write_checkpoint_anchored(
+    manager: &TransactionManager,
+    txn: Arc<mainline_txn::Transaction>,
+    specs: &[TableCheckpointSpec],
+    next_table_id: u32,
+    root: &Path,
+) -> Result<CheckpointStats> {
+    let t0 = std::time::Instant::now();
+    std::fs::create_dir_all(root)?;
+    let mut prev = PrevFrames::load(root);
     let checkpoint_ts = txn.start_ts();
 
     let dir_name = ckpt_dir_name(checkpoint_ts);
@@ -121,15 +206,96 @@ pub fn write_checkpoint(
     let mut stats = CheckpointStats {
         checkpoint_ts,
         frozen_blocks: 0,
+        frozen_blocks_reused: 0,
         cold_bytes: 0,
+        cold_bytes_reused: 0,
         delta_rows: 0,
         delta_bytes: 0,
         tables: specs.len(),
         duration_secs: 0.0,
         dir: final_dir.clone(),
     };
-    let mut manifest = Manifest { checkpoint_ts, tables: Vec::new(), segments: Vec::new() };
+    let mut manifest = Manifest {
+        checkpoint_ts,
+        next_table_id,
+        freeze_era: mainline_storage::raw_block::freeze_era(),
+        tables: Vec::new(),
+        segments: Vec::new(),
+        frames: Vec::new(),
+    };
 
+    // The walk may fail mid-way (full disk, injected crash); the anchor
+    // transaction must be committed on every path, or it would pin GC
+    // pruning forever.
+    let walk = walk_tables(
+        specs,
+        root,
+        &tmp_dir,
+        &dir_name,
+        &txn,
+        checkpoint_ts,
+        &mut prev,
+        &mut stats,
+        &mut manifest,
+    );
+    // The walk is complete (or abandoned): every byte that needed the
+    // consistency anchor has been read. Release the transaction before the
+    // (potentially slow) fsync/publish dance so GC pruning resumes as early
+    // as possible.
+    manager.commit(&txn);
+    walk?;
+
+    manifest.write_to(&tmp_dir.join("MANIFEST"))?;
+    // The segment/MANIFEST *contents* are synced above; this makes their
+    // directory entries durable before the directory is published.
+    failpoint::check("ckpt.tmpdir.fsync")?;
+    fsync_dir(&tmp_dir);
+    let _ = std::fs::remove_dir_all(&final_dir);
+    failpoint::check("ckpt.dir.rename")?;
+    std::fs::rename(&tmp_dir, &final_dir)?;
+    failpoint::check("ckpt.root.fsync")?;
+    fsync_dir(root);
+
+    // Publish: CURRENT names the live checkpoint (atomic rename), then prune
+    // superseded checkpoints. The directory fsyncs make the renames durable
+    // *before* anything is deleted — pruning (or the caller's WAL
+    // truncation) ahead of the rename reaching the journal could leave a
+    // crash with neither the old checkpoint nor the new one.
+    let current_tmp = root.join("CURRENT.tmp");
+    failpoint::check("ckpt.current.write")?;
+    std::fs::write(&current_tmp, format!("{dir_name}\n"))?;
+    failpoint::check("ckpt.current.fsync")?;
+    std::fs::File::open(&current_tmp)?.sync_all()?;
+    failpoint::check("ckpt.current.rename")?;
+    std::fs::rename(&current_tmp, root.join("CURRENT"))?;
+    failpoint::check("ckpt.root.fsync2")?;
+    fsync_dir(root);
+
+    // Keep every directory the *published* manifest still references — the
+    // incremental chain — and the new checkpoint itself; prune the rest.
+    let mut keep = manifest.referenced_dirs();
+    keep.insert(dir_name);
+    prune_old(root, &keep);
+
+    stats.duration_secs = t0.elapsed().as_secs_f64();
+    Ok(stats)
+}
+
+/// The table/block walk: everything that must happen while the anchor
+/// transaction is open. Split out so [`write_checkpoint`] can commit the
+/// transaction on the error path too.
+#[allow(clippy::too_many_arguments)] // internal to write_checkpoint
+fn walk_tables(
+    specs: &[TableCheckpointSpec],
+    root: &Path,
+    tmp_dir: &Path,
+    dir_name: &str,
+    txn: &Arc<mainline_txn::Transaction>,
+    checkpoint_ts: Timestamp,
+    prev: &mut PrevFrames,
+    stats: &mut CheckpointStats,
+    manifest: &mut Manifest,
+) -> Result<()> {
     for spec in specs {
         let table = &spec.table;
         let id = table.id();
@@ -150,13 +316,27 @@ pub fn write_checkpoint(
 
         let layout = table.layout();
         let types = table.types();
-        let mut cold = SegmentWriter::new(&tmp_dir, format!("table-{id}.cold"), COLD_MAGIC, id)?;
-        let mut delta = SegmentWriter::new(&tmp_dir, format!("table-{id}.delta"), DELTA_MAGIC, id)?;
+        let file_name = format!("table-{id}.cold");
+        let mut cold = SegmentWriter::new(tmp_dir, file_name.clone(), COLD_MAGIC, id)?;
+        let mut delta = SegmentWriter::new(tmp_dir, format!("table-{id}.delta"), DELTA_MAGIC, id)?;
         let mut scratch = Vec::new();
 
         for block in table.blocks() {
             let h = block.header();
             if BlockStateMachine::reader_acquire(h) {
+                // Frozen. Content identity: (base, stamp), both stable while
+                // we hold the reader count.
+                let base = block.as_ptr() as u64;
+                let stamp = block.freeze_stamp();
+                if let Some(prior) = prev.reusable(root, (id, base, stamp)) {
+                    // Incremental fast path: the previous checkpoint already
+                    // holds these exact bytes — reference, don't rewrite.
+                    BlockStateMachine::reader_release(h);
+                    stats.frozen_blocks_reused += 1;
+                    stats.cold_bytes_reused += prior.bytes;
+                    manifest.frames.push(prior);
+                    continue;
+                }
                 // Zero-transformation path: the payload is the exact IPC
                 // frame export would produce; copy raw buffers, no per-row
                 // work. The open txn guarantees the content is the
@@ -170,8 +350,17 @@ pub fn write_checkpoint(
                     }
                 }
                 BlockStateMachine::reader_release(h);
-                cold.frame_header(block.as_ptr() as u64, n, &bitmap, payload.len() as u64)?;
+                cold.frame_header(base, n, &bitmap, payload.len() as u64)?;
                 cold.write(&payload)?;
+                manifest.frames.push(FrameRef {
+                    table_id: id,
+                    old_base: base,
+                    freeze_stamp: stamp,
+                    index: cold.count as u32,
+                    bytes: payload.len() as u64,
+                    dir: dir_name.to_string(),
+                    file: file_name.clone(),
+                });
                 cold.count += 1;
                 stats.frozen_blocks += 1;
                 stats.cold_bytes += payload.len() as u64;
@@ -182,7 +371,7 @@ pub fn write_checkpoint(
                 let upper = h.insert_head().min(layout.num_slots());
                 for idx in 0..upper {
                     let slot = TupleSlot::new(block.as_ptr(), idx);
-                    let Some(values) = table.select_values(&txn, slot) else { continue };
+                    let Some(values) = table.select_values(txn, slot) else { continue };
                     let cols = values
                         .iter()
                         .enumerate()
@@ -213,34 +402,7 @@ pub fn write_checkpoint(
             manifest.segments.push(entry);
         }
     }
-
-    // The walk is complete: every byte that needed the consistency anchor
-    // has been read. Release the transaction before the (potentially slow)
-    // fsync/publish dance so GC pruning resumes as early as possible.
-    manager.commit(&txn);
-
-    manifest.write_to(&tmp_dir.join("MANIFEST"))?;
-    // The segment/MANIFEST *contents* are synced above; this makes their
-    // directory entries durable before the directory is published.
-    fsync_dir(&tmp_dir);
-    let _ = std::fs::remove_dir_all(&final_dir);
-    std::fs::rename(&tmp_dir, &final_dir)?;
-    fsync_dir(root);
-
-    // Publish: CURRENT names the live checkpoint (atomic rename), then prune
-    // superseded checkpoints. The directory fsyncs make the renames durable
-    // *before* anything is deleted — pruning (or the caller's WAL
-    // truncation) ahead of the rename reaching the journal could leave a
-    // crash with neither the old checkpoint nor the new one.
-    let current_tmp = root.join("CURRENT.tmp");
-    std::fs::write(&current_tmp, format!("{dir_name}\n"))?;
-    std::fs::File::open(&current_tmp)?.sync_all()?;
-    std::fs::rename(&current_tmp, root.join("CURRENT"))?;
-    fsync_dir(root);
-    prune_old(root, &dir_name);
-
-    stats.duration_secs = t0.elapsed().as_secs_f64();
-    Ok(stats)
+    Ok(())
 }
 
 /// Fsync a directory so the renames inside it are durable. Best-effort:
@@ -252,14 +414,19 @@ fn fsync_dir(dir: &Path) {
     }
 }
 
-/// Best-effort removal of superseded checkpoint directories and stale tmp
-/// dirs. Failures are ignored: an orphan directory wastes disk, nothing
-/// more, and the next checkpoint retries.
-fn prune_old(root: &Path, keep: &str) {
+/// Best-effort removal of checkpoint directories (and stale tmp dirs) that
+/// the just-published manifest no longer references. Failures are ignored:
+/// an orphan directory wastes disk, nothing more, and the next checkpoint
+/// retries. An injected crash aborts the rest of the prune, exactly like a
+/// real one.
+fn prune_old(root: &Path, keep: &BTreeSet<String>) {
     let Ok(entries) = std::fs::read_dir(root) else { return };
     for e in entries.flatten() {
         let name = e.file_name().to_string_lossy().into_owned();
-        if name.starts_with("ckpt-") && name != keep {
+        if name.starts_with("ckpt-") && !keep.contains(&name) {
+            if failpoint::check("ckpt.prune.remove").is_err() {
+                return;
+            }
             let _ = std::fs::remove_dir_all(e.path());
         }
     }
@@ -327,6 +494,7 @@ impl SegmentWriter {
 
     fn finish(mut self, kind: SegmentKind) -> Result<Option<SegmentEntry>> {
         let Some(mut w) = self.out.take() else { return Ok(None) };
+        failpoint::check("ckpt.segment.sync")?;
         w.flush()?;
         w.get_ref().sync_all()?;
         Ok(Some(SegmentEntry {

@@ -33,11 +33,11 @@ fn row(i: i64) -> ProjectedRow {
     )
 }
 
-fn freeze_first_block(m: &Arc<TransactionManager>, t: &Arc<DataTable>, dictionary: bool) {
+fn freeze_block(m: &Arc<TransactionManager>, t: &Arc<DataTable>, idx: usize, dictionary: bool) {
     let mut gc = mainline_gc::GarbageCollector::new(Arc::clone(m));
     gc.run();
     gc.run();
-    let block = t.blocks()[0].clone();
+    let block = t.blocks()[idx].clone();
     let h = block.header();
     assert!(BlockStateMachine::begin_cooling(h));
     assert!(BlockStateMachine::begin_freezing(h));
@@ -47,9 +47,14 @@ fn freeze_first_block(m: &Arc<TransactionManager>, t: &Arc<DataTable>, dictionar
         } else {
             mainline_transform::gather::gather_block(&block)
         };
+        block.stamp_freeze();
         BlockStateMachine::finish_freezing(h);
         d.free();
     }
+}
+
+fn freeze_first_block(m: &Arc<TransactionManager>, t: &Arc<DataTable>, dictionary: bool) {
+    freeze_block(m, t, 0, dictionary);
 }
 
 fn relation(m: &TransactionManager, t: &Arc<DataTable>) -> Vec<Vec<Value>> {
@@ -125,7 +130,7 @@ fn run_roundtrip(dictionary: bool, name: &str) {
     let mut tables = HashMap::new();
     tables.insert(1u32, Arc::clone(&t2));
     let mut slot_map = HashMap::new();
-    let load = load_into(&dir, &manifest, &m2, &tables, &mut slot_map).unwrap();
+    let load = load_into(&root, &dir, &manifest, &m2, &tables, &mut slot_map).unwrap();
     assert_eq!(load.frozen_blocks, 1);
     assert_eq!(load.cold_rows + load.delta_rows, expected.len() as u64);
     // Every restored row is reachable through the slot map.
@@ -207,11 +212,123 @@ fn successive_checkpoints_prune_and_current_tracks_latest() {
     let mut tables = HashMap::new();
     tables.insert(1u32, Arc::clone(&t2));
     let mut slot_map = HashMap::new();
-    let load = load_into(&dir, &manifest, &m2, &tables, &mut slot_map).unwrap();
+    let load = load_into(&root, &dir, &manifest, &m2, &tables, &mut slot_map).unwrap();
     assert_eq!(load.cold_rows + load.delta_rows, 150);
     let check = m2.begin();
     assert_eq!(t2.count_visible(&check), 150);
     m2.commit(&check);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The incremental chain at the crate level: a second checkpoint after a
+/// small delta *references* the first checkpoint's frozen frame instead of
+/// rewriting it, pruning keeps the referenced generation alive, a restore
+/// resolves the chain, and once the block is recaptured (thaw → refreeze →
+/// new stamp) the fully superseded generations are deleted.
+#[test]
+fn incremental_chain_reuses_frames_prunes_superseded_and_restores() {
+    let m = Arc::new(TransactionManager::new());
+    let t = DataTable::new(1, schema()).unwrap();
+    let per_block = t.layout().num_slots() as i64;
+    let txn = m.begin();
+    let mut slots = Vec::new();
+    for i in 0..per_block + 200 {
+        slots.push(t.insert(&txn, &row(i)));
+    }
+    m.commit(&txn);
+    freeze_first_block(&m, &t, false);
+
+    let root = tmp_root("incremental");
+    let spec = |t: &Arc<DataTable>| TableCheckpointSpec {
+        name: "t".into(),
+        transform: false,
+        indexes: vec![],
+        table: Arc::clone(t),
+    };
+    let first = write_checkpoint(&m, &[spec(&t)], &root).unwrap();
+    assert_eq!((first.frozen_blocks, first.frozen_blocks_reused), (1, 0));
+    assert!(first.cold_bytes > 0);
+    let first_dir = first.dir.file_name().unwrap().to_string_lossy().into_owned();
+
+    // Small delta: a few hot inserts; the frozen block is untouched.
+    let txn = m.begin();
+    for i in 0..37 {
+        t.insert(&txn, &row(per_block + 200 + i));
+    }
+    m.commit(&txn);
+
+    let second = write_checkpoint(&m, &[spec(&t)], &root).unwrap();
+    assert_eq!(
+        (second.frozen_blocks, second.frozen_blocks_reused),
+        (0, 1),
+        "the unchanged frozen block must be referenced, not rewritten: {second:?}"
+    );
+    assert_eq!(second.cold_bytes, 0, "no new cold bytes for an unchanged cold set");
+    assert_eq!(second.cold_bytes_reused, first.cold_bytes);
+
+    // The manifest's frame points into generation 1, and pruning kept that
+    // directory alive because the chain references it.
+    let (dir2, manifest2) = read_manifest(&root).unwrap();
+    assert_eq!(manifest2.checkpoint_ts, second.checkpoint_ts);
+    assert_eq!(manifest2.frames.len(), 1);
+    assert_eq!(manifest2.frames[0].dir, first_dir);
+    assert!(first.dir.is_dir(), "referenced checkpoint dir must survive pruning");
+    assert!(dir2.is_dir());
+
+    // The chain restores row-for-row.
+    let expected = relation(&m, &t);
+    let m2 = Arc::new(TransactionManager::new());
+    let t2 = DataTable::new(1, schema()).unwrap();
+    let mut tables = HashMap::new();
+    tables.insert(1u32, Arc::clone(&t2));
+    let mut slot_map = HashMap::new();
+    let load = load_into(&root, &dir2, &manifest2, &m2, &tables, &mut slot_map).unwrap();
+    assert_eq!(load.frozen_blocks, 1);
+    assert_eq!(relation(&m2, &t2), expected);
+
+    // Thaw the frozen block (a writer updates a row in place), refreeze —
+    // the stamp changes — and checkpoint again: the frame is recaptured and
+    // the now-unreferenced generations 1 and 2 are both pruned.
+    let txn = m.begin();
+    let mut delta = ProjectedRow::new();
+    delta.push_fixed(3, &Value::Double(99.5));
+    t.update(&txn, slots[0], &delta).unwrap();
+    m.commit(&txn);
+    assert_eq!(
+        BlockStateMachine::state(t.blocks()[0].header()),
+        BlockState::Hot,
+        "the update must have thawed the block"
+    );
+    freeze_first_block(&m, &t, false);
+
+    let third = write_checkpoint(&m, &[spec(&t)], &root).unwrap();
+    assert_eq!(
+        (third.frozen_blocks, third.frozen_blocks_reused),
+        (1, 0),
+        "a refrozen block has a new stamp and must be recaptured: {third:?}"
+    );
+    let dirs: Vec<String> = std::fs::read_dir(&root)
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("ckpt-"))
+        .collect();
+    assert_eq!(
+        dirs,
+        vec![third.dir.file_name().unwrap().to_string_lossy().into_owned()],
+        "fully superseded generations must be pruned"
+    );
+
+    // And the recaptured image reflects the update.
+    let expected = relation(&m, &t);
+    let (dir3, manifest3) = read_manifest(&root).unwrap();
+    let m3 = Arc::new(TransactionManager::new());
+    let t3 = DataTable::new(1, schema()).unwrap();
+    let mut tables = HashMap::new();
+    tables.insert(1u32, Arc::clone(&t3));
+    let mut slot_map = HashMap::new();
+    load_into(&root, &dir3, &manifest3, &m3, &tables, &mut slot_map).unwrap();
+    assert_eq!(relation(&m3, &t3), expected);
     let _ = std::fs::remove_dir_all(&root);
 }
 
@@ -238,7 +355,7 @@ fn checkpoint_of_empty_table_restores_empty() {
     let mut tables = HashMap::new();
     tables.insert(1u32, Arc::clone(&t2));
     let mut slot_map = HashMap::new();
-    let load = load_into(&dir, &manifest, &m2, &tables, &mut slot_map).unwrap();
+    let load = load_into(&root, &dir, &manifest, &m2, &tables, &mut slot_map).unwrap();
     assert_eq!(load, mainline_checkpoint::LoadStats::default());
     let check = m2.begin();
     assert_eq!(t2.count_visible(&check), 0);

@@ -1,0 +1,115 @@
+//! Test-only crash-point injection for durability code.
+//!
+//! The checkpoint publish sequence and WAL truncation consult
+//! [`check`] before every externally visible file operation (write, fsync,
+//! rename, remove). In production the hook is disarmed and costs one relaxed
+//! atomic load. A crash-matrix test arms it with a *budget* of N operations:
+//! the first N calls succeed, call N+1 (and every later one) fails with an
+//! injected I/O error — modelling a process that died after the Nth
+//! operation reached the filesystem. Iterating N across the whole sequence
+//! proves every prefix of the publish protocol leaves a recoverable state.
+//!
+//! The hook is process-global, so tests that arm it must serialize
+//! themselves (the crash-matrix suite holds a mutex around each armed
+//! section) and must not run concurrently with background threads that
+//! touch instrumented code paths.
+
+use crate::{Error, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Budget value meaning "disarmed" (the default).
+const DISARMED: u64 = u64::MAX;
+
+static BUDGET: AtomicU64 = AtomicU64::new(DISARMED);
+static HITS: AtomicU64 = AtomicU64::new(0);
+static TRIPPED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Arm the hook: the next `budget` checked operations succeed, everything
+/// after fails. Also resets the hit counter and the tripped flag.
+pub fn arm(budget: u64) {
+    HITS.store(0, Ordering::SeqCst);
+    TRIPPED.store(false, Ordering::SeqCst);
+    BUDGET.store(budget, Ordering::SeqCst);
+}
+
+/// Arm with an effectively unlimited budget — nothing fails, but every
+/// checked operation is counted. Used to measure how many crash points a
+/// sequence has before iterating over them.
+pub fn arm_counting() {
+    arm(DISARMED - 1);
+}
+
+/// Disarm the hook (the default state).
+pub fn disarm() {
+    BUDGET.store(DISARMED, Ordering::SeqCst);
+}
+
+/// Number of checked operations since the last [`arm`].
+pub fn hits() -> u64 {
+    HITS.load(Ordering::SeqCst)
+}
+
+/// True once an armed check has actually failed (the simulated crash
+/// happened). Exhausting the budget alone does not trip — the N budgeted
+/// operations all succeeded; it is operation N+1 that dies.
+pub fn tripped() -> bool {
+    TRIPPED.load(Ordering::SeqCst)
+}
+
+/// Consult the hook before a file operation. Returns `Ok(())` when the
+/// operation may proceed; an injected [`Error::Io`] once the armed budget is
+/// exhausted. Disarmed (the default), this is a single relaxed load.
+#[inline]
+pub fn check(label: &str) -> Result<()> {
+    if BUDGET.load(Ordering::Relaxed) == DISARMED {
+        return Ok(());
+    }
+    HITS.fetch_add(1, Ordering::SeqCst);
+    let admitted = BUDGET
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |b| {
+            if b == DISARMED || b == 0 {
+                None // disarmed race, or budget exhausted: leave as-is
+            } else {
+                Some(b - 1)
+            }
+        })
+        .is_ok();
+    if !admitted && BUDGET.load(Ordering::SeqCst) == 0 {
+        TRIPPED.store(true, Ordering::SeqCst);
+        return Err(Error::Io(std::io::Error::other(format!("injected crash at {label}"))));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test only: the hook is process-global state and `cargo test` runs
+    // test functions concurrently.
+    #[test]
+    fn budget_semantics() {
+        assert!(check("disarmed").is_ok());
+        assert_eq!(hits(), 0, "disarmed checks are not counted");
+
+        arm(2);
+        assert!(check("a").is_ok());
+        assert!(check("b").is_ok());
+        assert!(!tripped());
+        assert!(check("c").is_err(), "third op exceeds the budget of 2");
+        assert!(tripped());
+        assert!(check("d").is_err(), "after the crash everything fails");
+        assert_eq!(hits(), 4);
+
+        arm_counting();
+        for _ in 0..10 {
+            assert!(check("count").is_ok());
+        }
+        assert_eq!(hits(), 10);
+        assert!(!tripped());
+
+        disarm();
+        assert!(check("again").is_ok());
+        assert!(!tripped());
+    }
+}

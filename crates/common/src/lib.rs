@@ -8,6 +8,7 @@
 
 pub mod bitmap;
 pub mod error;
+pub mod failpoint;
 pub mod pool;
 pub mod rng;
 pub mod schema;

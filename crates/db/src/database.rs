@@ -11,7 +11,7 @@
 use crate::admission::{AdmissionController, AdmissionStats};
 use crate::catalog::Catalog;
 use crate::table_handle::{IndexMoveHook, IndexSpec, TableHandle};
-use mainline_checkpoint::{write_checkpoint, CheckpointStats, TableCheckpointSpec};
+use mainline_checkpoint::{write_checkpoint_anchored, CheckpointStats};
 use mainline_common::schema::Schema;
 use mainline_common::{Error, Result};
 use mainline_gc::collector::ModificationObserver;
@@ -552,27 +552,22 @@ fn run_checkpoint(
     baseline: &AtomicU64,
     taken: &AtomicU64,
 ) -> Result<CheckpointStats> {
-    let specs: Vec<TableCheckpointSpec> = catalog
-        .all_tables()
-        .into_iter()
-        .map(|(name, handle)| TableCheckpointSpec {
-            name,
-            transform: handle.is_transform(),
-            indexes: handle
-                .index_specs()
-                .into_iter()
-                .map(|spec| (spec.name, spec.key_cols))
-                .collect(),
-            table: Arc::clone(handle.table()),
-        })
-        .collect();
-    let stats = write_checkpoint(manager, &specs, &cfg.dir)?;
+    // Snapshot the catalog and begin the anchor under the catalog lock:
+    // a CREATE/DROP committing between the two would be missing from the
+    // manifest yet skipped by the tail replay (its ts ≤ checkpoint ts).
+    let (txn, specs, next_table_id) = catalog.checkpoint_anchor();
+    let stats = write_checkpoint_anchored(manager, txn, &specs, next_table_id, &cfg.dir)?;
     if cfg.truncate_wal {
         if let Some(log) = log {
             // Only after the manifest is durably published: dropping a
             // covered segment is safe exactly because the checkpoint image
-            // replaces it.
-            log.truncate_below(stats.checkpoint_ts)?;
+            // replaces it. A truncation failure is NOT a checkpoint failure
+            // — the image is already live; surfacing an error here would
+            // discard the stats and make the trigger redo a full walk for
+            // history that is already covered. Leftover segments are
+            // harmless (fully covered) and the next checkpoint's truncation
+            // retries them at a later cut.
+            let _ = log.truncate_below(stats.checkpoint_ts);
         }
     }
     baseline.store(wal_bytes_at_start, Ordering::Relaxed);
@@ -744,22 +739,15 @@ mod tests {
             db.manager().commit(&txn);
             db.shutdown();
         }
-        // Second lifetime: replay.
-        let db = Database::open(DbConfig::default()).unwrap();
-        let t = db
-            .create_table(
-                "t",
-                Schema::new(vec![ColumnDef::new("id", TypeId::BigInt)]),
-                vec![],
-                false,
-            )
-            .unwrap();
-        // Table ids restart from 1, matching the logged id. Segment-aware
+        // Second lifetime: the log is self-describing — replay recreates the
+        // table from its logged DDL, no manual catalog work. Segment-aware
         // read: under forced rotation the log may span several files.
+        let db = Database::open(DbConfig::default()).unwrap();
         let log = mainline_wal::segments::read_log(&path).unwrap();
-        let stats =
-            mainline_wal::recover(&log, db.manager(), &db.catalog().tables_by_id()).unwrap();
+        let stats = db.replay_log(&log).unwrap();
         assert_eq!(stats.txns_replayed, 1);
+        assert_eq!(stats.ddl_applied, 1, "the CREATE TABLE must replay from the log");
+        let t = db.catalog().table("t").unwrap();
         let txn = db.manager().begin();
         assert_eq!(t.table().count_visible(&txn), 50);
         db.manager().commit(&txn);

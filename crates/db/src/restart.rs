@@ -1,23 +1,87 @@
 //! Two-phase restart: checkpoint image + WAL tail.
 //!
 //! Phase 1 loads the checkpoint — cold segments go **directly into frozen
-//! blocks** (buffer-granularity copies, no per-row inserts), delta segments
-//! replay through the recovery machinery. Phase 2 replays only the WAL tail:
-//! transactions committed strictly after the checkpoint timestamp. Restart
-//! cost is therefore bounded by live data plus tail length, not by history.
+//! blocks** (buffer-granularity copies, no per-row inserts, resolved across
+//! the incremental manifest chain), delta segments replay through the
+//! recovery machinery. Phase 2 replays only the WAL tail: transactions
+//! committed strictly after the checkpoint timestamp — **including logical
+//! DDL**, so a table created after the checkpoint (invisible to the
+//! manifest) is recreated at its logged position and its rows restore.
+//! Restart cost is therefore bounded by live data plus tail length, not by
+//! history.
 //!
 //! Afterwards the timestamp oracle is advanced past everything replayed and
 //! every secondary index is rebuilt from a scan (both load paths write
 //! through `DataTable`, below the index layer).
 
+use crate::catalog::Catalog;
 use crate::database::{Database, DbConfig};
-use crate::table_handle::{IndexMoveHook, IndexSpec};
+use crate::table_handle::{IndexMoveHook, IndexSpec, TableHandle};
+use mainline_common::schema::Schema;
 use mainline_common::{Error, Result, Timestamp};
 use mainline_storage::TupleSlot;
-use mainline_wal::RecoveryStats;
+use mainline_txn::{CreateTableDdl, DataTable};
+use mainline_wal::{DdlReplayer, RecoveryStats};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
+
+/// A [`DdlReplayer`] that recreates tables through the catalog — pinned to
+/// their logged ids, with their index definitions — and records what it
+/// created so the caller can rebuild indexes and register the
+/// transformation pipeline *after* replay (a compaction mid-replay would
+/// invalidate the slot map).
+pub(crate) struct CatalogDdlReplayer<'a> {
+    pub catalog: &'a Catalog,
+    /// Handles created by replayed DDL, in creation order, minus any that a
+    /// later replayed `DROP TABLE` removed again.
+    pub created: Vec<Arc<TableHandle>>,
+    /// The manifest's `next_table_id` (0 when replaying from genesis): any
+    /// id below this bound that the manifest does not list was dropped
+    /// before the checkpoint — its `DROP` record may be truncated away, so
+    /// straggler data records into it are discarded, not errors.
+    pub next_id_at_checkpoint: u32,
+    /// Table ids the manifest listed as live.
+    pub manifest_ids: std::collections::HashSet<u32>,
+}
+
+impl DdlReplayer for CatalogDdlReplayer<'_> {
+    fn create_table(&mut self, ddl: &CreateTableDdl) -> Result<Arc<DataTable>> {
+        self.catalog.pin_next_id(ddl.table_id);
+        let indexes = ddl
+            .indexes
+            .iter()
+            .map(|ix| IndexSpec { name: ix.name.clone(), key_cols: ix.key_cols.clone() })
+            .collect();
+        let handle = self.catalog.create_table(
+            &ddl.name,
+            Schema::new(ddl.columns.clone()),
+            indexes,
+            ddl.transform,
+        )?;
+        if handle.table().id() != ddl.table_id {
+            return Err(Error::Corrupt(format!(
+                "DDL replay id mismatch for {}: logged {} vs catalog {}",
+                ddl.name,
+                ddl.table_id,
+                handle.table().id()
+            )));
+        }
+        let table = Arc::clone(handle.table());
+        self.created.push(handle);
+        Ok(table)
+    }
+
+    fn drop_table(&mut self, table_id: u32, name: &str) -> Result<()> {
+        self.catalog.drop_table(name)?;
+        self.created.retain(|h| h.table().id() != table_id);
+        Ok(())
+    }
+
+    fn table_known_dropped(&self, table_id: u32) -> bool {
+        table_id < self.next_id_at_checkpoint && !self.manifest_ids.contains(&table_id)
+    }
+}
 
 /// What a restart did, phase by phase.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -108,11 +172,14 @@ impl Database {
             handles.push(handle);
         }
 
-        // Phase 1: the checkpoint image. Cold rows land in frozen blocks,
-        // hot rows replay; both feed the slot map the tail needs.
+        // Phase 1: the checkpoint image. Cold rows land in frozen blocks
+        // (frames resolved across the incremental chain under
+        // `checkpoint_root`), hot rows replay; both feed the slot map the
+        // tail needs.
         let tables = db.catalog().tables_by_id();
         let mut slot_map: HashMap<(u32, u64), TupleSlot> = HashMap::new();
         let load = mainline_checkpoint::load_into(
+            checkpoint_root,
             &ckpt_dir,
             &manifest,
             db.manager(),
@@ -124,7 +191,15 @@ impl Database {
         stats.delta_rows_loaded = load.delta_rows;
 
         // Phase 2: only the WAL tail — everything at or below the
-        // checkpoint timestamp is already in the image.
+        // checkpoint timestamp is already in the image. Tail DDL replays
+        // through the catalog, so a table created after the checkpoint (and
+        // therefore absent from the manifest) comes back with its rows.
+        let mut replayer = CatalogDdlReplayer {
+            catalog: db.catalog(),
+            created: Vec::new(),
+            next_id_at_checkpoint: manifest.next_table_id,
+            manifest_ids: manifest.tables.iter().map(|t| t.id).collect(),
+        };
         if let Some(path) = wal_tail {
             let bytes = mainline_wal::segments::read_log(path)?;
             stats.tail = mainline_wal::recover_from(
@@ -133,8 +208,13 @@ impl Database {
                 db.manager(),
                 &tables,
                 &mut slot_map,
+                &mut replayer,
             )?;
         }
+        handles.extend(replayer.created);
+        // A tail `DROP TABLE` may have removed a manifest-created table
+        // again; don't rebuild indexes on (or register) what is gone.
+        handles.retain(|h| db.catalog().table_by_id(h.table().id()).is_some());
 
         // New transactions must sort after the replayed history.
         db.manager()
@@ -161,5 +241,53 @@ impl Database {
         // Only now is the database whole enough to checkpoint.
         db.start_checkpoint_trigger();
         Ok((db, stats))
+    }
+
+    /// Replay a complete WAL — from genesis — into this freshly opened,
+    /// empty database. Logical DDL records recreate every table through the
+    /// catalog under its logged id (index definitions included), data
+    /// records replay in commit order, indexes are rebuilt, and
+    /// transform-flagged tables are registered with the pipeline afterwards.
+    ///
+    /// This is the cold-restart path when no checkpoint exists (or for
+    /// comparing against [`Database::open_from_checkpoint`]); the caller
+    /// needs no knowledge of what tables the log contains. If this database
+    /// logs to a new WAL, the replayed history — DDL included — is re-logged
+    /// into the new era as it replays.
+    pub fn replay_log(&self, log_bytes: &[u8]) -> Result<RecoveryStats> {
+        let tables = self.catalog().tables_by_id();
+        let mut slot_map: HashMap<(u32, u64), TupleSlot> = HashMap::new();
+        let mut replayer = CatalogDdlReplayer {
+            catalog: self.catalog(),
+            created: Vec::new(),
+            // Genesis replay sees every DROP record itself.
+            next_id_at_checkpoint: 0,
+            manifest_ids: std::collections::HashSet::new(),
+        };
+        let stats = mainline_wal::recover_from(
+            log_bytes,
+            Timestamp::ZERO,
+            self.manager(),
+            &tables,
+            &mut slot_map,
+            &mut replayer,
+        )?;
+        self.manager().oracle().advance_past(Timestamp(stats.max_commit_ts));
+        let txn = self.manager().begin();
+        for handle in &replayer.created {
+            handle.rebuild_indexes(&txn);
+        }
+        self.manager().commit(&txn);
+        if let Some(pipeline) = self.pipeline() {
+            for handle in &replayer.created {
+                if handle.is_transform() {
+                    pipeline.add_table(
+                        Arc::clone(handle.table()),
+                        Arc::new(IndexMoveHook { handle: Arc::clone(handle) }),
+                    );
+                }
+            }
+        }
+        Ok(stats)
     }
 }

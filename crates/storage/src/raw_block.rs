@@ -19,8 +19,40 @@
 use crate::layout::BlockLayout;
 use std::alloc::{alloc_zeroed, dealloc, Layout};
 use std::ptr::NonNull;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide freeze-stamp counter (see [`Block::stamp_freeze`]). Starting
+/// at 1 keeps 0 free as the "never frozen" sentinel.
+static NEXT_FREEZE_STAMP: AtomicU64 = AtomicU64::new(1);
+
+/// A quasi-unique identifier of this *process's* freeze-stamp namespace.
+///
+/// Stamps are unique within one process but restart the counter at 1, and
+/// block base addresses are raw allocations that can recur across runs — so
+/// `(base, stamp)` alone could collide between a checkpoint manifest written
+/// by a previous process and blocks frozen by this one, and an incremental
+/// checkpoint would silently reuse a stale frame for different content. The
+/// era (wall-clock nanos mixed with ASLR address entropy, drawn once per
+/// process) is recorded in every manifest; the writer reuses frames only
+/// from manifests of its own era, so cross-process diffs conservatively
+/// rewrite everything.
+pub fn freeze_era() -> u64 {
+    static ERA: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *ERA.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let aslr = &NEXT_FREEZE_STAMP as *const _ as u64;
+        // splitmix64 finalizer over the combined entropy; never 0 (the
+        // "unknown era" sentinel in old/hand-built manifests).
+        let mut z = nanos ^ aslr.rotate_left(32) ^ 0x9E37_79B9_7F4A_7C15;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)).max(1)
+    })
+}
 
 /// Block size and alignment: 1 MB.
 pub const BLOCK_SIZE: usize = 1 << 20;
@@ -216,13 +248,46 @@ pub struct Block {
     layout: Arc<BlockLayout>,
     /// Canonical Arrow varlen storage per column, installed when frozen.
     pub arrow: crate::arrow_side::ArrowSide,
+    /// Identity of the block's current frozen content: a process-unique
+    /// stamp drawn on every freeze (0 = never frozen). A frozen block's
+    /// bytes are immutable until a writer thaws it, and re-freezing draws a
+    /// fresh stamp, so `(base address, stamp)` names one immutable content
+    /// version — which is what lets incremental checkpoints skip blocks the
+    /// previous checkpoint already captured. Process-wide uniqueness (one
+    /// global counter, never per block) also makes the pair collision-free
+    /// when an address is recycled by a later allocation.
+    freeze_stamp: AtomicU64,
 }
 
 impl Block {
     /// Allocate a block for the given layout.
     pub fn new(layout: Arc<BlockLayout>) -> Arc<Block> {
         let raw = RawBlock::new(&layout);
-        Arc::new(Block { raw, layout, arrow: crate::arrow_side::ArrowSide::new() })
+        Arc::new(Block {
+            raw,
+            layout,
+            arrow: crate::arrow_side::ArrowSide::new(),
+            freeze_stamp: AtomicU64::new(0),
+        })
+    }
+
+    /// The stamp of the current frozen content (0 if never frozen, stale if
+    /// the block has been thawed since). Read it only while holding the
+    /// block in a state that pins the content — e.g. under
+    /// [`reader_acquire`](crate::block_state::BlockStateMachine::reader_acquire).
+    #[inline]
+    pub fn freeze_stamp(&self) -> u64 {
+        self.freeze_stamp.load(Ordering::Acquire)
+    }
+
+    /// Draw a fresh process-unique stamp for this block's new frozen
+    /// content. The freezer calls this after gathering, *before* publishing
+    /// the `Frozen` state, so any reader that observes `Frozen` also
+    /// observes the matching stamp.
+    pub fn stamp_freeze(&self) -> u64 {
+        let stamp = NEXT_FREEZE_STAMP.fetch_add(1, Ordering::Relaxed);
+        self.freeze_stamp.store(stamp, Ordering::Release);
+        stamp
     }
 
     /// Base address.

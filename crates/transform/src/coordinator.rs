@@ -441,6 +441,10 @@ impl TransformCoordinator {
                 TransformFormat::Dictionary => dictionary::compress_block(block),
             }
         };
+        // Stamp the new frozen content *before* publishing the state: any
+        // reader (checkpoint included) that observes Frozen must observe the
+        // matching stamp.
+        block.stamp_freeze();
         // `finish_freezing` re-checks the Fig. 9 invariant regardless of
         // which worker (owner or thief) got here.
         BlockStateMachine::finish_freezing(h);

@@ -1,0 +1,85 @@
+//! Logical DDL records (paper §3.4 applied to schema changes).
+//!
+//! Data records alone cannot make a log self-describing: a WAL tail that
+//! inserts into a table created *after* the last checkpoint is unreplayable
+//! unless the log also says how to recreate that table. DDL therefore rides
+//! the same commit path as data — a `CREATE TABLE`/`DROP TABLE` is staged on
+//! its transaction's DDL buffer, serialized by the log manager inside the
+//! same group commit, and ordered by the same commit timestamp, so replay
+//! sees catalog changes exactly interleaved with the data that depends on
+//! them.
+//!
+//! The records are *logical*: they carry the schema, catalog id, and index
+//! definitions, not physical bytes, because a fresh process rebuilds the
+//! physical world (blocks, slots, trees) from scratch anyway.
+
+use mainline_common::schema::ColumnDef;
+
+/// One secondary-index definition carried by a [`CreateTableDdl`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDef {
+    /// Index name (unique per table).
+    pub name: String,
+    /// User-column positions (0-based) forming the composite key, in order.
+    pub key_cols: Vec<usize>,
+}
+
+/// Everything replay needs to recreate a table under its logged catalog id.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreateTableDdl {
+    /// Catalog id the creating process assigned (data records reference it).
+    pub table_id: u32,
+    /// Table name.
+    pub name: String,
+    /// Whether the table was registered with the transformation pipeline.
+    pub transform: bool,
+    /// Column definitions in schema order.
+    pub columns: Vec<ColumnDef>,
+    /// Secondary-index definitions.
+    pub indexes: Vec<IndexDef>,
+}
+
+/// A logical DDL operation staged for the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DdlRecord {
+    /// Create a table (schema + catalog id + index definitions).
+    CreateTable(CreateTableDdl),
+    /// Drop a table. Carries both the id (what data records reference) and
+    /// the name (what the catalog is keyed by).
+    DropTable {
+        /// Catalog id of the dropped table.
+        table_id: u32,
+        /// Name of the dropped table.
+        name: String,
+    },
+}
+
+impl DdlRecord {
+    /// The catalog id this record concerns.
+    pub fn table_id(&self) -> u32 {
+        match self {
+            DdlRecord::CreateTable(c) => c.table_id,
+            DdlRecord::DropTable { table_id, .. } => *table_id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mainline_common::value::TypeId;
+
+    #[test]
+    fn table_id_covers_both_variants() {
+        let create = DdlRecord::CreateTable(CreateTableDdl {
+            table_id: 7,
+            name: "t".into(),
+            transform: true,
+            columns: vec![ColumnDef::new("id", TypeId::BigInt)],
+            indexes: vec![IndexDef { name: "pk".into(), key_cols: vec![0] }],
+        });
+        assert_eq!(create.table_id(), 7);
+        let drop = DdlRecord::DropTable { table_id: 9, name: "t".into() };
+        assert_eq!(drop.table_id(), 9);
+    }
+}

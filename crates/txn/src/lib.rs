@@ -18,12 +18,14 @@
 //!   tuple's write lock until its owner finishes.
 
 pub mod data_table;
+pub mod ddl;
 pub mod manager;
 pub mod redo;
 pub mod transaction;
 pub mod undo;
 
 pub use data_table::DataTable;
+pub use ddl::{CreateTableDdl, DdlRecord, IndexDef};
 pub use manager::{CommitSink, TransactionManager};
 pub use redo::{RedoCol, RedoOp, RedoRecord};
 pub use transaction::Transaction;

@@ -1,5 +1,6 @@
 //! The transaction manager: begin / commit / abort (paper §3.1, §3.4).
 
+use crate::ddl::DdlRecord;
 use crate::redo::RedoRecord;
 use crate::transaction::{Transaction, TxnOutcome};
 use crossbeam::queue::SegQueue;
@@ -13,7 +14,9 @@ use std::sync::Arc;
 /// queue, §3.4). The sink must eventually invoke `callback` once the commit
 /// record is durable; the DBMS withholds results from the client until then.
 pub trait CommitSink: Send + Sync {
-    /// Queue a transaction's redo records for flushing.
+    /// Queue a transaction's redo records — and any logical DDL it staged —
+    /// for flushing. DDL records are serialized before the redo records of
+    /// the same commit so replay applies catalog changes first.
     ///
     /// `read_only` transactions also obtain a commit record "to guard
     /// against the anomaly" of speculative reads, but the sink may skip
@@ -22,6 +25,7 @@ pub trait CommitSink: Send + Sync {
         &self,
         commit_ts: Timestamp,
         records: Vec<RedoRecord>,
+        ddl: Vec<DdlRecord>,
         read_only: bool,
         callback: Box<dyn FnOnce() + Send>,
     );
@@ -35,6 +39,7 @@ impl CommitSink for NoopSink {
         &self,
         _commit_ts: Timestamp,
         _records: Vec<RedoRecord>,
+        _ddl: Vec<DdlRecord>,
         _read_only: bool,
         callback: Box<dyn FnOnce() + Send>,
     ) {
@@ -99,7 +104,9 @@ impl TransactionManager {
     /// buffer for the log manager.
     pub fn commit(&self, txn: &Arc<Transaction>) -> Timestamp {
         assert_eq!(txn.outcome(), TxnOutcome::Active, "commit on finished txn");
-        let read_only = txn.write_set_size() == 0;
+        // A DDL-only transaction has an empty write set but must still reach
+        // the log: its record is what makes the log self-describing.
+        let read_only = txn.write_set_size() == 0 && txn.ddl_count() == 0;
         let commit_ts;
         {
             let _guard = self.commit_latch.lock();
@@ -110,10 +117,12 @@ impl TransactionManager {
             // The rest of the system treats the transaction as committed as
             // soon as its commit record is in the flush queue (§3.4).
             let records = txn.take_redo();
+            let ddl = txn.take_ddl();
             let t = Arc::clone(txn);
             self.sink.queue_commit(
                 commit_ts,
                 records,
+                ddl,
                 read_only,
                 Box::new(move || t.set_durable()),
             );
@@ -251,6 +260,7 @@ mod tests {
                 &self,
                 _ts: Timestamp,
                 _records: Vec<RedoRecord>,
+                _ddl: Vec<DdlRecord>,
                 read_only: bool,
                 cb: Box<dyn FnOnce() + Send>,
             ) {
@@ -268,5 +278,12 @@ mod tests {
         // Even read-only transactions obtain a commit record (§3.4).
         assert_eq!(sink.0.load(Ordering::SeqCst), 1);
         assert_eq!(sink.1.load(Ordering::SeqCst), 1);
+        // A DDL-only transaction has no write set but is NOT read-only: its
+        // record is what makes the log self-describing.
+        let t = m.begin();
+        t.add_ddl(DdlRecord::DropTable { table_id: 1, name: "t".into() });
+        m.commit(&t);
+        assert_eq!(sink.0.load(Ordering::SeqCst), 2);
+        assert_eq!(sink.1.load(Ordering::SeqCst), 1, "DDL commit must not count as read-only");
     }
 }

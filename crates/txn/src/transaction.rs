@@ -5,6 +5,7 @@
 //! later read by the GC and the log manager, so the mutable state sits behind
 //! a lightweight mutex (uncontended on the hot path).
 
+use crate::ddl::DdlRecord;
 use crate::redo::{RedoBuffer, RedoRecord};
 use crate::undo::{UndoBuffer, UndoKind, UndoRecordRef};
 use mainline_common::pool::SegmentPool;
@@ -43,6 +44,10 @@ pub struct Transaction {
 struct TxnBuffers {
     undo: UndoBuffer,
     redo: RedoBuffer,
+    /// Logical DDL staged for the log (see [`crate::ddl`]); handed to the
+    /// commit sink alongside the redo records so schema changes are
+    /// group-committed and timestamp-ordered with data.
+    ddl: Vec<DdlRecord>,
     /// Varlen buffers orphaned by rollback; freed by the GC once no reader
     /// can hold a copy of the entry (§4.4 "Memory Management").
     orphans: Vec<VarlenEntry>,
@@ -66,6 +71,7 @@ impl Transaction {
             inner: Mutex::new(TxnBuffers {
                 undo: UndoBuffer::new(),
                 redo: RedoBuffer::new(),
+                ddl: Vec::new(),
                 orphans: Vec::new(),
                 end_actions: Vec::new(),
             }),
@@ -182,6 +188,24 @@ impl Transaction {
     /// Take the redo records (log hand-off at commit).
     pub(crate) fn take_redo(&self) -> Vec<RedoRecord> {
         self.inner.lock().redo.take()
+    }
+
+    /// Stage a logical DDL record for the log. The catalog calls this from
+    /// `CREATE TABLE`/`DROP TABLE`; at commit the records ride the same
+    /// group-commit hand-off as the redo buffer.
+    pub fn add_ddl(&self, record: DdlRecord) {
+        self.inner.lock().ddl.push(record);
+    }
+
+    /// Number of staged DDL records (a DDL-only transaction must still hit
+    /// the log, so `read_only` accounting includes this).
+    pub fn ddl_count(&self) -> usize {
+        self.inner.lock().ddl.len()
+    }
+
+    /// Take the DDL records (log hand-off at commit).
+    pub(crate) fn take_ddl(&self) -> Vec<DdlRecord> {
+        std::mem::take(&mut self.inner.lock().ddl)
     }
 
     pub(crate) fn set_outcome(&self, o: TxnOutcome) {

@@ -10,8 +10,14 @@
 //!   section already serializes the hand-off.
 //! * Read-only transactions obtain a commit record too (to close the
 //!   speculative-read anomaly) but it is acknowledged without being written.
+//! * **Logical DDL rides the same path**: `CREATE TABLE`/`DROP TABLE`
+//!   records (schema + catalog id + index definitions) are staged on the
+//!   transaction, group-committed, and timestamp-ordered with data, so the
+//!   log is self-describing — a tail referencing a table created after the
+//!   last checkpoint replays without outside help.
 //! * Recovery replays committed transactions in commit-timestamp order with
-//!   a slot-remapping table (physical slots change across restarts).
+//!   a slot-remapping table (physical slots change across restarts), applying
+//!   DDL through a pluggable [`DdlReplayer`].
 //! * The log is split into size-bounded **segments**: the active file rotates
 //!   into an archive (named after its last commit timestamp) once it exceeds
 //!   [`LogManagerConfig::segment_bytes`], and a completed checkpoint lets
@@ -28,4 +34,4 @@ pub mod segments;
 
 pub use log_manager::{LogManager, LogManagerConfig};
 pub use record::{LogEntry, LogPayload};
-pub use recovery::{recover, recover_from, RecoveryStats};
+pub use recovery::{recover, recover_from, BareDdlReplayer, DdlReplayer, NoDdl, RecoveryStats};

@@ -12,11 +12,11 @@
 //! records and its commit marker always land in the same segment — which is
 //! what lets checkpoint truncation reason per segment.
 
-use crate::record::{encode_commit, encode_redo};
+use crate::record::{encode_commit, encode_create_table, encode_drop_table, encode_redo};
 use crate::segments;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use mainline_common::{Result, Timestamp};
-use mainline_txn::{CommitSink, RedoRecord};
+use mainline_txn::{CommitSink, DdlRecord, RedoRecord};
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
@@ -61,6 +61,7 @@ enum Msg {
     Commit {
         commit_ts: Timestamp,
         records: Vec<RedoRecord>,
+        ddl: Vec<DdlRecord>,
         read_only: bool,
         callback: Box<dyn FnOnce() + Send>,
     },
@@ -171,6 +172,7 @@ impl CommitSink for LogManager {
         &self,
         commit_ts: Timestamp,
         records: Vec<RedoRecord>,
+        ddl: Vec<DdlRecord>,
         read_only: bool,
         callback: Box<dyn FnOnce() + Send>,
     ) {
@@ -179,7 +181,9 @@ impl CommitSink for LogManager {
             // the receiver outlives the sender, so this send cannot fail
             // (it may block on backpressure, which is intended).
             Some(tx) => {
-                if let Err(e) = tx.send(Msg::Commit { commit_ts, records, read_only, callback }) {
+                if let Err(e) =
+                    tx.send(Msg::Commit { commit_ts, records, ddl, read_only, callback })
+                {
                     if let Msg::Commit { callback, .. } = e.into_inner() {
                         callback();
                     }
@@ -280,9 +284,22 @@ fn run_loop(w: &mut SegmentedWriter, rx: Receiver<Msg>) {
         }
         for msg in batch {
             match msg {
-                Msg::Commit { commit_ts, records, read_only, callback } => {
+                Msg::Commit { commit_ts, records, ddl, read_only, callback } => {
                     if !read_only {
                         scratch.clear();
+                        // DDL before data: replay applies a group's catalog
+                        // changes first, and the serialized order should
+                        // match.
+                        for d in &ddl {
+                            match d {
+                                DdlRecord::CreateTable(c) => {
+                                    encode_create_table(&mut scratch, commit_ts, c)
+                                }
+                                DdlRecord::DropTable { table_id, name } => {
+                                    encode_drop_table(&mut scratch, commit_ts, *table_id, name)
+                                }
+                            }
+                        }
                         for r in &records {
                             encode_redo(&mut scratch, commit_ts, r);
                         }
@@ -352,6 +369,7 @@ mod tests {
         lm.queue_commit(
             Timestamp(3),
             vec![redo(3)],
+            vec![],
             false,
             Box::new(move || h.store(true, Ordering::SeqCst)),
         );
@@ -376,6 +394,7 @@ mod tests {
         lm.queue_commit(
             Timestamp(9),
             vec![redo(9)],
+            vec![],
             false,
             Box::new(move || h.store(true, Ordering::SeqCst)),
         );
@@ -389,7 +408,7 @@ mod tests {
         let lm =
             LogManager::start(LogManagerConfig { fsync: false, ..LogManagerConfig::new(&path) })
                 .unwrap();
-        lm.queue_commit(Timestamp(1), vec![], true, Box::new(|| {}));
+        lm.queue_commit(Timestamp(1), vec![], vec![], true, Box::new(|| {}));
         lm.flush();
         lm.shutdown();
         assert_eq!(segments::read_log(&path).unwrap().len(), 0);
@@ -405,7 +424,7 @@ mod tests {
             LogManager::start(LogManagerConfig { fsync: false, ..LogManagerConfig::new(&path) })
                 .unwrap();
         for ts in 1..=5u64 {
-            lm.queue_commit(Timestamp(ts), vec![redo(ts)], false, Box::new(|| {}));
+            lm.queue_commit(Timestamp(ts), vec![redo(ts)], vec![], false, Box::new(|| {}));
         }
         lm.flush();
         lm.shutdown();
@@ -417,6 +436,7 @@ mod tests {
             match e.payload {
                 LogPayload::Redo(_) => redos += 1,
                 LogPayload::Commit => commits += 1,
+                LogPayload::CreateTable(_) | LogPayload::DropTable { .. } => {}
             }
         }
         assert_eq!((redos, commits), (5, 5));
@@ -434,7 +454,13 @@ mod tests {
             let lm = Arc::clone(&lm);
             handles.push(std::thread::spawn(move || {
                 for i in 0..100 {
-                    lm.queue_commit(Timestamp(t * 1000 + i), vec![redo(i)], false, Box::new(|| {}));
+                    lm.queue_commit(
+                        Timestamp(t * 1000 + i),
+                        vec![redo(i)],
+                        vec![],
+                        false,
+                        Box::new(|| {}),
+                    );
                 }
             }));
         }
@@ -467,7 +493,7 @@ mod tests {
         };
         let lm = LogManager::start(config.clone()).unwrap();
         for ts in 1..=50u64 {
-            lm.queue_commit(Timestamp(ts), vec![redo(ts)], false, Box::new(|| {}));
+            lm.queue_commit(Timestamp(ts), vec![redo(ts)], vec![], false, Box::new(|| {}));
             // Flush each commit so groups stay small and rotation triggers
             // deterministically between them.
             lm.flush();
@@ -497,6 +523,9 @@ mod tests {
                         dangling_redo = false;
                         last_commit = e.commit_ts.0;
                     }
+                    LogPayload::CreateTable(_) | LogPayload::DropTable { .. } => {
+                        dangling_redo = true
+                    }
                 }
             }
             assert!(!dangling_redo, "segment ends mid-transaction");
@@ -517,7 +546,7 @@ mod tests {
         // A reopened log continues the sequence instead of clobbering it.
         let lm = LogManager::start(config).unwrap();
         for ts in 51..=80u64 {
-            lm.queue_commit(Timestamp(ts), vec![redo(ts)], false, Box::new(|| {}));
+            lm.queue_commit(Timestamp(ts), vec![redo(ts)], vec![], false, Box::new(|| {}));
             lm.flush();
         }
         lm.shutdown();
@@ -539,7 +568,7 @@ mod tests {
         })
         .unwrap();
         for ts in 1..=60u64 {
-            lm.queue_commit(Timestamp(ts), vec![redo(ts)], false, Box::new(|| {}));
+            lm.queue_commit(Timestamp(ts), vec![redo(ts)], vec![], false, Box::new(|| {}));
             lm.flush();
         }
         let segs = segments::list_segments(&path).unwrap();

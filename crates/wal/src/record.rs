@@ -4,18 +4,27 @@
 //!
 //! ```text
 //! [u32 frame_len][u8 kind][payload]
-//! kind 0 (Redo):   [u64 commit_ts][u32 table_id][u64 slot][u8 op]
-//!                  [u16 ncols]{[u16 col][u8 has][u32 len][bytes]}*
-//! kind 1 (Commit): [u64 commit_ts]
+//! kind 0 (Redo):        [u64 commit_ts][u32 table_id][u64 slot][u8 op]
+//!                       [u16 ncols]{[u16 col][u8 has][u32 len][bytes]}*
+//! kind 1 (Commit):      [u64 commit_ts]
+//! kind 2 (CreateTable): [u64 commit_ts][u32 table_id][u8 transform]
+//!                       [u16 len][name]
+//!                       [u16 ncols]{[u8 type][u8 nullable][u16 len][name]}*
+//!                       [u16 nidx]{[u16 len][name][u16 nkeys]{[u16 col]}*}*
+//! kind 3 (DropTable):   [u64 commit_ts][u32 table_id][u16 len][name]
 //! ```
 //!
-//! `op`: 0 = insert, 1 = update, 2 = delete. A transaction's redo entries all
-//! carry its commit timestamp and precede its commit entry; recovery ignores
-//! transactions whose commit entry never made it to disk (§3.4 crash rule).
+//! `op`: 0 = insert, 1 = update, 2 = delete. A transaction's redo and DDL
+//! entries all carry its commit timestamp and precede its commit entry;
+//! recovery ignores transactions whose commit entry never made it to disk
+//! (§3.4 crash rule). DDL entries are *logical* — schema, catalog id, index
+//! definitions — so a replayer can recreate a table the WAL tail references
+//! even when no checkpoint knows about it.
 
+use mainline_common::value::TypeId;
 use mainline_common::{Error, Result, Timestamp};
 use mainline_storage::TupleSlot;
-use mainline_txn::{RedoCol, RedoOp, RedoRecord};
+use mainline_txn::{CreateTableDdl, IndexDef, RedoCol, RedoOp, RedoRecord};
 
 /// Parsed log entry payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +33,15 @@ pub enum LogPayload {
     Redo(RedoRecord),
     /// Transaction commit marker.
     Commit,
+    /// Logical `CREATE TABLE`.
+    CreateTable(CreateTableDdl),
+    /// Logical `DROP TABLE`.
+    DropTable {
+        /// Catalog id of the dropped table.
+        table_id: u32,
+        /// Catalog name of the dropped table.
+        name: String,
+    },
 }
 
 /// A parsed log entry.
@@ -78,6 +96,75 @@ pub fn encode_commit(out: &mut Vec<u8>, commit_ts: Timestamp) {
     out.extend_from_slice(&0u32.to_le_bytes());
     out.push(1u8);
     out.extend_from_slice(&commit_ts.0.to_le_bytes());
+    patch_len(out, start);
+}
+
+fn type_code(ty: TypeId) -> u8 {
+    match ty {
+        TypeId::TinyInt => 0,
+        TypeId::SmallInt => 1,
+        TypeId::Integer => 2,
+        TypeId::BigInt => 3,
+        TypeId::Double => 4,
+        TypeId::Varchar => 5,
+    }
+}
+
+fn type_from_code(code: u8) -> Result<TypeId> {
+    Ok(match code {
+        0 => TypeId::TinyInt,
+        1 => TypeId::SmallInt,
+        2 => TypeId::Integer,
+        3 => TypeId::BigInt,
+        4 => TypeId::Double,
+        5 => TypeId::Varchar,
+        x => return Err(Error::Corrupt(format!("bad DDL type code {x}"))),
+    })
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    // A silent `as u16` truncation would poison the log (frame length and
+    // inner structure disagree forever after); the catalog rejects oversize
+    // names before they get here, so this is a backstop, not a path.
+    assert!(s.len() <= u16::MAX as usize, "name of {} bytes cannot be logged", s.len());
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Append one logical `CREATE TABLE` entry to `out`.
+pub fn encode_create_table(out: &mut Vec<u8>, commit_ts: Timestamp, ddl: &CreateTableDdl) {
+    let start = out.len();
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.push(2u8);
+    out.extend_from_slice(&commit_ts.0.to_le_bytes());
+    out.extend_from_slice(&ddl.table_id.to_le_bytes());
+    out.push(ddl.transform as u8);
+    push_str(out, &ddl.name);
+    out.extend_from_slice(&(ddl.columns.len() as u16).to_le_bytes());
+    for c in &ddl.columns {
+        out.push(type_code(c.ty));
+        out.push(c.nullable as u8);
+        push_str(out, &c.name);
+    }
+    out.extend_from_slice(&(ddl.indexes.len() as u16).to_le_bytes());
+    for ix in &ddl.indexes {
+        push_str(out, &ix.name);
+        out.extend_from_slice(&(ix.key_cols.len() as u16).to_le_bytes());
+        for &k in &ix.key_cols {
+            out.extend_from_slice(&(k as u16).to_le_bytes());
+        }
+    }
+    patch_len(out, start);
+}
+
+/// Append one logical `DROP TABLE` entry to `out`.
+pub fn encode_drop_table(out: &mut Vec<u8>, commit_ts: Timestamp, table_id: u32, name: &str) {
+    let start = out.len();
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.push(3u8);
+    out.extend_from_slice(&commit_ts.0.to_le_bytes());
+    out.extend_from_slice(&table_id.to_le_bytes());
+    push_str(out, name);
     patch_len(out, start);
 }
 
@@ -150,6 +237,51 @@ impl<'a> LogReader<'a> {
                 let commit_ts = Timestamp(c.u64()?);
                 Ok(Some(LogEntry { commit_ts, payload: LogPayload::Commit }))
             }
+            2 => {
+                let commit_ts = Timestamp(c.u64()?);
+                let table_id = c.u32()?;
+                let transform = c.u8()? != 0;
+                let name = c.string()?;
+                let ncols = c.u16()? as usize;
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    let ty = type_from_code(c.u8()?)?;
+                    let nullable = c.u8()? != 0;
+                    let col_name = c.string()?;
+                    columns.push(mainline_common::schema::ColumnDef {
+                        name: col_name,
+                        ty,
+                        nullable,
+                    });
+                }
+                let nidx = c.u16()? as usize;
+                let mut indexes = Vec::with_capacity(nidx);
+                for _ in 0..nidx {
+                    let ix_name = c.string()?;
+                    let nkeys = c.u16()? as usize;
+                    let mut key_cols = Vec::with_capacity(nkeys);
+                    for _ in 0..nkeys {
+                        key_cols.push(c.u16()? as usize);
+                    }
+                    indexes.push(IndexDef { name: ix_name, key_cols });
+                }
+                Ok(Some(LogEntry {
+                    commit_ts,
+                    payload: LogPayload::CreateTable(CreateTableDdl {
+                        table_id,
+                        name,
+                        transform,
+                        columns,
+                        indexes,
+                    }),
+                }))
+            }
+            3 => {
+                let commit_ts = Timestamp(c.u64()?);
+                let table_id = c.u32()?;
+                let name = c.string()?;
+                Ok(Some(LogEntry { commit_ts, payload: LogPayload::DropTable { table_id, name } }))
+            }
             x => Err(Error::Corrupt(format!("bad log entry kind {x}"))),
         }
     }
@@ -184,6 +316,12 @@ impl<'a> Cursor<'a> {
     }
     fn u64(&mut self) -> Result<u64> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn string(&mut self) -> Result<String> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| Error::Corrupt("non-UTF-8 name in DDL record".into()))
     }
 }
 
@@ -246,6 +384,63 @@ mod tests {
         log[4] = 99; // clobber the kind byte
         let mut r = LogReader::new(&log);
         assert!(r.next_entry().is_err());
+    }
+
+    #[test]
+    fn ddl_roundtrip() {
+        use mainline_common::schema::ColumnDef;
+        let ddl = CreateTableDdl {
+            table_id: 42,
+            name: "orders with spaces".into(),
+            transform: true,
+            columns: vec![
+                ColumnDef::new("id", TypeId::BigInt),
+                ColumnDef::nullable("note", TypeId::Varchar),
+                ColumnDef::new("score", TypeId::Double),
+            ],
+            indexes: vec![
+                IndexDef { name: "pk".into(), key_cols: vec![0] },
+                IndexDef { name: "by_note".into(), key_cols: vec![1, 2] },
+            ],
+        };
+        let mut log = Vec::new();
+        encode_create_table(&mut log, Timestamp(7), &ddl);
+        encode_commit(&mut log, Timestamp(7));
+        encode_drop_table(&mut log, Timestamp(9), 42, "orders with spaces");
+        encode_commit(&mut log, Timestamp(9));
+
+        let mut r = LogReader::new(&log);
+        let e = r.next_entry().unwrap().unwrap();
+        assert_eq!(e.commit_ts, Timestamp(7));
+        assert_eq!(e.payload, LogPayload::CreateTable(ddl));
+        assert_eq!(r.next_entry().unwrap().unwrap().payload, LogPayload::Commit);
+        let e = r.next_entry().unwrap().unwrap();
+        assert_eq!(e.commit_ts, Timestamp(9));
+        assert_eq!(
+            e.payload,
+            LogPayload::DropTable { table_id: 42, name: "orders with spaces".into() }
+        );
+        assert_eq!(r.next_entry().unwrap().unwrap().payload, LogPayload::Commit);
+        assert!(r.next_entry().unwrap().is_none());
+
+        // A torn DDL tail is ignored like any other frame.
+        let mut torn = Vec::new();
+        encode_commit(&mut torn, Timestamp(1));
+        let keep = torn.len();
+        encode_create_table(&mut torn, Timestamp(2), &sample_ddl());
+        let mut r = LogReader::new(&torn[..keep + 9]);
+        assert!(r.next_entry().unwrap().is_some());
+        assert!(r.next_entry().unwrap().is_none());
+    }
+
+    fn sample_ddl() -> CreateTableDdl {
+        CreateTableDdl {
+            table_id: 1,
+            name: "t".into(),
+            transform: false,
+            columns: vec![mainline_common::schema::ColumnDef::new("id", TypeId::BigInt)],
+            indexes: vec![],
+        }
     }
 
     #[test]

@@ -3,20 +3,33 @@
 //! Physical slots are process-lifetime identifiers, so recovery maintains a
 //! remapping from logged slots to freshly inserted ones. Transactions whose
 //! commit record is missing (crash before the flush) are ignored.
+//!
+//! Because the log carries **logical DDL** (kind 2/3 records, see
+//! [`crate::record`]), replay also recreates and drops tables at exactly the
+//! commit-timestamp positions the original process did — a tail referencing
+//! a table created after the last checkpoint is replayable without any
+//! outside help. Catalog integration is pluggable via [`DdlReplayer`]: the
+//! database layer recreates real indexed tables; bare engines (and streams
+//! that can never contain DDL, like checkpoint delta segments) use
+//! [`BareDdlReplayer`] / [`NoDdl`].
 
 use crate::record::{LogPayload, LogReader};
+use mainline_common::schema::Schema;
 use mainline_common::value::TypeId;
 use mainline_common::{Error, Result, Timestamp};
 use mainline_storage::layout::NUM_RESERVED_COLS;
 use mainline_storage::{ProjectedRow, TupleSlot, VarlenEntry};
-use mainline_txn::{DataTable, RedoOp, RedoRecord, TransactionManager};
-use std::collections::HashMap;
+use mainline_txn::{CreateTableDdl, DataTable, RedoOp, RedoRecord, TransactionManager};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// What recovery did.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct RecoveryStats {
-    /// Committed transactions replayed.
+    /// Committed transactions replayed (counting only those with data
+    /// records; DDL-only commits are counted in [`ddl_applied`]).
+    ///
+    /// [`ddl_applied`]: RecoveryStats::ddl_applied
     pub txns_replayed: usize,
     /// Transactions discarded for lack of a commit record.
     pub txns_discarded: usize,
@@ -27,24 +40,91 @@ pub struct RecoveryStats {
     pub txns_skipped: usize,
     /// Individual operations skipped the same way.
     pub ops_skipped: usize,
+    /// Data records ignored because their table was dropped by a later (or
+    /// checkpoint-covered) `DROP TABLE` — a writer holding the handle may
+    /// commit after the drop's timestamp, and those rows are dead on arrival.
+    pub ops_dropped: usize,
+    /// DDL records applied (create/drop).
+    pub ddl_applied: usize,
+    /// DDL records skipped as checkpoint-covered.
+    pub ddl_skipped: usize,
     /// Largest commit timestamp observed in the log (replayed or skipped);
     /// restart advances the oracle past it so new commits sort after the
     /// replayed history.
     pub max_commit_ts: u64,
 }
 
+/// Applies logical DDL during replay. Implementations own the catalog side
+/// of table lifecycle; [`recover_from`] keeps its internal id → table map in
+/// sync with whatever the replayer returns.
+pub trait DdlReplayer {
+    /// Recreate a table under its logged id. The returned [`DataTable`] is
+    /// what subsequent data records replay into; implementations must ensure
+    /// its id equals `ddl.table_id` (the WAL references it).
+    fn create_table(&mut self, ddl: &CreateTableDdl) -> Result<Arc<DataTable>>;
+    /// Drop a table. Records referencing it later in the log are discarded
+    /// by the recovery loop itself, not the replayer.
+    fn drop_table(&mut self, table_id: u32, name: &str) -> Result<()>;
+    /// Whether `table_id` is known to have been dropped *before* this
+    /// replay's coverage began — e.g. recorded by a checkpoint manifest
+    /// whose `DROP` record was truncated away with the pre-checkpoint log.
+    /// A data record referencing such a table is discarded instead of
+    /// failing the replay (a writer that retained the handle may have
+    /// committed after the drop). Defaults to `false`.
+    fn table_known_dropped(&self, _table_id: u32) -> bool {
+        false
+    }
+}
+
+/// A [`DdlReplayer`] for streams that can never contain DDL (checkpoint
+/// delta segments); any DDL record is a corruption error.
+pub struct NoDdl;
+
+impl DdlReplayer for NoDdl {
+    fn create_table(&mut self, ddl: &CreateTableDdl) -> Result<Arc<DataTable>> {
+        Err(Error::Corrupt(format!("unexpected CREATE TABLE {} in DDL-free stream", ddl.name)))
+    }
+    fn drop_table(&mut self, _table_id: u32, name: &str) -> Result<()> {
+        Err(Error::Corrupt(format!("unexpected DROP TABLE {name} in DDL-free stream")))
+    }
+}
+
+/// A [`DdlReplayer`] that recreates bare [`DataTable`]s with no catalog or
+/// index integration — enough for engine-level tests and tools that only
+/// need the relations back.
+#[derive(Default)]
+pub struct BareDdlReplayer;
+
+impl DdlReplayer for BareDdlReplayer {
+    fn create_table(&mut self, ddl: &CreateTableDdl) -> Result<Arc<DataTable>> {
+        DataTable::new(ddl.table_id, Schema::new(ddl.columns.clone()))
+    }
+    fn drop_table(&mut self, _table_id: u32, _name: &str) -> Result<()> {
+        Ok(())
+    }
+}
+
 /// Replay `log_bytes` into the given tables (keyed by table id).
 ///
 /// The log's implicit commit-timestamp ordering (§3.4) means we can apply
 /// groups in stream order; a group becomes applicable only once its commit
-/// entry appears.
+/// entry appears. Tables created by replayed DDL are tracked internally (and
+/// surfaced through `ddl`); `tables` itself is not mutated.
 pub fn recover(
     log_bytes: &[u8],
     manager: &TransactionManager,
     tables: &HashMap<u32, Arc<DataTable>>,
+    ddl: &mut dyn DdlReplayer,
 ) -> Result<RecoveryStats> {
     let mut slot_map = HashMap::new();
-    recover_from(log_bytes, Timestamp::ZERO, manager, tables, &mut slot_map)
+    recover_from(log_bytes, Timestamp::ZERO, manager, tables, &mut slot_map, ddl)
+}
+
+/// One commit group being reassembled from the stream.
+#[derive(Default)]
+struct Group {
+    records: Vec<RedoRecord>,
+    ddl: Vec<mainline_txn::DdlRecord>,
 }
 
 /// [`recover`], but skip every transaction committed at or below `after` —
@@ -60,43 +140,105 @@ pub fn recover_from(
     manager: &TransactionManager,
     tables: &HashMap<u32, Arc<DataTable>>,
     slot_map: &mut HashMap<(u32, u64), TupleSlot>,
+    ddl: &mut dyn DdlReplayer,
 ) -> Result<RecoveryStats> {
     let mut stats = RecoveryStats::default();
     let mut reader = LogReader::new(log_bytes);
-    // Buffer of redo records per commit timestamp awaiting their commit mark.
-    let mut groups: HashMap<u64, Vec<RedoRecord>> = HashMap::new();
+    // Buffers per commit timestamp awaiting their commit mark.
+    let mut groups: HashMap<u64, Group> = HashMap::new();
     let mut committed: Vec<u64> = Vec::new();
 
     while let Some(entry) = reader.next_entry()? {
         match entry.payload {
             LogPayload::Redo(r) => {
-                groups.entry(entry.commit_ts.0).or_default().push(r);
+                groups.entry(entry.commit_ts.0).or_default().records.push(r);
             }
             LogPayload::Commit => committed.push(entry.commit_ts.0),
+            LogPayload::CreateTable(c) => groups
+                .entry(entry.commit_ts.0)
+                .or_default()
+                .ddl
+                .push(mainline_txn::DdlRecord::CreateTable(c)),
+            LogPayload::DropTable { table_id, name } => groups
+                .entry(entry.commit_ts.0)
+                .or_default()
+                .ddl
+                .push(mainline_txn::DdlRecord::DropTable { table_id, name }),
         }
     }
+
+    // The live table set evolves with replayed DDL; start from the caller's
+    // map (cheap Arc clones). Drops are remembered forever: a committer that
+    // still held the handle may have committed *after* the drop's timestamp,
+    // and its records must be discarded, not treated as corruption.
+    let mut live: HashMap<u32, Arc<DataTable>> = tables.clone();
+    let mut dropped: HashSet<u32> = HashSet::new();
 
     // Apply committed groups in commit order.
     committed.sort_unstable();
     for ts in &committed {
         stats.max_commit_ts = stats.max_commit_ts.max(*ts);
         if Timestamp(*ts) <= after {
-            // Fully covered by the checkpoint image.
-            if let Some(records) = groups.remove(ts) {
-                stats.txns_skipped += 1;
-                stats.ops_skipped += records.len();
+            // Fully covered by the checkpoint image — but drops must still
+            // be *remembered* so post-cut stragglers to the dead table are
+            // discarded rather than erroring on a missing id.
+            if let Some(group) = groups.remove(ts) {
+                if !group.records.is_empty() {
+                    stats.txns_skipped += 1;
+                    stats.ops_skipped += group.records.len();
+                }
+                for d in &group.ddl {
+                    stats.ddl_skipped += 1;
+                    if let mainline_txn::DdlRecord::DropTable { table_id, .. } = d {
+                        dropped.insert(*table_id);
+                        live.remove(table_id);
+                    }
+                }
             }
             continue;
         }
-        let Some(records) = groups.remove(ts) else {
+        let Some(group) = groups.remove(ts) else {
             // Read-only or empty transaction.
             continue;
         };
+        // DDL first: a transaction's data records may target the table its
+        // own group created (and the log serializes DDL before redo).
+        for d in group.ddl {
+            match d {
+                mainline_txn::DdlRecord::CreateTable(c) => {
+                    let table = ddl.create_table(&c)?;
+                    if table.id() != c.table_id {
+                        return Err(Error::Corrupt(format!(
+                            "DDL replay id mismatch for {}: logged {} vs recreated {}",
+                            c.name,
+                            c.table_id,
+                            table.id()
+                        )));
+                    }
+                    live.insert(c.table_id, table);
+                }
+                mainline_txn::DdlRecord::DropTable { table_id, name } => {
+                    ddl.drop_table(table_id, &name)?;
+                    dropped.insert(table_id);
+                    live.remove(&table_id);
+                }
+            }
+            stats.ddl_applied += 1;
+        }
+        if group.records.is_empty() {
+            continue;
+        }
         let txn = manager.begin();
-        for r in records {
-            let table = tables
-                .get(&r.table_id)
-                .ok_or_else(|| Error::NotFound(format!("table {}", r.table_id)))?;
+        let mut applied_any = false;
+        for r in group.records {
+            let Some(table) = live.get(&r.table_id) else {
+                if dropped.contains(&r.table_id) || ddl.table_known_dropped(r.table_id) {
+                    // Late commit into a dropped table: dead on arrival.
+                    stats.ops_dropped += 1;
+                    continue;
+                }
+                return Err(Error::NotFound(format!("table {}", r.table_id)));
+            };
             let key = (r.table_id, r.slot.raw());
             match r.op {
                 RedoOp::Insert(cols) => {
@@ -123,9 +265,12 @@ pub fn recover_from(
                 }
             }
             stats.ops_applied += 1;
+            applied_any = true;
         }
         manager.commit(&txn);
-        stats.txns_replayed += 1;
+        if applied_any {
+            stats.txns_replayed += 1;
+        }
     }
     stats.txns_discarded = groups.len();
     Ok(stats)
@@ -232,7 +377,7 @@ mod tests {
         let t2 = DataTable::new(7, schema()).unwrap();
         let mut tables = HashMap::new();
         tables.insert(7u32, Arc::clone(&t2));
-        let stats = recover(&log, &m2, &tables).unwrap();
+        let stats = recover(&log, &m2, &tables, &mut BareDdlReplayer).unwrap();
         assert_eq!(stats.txns_replayed, 3);
         assert_eq!(stats.txns_discarded, 0);
         assert!(stats.ops_applied >= 5);
@@ -272,7 +417,7 @@ mod tests {
         let t = DataTable::new(7, schema()).unwrap();
         let mut tables = HashMap::new();
         tables.insert(7u32, Arc::clone(&t));
-        let stats = recover(&log, &m, &tables).unwrap();
+        let stats = recover(&log, &m, &tables, &mut BareDdlReplayer).unwrap();
         assert_eq!(stats.txns_replayed, 0);
         assert_eq!(stats.txns_discarded, 1);
         let check = m.begin();
@@ -289,6 +434,6 @@ mod tests {
         crate::record::encode_commit(&mut log, mainline_common::Timestamp(1));
         let m = TransactionManager::new();
         let tables = HashMap::new();
-        assert!(recover(&log, &m, &tables).is_err());
+        assert!(recover(&log, &m, &tables, &mut BareDdlReplayer).is_err());
     }
 }

@@ -71,17 +71,39 @@ pub fn list_segments(path: &Path) -> Result<Vec<SegmentFile>> {
 /// active file — as one contiguous byte stream suitable for
 /// [`crate::recover`]/[`crate::recover_from`]. A missing active file (the
 /// log never wrote anything, or everything rotated) contributes nothing.
+///
+/// The read retries until it observes a *stable* segment list on both
+/// sides: a rotation landing between the listing and the active-file read
+/// would otherwise silently drop the just-archived segment from the
+/// stream. Crashed logs (the normal recovery case) have no writers and
+/// never retry; the loop matters for live reads racing a log thread (e.g.
+/// tests that simulate a crash by leaking the database).
 pub fn read_log(path: &Path) -> Result<Vec<u8>> {
-    let mut out = Vec::new();
-    for seg in list_segments(path)? {
-        out.extend_from_slice(&std::fs::read(&seg.path)?);
+    let mut before = list_segments(path)?;
+    for _ in 0..64 {
+        let mut out = Vec::new();
+        for seg in &before {
+            match std::fs::read(&seg.path) {
+                Ok(bytes) => out.extend_from_slice(&bytes),
+                // Listed but vanished (concurrent truncation): restart.
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        match std::fs::read(path) {
+            Ok(bytes) => out.extend_from_slice(&bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        let after = list_segments(path)?;
+        if after == before {
+            return Ok(out);
+        }
+        before = after;
     }
-    match std::fs::read(path) {
-        Ok(bytes) => out.extend_from_slice(&bytes),
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-        Err(e) => return Err(e.into()),
-    }
-    Ok(out)
+    Err(mainline_common::Error::Io(std::io::Error::other(
+        "log rotated continuously for 64 read attempts; quiesce the writer first",
+    )))
 }
 
 /// Delete every archive segment whose records all carry commit timestamps at
@@ -92,6 +114,10 @@ pub fn truncate_below(path: &Path, checkpoint_ts: Timestamp) -> Result<usize> {
     let mut dropped = 0;
     for seg in list_segments(path)? {
         if seg.last_commit_ts <= checkpoint_ts {
+            // Crash-injectable (see [`mainline_common::failpoint`]): the
+            // crash-matrix battery kills truncation after any prefix of
+            // removals and proves restart still works.
+            mainline_common::failpoint::check("wal.truncate.remove")?;
             std::fs::remove_file(&seg.path)?;
             dropped += 1;
         }

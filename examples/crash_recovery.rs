@@ -1,7 +1,15 @@
-//! Durability demo: segmented write-ahead logging, an online Arrow-native
-//! checkpoint with WAL truncation, a simulated crash, and a fast two-phase
-//! restart (checkpoint image + WAL tail) — compared against a cold
-//! full-WAL replay.
+//! Durability demo: segmented write-ahead logging with **logical DDL
+//! records**, an online Arrow-native checkpoint with WAL truncation, a
+//! simulated crash, and a fast two-phase restart (checkpoint image + WAL
+//! tail) — compared against a cold full-WAL replay.
+//!
+//! Because `CREATE TABLE` commits through the log, the new era's WAL is
+//! self-describing: restart re-logs the catalog and every replayed row into
+//! it, so the second crash below recovers from the era-2 log alone — no
+//! explicit post-restart checkpoint needed. (Rows restored *directly into
+//! frozen blocks* are the exception — they are not re-logged; a database
+//! with frozen data takes its next checkpoint when the trigger fires on
+//! replay-driven WAL growth.)
 //!
 //! ```sh
 //! cargo run --release --example crash_recovery
@@ -88,12 +96,11 @@ fn main() {
 
     // --- Cold restart for comparison: replay the whole surviving WAL. ----
     let cold = Database::open(DbConfig::default()).expect("boot");
-    cold.create_table("notes", schema(), vec![IndexSpec::new("pk", &[0])], false).expect("create");
     let log = wal::segments::read_log(&wal_path).expect("read log");
-    // The pre-checkpoint segments are gone (truncated); a from-genesis
-    // replay of the remaining bytes cannot resolve tail records that target
-    // checkpointed rows — the checkpoint image is load-bearing.
-    let cold_err = wal::recover(&log, cold.manager(), &cold.catalog().tables_by_id());
+    // The pre-checkpoint segments are gone (truncated) — including the
+    // CREATE TABLE record — so a from-genesis replay of the remaining bytes
+    // cannot resolve the tail: the checkpoint image is load-bearing.
+    let cold_err = cold.replay_log(&log);
     println!("cold replay of the truncated WAL alone: {:?} (expected to fail)", cold_err.err());
     cold.shutdown();
 
@@ -140,27 +147,31 @@ fn main() {
     db.manager().commit(&txn);
     println!("tail survived: edit yes, delete yes, uncommitted junk no");
 
-    // The restored image is not re-logged into the new era, so checkpoint
-    // immediately — from here on, restart needs only this checkpoint plus
-    // the new log's tail.
-    let ckpt = db.checkpoint().expect("fresh checkpoint");
-    println!("new-era checkpoint at ts {} covers the restored state", ckpt.checkpoint_ts.0);
-
-    // The new era works end to end: write, restart from the new artifacts.
+    // No explicit post-restart checkpoint: restart re-logged the catalog
+    // (CREATE TABLE rides the commit path) and every replayed row into the
+    // new era, so the era-2 WAL alone is a complete image of this database.
+    // Write some more, crash again, and recover from nothing but that log.
     let txn = db.manager().begin();
     notes.insert(&txn, &[Value::BigInt(5000), Value::string("post-restart note")]);
     db.manager().commit(&txn);
     db.log_manager().unwrap().flush();
-    db.shutdown();
+    std::mem::forget(db); // second crash — again no orderly shutdown
+    println!("second lifetime crashed; era-2 log at {}", new_wal.display());
 
-    let (db2, _) = Database::open_from_checkpoint(DbConfig::default(), &ckpt_root, Some(&new_wal))
-        .expect("second restart");
-    let notes2 = db2.catalog().table("notes").unwrap();
+    let db2 = Database::open(DbConfig::default()).expect("boot");
+    let era2 = wal::segments::read_log(&new_wal).expect("read era-2 log");
+    let stats = db2.replay_log(&era2).expect("era-2 replay");
+    let notes2 = db2.catalog().table("notes").expect("table recreated from era-2 DDL");
     let txn = db2.manager().begin();
     assert_eq!(notes2.table().count_visible(&txn), 1100);
+    let (_, row) = notes2.lookup(&txn, "pk", &[Value::BigInt(5000)]).unwrap().expect("new note");
+    assert_eq!(row[1], Value::string("post-restart note"));
     db2.manager().commit(&txn);
     db2.shutdown();
-    println!("second restart from the new era succeeded");
+    println!(
+        "second restart from the era-2 log alone succeeded: {} txns, {} DDL records replayed",
+        stats.txns_replayed, stats.ddl_applied
+    );
 
     let _ = std::fs::remove_file(&wal_path);
     let _ = std::fs::remove_file(&new_wal);

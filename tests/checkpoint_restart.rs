@@ -185,13 +185,12 @@ fn restart_from_checkpoint_matches_full_replay_with_fewer_records() {
         std::mem::forget(db);
     }
 
-    // --- cold restart: full-WAL replay from genesis ---
+    // --- cold restart: full-WAL replay from genesis (the table comes back
+    // from the logged DDL, not from manual catalog work) ---
     let log = wal::segments::read_log(&p.wal).unwrap();
     let cold_db = Database::open(DbConfig::default()).unwrap();
-    let cold_t =
-        cold_db.create_table("t", schema(), vec![IndexSpec::new("pk", &[0])], false).unwrap();
-    let cold_stats =
-        wal::recover(&log, cold_db.manager(), &cold_db.catalog().tables_by_id()).unwrap();
+    let cold_stats = cold_db.replay_log(&log).unwrap();
+    let cold_t = cold_db.catalog().table("t").unwrap();
     assert_eq!(relation(cold_db.manager(), cold_t.table()), expected, "cold replay diverged");
 
     // --- two-phase restart: checkpoint image + WAL tail ---
@@ -348,6 +347,7 @@ fn background_trigger_checkpoints_truncate_and_restart_works() {
         probe.manager(),
         &probe.catalog().tables_by_id(),
         &mut std::collections::HashMap::new(),
+        &mut wal::BareDdlReplayer,
     );
     // Tail records reference checkpointed rows by old slots; without the
     // checkpoint's slot map this either errors or replays fewer rows.
@@ -368,6 +368,222 @@ fn background_trigger_checkpoints_truncate_and_restart_works() {
     let t2 = db2.catalog().table("t").unwrap();
     assert_eq!(relation(db2.manager(), t2.table()), expected);
     assert!(rs.cold_rows_loaded + rs.delta_rows_loaded > 0);
+    db2.shutdown();
+    cleanup(&p);
+}
+
+/// ISSUE 5 acceptance: a table created *after* a checkpoint, with committed
+/// rows in the WAL tail, survives crash + `open_from_checkpoint` restart
+/// with all rows intact — the logical `CREATE TABLE` in the tail recreates
+/// it (index definitions included), even though the manifest has never
+/// heard of it and the pre-checkpoint WAL was truncated. A tail
+/// `DROP TABLE` replays too.
+#[test]
+fn table_created_after_checkpoint_survives_restart() {
+    let p = paths("post-ddl");
+    let mut rng = Xoshiro256::seed_from_u64(512);
+    let expected_late;
+    let expected_t;
+    {
+        let db = open_logged(&p, true); // truncation ON: the tail must carry the DDL
+        let t = create(&db);
+        insert_rows(&db, &t, 0..800, &mut rng);
+        // A table that will be dropped *after* the checkpoint.
+        let doomed = db
+            .create_table(
+                "doomed",
+                Schema::new(vec![ColumnDef::new("id", TypeId::BigInt)]),
+                vec![],
+                false,
+            )
+            .unwrap();
+        let txn = db.manager().begin();
+        for i in 0..25 {
+            doomed.insert(&txn, &[Value::BigInt(i)]);
+        }
+        db.manager().commit(&txn);
+
+        let stats = db.checkpoint().unwrap();
+        assert!(stats.checkpoint_ts > Timestamp(0));
+
+        // --- everything below here exists only in the WAL tail ---
+        let late =
+            db.create_table("late", schema(), vec![IndexSpec::new("pk", &[0])], true).unwrap();
+        insert_rows(&db, &late, 0..300, &mut rng);
+        let sample: Vec<i64> = (0..300).step_by(13).collect();
+        mutate_rows(&db, &late, &sample, &mut rng);
+        insert_rows(&db, &t, 800..900, &mut rng);
+        db.drop_table("doomed").unwrap();
+
+        db.log_manager().unwrap().flush();
+        expected_late = relation(db.manager(), late.table());
+        expected_t = relation(db.manager(), t.table());
+        std::mem::forget(db); // crash
+    }
+
+    let (db2, rs) =
+        Database::open_from_checkpoint(DbConfig::default(), &p.ckpt, Some(&p.wal)).unwrap();
+    assert!(rs.tail.ddl_applied >= 2, "CREATE late + DROP doomed must replay: {rs:?}");
+    let late2 = db2.catalog().table("late").expect("tail-created table must restore");
+    assert_eq!(
+        relation(db2.manager(), late2.table()),
+        expected_late,
+        "tail-created table must restore row-for-row"
+    );
+    let t2 = db2.catalog().table("t").unwrap();
+    assert_eq!(relation(db2.manager(), t2.table()), expected_t);
+    assert!(db2.catalog().table("doomed").is_err(), "tail DROP TABLE must replay");
+
+    // The tail-created table is fully functional: its replayed index
+    // definition resolves lookups, and new writes work.
+    let txn = db2.manager().begin();
+    for row in expected_late.iter().step_by(41) {
+        let got = late2
+            .lookup(&txn, "pk", &[row[0].clone()])
+            .unwrap()
+            .unwrap_or_else(|| panic!("row {:?} unreachable through replayed index", row[0]));
+        assert_eq!(&got.1, row);
+    }
+    late2.insert(&txn, &[Value::BigInt(1 << 41), Value::Null, Value::Integer(0)]);
+    db2.manager().commit(&txn);
+    db2.shutdown();
+    cleanup(&p);
+}
+
+/// A straggler commit through a *retained* handle of a table dropped before
+/// the checkpoint must be discarded by the tail replay — even when the
+/// `DROP TABLE` record itself was truncated away with the pre-checkpoint
+/// log. The manifest's `next_table_id` is what lets restart classify the
+/// unknown id as long-dropped instead of corrupt.
+#[test]
+fn straggler_into_pre_checkpoint_dropped_table_is_discarded() {
+    let p = paths("straggler");
+    let mut rng = Xoshiro256::seed_from_u64(31337);
+    let expected_t;
+    {
+        let db = open_logged(&p, true);
+        let t = create(&db);
+        let eph = db
+            .create_table(
+                "ephemeral",
+                Schema::new(vec![ColumnDef::new("id", TypeId::BigInt)]),
+                vec![],
+                false,
+            )
+            .unwrap();
+        let txn = db.manager().begin();
+        for i in 0..40 {
+            eph.insert(&txn, &[Value::BigInt(i)]);
+        }
+        db.manager().commit(&txn);
+        db.drop_table("ephemeral").unwrap();
+        // Enough post-drop volume (several commit groups) to rotate the
+        // segment holding the DROP record out of the active file, so the
+        // checkpoint's truncation really deletes it.
+        for chunk in 0..8 {
+            insert_rows(&db, &t, chunk * 100..(chunk + 1) * 100, &mut rng);
+        }
+        db.checkpoint().unwrap();
+        let remaining = wal::segments::read_log(&p.wal).unwrap();
+        let mut r = wal::record::LogReader::new(&remaining);
+        while let Some(e) = r.next_entry().unwrap() {
+            assert!(
+                !matches!(e.payload, wal::LogPayload::DropTable { .. }),
+                "test setup: the DROP record must have been truncated away"
+            );
+        }
+
+        // The straggler: the retained handle commits *after* the checkpoint,
+        // so the record lands in the tail referencing an id no surviving
+        // DDL or manifest entry explains.
+        let txn = db.manager().begin();
+        eph.insert(&txn, &[Value::BigInt(999)]);
+        db.manager().commit(&txn);
+        insert_rows(&db, &t, 800..850, &mut rng);
+
+        db.log_manager().unwrap().flush();
+        expected_t = relation(db.manager(), t.table());
+        std::mem::forget(db); // crash (also keeps `eph`'s blocks alive)
+    }
+
+    let (db2, rs) =
+        Database::open_from_checkpoint(DbConfig::default(), &p.ckpt, Some(&p.wal)).unwrap();
+    assert!(rs.tail.ops_dropped >= 1, "the straggler must be discarded, not fatal: {rs:?}");
+    let t2 = db2.catalog().table("t").unwrap();
+    assert_eq!(relation(db2.manager(), t2.table()), expected_t);
+    assert!(db2.catalog().table("ephemeral").is_err());
+    db2.shutdown();
+    cleanup(&p);
+}
+
+/// ISSUE 5 acceptance: a second checkpoint after a small delta writes
+/// strictly fewer cold bytes (and new cold frames) than the first — the
+/// incremental manifest chain references the first generation's segments —
+/// and a restart resolving the chain agrees with the live relation.
+#[test]
+fn second_checkpoint_after_small_delta_writes_strictly_less() {
+    let p = paths("incremental");
+    let mut rng = Xoshiro256::seed_from_u64(77);
+    let expected;
+    let first;
+    let second;
+    {
+        let db = open_logged(&p, true);
+        let t = create(&db);
+        let per_block = t.table().layout().num_slots() as i64;
+        insert_rows(&db, &t, 0..3 * per_block, &mut rng);
+        let frozen = wait_for_frozen(&db, 2);
+        assert!(frozen >= 2, "need at least two frozen blocks, got {frozen}");
+
+        first = db.checkpoint().unwrap();
+        assert!(first.frozen_blocks >= 2, "{first:?}");
+        assert!(first.cold_bytes > 0);
+
+        // Small delta: a handful of tail inserts into the active block.
+        insert_rows(&db, &t, 3 * per_block..3 * per_block + 50, &mut rng);
+
+        second = db.checkpoint().unwrap();
+        assert!(
+            second.frozen_blocks_reused >= first.frozen_blocks.max(2) - 1,
+            "most frozen frames must be reused: first {first:?}, second {second:?}"
+        );
+        assert!(
+            second.cold_bytes < first.cold_bytes,
+            "incremental checkpoint must write strictly fewer cold bytes: \
+             {} vs {}",
+            second.cold_bytes,
+            first.cold_bytes
+        );
+        assert!(
+            second.frozen_blocks < first.frozen_blocks,
+            "incremental checkpoint must write strictly fewer cold frames: \
+             {} vs {}",
+            second.frozen_blocks,
+            first.frozen_blocks
+        );
+        assert!(second.cold_bytes_reused > 0);
+
+        // The chain is explicit in the manifest: frames reference gen 1.
+        let (_, manifest) = mainline::checkpoint::read_manifest(&p.ckpt).unwrap();
+        let gen1 = first.dir.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            manifest.frames.iter().any(|f| f.dir == gen1),
+            "second manifest must reference the first generation"
+        );
+        assert!(first.dir.is_dir(), "referenced generation must survive pruning");
+
+        db.log_manager().unwrap().flush();
+        expected = relation(db.manager(), t.table());
+        std::mem::forget(db); // crash
+    }
+
+    // Restart resolves the chain (gen-2 manifest, gen-1 cold bytes).
+    let (db2, rs) =
+        Database::open_from_checkpoint(DbConfig::default(), &p.ckpt, Some(&p.wal)).unwrap();
+    assert_eq!(rs.checkpoint_ts, second.checkpoint_ts.0);
+    assert!(rs.frozen_blocks_loaded >= first.frozen_blocks, "all chained frames must load: {rs:?}");
+    let t2 = db2.catalog().table("t").unwrap();
+    assert_eq!(relation(db2.manager(), t2.table()), expected, "chained restart diverged");
     db2.shutdown();
     cleanup(&p);
 }
@@ -419,7 +635,7 @@ proptest! {
                 slot: TupleSlot::from_raw(((i as u64 + 1) << 20) | r as u64),
                 op: RedoOp::Insert(vec![RedoCol { col: 1, value: Some(vec![r as u8; 40]) }]),
             }).collect();
-            lm.queue_commit(ts, records, false, Box::new(|| {}));
+            lm.queue_commit(ts, records, vec![], false, Box::new(|| {}));
             lm.flush(); // small groups → rotation points between txns
         }
         lm.shutdown();
@@ -432,6 +648,7 @@ proptest! {
                 match e.payload {
                     LogPayload::Redo(_) => *redos.entry(e.commit_ts.0).or_default() += 1,
                     LogPayload::Commit => { commits.insert(e.commit_ts.0, ()); }
+                    LogPayload::CreateTable(_) | LogPayload::DropTable { .. } => {}
                 }
             }
             (commits, redos)

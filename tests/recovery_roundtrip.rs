@@ -112,12 +112,15 @@ fn random_workload_replays_exactly() {
         db.shutdown();
     }
 
-    // Recover into a fresh database.
+    // Recover into a fresh database. The log is self-describing: the
+    // CREATE TABLE (with its index definition) replays from the logged DDL.
     let db = Database::open(DbConfig::default()).unwrap();
-    let t = db.create_table("t", schema(), vec![IndexSpec::new("pk", &[0])], false).unwrap();
     let log = wal::segments::read_log(&path).unwrap();
-    let stats = wal::recover(&log, db.manager(), &db.catalog().tables_by_id()).unwrap();
+    let stats = db.replay_log(&log).unwrap();
     assert!(stats.txns_replayed > 0);
+    assert_eq!(stats.ddl_applied, 1);
+    let t = db.catalog().table("t").unwrap();
+    assert_eq!(t.num_indexes(), 1, "index definitions must replay with the DDL");
 
     // Compare relation to the model.
     let txn = db.manager().begin();
@@ -193,12 +196,13 @@ fn mid_stall_crash_replays_every_acked_commit() {
         std::mem::forget(db);
     }
 
-    // A fresh process replays the log into a fresh database.
+    // A fresh process replays the log into a fresh database (the table
+    // itself comes back from the logged DDL).
     let log = wal::segments::read_log(&path).unwrap();
     let db = Database::open(DbConfig::default()).unwrap();
-    let t = db.create_table("t", schema(), vec![], false).unwrap();
-    let stats = wal::recover(&log, db.manager(), &db.catalog().tables_by_id()).unwrap();
+    let stats = db.replay_log(&log).unwrap();
     assert!(stats.txns_replayed > 0);
+    let t = db.catalog().table("t").unwrap();
     let txn = db.manager().begin();
     assert_eq!(
         t.table().count_visible(&txn),
@@ -237,10 +241,10 @@ fn torn_log_tail_recovers_prefix() {
     let mut log = wal::segments::read_log(&path).unwrap();
     log.truncate(log.len() - 37);
     let db = Database::open(DbConfig::default()).unwrap();
-    let t = db.create_table("t", schema(), vec![], false).unwrap();
-    let stats = wal::recover(&log, db.manager(), &db.catalog().tables_by_id()).unwrap();
+    let stats = db.replay_log(&log).unwrap();
     // The last transaction lost its commit record; exactly 4 survive.
     assert_eq!(stats.txns_replayed, 4);
+    let t = db.catalog().table("t").unwrap();
     let txn = db.manager().begin();
     assert_eq!(t.table().count_visible(&txn), 400);
     db.manager().commit(&txn);
