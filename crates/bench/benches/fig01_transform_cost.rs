@@ -33,7 +33,7 @@ fn main() {
     // Freeze the table (the data is cold by the time the scientist exports).
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
     loop {
-        let (hot, cooling, freezing, _) = db.pipeline().unwrap().block_state_census();
+        let (hot, cooling, freezing, _, _) = db.pipeline().unwrap().block_state_census();
         if hot + cooling + freezing <= 1 || std::time::Instant::now() > deadline {
             break;
         }

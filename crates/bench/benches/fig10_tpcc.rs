@@ -65,7 +65,7 @@ fn run_cell(workers: u32, transform: Option<TransformFormat>, seconds: u64, extr
     emit("fig10a", series, workers, committed as f64 / seconds as f64 / 1e3, "K_txn_per_s");
 
     if let Some(pipeline) = db.pipeline() {
-        let (hot, cooling, freezing, frozen) = pipeline.block_state_census();
+        let (hot, cooling, freezing, frozen, _evicted) = pipeline.block_state_census();
         let total = (hot + cooling + freezing + frozen).max(1) as f64;
         emit("fig10b", &format!("{series}_frozen"), workers, frozen as f64 / total * 100.0, "pct");
         emit(

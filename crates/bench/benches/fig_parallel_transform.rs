@@ -65,7 +65,7 @@ fn run_cell(workers: usize, nblocks: usize, pct_empty: u32) -> (usize, f64) {
             // (the active block stays hot by design).
             let deadline = std::time::Instant::now() + Duration::from_secs(60);
             let frozen = loop {
-                let (hot, cooling, freezing, frozen) = coordinator.block_state_census();
+                let (hot, cooling, freezing, frozen, _evicted) = coordinator.block_state_census();
                 if (hot <= 1 && cooling == 0 && freezing == 0 && frozen > 0)
                     || std::time::Instant::now() > deadline
                 {

@@ -133,7 +133,8 @@ fn run_cell(rows: i64) {
         if t.table().num_blocks() > 1 {
             let deadline = Instant::now() + Duration::from_secs(30);
             while Instant::now() < deadline {
-                let (hot, cooling, freezing, _frozen) = db.pipeline().unwrap().block_state_census();
+                let (hot, cooling, freezing, _frozen, _evicted) =
+                    db.pipeline().unwrap().block_state_census();
                 if hot + cooling + freezing <= 1 {
                     break;
                 }

@@ -74,7 +74,10 @@ pub mod restore;
 pub mod writer;
 
 pub use manifest::{FrameRef, IndexManifest, Manifest, SegmentEntry, SegmentKind, TableManifest};
-pub use restore::{load_into, read_manifest, ColdFrame, LoadStats};
+pub use restore::{
+    fault_in_block, load_into, populate_frozen_block, read_cold_frames, read_manifest, ColdFrame,
+    LoadStats,
+};
 pub use writer::{
     write_checkpoint, write_checkpoint_anchored, CheckpointStats, TableCheckpointSpec,
 };

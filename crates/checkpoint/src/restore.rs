@@ -13,6 +13,13 @@
 //! Both paths feed a slot map (`(table_id, old raw slot)` → new slot) so the
 //! subsequent WAL-tail replay can resolve updates and deletes against rows
 //! that came out of the checkpoint image.
+//!
+//! The frozen-block reconstruction is shared with the cold-block buffer
+//! manager: [`fault_in_block`] rebuilds an **evicted** block's body in place
+//! from its recorded [`ColdLocation`](mainline_storage::ColdLocation) —
+//! same frame parse, same column installation
+//! ([`populate_frozen_block`]) — so restart and demand paging are one code
+//! path at two call sites.
 
 use crate::manifest::{Manifest, SegmentKind};
 use crate::writer::{COLD_MAGIC, DELTA_MAGIC};
@@ -48,6 +55,13 @@ pub struct ColdFrame {
     pub table_id: u32,
     /// Block base address in the checkpointed process (slot-remap key).
     pub old_base: u64,
+    /// Freeze stamp of the captured content (0 = unknown). Together with
+    /// `freeze_era` this is the frame's content identity: restart re-adopts
+    /// it so the first post-restart checkpoint diffs incremental, and the
+    /// fault path matches it against the block's live stamp.
+    pub freeze_stamp: u64,
+    /// Freeze-stamp era of the writing process (0 = unknown).
+    pub freeze_era: u64,
     /// Insert head: number of slot-indexed rows in the payload.
     pub n: u32,
     /// Allocation bitmap over those `n` slots (bit set = live row).
@@ -102,12 +116,14 @@ pub fn read_cold_frames(path: &Path) -> Result<Vec<ColdFrame>> {
     let mut frames = Vec::new();
     while !c.done() {
         let old_base = c.u64()?;
+        let freeze_stamp = c.u64()?;
+        let freeze_era = c.u64()?;
         let n = c.u32()?;
         let bitmap_len = c.u32()? as usize;
         let alloc = c.take(bitmap_len)?.to_vec();
         let payload_len = c.u64()? as usize;
         let payload = c.take(payload_len)?.to_vec();
-        frames.push(ColdFrame { table_id, old_base, n, alloc, payload });
+        frames.push(ColdFrame { table_id, old_base, freeze_stamp, freeze_era, n, alloc, payload });
     }
     Ok(frames)
 }
@@ -167,19 +183,31 @@ pub fn load_into(
                     frames.len()
                 ))
             })?;
-            if frame.table_id != frame_ref.table_id || frame.old_base != frame_ref.old_base {
+            // Identity: the manifest's base matches the file's for frames
+            // written in the manifest's own process. A reused frame that
+            // crossed a restart carries the *current* process's base (so the
+            // WAL slot map lines up) while the file still holds the writing
+            // process's — there the freeze stamp, unique within the era, is
+            // the identity.
+            let stamp_match =
+                frame.freeze_stamp != 0 && frame.freeze_stamp == frame_ref.freeze_stamp;
+            if frame.table_id != frame_ref.table_id
+                || (frame.old_base != frame_ref.old_base && !stamp_match)
+            {
                 return Err(Error::Corrupt(format!(
-                    "frame {} of {dir_name}/{file} is (table {}, base {:#x}), manifest says \
-                     (table {}, base {:#x})",
+                    "frame {} of {dir_name}/{file} is (table {}, base {:#x}, stamp {}), manifest \
+                     says (table {}, base {:#x}, stamp {})",
                     frame_ref.index,
                     frame.table_id,
                     frame.old_base,
+                    frame.freeze_stamp,
                     frame_ref.table_id,
-                    frame_ref.old_base
+                    frame_ref.old_base,
+                    frame_ref.freeze_stamp
                 )));
             }
             let batch = ipc::decode_batch(&frame.payload)?;
-            let live = rebuild_frozen_block(table, frame, &batch, slot_map)?;
+            let live = rebuild_frozen_block(table, frame, frame_ref, &batch, slot_map)?;
             stats.frozen_blocks += 1;
             stats.cold_rows += live;
         }
@@ -228,19 +256,22 @@ fn check_offsets(offsets: &[i32], values_len: usize, col: u16, what: &str) -> Re
     Ok(())
 }
 
-/// Reconstruct one frozen block from its IPC payload + envelope and append
-/// it to `table`'s block list. Returns the number of live rows.
+/// Install a cold frame's content into `block`'s memory: allocation bitmap,
+/// null bitmaps, one memcpy per fixed column, and a canonical gathered side
+/// buffer plus per-slot non-owning entries per varlen column — exactly the
+/// layout `mainline_transform`'s freeze would have produced. Returns the
+/// number of live rows.
 ///
-/// The inverse of the gather pass: fixed columns are one memcpy each, varlen
-/// columns become a canonical side buffer plus per-slot non-owning entries —
-/// exactly the layout [`mainline_transform`]'s freeze would have produced,
-/// so the block participates in scans, exports, re-heating, and future
-/// checkpoints like any other frozen block.
-fn rebuild_frozen_block(
-    table: &Arc<DataTable>,
+/// The inverse of the gather pass, shared by the two consumers of the
+/// checkpoint chain: restart's loader (into a fresh block) and the buffer
+/// manager's fault path ([`fault_in_block`], back into an evicted block's
+/// released body — the bitmap writes are idempotent over the still-resident
+/// head page). The caller owns the block's state transitions.
+pub fn populate_frozen_block(
+    table: &DataTable,
     frame: &ColdFrame,
     batch: &RecordBatch,
-    slot_map: &mut HashMap<(u32, u64), TupleSlot>,
+    block: &Block,
 ) -> Result<u64> {
     let layout = Arc::clone(table.layout());
     let n = frame.n;
@@ -257,7 +288,6 @@ fn rebuild_frozen_block(
             layout.num_user_cols()
         )));
     }
-    let block = Block::new(Arc::clone(&layout));
     let ptr = block.as_ptr();
     let total_slots = layout.num_slots() as usize;
 
@@ -384,22 +414,133 @@ fn rebuild_frozen_block(
         }
     }
 
+    Ok(live)
+}
+
+/// Reconstruct one frozen block from its IPC payload + envelope and append
+/// it to `table`'s block list (the restart path). Returns the number of
+/// live rows.
+///
+/// Identity handling: when the frame carries a stamp from an adoptable era
+/// (the manifest's — first adoption wins process-wide), the block re-adopts
+/// it and records its chain location, so the first post-restart checkpoint
+/// reuses the frame instead of rewriting it **and** the block is immediately
+/// evictable. Otherwise the rebuilt content gets a fresh stamp and the next
+/// checkpoint captures it anew. Slot-map keys use `frame_ref.old_base` — the
+/// manifest's address, which is what the WAL tail references — not the
+/// file's (they differ for frames reused across a restart).
+fn rebuild_frozen_block(
+    table: &Arc<DataTable>,
+    frame: &ColdFrame,
+    frame_ref: &crate::manifest::FrameRef,
+    batch: &RecordBatch,
+    slot_map: &mut HashMap<(u32, u64), TupleSlot>,
+) -> Result<u64> {
+    let block = Block::new(Arc::clone(table.layout()));
+    let live = populate_frozen_block(table, frame, batch, &block)?;
+
     let h = block.header();
-    h.set_insert_head(n);
-    // Fresh identity for the rebuilt content: the next incremental
-    // checkpoint in *this* process diffs against its own manifest chain, and
-    // the restored block is new content as far as that chain is concerned.
-    block.stamp_freeze();
+    h.set_insert_head(frame.n);
+    let adopted = frame.freeze_stamp != 0
+        && frame.freeze_era != 0
+        && mainline_storage::raw_block::adopt_freeze_era(frame.freeze_era);
+    if adopted {
+        block.adopt_freeze_stamp(frame.freeze_stamp);
+        block.set_cold_location(mainline_storage::ColdLocation {
+            dir: frame_ref.dir.clone(),
+            file: frame_ref.file.clone(),
+            index: frame_ref.index,
+            bytes: frame_ref.bytes,
+            stamp: frame.freeze_stamp,
+        });
+    } else {
+        // Fresh identity: the next incremental checkpoint in *this* process
+        // diffs against its own chain, and the restored block is new content
+        // as far as that chain is concerned.
+        block.stamp_freeze();
+    }
     h.set_state_raw(BlockState::Frozen as u32);
 
-    for slot in 0..n {
+    for slot in 0..frame.n {
         if frame.is_allocated(slot) {
             slot_map.insert(
-                (frame.table_id, frame.old_base | slot as u64),
+                (frame.table_id, frame_ref.old_base | slot as u64),
                 TupleSlot::new(block.as_ptr(), slot),
             );
         }
     }
     table.blocks_handle().write().push(block);
     Ok(live)
+}
+
+/// Fault an **evicted** block's frozen content back into its released body —
+/// the demand-paging half of the cold-block buffer manager. `root` is the
+/// checkpoint root the block's [`ColdLocation`](mainline_storage::ColdLocation)
+/// points into.
+///
+/// Claims the block (`Evicted → Faulting`, exclusive), reads its frame from
+/// the chain, verifies identity (table, freeze stamp, insert head), and
+/// installs the content via [`populate_frozen_block`] at the block's
+/// original address — tuple slots and index entries never move. Publishes
+/// `Faulting → Frozen` with a residency-version bump on success; on any
+/// error the claim is reverted (`Faulting → Evicted`) and the error
+/// propagates to the access that triggered the fault.
+///
+/// Returns `Ok(false)` without touching anything if the block is not
+/// evicted — another thread won the fault race or a writer already thawed
+/// it; the caller just retries its access.
+pub fn fault_in_block(root: &Path, table: &DataTable, block: &Block) -> Result<bool> {
+    use mainline_storage::block_state::BlockStateMachine;
+    let h = block.header();
+    if !BlockStateMachine::begin_fault(h) {
+        return Ok(false);
+    }
+    let rebuild = (|| -> Result<()> {
+        let loc = block
+            .cold_location()
+            .ok_or_else(|| Error::Corrupt("evicted block has no cold location".into()))?;
+        if loc.stamp == 0 || loc.stamp != block.freeze_stamp() {
+            return Err(Error::Corrupt(format!(
+                "evicted block location stamp {} != live stamp {}",
+                loc.stamp,
+                block.freeze_stamp()
+            )));
+        }
+        let frames = read_cold_frames(&root.join(&loc.dir).join(&loc.file))?;
+        let frame = frames.get(loc.index as usize).ok_or_else(|| {
+            Error::Corrupt(format!(
+                "cold location references frame {} of {}/{}, which has only {}",
+                loc.index,
+                loc.dir,
+                loc.file,
+                frames.len()
+            ))
+        })?;
+        let expected_n = h.insert_head().min(table.layout().num_slots());
+        if frame.table_id != table.id() || frame.freeze_stamp != loc.stamp || frame.n != expected_n
+        {
+            return Err(Error::Corrupt(format!(
+                "cold frame identity (table {}, stamp {}, n {}) does not match evicted block \
+                 (table {}, stamp {}, n {expected_n})",
+                frame.table_id,
+                frame.freeze_stamp,
+                frame.n,
+                table.id(),
+                loc.stamp
+            )));
+        }
+        let batch = ipc::decode_batch(&frame.payload)?;
+        populate_frozen_block(table, frame, &batch, block)?;
+        Ok(())
+    })();
+    match rebuild {
+        Ok(()) => {
+            BlockStateMachine::finish_fault(h);
+            Ok(true)
+        }
+        Err(e) => {
+            BlockStateMachine::abort_fault(h);
+            Err(e)
+        }
+    }
 }

@@ -7,16 +7,31 @@
 //!
 //! **Incremental:** before the walk, the writer reads the previous
 //! checkpoint's manifest (via `CURRENT`) and indexes its cold frames by
-//! `(table id, block base, freeze stamp)`. A frozen block whose identity
-//! already appears there is not re-encoded or re-written — its manifest
-//! `frame` line simply carries the prior location forward (possibly several
-//! generations back). Checkpoint cost is therefore bounded by *changed*
-//! data; pruning keeps every directory the new manifest still references.
+//! `(table id, freeze stamp)` — stamps are process-unique per freeze, so
+//! within one era they identify content on their own, and keying without
+//! the block address lets a *restarted* process (which re-adopted the
+//! stamps but rebuilt the blocks at new addresses) keep diffing
+//! incrementally. A frozen block whose identity already appears there is
+//! not re-encoded or re-written — its manifest `frame` line carries the
+//! prior location forward (possibly several generations back) under the
+//! block's **current** address, so the WAL slot remap stays correct.
+//! Checkpoint cost is therefore bounded by *changed* data; pruning keeps
+//! every directory the new manifest still references.
+//!
+//! **Evicted blocks** (cold-block buffer manager): a block whose body was
+//! released is *by construction* already captured by the chain — its
+//! recorded [`ColdLocation`] is emitted as
+//! the frame reference without any I/O, and the referenced generation stays
+//! in the manifest's keep-set, so pruning can never delete a generation an
+//! evicted block still points into. Conversely, every frame this walk
+//! writes (or reuses) is recorded back onto its block *after* the publish
+//! rename — making the block evictable from then on.
 //!
 //! Segment encodings:
 //!
-//! * `table-<id>.cold` — `MLCKCLD1` + `u32 table_id`, then one frame per
-//!   frozen block: `[u64 old_base][u32 n][u32 bitmap_len][alloc bitmap]`
+//! * `table-<id>.cold` — `MLCKCLD2` + `u32 table_id`, then one frame per
+//!   frozen block: `[u64 old_base][u64 freeze_stamp][u64 freeze_era]`
+//!   `[u32 n][u32 bitmap_len][alloc bitmap]`
 //!   `[u64 payload_len][payload]`, where `payload` is **exactly** the Arrow
 //!   IPC frame Flight export would emit for the block
 //!   ([`ipc::encode_batch`] of
@@ -44,7 +59,7 @@ use mainline_common::{failpoint, Result, Timestamp};
 use mainline_export::materialize::frozen_batch;
 use mainline_storage::block_state::BlockStateMachine;
 use mainline_storage::layout::NUM_RESERVED_COLS;
-use mainline_storage::{access, TupleSlot};
+use mainline_storage::{access, ColdLocation, TupleSlot};
 use mainline_txn::{DataTable, RedoCol, RedoOp, RedoRecord, TransactionManager};
 use mainline_wal::record::{encode_commit, encode_redo};
 use std::collections::{BTreeSet, HashMap};
@@ -52,8 +67,10 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-/// Magic prefixes of the two segment encodings.
-pub(crate) const COLD_MAGIC: &[u8; 8] = b"MLCKCLD1";
+/// Magic prefixes of the two segment encodings. Cold v1 (`MLCKCLD1`, no
+/// stamp/era in the envelope) is deliberately rejected rather than migrated
+/// — checkpoints are regenerable artifacts, same policy as the manifest.
+pub(crate) const COLD_MAGIC: &[u8; 8] = b"MLCKCLD2";
 pub(crate) const DELTA_MAGIC: &[u8; 8] = b"MLCKDLT1";
 
 /// Everything the writer needs to know about one table. `mainline-db` builds
@@ -120,7 +137,7 @@ fn ckpt_dir_name(ts: Timestamp) -> String {
 /// an existence cache for the files they live in (defensive: a manually
 /// deleted old segment must cause a fresh write, not a dangling reference).
 struct PrevFrames {
-    by_identity: HashMap<(u32, u64, u64), FrameRef>,
+    by_identity: HashMap<(u32, u64), FrameRef>,
     file_exists: HashMap<(String, String), bool>,
 }
 
@@ -128,16 +145,19 @@ impl PrevFrames {
     fn load(root: &Path) -> PrevFrames {
         let by_identity = match crate::restore::read_manifest(root) {
             // Frame identities are only unique within one process's
-            // freeze-stamp era: the counter restarts at 1 per process and
-            // block addresses can recur, so a manifest written by a
-            // different process (a restart, or a fresh engine over an old
-            // root) is diffed as empty — the first checkpoint of a new era
+            // freeze-stamp era: the counter restarts per process, so a
+            // manifest written by a different era (a fresh engine over an
+            // old root, or a restart that could not adopt the image's era)
+            // is diffed as empty — the first checkpoint of a new era
             // rewrites everything rather than risking a stale-frame match.
+            // Within the era, `(table, stamp)` alone identifies content:
+            // restart re-adopts stamps onto blocks at *new* addresses, and
+            // keying by stamp keeps those frames reusable.
             Ok((_, prev)) if prev.freeze_era == mainline_storage::raw_block::freeze_era() => prev
                 .frames
                 .into_iter()
                 .filter(|f| f.freeze_stamp != 0)
-                .map(|f| ((f.table_id, f.old_base, f.freeze_stamp), f))
+                .map(|f| ((f.table_id, f.freeze_stamp), f))
                 .collect(),
             _ => HashMap::new(),
         };
@@ -145,7 +165,7 @@ impl PrevFrames {
     }
 
     /// A reusable prior frame for this identity, if its file still exists.
-    fn reusable(&mut self, root: &Path, key: (u32, u64, u64)) -> Option<FrameRef> {
+    fn reusable(&mut self, root: &Path, key: (u32, u64)) -> Option<FrameRef> {
         let frame = self.by_identity.get(&key)?.clone();
         let loc = (frame.dir.clone(), frame.file.clone());
         let exists = *self
@@ -227,6 +247,7 @@ pub fn write_checkpoint_anchored(
     // The walk may fail mid-way (full disk, injected crash); the anchor
     // transaction must be committed on every path, or it would pin GC
     // pruning forever.
+    let mut pending_locations = Vec::new();
     let walk = walk_tables(
         specs,
         root,
@@ -237,6 +258,7 @@ pub fn write_checkpoint_anchored(
         &mut prev,
         &mut stats,
         &mut manifest,
+        &mut pending_locations,
     );
     // The walk is complete (or abandoned): every byte that needed the
     // consistency anchor has been read. Release the transaction before the
@@ -271,6 +293,17 @@ pub fn write_checkpoint_anchored(
     failpoint::check("ckpt.root.fsync2")?;
     fsync_dir(root);
 
+    // The checkpoint is live: record each captured frame's chain location on
+    // its block, making it evictable. This must wait until after the publish
+    // rename — a freshly written frame's location names the *final*
+    // directory, which did not exist while the walk was still writing into
+    // the tmp dir, and an eviction in that window would have recorded a
+    // dangling fault path. (A block on the fresh-write path had no prior
+    // recorded location, so it was not evictable mid-walk either way.)
+    for (block, loc) in pending_locations {
+        block.set_cold_location(loc);
+    }
+
     // Keep every directory the *published* manifest still references — the
     // incremental chain — and the new checkpoint itself; prune the rest.
     let mut keep = manifest.referenced_dirs();
@@ -295,6 +328,7 @@ fn walk_tables(
     prev: &mut PrevFrames,
     stats: &mut CheckpointStats,
     manifest: &mut Manifest,
+    pending_locations: &mut Vec<(Arc<mainline_storage::raw_block::Block>, ColdLocation)>,
 ) -> Result<()> {
     for spec in specs {
         let table = &spec.table;
@@ -321,20 +355,75 @@ fn walk_tables(
         let mut delta = SegmentWriter::new(tmp_dir, format!("table-{id}.delta"), DELTA_MAGIC, id)?;
         let mut scratch = Vec::new();
 
-        for block in table.blocks() {
+        'blocks: for block in table.blocks() {
             let h = block.header();
+            loop {
+                match BlockStateMachine::state(h) {
+                    mainline_storage::BlockState::Evicted => {
+                        // The body is released, but the content is *by
+                        // construction* already in the chain: eviction
+                        // required a fresh recorded location. Emit it as the
+                        // frame reference — no I/O, no fault-in. Any
+                        // concurrent fault-in + thaw + update commits after
+                        // the anchor began (commit ts > checkpoint ts), so
+                        // the stored frozen content IS the checkpoint-ts
+                        // snapshot of this block. The referenced dir lands
+                        // in the manifest's keep-set, so pruning cannot
+                        // orphan the evicted block's fault path.
+                        let Some(loc) = block.cold_location() else {
+                            return Err(mainline_common::Error::Corrupt(format!(
+                                "evicted block {:#x} of table {id} has no cold location",
+                                block.as_ptr() as u64
+                            )));
+                        };
+                        stats.frozen_blocks_reused += 1;
+                        stats.cold_bytes_reused += loc.bytes;
+                        manifest.frames.push(FrameRef {
+                            table_id: id,
+                            old_base: block.as_ptr() as u64,
+                            freeze_stamp: loc.stamp,
+                            index: loc.index,
+                            bytes: loc.bytes,
+                            dir: loc.dir,
+                            file: loc.file,
+                        });
+                        continue 'blocks;
+                    }
+                    mainline_storage::BlockState::Faulting => {
+                        // Exclusive rebuild in flight; it is short. Wait for
+                        // a settled state rather than snapshotting a
+                        // half-rebuilt body through the MVCC path.
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
             if BlockStateMachine::reader_acquire(h) {
-                // Frozen. Content identity: (base, stamp), both stable while
+                // Frozen. Content identity: the freeze stamp, stable while
                 // we hold the reader count.
                 let base = block.as_ptr() as u64;
                 let stamp = block.freeze_stamp();
-                if let Some(prior) = prev.reusable(root, (id, base, stamp)) {
-                    // Incremental fast path: the previous checkpoint already
-                    // holds these exact bytes — reference, don't rewrite.
+                if let Some(prior) = prev.reusable(root, (id, stamp)) {
+                    // Incremental fast path: the chain already holds these
+                    // exact bytes — reference, don't rewrite. The emitted
+                    // ref carries the block's *current* base (after a
+                    // restart the prior manifest's base is another
+                    // process's address; the WAL slot remap needs ours).
                     BlockStateMachine::reader_release(h);
                     stats.frozen_blocks_reused += 1;
                     stats.cold_bytes_reused += prior.bytes;
-                    manifest.frames.push(prior);
+                    pending_locations.push((
+                        Arc::clone(&block),
+                        ColdLocation {
+                            dir: prior.dir.clone(),
+                            file: prior.file.clone(),
+                            index: prior.index,
+                            bytes: prior.bytes,
+                            stamp,
+                        },
+                    ));
+                    manifest.frames.push(FrameRef { old_base: base, ..prior });
                     continue;
                 }
                 // Zero-transformation path: the payload is the exact IPC
@@ -350,8 +439,18 @@ fn walk_tables(
                     }
                 }
                 BlockStateMachine::reader_release(h);
-                cold.frame_header(base, n, &bitmap, payload.len() as u64)?;
+                cold.frame_header(base, stamp, n, &bitmap, payload.len() as u64)?;
                 cold.write(&payload)?;
+                pending_locations.push((
+                    Arc::clone(&block),
+                    ColdLocation {
+                        dir: dir_name.to_string(),
+                        file: file_name.clone(),
+                        index: cold.count as u32,
+                        bytes: payload.len() as u64,
+                        stamp,
+                    },
+                ));
                 manifest.frames.push(FrameRef {
                     table_id: id,
                     old_base: base,
@@ -478,17 +577,20 @@ impl SegmentWriter {
     fn frame_header(
         &mut self,
         old_base: u64,
+        freeze_stamp: u64,
         n: u32,
         bitmap: &[u8],
         payload_len: u64,
     ) -> Result<()> {
         let w = self.out()?;
         w.write_all(&old_base.to_le_bytes())?;
+        w.write_all(&freeze_stamp.to_le_bytes())?;
+        w.write_all(&mainline_storage::raw_block::freeze_era().to_le_bytes())?;
         w.write_all(&n.to_le_bytes())?;
         w.write_all(&(bitmap.len() as u32).to_le_bytes())?;
         w.write_all(bitmap)?;
         w.write_all(&payload_len.to_le_bytes())?;
-        self.bytes += 8 + 4 + 4 + bitmap.len() as u64 + 8;
+        self.bytes += 8 + 8 + 8 + 4 + 4 + bitmap.len() as u64 + 8;
         Ok(())
     }
 

@@ -362,3 +362,83 @@ fn checkpoint_of_empty_table_restores_empty() {
     m2.commit(&check);
     let _ = std::fs::remove_dir_all(&root);
 }
+
+/// The demand-paging roundtrip at the crate level: once a checkpoint has
+/// recorded a frozen block's chain location the block can be evicted in
+/// place, a later checkpoint *references* the evicted frame instead of
+/// touching the released body, pruning keeps the generation that frame
+/// lives in, and [`fault_in_block`] rebuilds the identical block — same
+/// relation, same re-exported Arrow bytes — at its original address.
+#[test]
+fn evicted_blocks_fault_back_and_survive_pruning() {
+    use mainline_checkpoint::fault_in_block;
+    use mainline_storage::evict_block;
+
+    let m = Arc::new(TransactionManager::new());
+    let t = DataTable::new(1, schema()).unwrap();
+    let per_block = t.layout().num_slots() as i64;
+    let txn = m.begin();
+    for i in 0..per_block + 200 {
+        t.insert(&txn, &row(i));
+    }
+    m.commit(&txn);
+    freeze_first_block(&m, &t, false);
+
+    let root = tmp_root("evict");
+    let spec = |t: &Arc<DataTable>| TableCheckpointSpec {
+        name: "t".into(),
+        transform: false,
+        indexes: vec![],
+        table: Arc::clone(t),
+    };
+    let first = write_checkpoint(&m, &[spec(&t)], &root).unwrap();
+    assert_eq!((first.frozen_blocks, first.frozen_blocks_reused), (1, 0));
+
+    // More hot rows after the checkpoint; the frozen block is untouched.
+    let txn = m.begin();
+    for i in 0..37 {
+        t.insert(&txn, &row(per_block + 200 + i));
+    }
+    m.commit(&txn);
+    let expected = relation(&m, &t);
+
+    // The publish recorded the block's chain location — evict the body.
+    let block = t.blocks()[0].clone();
+    let loc = block.cold_location().expect("checkpoint must record a cold location");
+    assert_eq!(loc.stamp, block.freeze_stamp());
+    let buffers = evict_block(&block).expect("a checkpointed quiescent frozen block is evictable");
+    assert_eq!(BlockStateMachine::state(block.header()), BlockState::Evicted);
+    drop(buffers); // no concurrent readers in this test: safe to free now
+
+    // A checkpoint over the evicted block must reference its frame, not
+    // read the released body — and pruning must keep the referenced
+    // generation on disk, or the fault path below would dangle.
+    let second = write_checkpoint(&m, &[spec(&t)], &root).unwrap();
+    assert_eq!(
+        (second.frozen_blocks, second.frozen_blocks_reused),
+        (0, 1),
+        "the evicted block's frame must be referenced: {second:?}"
+    );
+    assert!(first.dir.is_dir(), "pruning deleted a generation an evicted block points into");
+
+    // Fault the content back in from the chain, in place.
+    assert!(fault_in_block(&root, &t, &block).unwrap());
+    assert_eq!(BlockStateMachine::state(block.header()), BlockState::Frozen);
+    assert_eq!(relation(&m, &t), expected, "faulted block must restore the exact relation");
+
+    // Zero-transformation survives the round trip: the faulted block
+    // re-exports byte-identical Arrow to the frame it was rebuilt from.
+    let frames =
+        mainline_checkpoint::restore::read_cold_frames(&root.join(&loc.dir).join(&loc.file))
+            .unwrap();
+    assert!(BlockStateMachine::reader_acquire(block.header()));
+    let reexport = mainline_arrowlite::ipc::encode_batch(&unsafe {
+        mainline_export::materialize::frozen_batch(&t, &block)
+    });
+    BlockStateMachine::reader_release(block.header());
+    assert_eq!(reexport, frames[loc.index as usize].payload);
+
+    // Faulting an already-resident block is a polite no-op.
+    assert!(!fault_in_block(&root, &t, &block).unwrap());
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -11,7 +11,10 @@ use crate::table_handle::{IndexSpec, TableHandle};
 use mainline_common::schema::Schema;
 use mainline_common::{Error, Result};
 use mainline_gc::DeferredQueue;
-use mainline_txn::{CreateTableDdl, DataTable, DdlRecord, IndexDef, TransactionManager};
+use mainline_storage::MemoryAccountant;
+use mainline_txn::{
+    CreateTableDdl, DataTable, DdlRecord, FaultHandler, IndexDef, TransactionManager,
+};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -24,6 +27,10 @@ pub struct Catalog {
     admission: Arc<AdmissionController>,
     tables: RwLock<HashMap<String, Arc<TableHandle>>>,
     next_id: AtomicU32,
+    /// Residency wiring applied to every table (present and future) once the
+    /// database layer configures checkpointing: the fault path for evicted
+    /// blocks plus the shared memory accountant.
+    residency: RwLock<Option<(FaultHandler, Arc<MemoryAccountant>)>>,
 }
 
 impl Catalog {
@@ -40,7 +47,21 @@ impl Catalog {
             admission,
             tables: RwLock::new(HashMap::new()),
             next_id: AtomicU32::new(1),
+            residency: RwLock::new(None),
         }
+    }
+
+    /// Install the cold-block residency wiring: every table created from now
+    /// on (and every table already in the catalog) gets the fault handler
+    /// and the memory accountant. Called once by the database layer when
+    /// checkpointing is configured — eviction is only safe with a durable
+    /// home for frozen bytes.
+    pub(crate) fn set_residency(&self, handler: FaultHandler, accountant: Arc<MemoryAccountant>) {
+        for h in self.tables.read().values() {
+            h.table().set_fault_handler(Arc::clone(&handler));
+            h.table().set_accountant(Arc::clone(&accountant));
+        }
+        *self.residency.write() = Some((handler, accountant));
     }
 
     /// Create a table with secondary indexes. `transform` records whether
@@ -72,6 +93,10 @@ impl Catalog {
         }
         let id = self.next_id.fetch_add(1, Ordering::AcqRel);
         let table = DataTable::new(id, schema)?;
+        if let Some((handler, accountant)) = self.residency.read().as_ref() {
+            table.set_fault_handler(Arc::clone(handler));
+            table.set_accountant(Arc::clone(accountant));
+        }
         let handle = TableHandle::new(
             table,
             indexes,

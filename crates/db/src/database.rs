@@ -16,8 +16,10 @@ use mainline_common::schema::Schema;
 use mainline_common::{Error, Result};
 use mainline_gc::collector::ModificationObserver;
 use mainline_gc::{DeferredQueue, GarbageCollector};
+use mainline_storage::block_state::{BlockState, BlockStateMachine};
+use mainline_storage::{evict_block, MemoryAccountant, MemoryStats};
 use mainline_transform::{AccessObserver, BackpressureLevel, TransformConfig, TransformPipeline};
-use mainline_txn::{CommitSink, TransactionManager};
+use mainline_txn::{CommitSink, FaultHandler, TransactionManager};
 use mainline_wal::{LogManager, LogManagerConfig};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -95,6 +97,12 @@ pub struct DbConfig {
     pub transform_interval: Duration,
     /// Threads for parallel GC chain truncation (§4.4 "Scaling ... GC").
     pub gc_parallelism: usize,
+    /// Frozen-content memory budget in bytes for the cold-block buffer
+    /// manager; `None` falls back to the `MAINLINE_MEMORY_BUDGET_BYTES`
+    /// environment variable, else unlimited. The eviction clock runs only
+    /// when a budget is set *and* checkpointing is configured (evicting a
+    /// block requires a durable on-disk home for its bytes).
+    pub memory_budget_bytes: Option<u64>,
 }
 
 impl Default for DbConfig {
@@ -108,8 +116,13 @@ impl Default for DbConfig {
             transform: None,
             transform_interval: Duration::from_millis(10),
             gc_parallelism: 1,
+            memory_budget_bytes: None,
         }
     }
+}
+
+fn env_memory_budget_bytes() -> Option<u64> {
+    std::env::var("MAINLINE_MEMORY_BUDGET_BYTES").ok().and_then(|v| v.parse().ok())
 }
 
 /// A running database instance.
@@ -139,9 +152,14 @@ pub struct Database {
     stop_transform: Arc<AtomicBool>,
     stop_gc: Arc<AtomicBool>,
     stop_checkpoint: Arc<AtomicBool>,
+    stop_evictor: Arc<AtomicBool>,
     transform_workers: parking_lot::Mutex<Vec<JoinHandle<()>>>,
     gc_thread: parking_lot::Mutex<Option<JoinHandle<()>>>,
     checkpoint_thread: parking_lot::Mutex<Option<JoinHandle<()>>>,
+    evictor_thread: parking_lot::Mutex<Option<JoinHandle<()>>>,
+    /// Cold-block buffer manager books (always present; unlimited budget
+    /// when none is configured, in which case the clock never runs).
+    accountant: Arc<MemoryAccountant>,
 }
 
 impl Database {
@@ -265,6 +283,37 @@ impl Database {
         let checkpoints_taken = Arc::new(AtomicU64::new(0));
         let checkpoint_lock = Arc::new(parking_lot::Mutex::new(()));
 
+        // Cold-block buffer manager: the accountant always exists (so
+        // `memory_stats()` always reports), the transform pipeline charges
+        // freezes into it, and — only with checkpointing configured — every
+        // table gets the fault path back out of the checkpoint chain. The
+        // eviction clock itself starts further down, only under a budget.
+        let memory_budget = config.memory_budget_bytes.or_else(env_memory_budget_bytes);
+        let accountant = Arc::new(MemoryAccountant::new(memory_budget));
+        if let Some(pipeline) = &pipeline {
+            pipeline.set_accountant(Arc::clone(&accountant));
+        }
+        if let Some(cfg) = &checkpoint_cfg {
+            let root = cfg.dir.clone();
+            let handler: FaultHandler = Arc::new(move |table, block| {
+                mainline_checkpoint::fault_in_block(&root, table, block)
+            });
+            catalog.set_residency(handler, Arc::clone(&accountant));
+        }
+
+        let stop_evictor = Arc::new(AtomicBool::new(false));
+        let evictor_thread = if memory_budget.is_some() && checkpoint_cfg.is_some() {
+            Some(spawn_evictor(
+                Arc::clone(&accountant),
+                Arc::clone(&catalog),
+                Arc::clone(&manager),
+                Arc::clone(&deferred),
+                Arc::clone(&stop_evictor),
+            ))
+        } else {
+            None
+        };
+
         let db = Arc::new(Database {
             manager,
             catalog,
@@ -280,9 +329,12 @@ impl Database {
             stop_transform,
             stop_gc,
             stop_checkpoint,
+            stop_evictor,
             transform_workers: parking_lot::Mutex::new(transform_workers),
             gc_thread: parking_lot::Mutex::new(Some(gc_thread)),
             checkpoint_thread: parking_lot::Mutex::new(None),
+            evictor_thread: parking_lot::Mutex::new(evictor_thread),
+            accountant,
         });
         if start_checkpoint_trigger {
             db.start_checkpoint_trigger();
@@ -461,6 +513,37 @@ impl Database {
         self.admission.stats()
     }
 
+    /// Cold-block buffer manager books: budget, resident/evicted frozen
+    /// bytes, and lifetime eviction/fault counts. Always available; without
+    /// a configured [`DbConfig::memory_budget_bytes`] the budget reports
+    /// `u64::MAX` and the eviction clock never runs.
+    pub fn memory_stats(&self) -> MemoryStats {
+        self.accountant.stats()
+    }
+
+    /// The memory accountant itself (tests and benches assert its bound).
+    pub fn memory_accountant(&self) -> &Arc<MemoryAccountant> {
+        &self.accountant
+    }
+
+    /// Charge restored frozen blocks to the resident gauge. The restore
+    /// loader writes frozen blocks below the accounting layer, so restart
+    /// calls this once the image is loaded — otherwise the books would
+    /// undercount exactly the blocks the eviction clock most wants to see.
+    pub(crate) fn charge_restored_frozen(&self) {
+        for (_name, handle) in self.catalog.all_tables() {
+            for block in handle.table().blocks() {
+                if BlockStateMachine::state(block.header()) == BlockState::Frozen
+                    && block.charged_bytes() == 0
+                {
+                    let bytes = block.live_bytes() as u64;
+                    block.set_charged_bytes(bytes);
+                    self.accountant.on_freeze(bytes);
+                }
+            }
+        }
+    }
+
     /// Take a checkpoint right now (requires [`DbConfig::checkpoint`], or
     /// the forced environment mode): snapshot every table under an open MVCC
     /// transaction — frozen blocks as raw Arrow IPC, hot blocks through the
@@ -499,8 +582,14 @@ impl Database {
     /// cooling queue is frozen rather than abandoned, and its deferred
     /// reclamation runs before the WAL closes.
     pub fn shutdown(&self) {
-        // 0. Checkpoint trigger first: a checkpoint transaction opened after
-        //    this point would pin the GC quiescence the drain depends on.
+        // 0. Eviction clock and checkpoint trigger first: an eviction after
+        //    this point would queue deferred buffer drops behind the final
+        //    drain, and a checkpoint transaction opened after this point
+        //    would pin the GC quiescence the drain depends on.
+        self.stop_evictor.store(true, Ordering::Relaxed);
+        if let Some(h) = self.evictor_thread.lock().take() {
+            let _ = h.join();
+        }
         self.stop_checkpoint.store(true, Ordering::Relaxed);
         if let Some(h) = self.checkpoint_thread.lock().take() {
             let _ = h.join();
@@ -575,6 +664,73 @@ fn run_checkpoint(
     Ok(stats)
 }
 
+/// The cold-block eviction clock (second-chance over frozen blocks).
+///
+/// While the resident gauge is over budget, the clock sweeps every table's
+/// block list looking for victims: Frozen, not the insertion-active block,
+/// and not recently referenced (the sweep clears each block's REF bit and
+/// skips it once — any read marks it again). [`evict_block`] itself enforces
+/// the hard preconditions: a fresh checkpoint-captured frame to fault back
+/// from, and a fully pruned version column (the GC CASes version pointers
+/// through block memory, so an evicted block must have no versions to
+/// prune). The detached Arrow buffers are defer-dropped through the GC's
+/// epoch queue — optimistic readers that began before the claim may still be
+/// copying out of them.
+fn spawn_evictor(
+    accountant: Arc<MemoryAccountant>,
+    catalog: Arc<Catalog>,
+    manager: Arc<TransactionManager>,
+    deferred: Arc<DeferredQueue>,
+    stop: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("evictor".into())
+        .spawn(move || {
+            let idle = Duration::from_millis(5);
+            while !stop.load(Ordering::Relaxed) {
+                if !accountant.over_budget() {
+                    std::thread::sleep(idle);
+                    continue;
+                }
+                let mut evicted_any = false;
+                'sweep: for (_name, handle) in catalog.all_tables() {
+                    let table = handle.table();
+                    for block in table.blocks() {
+                        if stop.load(Ordering::Relaxed) || !accountant.over_budget() {
+                            break 'sweep;
+                        }
+                        let h = block.header();
+                        if BlockStateMachine::state(h) != BlockState::Frozen
+                            || table.is_active_block(block.as_ptr())
+                        {
+                            continue;
+                        }
+                        // Second chance: clear the REF bit; a recently read
+                        // block survives this sweep.
+                        if h.take_ref_bit() {
+                            continue;
+                        }
+                        if let Some(buffers) = evict_block(&block) {
+                            // The charge stays on the block (fault-in and
+                            // table drop settle it); the books move it to
+                            // the evicted gauge.
+                            accountant.on_evict(block.charged_bytes());
+                            let ts = manager.oracle().next();
+                            deferred.defer(ts, move || drop(buffers));
+                            evicted_any = true;
+                        }
+                    }
+                }
+                if !evicted_any {
+                    // Over budget but nothing evictable yet (no checkpoint
+                    // coverage, REF bits, or live versions): back off.
+                    std::thread::sleep(idle);
+                }
+            }
+        })
+        .expect("spawn evictor")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -613,13 +769,13 @@ mod tests {
         // Let the background machinery freeze the first block.
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         loop {
-            let (_h, _c, _f, frozen) = db.pipeline().unwrap().block_state_census();
+            let (_h, _c, _f, frozen, _e) = db.pipeline().unwrap().block_state_census();
             if frozen >= 1 || std::time::Instant::now() > deadline {
                 break;
             }
             std::thread::sleep(Duration::from_millis(5));
         }
-        let (_h, _c, _f, frozen) = db.pipeline().unwrap().block_state_census();
+        let (_h, _c, _f, frozen, _e) = db.pipeline().unwrap().block_state_census();
         assert!(frozen >= 1, "a block should have frozen");
 
         // Reads still work through the index after transformation (moves
@@ -665,7 +821,7 @@ mod tests {
         // then shut down mid-stream.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while std::time::Instant::now() < deadline {
-            let (_h, cooling, freezing, frozen) = db.pipeline().unwrap().block_state_census();
+            let (_h, cooling, freezing, frozen, _e) = db.pipeline().unwrap().block_state_census();
             if cooling + freezing + frozen > 0 {
                 break;
             }
@@ -676,7 +832,7 @@ mod tests {
         // The fix under test: no compaction group may be abandoned in a
         // cooling queue — everything either froze or was preempted — and the
         // freezes' deferred reclamation ran before the WAL closed.
-        let (_h, cooling, freezing, _frozen) = db.pipeline().unwrap().block_state_census();
+        let (_h, cooling, freezing, _frozen, _e) = db.pipeline().unwrap().block_state_census();
         assert_eq!((cooling, freezing), (0, 0), "in-flight group abandoned at shutdown");
         assert_eq!(db.pipeline().unwrap().pending_bytes(), 0);
         assert!(db.deferred().is_empty(), "deferred actions left unprocessed at shutdown");

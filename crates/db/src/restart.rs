@@ -238,7 +238,10 @@ impl Database {
                 }
             }
         }
-        // Only now is the database whole enough to checkpoint.
+        // Account the restored frozen blocks (the loader writes below the
+        // accounting layer), then arm the trigger: only now is the database
+        // whole enough to checkpoint.
+        db.charge_restored_frozen();
         db.start_checkpoint_trigger();
         Ok((db, stats))
     }

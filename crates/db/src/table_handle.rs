@@ -157,6 +157,7 @@ impl TableHandle {
     /// transformation pipeline is behind.
     pub fn insert(&self, txn: &Arc<Transaction>, values: &[Value]) -> TupleSlot {
         self.admission.admit();
+        txn.pin_table(&self.table);
         let row = ProjectedRow::from_values(self.table.types(), values);
         let slot = self.table.insert(txn, &row);
         for index in &self.indexes {
@@ -180,6 +181,7 @@ impl TableHandle {
     /// the entry; on abort nothing happens. Subject to admission control.
     pub fn delete(&self, txn: &Arc<Transaction>, slot: TupleSlot) -> Result<()> {
         self.admission.admit();
+        txn.pin_table(&self.table);
         let values = self.table.select_values(txn, slot).ok_or(Error::TupleNotVisible)?;
         self.table.delete(txn, slot)?;
         for index in &self.indexes {
@@ -211,6 +213,7 @@ impl TableHandle {
         updates: &[(usize, Value)],
     ) -> Result<()> {
         self.admission.admit();
+        txn.pin_table(&self.table);
         for index in &self.indexes {
             for (c, _) in updates {
                 if index.spec.key_cols.contains(c) {
@@ -244,6 +247,7 @@ impl TableHandle {
         key_values: &[Value],
     ) -> Result<Option<(TupleSlot, Vec<Value>)>> {
         let index = self.index_named(index_name)?;
+        txn.pin_table(&self.table);
         let prefix = self.encode_key(index, key_values);
         Ok(self.first_visible(txn, index, &prefix))
     }
@@ -258,6 +262,7 @@ impl TableHandle {
         limit: usize,
     ) -> Result<Vec<(TupleSlot, Vec<Value>)>> {
         let index = self.index_named(index_name)?;
+        txn.pin_table(&self.table);
         let prefix = self.encode_key(index, key_values);
         let mut out = Vec::new();
         for (_k, slot_raw) in index.tree.prefix_collect(&prefix, usize::MAX) {
@@ -282,6 +287,7 @@ impl TableHandle {
         within_prefix: &[Value],
     ) -> Result<Option<(TupleSlot, Vec<Value>)>> {
         let index = self.index_named(index_name)?;
+        txn.pin_table(&self.table);
         let lo = self.encode_key(index, key_values);
         let bound_prefix = self.encode_key(index, within_prefix);
         let hi = mainline_index::key::prefix_upper_bound(&bound_prefix);

@@ -14,28 +14,44 @@ use mainline_arrowlite::ArrowType;
 use mainline_common::bitmap::Bitmap;
 use mainline_storage::access;
 use mainline_storage::arrow_side::GatheredColumn;
-use mainline_storage::block_state::BlockStateMachine;
+use mainline_storage::block_state::{BlockState, BlockStateMachine};
 use mainline_storage::raw_block::Block;
 use mainline_transform::baselines::snapshot_block;
 use mainline_txn::{DataTable, TransactionManager};
 
 /// Convert one block to a batch. Returns the batch and whether the frozen
 /// in-place path was used.
+///
+/// An evicted block is faulted back in first (export must see every row, and
+/// a faulted block lands Frozen — the zero-transformation path still
+/// applies); a block mid-fault is waited out the same way.
 pub fn block_batch(
     manager: &TransactionManager,
     table: &DataTable,
     block: &Block,
 ) -> (RecordBatch, bool) {
     let h = block.header();
-    if BlockStateMachine::reader_acquire(h) {
-        let batch = unsafe { frozen_batch(table, block) };
-        BlockStateMachine::reader_release(h);
-        (batch, true)
-    } else {
-        let txn = manager.begin();
-        let (batch, _moved) = snapshot_block(table, &txn, block);
-        manager.commit(&txn);
-        (batch, false)
+    loop {
+        if BlockStateMachine::reader_acquire(h) {
+            let batch = unsafe { frozen_batch(table, block) };
+            BlockStateMachine::reader_release(h);
+            return (batch, true);
+        }
+        match BlockStateMachine::state(h) {
+            BlockState::Evicted | BlockState::Faulting => {
+                // No error channel here, and skipping the block would
+                // silently drop rows from the export.
+                table
+                    .ensure_resident(block.as_ptr())
+                    .expect("fault-in failed during export materialization");
+            }
+            _ => {
+                let txn = manager.begin();
+                let (batch, _moved) = snapshot_block(table, &txn, block);
+                manager.commit(&txn);
+                return (batch, false);
+            }
+        }
     }
 }
 

@@ -1,4 +1,5 @@
-//! The block state machine (paper §4.1–§4.3, Figs. 7–9).
+//! The block state machine (paper §4.1–§4.3, Figs. 7–9) plus the residency
+//! arms of the cold-block buffer manager.
 //!
 //! ```text
 //!        update                     compaction committed
@@ -9,6 +10,12 @@
 //!   │                 │ gather complete
 //!   ▼                 ▼
 //!  ...             Frozen  ──update──► Hot (writer spins out readers)
+//!                   │  ▲
+//!     clock evictor │  │ fault-in complete (version bump)
+//!     (version bump)▼  │
+//!                Faulting ◄──fault── Evicted
+//!            (exclusive: eviction teardown, or rebuild from the
+//!             checkpoint chain; teardown publishes Evicted when done)
 //! ```
 //!
 //! * **Hot** — relaxed format; transactions read through the version chain.
@@ -16,11 +23,21 @@
 //!   *preempt* by CASing back to Hot (Fig. 9's resolution).
 //! * **Freezing** — exclusive lock held by the transformation thread.
 //! * **Frozen** — full Arrow; readers take the reader counter like a shared
-//!   lock and read in place.
+//!   lock and read in place, or read optimistically and validate the
+//!   residency version afterwards.
+//! * **Evicted** — frozen content released from memory; the bytes live only
+//!   in the block's recorded checkpoint frame. Any access must fault them
+//!   back first.
+//! * **Faulting** — the exclusive residency-transition state: one thread is
+//!   either rebuilding the block from its checkpoint frame (fault-in) or
+//!   tearing its memory down (eviction claim, before `Evicted` is
+//!   published). Readers, writers, and other faulters wait it out, like
+//!   Freezing.
 
-use crate::raw_block::BlockHeader;
+use crate::raw_block::{word_state, word_version, BlockHeader};
 
-/// Block temperature / lock state (stored in the block header).
+/// Block temperature / lock / residency state (the low bits of the packed
+/// header state word).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u32)]
 pub enum BlockState {
@@ -32,6 +49,10 @@ pub enum BlockState {
     Freezing = 2,
     /// Canonical Arrow; in-place readable.
     Frozen = 3,
+    /// Frozen content released from memory; fault it back before access.
+    Evicted = 4,
+    /// Exclusively locked by a fault-in rebuilding the frozen content.
+    Faulting = 5,
 }
 
 impl BlockState {
@@ -43,6 +64,8 @@ impl BlockState {
             1 => BlockState::Cooling,
             2 => BlockState::Freezing,
             3 => BlockState::Frozen,
+            4 => BlockState::Evicted,
+            5 => BlockState::Faulting,
             _ => unreachable!("corrupt block state {v}"),
         }
     }
@@ -74,7 +97,26 @@ impl BlockStateMachine {
     ///
     /// The returned guard deregisters the writer on drop; hold it across all
     /// in-place stores of the operation.
+    ///
+    /// An **Evicted** block cannot be thawed here — its bytes are on disk
+    /// and this layer has no way to fetch them — so this function spins
+    /// until some other thread faults the content back in. Callers that can
+    /// trigger a fault themselves (the transaction layer) must use
+    /// [`Self::writer_acquire_resident`] instead and fault on `Err`.
     pub fn writer_acquire(h: BlockHeader) -> WriterGuard {
+        loop {
+            match Self::writer_acquire_resident(h) {
+                Ok(g) => return g,
+                Err(AcquireBlocked::Evicted) => std::hint::spin_loop(),
+            }
+        }
+    }
+
+    /// [`Self::writer_acquire`] that hands an Evicted block back to the
+    /// caller instead of spinning: the caller faults the content in (see
+    /// `mainline-checkpoint`'s fault path) and retries. All resident states
+    /// are handled internally, including waiting out a concurrent fault-in.
+    pub fn writer_acquire_resident(h: BlockHeader) -> Result<WriterGuard, AcquireBlocked> {
         loop {
             match Self::state(h) {
                 BlockState::Hot => {
@@ -82,7 +124,7 @@ impl BlockStateMachine {
                     // Re-validate under SeqCst: if a freeze slipped in
                     // between the check and the increment, back out.
                     if Self::state(h) == BlockState::Hot {
-                        return WriterGuard { h };
+                        return Ok(WriterGuard { h });
                     }
                     h.dec_writers();
                 }
@@ -96,9 +138,10 @@ impl BlockStateMachine {
                         }
                     }
                 }
-                BlockState::Freezing => {
+                BlockState::Freezing | BlockState::Faulting => {
                     std::hint::spin_loop();
                 }
+                BlockState::Evicted => return Err(AcquireBlocked::Evicted),
             }
         }
     }
@@ -113,9 +156,12 @@ impl BlockStateMachine {
                 return false;
             }
             h.inc_readers();
-            // Re-validate: a writer may have flipped the state between the
-            // check and the increment; it would then be spinning on us.
+            // Re-validate: a writer (or the evictor) may have flipped the
+            // state between the check and the increment; it would then be
+            // spinning on us.
             if Self::state(h) == BlockState::Frozen {
+                // Recent-access mark for the second-chance eviction clock.
+                h.set_ref_bit();
                 return true;
             }
             h.dec_readers();
@@ -181,6 +227,111 @@ impl BlockStateMachine {
             "Fig. 9 invariant: freeze completing outside the Freezing state"
         );
     }
+
+    // --- residency transitions (cold-block buffer manager) -------------
+
+    /// Evictor: claim a Frozen block for eviction. Frozen → **Faulting**
+    /// (the shared "exclusive residency transition" state) with a
+    /// residency-version bump, so optimistic readers that started before the
+    /// claim fail their validation. On success the caller must still spin
+    /// out pinned readers (`reader_count() > 0`) before releasing the
+    /// block's memory — exactly the drain a thawing writer performs — and
+    /// then publish [`Self::finish_evict`].
+    ///
+    /// The claim deliberately does **not** go straight to `Evicted`: a
+    /// concurrent fault-in treats `Evicted` as an invitation to
+    /// [`Self::begin_fault`] and rebuild, which would race the evictor's
+    /// own teardown (reader drain, version scan, body release). `Faulting`
+    /// is exclusive against readers, writers, *and* faulters, so the block
+    /// only becomes faultable once the memory is actually gone.
+    ///
+    /// Fails if the block is not Frozen (a writer thawed it first, or it is
+    /// already evicted) — the clock hand just moves on.
+    pub fn begin_evict(h: BlockHeader) -> bool {
+        h.cas_state_bump(BlockState::Frozen as u32, BlockState::Faulting as u32)
+    }
+
+    /// Evictor: abandon a claimed eviction before releasing any memory.
+    /// Faulting → Frozen, *without* a version bump (`begin_evict` already
+    /// bumped; the content never changed, so optimistic readers that lose
+    /// their validation to the spurious bump simply retry). Used when the
+    /// post-claim version-column scan finds live MVCC versions — the block
+    /// must stay resident so the GC can prune them through block memory.
+    pub fn abort_evict(h: BlockHeader) {
+        let ok = h.cas_state_raw(BlockState::Faulting as u32, BlockState::Frozen as u32);
+        debug_assert!(ok, "abort_evict from non-faulting state");
+    }
+
+    /// Evictor: publish a completed eviction. Faulting → Evicted, no
+    /// further bump (`begin_evict` already invalidated every optimistic
+    /// reader, and no new read could begin under `Faulting`). Only now may
+    /// a fault-in claim the block.
+    pub fn finish_evict(h: BlockHeader) {
+        let ok = h.cas_state_raw(BlockState::Faulting as u32, BlockState::Evicted as u32);
+        debug_assert!(ok, "finish_evict from non-faulting state");
+    }
+
+    /// Faulter: claim an Evicted block for an exclusive rebuild.
+    /// Evicted → Faulting (no version bump — the memory stays invalid).
+    /// Fails if another thread won the claim or the block is not evicted;
+    /// the caller then waits for the state to leave Faulting and retries
+    /// its access.
+    pub fn begin_fault(h: BlockHeader) -> bool {
+        h.cas_state_raw(BlockState::Evicted as u32, BlockState::Faulting as u32)
+    }
+
+    /// Faulter: publish the rebuilt content. Faulting → Frozen with a
+    /// version bump (the bytes changed from released to resident).
+    pub fn finish_fault(h: BlockHeader) {
+        let ok = h.cas_state_bump(BlockState::Faulting as u32, BlockState::Frozen as u32);
+        debug_assert!(ok, "finish_fault from non-faulting state");
+    }
+
+    /// Faulter: abandon a failed rebuild (I/O error). Faulting → Evicted;
+    /// the block stays faultable and the error propagates to the access
+    /// that triggered the fault.
+    pub fn abort_fault(h: BlockHeader) {
+        let ok = h.cas_state_raw(BlockState::Faulting as u32, BlockState::Evicted as u32);
+        debug_assert!(ok, "abort_fault from non-faulting state");
+    }
+
+    // --- optimistic residency validation (PageState pattern) ------------
+
+    /// Begin an optimistic in-place read: returns the current residency
+    /// version if the block's memory is resident (any state but
+    /// Evicted/Faulting), `None` otherwise (the caller must fault first).
+    ///
+    /// The reader copies what it needs out of block memory **without
+    /// pinning**, then calls [`Self::optimistic_read_validate`]; on `false`
+    /// the copy may contain released (zero-filled) bytes and must be
+    /// retried. Dereferencing gathered varlen pointers copied this way is
+    /// only safe under an open transaction — the evictor defers the buffer
+    /// drop through the GC's epoch queue, which an open transaction pins.
+    #[inline]
+    pub fn optimistic_read_begin(h: BlockHeader) -> Option<u32> {
+        let w = h.state_word();
+        match word_state(w) {
+            s if s == BlockState::Evicted as u32 || s == BlockState::Faulting as u32 => None,
+            _ => Some(word_version(w)),
+        }
+    }
+
+    /// Validate an optimistic read begun at `version`: true iff no residency
+    /// transition (evict or fault-in) happened in between. Lifecycle
+    /// transitions (Hot ↔ Cooling ↔ Freezing ↔ Frozen) and reference-bit
+    /// traffic do not invalidate — MVCC already orders those against
+    /// readers.
+    #[inline]
+    pub fn optimistic_read_validate(h: BlockHeader, version: u32) -> bool {
+        word_version(h.state_word()) == version
+    }
+}
+
+/// Why [`BlockStateMachine::writer_acquire_resident`] could not proceed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcquireBlocked {
+    /// The block is evicted; fault its content in, then retry.
+    Evicted,
 }
 
 /// RAII registration of an in-flight writer (see

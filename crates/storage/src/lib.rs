@@ -12,9 +12,12 @@
 //! * [`varlen`] — the 16-byte `VarlenEntry` of the relaxed format (Fig. 6):
 //!   4-byte size (with an ownership bit), 4-byte prefix, 8-byte pointer, and
 //!   ≤12-byte inlining.
-//! * [`block_state`] — the Hot/Cooling/Freezing/Frozen state machine and the
-//!   reader counter that acts as a reader-writer lock for frozen blocks
-//!   (Fig. 7).
+//! * [`block_state`] — the Hot/Cooling/Freezing/Frozen/Evicted state machine
+//!   and the reader counter that acts as a reader-writer lock for frozen
+//!   blocks (Fig. 7), plus the packed version+state residency latch.
+//! * [`residency`] — the cold-block buffer manager's storage half: the
+//!   memory accountant, checkpoint-chain locations, and in-place eviction
+//!   of frozen block bodies.
 //! * [`projected_row`] — materialized partial rows used as transaction
 //!   inputs/outputs and delta images.
 //! * [`access`] — the tuple-access strategy: raw typed readers/writers over
@@ -30,6 +33,7 @@ pub mod block_state;
 pub mod layout;
 pub mod projected_row;
 pub mod raw_block;
+pub mod residency;
 pub mod tuple_slot;
 pub mod varlen;
 
@@ -37,5 +41,6 @@ pub use block_state::BlockState;
 pub use layout::{BlockLayout, VERSION_COL};
 pub use projected_row::ProjectedRow;
 pub use raw_block::{Block, RawBlock, BLOCK_SIZE};
+pub use residency::{evict_block, ColdLocation, MemoryAccountant, MemoryStats};
 pub use tuple_slot::TupleSlot;
 pub use varlen::VarlenEntry;

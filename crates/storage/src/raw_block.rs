@@ -9,12 +9,22 @@
 //!
 //! ```text
 //! offset  0: u32  insert_head   (atomic) — next never-used slot
-//! offset  4: u32  state         (atomic) — Hot/Cooling/Freezing/Frozen
+//! offset  4: u32  state word    (atomic) — packed residency latch:
+//!                 bits 0–2  state (Hot/Cooling/Freezing/Frozen/Evicted/Faulting)
+//!                 bit  3    clock reference bit (second-chance eviction)
+//!                 bits 4–31 residency version (bumped on evict / fault-in)
 //! offset  8: u32  reader_count  (atomic) — in-place Arrow readers (Fig. 7)
-//! offset 12: u32  _reserved
+//! offset 12: u32  writer_count  (atomic) — in-flight in-place writers
 //! offset 16: u64  layout pointer — *const BlockLayout owned by the table
 //! offset 24: allocation bitmap, then per-column [null bitmap, data]
 //! ```
+//!
+//! The state word is the `PageState`-style one-atomic-word latch: ordinary
+//! state transitions (Hot ↔ Cooling ↔ Freezing ↔ Frozen) preserve the
+//! version, while residency transitions (evict, fault-in) bump it — an
+//! optimistic reader captures the word, reads block memory without pinning,
+//! and re-validates the version afterwards; a version change means the bytes
+//! it read may have been released mid-read and the copy must be retried.
 
 use crate::layout::BlockLayout;
 use std::alloc::{alloc_zeroed, dealloc, Layout};
@@ -25,6 +35,11 @@ use std::sync::Arc;
 /// Process-wide freeze-stamp counter (see [`Block::stamp_freeze`]). Starting
 /// at 1 keeps 0 free as the "never frozen" sentinel.
 static NEXT_FREEZE_STAMP: AtomicU64 = AtomicU64::new(1);
+
+/// The process's freeze-stamp era, drawn lazily on first use (see
+/// [`freeze_era`]) or adopted from a restored checkpoint manifest before
+/// first use (see [`adopt_freeze_era`]).
+static FREEZE_ERA: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
 
 /// A quasi-unique identifier of this *process's* freeze-stamp namespace.
 ///
@@ -38,8 +53,7 @@ static NEXT_FREEZE_STAMP: AtomicU64 = AtomicU64::new(1);
 /// from manifests of its own era, so cross-process diffs conservatively
 /// rewrite everything.
 pub fn freeze_era() -> u64 {
-    static ERA: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
-    *ERA.get_or_init(|| {
+    *FREEZE_ERA.get_or_init(|| {
         let nanos = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos() as u64)
@@ -52,6 +66,34 @@ pub fn freeze_era() -> u64 {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         (z ^ (z >> 31)).max(1)
     })
+}
+
+/// Adopt `era` as this process's freeze-stamp era. Returns `true` if the
+/// process era now equals `era` — either because this call installed it
+/// (restart path, called before anything froze a block) or because it was
+/// already adopted earlier (e.g. a second database restored from the same
+/// root).
+///
+/// Restart calls this with the restored manifest's era, together with
+/// [`advance_freeze_stamps_past`] and [`Block::adopt_freeze_stamp`], so
+/// restored blocks keep their on-disk identities and the first post-restart
+/// checkpoint diffs incrementally instead of rewriting every frame. If the
+/// process already drew (or adopted) a different era, adoption fails and the
+/// caller must fall back to fresh stamps — conservative and correct: the
+/// next checkpoint rewrites everything, exactly the pre-adoption behavior.
+pub fn adopt_freeze_era(era: u64) -> bool {
+    if era == 0 {
+        return false;
+    }
+    FREEZE_ERA.set(era).is_ok() || *FREEZE_ERA.get().unwrap() == era
+}
+
+/// Advance the process-wide freeze-stamp counter past `stamp`, so stamps
+/// drawn after a restart never collide with stamps adopted from the restored
+/// checkpoint image (the two live in the same era after
+/// [`adopt_freeze_era`]).
+pub fn advance_freeze_stamps_past(stamp: u64) {
+    NEXT_FREEZE_STAMP.fetch_max(stamp.saturating_add(1), Ordering::Relaxed);
 }
 
 /// Block size and alignment: 1 MB.
@@ -70,6 +112,42 @@ mod header {
     pub const READER_COUNT: usize = 8;
     pub const WRITER_COUNT: usize = 12;
     pub const LAYOUT_PTR: usize = 16;
+}
+
+/// Mask of the state bits inside the packed state word.
+pub const STATE_MASK: u32 = 0b111;
+
+/// The clock/second-chance reference bit inside the packed state word. Set
+/// on frozen-block access, cleared (and tested) by the eviction clock hand.
+pub const REF_BIT: u32 = 1 << 3;
+
+/// Bit position of the residency version inside the packed state word.
+pub const VERSION_SHIFT: u32 = 4;
+
+/// State bits of a packed state word.
+#[inline]
+pub fn word_state(word: u32) -> u32 {
+    word & STATE_MASK
+}
+
+/// Residency version of a packed state word (28 bits, wrapping).
+#[inline]
+pub fn word_version(word: u32) -> u32 {
+    word >> VERSION_SHIFT
+}
+
+/// The same word with its state bits replaced (version and reference bit
+/// preserved) — ordinary lifecycle transitions.
+#[inline]
+pub fn word_with_state(word: u32, state: u32) -> u32 {
+    (word & !STATE_MASK) | state
+}
+
+/// A word with the version bumped, the reference bit cleared, and the given
+/// state bits — residency transitions (evict, fault-in completion).
+#[inline]
+pub fn word_bumped(word: u32, state: u32) -> u32 {
+    (word_version(word).wrapping_add(1) << VERSION_SHIFT) | state
 }
 
 /// An owning handle to one raw, 1 MB-aligned, zero-initialized block.
@@ -174,25 +252,91 @@ impl BlockHeader {
         self.atomic(header::INSERT_HEAD).store(v, Ordering::Release)
     }
 
-    /// Raw state flag (see [`crate::block_state::BlockState`]). SeqCst: see
-    /// [`Self::writer_count`].
+    /// Raw state flag (see [`crate::block_state::BlockState`]): the state
+    /// bits of the packed word. SeqCst: see [`Self::writer_count`].
     #[inline]
     pub fn state_raw(&self) -> u32 {
+        word_state(self.state_word())
+    }
+
+    /// The full packed state word (state bits + reference bit + residency
+    /// version).
+    #[inline]
+    pub fn state_word(&self) -> u32 {
         self.atomic(header::STATE).load(Ordering::SeqCst)
     }
 
-    /// Store the raw state flag.
+    /// CAS the full packed state word.
     #[inline]
-    pub fn set_state_raw(&self, v: u32) {
-        self.atomic(header::STATE).store(v, Ordering::SeqCst)
-    }
-
-    /// CAS on the raw state flag.
-    #[inline]
-    pub fn cas_state_raw(&self, from: u32, to: u32) -> bool {
+    pub fn cas_state_word(&self, from: u32, to: u32) -> bool {
         self.atomic(header::STATE)
             .compare_exchange(from, to, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
+    }
+
+    /// Overwrite the entire packed state word (state bits + reference bit +
+    /// residency version). Restore / model-checking use only — live
+    /// transitions must go through the CAS helpers, which preserve the bits
+    /// they do not own.
+    #[inline]
+    pub fn set_state_word(&self, w: u32) {
+        self.atomic(header::STATE).store(w, Ordering::SeqCst);
+    }
+
+    /// Store the raw state flag, preserving the version and reference bit.
+    #[inline]
+    pub fn set_state_raw(&self, v: u32) {
+        let _ = self
+            .atomic(header::STATE)
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |w| Some(word_with_state(w, v)));
+    }
+
+    /// CAS on the state bits, preserving the version and reference bit.
+    /// Retries internally if only the non-state bits changed underneath.
+    #[inline]
+    pub fn cas_state_raw(&self, from: u32, to: u32) -> bool {
+        let a = self.atomic(header::STATE);
+        let mut w = a.load(Ordering::SeqCst);
+        loop {
+            if word_state(w) != from {
+                return false;
+            }
+            match a.compare_exchange(w, word_with_state(w, to), Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return true,
+                Err(cur) => w = cur,
+            }
+        }
+    }
+
+    /// CAS on the state bits that also bumps the residency version and
+    /// clears the reference bit — the evict / fault-in transitions.
+    #[inline]
+    pub fn cas_state_bump(&self, from: u32, to: u32) -> bool {
+        let a = self.atomic(header::STATE);
+        let mut w = a.load(Ordering::SeqCst);
+        loop {
+            if word_state(w) != from {
+                return false;
+            }
+            match a.compare_exchange(w, word_bumped(w, to), Ordering::SeqCst, Ordering::SeqCst) {
+                Ok(_) => return true,
+                Err(cur) => w = cur,
+            }
+        }
+    }
+
+    /// Set the clock reference bit (recent frozen-block access).
+    #[inline]
+    pub fn set_ref_bit(&self) {
+        self.atomic(header::STATE).fetch_or(REF_BIT, Ordering::Relaxed);
+    }
+
+    /// Clear the clock reference bit and report whether it was set — the
+    /// second-chance test of the eviction clock hand.
+    #[inline]
+    pub fn take_ref_bit(&self) -> bool {
+        self.atomic(header::STATE).fetch_and(!REF_BIT, Ordering::Relaxed) & REF_BIT != 0
     }
 
     /// Number of in-place readers currently in the block.
@@ -257,6 +401,17 @@ pub struct Block {
     /// global counter, never per block) also makes the pair collision-free
     /// when an address is recycled by a later allocation.
     freeze_stamp: AtomicU64,
+    /// Where this block's frozen bytes live in the checkpoint chain, if a
+    /// checkpoint has captured them (see [`crate::residency`]). A block is
+    /// evictable only while the recorded stamp matches [`Self::freeze_stamp`]
+    /// — a thaw + refreeze makes the location stale until the next
+    /// checkpoint records a fresh one.
+    cold_location: parking_lot::Mutex<Option<crate::residency::ColdLocation>>,
+    /// Bytes charged to the memory accountant for this block's frozen
+    /// content (0 = not charged). Set at freeze, kept across evict/fault
+    /// (the charge just moves between the resident and evicted gauges), and
+    /// taken exactly once at thaw or table drop.
+    charged_bytes: AtomicU64,
 }
 
 impl Block {
@@ -268,6 +423,8 @@ impl Block {
             layout,
             arrow: crate::arrow_side::ArrowSide::new(),
             freeze_stamp: AtomicU64::new(0),
+            cold_location: parking_lot::Mutex::new(None),
+            charged_bytes: AtomicU64::new(0),
         })
     }
 
@@ -288,6 +445,47 @@ impl Block {
         let stamp = NEXT_FREEZE_STAMP.fetch_add(1, Ordering::Relaxed);
         self.freeze_stamp.store(stamp, Ordering::Release);
         stamp
+    }
+
+    /// Adopt a stamp restored from a checkpoint image (restart path, after a
+    /// successful [`adopt_freeze_era`]): the block keeps its on-disk frozen
+    /// identity, and the global counter is advanced past it so later fresh
+    /// stamps cannot collide.
+    pub fn adopt_freeze_stamp(&self, stamp: u64) {
+        advance_freeze_stamps_past(stamp);
+        self.freeze_stamp.store(stamp, Ordering::Release);
+    }
+
+    /// Where this block's frozen bytes live in the checkpoint chain, if
+    /// recorded (see [`crate::residency::ColdLocation`]).
+    pub fn cold_location(&self) -> Option<crate::residency::ColdLocation> {
+        self.cold_location.lock().clone()
+    }
+
+    /// Record the checkpoint-chain location of this block's current frozen
+    /// content. The caller must have captured `loc.stamp` while the content
+    /// was pinned (reader count or exclusive state).
+    pub fn set_cold_location(&self, loc: crate::residency::ColdLocation) {
+        *self.cold_location.lock() = Some(loc);
+    }
+
+    /// Bytes currently charged to the memory accountant for this block.
+    #[inline]
+    pub fn charged_bytes(&self) -> u64 {
+        self.charged_bytes.load(Ordering::Acquire)
+    }
+
+    /// Record the accountant charge (freeze path).
+    #[inline]
+    pub fn set_charged_bytes(&self, bytes: u64) {
+        self.charged_bytes.store(bytes, Ordering::Release);
+    }
+
+    /// Take the accountant charge, zeroing it — idempotent, so racing
+    /// thaw/drop paths debit the accountant exactly once.
+    #[inline]
+    pub fn take_charged_bytes(&self) -> u64 {
+        self.charged_bytes.swap(0, Ordering::AcqRel)
     }
 
     /// Base address.

@@ -133,6 +133,9 @@ impl Model {
                 BlockState::Freezing => {
                     // Spin: the freezer's critical section is short.
                 }
+                BlockState::Evicted | BlockState::Faulting => {
+                    unreachable!("no evictor in the Fig. 9 model")
+                }
             },
             W_INC => {
                 h.inc_writers();

@@ -1,0 +1,573 @@
+//! Loom-style exhaustive interleaving check of the residency protocol —
+//! the cold-block buffer manager's companion to `fig9_interleavings.rs`.
+//!
+//! An **evictor** (mirroring `evict_block` step by step: claim, pinned-reader
+//! drain, version-column scan, body release, publish) races an **accessor**
+//! (mirroring the transaction layer's `writer_acquire_resident` loop plus
+//! the fault path: claim, repopulate, publish) and an **optimistic reader**
+//! (mirroring the `select` wrapper: begin, copy without pinning, validate).
+//! Each atomic operation is one step; the checker explores every reachable
+//! interleaving by depth-first search over configurations, executing the
+//! real `BlockHeader` / `BlockStateMachine` / `release_block_body`
+//! primitives serially in the scheduled order.
+//!
+//! After every step it asserts the residency safety invariants:
+//!
+//! * a block in any resident state (Hot/Cooling/Freezing/Frozen) always has
+//!   its body content present — eviction never exposes released memory
+//!   behind a resident state;
+//! * `Evicted` is only ever published *after* the body release — so a
+//!   fault-in that claims the block can never race the evictor's teardown
+//!   (this is why the eviction claim goes through the exclusive `Faulting`
+//!   state rather than straight to `Evicted`);
+//! * an optimistic read that passes its validation never observed released
+//!   (zero-filled) bytes — the version bump at the eviction claim happens
+//!   before the release, so any read overlapping it fails validation;
+//! * the evictor only releases memory with the pinned-reader count drained
+//!   to zero.
+
+use mainline_common::schema::{ColumnDef, Schema};
+use mainline_common::value::TypeId;
+use mainline_storage::access;
+use mainline_storage::block_state::{BlockState, BlockStateMachine};
+use mainline_storage::layout::BlockLayout;
+use mainline_storage::raw_block::{
+    word_state, word_version, BlockHeader, RawBlock, REF_BIT, VERSION_SHIFT,
+};
+use mainline_storage::residency::{release_block_body, RESIDENT_HEAD_BYTES};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Evictor program counter (the steps of `evict_block`; the cold location
+/// is assumed recorded and fresh — the stamp check happens before the first
+/// atomic step and is covered by the unit tests).
+const E_CLAIM: u8 = 0; // CAS Frozen → Faulting (+ version bump)
+const E_DRAIN: u8 = 1; // spin out pinned readers
+const E_SCAN: u8 = 2; // version column clean? (abort_evict if not)
+const E_RELEASE: u8 = 3; // release the body pages
+const E_PUBLISH: u8 = 4; // finish_evict: publish Evicted
+const E_DONE: u8 = 5;
+
+const E_PENDING: u8 = 0;
+const E_EVICTED: u8 = 1; // teardown completed
+const E_LOST: u8 = 2; // claim failed (a writer thawed first)
+const E_ABORTED: u8 = 3; // live MVCC versions: claim reverted
+
+/// Accessor program counter (the transaction layer's
+/// `writer_acquire_resident` loop + `ensure_resident`'s fault path + one
+/// in-place store).
+const A_READ: u8 = 0; // read state, dispatch on it
+const A_INC: u8 = 1; // saw Hot: register writer
+const A_RECHECK: u8 = 2; // re-validate state after the increment
+const A_THAW_DRAIN: u8 = 3; // thawed Frozen → Hot: spin out pinned readers
+const A_FAULT: u8 = 4; // saw Evicted: begin_fault
+const A_POPULATE: u8 = 5; // rebuild the body from the checkpoint frame
+const A_FINISH: u8 = 6; // finish_fault: publish Frozen
+const A_WRITE: u8 = 7; // install a version (the in-place modification)
+const A_RELEASE: u8 = 8; // deregister writer
+const A_DONE: u8 = 9;
+
+const A_PENDING: u8 = 0;
+const A_WROTE: u8 = 1; // completed the update
+const A_GAVE_UP: u8 = 2; // fault I/O error propagated to the caller
+
+/// Optimistic reader program counter (the `select` wrapper).
+const R_BEGIN: u8 = 0; // optimistic_read_begin (None = spin)
+const R_COPY: u8 = 1; // copy out of block memory without pinning
+const R_VALIDATE: u8 = 2; // optimistic_read_validate
+const R_DONE: u8 = 3;
+
+const R_PENDING: u8 = 0;
+const R_OK: u8 = 1; // validation passed — the copy is trusted
+
+/// Pinned-reader program counter: a reader that entered under Frozen before
+/// the schedule starts and releases at an arbitrary point.
+const P_RELEASE: u8 = 0;
+const P_DONE: u8 = 1;
+
+/// One explored configuration: the shared block words + every actor's PCs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Config {
+    state: u32,
+    version: u32,
+    refbit: bool,
+    readers: u32,
+    writers: u32,
+    /// Version column of slot 0 nonzero (a live MVCC version).
+    mvcc: bool,
+    /// Body content present (false after `release_block_body`).
+    body: bool,
+    epc: u8,
+    eoutcome: u8,
+    apc: u8,
+    aoutcome: u8,
+    /// Accessor faulted the block back in at least once.
+    afaulted: bool,
+    rpc: u8,
+    routcome: u8,
+    /// The residency version the reader's current attempt began at.
+    rver: u32,
+    /// What the reader's copy observed: body content present?
+    rsaw: bool,
+    /// At least one validation failed (the read overlapped a transition).
+    rfailed: bool,
+    ppc: u8,
+    /// Fault-in I/O fails in this schedule (abort_fault path).
+    fault_io_err: bool,
+}
+
+/// Byte probed/planted past the resident head: `release_block_body` zeroes
+/// it, fault-in repopulation rewrites it.
+const BODY_PROBE: usize = RESIDENT_HEAD_BYTES + 64;
+const CONTENT: u8 = 0xC7;
+
+struct Model {
+    _block: RawBlock,
+    _layout: Arc<BlockLayout>,
+    h: BlockHeader,
+    base: *mut u8,
+    layout_ref: &'static BlockLayout,
+}
+
+impl Model {
+    fn new() -> Model {
+        let layout = Arc::new(
+            BlockLayout::from_schema(&Schema::new(vec![ColumnDef::new("a", TypeId::BigInt)]))
+                .unwrap(),
+        );
+        let block = RawBlock::new(&layout);
+        let base = block.as_ptr();
+        let h = unsafe { BlockHeader::new(base) };
+        let layout_ref: &'static BlockLayout = unsafe { block.layout() };
+        Model { _block: block, _layout: layout, h, base, layout_ref }
+    }
+
+    fn mvcc(&self) -> bool {
+        unsafe { access::load_version(self.base, self.layout_ref, 0) != 0 }
+    }
+
+    fn set_mvcc(&self, live: bool) {
+        unsafe { access::version_ptr(self.base, self.layout_ref, 0) }
+            .store(if live { 0xDEAD_BEEF } else { 0 }, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    fn body(&self) -> bool {
+        unsafe { self.base.add(BODY_PROBE).read() == CONTENT }
+    }
+
+    fn set_body(&self, resident: bool) {
+        unsafe { self.base.add(BODY_PROBE).write(if resident { CONTENT } else { 0 }) }
+    }
+
+    /// Load `cfg`'s shared words onto the real block.
+    fn restore(&self, cfg: Config) {
+        let word =
+            (cfg.version << VERSION_SHIFT) | if cfg.refbit { REF_BIT } else { 0 } | cfg.state;
+        self.h.set_state_word(word);
+        while self.h.reader_count() < cfg.readers {
+            self.h.inc_readers();
+        }
+        while self.h.reader_count() > cfg.readers {
+            self.h.dec_readers();
+        }
+        while self.h.writer_count() < cfg.writers {
+            self.h.inc_writers();
+        }
+        while self.h.writer_count() > cfg.writers {
+            self.h.dec_writers();
+        }
+        self.set_mvcc(cfg.mvcc);
+        self.set_body(cfg.body);
+    }
+
+    /// Read the shared words back into a configuration.
+    fn capture(&self, cfg: Config) -> Config {
+        let w = self.h.state_word();
+        Config {
+            state: word_state(w),
+            version: word_version(w),
+            refbit: w & REF_BIT != 0,
+            readers: self.h.reader_count(),
+            writers: self.h.writer_count(),
+            mvcc: self.mvcc(),
+            body: self.body(),
+            ..cfg
+        }
+    }
+
+    /// Execute one evictor step from `cfg` (mirrors `evict_block`).
+    fn evictor_step(&self, cfg: Config) -> Config {
+        self.restore(cfg);
+        let h = self.h;
+        let mut next = cfg;
+        match cfg.epc {
+            E_CLAIM => {
+                if BlockStateMachine::begin_evict(h) {
+                    next.epc = E_DRAIN;
+                } else {
+                    next.eoutcome = E_LOST;
+                    next.epc = E_DONE;
+                }
+            }
+            E_DRAIN => {
+                if h.reader_count() == 0 {
+                    next.epc = E_SCAN;
+                }
+                // else: spin — the pinned reader will release.
+            }
+            E_SCAN => {
+                if self.mvcc() {
+                    BlockStateMachine::abort_evict(h);
+                    next.eoutcome = E_ABORTED;
+                    next.epc = E_DONE;
+                } else {
+                    next.epc = E_RELEASE;
+                }
+            }
+            E_RELEASE => {
+                // The drain already completed: releasing under a pinned
+                // reader would yank memory out from under an in-place read.
+                assert_eq!(
+                    h.reader_count(),
+                    0,
+                    "evictor released the body with a pinned reader in the block: {cfg:?}"
+                );
+                unsafe { release_block_body(self.base) };
+                next.epc = E_PUBLISH;
+            }
+            E_PUBLISH => {
+                BlockStateMachine::finish_evict(h);
+                next.eoutcome = E_EVICTED;
+                next.epc = E_DONE;
+            }
+            _ => unreachable!("stepping a finished evictor"),
+        }
+        self.capture(next)
+    }
+
+    /// Execute one accessor step from `cfg` (mirrors the transaction
+    /// layer's `writer_acquire_resident` + `ensure_resident` + one store).
+    fn accessor_step(&self, cfg: Config) -> Config {
+        self.restore(cfg);
+        let h = self.h;
+        let mut next = cfg;
+        match cfg.apc {
+            A_READ => match BlockStateMachine::state(h) {
+                BlockState::Hot => next.apc = A_INC,
+                BlockState::Frozen => {
+                    // Thaw; then drain lingering in-place readers.
+                    if h.cas_state_raw(BlockState::Frozen as u32, BlockState::Hot as u32) {
+                        next.apc = A_THAW_DRAIN;
+                    }
+                }
+                BlockState::Faulting => {
+                    // Exclusive residency transition in flight (another
+                    // fault-in — or the evictor's teardown): spin.
+                }
+                BlockState::Evicted => next.apc = A_FAULT,
+                BlockState::Cooling | BlockState::Freezing => {
+                    unreachable!("no transform worker in the residency model")
+                }
+            },
+            A_INC => {
+                h.inc_writers();
+                next.apc = A_RECHECK;
+            }
+            A_RECHECK => {
+                if BlockStateMachine::state(h) == BlockState::Hot {
+                    next.apc = A_WRITE;
+                } else {
+                    h.dec_writers();
+                    next.apc = A_READ;
+                }
+            }
+            A_THAW_DRAIN => {
+                if h.reader_count() == 0 {
+                    next.apc = A_READ; // re-dispatch; the block is now Hot
+                }
+            }
+            A_FAULT => {
+                if BlockStateMachine::begin_fault(h) {
+                    next.apc = A_POPULATE;
+                } else {
+                    next.apc = A_READ; // lost the claim: re-dispatch
+                }
+            }
+            A_POPULATE => {
+                if cfg.fault_io_err {
+                    // The checkpoint frame read failed: revert the claim,
+                    // propagate the error (the accessor gives up).
+                    BlockStateMachine::abort_fault(h);
+                    next.aoutcome = A_GAVE_UP;
+                    next.apc = A_DONE;
+                } else {
+                    self.set_body(true);
+                    next.apc = A_FINISH;
+                }
+            }
+            A_FINISH => {
+                BlockStateMachine::finish_fault(h);
+                next.afaulted = true;
+                next.apc = A_READ; // re-dispatch; Frozen → thaw path
+            }
+            A_WRITE => {
+                self.set_mvcc(true);
+                next.apc = A_RELEASE;
+            }
+            A_RELEASE => {
+                h.dec_writers();
+                next.aoutcome = A_WROTE;
+                next.apc = A_DONE;
+            }
+            _ => unreachable!("stepping a finished accessor"),
+        }
+        self.capture(next)
+    }
+
+    /// Execute one optimistic-reader step from `cfg` (mirrors the `select`
+    /// wrapper: copy without pinning, then validate the residency version).
+    fn reader_step(&self, cfg: Config) -> Config {
+        self.restore(cfg);
+        let h = self.h;
+        let mut next = cfg;
+        match cfg.rpc {
+            R_BEGIN => {
+                if let Some(v) = BlockStateMachine::optimistic_read_begin(h) {
+                    next.rver = v;
+                    next.rpc = R_COPY;
+                }
+                // else: Evicted/Faulting — wait for residency, retry.
+            }
+            R_COPY => {
+                // The unpinned copy: released memory reads as zeros here,
+                // never faults — exactly why validation must catch it.
+                next.rsaw = self.body();
+                next.rpc = R_VALIDATE;
+            }
+            R_VALIDATE => {
+                if BlockStateMachine::optimistic_read_validate(h, cfg.rver) {
+                    // Advisory second-chance mark, as the select wrapper
+                    // does on a successful frozen read (no safety role).
+                    if BlockStateMachine::state(h) == BlockState::Frozen {
+                        h.set_ref_bit();
+                    }
+                    next.routcome = R_OK;
+                    next.rpc = R_DONE;
+                } else {
+                    next.rfailed = true;
+                    next.rpc = R_BEGIN;
+                }
+            }
+            _ => unreachable!("stepping a finished reader"),
+        }
+        self.capture(next)
+    }
+
+    /// Execute the pinned reader's single step: release the shared lock it
+    /// took (under Frozen) before the schedule started.
+    fn pinned_step(&self, cfg: Config) -> Config {
+        self.restore(cfg);
+        let mut next = cfg;
+        match cfg.ppc {
+            P_RELEASE => {
+                BlockStateMachine::reader_release(self.h);
+                next.ppc = P_DONE;
+            }
+            _ => unreachable!("stepping a finished pinned reader"),
+        }
+        self.capture(next)
+    }
+}
+
+/// The residency safety invariants, checked on every reachable
+/// configuration.
+fn assert_invariant(cfg: Config, trail: &str) {
+    let resident =
+        cfg.state != BlockState::Evicted as u32 && cfg.state != BlockState::Faulting as u32;
+    if resident {
+        // Hot/Cooling/Freezing/Frozen must always have their memory: the
+        // release happens strictly inside the exclusive Faulting window.
+        assert!(cfg.body, "resident state without body content ({trail}): {cfg:?}");
+    }
+    if cfg.state == BlockState::Evicted as u32 {
+        // Evicted is only published after the release — a fault-in claiming
+        // the block can never overlap the evictor's teardown.
+        assert!(!cfg.body, "Evicted published before the body release ({trail}): {cfg:?}");
+    }
+    if cfg.routcome == R_OK {
+        // A validated optimistic read never trusted released bytes.
+        assert!(cfg.rsaw, "optimistic read validated a copy of released memory ({trail}): {cfg:?}");
+    }
+}
+
+/// Explore every interleaving from `initial`; returns the set of terminal
+/// configurations (every actor done).
+fn explore(initial: Config) -> HashSet<Config> {
+    let model = Model::new();
+    let mut visited: HashSet<Config> = HashSet::new();
+    let mut terminals: HashSet<Config> = HashSet::new();
+    let mut stack = vec![initial];
+    assert_invariant(initial, "initial");
+    while let Some(cfg) = stack.pop() {
+        if !visited.insert(cfg) {
+            continue;
+        }
+        if cfg.epc == E_DONE && cfg.apc == A_DONE && cfg.rpc == R_DONE && cfg.ppc == P_DONE {
+            terminals.insert(cfg);
+            continue;
+        }
+        if cfg.epc != E_DONE {
+            let next = model.evictor_step(cfg);
+            assert_invariant(next, "after evictor step");
+            stack.push(next);
+        }
+        if cfg.apc != A_DONE {
+            let next = model.accessor_step(cfg);
+            assert_invariant(next, "after accessor step");
+            stack.push(next);
+        }
+        if cfg.rpc != R_DONE {
+            let next = model.reader_step(cfg);
+            assert_invariant(next, "after reader step");
+            stack.push(next);
+        }
+        if cfg.ppc != P_DONE {
+            let next = model.pinned_step(cfg);
+            assert_invariant(next, "after pinned-reader step");
+            stack.push(next);
+        }
+    }
+    assert!(!terminals.is_empty(), "model never terminated");
+    terminals
+}
+
+/// A frozen, checkpoint-captured, version-clean block with every actor
+/// parked at its start. Tests switch individual actors off by starting
+/// their PC at the done state.
+fn frozen_initial() -> Config {
+    Config {
+        state: BlockState::Frozen as u32,
+        version: 0,
+        refbit: false,
+        readers: 0,
+        writers: 0,
+        mvcc: false,
+        body: true,
+        epc: E_CLAIM,
+        eoutcome: E_PENDING,
+        apc: A_READ,
+        aoutcome: A_PENDING,
+        afaulted: false,
+        rpc: R_BEGIN,
+        routcome: R_PENDING,
+        rver: 0,
+        rsaw: false,
+        rfailed: false,
+        ppc: P_DONE,
+        fault_io_err: false,
+    }
+}
+
+#[test]
+fn evictor_vs_accessor_vs_optimistic_reader_all_interleavings() {
+    let terminals = explore(frozen_initial());
+
+    let eoutcomes: HashSet<u8> = terminals.iter().map(|t| t.eoutcome).collect();
+    assert!(eoutcomes.contains(&E_EVICTED), "eviction never completed in any schedule");
+    assert!(eoutcomes.contains(&E_LOST), "the accessor never thawed first in any schedule");
+    assert!(
+        terminals.iter().any(|t| t.afaulted),
+        "the fault-in path was never exercised in any schedule"
+    );
+    assert!(
+        terminals.iter().any(|t| t.rfailed),
+        "no optimistic read was ever invalidated by a residency transition"
+    );
+    for t in &terminals {
+        // The accessor always completes its write: the block ends Hot with
+        // the version installed, regardless of how the eviction raced it.
+        assert_eq!(t.aoutcome, A_WROTE, "accessor failed to write: {t:?}");
+        assert_eq!(t.state, BlockState::Hot as u32, "terminal not Hot: {t:?}");
+        assert!(t.mvcc && t.body, "write or body lost: {t:?}");
+        assert_eq!((t.writers, t.readers), (0, 0), "latches leaked: {t:?}");
+        // The reader terminated with a validated, content-backed copy.
+        assert_eq!(t.routcome, R_OK, "reader never validated: {t:?}");
+        // A completed eviction forces the accessor through the fault path.
+        if t.eoutcome == E_EVICTED {
+            assert!(t.afaulted, "evicted block written without a fault-in: {t:?}");
+        }
+    }
+}
+
+#[test]
+fn evictor_drains_pinned_reader_before_releasing() {
+    // A reader holds the Fig. 7 shared lock when the clock hand arrives.
+    // Every schedule must complete the eviction (the version column is
+    // clean, nobody thaws), and the E_RELEASE step itself asserts that the
+    // release never happens before the pinned reader left.
+    let initial = Config {
+        readers: 1,
+        ppc: P_RELEASE,
+        apc: A_DONE,
+        aoutcome: A_WROTE, // unused; accessor absent
+        rpc: R_DONE,
+        routcome: R_OK, // unused; reader absent (Evicted terminal would spin it forever)
+        rsaw: true,
+        ..frozen_initial()
+    };
+    let terminals = explore(initial);
+    for t in &terminals {
+        assert_eq!(t.eoutcome, E_EVICTED, "eviction did not complete: {t:?}");
+        assert_eq!(t.state, BlockState::Evicted as u32, "terminal not Evicted: {t:?}");
+        assert!(!t.body, "Evicted terminal with resident body: {t:?}");
+        assert_eq!(t.readers, 0, "pinned reader leaked: {t:?}");
+    }
+}
+
+#[test]
+fn live_mvcc_versions_always_abort_the_eviction() {
+    // The GC has not pruned slot 0's version chain: no schedule may release
+    // the block's memory (the GC unlinks versions through it), and the
+    // spurious claim bump must only ever cost the optimistic reader a
+    // retry, never its correctness.
+    let initial = Config { mvcc: true, apc: A_DONE, aoutcome: A_WROTE, ..frozen_initial() };
+    let terminals = explore(initial);
+    for t in &terminals {
+        assert_eq!(t.eoutcome, E_ABORTED, "evicted a block with live versions: {t:?}");
+        assert_eq!(t.state, BlockState::Frozen as u32, "terminal not Frozen: {t:?}");
+        assert!(t.body, "body released despite the abort: {t:?}");
+        assert_eq!(t.routcome, R_OK, "reader never validated: {t:?}");
+    }
+}
+
+#[test]
+fn failed_fault_in_reverts_to_evicted_without_corruption() {
+    // Every checkpoint-frame read fails in this schedule (I/O error). The
+    // accessor either wins the thaw race before the eviction (and writes),
+    // or faults, fails, and propagates the error — in which case the block
+    // must end Evicted (still faultable once the I/O heals), never a
+    // resident state with released memory.
+    let initial =
+        Config { fault_io_err: true, rpc: R_DONE, routcome: R_OK, rsaw: true, ..frozen_initial() };
+    let terminals = explore(initial);
+    let aoutcomes: HashSet<u8> = terminals.iter().map(|t| t.aoutcome).collect();
+    assert!(aoutcomes.contains(&A_WROTE), "the thaw-first schedule disappeared");
+    assert!(aoutcomes.contains(&A_GAVE_UP), "the fault-error schedule disappeared");
+    for t in &terminals {
+        match t.aoutcome {
+            A_WROTE => {
+                assert_eq!(t.state, BlockState::Hot as u32, "wrote but not Hot: {t:?}");
+                assert!(t.body, "wrote into released memory: {t:?}");
+            }
+            A_GAVE_UP => {
+                assert_eq!(
+                    t.state,
+                    BlockState::Evicted as u32,
+                    "failed fault left a non-faultable state: {t:?}"
+                );
+                assert!(!t.body, "failed fault left stale body bytes resident: {t:?}");
+            }
+            _ => panic!("accessor terminal without an outcome: {t:?}"),
+        }
+    }
+}

@@ -150,6 +150,10 @@ pub struct TransformCoordinator {
     /// Highest value the pending-bytes gauge ever reached.
     pending_high_water: AtomicUsize,
     stats: Mutex<PipelineStats>,
+    /// The cold-block buffer manager's accountant, when the database layer
+    /// runs one: every freeze charges the block's measured bytes to the
+    /// resident gauge (the eviction clock's input). `None` = no accounting.
+    accountant: Mutex<Option<Arc<mainline_storage::MemoryAccountant>>>,
 }
 
 impl TransformCoordinator {
@@ -173,7 +177,15 @@ impl TransformCoordinator {
             sweep_reserved: AtomicUsize::new(0),
             pending_high_water: AtomicUsize::new(0),
             stats: Mutex::new(PipelineStats::default()),
+            accountant: Mutex::new(None),
         }
+    }
+
+    /// Attach the memory accountant freezes should charge (see
+    /// [`mainline_storage::MemoryAccountant`]). Called once by the database
+    /// layer when a memory budget is configured.
+    pub fn set_accountant(&self, accountant: Arc<mainline_storage::MemoryAccountant>) {
+        *self.accountant.lock() = Some(accountant);
     }
 
     /// The configuration this coordinator runs with.
@@ -296,9 +308,11 @@ impl TransformCoordinator {
     }
 
     /// Fraction of each registered table's blocks per state:
-    /// `(hot, cooling, freezing, frozen)` counts (Fig. 10b's metric).
-    pub fn block_state_census(&self) -> (usize, usize, usize, usize) {
-        let mut census = (0, 0, 0, 0);
+    /// `(hot, cooling, freezing, frozen, evicted)` counts (Fig. 10b's
+    /// metric, extended with the buffer manager's residency arm). A block
+    /// mid-fault counts as evicted — its content is still on disk.
+    pub fn block_state_census(&self) -> (usize, usize, usize, usize, usize) {
+        let mut census = (0, 0, 0, 0, 0);
         for entry in self.tables.lock().iter().flatten() {
             for b in entry.table.blocks() {
                 match BlockStateMachine::state(b.header()) {
@@ -306,6 +320,7 @@ impl TransformCoordinator {
                     BlockState::Cooling => census.1 += 1,
                     BlockState::Freezing => census.2 += 1,
                     BlockState::Frozen => census.3 += 1,
+                    BlockState::Evicted | BlockState::Faulting => census.4 += 1,
                 }
             }
         }
@@ -445,6 +460,22 @@ impl TransformCoordinator {
         // reader (checkpoint included) that observes Frozen must observe the
         // matching stamp.
         block.stamp_freeze();
+        // Charge the frozen content to the buffer manager's resident gauge
+        // while the block is still exclusively `Freezing` — no writer can
+        // thaw it before the charge lands, so every thaw observes the
+        // charge. The charge rides on the block (idempotently taken back on
+        // thaw or drop), so the accountant's books always balance per block.
+        if let Some(acc) = self.accountant.lock().clone() {
+            let stale = block.take_charged_bytes();
+            if stale > 0 {
+                // A thaw the writer's state peek missed (freeze slid in
+                // between peek and acquire): settle it now.
+                acc.on_thaw(stale);
+            }
+            let bytes = block.live_bytes() as u64;
+            block.set_charged_bytes(bytes);
+            acc.on_freeze(bytes);
+        }
         // `finish_freezing` re-checks the Fig. 9 invariant regardless of
         // which worker (owner or thief) got here.
         BlockStateMachine::finish_freezing(h);
@@ -490,6 +521,11 @@ impl TransformCoordinator {
             // when a remove_table rebalance moved it mid-sweep): compaction
             // groups must stay disjoint across workers.
             let Some(_table_guard) = sweep_lock.try_lock() else { continue };
+            // Hot blocks only: the compaction sweep and the eviction clock
+            // are disjoint by state — compaction touches Hot, the evictor
+            // touches Frozen (and Evicted/Faulting blocks belong to the
+            // buffer manager until faulted back). A cooling-queue entry is
+            // Cooling, so it can never simultaneously be an eviction target.
             let cold: Vec<Arc<Block>> = table
                 .blocks()
                 .into_iter()

@@ -220,7 +220,7 @@ mod tests {
         for _ in 0..max_iters {
             h.gc.run();
             h.pipeline.tick();
-            let (_hot, _cooling, _freezing, frozen) = h.pipeline.block_state_census();
+            let (_hot, _cooling, _freezing, frozen, _evicted) = h.pipeline.block_state_census();
             if frozen > 0 {
                 // One extra pass to drain deferred actions.
                 h.gc.run();
@@ -417,7 +417,7 @@ mod tests {
         for _ in 0..40 {
             h.gc.run();
             h.pipeline.tick();
-            let (_hot, cooling, freezing, _frozen) = h.pipeline.block_state_census();
+            let (_hot, cooling, freezing, _frozen, _evicted) = h.pipeline.block_state_census();
             if cooling == 0 && freezing == 0 && h.pipeline.stats().blocks_frozen > 0 {
                 break;
             }
@@ -457,7 +457,7 @@ mod tests {
         for _ in 0..30 {
             h.gc.run();
             h.pipeline.tick();
-            let (_hot, cooling, _freezing, _frozen) = h.pipeline.block_state_census();
+            let (_hot, cooling, _freezing, _frozen, _evicted) = h.pipeline.block_state_census();
             if cooling > 0 {
                 break;
             }
@@ -525,7 +525,7 @@ mod tests {
             h.pipeline.tick();
             let sum: usize = h.pipeline.cooling_queue_bytes().iter().sum();
             assert_eq!(h.pipeline.pending_bytes(), sum, "gauge must equal queued entry sizes");
-            let (_hot, cooling, freezing, frozen) = h.pipeline.block_state_census();
+            let (_hot, cooling, freezing, frozen, _evicted) = h.pipeline.block_state_census();
             if frozen > 0 && cooling == 0 && freezing == 0 {
                 break;
             }
@@ -560,7 +560,7 @@ mod tests {
             h.gc.run();
             h.pipeline.tick();
             saw_overload |= h.pipeline.overloaded();
-            let (_hot, cooling, freezing, frozen) = h.pipeline.block_state_census();
+            let (_hot, cooling, freezing, frozen, _evicted) = h.pipeline.block_state_census();
             if frozen > 0 && cooling == 0 && freezing == 0 {
                 break;
             }

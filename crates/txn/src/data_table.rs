@@ -11,14 +11,24 @@ use mainline_common::schema::Schema;
 use mainline_common::value::{TypeId, Value};
 use mainline_common::{Error, Result};
 use mainline_storage::access;
-use mainline_storage::block_state::BlockStateMachine;
+use mainline_storage::block_state::{AcquireBlocked, BlockState, BlockStateMachine, WriterGuard};
 use mainline_storage::layout::NUM_RESERVED_COLS;
 use mainline_storage::projected_row::AttrImage;
 use mainline_storage::raw_block::{layout_of, Block, BlockHeader};
-use mainline_storage::{BlockLayout, ProjectedRow, TupleSlot, VarlenEntry};
+use mainline_storage::{BlockLayout, MemoryAccountant, ProjectedRow, TupleSlot, VarlenEntry};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// How an evicted block's bytes come back: the database layer installs a
+/// closure that reads the block's recorded [`ColdLocation`] frame out of the
+/// checkpoint chain and repopulates the block in place (see
+/// `mainline-checkpoint`'s `fault_in_block`). Returns `Ok(true)` when this
+/// call performed the fault, `Ok(false)` when it lost the `Faulting` claim to
+/// a concurrent faulter.
+///
+/// [`ColdLocation`]: mainline_storage::ColdLocation
+pub type FaultHandler = Arc<dyn Fn(&DataTable, &Block) -> Result<bool> + Send + Sync>;
 
 /// A multi-versioned table over 1 MB Arrow-compatible blocks.
 pub struct DataTable {
@@ -29,6 +39,11 @@ pub struct DataTable {
     blocks: RwLock<Vec<Arc<Block>>>,
     /// The block currently absorbing inserts.
     active_block: Mutex<Arc<Block>>,
+    /// Fault path for evicted blocks (`None` until checkpointing is wired).
+    fault_handler: Mutex<Option<FaultHandler>>,
+    /// Frozen-content memory accountant shared with the transform pipeline
+    /// and the eviction clock (`None` = residency accounting disabled).
+    accountant: Mutex<Option<Arc<MemoryAccountant>>>,
 }
 
 impl DataTable {
@@ -44,7 +59,21 @@ impl DataTable {
             layout,
             blocks: RwLock::new(vec![Arc::clone(&first)]),
             active_block: Mutex::new(first),
+            fault_handler: Mutex::new(None),
+            accountant: Mutex::new(None),
         }))
+    }
+
+    /// Install the fault path for evicted blocks (database layer, once
+    /// checkpointing is configured).
+    pub fn set_fault_handler(&self, handler: FaultHandler) {
+        *self.fault_handler.lock() = Some(handler);
+    }
+
+    /// Install the shared memory accountant so thaws and fault-ins move the
+    /// frozen-content charge.
+    pub fn set_accountant(&self, accountant: Arc<MemoryAccountant>) {
+        *self.accountant.lock() = Some(accountant);
     }
 
     /// Catalog id.
@@ -128,6 +157,93 @@ impl DataTable {
     }
 
     // ------------------------------------------------------------------
+    // Residency
+    // ------------------------------------------------------------------
+
+    /// The `Arc<Block>` whose base address is `ptr`, if it belongs to this
+    /// table.
+    fn find_block(&self, ptr: *const u8) -> Option<Arc<Block>> {
+        self.blocks.read().iter().find(|b| std::ptr::eq(b.as_ptr(), ptr)).cloned()
+    }
+
+    /// Bring the block at `ptr` back to a resident state, faulting its bytes
+    /// in from the checkpoint chain if it is Evicted and waiting out a
+    /// concurrent fault-in if it is Faulting. No-op for resident blocks.
+    ///
+    /// Errors if no fault handler is installed (eviction only runs when the
+    /// database layer wired one, so this indicates misconfiguration) or if
+    /// the handler itself fails (unreadable/mismatched checkpoint frame).
+    pub fn ensure_resident(&self, ptr: *const u8) -> Result<()> {
+        let h = unsafe { BlockHeader::new(ptr as *mut u8) };
+        loop {
+            match BlockStateMachine::state(h) {
+                BlockState::Evicted => {
+                    let handler = self.fault_handler.lock().clone().ok_or(
+                        Error::InvalidBlockState("evicted block but no fault handler installed"),
+                    )?;
+                    let block = self.find_block(ptr).ok_or(Error::InvalidBlockState(
+                        "evicted block is not in its table's block list",
+                    ))?;
+                    if handler(self, &block)? {
+                        // We performed the fault: the content is resident and
+                        // frozen again, so it re-enters the resident gauge.
+                        if let Some(acc) = self.accountant.lock().clone() {
+                            let bytes = block.live_bytes() as u64;
+                            block.set_charged_bytes(bytes);
+                            acc.on_fault(bytes);
+                        }
+                        return Ok(());
+                    }
+                    // Lost the Faulting claim to a concurrent faulter: loop
+                    // and wait for its transition to land.
+                }
+                BlockState::Faulting => std::hint::spin_loop(),
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Writer entry that faults evicted blocks back in instead of spinning,
+    /// and settles the memory accountant when the acquisition thawed a
+    /// charged (frozen) block back to Hot.
+    ///
+    /// # Safety
+    /// `block` must be the base of a live block of this table.
+    unsafe fn acquire_writer(&self, block: *mut u8) -> Result<WriterGuard> {
+        let h = BlockHeader::new(block);
+        loop {
+            // Peek the state first: if the acquisition transitions a
+            // non-Hot block, its frozen-content charge must leave the
+            // resident gauge. (A freeze sliding in between the peek and the
+            // acquire leaves a stale charge; the transform pipeline settles
+            // stale charges on the next freeze.)
+            let pre = BlockStateMachine::state(h);
+            match BlockStateMachine::writer_acquire_resident(h) {
+                Ok(guard) => {
+                    if pre != BlockState::Hot {
+                        self.settle_thaw(block);
+                    }
+                    return Ok(guard);
+                }
+                Err(AcquireBlocked::Evicted) => self.ensure_resident(block)?,
+            }
+        }
+    }
+
+    /// Release any frozen-content charge still held by the block at `ptr`
+    /// (it just thawed to Hot; hot memory is governed by transform
+    /// backpressure, not the residency budget).
+    fn settle_thaw(&self, ptr: *const u8) {
+        let Some(acc) = self.accountant.lock().clone() else { return };
+        if let Some(block) = self.find_block(ptr) {
+            let charged = block.take_charged_bytes();
+            if charged > 0 {
+                acc.on_thaw(charged);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Write path
     // ------------------------------------------------------------------
 
@@ -175,8 +291,7 @@ impl DataTable {
         fresh: bool,
     ) -> Result<()> {
         let layout = layout_of(block);
-        let h = BlockHeader::new(block);
-        let _writer = BlockStateMachine::writer_acquire(h);
+        let _writer = self.acquire_writer(block)?;
         let idx = slot.offset();
         if !fresh {
             // Reused slots must be fully quiescent: unallocated and with a
@@ -234,8 +349,7 @@ impl DataTable {
         let idx = slot.offset();
         unsafe {
             let layout = layout_of(block);
-            let h = BlockHeader::new(block);
-            let _writer = BlockStateMachine::writer_acquire(h);
+            let _writer = self.acquire_writer(block)?;
             // Install the before-image on the version chain.
             loop {
                 let head = access::load_version(block, layout, idx);
@@ -297,8 +411,7 @@ impl DataTable {
         let idx = slot.offset();
         unsafe {
             let layout = layout_of(block);
-            let h = BlockHeader::new(block);
-            let _writer = BlockStateMachine::writer_acquire(h);
+            let _writer = self.acquire_writer(block)?;
             loop {
                 let head = access::load_version(block, layout, idx);
                 self.check_write_conflict(txn, head)?;
@@ -356,7 +469,40 @@ impl DataTable {
 
     /// Materialize the version of `slot` visible to `txn`, projected onto
     /// `cols` (storage ids). `None` when the tuple is invisible/absent.
+    ///
+    /// Residency is validated optimistically (the btree page-state pattern):
+    /// the read copies without pinning, then checks that the block's packed
+    /// residency version did not move. Eviction and fault-in both bump the
+    /// version, so a read that overlapped either retries; a read that starts
+    /// on an Evicted block faults it back in first.
     pub fn select(&self, txn: &Transaction, slot: TupleSlot, cols: &[u16]) -> Option<ProjectedRow> {
+        let h = unsafe { BlockHeader::new(slot.block()) };
+        loop {
+            let Some(version) = BlockStateMachine::optimistic_read_begin(h) else {
+                // Evicted or mid-fault. A fault error here is unrecoverable
+                // misconfiguration or checkpoint-chain corruption — `select`
+                // has no error channel, and silently dropping rows would
+                // corrupt results.
+                self.ensure_resident(slot.block()).expect("fault-in failed during select");
+                continue;
+            };
+            let row = self.select_inner(txn, slot, cols);
+            if BlockStateMachine::optimistic_read_validate(h, version) {
+                if row.is_some() && BlockStateMachine::state(h) == BlockState::Frozen {
+                    // Recent-access mark for the second-chance eviction clock.
+                    h.set_ref_bit();
+                }
+                return row;
+            }
+        }
+    }
+
+    fn select_inner(
+        &self,
+        txn: &Transaction,
+        slot: TupleSlot,
+        cols: &[u16],
+    ) -> Option<ProjectedRow> {
         let block = slot.block();
         let idx = slot.offset();
         unsafe {
@@ -463,8 +609,22 @@ impl DataTable {
 
 impl Drop for DataTable {
     fn drop(&mut self) {
+        // Return any frozen-content charge the table's blocks still hold;
+        // the block state says which gauge (resident vs. evicted) holds it.
+        if let Some(acc) = self.accountant.lock().clone() {
+            for block in self.blocks.read().iter() {
+                let charged = block.take_charged_bytes();
+                if charged > 0 {
+                    let evicted = BlockStateMachine::state(block.header()) == BlockState::Evicted;
+                    acc.on_drop(charged, evicted);
+                }
+            }
+        }
         // Free in-place owned varlen buffers. Safe: dropping the table means
-        // no transaction can reference it anymore.
+        // no transaction can reference it anymore. (Evicted blocks read
+        // all-zero varlen entries — their payload lived in the gathered
+        // buffers that were defer-dropped at eviction — so this loop is a
+        // no-op for them.)
         let varlen_cols: Vec<u16> = self.layout.varlen_cols().collect();
         if varlen_cols.is_empty() {
             return;

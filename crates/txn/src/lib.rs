@@ -24,7 +24,7 @@ pub mod redo;
 pub mod transaction;
 pub mod undo;
 
-pub use data_table::DataTable;
+pub use data_table::{DataTable, FaultHandler};
 pub use ddl::{CreateTableDdl, DdlRecord, IndexDef};
 pub use manager::{CommitSink, TransactionManager};
 pub use redo::{RedoCol, RedoOp, RedoRecord};

@@ -56,6 +56,12 @@ struct TxnBuffers {
     /// e.g. undoing an eager index insert on abort, or deferring an index
     /// delete until old snapshots drain.
     end_actions: Vec<Box<dyn FnOnce(bool) + Send>>,
+    /// Tables this transaction touched. The pins keep each table's block
+    /// memory alive until the GC's final reclamation — a writer that commits
+    /// through a retained `TableHandle` *after* `DROP TABLE` must stay safe
+    /// while the GC unlinks its version chains through block memory, and the
+    /// catalog's epoch keep-alive alone cannot see handles it never issued.
+    pins: Vec<Arc<crate::data_table::DataTable>>,
 }
 
 impl Transaction {
@@ -74,6 +80,7 @@ impl Transaction {
                 ddl: Vec::new(),
                 orphans: Vec::new(),
                 end_actions: Vec::new(),
+                pins: Vec::new(),
             }),
             pool,
         }
@@ -159,6 +166,23 @@ impl Transaction {
         if e.owns_buffer() {
             self.inner.lock().orphans.push(e);
         }
+    }
+
+    /// Pin a table for the lifetime of this transaction (deduplicated).
+    /// Every `TableHandle` access pins, so block memory the transaction's
+    /// undo records point into outlives even a concurrent `DROP TABLE` —
+    /// released only by [`Self::reclaim`], after the GC has unlinked every
+    /// version chain this transaction installed.
+    pub fn pin_table(&self, table: &Arc<crate::data_table::DataTable>) {
+        let mut inner = self.inner.lock();
+        if !inner.pins.iter().any(|p| Arc::ptr_eq(p, table)) {
+            inner.pins.push(Arc::clone(table));
+        }
+    }
+
+    /// Number of distinct tables pinned (test introspection).
+    pub fn pinned_tables(&self) -> usize {
+        self.inner.lock().pins.len()
     }
 
     /// Register an action to run when the transaction finishes; it receives
@@ -251,6 +275,9 @@ impl Transaction {
             e.free_buffer();
         }
         inner.undo.release_segments(&self.pool);
+        // Last touch: nothing of this transaction references table memory
+        // anymore, so the table pins can finally go.
+        inner.pins.clear();
     }
 }
 

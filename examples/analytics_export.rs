@@ -37,7 +37,8 @@ fn main() {
     // data "already in the buffer pool" is frozen Arrow here).
     let deadline = Instant::now() + std::time::Duration::from_secs(30);
     loop {
-        let (hot, cooling, freezing, frozen) = db.pipeline().unwrap().block_state_census();
+        let (hot, cooling, freezing, frozen, _evicted) =
+            db.pipeline().unwrap().block_state_census();
         if hot + cooling + freezing <= 1 || Instant::now() > deadline {
             println!(
                 "block census before export: {frozen} frozen, {} not\n",

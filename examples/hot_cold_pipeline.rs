@@ -74,7 +74,8 @@ fn main() {
     // Watch blocks move through the state machine.
     for i in 0..40 {
         std::thread::sleep(Duration::from_millis(250));
-        let (hot, cooling, freezing, frozen) = db.pipeline().unwrap().block_state_census();
+        let (hot, cooling, freezing, frozen, _evicted) =
+            db.pipeline().unwrap().block_state_census();
         println!(
             "t={:>5}ms  blocks: hot={hot} cooling={cooling} freezing={freezing} frozen={frozen}",
             (i + 1) * 250

@@ -89,7 +89,7 @@ fn write_burst_stalls_drains_and_resumes() {
     let deadline = Instant::now() + Duration::from_secs(20);
     loop {
         let pending = db.pipeline().unwrap().pending_bytes();
-        let (_h, cooling, freezing, _f) = db.pipeline().unwrap().block_state_census();
+        let (_h, cooling, freezing, _f, _e) = db.pipeline().unwrap().block_state_census();
         if pending == 0 && cooling == 0 && freezing == 0 {
             break;
         }

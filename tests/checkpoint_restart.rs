@@ -128,7 +128,7 @@ fn mutate_rows(db: &Database, t: &TableHandle, ids: &[i64], rng: &mut Xoshiro256
 fn wait_for_frozen(db: &Database, min: usize) -> usize {
     let deadline = Instant::now() + Duration::from_secs(20);
     loop {
-        let (_h, _c, _f, frozen) = db.pipeline().unwrap().block_state_census();
+        let (_h, _c, _f, frozen, _e) = db.pipeline().unwrap().block_state_census();
         if frozen >= min || Instant::now() > deadline {
             return frozen;
         }

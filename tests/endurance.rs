@@ -185,7 +185,7 @@ fn tpcc_multiworker_oversubscribed_captures_run_one_panics() {
     // Full consistency after the storm, then a clean drain-at-shutdown.
     tpcc.check_consistency(&db).unwrap();
     db.shutdown();
-    let (_h, cooling, freezing, _f) = db.pipeline().unwrap().block_state_census();
+    let (_h, cooling, freezing, _f, _e) = db.pipeline().unwrap().block_state_census();
     assert_eq!((cooling, freezing), (0, 0), "shutdown abandoned in-flight cooling blocks");
 }
 

@@ -48,7 +48,7 @@ fn build_db(freeze: bool) -> (std::sync::Arc<Database>, std::sync::Arc<mainline:
     if freeze {
         let deadline = std::time::Instant::now() + Duration::from_secs(15);
         loop {
-            let (hot, c, f, _) = db.pipeline().unwrap().block_state_census();
+            let (hot, c, f, _, _) = db.pipeline().unwrap().block_state_census();
             if hot + c + f <= 1 || std::time::Instant::now() > deadline {
                 break;
             }
