@@ -160,6 +160,11 @@ pub struct Database {
     /// Cold-block buffer manager books (always present; unlimited budget
     /// when none is configured, in which case the clock never runs).
     accountant: Arc<MemoryAccountant>,
+    /// Hooks run (once) at the very top of [`shutdown`](Self::shutdown),
+    /// before any engine thread stops. The network frontend registers its
+    /// drain here: in-flight responses must finish while the transaction
+    /// manager, GC, and WAL are all still up.
+    pre_shutdown: parking_lot::Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl Database {
@@ -335,6 +340,7 @@ impl Database {
             checkpoint_thread: parking_lot::Mutex::new(None),
             evictor_thread: parking_lot::Mutex::new(evictor_thread),
             accountant,
+            pre_shutdown: parking_lot::Mutex::new(Vec::new()),
         });
         if start_checkpoint_trigger {
             db.start_checkpoint_trigger();
@@ -577,11 +583,27 @@ impl Database {
         self.checkpoints_taken.load(Ordering::Relaxed)
     }
 
+    /// Register a hook to run at the top of [`shutdown`](Self::shutdown),
+    /// before any engine thread stops. Hooks run once (an explicit
+    /// `shutdown()` followed by `Drop` does not re-run them) and must be
+    /// idempotent against the frontend's own shutdown path.
+    pub fn register_pre_shutdown(&self, hook: Box<dyn Fn() + Send + Sync>) {
+        self.pre_shutdown.lock().push(hook);
+    }
+
     /// Stop background threads, drain in-flight transformation work, and
     /// flush the log — in that order, so a compaction group parked in a
     /// cooling queue is frozen rather than abandoned, and its deferred
     /// reclamation runs before the WAL closes.
     pub fn shutdown(&self) {
+        // -1. Frontend drain hooks first (taken once, so a second shutdown —
+        //     e.g. the explicit call followed by Drop — skips them): a
+        //     network server must stop accepting and finish in-flight
+        //     responses while every engine subsystem below is still running.
+        let hooks = std::mem::take(&mut *self.pre_shutdown.lock());
+        for hook in &hooks {
+            hook();
+        }
         // 0. Eviction clock and checkpoint trigger first: an eviction after
         //    this point would queue deferred buffer drops behind the final
         //    drain, and a checkpoint transaction opened after this point

@@ -10,25 +10,41 @@
 use crate::materialize::block_batch;
 use crate::transport::{ExportStats, Loopback};
 use mainline_arrowlite::ipc;
+use mainline_storage::raw_block::Block;
 use mainline_txn::{DataTable, TransactionManager};
+
+/// Encode one block as an IPC frame. Returns the frame bytes, whether the
+/// frozen in-place path was used (evicted blocks fault in first), and the
+/// number of occupied rows delivered. Shared by the in-process export and
+/// `mainline-server`'s DoGet streaming path — a frozen block's frame here is
+/// byte-identical to its checkpoint cold segment.
+pub fn encode_block(
+    manager: &TransactionManager,
+    table: &DataTable,
+    block: &Block,
+) -> (Vec<u8>, bool, u64) {
+    let (batch, frozen) = block_batch(manager, table, block);
+    // Count delivered rows the same way the other protocols do: rows with
+    // at least one valid attribute (gap projections excluded).
+    let rows = (0..batch.num_rows())
+        .filter(|&r| batch.columns().iter().any(|c| c.is_valid(r)))
+        .count() as u64;
+    (ipc::encode_batch(&batch), frozen, rows)
+}
 
 /// Export a table as IPC-framed Arrow batches, one per block.
 pub fn export(manager: &TransactionManager, table: &DataTable) -> ExportStats {
     let mut wire = Loopback::new();
     let mut stats = ExportStats::default();
     for block in table.blocks() {
-        let (batch, frozen) = block_batch(manager, table, &block);
+        let (frame, frozen, rows) = encode_block(manager, table, &block);
         if frozen {
             stats.frozen_blocks += 1;
         } else {
             stats.hot_blocks += 1;
         }
-        // Count delivered rows the same way the other protocols do: rows
-        // with at least one valid attribute (gap projections excluded).
-        stats.rows += (0..batch.num_rows())
-            .filter(|&r| batch.columns().iter().any(|c| c.is_valid(r)))
-            .count() as u64;
-        wire.send_owned(ipc::encode_batch(&batch));
+        stats.rows += rows;
+        wire.send_owned(frame);
     }
     stats.bytes_transferred = wire.bytes_sent();
 

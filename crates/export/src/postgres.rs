@@ -8,15 +8,16 @@
 use crate::materialize::block_batch;
 use crate::transport::{ExportStats, Loopback};
 use mainline_arrowlite::array::{ColumnArray, PrimitiveArray, VarBinaryArray};
-use mainline_arrowlite::batch::column_value;
+use mainline_arrowlite::batch::{column_value, RecordBatch};
 use mainline_arrowlite::buffer::BufferBuilder;
 use mainline_arrowlite::ArrowType;
 use mainline_common::bitmap::Bitmap;
 use mainline_common::value::{TypeId, Value};
 use mainline_txn::{DataTable, TransactionManager};
 
-/// Serialize a `RowDescription` message.
-fn row_description(table: &DataTable) -> Vec<u8> {
+/// Serialize a `RowDescription` ('T') message for a table's schema. Shared
+/// by the in-process export baseline and `mainline-server`'s SELECT path.
+pub fn row_description(table: &DataTable) -> Vec<u8> {
     let mut out = vec![b'T'];
     out.extend_from_slice(&0u32.to_be_bytes()); // length placeholder
     out.extend_from_slice(&(table.schema().len() as u16).to_be_bytes());
@@ -39,6 +40,46 @@ fn patch_len(msg: &mut [u8]) {
     msg[1..5].copy_from_slice(&len.to_be_bytes());
 }
 
+/// Append one `DataRow` ('D') message per occupied row of `batch` to `out`
+/// (text-encoded fields, -1 length for NULL; all-NULL projection gaps are
+/// skipped). Returns the number of rows appended.
+pub fn data_rows(batch: &RecordBatch, types: &[TypeId], out: &mut Vec<u8>) -> u64 {
+    let mut rows = 0u64;
+    for r in 0..batch.num_rows() {
+        if !batch.columns().iter().any(|c| c.is_valid(r)) {
+            continue;
+        }
+        let start = out.len();
+        out.push(b'D');
+        out.extend_from_slice(&0u32.to_be_bytes());
+        out.extend_from_slice(&(types.len() as u16).to_be_bytes());
+        for (c, ty) in types.iter().enumerate() {
+            let v = column_value(batch.column(c), r, *ty);
+            match v {
+                Value::Null => out.extend_from_slice(&(-1i32).to_be_bytes()),
+                other => {
+                    let text = other.to_text();
+                    out.extend_from_slice(&(text.len() as i32).to_be_bytes());
+                    out.extend_from_slice(text.as_bytes());
+                }
+            }
+        }
+        patch_len(&mut out[start..]);
+        rows += 1;
+    }
+    rows
+}
+
+/// Serialize a `CommandComplete` ('C') message with the given tag.
+pub fn command_complete(tag: &str) -> Vec<u8> {
+    let mut msg = vec![b'C'];
+    msg.extend_from_slice(&0u32.to_be_bytes());
+    msg.extend_from_slice(tag.as_bytes());
+    msg.push(0);
+    patch_len(&mut msg);
+    msg
+}
+
 /// Server side: export the whole table as DataRow messages.
 pub fn export(manager: &TransactionManager, table: &DataTable) -> ExportStats {
     let mut wire = Loopback::new();
@@ -54,34 +95,11 @@ pub fn export(manager: &TransactionManager, table: &DataTable) -> ExportStats {
         } else {
             stats.hot_blocks += 1;
         }
-        for r in 0..batch.num_rows() {
-            // Skip all-NULL projection gaps (unoccupied slots).
-            if !batch.columns().iter().any(|c| c.is_valid(r)) {
-                continue;
-            }
-            row_buf.clear();
-            row_buf.push(b'D');
-            row_buf.extend_from_slice(&0u32.to_be_bytes());
-            row_buf.extend_from_slice(&(types.len() as u16).to_be_bytes());
-            for (c, ty) in types.iter().enumerate() {
-                let v = column_value(batch.column(c), r, *ty);
-                match v {
-                    Value::Null => row_buf.extend_from_slice(&(-1i32).to_be_bytes()),
-                    other => {
-                        let text = other.to_text();
-                        row_buf.extend_from_slice(&(text.len() as i32).to_be_bytes());
-                        row_buf.extend_from_slice(text.as_bytes());
-                    }
-                }
-            }
-            patch_len(&mut row_buf);
-            wire.send(&row_buf);
-            stats.rows += 1;
-        }
+        row_buf.clear();
+        stats.rows += data_rows(&batch, &types, &mut row_buf);
+        wire.send(&row_buf);
     }
-    let mut complete = b"C\0\0\0\0SELECT\0".to_vec();
-    patch_len(&mut complete);
-    wire.send_owned(complete);
+    wire.send_owned(command_complete("SELECT"));
     stats.bytes_transferred = wire.bytes_sent();
 
     // Client side: parse every DataRow back into columnar arrays.
@@ -100,37 +118,48 @@ pub fn parse_client(wire: &mut Loopback, types: &[TypeId]) -> Vec<ColumnArray> {
     let mut nrows = 0usize;
 
     for frame in wire.drain() {
-        if frame.first() != Some(&b'D') {
-            continue;
-        }
-        let mut pos = 5;
-        let nfields = u16::from_be_bytes(frame[pos..pos + 2].try_into().unwrap()) as usize;
-        pos += 2;
-        assert_eq!(nfields, ncols);
-        for c in 0..ncols {
-            let len = i32::from_be_bytes(frame[pos..pos + 4].try_into().unwrap());
-            pos += 4;
-            if len < 0 {
-                valid[c].push(false);
-                match types[c] {
-                    TypeId::Varchar => strs[c].push(None),
-                    TypeId::Double => floats[c].push(0.0),
-                    _ => ints[c].push(0),
-                }
+        // A frame may carry several consecutive messages (one per DataRow
+        // plus RowDescription/CommandComplete); walk them by length prefix.
+        let mut msg_start = 0usize;
+        while msg_start + 5 <= frame.len() {
+            let ty = frame[msg_start];
+            let len = u32::from_be_bytes(frame[msg_start + 1..msg_start + 5].try_into().unwrap())
+                as usize;
+            let msg_end = msg_start + 1 + len;
+            if ty != b'D' {
+                msg_start = msg_end;
                 continue;
             }
-            let text = &frame[pos..pos + len as usize];
-            pos += len as usize;
-            valid[c].push(true);
-            match types[c] {
-                TypeId::Varchar => strs[c].push(Some(text.to_vec())),
-                TypeId::Double => {
-                    floats[c].push(std::str::from_utf8(text).unwrap().parse::<f64>().unwrap())
+            let mut pos = msg_start + 5;
+            let nfields = u16::from_be_bytes(frame[pos..pos + 2].try_into().unwrap()) as usize;
+            pos += 2;
+            assert_eq!(nfields, ncols);
+            for c in 0..ncols {
+                let len = i32::from_be_bytes(frame[pos..pos + 4].try_into().unwrap());
+                pos += 4;
+                if len < 0 {
+                    valid[c].push(false);
+                    match types[c] {
+                        TypeId::Varchar => strs[c].push(None),
+                        TypeId::Double => floats[c].push(0.0),
+                        _ => ints[c].push(0),
+                    }
+                    continue;
                 }
-                _ => ints[c].push(std::str::from_utf8(text).unwrap().parse::<i64>().unwrap()),
+                let text = &frame[pos..pos + len as usize];
+                pos += len as usize;
+                valid[c].push(true);
+                match types[c] {
+                    TypeId::Varchar => strs[c].push(Some(text.to_vec())),
+                    TypeId::Double => {
+                        floats[c].push(std::str::from_utf8(text).unwrap().parse::<f64>().unwrap())
+                    }
+                    _ => ints[c].push(std::str::from_utf8(text).unwrap().parse::<i64>().unwrap()),
+                }
             }
+            nrows += 1;
+            msg_start = msg_end;
         }
-        nrows += 1;
     }
 
     (0..ncols)

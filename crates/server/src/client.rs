@@ -1,0 +1,236 @@
+//! Minimal blocking clients for both served protocols — the in-repo
+//! conformance/stress/bench harness side of the wire. Deliberately naive
+//! (std `TcpStream`, `read_exact` framing) so tests assert against an
+//! implementation that shares no parsing code with the server.
+
+use crate::proto;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Error fields from a PG `ErrorResponse`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PgWireError {
+    /// SQLSTATE code ('C' field).
+    pub code: String,
+    /// Human-readable message ('M' field).
+    pub message: String,
+}
+
+/// Everything a simple query produced, in arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOutcome {
+    /// Column names from RowDescription (empty for INSERT).
+    pub columns: Vec<String>,
+    /// Text-encoded rows; `None` is NULL.
+    pub rows: Vec<Vec<Option<String>>>,
+    /// CommandComplete tag, e.g. `SELECT 100` / `INSERT 0 1`.
+    pub tag: Option<String>,
+    /// ErrorResponse, if the statement failed.
+    pub error: Option<PgWireError>,
+}
+
+/// A blocking PG-wire client speaking the startup + simple-query subset.
+pub struct PgClient {
+    stream: TcpStream,
+}
+
+impl PgClient {
+    /// Connect and complete the startup handshake (no SSL probe).
+    pub fn connect(addr: SocketAddr) -> io::Result<PgClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut startup = Vec::new();
+        startup.extend_from_slice(&9u32.to_be_bytes());
+        startup.extend_from_slice(&proto::PG_PROTOCOL_VERSION.to_be_bytes());
+        startup.push(0);
+        stream.write_all(&startup)?;
+        let mut client = PgClient { stream };
+        client.read_until_ready(&mut QueryOutcome::default())?;
+        Ok(client)
+    }
+
+    /// Bound every read so a wedged server fails a test instead of hanging
+    /// it.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Run one simple query, collecting rows / tag / error until
+    /// ReadyForQuery.
+    pub fn query(&mut self, sql: &str) -> io::Result<QueryOutcome> {
+        let mut msg = vec![b'Q'];
+        msg.extend_from_slice(&((4 + sql.len() + 1) as u32).to_be_bytes());
+        msg.extend_from_slice(sql.as_bytes());
+        msg.push(0);
+        self.stream.write_all(&msg)?;
+        let mut out = QueryOutcome::default();
+        self.read_until_ready(&mut out)?;
+        Ok(out)
+    }
+
+    /// Send Terminate and close.
+    pub fn terminate(mut self) -> io::Result<()> {
+        let mut msg = vec![b'X'];
+        msg.extend_from_slice(&4u32.to_be_bytes());
+        self.stream.write_all(&msg)?;
+        Ok(())
+    }
+
+    fn read_msg(&mut self) -> io::Result<(u8, Vec<u8>)> {
+        let mut hdr = [0u8; 5];
+        self.stream.read_exact(&mut hdr)?;
+        let ty = hdr[0];
+        let len = u32::from_be_bytes(hdr[1..5].try_into().unwrap()) as usize;
+        if !(4..=proto::MAX_FRAME).contains(&len) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad message length"));
+        }
+        let mut body = vec![0u8; len - 4];
+        self.stream.read_exact(&mut body)?;
+        Ok((ty, body))
+    }
+
+    fn read_until_ready(&mut self, out: &mut QueryOutcome) -> io::Result<()> {
+        loop {
+            let (ty, body) = self.read_msg()?;
+            match ty {
+                b'Z' => return Ok(()),
+                b'T' => {
+                    let ncols = u16::from_be_bytes(body[0..2].try_into().unwrap()) as usize;
+                    let mut pos = 2;
+                    for _ in 0..ncols {
+                        let nul = body[pos..]
+                            .iter()
+                            .position(|&b| b == 0)
+                            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad T"))?;
+                        out.columns
+                            .push(String::from_utf8_lossy(&body[pos..pos + nul]).into_owned());
+                        pos += nul + 1 + 18; // name NUL + fixed per-column fields
+                    }
+                }
+                b'D' => {
+                    let nfields = u16::from_be_bytes(body[0..2].try_into().unwrap()) as usize;
+                    let mut pos = 2;
+                    let mut row = Vec::with_capacity(nfields);
+                    for _ in 0..nfields {
+                        let len = i32::from_be_bytes(body[pos..pos + 4].try_into().unwrap());
+                        pos += 4;
+                        if len < 0 {
+                            row.push(None);
+                        } else {
+                            let end = pos + len as usize;
+                            row.push(Some(String::from_utf8_lossy(&body[pos..end]).into_owned()));
+                            pos = end;
+                        }
+                    }
+                    out.rows.push(row);
+                }
+                b'C' => {
+                    let nul = body.iter().position(|&b| b == 0).unwrap_or(body.len());
+                    out.tag = Some(String::from_utf8_lossy(&body[..nul]).into_owned());
+                }
+                b'E' => {
+                    let mut err = PgWireError::default();
+                    let mut pos = 0;
+                    while pos < body.len() && body[pos] != 0 {
+                        let field = body[pos];
+                        pos += 1;
+                        let nul = body[pos..].iter().position(|&b| b == 0).unwrap_or(0);
+                        let text = String::from_utf8_lossy(&body[pos..pos + nul]).into_owned();
+                        pos += nul + 1;
+                        match field {
+                            b'C' => err.code = text,
+                            b'M' => err.message = text,
+                            _ => {}
+                        }
+                    }
+                    out.error = Some(err);
+                }
+                _ => {} // AuthenticationOk, ParameterStatus, ... — ignored
+            }
+        }
+    }
+}
+
+/// What one DoGet stream delivered.
+#[derive(Debug, Clone, Default)]
+pub struct DoGetOutcome {
+    /// Raw IPC frames with their frozen flags, in block order. Decoding is
+    /// the caller's business (`mainline_arrowlite::ipc::decode_batch`) — the
+    /// byte-identity tests need the frames untouched.
+    pub batches: Vec<(bool, Vec<u8>)>,
+    /// Total rows, from the end frame.
+    pub rows: u64,
+    /// Blocks served frozen (zero-copy), from the end frame.
+    pub frozen_blocks: u32,
+    /// Blocks served hot (snapshot), from the end frame.
+    pub hot_blocks: u32,
+    /// Error frame payload, if the stream failed.
+    pub error: Option<String>,
+}
+
+/// A blocking Flight-style IPC reader.
+pub struct FlightClient {
+    stream: TcpStream,
+}
+
+impl FlightClient {
+    /// Connect and complete the `MLFL` handshake.
+    pub fn connect(addr: SocketAddr) -> io::Result<FlightClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.write_all(&proto::flight_handshake_ack())?;
+        let mut ack = [0u8; 6];
+        stream.read_exact(&mut ack)?;
+        if ack != proto::flight_handshake_ack()[..] {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad handshake ack"));
+        }
+        Ok(FlightClient { stream })
+    }
+
+    /// Bound every read (see [`PgClient::set_read_timeout`]).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Stream a whole table; returns after the end (or error) frame.
+    pub fn do_get(&mut self, table: &str) -> io::Result<DoGetOutcome> {
+        self.stream.write_all(&proto::flight_do_get(table))?;
+        let mut out = DoGetOutcome::default();
+        loop {
+            let mut hdr = [0u8; 4];
+            self.stream.read_exact(&mut hdr)?;
+            let len = u32::from_le_bytes(hdr) as usize;
+            if !(1..=proto::MAX_FRAME).contains(&len) {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "bad frame length"));
+            }
+            let mut body = vec![0u8; len];
+            self.stream.read_exact(&mut body)?;
+            match body[0] {
+                proto::FLIGHT_FRAME_BATCH => {
+                    let frozen = body[1] != 0;
+                    out.batches.push((frozen, body.split_off(2)));
+                }
+                proto::FLIGHT_FRAME_END => {
+                    if body.len() != 17 {
+                        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad end frame"));
+                    }
+                    out.rows = u64::from_le_bytes(body[1..9].try_into().unwrap());
+                    out.frozen_blocks = u32::from_le_bytes(body[9..13].try_into().unwrap());
+                    out.hot_blocks = u32::from_le_bytes(body[13..17].try_into().unwrap());
+                    return Ok(out);
+                }
+                proto::FLIGHT_FRAME_ERROR => {
+                    out.error = Some(String::from_utf8_lossy(&body[1..]).into_owned());
+                    return Ok(out);
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unknown frame kind {other}"),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! Wire-level framing for both served protocols, kept as pure functions over
+//! byte slices so the fuzz battery can drive them without sockets.
+//!
+//! * **PG wire (v3 shapes):** big-endian, `[type u8][len u32]` messages after
+//!   an untyped startup packet. The server speaks the subset OLTP clients
+//!   need: startup / SSLRequest, simple `Query`, `Terminate`.
+//! * **Flight-style framing:** little-endian (matching the `arrowlite` IPC
+//!   encoding it carries), `[len u32][kind u8][body]` frames after a
+//!   `MLFL` handshake. Batch frames carry raw IPC bytes — for frozen blocks
+//!   these are the same bytes the checkpoint writes as cold segments.
+//!
+//! Every parser returns [`Parsed`]: `Incomplete` (need more bytes),
+//! `Complete` (value + bytes consumed), or `Malformed` (protocol error; the
+//! connection answers with an error message and closes). Parsers must never
+//! panic — the proptest suite feeds them arbitrary garbage.
+
+/// Result of parsing a (possibly partial) frame from a connection buffer.
+#[derive(Debug, PartialEq)]
+pub enum Parsed<T> {
+    /// Not enough bytes buffered yet to decide.
+    Incomplete,
+    /// A complete frame: the value and how many bytes it consumed.
+    Complete {
+        /// The decoded frame.
+        value: T,
+        /// Bytes to drain from the connection buffer.
+        consumed: usize,
+    },
+    /// The bytes cannot be a valid frame; the message says why.
+    Malformed(String),
+}
+
+/// Upper bound on any request frame (startup packet, query, DoGet). A
+/// declared length beyond this is malformed on sight — it is how the parser
+/// rejects "oversized" input without buffering it.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// PG v3 protocol version in the startup packet (3 << 16).
+pub const PG_PROTOCOL_VERSION: u32 = 196608;
+/// Magic "version" of an SSLRequest packet.
+pub const PG_SSL_REQUEST: u32 = 80877103;
+/// Magic "version" of a CancelRequest packet.
+pub const PG_CANCEL_REQUEST: u32 = 80877102;
+
+/// Magic opening a Flight-style session (the IPC frames inside carry
+/// arrowlite's own `MLIP` magic).
+pub const FLIGHT_MAGIC: &[u8; 4] = b"MLFL";
+/// Flight-style framing version.
+pub const FLIGHT_VERSION: u16 = 1;
+
+/// Flight response frame kinds.
+pub const FLIGHT_FRAME_BATCH: u8 = 0;
+/// End-of-stream frame: totals for the stream.
+pub const FLIGHT_FRAME_END: u8 = 1;
+/// Error frame: UTF-8 message.
+pub const FLIGHT_FRAME_ERROR: u8 = 2;
+/// DoGet request command byte.
+pub const FLIGHT_CMD_DO_GET: u8 = 1;
+
+// ---------------------------------------------------------------- PG parse
+
+/// A decoded PG startup-phase packet.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PgStartup {
+    /// SSLRequest: answer `'N'` and expect the real startup next.
+    Ssl,
+    /// A v3 StartupMessage (parameters are accepted and ignored).
+    Startup,
+    /// CancelRequest: nothing to cancel here; the connection just closes.
+    Cancel,
+}
+
+/// Parse the untyped startup packet: `[len u32 BE][version u32 BE][...]`.
+pub fn parse_pg_startup(buf: &[u8]) -> Parsed<PgStartup> {
+    if buf.len() < 8 {
+        return Parsed::Incomplete;
+    }
+    let len = u32::from_be_bytes(buf[0..4].try_into().unwrap()) as usize;
+    if !(8..=MAX_FRAME).contains(&len) {
+        return Parsed::Malformed(format!("startup packet length {len} out of range"));
+    }
+    if buf.len() < len {
+        return Parsed::Incomplete;
+    }
+    let code = u32::from_be_bytes(buf[4..8].try_into().unwrap());
+    let value = match code {
+        PG_SSL_REQUEST => PgStartup::Ssl,
+        PG_PROTOCOL_VERSION => PgStartup::Startup,
+        PG_CANCEL_REQUEST => PgStartup::Cancel,
+        other => {
+            return Parsed::Malformed(format!("unsupported protocol version {other:#x}"));
+        }
+    };
+    Parsed::Complete { value, consumed: len }
+}
+
+/// A decoded post-startup PG message.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PgRequest {
+    /// Simple query ('Q').
+    Query(String),
+    /// Graceful goodbye ('X').
+    Terminate,
+    /// Any other message type — unsupported by this frontend.
+    Other(u8),
+}
+
+/// Parse one typed PG message: `[type u8][len u32 BE incl. itself][body]`.
+pub fn parse_pg_message(buf: &[u8]) -> Parsed<PgRequest> {
+    if buf.len() < 5 {
+        return Parsed::Incomplete;
+    }
+    let ty = buf[0];
+    let len = u32::from_be_bytes(buf[1..5].try_into().unwrap()) as usize;
+    if !(4..=MAX_FRAME).contains(&len) {
+        return Parsed::Malformed(format!("message length {len} out of range"));
+    }
+    let total = 1 + len;
+    if buf.len() < total {
+        return Parsed::Incomplete;
+    }
+    let body = &buf[5..total];
+    let value = match ty {
+        b'Q' => {
+            // Query text is NUL-terminated.
+            let Some(nul) = body.iter().position(|&b| b == 0) else {
+                return Parsed::Malformed("query string missing terminator".into());
+            };
+            match std::str::from_utf8(&body[..nul]) {
+                Ok(s) => PgRequest::Query(s.to_string()),
+                Err(_) => return Parsed::Malformed("query string is not valid UTF-8".into()),
+            }
+        }
+        b'X' => PgRequest::Terminate,
+        other => PgRequest::Other(other),
+    };
+    Parsed::Complete { value, consumed: total }
+}
+
+// ---------------------------------------------------------------- PG build
+
+fn pg_msg(ty: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + body.len());
+    out.push(ty);
+    out.extend_from_slice(&((4 + body.len()) as u32).to_be_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// `AuthenticationOk`: the frontend does no authentication.
+pub fn pg_auth_ok() -> Vec<u8> {
+    pg_msg(b'R', &0u32.to_be_bytes())
+}
+
+/// `ReadyForQuery` in idle state.
+pub fn pg_ready_for_query() -> Vec<u8> {
+    pg_msg(b'Z', b"I")
+}
+
+/// `ErrorResponse` with severity ERROR, a stable SQLSTATE `code`, and a
+/// human-readable message.
+pub fn pg_error(code: &str, message: &str) -> Vec<u8> {
+    let mut body = Vec::with_capacity(16 + code.len() + message.len());
+    body.push(b'S');
+    body.extend_from_slice(b"ERROR\0");
+    body.push(b'C');
+    body.extend_from_slice(code.as_bytes());
+    body.push(0);
+    body.push(b'M');
+    body.extend_from_slice(message.as_bytes());
+    body.push(0);
+    body.push(0); // field-list terminator
+    pg_msg(b'E', &body)
+}
+
+// ------------------------------------------------------------ Flight parse
+
+/// Parse the 6-byte Flight handshake: magic + version (u16 LE).
+pub fn parse_flight_handshake(buf: &[u8]) -> Parsed<u16> {
+    if buf.len() < 6 {
+        return Parsed::Incomplete;
+    }
+    if &buf[0..4] != FLIGHT_MAGIC {
+        return Parsed::Malformed("bad flight magic".into());
+    }
+    let version = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+    if version != FLIGHT_VERSION {
+        return Parsed::Malformed(format!("unsupported flight version {version}"));
+    }
+    Parsed::Complete { value: version, consumed: 6 }
+}
+
+/// A decoded Flight request.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FlightRequest {
+    /// Stream a whole table as IPC batch frames.
+    DoGet {
+        /// Table name.
+        table: String,
+    },
+}
+
+/// Parse one Flight request frame: `[len u32 LE][cmd u8][payload]`.
+pub fn parse_flight_request(buf: &[u8]) -> Parsed<FlightRequest> {
+    if buf.len() < 4 {
+        return Parsed::Incomplete;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    if !(1..=MAX_FRAME).contains(&len) {
+        return Parsed::Malformed(format!("flight request length {len} out of range"));
+    }
+    let total = 4 + len;
+    if buf.len() < total {
+        return Parsed::Incomplete;
+    }
+    let cmd = buf[4];
+    let payload = &buf[5..total];
+    let value = match cmd {
+        FLIGHT_CMD_DO_GET => {
+            let table = match std::str::from_utf8(payload) {
+                Ok(s) if !s.is_empty() => s.to_string(),
+                Ok(_) => return Parsed::Malformed("DoGet with empty table name".into()),
+                Err(_) => return Parsed::Malformed("DoGet table name is not UTF-8".into()),
+            };
+            FlightRequest::DoGet { table }
+        }
+        other => return Parsed::Malformed(format!("unknown flight command {other}")),
+    };
+    Parsed::Complete { value, consumed: total }
+}
+
+// ------------------------------------------------------------ Flight build
+
+/// The server's handshake acknowledgement (same 6 bytes as the greeting).
+pub fn flight_handshake_ack() -> Vec<u8> {
+    let mut out = FLIGHT_MAGIC.to_vec();
+    out.extend_from_slice(&FLIGHT_VERSION.to_le_bytes());
+    out
+}
+
+/// Client-side: build a DoGet request frame for `table`.
+pub fn flight_do_get(table: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + table.len());
+    out.extend_from_slice(&((1 + table.len()) as u32).to_le_bytes());
+    out.push(FLIGHT_CMD_DO_GET);
+    out.extend_from_slice(table.as_bytes());
+    out
+}
+
+/// Header of a batch frame whose body is `[frozen u8]` + `ipc_len` raw IPC
+/// bytes. The IPC payload is enqueued as its own (moved, never re-encoded)
+/// buffer right behind this header — that is the zero-copy seam.
+pub fn flight_batch_header(frozen: bool, ipc_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.extend_from_slice(&((2 + ipc_len) as u32).to_le_bytes());
+    out.push(FLIGHT_FRAME_BATCH);
+    out.push(frozen as u8);
+    out
+}
+
+/// End-of-stream frame: total rows and frozen/hot block counts.
+pub fn flight_end_frame(rows: u64, frozen_blocks: u32, hot_blocks: u32) -> Vec<u8> {
+    let mut out = Vec::with_capacity(21);
+    out.extend_from_slice(&17u32.to_le_bytes());
+    out.push(FLIGHT_FRAME_END);
+    out.extend_from_slice(&rows.to_le_bytes());
+    out.extend_from_slice(&frozen_blocks.to_le_bytes());
+    out.extend_from_slice(&hot_blocks.to_le_bytes());
+    out
+}
+
+/// Error frame carrying a UTF-8 message. The stream it answers is over; the
+/// connection itself stays usable unless the server also closes it.
+pub fn flight_error_frame(message: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(5 + message.len());
+    out.extend_from_slice(&((1 + message.len()) as u32).to_le_bytes());
+    out.push(FLIGHT_FRAME_ERROR);
+    out.extend_from_slice(message.as_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn startup_roundtrip() {
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&9u32.to_be_bytes());
+        msg.extend_from_slice(&PG_PROTOCOL_VERSION.to_be_bytes());
+        msg.push(0);
+        assert_eq!(
+            parse_pg_startup(&msg),
+            Parsed::Complete { value: PgStartup::Startup, consumed: 9 }
+        );
+        assert_eq!(parse_pg_startup(&msg[..7]), Parsed::Incomplete);
+    }
+
+    #[test]
+    fn ssl_and_cancel_recognized() {
+        for (code, want) in
+            [(PG_SSL_REQUEST, PgStartup::Ssl), (PG_CANCEL_REQUEST, PgStartup::Cancel)]
+        {
+            let mut msg = Vec::new();
+            msg.extend_from_slice(&8u32.to_be_bytes());
+            msg.extend_from_slice(&code.to_be_bytes());
+            assert_eq!(parse_pg_startup(&msg), Parsed::Complete { value: want, consumed: 8 });
+        }
+    }
+
+    #[test]
+    fn oversized_startup_is_malformed_immediately() {
+        let mut msg = Vec::new();
+        msg.extend_from_slice(&((MAX_FRAME + 1) as u32).to_be_bytes());
+        msg.extend_from_slice(&PG_PROTOCOL_VERSION.to_be_bytes());
+        assert!(matches!(parse_pg_startup(&msg), Parsed::Malformed(_)));
+        // Tiny length (would loop forever if consumed as 0) also malformed.
+        let mut tiny = Vec::new();
+        tiny.extend_from_slice(&3u32.to_be_bytes());
+        tiny.extend_from_slice(&PG_PROTOCOL_VERSION.to_be_bytes());
+        assert!(matches!(parse_pg_startup(&tiny), Parsed::Malformed(_)));
+    }
+
+    #[test]
+    fn query_message_roundtrip() {
+        let sql = "SELECT * FROM t";
+        let mut msg = vec![b'Q'];
+        msg.extend_from_slice(&((4 + sql.len() + 1) as u32).to_be_bytes());
+        msg.extend_from_slice(sql.as_bytes());
+        msg.push(0);
+        match parse_pg_message(&msg) {
+            Parsed::Complete { value: PgRequest::Query(s), consumed } => {
+                assert_eq!(s, sql);
+                assert_eq!(consumed, msg.len());
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(parse_pg_message(&msg[..4]), Parsed::Incomplete);
+        assert_eq!(parse_pg_message(&msg[..msg.len() - 1]), Parsed::Incomplete);
+    }
+
+    #[test]
+    fn query_without_terminator_is_malformed() {
+        let mut msg = vec![b'Q'];
+        msg.extend_from_slice(&8u32.to_be_bytes());
+        msg.extend_from_slice(b"SELE");
+        assert!(matches!(parse_pg_message(&msg), Parsed::Malformed(_)));
+    }
+
+    #[test]
+    fn flight_frames_roundtrip() {
+        assert_eq!(parse_flight_handshake(&flight_handshake_ack()[..5]), Parsed::Incomplete);
+        assert_eq!(
+            parse_flight_handshake(&flight_handshake_ack()),
+            Parsed::Complete { value: FLIGHT_VERSION, consumed: 6 }
+        );
+        let req = flight_do_get("orders");
+        assert_eq!(
+            parse_flight_request(&req),
+            Parsed::Complete {
+                value: FlightRequest::DoGet { table: "orders".into() },
+                consumed: req.len()
+            }
+        );
+        assert!(matches!(parse_flight_request(&flight_do_get("")), Parsed::Malformed(_)));
+        assert!(matches!(parse_flight_handshake(b"MLIPxx"), Parsed::Malformed(_)));
+    }
+
+    #[test]
+    fn error_response_layout() {
+        let e = pg_error("42P01", "relation \"x\" does not exist");
+        assert_eq!(e[0], b'E');
+        let len = u32::from_be_bytes(e[1..5].try_into().unwrap()) as usize;
+        assert_eq!(len + 1, e.len());
+        let body = &e[5..];
+        assert!(body.starts_with(b"SERROR\0C42P01\0M"));
+        assert_eq!(body[body.len() - 2..], [0, 0]);
+    }
+}

@@ -1,0 +1,395 @@
+//! The listener: an accept thread plus N poll-driven worker threads, with
+//! graceful drain wired into the database's shutdown ordering.
+//!
+//! Topology: the accept thread owns the `TcpListener` and hands accepted
+//! sockets round-robin to workers through per-worker injection queues (waking
+//! the worker's poll). Each worker owns its connections outright — no shared
+//! connection state, no locks on the data path. Drain follows PR 2's
+//! worker-drain discipline: flip the stop flag, wake everyone; the accept
+//! thread closes the listener, workers finish in-flight responses (bounded
+//! by `drain_timeout`), flush, close, and join.
+
+use crate::conn::Conn;
+use crossbeam::queue::SegQueue;
+use mainline_db::Database;
+use mio::net::{TcpListener, TcpStream};
+use mio::{Events, Interest, Poll, Token, Waker};
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// Token reserved for each thread's waker.
+const WAKER_TOKEN: Token = Token(0);
+/// Token for the listener on the accept thread's poll.
+const LISTENER_TOKEN: Token = Token(1);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; port 0 picks a free port (read it back with
+    /// [`Server::addr`]).
+    pub addr: SocketAddr,
+    /// Worker threads (connections are partitioned across them).
+    pub workers: usize,
+    /// Hard cap on simultaneously open connections; beyond it, accepts are
+    /// dropped immediately.
+    pub max_connections: usize,
+    /// Per-connection send budget: a stream job stops encoding further
+    /// blocks while this many bytes are queued unsent (backpressure to the
+    /// encoder, not server memory).
+    pub send_buffer_bytes: usize,
+    /// Connections idle longer than this (no request, nothing in flight)
+    /// are closed.
+    pub idle_timeout: Duration,
+    /// Upper bound on graceful drain: connections still busy past the
+    /// deadline are force-closed.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().expect("static addr"),
+            workers: 2,
+            max_connections: 128,
+            send_buffer_bytes: 256 << 10,
+            idle_timeout: Duration::from_secs(60),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Live counters, updated by the accept and worker threads.
+#[derive(Default)]
+pub(crate) struct SharedStats {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) open: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) idle_closed: AtomicU64,
+    pub(crate) bytes_received: AtomicU64,
+    pub(crate) bytes_sent: AtomicU64,
+    pub(crate) queries: AtomicU64,
+    pub(crate) rows_inserted: AtomicU64,
+    pub(crate) streams: AtomicU64,
+    pub(crate) rows_served: AtomicU64,
+    pub(crate) frozen_blocks_served: AtomicU64,
+    pub(crate) hot_blocks_served: AtomicU64,
+    pub(crate) admission_throttles: AtomicU64,
+    pub(crate) protocol_errors: AtomicU64,
+}
+
+/// A point-in-time snapshot of server counters (see [`Server::stats`]),
+/// sitting beside `Database::admission_stats()` and `memory_stats()`.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Connections accepted and handed to a worker.
+    pub connections_accepted: u64,
+    /// Connections currently open.
+    pub connections_open: u64,
+    /// Connections dropped at accept because `max_connections` was reached.
+    pub connections_rejected: u64,
+    /// Connections closed by the idle timeout.
+    pub connections_idle_closed: u64,
+    /// Request bytes read off sockets.
+    pub bytes_received: u64,
+    /// Response bytes written to sockets.
+    pub bytes_sent: u64,
+    /// PG Query messages executed (including ones that errored).
+    pub queries: u64,
+    /// Rows inserted through acked INSERT statements.
+    pub rows_inserted: u64,
+    /// Completed streaming responses (PG SELECT + Flight DoGet).
+    pub streams: u64,
+    /// Rows delivered by streaming responses.
+    pub rows_served: u64,
+    /// Blocks served through the frozen zero-copy path.
+    pub frozen_blocks_served: u64,
+    /// Blocks served through the hot transactional-snapshot path.
+    pub hot_blocks_served: u64,
+    /// Write requests that saw a Yielded/Stalled admission decision.
+    pub admission_throttles: u64,
+    /// Malformed frames answered with a protocol error + close.
+    pub protocol_errors: u64,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections_accepted: self.accepted.load(Ordering::Relaxed),
+            connections_open: self.open.load(Ordering::Relaxed),
+            connections_rejected: self.rejected.load(Ordering::Relaxed),
+            connections_idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            rows_inserted: self.rows_inserted.load(Ordering::Relaxed),
+            streams: self.streams.load(Ordering::Relaxed),
+            rows_served: self.rows_served.load(Ordering::Relaxed),
+            frozen_blocks_served: self.frozen_blocks_served.load(Ordering::Relaxed),
+            hot_blocks_served: self.hot_blocks_served.load(Ordering::Relaxed),
+            admission_throttles: self.admission_throttles.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct WorkerLink {
+    /// Accepted sockets waiting for this worker to adopt them.
+    inbox: SegQueue<TcpStream>,
+    waker: Waker,
+}
+
+/// State shared by the accept thread, the workers, and the handle.
+pub(crate) struct ServerCore {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) db: Arc<Database>,
+    pub(crate) stats: SharedStats,
+    stop: AtomicBool,
+    workers: Vec<WorkerLink>,
+    accept_waker: Waker,
+    threads: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ServerCore {
+    /// Flip the stop flag, wake every thread, and join them. Idempotent and
+    /// safe to race: the joiner is whoever drains the handle vector first;
+    /// later callers block on the lock until the drain has finished.
+    fn shutdown_and_join(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.accept_waker.wake();
+        for w in &self.workers {
+            let _ = w.waker.wake();
+        }
+        let mut threads = self.threads.lock();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Handle to a running server. Dropping it (or calling
+/// [`shutdown`](Server::shutdown)) drains gracefully; `Database::shutdown`
+/// also drains it first via a pre-shutdown hook, so in-flight responses
+/// always finish against a fully-running engine.
+pub struct Server {
+    core: Arc<ServerCore>,
+}
+
+impl Server {
+    /// Bind and start serving `db` per `config`.
+    pub fn start(db: Arc<Database>, config: ServerConfig) -> io::Result<Server> {
+        let workers = config.workers.max(1);
+        let listener = TcpListener::bind(config.addr)?;
+        let addr = listener.local_addr()?;
+
+        let mut worker_polls = Vec::with_capacity(workers);
+        let mut links = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let poll = Poll::new()?;
+            let waker = Waker::new(poll.registry(), WAKER_TOKEN)?;
+            worker_polls.push(poll);
+            links.push(WorkerLink { inbox: SegQueue::new(), waker });
+        }
+        let accept_poll = Poll::new()?;
+        let accept_waker = Waker::new(accept_poll.registry(), WAKER_TOKEN)?;
+        accept_poll.registry().register(&listener, LISTENER_TOKEN, Interest::READABLE)?;
+
+        let core = Arc::new(ServerCore {
+            cfg: ServerConfig { addr, ..config },
+            db: Arc::clone(&db),
+            stats: SharedStats::default(),
+            stop: AtomicBool::new(false),
+            workers: links,
+            accept_waker,
+            threads: parking_lot::Mutex::new(Vec::new()),
+        });
+
+        let mut threads = Vec::with_capacity(workers + 1);
+        {
+            let core = Arc::clone(&core);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("server-accept".into())
+                    .spawn(move || accept_loop(core, accept_poll, listener))
+                    .expect("spawn accept thread"),
+            );
+        }
+        for (i, poll) in worker_polls.into_iter().enumerate() {
+            let core = Arc::clone(&core);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("server-worker-{i}"))
+                    .spawn(move || worker_loop(core, i, poll))
+                    .expect("spawn server worker"),
+            );
+        }
+        *core.threads.lock() = threads;
+
+        // Drain before the engine tears down: Database::shutdown runs this
+        // hook before stopping any engine thread. Weak, so a server the
+        // user already dropped (and joined) is skipped, and the hook itself
+        // never keeps the core alive.
+        let weak: Weak<ServerCore> = Arc::downgrade(&core);
+        db.register_pre_shutdown(Box::new(move || {
+            if let Some(core) = weak.upgrade() {
+                core.shutdown_and_join();
+            }
+        }));
+
+        Ok(Server { core })
+    }
+
+    /// The actually-bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.core.cfg.addr
+    }
+
+    /// Snapshot the server counters.
+    pub fn stats(&self) -> ServerStats {
+        self.core.stats.snapshot()
+    }
+
+    /// Graceful drain: stop accepting, finish in-flight responses (bounded
+    /// by `drain_timeout`), then join every server thread. Idempotent.
+    pub fn shutdown(&self) {
+        self.core.shutdown_and_join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.core.shutdown_and_join();
+    }
+}
+
+/// `Database::serve(config)` — the ergonomic entry point.
+pub trait DatabaseServe {
+    /// Start a network frontend over this database.
+    fn serve(&self, config: ServerConfig) -> io::Result<Server>;
+}
+
+impl DatabaseServe for Arc<Database> {
+    fn serve(&self, config: ServerConfig) -> io::Result<Server> {
+        Server::start(Arc::clone(self), config)
+    }
+}
+
+fn accept_loop(core: Arc<ServerCore>, mut poll: Poll, listener: TcpListener) {
+    let mut events = Events::with_capacity(8);
+    let mut rr = 0usize;
+    while !core.stop.load(Ordering::SeqCst) {
+        let _ = poll.poll(&mut events, Some(Duration::from_millis(200)));
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    // The open-connection gauge moves here (not in the
+                    // worker) so this cap check never lags an accept burst.
+                    if core.stats.open.load(Ordering::Relaxed) >= core.cfg.max_connections as u64 {
+                        core.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        continue; // stream drops: peer sees a reset/EOF
+                    }
+                    core.stats.open.fetch_add(1, Ordering::Relaxed);
+                    core.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    // Responses go out as several small chunks; without
+                    // NODELAY, Nagle + the peer's delayed ACK adds ~40 ms
+                    // to every request/response exchange.
+                    let _ = stream.set_nodelay(true);
+                    let link = &core.workers[rr % core.workers.len()];
+                    rr += 1;
+                    link.inbox.push(stream);
+                    let _ = link.waker.wake();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+    // Listener drops here: the port closes before any connection drains.
+}
+
+fn worker_loop(core: Arc<ServerCore>, idx: usize, mut poll: Poll) {
+    let mut events = Events::with_capacity(256);
+    let mut conns: HashMap<usize, Conn> = HashMap::new();
+    let mut next_token = 2usize; // 0 = waker, 1 = (unused) listener token space
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        if core.stop.load(Ordering::SeqCst) && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + core.cfg.drain_timeout);
+            for conn in conns.values_mut() {
+                conn.begin_drain();
+                conn.advance(&core);
+            }
+        }
+        if let Some(deadline) = drain_deadline {
+            if conns.is_empty() {
+                break;
+            }
+            if Instant::now() >= deadline {
+                // Drain budget exhausted: force-close whatever is left.
+                for (_, conn) in conns.drain() {
+                    let _ = poll.registry().deregister(&conn.stream);
+                    core.stats.open.fetch_sub(1, Ordering::Relaxed);
+                }
+                break;
+            }
+        }
+
+        let _ = poll.poll(&mut events, Some(Duration::from_millis(50)));
+
+        // Adopt newly accepted sockets.
+        while let Some(stream) = core.workers[idx].inbox.pop() {
+            if drain_deadline.is_some() {
+                core.stats.open.fetch_sub(1, Ordering::Relaxed);
+                continue; // raced the drain: drop it
+            }
+            let token = Token(next_token);
+            next_token += 1;
+            let conn = Conn::new(stream, token);
+            if poll.registry().register(&conn.stream, token, Interest::READABLE).is_ok() {
+                conns.insert(token.0, conn);
+            } else {
+                core.stats.open.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+
+        for ev in events.iter() {
+            if ev.token() == WAKER_TOKEN {
+                continue;
+            }
+            if let Some(conn) = conns.get_mut(&ev.token().0) {
+                conn.handle_event(ev.is_readable(), &core);
+            }
+        }
+
+        // Sweep: idle timeout, drain progress (draining connections advance
+        // on the tick even without events), interest updates, reaping.
+        let now = Instant::now();
+        let mut dead = Vec::new();
+        for (key, conn) in conns.iter_mut() {
+            if drain_deadline.is_some() && !conn.closed {
+                conn.advance(&core);
+            }
+            if !conn.closed && conn.idle_expired(now, core.cfg.idle_timeout) {
+                conn.closed = true;
+                core.stats.idle_closed.fetch_add(1, Ordering::Relaxed);
+            }
+            match conn.interest() {
+                None => dead.push(*key),
+                Some(interest) => {
+                    let _ = poll.registry().reregister(&conn.stream, conn.token, interest);
+                }
+            }
+        }
+        for key in dead {
+            if let Some(conn) = conns.remove(&key) {
+                let _ = poll.registry().deregister(&conn.stream);
+                core.stats.open.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+}

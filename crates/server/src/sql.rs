@@ -1,0 +1,287 @@
+//! The frontend's mini-SQL: exactly the two statements an OLTP point client
+//! needs against this engine — `SELECT * FROM t` (streamed straight off the
+//! export encoders) and multi-row `INSERT INTO t VALUES (...)`. Anything
+//! else is a syntax error answered with SQLSTATE 42601; query planning is
+//! not this repo's paper.
+
+use mainline_common::schema::ColumnDef;
+use mainline_common::value::{TypeId, Value};
+
+/// A literal in an INSERT values list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// SQL NULL.
+    Null,
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (doubled quotes escape).
+    Str(String),
+}
+
+/// A parsed statement.
+#[derive(Debug, PartialEq)]
+pub enum Command {
+    /// `SELECT * FROM <table>`.
+    Select {
+        /// Table to stream.
+        table: String,
+    },
+    /// `INSERT INTO <table> VALUES (...), (...)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// One literal row per VALUES tuple.
+        rows: Vec<Vec<Literal>>,
+    },
+}
+
+#[derive(Debug, PartialEq, Clone)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+}
+
+fn tokenize(sql: &str) -> Result<Vec<Tok>, String> {
+    let mut toks = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            ';' => break, // trailing statement terminator
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '\'' => {
+                // String literal, '' escapes a quote.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err("unterminated string literal".into()),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                toks.push(Tok::Str(s));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+                {
+                    // Only allow +/- right after an exponent marker.
+                    if matches!(bytes[i], b'+' | b'-') && !matches!(bytes[i - 1], b'e' | b'E') {
+                        break;
+                    }
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                if let Ok(v) = text.parse::<i64>() {
+                    toks.push(Tok::Int(v));
+                } else if let Ok(v) = text.parse::<f64>() {
+                    toks.push(Tok::Float(v));
+                } else {
+                    return Err(format!("bad numeric literal {text:?}"));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+                {
+                    i += 1;
+                }
+                toks.push(Tok::Ident(sql[start..i].to_string()));
+            }
+            other => return Err(format!("unexpected character {other:?}")),
+        }
+    }
+    Ok(toks)
+}
+
+fn keyword(tok: Option<&Tok>, kw: &str) -> bool {
+    matches!(tok, Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw))
+}
+
+fn ident(tok: Option<&Tok>) -> Result<String, String> {
+    match tok {
+        Some(Tok::Ident(s)) => Ok(s.clone()),
+        other => Err(format!("expected identifier, found {other:?}")),
+    }
+}
+
+/// Parse one statement. Errors are human-readable and become the message of
+/// a SQLSTATE 42601 `ErrorResponse`.
+pub fn parse(sql: &str) -> Result<Command, String> {
+    let toks = tokenize(sql)?;
+    if keyword(toks.first(), "select") {
+        if toks.get(1) != Some(&Tok::Star) || !keyword(toks.get(2), "from") {
+            return Err("only SELECT * FROM <table> is supported".into());
+        }
+        let table = ident(toks.get(3))?;
+        if toks.len() > 4 {
+            return Err("unexpected tokens after table name".into());
+        }
+        return Ok(Command::Select { table });
+    }
+    if keyword(toks.first(), "insert") {
+        if !keyword(toks.get(1), "into") {
+            return Err("expected INTO after INSERT".into());
+        }
+        let table = ident(toks.get(2))?;
+        if !keyword(toks.get(3), "values") {
+            return Err("expected VALUES".into());
+        }
+        let mut rows = Vec::new();
+        let mut pos = 4;
+        loop {
+            if toks.get(pos) != Some(&Tok::LParen) {
+                return Err("expected ( to open a values tuple".into());
+            }
+            pos += 1;
+            let mut row = Vec::new();
+            loop {
+                let lit = match toks.get(pos) {
+                    Some(Tok::Int(v)) => Literal::Int(*v),
+                    Some(Tok::Float(v)) => Literal::Float(*v),
+                    Some(Tok::Str(s)) => Literal::Str(s.clone()),
+                    Some(Tok::Ident(s)) if s.eq_ignore_ascii_case("null") => Literal::Null,
+                    other => return Err(format!("expected literal, found {other:?}")),
+                };
+                row.push(lit);
+                pos += 1;
+                match toks.get(pos) {
+                    Some(Tok::Comma) => pos += 1,
+                    Some(Tok::RParen) => {
+                        pos += 1;
+                        break;
+                    }
+                    other => return Err(format!("expected , or ), found {other:?}")),
+                }
+            }
+            rows.push(row);
+            match toks.get(pos) {
+                Some(Tok::Comma) => pos += 1,
+                None => break,
+                other => return Err(format!("unexpected token after tuple: {other:?}")),
+            }
+        }
+        return Ok(Command::Insert { table, rows });
+    }
+    Err("only SELECT and INSERT are supported".into())
+}
+
+/// Coerce a parsed literal into a typed [`Value`] for column `col`.
+/// Returns `Err((sqlstate, message))` on NULL-into-NOT-NULL, datatype
+/// mismatch, or out-of-range integers.
+pub fn coerce(lit: &Literal, col: &ColumnDef) -> Result<Value, (&'static str, String)> {
+    match (lit, col.ty) {
+        (Literal::Null, _) => {
+            if col.nullable {
+                Ok(Value::Null)
+            } else {
+                Err(("23502", format!("null value in column \"{}\"", col.name)))
+            }
+        }
+        (Literal::Int(v), TypeId::TinyInt) => i8::try_from(*v)
+            .map(Value::TinyInt)
+            .map_err(|_| ("22003", format!("{v} out of range for tinyint"))),
+        (Literal::Int(v), TypeId::SmallInt) => i16::try_from(*v)
+            .map(Value::SmallInt)
+            .map_err(|_| ("22003", format!("{v} out of range for smallint"))),
+        (Literal::Int(v), TypeId::Integer) => i32::try_from(*v)
+            .map(Value::Integer)
+            .map_err(|_| ("22003", format!("{v} out of range for integer"))),
+        (Literal::Int(v), TypeId::BigInt) => Ok(Value::BigInt(*v)),
+        (Literal::Int(v), TypeId::Double) => Ok(Value::Double(*v as f64)),
+        (Literal::Float(v), TypeId::Double) => Ok(Value::Double(*v)),
+        (Literal::Str(s), TypeId::Varchar) => Ok(Value::Varchar(s.as_bytes().to_vec())),
+        (lit, ty) => {
+            Err(("42804", format!("cannot store {lit:?} in {ty:?} column \"{}\"", col.name)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_star() {
+        assert_eq!(parse("SELECT * FROM orders"), Ok(Command::Select { table: "orders".into() }));
+        assert_eq!(parse("select * from t;"), Ok(Command::Select { table: "t".into() }));
+        assert!(parse("SELECT id FROM t").is_err());
+        assert!(parse("SELECT * FROM").is_err());
+    }
+
+    #[test]
+    fn insert_multi_row() {
+        let cmd = parse("INSERT INTO t VALUES (1, 'a''b', NULL), (-2, 'x', 3.5)").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Insert {
+                table: "t".into(),
+                rows: vec![
+                    vec![Literal::Int(1), Literal::Str("a'b".into()), Literal::Null],
+                    vec![Literal::Int(-2), Literal::Str("x".into()), Literal::Float(3.5)],
+                ]
+            }
+        );
+    }
+
+    #[test]
+    fn insert_syntax_errors() {
+        assert!(parse("INSERT t VALUES (1)").is_err());
+        assert!(parse("INSERT INTO t VALUES 1").is_err());
+        assert!(parse("INSERT INTO t VALUES (1").is_err());
+        assert!(parse("INSERT INTO t VALUES ()").is_err());
+        assert!(parse("DROP TABLE t").is_err());
+        assert!(parse("INSERT INTO t VALUES ('oops").is_err());
+    }
+
+    #[test]
+    fn coercion_rules() {
+        let not_null = ColumnDef::new("id", TypeId::Integer);
+        let nullable = ColumnDef::nullable("name", TypeId::Varchar);
+        assert_eq!(coerce(&Literal::Int(7), &not_null), Ok(Value::Integer(7)));
+        assert_eq!(coerce(&Literal::Null, &nullable), Ok(Value::Null));
+        assert_eq!(coerce(&Literal::Null, &not_null).unwrap_err().0, "23502");
+        assert_eq!(coerce(&Literal::Int(1 << 40), &not_null).unwrap_err().0, "22003");
+        assert_eq!(coerce(&Literal::Str("x".into()), &not_null).unwrap_err().0, "42804");
+        assert_eq!(coerce(&Literal::Str("x".into()), &nullable), Ok(Value::Varchar(b"x".to_vec())));
+    }
+}

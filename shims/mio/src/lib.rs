@@ -1,0 +1,528 @@
+//! Offline stand-in for the `mio` crate, backed by `poll(2)`.
+//!
+//! Provides the subset `mainline-server` uses: a [`Poll`]/[`Registry`] pair
+//! for readiness notification, [`Events`]/[`Event`] iteration, [`Token`] and
+//! [`Interest`] markers, a [`Waker`] for cross-thread wakeups, and
+//! non-blocking [`net::TcpListener`]/[`net::TcpStream`] wrappers. Unlike the
+//! real crate there is no epoll/kqueue backend: every `poll()` call snapshots
+//! the registered fd set into a `pollfd` array and calls `poll(2)` directly
+//! (declared via `extern "C"` — the workspace links no libc crate; the same
+//! idiom `crates/storage` uses for `madvise`). Readiness is therefore
+//! level-triggered, which is what the server's drive loop assumes.
+//!
+//! Unix-only, like the rest of the workspace's raw-memory layer.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Associates a registered source with the events it produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Readiness interest: readable, writable, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Interest in read readiness.
+    pub const READABLE: Interest = Interest(1);
+    /// Interest in write readiness.
+    pub const WRITABLE: Interest = Interest(2);
+
+    /// Combine two interests (the real crate's method name).
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Does this interest include readable?
+    pub fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Does this interest include writable?
+    pub fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+/// A single readiness event delivered by [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    error: bool,
+}
+
+impl Event {
+    /// The token the source was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Read readiness (includes peer hangup, like mio).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// Write readiness.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// Error condition on the fd.
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+}
+
+/// A reusable buffer of events filled by [`Poll::poll`].
+#[derive(Debug, Default)]
+pub struct Events {
+    inner: Vec<Event>,
+}
+
+impl Events {
+    /// Allocate an event buffer (capacity is advisory in this shim).
+    pub fn with_capacity(cap: usize) -> Events {
+        Events { inner: Vec::with_capacity(cap) }
+    }
+
+    /// Iterate the events from the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// True if the last poll returned no events (i.e. timed out).
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Drop all buffered events.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+/// Anything with a raw fd that can be registered with a [`Registry`].
+pub trait Source {
+    /// The underlying file descriptor.
+    fn raw_fd(&self) -> RawFd;
+}
+
+struct RegistryInner {
+    /// fd → (token, interest) for plain sources.
+    fds: HashMap<RawFd, (Token, Interest)>,
+    /// fd → (token, read half) for wakers. The registry owns the read half
+    /// and drains it whenever the fd fires, so a waker never busy-loops a
+    /// level-triggered poll.
+    wakers: HashMap<RawFd, (Token, UnixStream)>,
+}
+
+/// Handle for registering event sources; cloneable and shareable across
+/// threads (the real crate's `Registry::try_clone` contract).
+#[derive(Clone)]
+pub struct Registry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl Registry {
+    /// Register `source` for `interest`, replacing any previous registration
+    /// of the same fd.
+    pub fn register<S: Source + ?Sized>(
+        &self,
+        source: &S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        g.fds.insert(source.raw_fd(), (token, interest));
+        Ok(())
+    }
+
+    /// Change the token/interest of an already registered source.
+    pub fn reregister<S: Source + ?Sized>(
+        &self,
+        source: &S,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.register(source, token, interest)
+    }
+
+    /// Remove a source; its fd produces no further events.
+    pub fn deregister<S: Source + ?Sized>(&self, source: &S) -> io::Result<()> {
+        self.inner.lock().unwrap().fds.remove(&source.raw_fd());
+        Ok(())
+    }
+
+    fn register_waker(&self, rx: UnixStream, token: Token) {
+        let mut g = self.inner.lock().unwrap();
+        g.wakers.insert(rx.as_raw_fd(), (token, rx));
+    }
+}
+
+/// The poller: owns nothing but a registry handle; each `poll()` snapshots
+/// the registered set and calls `poll(2)`.
+pub struct Poll {
+    registry: Registry,
+}
+
+impl Poll {
+    /// Create a poller with an empty registry.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            registry: Registry {
+                inner: Arc::new(Mutex::new(RegistryInner {
+                    fds: HashMap::new(),
+                    wakers: HashMap::new(),
+                })),
+            },
+        })
+    }
+
+    /// The registration handle (clone it to share with other threads).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Wait for readiness on the registered sources, filling `events`.
+    /// `None` blocks indefinitely. Waker fds are drained before delivery;
+    /// `EINTR` surfaces as an empty event set.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let mut pollfds: Vec<PollFd> = Vec::new();
+        let mut tokens: Vec<(Token, bool)> = Vec::new(); // (token, is_waker)
+        {
+            let g = self.registry.inner.lock().unwrap();
+            for (&fd, &(token, interest)) in &g.fds {
+                let mut ev = 0i16;
+                if interest.is_readable() {
+                    ev |= POLLIN;
+                }
+                if interest.is_writable() {
+                    ev |= POLLOUT;
+                }
+                pollfds.push(PollFd { fd, events: ev, revents: 0 });
+                tokens.push((token, false));
+            }
+            for (&fd, &(token, _)) in &g.wakers {
+                pollfds.push(PollFd { fd, events: POLLIN, revents: 0 });
+                tokens.push((token, true));
+            }
+        }
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+        };
+        let rc = unsafe { poll(pollfds.as_mut_ptr(), pollfds.len() as NfdsT, timeout_ms) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        for (pfd, &(token, is_waker)) in pollfds.iter().zip(&tokens) {
+            if pfd.revents == 0 {
+                continue;
+            }
+            if is_waker {
+                // Drain the pipe so the wakeup is edge-like.
+                let g = self.registry.inner.lock().unwrap();
+                if let Some((_, rx)) = g.wakers.get(&pfd.fd) {
+                    let mut buf = [0u8; 64];
+                    while matches!((&*rx).read(&mut buf), Ok(n) if n > 0) {}
+                }
+                events.inner.push(Event { token, readable: true, writable: false, error: false });
+                continue;
+            }
+            let error = pfd.revents & (POLLERR | POLLNVAL) != 0;
+            // POLLHUP means the peer went away: surface as readable so the
+            // owner's read path observes EOF (mio's epoll mapping does the
+            // same).
+            let readable = pfd.revents & (POLLIN | POLLHUP) != 0 || error;
+            let writable = pfd.revents & POLLOUT != 0;
+            events.inner.push(Event { token, readable, writable, error });
+        }
+        Ok(())
+    }
+}
+
+/// Wakes a [`Poll`] blocked in `poll()` from another thread (self-pipe).
+pub struct Waker {
+    tx: UnixStream,
+}
+
+impl Waker {
+    /// Create a waker that delivers `token` to `registry`'s poller.
+    pub fn new(registry: &Registry, token: Token) -> io::Result<Waker> {
+        let (tx, rx) = UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        registry.register_waker(rx, token);
+        Ok(Waker { tx })
+    }
+
+    /// Wake the poller. A full pipe already guarantees a pending wakeup, so
+    /// `WouldBlock` is success.
+    pub fn wake(&self) -> io::Result<()> {
+        match (&self.tx).write(&[1]) {
+            Ok(_) => Ok(()),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Non-blocking TCP types mirroring `mio::net`.
+pub mod net {
+    use super::Source;
+    use std::io::{self, Read, Write};
+    use std::net::{Shutdown, SocketAddr};
+    use std::os::fd::{AsRawFd, RawFd};
+
+    /// A non-blocking TCP listener.
+    pub struct TcpListener {
+        inner: std::net::TcpListener,
+    }
+
+    impl TcpListener {
+        /// Bind and switch to non-blocking mode.
+        pub fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+            let inner = std::net::TcpListener::bind(addr)?;
+            inner.set_nonblocking(true)?;
+            Ok(TcpListener { inner })
+        }
+
+        /// Accept one connection; `WouldBlock` when the backlog is empty.
+        /// The returned stream is already non-blocking.
+        pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let (s, addr) = self.inner.accept()?;
+            s.set_nonblocking(true)?;
+            Ok((TcpStream { inner: s }, addr))
+        }
+
+        /// The bound local address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+    }
+
+    impl Source for TcpListener {
+        fn raw_fd(&self) -> RawFd {
+            self.inner.as_raw_fd()
+        }
+    }
+
+    /// A non-blocking TCP stream.
+    pub struct TcpStream {
+        inner: std::net::TcpStream,
+    }
+
+    impl TcpStream {
+        /// Wrap an already-connected std stream, switching it non-blocking.
+        pub fn from_std(inner: std::net::TcpStream) -> io::Result<TcpStream> {
+            inner.set_nonblocking(true)?;
+            Ok(TcpStream { inner })
+        }
+
+        /// The remote peer's address.
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+
+        /// Toggle `TCP_NODELAY` (real mio exposes this too). Request/response
+        /// servers want it on: replies are written as several small chunks,
+        /// and Nagle + delayed ACK would otherwise add ~40 ms per exchange.
+        pub fn set_nodelay(&self, nodelay: bool) -> io::Result<()> {
+            self.inner.set_nodelay(nodelay)
+        }
+
+        /// Shut down one or both halves.
+        pub fn shutdown(&self, how: Shutdown) -> io::Result<()> {
+            self.inner.shutdown(how)
+        }
+    }
+
+    impl Source for TcpStream {
+        fn raw_fd(&self) -> RawFd {
+            self.inner.as_raw_fd()
+        }
+    }
+
+    impl Read for TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            (&self.inner).read(buf)
+        }
+    }
+
+    impl Write for TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            (&self.inner).write(buf)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            (&self.inner).flush()
+        }
+    }
+}
+
+// poll(2), declared directly — the workspace links no libc crate.
+#[repr(C)]
+struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+#[cfg(target_os = "linux")]
+type NfdsT = std::os::raw::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type NfdsT = std::os::raw::c_uint;
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: std::os::raw::c_int) -> std::os::raw::c_int;
+}
+
+// The server shares wakers and registries across threads; assert it here so
+// a regression fails in this crate, not at a distant use site.
+#[allow(unused)]
+fn _assert_send_sync() {
+    fn check<T: Send + Sync>() {}
+    check::<Waker>();
+    check::<Registry>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn pair() -> (net::TcpStream, net::TcpStream) {
+        let listener =
+            std::net::TcpListener::bind("127.0.0.1:0".parse::<std::net::SocketAddr>().unwrap())
+                .unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::net::TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (net::TcpStream::from_std(client).unwrap(), net::TcpStream::from_std(server).unwrap())
+    }
+
+    #[test]
+    fn timeout_returns_empty() {
+        let mut poll = Poll::new().unwrap();
+        let mut events = Events::with_capacity(4);
+        let start = Instant::now();
+        poll.poll(&mut events, Some(Duration::from_millis(30))).unwrap();
+        assert!(events.is_empty());
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn readable_after_peer_write() {
+        let (mut a, mut b) = pair();
+        let mut poll = Poll::new().unwrap();
+        poll.registry().register(&b, Token(7), Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(4);
+        // Nothing to read yet.
+        poll.poll(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty());
+        a.write_all(b"ping").unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        let ev = events.iter().next().expect("readable event");
+        assert_eq!(ev.token(), Token(7));
+        assert!(ev.is_readable());
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 4);
+    }
+
+    #[test]
+    fn writable_when_buffer_has_room() {
+        let (a, _b) = pair();
+        let mut poll = Poll::new().unwrap();
+        poll.registry().register(&a, Token(3), Interest::WRITABLE).unwrap();
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        let ev = events.iter().next().expect("writable event");
+        assert_eq!(ev.token(), Token(3));
+        assert!(ev.is_writable());
+    }
+
+    #[test]
+    fn deregister_silences_source() {
+        let (mut a, b) = pair();
+        let mut poll = Poll::new().unwrap();
+        poll.registry().register(&b, Token(1), Interest::READABLE).unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        assert!(!events.is_empty());
+        poll.registry().deregister(&b).unwrap();
+        poll.poll(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn waker_wakes_blocked_poll_and_drains() {
+        let mut poll = Poll::new().unwrap();
+        let waker = Arc::new(Waker::new(poll.registry(), Token(0)).unwrap());
+        let w2 = Arc::clone(&waker);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            w2.wake().unwrap();
+        });
+        let mut events = Events::with_capacity(4);
+        let start = Instant::now();
+        poll.poll(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5));
+        let ev = events.iter().next().expect("waker event");
+        assert_eq!(ev.token(), Token(0));
+        // The pipe was drained: the next poll times out instead of spinning.
+        poll.poll(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty());
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn hangup_reports_readable() {
+        let (a, b) = pair();
+        let mut poll = Poll::new().unwrap();
+        poll.registry().register(&b, Token(9), Interest::READABLE).unwrap();
+        drop(a);
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_millis(1000))).unwrap();
+        let ev = events.iter().next().expect("hup event");
+        assert!(ev.is_readable());
+    }
+}

@@ -56,6 +56,7 @@
 //! | [`transform`] | hot→cold block transformation |
 //! | [`export`] | the four export protocols |
 //! | [`db`] | catalog + assembled database |
+//! | [`server`] | network frontend: PG wire + Flight-style IPC over TCP |
 //! | [`workloads`] | TPC-C, TPC-H LINEITEM, row-vs-column drivers |
 
 pub use mainline_arrowlite as arrowlite;
@@ -65,6 +66,7 @@ pub use mainline_db as db;
 pub use mainline_export as export;
 pub use mainline_gc as gc;
 pub use mainline_index as index;
+pub use mainline_server as server;
 pub use mainline_storage as storage;
 pub use mainline_transform as transform;
 pub use mainline_txn as txn;

@@ -34,10 +34,27 @@ fn tpcc_with_transformation_and_concurrent_export() {
         handles.push(std::thread::spawn(move || {
             let mut rng = Xoshiro256::seed_from_u64(w as u64);
             let mut stats = TpccStats::default();
+            // Same capture discipline as the oversubscription test below
+            // (ROADMAP flaky-watch item): if run_one ever panics while the
+            // exporter races it, the message must reach the assertion below
+            // instead of dying in this worker's stderr.
+            let mut panic_msg = None;
             while !stop.load(Ordering::Relaxed) {
-                tpcc.run_one(&db, &mut rng, w, &mut stats);
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    tpcc.run_one(&db, &mut rng, w, &mut stats);
+                }));
+                if let Err(payload) = attempt {
+                    panic_msg = Some(
+                        payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "non-string panic payload".to_string()),
+                    );
+                    break;
+                }
             }
-            stats.total()
+            (stats.total(), panic_msg)
         }));
     }
     // Concurrent exporter hammering the cold tables.
@@ -61,10 +78,20 @@ fn tpcc_with_transformation_and_concurrent_export() {
     std::thread::sleep(Duration::from_secs(4));
     stop.store(true, Ordering::Relaxed);
     let mut committed = 0;
+    let mut panics = Vec::new();
     for h in handles {
-        committed += h.join().unwrap();
+        let (c, panic) = h.join().unwrap();
+        committed += c;
+        if let Some(msg) = panic {
+            panics.push(msg);
+        }
     }
     let exports = export_count.join().unwrap();
+    assert!(
+        panics.is_empty(),
+        "tpcc.run_one panicked alongside the concurrent exporter \
+         (ROADMAP watch item — captured message(s)): {panics:#?}"
+    );
     assert!(committed > 500, "committed {committed}");
     assert!(exports > 10, "exports {exports}");
 

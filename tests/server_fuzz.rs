@@ -1,0 +1,216 @@
+//! Fuzzing the request-frame parsers and the live server with hostile byte
+//! streams (ISSUE 7, satellite 3). Two layers:
+//!
+//! * **Pure parsers** (`mainline::server::proto`) under arbitrary garbage:
+//!   never panic, never claim to consume more than was offered, and never
+//!   call a strict prefix of a valid frame malformed (truncation must read
+//!   as `Incomplete`, or the server would kill slow-but-honest clients).
+//! * **A live server** fed truncated/oversized/garbage streams over real
+//!   sockets: every connection ends in a clean protocol error or EOF within
+//!   the read timeout — no hang, no panic — and the server keeps serving
+//!   well-formed clients throughout.
+
+use mainline::common::schema::{ColumnDef, Schema};
+use mainline::common::value::TypeId;
+use mainline::db::{Database, DbConfig};
+use mainline::server::client::PgClient;
+use mainline::server::proto::{self, Parsed};
+use mainline::server::{DatabaseServe, ServerConfig};
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+// ------------------------------------------------------------ pure parsers
+
+fn assert_sane<T>(parsed: &Parsed<T>, len: usize) {
+    if let Parsed::Complete { consumed, .. } = parsed {
+        assert!(*consumed > 0 && *consumed <= len, "consumed {consumed} of {len}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+    #[test]
+    fn parsers_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        assert_sane(&proto::parse_pg_startup(&bytes), bytes.len());
+        assert_sane(&proto::parse_pg_message(&bytes), bytes.len());
+        assert_sane(&proto::parse_flight_handshake(&bytes), bytes.len());
+        assert_sane(&proto::parse_flight_request(&bytes), bytes.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    #[test]
+    fn truncated_valid_frames_read_as_incomplete(
+        sql in proptest::collection::vec(97u8..123, 1..40),
+        cut in 0usize..64,
+    ) {
+        // A valid Query frame for arbitrary lowercase "SQL".
+        let mut q = vec![b'Q'];
+        q.extend_from_slice(&((4 + sql.len() + 1) as u32).to_be_bytes());
+        q.extend_from_slice(&sql);
+        q.push(0);
+        let cut = cut.min(q.len() - 1);
+        match proto::parse_pg_message(&q[..cut]) {
+            Parsed::Incomplete => {}
+            other => panic!("prefix of a valid frame must be Incomplete, got {other:?}"),
+        }
+        // Same for a DoGet frame (table name = the same ASCII run).
+        let table = std::str::from_utf8(&sql).unwrap();
+        let frame = proto::flight_do_get(table);
+        let cut = cut.min(frame.len() - 1);
+        match proto::parse_flight_request(&frame[..cut]) {
+            Parsed::Incomplete => {}
+            other => panic!("prefix of a valid DoGet must be Incomplete, got {other:?}"),
+        }
+    }
+}
+
+// ------------------------------------------------------------- live server
+
+/// One shared server for the whole fuzz battery; never shut down (the test
+/// process exits with it still listening, which is fine for a test binary).
+fn fuzz_server() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let db = Database::open(DbConfig::default()).unwrap();
+        db.create_table(
+            "t",
+            Schema::new(vec![
+                ColumnDef::new("id", TypeId::BigInt),
+                ColumnDef::nullable("name", TypeId::Varchar),
+            ]),
+            vec![],
+            false,
+        )
+        .unwrap();
+        let server = db.serve(ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        std::mem::forget(server);
+        std::mem::forget(db);
+        addr
+    })
+}
+
+/// Write `bytes`, half-close, and drain the server's answer. The invariant
+/// under fuzz is liveness + bounded output: EOF (or a peer reset) arrives
+/// before the read timeout, never a hang, never an unbounded reply.
+fn poke(addr: SocketAddr, bytes: &[u8]) -> Vec<u8> {
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // The server may already have answered-and-closed mid-write (e.g. an
+    // oversized length prefix): a write error then is not a failure.
+    let _ = s.write_all(bytes);
+    let _ = s.shutdown(Shutdown::Write);
+    let mut reply = Vec::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        match s.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                reply.extend_from_slice(&buf[..n]);
+                assert!(reply.len() < (1 << 20), "unbounded reply to a garbage stream");
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::BrokenPipe
+                ) =>
+            {
+                break;
+            }
+            Err(e) => panic!("server hung or errored on a fuzzed stream: {e:?}"),
+        }
+    }
+    reply
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn garbage_streams_end_cleanly_and_server_stays_up(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let addr = fuzz_server();
+        poke(addr, &bytes);
+        // The server survived: a well-formed client still gets service.
+        let mut pg = PgClient::connect(addr).unwrap();
+        pg.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let out = pg.query("SELECT * FROM t").unwrap();
+        assert_eq!(out.error, None);
+        let _ = pg.terminate();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn truncated_valid_traffic_ends_cleanly(cut in 0usize..39) {
+        // startup(9) + Query "SELECT * FROM t"(21) + Terminate(5), cut
+        // anywhere: the server must answer what completed and EOF cleanly.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&9u32.to_be_bytes());
+        stream.extend_from_slice(&196608u32.to_be_bytes());
+        stream.push(0);
+        let sql = "SELECT * FROM t";
+        stream.push(b'Q');
+        stream.extend_from_slice(&((4 + sql.len() + 1) as u32).to_be_bytes());
+        stream.extend_from_slice(sql.as_bytes());
+        stream.push(0);
+        stream.push(b'X');
+        stream.extend_from_slice(&4u32.to_be_bytes());
+        let cut = cut.min(stream.len());
+        let reply = poke(fuzz_server(), &stream[..cut]);
+        if cut >= stream.len() - 5 {
+            // The whole query made it: full startup reply + a result set.
+            assert_eq!(&reply[..15], b"R\x00\x00\x00\x08\x00\x00\x00\x00Z\x00\x00\x00\x05I");
+            assert_eq!(reply[15], b'T');
+        } else if cut >= 9 {
+            // Startup completed, query truncated: exactly the startup reply.
+            assert_eq!(reply, b"R\x00\x00\x00\x08\x00\x00\x00\x00Z\x00\x00\x00\x05I");
+        } else {
+            // Startup itself truncated: nothing owed.
+            assert_eq!(reply, b"");
+        }
+    }
+}
+
+// ----------------------------------------------- deterministic worst cases
+
+#[test]
+fn oversized_pg_length_is_a_clean_protocol_error() {
+    let mut msg = Vec::new();
+    msg.extend_from_slice(&(((16 << 20) + 1) as u32).to_be_bytes());
+    msg.extend_from_slice(&196608u32.to_be_bytes());
+    let reply = poke(fuzz_server(), &msg);
+    assert_eq!(reply[0], b'E', "oversized startup must get an ErrorResponse");
+    let text = String::from_utf8_lossy(&reply);
+    assert!(text.contains("08P01"), "missing protocol-violation SQLSTATE: {text}");
+}
+
+#[test]
+fn oversized_flight_length_is_a_clean_error_frame() {
+    let mut msg = b"MLFL\x01\x00".to_vec();
+    msg.extend_from_slice(&(((16 << 20) + 1) as u32).to_le_bytes());
+    let reply = poke(fuzz_server(), &msg);
+    // Handshake echo, then an error frame, then EOF.
+    assert_eq!(&reply[..6], b"MLFL\x01\x00");
+    assert_eq!(reply[10], 2, "kind must be the error frame");
+}
+
+#[test]
+fn zero_length_pg_message_cannot_wedge_the_parser() {
+    // len=0 would consume nothing forever if the parser accepted it.
+    let mut msg = Vec::new();
+    msg.extend_from_slice(&9u32.to_be_bytes());
+    msg.extend_from_slice(&196608u32.to_be_bytes());
+    msg.push(0);
+    msg.push(b'Q');
+    msg.extend_from_slice(&0u32.to_be_bytes());
+    let reply = poke(fuzz_server(), &msg);
+    let text = String::from_utf8_lossy(&reply);
+    assert!(text.contains("08P01"), "len=0 message must be a protocol error: {text}");
+}
