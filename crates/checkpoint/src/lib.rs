@@ -66,13 +66,28 @@
 //! publish sequence is crash-injectable via [`mainline_common::failpoint`];
 //! the root-level `crash_matrix` test battery iterates a simulated crash
 //! across all of them.
+//!
+//! ## Chain compaction
+//!
+//! Incremental references keep whole generation directories alive for their
+//! last referenced frame, so a churning database would leak mostly-dead
+//! generations forever. The [`compact`] module is the size-tiered copying
+//! GC that bounds the chain: it buckets generations by live-byte ratio and
+//! size, rewrites survivors into a fresh generation, republishes the
+//! manifest atomically, retargets evicted blocks' recorded locations, and
+//! only then prunes — same failpoint discipline, same crash battery.
 
 #![warn(missing_docs)]
 
+pub mod compact;
 pub mod manifest;
 pub mod restore;
 pub mod writer;
 
+pub use compact::{
+    chain_generations, compact_chain, plan_victims, CompactionPolicy, CompactionStats,
+    GenerationInfo,
+};
 pub use manifest::{FrameRef, IndexManifest, Manifest, SegmentEntry, SegmentKind, TableManifest};
 pub use restore::{
     fault_in_block, load_into, populate_frozen_block, read_cold_frames, read_manifest, ColdFrame,

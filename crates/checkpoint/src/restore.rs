@@ -496,42 +496,63 @@ pub fn fault_in_block(root: &Path, table: &DataTable, block: &Block) -> Result<b
         return Ok(false);
     }
     let rebuild = (|| -> Result<()> {
-        let loc = block
+        // The chain compactor may rewrite this frame concurrently: it
+        // retargets the block's recorded location strictly *before* pruning
+        // the old generation, so a read that loses the race (ENOENT, or a
+        // mismatched frame behind a reused path) re-reads the location and
+        // retries against the fresh copy. A failure with an *unchanged*
+        // location is real corruption and propagates.
+        let mut loc = block
             .cold_location()
             .ok_or_else(|| Error::Corrupt("evicted block has no cold location".into()))?;
-        if loc.stamp == 0 || loc.stamp != block.freeze_stamp() {
-            return Err(Error::Corrupt(format!(
-                "evicted block location stamp {} != live stamp {}",
-                loc.stamp,
-                block.freeze_stamp()
-            )));
+        loop {
+            if loc.stamp == 0 || loc.stamp != block.freeze_stamp() {
+                return Err(Error::Corrupt(format!(
+                    "evicted block location stamp {} != live stamp {}",
+                    loc.stamp,
+                    block.freeze_stamp()
+                )));
+            }
+            let attempt = (|| -> Result<()> {
+                let frames = read_cold_frames(&root.join(&loc.dir).join(&loc.file))?;
+                let frame = frames.get(loc.index as usize).ok_or_else(|| {
+                    Error::Corrupt(format!(
+                        "cold location references frame {} of {}/{}, which has only {}",
+                        loc.index,
+                        loc.dir,
+                        loc.file,
+                        frames.len()
+                    ))
+                })?;
+                let expected_n = h.insert_head().min(table.layout().num_slots());
+                if frame.table_id != table.id()
+                    || frame.freeze_stamp != loc.stamp
+                    || frame.n != expected_n
+                {
+                    return Err(Error::Corrupt(format!(
+                        "cold frame identity (table {}, stamp {}, n {}) does not match evicted \
+                         block (table {}, stamp {}, n {expected_n})",
+                        frame.table_id,
+                        frame.freeze_stamp,
+                        frame.n,
+                        table.id(),
+                        loc.stamp
+                    )));
+                }
+                let batch = ipc::decode_batch(&frame.payload)?;
+                populate_frozen_block(table, frame, &batch, block)?;
+                Ok(())
+            })();
+            match attempt {
+                Ok(()) => return Ok(()),
+                Err(e) => match block.cold_location() {
+                    // Moved under us — compaction retargeted it; retry there.
+                    Some(fresh) if fresh != loc => loc = fresh,
+                    // Nothing moved — the failure is genuine.
+                    _ => return Err(e),
+                },
+            }
         }
-        let frames = read_cold_frames(&root.join(&loc.dir).join(&loc.file))?;
-        let frame = frames.get(loc.index as usize).ok_or_else(|| {
-            Error::Corrupt(format!(
-                "cold location references frame {} of {}/{}, which has only {}",
-                loc.index,
-                loc.dir,
-                loc.file,
-                frames.len()
-            ))
-        })?;
-        let expected_n = h.insert_head().min(table.layout().num_slots());
-        if frame.table_id != table.id() || frame.freeze_stamp != loc.stamp || frame.n != expected_n
-        {
-            return Err(Error::Corrupt(format!(
-                "cold frame identity (table {}, stamp {}, n {}) does not match evicted block \
-                 (table {}, stamp {}, n {expected_n})",
-                frame.table_id,
-                frame.freeze_stamp,
-                frame.n,
-                table.id(),
-                loc.stamp
-            )));
-        }
-        let batch = ipc::decode_batch(&frame.payload)?;
-        populate_frozen_block(table, frame, &batch, block)?;
-        Ok(())
     })();
     match rebuild {
         Ok(()) => {

@@ -308,7 +308,7 @@ pub fn write_checkpoint_anchored(
     // incremental chain — and the new checkpoint itself; prune the rest.
     let mut keep = manifest.referenced_dirs();
     keep.insert(dir_name);
-    prune_old(root, &keep);
+    prune_old(root, &keep, "ckpt.prune.remove");
 
     stats.duration_secs = t0.elapsed().as_secs_f64();
     Ok(stats)
@@ -507,7 +507,7 @@ fn walk_tables(
 /// Fsync a directory so the renames inside it are durable. Best-effort:
 /// opening a directory for sync is POSIX behavior; on platforms where it
 /// fails the renames are still atomic, just not crash-ordered.
-fn fsync_dir(dir: &Path) {
+pub(crate) fn fsync_dir(dir: &Path) {
     if let Ok(f) = std::fs::File::open(dir) {
         let _ = f.sync_all();
     }
@@ -517,13 +517,14 @@ fn fsync_dir(dir: &Path) {
 /// the just-published manifest no longer references. Failures are ignored:
 /// an orphan directory wastes disk, nothing more, and the next checkpoint
 /// retries. An injected crash aborts the rest of the prune, exactly like a
-/// real one.
-fn prune_old(root: &Path, keep: &BTreeSet<String>) {
+/// real one. `label` is the failpoint checked per removal — the checkpoint
+/// writer and the chain compactor share the walk but crash independently.
+pub(crate) fn prune_old(root: &Path, keep: &BTreeSet<String>, label: &str) {
     let Ok(entries) = std::fs::read_dir(root) else { return };
     for e in entries.flatten() {
         let name = e.file_name().to_string_lossy().into_owned();
         if name.starts_with("ckpt-") && !keep.contains(&name) {
-            if failpoint::check("ckpt.prune.remove").is_err() {
+            if failpoint::check(label).is_err() {
                 return;
             }
             let _ = std::fs::remove_dir_all(e.path());

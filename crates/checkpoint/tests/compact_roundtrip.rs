@@ -1,0 +1,296 @@
+//! Chain compaction at the crate level (no `mainline-db`): a mostly-dead
+//! generation is rewritten into a fresh one, the manifest is republished
+//! with retargeted frame references, evicted blocks' recorded locations
+//! follow the move, the superseded generation is pruned — and everything
+//! still restores row-for-row with byte-identical Arrow.
+
+use mainline_checkpoint::{
+    chain_generations, compact_chain, fault_in_block, load_into, read_manifest, write_checkpoint,
+    CompactionPolicy, TableCheckpointSpec,
+};
+use mainline_common::schema::{ColumnDef, Schema};
+use mainline_common::value::{TypeId, Value};
+use mainline_storage::block_state::{BlockState, BlockStateMachine};
+use mainline_storage::{evict_block, ProjectedRow};
+use mainline_txn::{DataTable, TransactionManager};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("id", TypeId::BigInt),
+        ColumnDef::nullable("name", TypeId::Varchar),
+        ColumnDef::new("score", TypeId::Double),
+    ])
+}
+
+fn row(i: i64) -> ProjectedRow {
+    ProjectedRow::from_values(
+        &[TypeId::BigInt, TypeId::Varchar, TypeId::Double],
+        &[
+            Value::BigInt(i),
+            if i % 5 == 0 { Value::Null } else { Value::string(&format!("row-payload-{i:07}")) },
+            Value::Double(i as f64 / 3.0),
+        ],
+    )
+}
+
+fn freeze_block(m: &Arc<TransactionManager>, t: &Arc<DataTable>, idx: usize) {
+    let mut gc = mainline_gc::GarbageCollector::new(Arc::clone(m));
+    gc.run();
+    gc.run();
+    let block = t.blocks()[idx].clone();
+    let h = block.header();
+    assert!(BlockStateMachine::begin_cooling(h));
+    assert!(BlockStateMachine::begin_freezing(h));
+    unsafe {
+        let d = mainline_transform::gather::gather_block(&block);
+        block.stamp_freeze();
+        BlockStateMachine::finish_freezing(h);
+        d.free();
+    }
+}
+
+fn relation(m: &TransactionManager, t: &Arc<DataTable>) -> Vec<Vec<Value>> {
+    let txn = m.begin();
+    let mut rows = Vec::new();
+    let cols = t.all_cols();
+    t.scan(&txn, &cols, |_, r| {
+        rows.push(t.row_to_values(r));
+        true
+    });
+    m.commit(&txn);
+    rows.sort_by_key(|r| r[0].as_i64().unwrap());
+    rows
+}
+
+fn tmp_root(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("mainline-compact-rt-{}-{}", std::process::id(), name));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+fn spec(t: &Arc<DataTable>) -> TableCheckpointSpec {
+    TableCheckpointSpec {
+        name: "t".into(),
+        transform: false,
+        indexes: vec![],
+        table: Arc::clone(t),
+    }
+}
+
+fn ckpt_dirs(root: &std::path::Path) -> Vec<String> {
+    let mut v: Vec<String> = std::fs::read_dir(root)
+        .unwrap()
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("ckpt-"))
+        .collect();
+    v.sort();
+    v
+}
+
+/// The full tentpole path: build a chain whose first generation is mostly
+/// dead (one superseded frame, one live frame an *evicted* block points at),
+/// compact, and prove rewrite + republish + retarget + prune + fault-in.
+#[test]
+fn compaction_rewrites_retargets_prunes_and_faults_back() {
+    let m = Arc::new(TransactionManager::new());
+    let t = DataTable::new(1, schema()).unwrap();
+    let per_block = t.layout().num_slots() as i64;
+    let txn = m.begin();
+    let mut slots = Vec::new();
+    for i in 0..2 * per_block + 150 {
+        slots.push(t.insert(&txn, &row(i)));
+    }
+    m.commit(&txn);
+    freeze_block(&m, &t, 0);
+    freeze_block(&m, &t, 1);
+
+    let root = tmp_root("tentpole");
+    // Generation A: both frozen frames + the hot delta.
+    let first = write_checkpoint(&m, &[spec(&t)], &root).unwrap();
+    assert_eq!(first.frozen_blocks, 2);
+    let gen_a = first.dir.file_name().unwrap().to_string_lossy().into_owned();
+
+    // Thaw block 0 (in-place update), refreeze — new stamp — and checkpoint:
+    // generation B captures block 0's new frame and *references* block 1's
+    // frame in A. A is now mostly dead (superseded frame, old MANIFEST, old
+    // delta) but must survive pruning for that one live frame.
+    let txn = m.begin();
+    let mut delta = ProjectedRow::new();
+    delta.push_fixed(3, &Value::Double(424.2));
+    t.update(&txn, slots[0], &delta).unwrap();
+    m.commit(&txn);
+    freeze_block(&m, &t, 0);
+    let second = write_checkpoint(&m, &[spec(&t)], &root).unwrap();
+    assert_eq!((second.frozen_blocks, second.frozen_blocks_reused), (1, 1));
+    assert!(root.join(&gen_a).is_dir());
+
+    // Evict block 1: its recorded location points into generation A. (The
+    // expected relation is captured first — this crate-level world has no
+    // fault handler, so a scan must not meet an evicted block.)
+    let expected = relation(&m, &t);
+    let block1 = t.blocks()[1].clone();
+    let loc = block1.cold_location().expect("checkpoint must record a cold location");
+    assert_eq!(loc.dir, gen_a);
+    let stamp = block1.freeze_stamp();
+    drop(evict_block(&block1).expect("checkpointed quiescent frozen block is evictable"));
+    assert_eq!(BlockStateMachine::state(block1.header()), BlockState::Evicted);
+    let gens = chain_generations(&root).unwrap();
+    assert_eq!(gens.len(), 2);
+    let a = gens.iter().find(|g| g.dir == gen_a).unwrap();
+    assert!(!a.current);
+    assert_eq!(a.live_frames, 1, "only block 1's frame is still live in A");
+    assert!(a.dead_ratio() > 0.3, "A must be mostly dead: {a:?}");
+
+    // Compact. A is the only candidate and crosses the ratio trigger.
+    let policy = CompactionPolicy { min_dead_ratio: 0.1, tier_merge_count: 99, max_batch: 8 };
+    let tables = vec![Arc::clone(&t)];
+    let stats = compact_chain(&root, &policy, &tables).unwrap();
+    assert_eq!(stats.generations_compacted, 1, "{stats:?}");
+    assert_eq!(stats.frames_rewritten, 1);
+    assert!(stats.bytes_rewritten > 0);
+    assert!(stats.bytes_reclaimed > 0, "dropping A's dead weight must reclaim bytes");
+    let gc_dir = stats.dir.clone().unwrap();
+    let gc_name = gc_dir.file_name().unwrap().to_string_lossy().into_owned();
+
+    // Prune invariant: A is gone, the fresh generation and CURRENT remain,
+    // and the republished manifest references only what exists.
+    assert!(!root.join(&gen_a).exists(), "superseded generation must be pruned");
+    assert!(gc_dir.is_dir());
+    let (cur_dir, manifest) = read_manifest(&root).unwrap();
+    assert_eq!(manifest.checkpoint_ts, second.checkpoint_ts, "compaction must not move CURRENT");
+    assert!(manifest.frames.iter().all(|f| f.dir != gen_a));
+    assert_eq!(manifest.frames.iter().filter(|f| f.dir == gc_name).count(), 1);
+    for f in &manifest.frames {
+        assert!(root.join(&f.dir).join(&f.file).is_file(), "dangling frame ref {f:?}");
+    }
+    assert_eq!(ckpt_dirs(&root).len(), 2);
+
+    // Retarget invariant: the evicted block's location followed the move
+    // with its stamp intact, and fault-in rebuilds the identical block.
+    let new_loc = block1.cold_location().unwrap();
+    assert_eq!(new_loc.dir, gc_name);
+    assert_eq!(new_loc.stamp, stamp, "retarget must preserve content identity");
+    assert!(fault_in_block(&root, &t, &block1).unwrap());
+    assert_eq!(BlockStateMachine::state(block1.header()), BlockState::Frozen);
+    assert_eq!(relation(&m, &t), expected);
+
+    // Zero-transformation survives compaction: the faulted block re-exports
+    // bytes identical to the *rewritten* frame.
+    let frames =
+        mainline_checkpoint::read_cold_frames(&root.join(&new_loc.dir).join(&new_loc.file))
+            .unwrap();
+    assert!(BlockStateMachine::reader_acquire(block1.header()));
+    let reexport = mainline_arrowlite::ipc::encode_batch(&unsafe {
+        mainline_export::materialize::frozen_batch(&t, &block1)
+    });
+    BlockStateMachine::reader_release(block1.header());
+    assert_eq!(reexport, frames[new_loc.index as usize].payload);
+
+    // And a cold restore of the compacted chain is row-for-row identical.
+    let m2 = Arc::new(TransactionManager::new());
+    let t2 = DataTable::new(1, schema()).unwrap();
+    let mut tables2 = HashMap::new();
+    tables2.insert(1u32, Arc::clone(&t2));
+    let mut slot_map = HashMap::new();
+    let load = load_into(&root, &cur_dir, &manifest, &m2, &tables2, &mut slot_map).unwrap();
+    assert_eq!(load.frozen_blocks, 2);
+    assert_eq!(relation(&m2, &t2), expected);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The depth bound: several similarly-sized fully-live generations trip the
+/// size-tier trigger and merge into one, and the merged chain still
+/// restores exactly.
+#[test]
+fn tier_trigger_merges_fully_live_generations() {
+    let m = Arc::new(TransactionManager::new());
+    let t = DataTable::new(1, schema()).unwrap();
+    let per_block = t.layout().num_slots() as i64;
+    let root = tmp_root("tier");
+
+    // Three checkpoints, each freezing one more block: each generation holds
+    // one live cold frame (plus references to the earlier ones).
+    for g in 0..3i64 {
+        let txn = m.begin();
+        for i in 0..per_block {
+            t.insert(&txn, &row(g * per_block + i));
+        }
+        m.commit(&txn);
+        freeze_block(&m, &t, g as usize);
+        write_checkpoint(&m, &[spec(&t)], &root).unwrap();
+    }
+    let expected = relation(&m, &t);
+    let before = chain_generations(&root).unwrap();
+    assert_eq!(before.len(), 3);
+    assert!(
+        before.iter().filter(|g| !g.current).all(|g| g.dead_ratio() < 0.9),
+        "generations are mostly live: {before:?}"
+    );
+
+    // Ratio trigger effectively off; the two non-CURRENT single-frame
+    // generations share a size tier and merge.
+    let policy = CompactionPolicy { min_dead_ratio: 1.1, tier_merge_count: 2, max_batch: 8 };
+    let tables = vec![Arc::clone(&t)];
+    let stats = compact_chain(&root, &policy, &tables).unwrap();
+    assert_eq!(stats.generations_compacted, 2, "{stats:?}");
+    assert_eq!(stats.frames_rewritten, 2);
+
+    let after = chain_generations(&root).unwrap();
+    assert_eq!(after.len(), 2, "chain depth must shrink: {after:?}");
+
+    let (cur_dir, manifest) = read_manifest(&root).unwrap();
+    let m2 = Arc::new(TransactionManager::new());
+    let t2 = DataTable::new(1, schema()).unwrap();
+    let mut tables2 = HashMap::new();
+    tables2.insert(1u32, Arc::clone(&t2));
+    let mut slot_map = HashMap::new();
+    let load = load_into(&root, &cur_dir, &manifest, &m2, &tables2, &mut slot_map).unwrap();
+    assert_eq!(load.frozen_blocks, 3);
+    assert_eq!(relation(&m2, &t2), expected);
+
+    // A second pass finds nothing: one merged generation per tier.
+    let again = compact_chain(&root, &policy, &tables).unwrap();
+    assert_eq!(again.generations_compacted, 0, "{again:?}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Below both triggers a pass is a no-op: stats are zeroed and the chain is
+/// untouched on disk.
+#[test]
+fn below_thresholds_compaction_is_a_noop() {
+    let m = Arc::new(TransactionManager::new());
+    let t = DataTable::new(1, schema()).unwrap();
+    let txn = m.begin();
+    for i in 0..200 {
+        t.insert(&txn, &row(i));
+    }
+    m.commit(&txn);
+    let root = tmp_root("noop");
+    write_checkpoint(&m, &[spec(&t)], &root).unwrap();
+    let txn = m.begin();
+    for i in 200..260 {
+        t.insert(&txn, &row(i));
+    }
+    m.commit(&txn);
+    write_checkpoint(&m, &[spec(&t)], &root).unwrap();
+
+    let dirs_before = ckpt_dirs(&root);
+    let policy = CompactionPolicy { min_dead_ratio: 1.1, tier_merge_count: 99, max_batch: 8 };
+    let stats = compact_chain(&root, &policy, &[Arc::clone(&t)]).unwrap();
+    assert_eq!(stats.generations_compacted, 0);
+    assert_eq!(stats.frames_rewritten, 0);
+    assert_eq!(stats.dir, None);
+    assert_eq!(ckpt_dirs(&root), dirs_before, "a no-op pass must not touch the chain");
+
+    // No chain at all is equally a no-op, not an error.
+    let empty = tmp_root("noop-empty");
+    std::fs::create_dir_all(&empty).unwrap();
+    let stats = compact_chain(&empty, &policy, &[]).unwrap();
+    assert_eq!(stats.generations_examined, 0);
+    let _ = std::fs::remove_dir_all(&root);
+    let _ = std::fs::remove_dir_all(&empty);
+}

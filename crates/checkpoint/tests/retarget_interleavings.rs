@@ -1,0 +1,355 @@
+//! Exhaustive interleaving check of the compactor's retarget protocol
+//! against a concurrent fault-in (ISSUE 8) — the chain-compaction companion
+//! to `residency_interleavings.rs` in the storage crate.
+//!
+//! A **compactor** (mirroring the publish tail of `compact_chain`: rewrite
+//! the surviving frame into a fresh generation, retarget the block's
+//! recorded [`ColdLocation`], prune the superseded generation) races a
+//! **faulter** (mirroring `fault_in_block`: claim `Evicted → Faulting`,
+//! read the recorded location, read the frame, on failure re-read the
+//! location and retry if it moved). Each observable operation is one step;
+//! the checker explores every reachable interleaving by depth-first search
+//! over configurations, executing the real [`Block`] location primitives
+//! (`cold_location` / `retarget_cold_location`) and the real
+//! [`BlockStateMachine`] fault transitions serially in the scheduled order.
+//! The chain itself is modeled as two existence bits — the faulter's frame
+//! read succeeds iff the generation its captured location names still
+//! exists — because readability of a generation directory is the only thing
+//! the real filesystem adds to this race.
+//!
+//! The protocol's load-bearing rule is the publish order: **retarget
+//! strictly before prune**. With it, every interleaving ends with the
+//! fault-in succeeding (a reader that loses the race observes a *moved*
+//! location and retries against the fresh copy). A second battery runs the
+//! deliberately misordered compactor (prune before retarget) and shows the
+//! stranded schedule this rule exists to exclude.
+
+use mainline_common::schema::{ColumnDef, Schema};
+use mainline_common::value::TypeId;
+use mainline_storage::block_state::{BlockState, BlockStateMachine};
+use mainline_storage::layout::BlockLayout;
+use mainline_storage::raw_block::{word_state, word_version, Block, VERSION_SHIFT};
+use mainline_storage::ColdLocation;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// The frozen content's identity — shared by the live block, the old frame,
+/// and the rewritten frame (compaction preserves stamps verbatim).
+const STAMP: u64 = 7001;
+
+/// Which generation the block's recorded location names.
+const LOC_OLD: u8 = 0;
+const LOC_NEW: u8 = 1;
+
+/// Faulter program counter (the steps of `fault_in_block`).
+const F_CLAIM: u8 = 0; // begin_fault: CAS Evicted → Faulting
+const F_READLOC: u8 = 1; // capture block.cold_location()
+const F_READ: u8 = 2; // read the frame at the captured location
+const F_RECHECK: u8 = 3; // read failed: did the location move?
+const F_FINISH: u8 = 4; // finish_fault: publish Frozen
+const F_DONE: u8 = 5;
+
+const F_PENDING: u8 = 0;
+const F_FAULTED: u8 = 1; // content restored, Frozen published
+const F_GAVE_UP: u8 = 2; // read failed with an unmoved location: abort_fault
+
+/// Compactor program counter (the publish tail of `compact_chain`). The
+/// earlier steps (victim selection, tmp-dir write, fsync, rename, manifest
+/// republish) are invisible to the faulter — the first thing it can observe
+/// is the rewritten generation becoming readable.
+const C_REWRITE: u8 = 0; // new generation published and readable
+const C_SWAP_A: u8 = 1; // correct: retarget — misordered: prune
+const C_SWAP_B: u8 = 2; // correct: prune — misordered: retarget
+const C_DONE: u8 = 3;
+
+/// One explored configuration: the real block's shared words plus the
+/// modeled chain and both actors' program counters.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Config {
+    state: u32,
+    version: u32,
+    /// Which generation the block's `ColdLocation` currently names.
+    loc: u8,
+    /// The superseded generation still exists on disk.
+    old_exists: bool,
+    /// The rewritten generation exists on disk.
+    new_exists: bool,
+    fpc: u8,
+    foutcome: u8,
+    /// The location the faulter's current read attempt is aimed at.
+    floc: u8,
+    /// The faulter observed a moved location and retried at least once.
+    fretried: bool,
+    cpc: u8,
+    /// Compactor order: false = retarget-then-prune (the real protocol),
+    /// true = prune-then-retarget (the bug the protocol excludes).
+    misordered: bool,
+}
+
+struct Model {
+    block: Arc<Block>,
+}
+
+fn gen_location(which: u8) -> ColdLocation {
+    ColdLocation {
+        dir: match which {
+            LOC_OLD => "ckpt-00000000000000000001".into(),
+            _ => "ckpt-00000000000000000001-gc1".into(),
+        },
+        file: "cold-1.mlc".into(),
+        index: 0,
+        bytes: 42,
+        stamp: STAMP,
+    }
+}
+
+impl Model {
+    fn new() -> Model {
+        let layout = Arc::new(
+            BlockLayout::from_schema(&Schema::new(vec![ColumnDef::new("a", TypeId::BigInt)]))
+                .unwrap(),
+        );
+        let block = Block::new(layout);
+        block.adopt_freeze_stamp(STAMP);
+        Model { block }
+    }
+
+    /// Load `cfg`'s shared words onto the real block.
+    fn restore(&self, cfg: Config) {
+        self.block.header().set_state_word((cfg.version << VERSION_SHIFT) | cfg.state);
+        self.block.set_cold_location(gen_location(cfg.loc));
+    }
+
+    /// Read the shared words back into a configuration.
+    fn capture(&self, cfg: Config) -> Config {
+        let w = self.block.header().state_word();
+        let loc = self.block.cold_location().expect("model block always has a location");
+        Config {
+            state: word_state(w),
+            version: word_version(w),
+            loc: if loc == gen_location(LOC_OLD) { LOC_OLD } else { LOC_NEW },
+            ..cfg
+        }
+    }
+
+    /// Execute one faulter step from `cfg` (mirrors `fault_in_block`).
+    fn faulter_step(&self, cfg: Config) -> Config {
+        self.restore(cfg);
+        let h = self.block.header();
+        let mut next = cfg;
+        match cfg.fpc {
+            F_CLAIM => {
+                // The model has no competing faulter or thawing writer:
+                // the exclusive claim always succeeds.
+                assert!(BlockStateMachine::begin_fault(h), "fault claim lost: {cfg:?}");
+                next.fpc = F_READLOC;
+            }
+            F_READLOC => {
+                let loc = self.block.cold_location().expect("evicted block has a location");
+                // The stamp gate of the real loop: compaction preserves the
+                // content stamp verbatim, so it passes whichever copy the
+                // location names.
+                assert_eq!(loc.stamp, self.block.freeze_stamp(), "stamp drifted: {cfg:?}");
+                next.floc = if loc == gen_location(LOC_OLD) { LOC_OLD } else { LOC_NEW };
+                next.fpc = F_READ;
+            }
+            F_READ => {
+                let readable = if cfg.floc == LOC_OLD { cfg.old_exists } else { cfg.new_exists };
+                next.fpc = if readable { F_FINISH } else { F_RECHECK };
+            }
+            F_RECHECK => {
+                let fresh = self.block.cold_location().expect("location never cleared");
+                let fresh = if fresh == gen_location(LOC_OLD) { LOC_OLD } else { LOC_NEW };
+                if fresh != cfg.floc {
+                    // Moved under us — compaction retargeted it; retry there.
+                    next.floc = fresh;
+                    next.fretried = true;
+                    next.fpc = F_READ;
+                } else {
+                    // Nothing moved — the failure is genuine and propagates.
+                    BlockStateMachine::abort_fault(h);
+                    next.foutcome = F_GAVE_UP;
+                    next.fpc = F_DONE;
+                }
+            }
+            F_FINISH => {
+                BlockStateMachine::finish_fault(h);
+                next.foutcome = F_FAULTED;
+                next.fpc = F_DONE;
+            }
+            _ => unreachable!("stepping a finished faulter"),
+        }
+        self.capture(next)
+    }
+
+    /// Execute one compactor step from `cfg` (mirrors `compact_chain`'s
+    /// publish tail, in the configured order).
+    fn compactor_step(&self, cfg: Config) -> Config {
+        self.restore(cfg);
+        let mut next = cfg;
+        let retarget = |next: &mut Config| {
+            // The real stamp-guarded swap; the guard passes because the
+            // block's content identity is unchanged (it is merely evicted).
+            assert!(
+                self.block.retarget_cold_location(STAMP, gen_location(LOC_NEW)),
+                "retarget refused with a matching stamp: {cfg:?}"
+            );
+            let _ = next;
+        };
+        match cfg.cpc {
+            C_REWRITE => {
+                next.new_exists = true;
+                next.cpc = C_SWAP_A;
+            }
+            C_SWAP_A => {
+                if cfg.misordered {
+                    next.old_exists = false;
+                } else {
+                    retarget(&mut next);
+                }
+                next.cpc = C_SWAP_B;
+            }
+            C_SWAP_B => {
+                if cfg.misordered {
+                    retarget(&mut next);
+                } else {
+                    next.old_exists = false;
+                }
+                next.cpc = C_DONE;
+            }
+            _ => unreachable!("stepping a finished compactor"),
+        }
+        self.capture(next)
+    }
+}
+
+/// Explore every interleaving from `initial`; returns (every reachable
+/// configuration, the terminal configurations).
+fn explore(initial: Config) -> (HashSet<Config>, HashSet<Config>) {
+    let model = Model::new();
+    let mut visited: HashSet<Config> = HashSet::new();
+    let mut terminals: HashSet<Config> = HashSet::new();
+    let mut stack = vec![initial];
+    while let Some(cfg) = stack.pop() {
+        if !visited.insert(cfg) {
+            continue;
+        }
+        if cfg.fpc == F_DONE && cfg.cpc == C_DONE {
+            terminals.insert(cfg);
+            continue;
+        }
+        if cfg.fpc != F_DONE {
+            stack.push(model.faulter_step(cfg));
+        }
+        if cfg.cpc != C_DONE {
+            stack.push(model.compactor_step(cfg));
+        }
+    }
+    assert!(!terminals.is_empty(), "model never terminated");
+    (visited, terminals)
+}
+
+/// An evicted, checkpoint-captured block; the compactor is about to publish
+/// a rewrite of the generation holding its frame.
+fn evicted_initial() -> Config {
+    Config {
+        state: BlockState::Evicted as u32,
+        version: 0,
+        loc: LOC_OLD,
+        old_exists: true,
+        new_exists: false,
+        fpc: F_CLAIM,
+        foutcome: F_PENDING,
+        floc: LOC_OLD,
+        fretried: false,
+        cpc: C_REWRITE,
+        misordered: false,
+    }
+}
+
+#[test]
+fn retarget_before_prune_never_strands_a_fault_in() {
+    let (visited, terminals) = explore(evicted_initial());
+
+    // The liveness invariant the publish order buys: at every reachable
+    // configuration the block's recorded location names a generation that
+    // still exists — there is no window in which a fresh location read can
+    // aim at deleted bytes.
+    for cfg in &visited {
+        let readable = if cfg.loc == LOC_OLD { cfg.old_exists } else { cfg.new_exists };
+        assert!(readable, "recorded location names a pruned generation: {cfg:?}");
+    }
+
+    for t in &terminals {
+        // Every schedule restores the block — no interleaving of the
+        // compactor can make a fault-in fail.
+        assert_eq!(t.foutcome, F_FAULTED, "fault-in stranded by compaction: {t:?}");
+        assert_eq!(t.state, BlockState::Frozen as u32, "terminal not Frozen: {t:?}");
+        // The compactor always completes: location on the rewrite, old
+        // generation reclaimed.
+        assert_eq!(t.loc, LOC_NEW, "retarget lost: {t:?}");
+        assert!(t.new_exists && !t.old_exists, "prune incomplete: {t:?}");
+    }
+
+    // Both races genuinely happened: some schedule read the old copy before
+    // the prune, and some schedule lost it and retried via the retarget.
+    assert!(
+        terminals.iter().any(|t| !t.fretried),
+        "no schedule read the old generation before the prune"
+    );
+    assert!(terminals.iter().any(|t| t.fretried), "no schedule exercised the moved-location retry");
+}
+
+#[test]
+fn prune_before_retarget_strands_the_fault_in() {
+    // The misordered compactor — prune first, retarget after — is exactly
+    // the bug the publish order exists to exclude: a faulter that captured
+    // the old location before the prune, and rechecks it before the
+    // retarget, sees an *unmoved* location pointing at deleted bytes and
+    // must propagate the failure.
+    let (visited, terminals) = explore(Config { misordered: true, ..evicted_initial() });
+
+    assert!(
+        visited.iter().any(|cfg| cfg.loc == LOC_OLD && !cfg.old_exists),
+        "the misordered compactor never exposed a dangling location"
+    );
+    let stranded: Vec<_> = terminals.iter().filter(|t| t.foutcome == F_GAVE_UP).collect();
+    assert!(
+        !stranded.is_empty(),
+        "the stranded schedule disappeared — is the order still load-bearing?"
+    );
+    for t in stranded {
+        // Even stranded, the claim is reverted cleanly: the block ends
+        // Evicted (faultable again), never Faulting or a corrupt resident.
+        assert_eq!(t.state, BlockState::Evicted as u32, "strand left a stuck state: {t:?}");
+    }
+    // Lucky schedules (retarget lands before the recheck) still succeed.
+    assert!(terminals.iter().any(|t| t.foutcome == F_FAULTED), "even the lucky schedules failed");
+}
+
+#[test]
+fn stale_stamp_blocks_the_retarget() {
+    // A block that was thawed and refrozen since the compactor planned
+    // carries a newer stamp; the compactor's swap must refuse (the next
+    // checkpoint records the fresh location — this one is already stale).
+    let model = Model::new();
+    let parked = ColdLocation { stamp: STAMP, ..gen_location(LOC_OLD) };
+    model.block.set_cold_location(parked.clone());
+    assert!(
+        !model.block.retarget_cold_location(
+            STAMP + 1,
+            ColdLocation { stamp: STAMP + 1, ..gen_location(LOC_NEW) }
+        ),
+        "retargeted a location whose stamp the compactor never rewrote"
+    );
+    assert_eq!(model.block.cold_location(), Some(parked.clone()));
+    // Stamp 0 (never frozen) is never retargetable.
+    model.block.set_cold_location(ColdLocation { stamp: 0, ..gen_location(LOC_OLD) });
+    assert!(!model
+        .block
+        .retarget_cold_location(0, ColdLocation { stamp: 0, ..gen_location(LOC_NEW) }));
+    // And the matching-stamp swap goes through.
+    model.block.set_cold_location(parked);
+    assert!(model.block.retarget_cold_location(STAMP, gen_location(LOC_NEW)));
+    assert_eq!(model.block.cold_location(), Some(gen_location(LOC_NEW)));
+}

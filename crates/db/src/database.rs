@@ -11,7 +11,10 @@
 use crate::admission::{AdmissionController, AdmissionStats};
 use crate::catalog::Catalog;
 use crate::table_handle::{IndexMoveHook, IndexSpec, TableHandle};
-use mainline_checkpoint::{write_checkpoint_anchored, CheckpointStats};
+use mainline_checkpoint::{
+    chain_generations, compact_chain, write_checkpoint_anchored, CheckpointStats, CompactionPolicy,
+    CompactionStats,
+};
 use mainline_common::schema::Schema;
 use mainline_common::{Error, Result};
 use mainline_gc::collector::ModificationObserver;
@@ -71,6 +74,113 @@ fn env_checkpoint_bytes() -> Option<u64> {
     std::env::var("MAINLINE_CHECKPOINT_BYTES").ok().and_then(|v| v.parse().ok())
 }
 
+/// Size-tiered GC for the checkpoint chain (see
+/// [`mainline_checkpoint::compact`]). A pass runs after every successful
+/// checkpoint — checkpoints are the only thing that creates generations, and
+/// the pass is a no-op when the policy finds no victims — under the same
+/// lock that serializes checkpoints, so the compactor never races the
+/// writer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactionConfig {
+    /// A generation whose dead-byte fraction reaches this is rewritten
+    /// ([`CompactionPolicy::min_dead_ratio`]).
+    pub min_dead_ratio: f64,
+    /// A power-of-two size tier holding this many generations merges
+    /// wholesale ([`CompactionPolicy::tier_merge_count`]); clamped ≥ 2.
+    pub tier_merge_count: usize,
+    /// Most generations rewritten per pass ([`CompactionPolicy::max_batch`]).
+    pub max_batch: usize,
+}
+
+impl Default for CompactionConfig {
+    fn default() -> Self {
+        let p = CompactionPolicy::default();
+        CompactionConfig {
+            min_dead_ratio: p.min_dead_ratio,
+            tier_merge_count: p.tier_merge_count,
+            max_batch: p.max_batch,
+        }
+    }
+}
+
+impl CompactionConfig {
+    fn policy(&self) -> CompactionPolicy {
+        CompactionPolicy {
+            min_dead_ratio: self.min_dead_ratio,
+            tier_merge_count: self.tier_merge_count,
+            max_batch: self.max_batch,
+        }
+    }
+}
+
+/// Forced compaction mode: `MAINLINE_COMPACTION_DEAD_RATIO` and/or
+/// `MAINLINE_COMPACTION_TIER` turn compaction on (with defaults for
+/// whichever is absent) so CI can run the compactor under the whole suite,
+/// the same convention as `MAINLINE_CHECKPOINT_BYTES`.
+fn env_compaction_config() -> Option<CompactionConfig> {
+    let ratio: Option<f64> =
+        std::env::var("MAINLINE_COMPACTION_DEAD_RATIO").ok().and_then(|v| v.parse().ok());
+    let tier: Option<usize> =
+        std::env::var("MAINLINE_COMPACTION_TIER").ok().and_then(|v| v.parse().ok());
+    if ratio.is_none() && tier.is_none() {
+        return None;
+    }
+    let mut cfg = CompactionConfig::default();
+    if let Some(r) = ratio {
+        cfg.min_dead_ratio = r;
+    }
+    if let Some(t) = tier {
+        cfg.tier_merge_count = t;
+    }
+    Some(cfg)
+}
+
+/// Lifetime compaction counters plus a live snapshot of the chain, from
+/// [`Database::compaction_stats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DbCompactionStats {
+    /// Compaction passes run (including no-op passes).
+    pub passes: u64,
+    /// Passes that failed (the chain is still consistent — a failed pass
+    /// leaves either the old manifest or the republished one).
+    pub errors: u64,
+    /// Victim generations rewritten and pruned, lifetime.
+    pub generations_compacted: u64,
+    /// Surviving frames copied, lifetime.
+    pub frames_rewritten: u64,
+    /// Bytes written into fresh generations, lifetime.
+    pub bytes_rewritten: u64,
+    /// On-disk bytes reclaimed (victims net of rewrites), lifetime.
+    pub bytes_reclaimed: u64,
+    /// Generations the live manifest references right now (incl. `CURRENT`).
+    pub generations_live: u64,
+    /// On-disk bytes of the live chain right now.
+    pub chain_bytes: u64,
+    /// Live-ratio histogram of the current non-`CURRENT` generations:
+    /// bucket `i` counts generations with live ratio in `[i/10, (i+1)/10)`.
+    pub live_ratio_histogram: [u64; 10],
+}
+
+#[derive(Debug, Default)]
+struct CompactionTotals {
+    passes: u64,
+    errors: u64,
+    generations_compacted: u64,
+    frames_rewritten: u64,
+    bytes_rewritten: u64,
+    bytes_reclaimed: u64,
+}
+
+impl CompactionTotals {
+    fn absorb(&mut self, stats: &CompactionStats) {
+        self.passes += 1;
+        self.generations_compacted += stats.generations_compacted as u64;
+        self.frames_rewritten += stats.frames_rewritten as u64;
+        self.bytes_rewritten += stats.bytes_rewritten;
+        self.bytes_reclaimed += stats.bytes_reclaimed;
+    }
+}
+
 /// Database configuration.
 #[derive(Debug, Clone)]
 pub struct DbConfig {
@@ -88,6 +198,12 @@ pub struct DbConfig {
     /// stays valid) is derived next to the log file. CI uses the forced
     /// mode to run the checkpoint write path under the whole test suite.
     pub checkpoint: Option<CheckpointConfig>,
+    /// Size-tiered GC for the checkpoint chain; `None` disables it — unless
+    /// checkpointing is on *and* `MAINLINE_COMPACTION_DEAD_RATIO` /
+    /// `MAINLINE_COMPACTION_TIER` are set, in which case a forced
+    /// configuration runs compaction after every checkpoint (CI uses this to
+    /// run the compactor under the whole suite). Requires checkpointing.
+    pub compaction: Option<CompactionConfig>,
     /// GC cadence (the paper runs GC every ~10 ms).
     pub gc_interval: Duration,
     /// Transformation pipeline settings; `None` disables transformation.
@@ -112,6 +228,7 @@ impl Default for DbConfig {
             fsync: false,
             wal_segment_bytes: None,
             checkpoint: None,
+            compaction: None,
             gc_interval: Duration::from_millis(10),
             transform: None,
             transform_interval: Duration::from_millis(10),
@@ -135,6 +252,8 @@ pub struct Database {
     admission: Arc<AdmissionController>,
     log: Option<Arc<LogManager>>,
     checkpoint_cfg: Option<CheckpointConfig>,
+    compaction_cfg: Option<CompactionConfig>,
+    compaction_totals: Arc<parking_lot::Mutex<CompactionTotals>>,
     /// Serializes checkpoint passes: a manual [`Database::checkpoint`]
     /// racing the trigger thread could otherwise publish an *older*
     /// checkpoint over a newer one whose WAL cover was already truncated.
@@ -283,10 +402,21 @@ impl Database {
             })
         });
 
+        // Compaction rides on checkpointing (a pass runs after each
+        // successful checkpoint, under the same lock): explicit config wins,
+        // else the forced `MAINLINE_COMPACTION_*` mode, and either is
+        // meaningless without a chain to compact.
+        let compaction_cfg = if checkpoint_cfg.is_some() {
+            config.compaction.clone().or_else(env_compaction_config)
+        } else {
+            None
+        };
+
         let stop_checkpoint = Arc::new(AtomicBool::new(false));
         let ckpt_wal_baseline = Arc::new(AtomicU64::new(0));
         let checkpoints_taken = Arc::new(AtomicU64::new(0));
         let checkpoint_lock = Arc::new(parking_lot::Mutex::new(()));
+        let compaction_totals = Arc::new(parking_lot::Mutex::new(CompactionTotals::default()));
 
         // Cold-block buffer manager: the accountant always exists (so
         // `memory_stats()` always reports), the transform pipeline charges
@@ -328,6 +458,8 @@ impl Database {
             admission,
             log,
             checkpoint_cfg,
+            compaction_cfg,
+            compaction_totals,
             checkpoint_lock,
             ckpt_wal_baseline,
             checkpoints_taken,
@@ -370,6 +502,8 @@ impl Database {
         let baseline = Arc::clone(&self.ckpt_wal_baseline);
         let taken = Arc::clone(&self.checkpoints_taken);
         let lock = Arc::clone(&self.checkpoint_lock);
+        let compaction = self.compaction_cfg.clone();
+        let totals = Arc::clone(&self.compaction_totals);
         *slot = Some(
             std::thread::Builder::new()
                 .name("checkpoint".into())
@@ -415,6 +549,8 @@ impl Database {
                                 Some(&log),
                                 &baseline,
                                 &taken,
+                                compaction.as_ref(),
+                                &totals,
                             )
                         };
                         pause = match result {
@@ -570,7 +706,66 @@ impl Database {
             self.log.as_deref(),
             &self.ckpt_wal_baseline,
             &self.checkpoints_taken,
+            self.compaction_cfg.as_ref(),
+            &self.compaction_totals,
         )
+    }
+
+    /// Run one chain-compaction pass right now (requires
+    /// [`DbConfig::checkpoint`] or the forced environment mode; uses
+    /// [`DbConfig::compaction`] when set, the default policy otherwise).
+    /// Serialized against checkpoints; returns what the pass did — zeroed
+    /// stats when the policy found no victims.
+    pub fn compact(&self) -> Result<CompactionStats> {
+        let cfg = self
+            .checkpoint_cfg
+            .as_ref()
+            .ok_or_else(|| Error::NotFound("checkpointing is not configured".into()))?;
+        let policy = self.compaction_cfg.clone().unwrap_or_default().policy();
+        let _serialize = self.checkpoint_lock.lock();
+        let tables: Vec<_> = self.catalog.tables_by_id().into_values().collect();
+        let result = compact_chain(&cfg.dir, &policy, &tables);
+        let mut totals = self.compaction_totals.lock();
+        match &result {
+            Ok(stats) => totals.absorb(stats),
+            Err(_) => totals.errors += 1,
+        }
+        result
+    }
+
+    /// Lifetime compaction counters plus a live snapshot of the chain
+    /// (generation count, on-disk bytes, live-ratio histogram). The
+    /// snapshot half is zeroed when checkpointing is off or nothing has
+    /// been published yet.
+    pub fn compaction_stats(&self) -> DbCompactionStats {
+        let mut out = {
+            let t = self.compaction_totals.lock();
+            DbCompactionStats {
+                passes: t.passes,
+                errors: t.errors,
+                generations_compacted: t.generations_compacted,
+                frames_rewritten: t.frames_rewritten,
+                bytes_rewritten: t.bytes_rewritten,
+                bytes_reclaimed: t.bytes_reclaimed,
+                ..DbCompactionStats::default()
+            }
+        };
+        if let Some(cfg) = &self.checkpoint_cfg {
+            if let Ok(gens) = chain_generations(&cfg.dir) {
+                out.generations_live = gens.len() as u64;
+                out.chain_bytes = gens.iter().map(|g| g.total_bytes).sum();
+                for g in gens.iter().filter(|g| !g.current) {
+                    let bucket = ((g.live_ratio() * 10.0) as usize).min(9);
+                    out.live_ratio_histogram[bucket] += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// The effective compaction configuration, if any.
+    pub fn compaction_config(&self) -> Option<&CompactionConfig> {
+        self.compaction_cfg.as_ref()
     }
 
     /// The effective checkpoint configuration, if any.
@@ -662,6 +857,8 @@ fn run_checkpoint(
     log: Option<&LogManager>,
     baseline: &AtomicU64,
     taken: &AtomicU64,
+    compaction: Option<&CompactionConfig>,
+    totals: &parking_lot::Mutex<CompactionTotals>,
 ) -> Result<CheckpointStats> {
     // Snapshot the catalog and begin the anchor under the catalog lock:
     // a CREATE/DROP committing between the two would be missing from the
@@ -683,6 +880,19 @@ fn run_checkpoint(
     }
     baseline.store(wal_bytes_at_start, Ordering::Relaxed);
     taken.fetch_add(1, Ordering::Relaxed);
+    // Chain GC after the publish, still under the caller's checkpoint lock:
+    // checkpoints are the only generation producers, so this is the one
+    // place the chain can have grown. A compaction failure is NOT a
+    // checkpoint failure — the image is live and the chain is consistent at
+    // every compactor crash point (old manifest, or the republished one);
+    // the counter records it and the next pass retries.
+    if let Some(ccfg) = compaction {
+        let tables: Vec<_> = catalog.tables_by_id().into_values().collect();
+        match compact_chain(&cfg.dir, &ccfg.policy(), &tables) {
+            Ok(cstats) => totals.lock().absorb(&cstats),
+            Err(_) => totals.lock().errors += 1,
+        }
+    }
     Ok(stats)
 }
 

@@ -50,6 +50,6 @@ pub mod table_handle;
 
 pub use admission::{Admission, AdmissionController, AdmissionStats};
 pub use catalog::Catalog;
-pub use database::{CheckpointConfig, Database, DbConfig};
+pub use database::{CheckpointConfig, CompactionConfig, Database, DbCompactionStats, DbConfig};
 pub use restart::RestartStats;
 pub use table_handle::{IndexSpec, TableHandle};

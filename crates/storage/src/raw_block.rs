@@ -469,6 +469,34 @@ impl Block {
         *self.cold_location.lock() = Some(loc);
     }
 
+    /// Conditionally repoint the recorded chain location at a rewritten copy
+    /// of the *same* frozen content — the chain compactor's half of the
+    /// retarget protocol. The swap happens only while the currently recorded
+    /// location still carries `stamp` (the content identity the compactor
+    /// rewrote); a block that was thawed, refrozen, or re-checkpointed since
+    /// the compactor planned keeps whatever newer location it has. Returns
+    /// whether the location was replaced.
+    ///
+    /// The stamp guard means the replacement is an identity-preserving move:
+    /// `new.stamp` must equal `stamp`, so evictability
+    /// (`location stamp == live freeze stamp`) is unchanged by the swap, and
+    /// a concurrent [`fault_in`]-style reader that captured the *old*
+    /// location simply re-reads after its file disappears (the compactor
+    /// retargets strictly before it prunes).
+    ///
+    /// [`fault_in`]: crate::block_state::BlockStateMachine::begin_fault
+    pub fn retarget_cold_location(&self, stamp: u64, new: crate::residency::ColdLocation) -> bool {
+        debug_assert_eq!(new.stamp, stamp, "retarget must preserve content identity");
+        let mut slot = self.cold_location.lock();
+        match slot.as_ref() {
+            Some(cur) if stamp != 0 && cur.stamp == stamp => {
+                *slot = Some(new);
+                true
+            }
+            _ => false,
+        }
+    }
+
     /// Bytes currently charged to the memory accountant for this block.
     #[inline]
     pub fn charged_bytes(&self) -> u64 {

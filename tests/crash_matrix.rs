@@ -16,15 +16,21 @@
 //!   everything (truncation runs strictly after publication, so an
 //!   unpublished checkpoint can never have eaten log).
 //!
-//! Three scenarios: the first checkpoint of a fresh root, an incremental
-//! second checkpoint that *references* the first generation, and a
-//! superseding second checkpoint whose publication prunes the first.
+//! Four scenarios: the first checkpoint of a fresh root, an incremental
+//! second checkpoint that *references* the first generation, a superseding
+//! second checkpoint whose publication prunes the first, and a chain
+//! **compaction** pass over a multi-generation chain (rewrite → manifest
+//! republish → retarget → prune) — including an evicted block whose
+//! recorded location must survive a crash at every compactor file op.
 //!
 //! The failpoint hook is process-global, so the tests in this binary
 //! serialize themselves behind a mutex and drive only foreground code (no
 //! background trigger threads).
 
-use mainline::checkpoint::{read_manifest, write_checkpoint, TableCheckpointSpec};
+use mainline::checkpoint::{
+    compact_chain, fault_in_block, read_manifest, write_checkpoint, CompactionPolicy,
+    TableCheckpointSpec,
+};
 use mainline::common::failpoint;
 use mainline::common::schema::{ColumnDef, Schema};
 use mainline::common::value::{TypeId, Value};
@@ -256,22 +262,37 @@ fn verify_restorable(w: &World, expected: &(Vec<Vec<Value>>, Vec<Vec<Value>>), c
     assert_eq!(relation(&m2, &hot2), expected.1, "{ctx}: hot relation diverged");
 }
 
+type Relations = (Vec<Vec<Value>>, Vec<Vec<Value>>);
+
 /// Run one scenario: `prepare` builds the world (including any disarmed
-/// prior checkpoints) right up to the armed sequence. The driver first
-/// counts the sequence's crash points, then replays the scenario once per
-/// prefix, asserting restorability after every injected crash.
-fn run_matrix(tag: &str, prepare: fn(&World)) {
+/// prior checkpoints) right up to the armed sequence, and returns the
+/// expected relations (captured at whatever point the scenario's invariants
+/// demand — e.g. before an in-memory eviction). The driver first counts the
+/// armed sequence's crash points, then replays the scenario once per
+/// prefix, killing the sequence after the Nth operation and asserting —
+/// after `post` runs any scenario-specific in-memory checks — that the
+/// surviving on-disk state restores the exact relations.
+fn run_matrix_with(
+    tag: &str,
+    min_ops: u64,
+    prepare: impl Fn(&World) -> Relations,
+    armed: impl Fn(&World) -> mainline::common::Result<()>,
+    post: impl Fn(&World, &Relations, &str),
+) {
     let _gate = GATE.lock().unwrap();
 
     // Pass 0: count the crash points of a successful sequence.
     let w = build_world(tag);
-    prepare(&w);
-    let expected = w.relations();
+    let expected = prepare(&w);
     failpoint::arm_counting();
-    checkpoint_and_truncate(&w).expect("unarmed sequence must succeed");
+    armed(&w).expect("unarmed sequence must succeed");
     let total = failpoint::hits();
     failpoint::disarm();
-    assert!(total >= 8, "{tag}: expected a non-trivial publish sequence, got {total} ops");
+    assert!(
+        total >= min_ops,
+        "{tag}: expected a non-trivial sequence (≥ {min_ops} ops), got {total}"
+    );
+    post(&w, &expected, &format!("{tag}: clean run"));
     verify_restorable(&w, &expected, &format!("{tag}: clean run"));
     w.log.shutdown();
     w.cleanup();
@@ -279,21 +300,34 @@ fn run_matrix(tag: &str, prepare: fn(&World)) {
     // Passes 1..: crash after the Nth operation, for every N.
     for n in 0..total {
         let w = build_world(tag);
-        prepare(&w);
-        let expected = w.relations();
+        let expected = prepare(&w);
         failpoint::arm(n);
-        let result = checkpoint_and_truncate(&w);
+        let result = armed(&w);
         let tripped = failpoint::tripped();
         failpoint::disarm();
         assert!(
             result.is_err() && tripped,
             "{tag}: budget {n} of {total} must crash the sequence (got {result:?})"
         );
+        post(&w, &expected, &format!("{tag}: crash after op {n}/{total}"));
         verify_restorable(&w, &expected, &format!("{tag}: crash after op {n}/{total}"));
         w.log.shutdown();
         w.cleanup();
     }
     println!("{tag}: {total} crash points, all restorable");
+}
+
+fn run_matrix(tag: &str, prepare: fn(&World)) {
+    run_matrix_with(
+        tag,
+        8,
+        |w| {
+            prepare(w);
+            w.relations()
+        },
+        checkpoint_and_truncate,
+        |_, _, _| {},
+    );
 }
 
 /// Scenario 1: the first checkpoint of a fresh root. Early crashes leave no
@@ -343,4 +377,99 @@ fn superseding_checkpoint_prune_sequence_survives_any_crash_point() {
         assert_eq!(BlockStateMachine::state(w.cold.blocks()[0].header()), BlockState::Hot);
         freeze_block(&w.manager, &w.cold, 0);
     });
+}
+
+/// Thaw the `idx`-th cold block with an in-place varlen update, then
+/// refreeze it — the new stamp forces the next checkpoint to recapture it,
+/// turning its old frame into dead weight in an earlier generation.
+fn thaw_refreeze_cold(w: &World, idx: usize) {
+    let block = w.cold.blocks()[idx].clone();
+    let txn = w.manager.begin();
+    let slot = mainline::storage::TupleSlot::new(block.as_ptr(), 0);
+    let mut d = ProjectedRow::new();
+    d.push_varlen(2, mainline::storage::VarlenEntry::from_bytes(b"thawed"));
+    w.cold.update(&txn, slot, &d).unwrap();
+    w.manager.commit(&txn);
+    w.log.flush();
+    assert_eq!(BlockStateMachine::state(block.header()), BlockState::Hot);
+    freeze_block(&w.manager, &w.cold, idx);
+}
+
+/// Scenario 4: a compaction pass over a three-generation chain where the
+/// two older generations are mostly dead (superseded frames, stale deltas,
+/// old manifests) but each still holds live frames — one of them the frame
+/// an **evicted** block's recorded `ColdLocation` points at. The armed
+/// sequence is the whole compactor publish: rewrite → tmp-dir fsync →
+/// rename → root fsync → in-place manifest republish → retarget → prune.
+/// After a crash at every instrumented op: `CURRENT` must resolve to a
+/// whole manifest whose every referenced frame exists (verified by the
+/// restore below), and the evicted block must still fault in — the
+/// retarget-before-prune half of the liveness invariant.
+#[test]
+fn compaction_publish_sequence_survives_any_crash_point() {
+    let prepare = |w: &World| -> Relations {
+        // Grow cold to at least three full blocks and freeze them, plus the
+        // (partial) hot block: generation 1 captures four frames.
+        let per_block = w.cold.layout().num_slots() as i64;
+        let txn = w.manager.begin();
+        for i in 600..3 * per_block + 100 {
+            w.cold.insert(&txn, &cold_row(i));
+        }
+        w.manager.commit(&txn);
+        w.log.flush();
+        freeze_block(&w.manager, &w.cold, 1);
+        freeze_block(&w.manager, &w.cold, 2);
+        freeze_block(&w.manager, &w.hot, 0);
+        checkpoint_and_truncate(w).expect("gen 1 must publish");
+        // Supersede cold block 0: generation 2 recaptures it; gen 1 keeps
+        // cold b1, b2 and the hot frame live.
+        thaw_refreeze_cold(w, 0);
+        checkpoint_and_truncate(w).expect("gen 2 must publish");
+        // Supersede cold block 1: generation 3 (CURRENT) recaptures it;
+        // gen 1 keeps cold b2 + hot live, gen 2 keeps cold b0 live.
+        thaw_refreeze_cold(w, 1);
+        checkpoint_and_truncate(w).expect("gen 3 must publish");
+
+        // Capture expectations while everything is resident, then evict
+        // cold b2: its recorded location points into generation 1, which
+        // the armed pass below rewrites and prunes.
+        let expected = w.relations();
+        let b2 = w.cold.blocks()[2].clone();
+        let loc = b2.cold_location().expect("checkpoint must have recorded b2's location");
+        assert_eq!(loc.stamp, b2.freeze_stamp());
+        drop(
+            mainline::storage::evict_block(&b2)
+                .expect("checkpointed quiescent frozen block is evictable"),
+        );
+        assert_eq!(BlockStateMachine::state(b2.header()), BlockState::Evicted);
+        expected
+    };
+    let armed = |w: &World| -> mainline::common::Result<()> {
+        // Both old generations must be victims: every non-CURRENT
+        // generation carries *some* dead weight (its stale MANIFEST at
+        // minimum), so a near-zero ratio selects them deterministically.
+        let policy = CompactionPolicy { min_dead_ratio: 0.001, tier_merge_count: 99, max_batch: 8 };
+        compact_chain(&w.root, &policy, &[Arc::clone(&w.cold), Arc::clone(&w.hot)])?;
+        // Pruning is deliberately best-effort (an aborted prune only wastes
+        // disk), so a crash injected there does not surface as an error —
+        // report it as one so the driver treats it like any other kill.
+        if failpoint::tripped() {
+            return Err(mainline::common::Error::Corrupt("injected crash during prune".into()));
+        }
+        Ok(())
+    };
+    let post = |w: &World, expected: &Relations, ctx: &str| {
+        // The evicted block must fault back in from wherever its location
+        // now points — the old generation if the crash preceded the
+        // retarget (prune runs strictly after), the fresh one otherwise.
+        let b2 = w.cold.blocks()[2].clone();
+        assert_eq!(BlockStateMachine::state(b2.header()), BlockState::Evicted, "{ctx}");
+        assert!(
+            fault_in_block(&w.root, &w.cold, &b2)
+                .unwrap_or_else(|e| panic!("{ctx}: evicted block lost its frame: {e}")),
+            "{ctx}: fault-in must claim the evicted block"
+        );
+        assert_eq!(relation(&w.manager, &w.cold), expected.0, "{ctx}: faulted relation diverged");
+    };
+    run_matrix_with("compaction", 15, prepare, armed, post);
 }
