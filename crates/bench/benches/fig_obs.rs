@@ -1,0 +1,199 @@
+//! Observability overhead (ISSUE 9): what does the always-on metrics layer
+//! cost on the hot paths it instruments?
+//!
+//! Three measurements:
+//!
+//! * **primitives** — raw ns/op of one counter `inc`, one histogram
+//!   `observe`, and one gauge `add` on a single uncontended core;
+//! * **insert path** — ns/op of the full `TableHandle::insert` path, A/B:
+//!   metrics recording live vs. stubbed out (`mainline_obs::set_stubbed`
+//!   turns every record into one relaxed load + branch — the floor the
+//!   instrumented build could ever reach). The write counter is flushed
+//!   once per *commit* from the undo-buffer length rather than bumped per
+//!   row (a `lock`-prefixed RMW per ~350 ns insert costs ~5 % by itself),
+//!   so the live arm's per-row cost is the stall-free admission probe
+//!   alone. The acceptance bar is a **< 5 % delta**;
+//! * **scan path** — same A/B over a full-table visible scan (reads are
+//!   deliberately uninstrumented, so this pins the delta at ~zero).
+//!
+//! Knobs: `MAINLINE_OBS_ROWS` (rows per insert round, default 50000),
+//! `MAINLINE_OBS_ROUNDS` (A/B rounds, default 5).
+
+use mainline_bench::{emit, env_usize};
+use mainline_common::schema::{ColumnDef, Schema};
+use mainline_common::value::{TypeId, Value};
+use mainline_db::{Database, DbConfig};
+use mainline_obs::{set_stubbed, Counter, Gauge, Histogram};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn ns_per_op(iters: u64, f: impl Fn(u64)) -> f64 {
+    let t0 = Instant::now();
+    for i in 0..iters {
+        f(i);
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn primitives() {
+    static C: Counter = Counter::new("bench_counter", "fig_obs");
+    static H: Histogram = Histogram::new("bench_hist", "fig_obs");
+    static G: Gauge = Gauge::new("bench_gauge", "fig_obs");
+    const N: u64 = 20_000_000;
+    emit("fig_obs", "counter_inc", "ns", ns_per_op(N, |_| black_box(&C).inc()), "ns/op");
+    emit("fig_obs", "histogram_observe", "ns", ns_per_op(N, |i| black_box(&H).observe(i)), "ns/op");
+    emit("fig_obs", "gauge_add", "ns", ns_per_op(N, |_| black_box(&G).add(1)), "ns/op");
+    set_stubbed(true);
+    emit("fig_obs", "counter_inc_stubbed", "ns", ns_per_op(N, |_| black_box(&C).inc()), "ns/op");
+    set_stubbed(false);
+}
+
+/// Arms alternate every `CHUNK` inserts: run-to-run drift (allocator state,
+/// frequency scaling, background GC) moves far more than the instrumentation
+/// costs, so the A/B must sample both arms inside the *same* drift regime.
+const CHUNK: usize = 1_000;
+
+/// One A/B insert round: one fresh table, `rows` inserts in one transaction,
+/// the live/stubbed arm flipping every [`CHUNK`] rows (`start_stubbed` flips
+/// which arm leads, so block-position bias cancels across rounds). Pushes
+/// each chunk's ns/op into the matching arm's sample vector — per-chunk
+/// samples, not per-arm sums, because a single scheduler preemption landing
+/// inside one sub-millisecond chunk would otherwise swamp that arm's total.
+fn insert_ab_round(
+    db: &Database,
+    name: &str,
+    rows: usize,
+    start_stubbed: bool,
+    samples: &mut [Vec<f64>; 2],
+) {
+    let t = db
+        .create_table(
+            name,
+            Schema::new(vec![
+                ColumnDef::new("id", TypeId::BigInt),
+                ColumnDef::new("v", TypeId::BigInt),
+            ]),
+            vec![],
+            false,
+        )
+        .unwrap();
+    let txn = db.manager().begin();
+    let mut i = 0;
+    let mut chunk = 0usize;
+    while i < rows {
+        let stub = chunk.is_multiple_of(2) == start_stubbed;
+        set_stubbed(stub);
+        let end = (i + CHUNK).min(rows);
+        let t0 = Instant::now();
+        for j in i..end {
+            t.insert(&txn, &[Value::BigInt(j as i64), Value::BigInt(0)]);
+        }
+        samples[stub as usize].push(t0.elapsed().as_nanos() as f64 / (end - i) as f64);
+        i = end;
+        chunk += 1;
+    }
+    set_stubbed(false);
+    db.manager().commit(&txn);
+    db.drop_table(name).unwrap();
+}
+
+fn scan_round(db: &Database, t: &mainline_db::TableHandle) -> f64 {
+    let txn = db.manager().begin();
+    let t0 = Instant::now();
+    let n = t.table().count_visible(&txn);
+    let ns = t0.elapsed().as_nanos() as f64 / n.max(1) as f64;
+    db.manager().commit(&txn);
+    black_box(n);
+    ns
+}
+
+fn main() {
+    let rows = env_usize("MAINLINE_OBS_ROWS", 50_000);
+    let rounds = env_usize("MAINLINE_OBS_ROUNDS", 5);
+    println!("# fig_obs: {rows} rows/round, {rounds} rounds per arm");
+    println!("figure,series,x,value,unit");
+
+    primitives();
+
+    // No background transform/GC pressure: the measurement is the metrics
+    // layer, not the engine's concurrency.
+    let db = Database::open(DbConfig::default()).unwrap();
+
+    // Chunk-interleaved A/B (see [`insert_ab_round`]); the estimator per arm
+    // is the median over all per-chunk samples, which shrugs off preempted
+    // chunks and shares every drift regime between the arms.
+    let mut discard = [Vec::new(), Vec::new()];
+    insert_ab_round(&db, "warmup", rows, false, &mut discard); // allocator warm-up
+    let mut samples = [Vec::new(), Vec::new()];
+    for r in 0..rounds {
+        insert_ab_round(&db, &format!("round{r}"), rows, r % 2 == 1, &mut samples);
+    }
+    let median = |v: &mut Vec<f64>| {
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let live_ns = median(&mut samples[0]);
+    let stubbed_ns = median(&mut samples[1]);
+    let delta_pct = (live_ns - stubbed_ns) / stubbed_ns * 100.0;
+    emit("fig_obs", "insert_live", "ns", live_ns, "ns/op");
+    emit("fig_obs", "insert_stubbed", "ns", stubbed_ns, "ns/op");
+    emit("fig_obs", "insert_delta", "pct", delta_pct, "%");
+
+    // Scan arm over a fixed preloaded table.
+    let t = db
+        .create_table(
+            "scan",
+            Schema::new(vec![
+                ColumnDef::new("id", TypeId::BigInt),
+                ColumnDef::new("v", TypeId::BigInt),
+            ]),
+            vec![],
+            false,
+        )
+        .unwrap();
+    let txn = db.manager().begin();
+    for i in 0..rows {
+        t.insert(&txn, &[Value::BigInt(i as i64), Value::BigInt(1)]);
+    }
+    db.manager().commit(&txn);
+    // A scan is one fast op, so take many alternating reps and keep the
+    // median per arm (no assertion on this arm — reads are uninstrumented,
+    // so the delta just reports the harness noise floor).
+    let mut scan_live = Vec::new();
+    let mut scan_stubbed = Vec::new();
+    for r in 0..rounds * 8 {
+        let arms: [bool; 2] = if r % 2 == 0 { [false, true] } else { [true, false] };
+        for stub in arms {
+            set_stubbed(stub);
+            let ns = scan_round(&db, &t);
+            if stub {
+                scan_stubbed.push(ns)
+            } else {
+                scan_live.push(ns)
+            }
+        }
+        set_stubbed(false);
+    }
+    let scan_live_ns = median(&mut scan_live);
+    let scan_stubbed_ns = median(&mut scan_stubbed);
+    emit("fig_obs", "scan_live", "ns", scan_live_ns, "ns/op");
+    emit("fig_obs", "scan_stubbed", "ns", scan_stubbed_ns, "ns/op");
+    emit(
+        "fig_obs",
+        "scan_delta",
+        "pct",
+        (scan_live_ns - scan_stubbed_ns) / scan_stubbed_ns * 100.0,
+        "%",
+    );
+
+    println!(
+        "# insert: live {live_ns:.1} ns/op vs stubbed {stubbed_ns:.1} ns/op -> {delta_pct:+.2}% \
+         (acceptance: < 5%)"
+    );
+    println!("# {}", db.metrics_snapshot().one_line(&["db_writes"]));
+    assert!(
+        delta_pct < 5.0,
+        "always-on metrics cost {delta_pct:.2}% on the uncontended insert path (bar: < 5%)"
+    );
+    db.shutdown();
+}

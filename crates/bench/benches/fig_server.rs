@@ -79,7 +79,14 @@ fn run_client(addr: SocketAddr, writer: bool, deadline: Instant) -> Vec<f64> {
     lat
 }
 
-fn run_cell(server: &Server, series: &str, clients: usize, writers: usize, secs: u64) {
+fn run_cell(
+    db: &Database,
+    server: &Server,
+    series: &str,
+    clients: usize,
+    writers: usize,
+    secs: u64,
+) {
     let addr = server.addr();
     let deadline = Instant::now() + Duration::from_secs(secs);
     let t0 = Instant::now();
@@ -96,6 +103,18 @@ fn run_cell(server: &Server, series: &str, clients: usize, writers: usize, secs:
     emit("fig_server", &format!("{series}_p50_ms"), clients, percentile(&lat, 50.0) * 1e3, "ms");
     emit("fig_server", &format!("{series}_p95_ms"), clients, percentile(&lat, 95.0) * 1e3, "ms");
     emit("fig_server", &format!("{series}_p99_ms"), clients, percentile(&lat, 99.0) * 1e3, "ms");
+    // One-line engine+server metrics view per cell (ISSUE 9): cumulative, so
+    // deltas between consecutive cells attribute load to the cell.
+    println!(
+        "# {series}/{clients}: {}",
+        db.metrics_snapshot().one_line(&[
+            "server_queries",
+            "server_rows_served",
+            "wal_commits_acked",
+            "server_query_nanos",
+            "wal_fsync_nanos",
+        ])
+    );
 }
 
 fn main() {
@@ -162,9 +181,9 @@ fn main() {
     println!("figure,series,x,value,unit");
 
     for &clients in &[1usize, 2, 4, 8] {
-        run_cell(&server, "oltp", clients, clients, secs);
-        run_cell(&server, "stream", clients, 0, secs);
-        run_cell(&server, "mixed", clients, clients / 2, secs);
+        run_cell(&db, &server, "oltp", clients, clients, secs);
+        run_cell(&db, &server, "stream", clients, 0, secs);
+        run_cell(&db, &server, "mixed", clients, clients / 2, secs);
     }
 
     let stats = server.stats();

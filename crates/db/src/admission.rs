@@ -147,6 +147,7 @@ impl AdmissionController {
         if owner == me && until.is_some_and(|t| start < t) {
             return self.yield_once();
         }
+        mainline_obs::record_event(mainline_obs::kind::STALL_ENTER, pending as u64, 0);
         let deadline = start + self.stall_timeout;
         loop {
             std::thread::sleep(STALL_POLL);
@@ -155,8 +156,15 @@ impl AdmissionController {
                 break;
             }
         }
+        let stalled = start.elapsed();
         self.stall_count.fetch_add(1, Ordering::Relaxed);
-        self.stalled_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.stalled_nanos.fetch_add(stalled.as_nanos() as u64, Ordering::Relaxed);
+        crate::obs::ADMISSION_STALL_NANOS.observe_duration(stalled);
+        mainline_obs::record_event(
+            mainline_obs::kind::STALL_EXIT,
+            pipeline.pending_bytes() as u64,
+            stalled.as_nanos() as u64,
+        );
         STALL_COOLDOWN
             .with(|c| c.set((me, Some(Instant::now() + self.stall_timeout * COOLDOWN_TIMEOUTS))));
         Admission::Stalled

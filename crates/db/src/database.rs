@@ -219,6 +219,12 @@ pub struct DbConfig {
     /// when a budget is set *and* checkpointing is configured (evicting a
     /// block requires a durable on-disk home for its bytes).
     pub memory_budget_bytes: Option<u64>,
+    /// Structured-event tracing (the `mainline-obs` event ring): `Some(on)`
+    /// forces it, `None` defers to the `MAINLINE_OBS` environment variable
+    /// (`1`/`true`/`on` enables). Counters and histograms are *always* on —
+    /// this knob gates only event recording, whose ring is process-wide, so
+    /// the last database opened wins when several coexist.
+    pub observability: Option<bool>,
 }
 
 impl Default for DbConfig {
@@ -234,6 +240,7 @@ impl Default for DbConfig {
             transform_interval: Duration::from_millis(10),
             gc_parallelism: 1,
             memory_budget_bytes: None,
+            observability: None,
         }
     }
 }
@@ -298,6 +305,10 @@ impl Database {
         config: DbConfig,
         start_checkpoint_trigger: bool,
     ) -> Result<Arc<Database>> {
+        crate::obs::register();
+        mainline_obs::set_events_enabled(
+            config.observability.unwrap_or_else(mainline_obs::env_events_enabled),
+        );
         let log = match &config.log_path {
             Some(path) => {
                 let mut lm_config =
@@ -628,7 +639,8 @@ impl Database {
     }
 
     /// Per-worker transformation counters (empty when transformation is
-    /// disabled).
+    /// disabled). Summed into the `transform_*` counters of
+    /// [`metrics_snapshot`](Self::metrics_snapshot).
     pub fn transform_worker_stats(&self) -> Vec<mainline_transform::WorkerStats> {
         self.pipeline.as_ref().map(|p| p.worker_stats()).unwrap_or_default()
     }
@@ -650,7 +662,9 @@ impl Database {
 
     /// Per-database stall statistics (yields, stalls, stalled nanoseconds,
     /// pending-bytes high-water mark), alongside
-    /// [`transform_worker_stats`](Self::transform_worker_stats).
+    /// [`transform_worker_stats`](Self::transform_worker_stats). Aliased as
+    /// the `admission_*` metrics of
+    /// [`metrics_snapshot`](Self::metrics_snapshot).
     pub fn admission_stats(&self) -> AdmissionStats {
         self.admission.stats()
     }
@@ -658,7 +672,9 @@ impl Database {
     /// Cold-block buffer manager books: budget, resident/evicted frozen
     /// bytes, and lifetime eviction/fault counts. Always available; without
     /// a configured [`DbConfig::memory_budget_bytes`] the budget reports
-    /// `u64::MAX` and the eviction clock never runs.
+    /// `u64::MAX` and the eviction clock never runs. Aliased as the
+    /// `memory_*`/`buffer_*` metrics of
+    /// [`metrics_snapshot`](Self::metrics_snapshot).
     pub fn memory_stats(&self) -> MemoryStats {
         self.accountant.stats()
     }
@@ -724,7 +740,9 @@ impl Database {
         let policy = self.compaction_cfg.clone().unwrap_or_default().policy();
         let _serialize = self.checkpoint_lock.lock();
         let tables: Vec<_> = self.catalog.tables_by_id().into_values().collect();
+        let start = std::time::Instant::now();
         let result = compact_chain(&cfg.dir, &policy, &tables);
+        observe_compaction(start, &result);
         let mut totals = self.compaction_totals.lock();
         match &result {
             Ok(stats) => totals.absorb(stats),
@@ -736,7 +754,8 @@ impl Database {
     /// Lifetime compaction counters plus a live snapshot of the chain
     /// (generation count, on-disk bytes, live-ratio histogram). The
     /// snapshot half is zeroed when checkpointing is off or nothing has
-    /// been published yet.
+    /// been published yet. Aliased as the `compaction_*`/`chain_*` metrics
+    /// of [`metrics_snapshot`](Self::metrics_snapshot).
     pub fn compaction_stats(&self) -> DbCompactionStats {
         let mut out = {
             let t = self.compaction_totals.lock();
@@ -774,8 +793,61 @@ impl Database {
     }
 
     /// Completed checkpoints since boot (manual + background).
+    ///
+    /// Also surfaced as the `db_checkpoints` counter in
+    /// [`metrics_snapshot`](Self::metrics_snapshot).
     pub fn checkpoints_taken(&self) -> u64 {
         self.checkpoints_taken.load(Ordering::Relaxed)
+    }
+
+    /// One coherent snapshot of every metric this database can see: the
+    /// process-global registry (WAL, freeze, fault, checkpoint latency
+    /// histograms, global counters, any absorbed sources such as a network
+    /// server's) plus *aliases* of this database's own stats structs —
+    /// [`admission_stats`](Self::admission_stats),
+    /// [`memory_stats`](Self::memory_stats),
+    /// [`compaction_stats`](Self::compaction_stats),
+    /// [`transform_worker_stats`](Self::transform_worker_stats), and
+    /// [`checkpoints_taken`](Self::checkpoints_taken). Those accessors remain
+    /// the typed source of truth; the aliases here exist so one call (and the
+    /// `mainline_metrics` virtual table served from it) sees everything under
+    /// uniform names. Sorted by metric name.
+    pub fn metrics_snapshot(&self) -> mainline_obs::MetricsSnapshot {
+        let mut s = mainline_obs::registry().snapshot();
+        let a = self.admission_stats();
+        s.push_counter("admission_yields", a.yield_count);
+        s.push_counter("admission_stalls", a.stall_count);
+        s.push_counter("admission_stalled_nanos", a.stalled_nanos);
+        s.push_gauge("admission_pending_high_water", a.pending_high_water as i64);
+        let m = self.memory_stats();
+        s.push_gauge("memory_budget_bytes", m.budget_bytes.min(i64::MAX as u64) as i64);
+        s.push_gauge("memory_resident_bytes", m.resident_bytes as i64);
+        s.push_gauge("memory_evicted_bytes", m.evicted_bytes as i64);
+        s.push_counter("buffer_evictions", m.evictions);
+        s.push_counter("buffer_faults", m.faults);
+        let c = self.compaction_stats();
+        s.push_counter("compaction_passes", c.passes);
+        s.push_counter("compaction_errors", c.errors);
+        s.push_counter("compaction_generations", c.generations_compacted);
+        s.push_counter("compaction_frames_rewritten", c.frames_rewritten);
+        s.push_counter("compaction_bytes_rewritten", c.bytes_rewritten);
+        s.push_counter("compaction_bytes_reclaimed", c.bytes_reclaimed);
+        s.push_gauge("chain_generations_live", c.generations_live as i64);
+        s.push_gauge("chain_bytes", c.chain_bytes as i64);
+        let w = self.transform_worker_stats();
+        s.push_counter("transform_ticks", w.iter().map(|x| x.ticks).sum());
+        s.push_counter(
+            "transform_groups_compacted",
+            w.iter().map(|x| x.groups_compacted as u64).sum(),
+        );
+        s.push_counter("transform_blocks_frozen", w.iter().map(|x| x.blocks_frozen as u64).sum());
+        s.push_counter("transform_blocks_stolen", w.iter().map(|x| x.blocks_stolen as u64).sum());
+        if let Some(p) = &self.pipeline {
+            s.push_gauge("transform_pending_bytes", p.pending_bytes() as i64);
+        }
+        s.push_counter("db_checkpoints", self.checkpoints_taken());
+        s.sort();
+        s
     }
 
     /// Register a hook to run at the top of [`shutdown`](Self::shutdown),
@@ -860,6 +932,7 @@ fn run_checkpoint(
     compaction: Option<&CompactionConfig>,
     totals: &parking_lot::Mutex<CompactionTotals>,
 ) -> Result<CheckpointStats> {
+    let pass_start = std::time::Instant::now();
     // Snapshot the catalog and begin the anchor under the catalog lock:
     // a CREATE/DROP committing between the two would be missing from the
     // manifest yet skipped by the tail replay (its ts ≤ checkpoint ts).
@@ -888,12 +961,36 @@ fn run_checkpoint(
     // the counter records it and the next pass retries.
     if let Some(ccfg) = compaction {
         let tables: Vec<_> = catalog.tables_by_id().into_values().collect();
-        match compact_chain(&cfg.dir, &ccfg.policy(), &tables) {
+        let compact_start = std::time::Instant::now();
+        let result = compact_chain(&cfg.dir, &ccfg.policy(), &tables);
+        observe_compaction(compact_start, &result);
+        match result {
             Ok(cstats) => totals.lock().absorb(&cstats),
             Err(_) => totals.lock().errors += 1,
         }
     }
+    crate::obs::CHECKPOINT_PASS_NANOS.observe_duration(pass_start.elapsed());
+    mainline_obs::record_event(
+        mainline_obs::kind::CHECKPOINT,
+        stats.checkpoint_ts.0,
+        stats.cold_bytes + stats.delta_bytes,
+    );
     Ok(stats)
+}
+
+/// Record one compaction pass's duration + trace event (shared by the
+/// checkpoint-piggybacked pass and [`Database::compact`]). Failed passes are
+/// observed too — a pass that dies slowly is exactly what the histogram
+/// should show.
+fn observe_compaction(start: std::time::Instant, result: &Result<CompactionStats>) {
+    crate::obs::COMPACTION_PASS_NANOS.observe_duration(start.elapsed());
+    if let Ok(s) = result {
+        mainline_obs::record_event(
+            mainline_obs::kind::COMPACTION,
+            s.generations_compacted as u64,
+            s.bytes_reclaimed,
+        );
+    }
 }
 
 /// The cold-block eviction clock (second-chance over frozen blocks).

@@ -45,6 +45,7 @@
 pub mod admission;
 pub mod catalog;
 pub mod database;
+pub mod obs;
 pub mod restart;
 pub mod table_handle;
 

@@ -1,0 +1,40 @@
+//! Process-global metrics owned by the database layer (see `mainline-obs`).
+//!
+//! These statics cover only what the per-database stats structs
+//! ([`AdmissionStats`](crate::AdmissionStats),
+//! [`MemoryStats`](mainline_storage::MemoryStats),
+//! [`DbCompactionStats`](crate::DbCompactionStats), worker stats) cannot
+//! express: latency *distributions*. The per-database counters themselves are
+//! aliased — not duplicated — into
+//! [`Database::metrics_snapshot`](crate::Database::metrics_snapshot).
+
+use mainline_obs::{Histogram, Metric};
+
+/// Wall-clock nanoseconds per full checkpoint pass (anchor through publish,
+/// including WAL truncation and the piggybacked compaction pass when
+/// configured).
+pub static CHECKPOINT_PASS_NANOS: Histogram =
+    Histogram::new("checkpoint_pass_nanos", "full checkpoint pass duration");
+
+/// Wall-clock nanoseconds per chain-compaction pass (including no-op
+/// passes, which bound the policy-evaluation overhead).
+pub static COMPACTION_PASS_NANOS: Histogram =
+    Histogram::new("compaction_pass_nanos", "chain-compaction pass duration");
+
+/// Wall-clock nanoseconds writers spent inside a bounded admission stall
+/// (one observation per stall; yields are not observed here — they are
+/// counted in `AdmissionStats`).
+pub static ADMISSION_STALL_NANOS: Histogram =
+    Histogram::new("admission_stall_nanos", "bounded writer stall at the hard watermark");
+
+/// Register this crate's metrics with the global registry (idempotent).
+pub(crate) fn register() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        mainline_obs::registry().register(&[
+            Metric::Histogram(&CHECKPOINT_PASS_NANOS),
+            Metric::Histogram(&COMPACTION_PASS_NANOS),
+            Metric::Histogram(&ADMISSION_STALL_NANOS),
+        ]);
+    });
+}

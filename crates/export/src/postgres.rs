@@ -40,6 +40,43 @@ fn patch_len(msg: &mut [u8]) {
     msg[1..5].copy_from_slice(&len.to_be_bytes());
 }
 
+/// Serialize a `RowDescription` ('T') for an ad-hoc column list — result
+/// sets with no backing [`DataTable`] schema, e.g. `mainline-server`'s
+/// introspection virtual tables. Same per-column shape as
+/// [`row_description`]: zero OIDs, variable typlen, text format.
+pub fn named_row_description(names: &[&str]) -> Vec<u8> {
+    let mut out = vec![b'T'];
+    out.extend_from_slice(&0u32.to_be_bytes()); // length placeholder
+    out.extend_from_slice(&(names.len() as u16).to_be_bytes());
+    for name in names {
+        out.extend_from_slice(name.as_bytes());
+        out.push(0);
+        out.extend_from_slice(&0u32.to_be_bytes()); // table oid
+        out.extend_from_slice(&0u16.to_be_bytes()); // attnum
+        out.extend_from_slice(&0u32.to_be_bytes()); // type oid
+        out.extend_from_slice(&(-1i16).to_be_bytes()); // typlen
+        out.extend_from_slice(&(-1i32).to_be_bytes()); // atttypmod
+        out.extend_from_slice(&0u16.to_be_bytes()); // text format
+    }
+    patch_len(&mut out);
+    out
+}
+
+/// Append one `DataRow` ('D') with the given pre-rendered text fields to
+/// `out` (companion to [`named_row_description`]; no NULL encoding — every
+/// field is a concrete string).
+pub fn text_data_row(fields: &[String], out: &mut Vec<u8>) {
+    let start = out.len();
+    out.push(b'D');
+    out.extend_from_slice(&0u32.to_be_bytes());
+    out.extend_from_slice(&(fields.len() as u16).to_be_bytes());
+    for f in fields {
+        out.extend_from_slice(&(f.len() as i32).to_be_bytes());
+        out.extend_from_slice(f.as_bytes());
+    }
+    patch_len(&mut out[start..]);
+}
+
 /// Append one `DataRow` ('D') message per occupied row of `batch` to `out`
 /// (text-encoded fields, -1 length for NULL; all-NULL projection gaps are
 /// skipped). Returns the number of rows appended.

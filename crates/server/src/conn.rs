@@ -58,6 +58,10 @@ struct StreamJob {
     rows: u64,
     frozen: u32,
     hot: u32,
+    /// Request arrival; the wire-latency histogram observes parse through
+    /// the final response byte *encoded* (flush excluded — a slow reader is
+    /// the client's latency, not the server's).
+    started: Instant,
 }
 
 enum JobKind {
@@ -299,6 +303,7 @@ impl Conn {
     /// then close after flush.
     fn pg_fail(&mut self, core: &ServerCore, code: &str, msg: &str) {
         core.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        mainline_obs::record_event(mainline_obs::kind::CONN_ERROR, self.token.0 as u64, 0);
         self.out.push(proto::pg_error(code, msg));
         self.close_after_flush = true;
     }
@@ -306,17 +311,26 @@ impl Conn {
     /// Protocol error on a Flight connection: error frame, then close.
     fn flight_fail(&mut self, core: &ServerCore, msg: &str) {
         core.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        mainline_obs::record_event(mainline_obs::kind::CONN_ERROR, self.token.0 as u64, 1);
         self.out.push(proto::flight_error_frame(msg));
         self.close_after_flush = true;
     }
 
     fn execute_pg(&mut self, core: &ServerCore, sql_text: &str) {
         core.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         match sql::parse(sql_text) {
             Err(msg) => {
                 self.out.push(proto::pg_error("42601", &msg));
                 self.out.push(proto::pg_ready_for_query());
             }
+            // Introspection virtual tables first: they shadow any real table
+            // of the same name and are answered synchronously (tiny result
+            // sets — no stream job, no snapshot transaction).
+            Ok(sql::Command::Select { table }) if table == "mainline_metrics" => {
+                self.serve_metrics(core)
+            }
+            Ok(sql::Command::Select { table }) if table == "mainline_events" => self.serve_events(),
             Ok(sql::Command::Select { table }) => match core.db.catalog().table(&table) {
                 Err(_) => {
                     self.out.push(proto::pg_error(
@@ -336,11 +350,87 @@ impl Conn {
                         rows: 0,
                         frozen: 0,
                         hot: 0,
+                        started,
                     });
                 }
             },
             Ok(sql::Command::Insert { table, rows }) => self.execute_insert(core, &table, &rows),
         }
+        // Streaming SELECTs observe at job completion (in `pump`); every
+        // synchronous outcome — INSERT, virtual table, error — is fully
+        // encoded right here.
+        if self.job.is_none() {
+            crate::obs::SERVER_QUERY_NANOS.observe_duration(started.elapsed());
+        }
+    }
+
+    /// `SELECT * FROM mainline_metrics`: every counter, gauge, and histogram
+    /// the database can see — the process-global registry (with this
+    /// server's own counters absorbed as `server_*`) plus the per-database
+    /// aliases — as text rows `(name, kind, value, detail)`. Histograms
+    /// surface their observation count as `value` and the distribution as
+    /// `detail`.
+    fn serve_metrics(&mut self, core: &ServerCore) {
+        let snap = core.db.metrics_snapshot();
+        self.out.push(postgres::named_row_description(&["name", "kind", "value", "detail"]));
+        let mut buf = Vec::new();
+        let mut rows = 0u64;
+        for (name, v) in snap.counters() {
+            postgres::text_data_row(
+                &[name.clone(), "counter".into(), v.to_string(), String::new()],
+                &mut buf,
+            );
+            rows += 1;
+        }
+        for (name, v) in snap.gauges() {
+            postgres::text_data_row(
+                &[name.clone(), "gauge".into(), v.to_string(), String::new()],
+                &mut buf,
+            );
+            rows += 1;
+        }
+        for (name, h) in snap.histograms() {
+            let detail = format!(
+                "sum={} mean={:.0} p50={} p99={} max~{}",
+                h.sum,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.max_bound(),
+            );
+            postgres::text_data_row(
+                &[name.clone(), "histogram".into(), h.count.to_string(), detail],
+                &mut buf,
+            );
+            rows += 1;
+        }
+        self.out.push(buf);
+        self.out.push(postgres::command_complete(&format!("SELECT {rows}")));
+        self.out.push(proto::pg_ready_for_query());
+    }
+
+    /// `SELECT * FROM mainline_events`: the structured trace ring as text
+    /// rows `(seq, micros, kind, a, b)`, oldest first. Empty unless event
+    /// tracing is enabled (`DbConfig::observability` / `MAINLINE_OBS`).
+    fn serve_events(&mut self) {
+        let events = mainline_obs::events_snapshot();
+        self.out.push(postgres::named_row_description(&["seq", "micros", "kind", "a", "b"]));
+        let mut buf = Vec::new();
+        for e in &events {
+            postgres::text_data_row(
+                &[
+                    e.seq.to_string(),
+                    e.micros.to_string(),
+                    e.kind.to_string(),
+                    e.a.to_string(),
+                    e.b.to_string(),
+                ],
+                &mut buf,
+            );
+        }
+        self.out.push(buf);
+        self.out.push(postgres::command_complete(&format!("SELECT {}", events.len())));
+        self.out.push(proto::pg_ready_for_query());
     }
 
     fn execute_insert(&mut self, core: &ServerCore, table: &str, rows: &[Vec<sql::Literal>]) {
@@ -426,6 +516,7 @@ impl Conn {
                     rows: 0,
                     frozen: 0,
                     hot: 0,
+                    started: Instant::now(),
                 });
             }
         }
@@ -444,6 +535,7 @@ impl Conn {
             };
             if finished {
                 let job = self.job.take().unwrap();
+                crate::obs::SERVER_QUERY_NANOS.observe_duration(job.started.elapsed());
                 core.stats.streams.fetch_add(1, Ordering::Relaxed);
                 core.stats.rows_served.fetch_add(job.rows, Ordering::Relaxed);
                 core.stats.frozen_blocks_served.fetch_add(job.frozen as u64, Ordering::Relaxed);

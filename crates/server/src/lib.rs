@@ -29,6 +29,7 @@
 
 pub mod client;
 mod conn;
+mod obs;
 pub mod proto;
 mod server;
 pub mod sql;

@@ -1,0 +1,21 @@
+//! The frontend's process-global metrics (see `mainline-obs`). The
+//! per-server counters stay on [`SharedStats`](crate::server::SharedStats)
+//! — they are absorbed into the registry as a source when the server starts
+//! — so this module holds only the latency histogram the counters cannot
+//! express.
+
+use mainline_obs::{Histogram, Metric};
+
+/// Wall-clock nanoseconds per PG `Query` (parse through the last response
+/// byte *encoded*; socket flush is excluded — a slow reader is the client's
+/// latency, not the server's) and per Flight `DoGet` stream.
+pub(crate) static SERVER_QUERY_NANOS: Histogram =
+    Histogram::new("server_query_nanos", "request latency: parse through final encode");
+
+/// Register this crate's metrics with the global registry (idempotent).
+pub(crate) fn register() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        mainline_obs::registry().register(&[Metric::Histogram(&SERVER_QUERY_NANOS)]);
+    });
+}

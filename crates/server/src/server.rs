@@ -82,7 +82,10 @@ pub(crate) struct SharedStats {
 }
 
 /// A point-in-time snapshot of server counters (see [`Server::stats`]),
-/// sitting beside `Database::admission_stats()` and `memory_stats()`.
+/// sitting beside `Database::admission_stats()` and `memory_stats()`. While
+/// the server runs, the same counters are also aliased (as `server_*`) into
+/// every `mainline-obs` metrics snapshot — and therefore into the
+/// `SELECT * FROM mainline_metrics` virtual table it serves.
 #[derive(Debug, Clone, Default)]
 pub struct ServerStats {
     /// Connections accepted and handed to a worker.
@@ -176,11 +179,16 @@ impl ServerCore {
 /// always finish against a fully-running engine.
 pub struct Server {
     core: Arc<ServerCore>,
+    /// Keeps this server's counters flowing into `mainline-obs` snapshots
+    /// (as `server_*` aliases); dropping the handle with the server
+    /// unregisters them.
+    _metrics_source: mainline_obs::SourceHandle,
 }
 
 impl Server {
     /// Bind and start serving `db` per `config`.
     pub fn start(db: Arc<Database>, config: ServerConfig) -> io::Result<Server> {
+        crate::obs::register();
         let workers = config.workers.max(1);
         let listener = TcpListener::bind(config.addr)?;
         let addr = listener.local_addr()?;
@@ -239,7 +247,31 @@ impl Server {
             }
         }));
 
-        Ok(Server { core })
+        // Absorb this server's counters into the global registry: snapshots
+        // (and the `mainline_metrics` virtual table served over this very
+        // server) see them as `server_*` aliases. Weak for the same reason
+        // as the drain hook — the source must not keep a dead core alive.
+        let weak: Weak<ServerCore> = Arc::downgrade(&core);
+        let source = mainline_obs::registry().register_source(move |s| {
+            let Some(core) = weak.upgrade() else { return };
+            let st = core.stats.snapshot();
+            s.push_counter("server_connections_accepted", st.connections_accepted);
+            s.push_gauge("server_connections_open", st.connections_open as i64);
+            s.push_counter("server_connections_rejected", st.connections_rejected);
+            s.push_counter("server_connections_idle_closed", st.connections_idle_closed);
+            s.push_counter("server_bytes_received", st.bytes_received);
+            s.push_counter("server_bytes_sent", st.bytes_sent);
+            s.push_counter("server_queries", st.queries);
+            s.push_counter("server_rows_inserted", st.rows_inserted);
+            s.push_counter("server_streams", st.streams);
+            s.push_counter("server_rows_served", st.rows_served);
+            s.push_counter("server_frozen_blocks_served", st.frozen_blocks_served);
+            s.push_counter("server_hot_blocks_served", st.hot_blocks_served);
+            s.push_counter("server_admission_throttles", st.admission_throttles);
+            s.push_counter("server_protocol_errors", st.protocol_errors);
+        });
+
+        Ok(Server { core, _metrics_source: source })
     }
 
     /// The actually-bound address (resolves port 0).
@@ -291,8 +323,9 @@ fn accept_loop(core: Arc<ServerCore>, mut poll: Poll, listener: TcpListener) {
                         core.stats.rejected.fetch_add(1, Ordering::Relaxed);
                         continue; // stream drops: peer sees a reset/EOF
                     }
-                    core.stats.open.fetch_add(1, Ordering::Relaxed);
-                    core.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    let open = core.stats.open.fetch_add(1, Ordering::Relaxed) + 1;
+                    let accepted = core.stats.accepted.fetch_add(1, Ordering::Relaxed) + 1;
+                    mainline_obs::record_event(mainline_obs::kind::CONN_OPEN, accepted, open);
                     // Responses go out as several small chunks; without
                     // NODELAY, Nagle + the peer's delayed ACK adds ~40 ms
                     // to every request/response exchange.

@@ -130,6 +130,9 @@ impl MemoryAccountant {
         saturating_sub(&self.resident, bytes);
         self.evicted.fetch_add(bytes, Ordering::Relaxed);
         self.evictions.fetch_add(1, Ordering::Relaxed);
+        // Counters stay per-accountant (aliased into metrics snapshots by
+        // the database layer); the trace event is the process-wide part.
+        mainline_obs::record_event(mainline_obs::kind::EVICTION, bytes, 0);
     }
 
     /// An evicted block was faulted back in (charge moves evicted →

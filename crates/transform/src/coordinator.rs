@@ -45,6 +45,37 @@ use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Global transformation metrics (see `mainline-obs`). Counters for frozen
+/// blocks etc. already exist as [`WorkerStats`] (aliased into
+/// `Database::metrics_snapshot`); the statics here add what per-worker
+/// counters cannot express — latency distributions. Registered
+/// (idempotently) by [`TransformCoordinator::new`].
+pub(crate) mod obs {
+    use mainline_obs::{Histogram, Metric};
+
+    /// Wall-clock nanoseconds per successful freeze (version scan through
+    /// `finish_freezing`).
+    pub static FREEZE_NANOS: Histogram =
+        Histogram::new("transform_freeze_nanos", "wall-clock latency per completed block freeze");
+    /// Nanoseconds a block sat in a cooling queue before leaving it for
+    /// good (frozen or preempted) — the paper's cooling dwell.
+    pub static COOLING_DWELL_NANOS: Histogram = Histogram::new(
+        "transform_cooling_dwell_nanos",
+        "time from cooling enqueue to freeze/preempt dequeue",
+    );
+
+    pub(crate) fn register() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            mainline_obs::registry().register(&[
+                Metric::Histogram(&FREEZE_NANOS),
+                Metric::Histogram(&COOLING_DWELL_NANOS),
+            ]);
+        });
+    }
+}
 
 struct TableEntry {
     table: Arc<DataTable>,
@@ -97,6 +128,10 @@ struct CoolingEntry {
     _table: Arc<DataTable>,
     block: Arc<Block>,
     bytes: usize,
+    /// When the entry joined a cooling queue (for the dwell histogram).
+    /// Stealing moves the entry without resetting it — dwell measures the
+    /// block's wait, not any one queue's.
+    enqueued: Instant,
 }
 
 /// One worker's slice of the subsystem: its cooling queue and counters.
@@ -165,6 +200,7 @@ impl TransformCoordinator {
         deferred: Arc<DeferredQueue>,
         config: TransformConfig,
     ) -> Self {
+        obs::register();
         let workers = config.workers.max(1);
         TransformCoordinator {
             manager,
@@ -378,11 +414,20 @@ impl TransformCoordinator {
         let mut done = 0;
         let mut keep = Vec::new();
         for entry in work {
+            let t0 = Instant::now();
             match self.try_freeze(&entry.block, batch) {
                 FreezeOutcome::Frozen => {
+                    let took = t0.elapsed();
                     self.pending_bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
                     self.stats.lock().blocks_frozen += 1;
                     self.shards[w].stats.lock().blocks_frozen += 1;
+                    obs::FREEZE_NANOS.observe_duration(took);
+                    obs::COOLING_DWELL_NANOS.observe_duration(entry.enqueued.elapsed());
+                    mainline_obs::record_event(
+                        mainline_obs::kind::FREEZE,
+                        entry.bytes as u64,
+                        took.as_nanos() as u64,
+                    );
                     done += 1;
                 }
                 FreezeOutcome::Preempted => {
@@ -390,6 +435,7 @@ impl TransformCoordinator {
                     // (Fig. 9's legal race); the observer will re-queue it.
                     self.pending_bytes.fetch_sub(entry.bytes, Ordering::Relaxed);
                     self.stats.lock().preemptions += 1;
+                    obs::COOLING_DWELL_NANOS.observe_duration(entry.enqueued.elapsed());
                     done += 1;
                 }
                 FreezeOutcome::NotYet => keep.push(entry),
@@ -654,6 +700,7 @@ impl TransformCoordinator {
                     _table: Arc::clone(table),
                     block: Arc::clone(b),
                     bytes,
+                    enqueued: Instant::now(),
                 });
             }
         }

@@ -20,6 +20,7 @@
 pub mod data_table;
 pub mod ddl;
 pub mod manager;
+pub mod obs;
 pub mod redo;
 pub mod transaction;
 pub mod undo;

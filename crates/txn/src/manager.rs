@@ -71,6 +71,7 @@ impl TransactionManager {
 
     /// Manager wired to a log manager.
     pub fn with_sink(sink: Arc<dyn CommitSink>) -> Self {
+        crate::obs::register();
         TransactionManager {
             oracle: TimestampOracle::new(),
             active: Mutex::new(BTreeSet::new()),
@@ -106,7 +107,8 @@ impl TransactionManager {
         assert_eq!(txn.outcome(), TxnOutcome::Active, "commit on finished txn");
         // A DDL-only transaction has an empty write set but must still reach
         // the log: its record is what makes the log self-describing.
-        let read_only = txn.write_set_size() == 0 && txn.ddl_count() == 0;
+        let writes = txn.write_set_size();
+        let read_only = writes == 0 && txn.ddl_count() == 0;
         let commit_ts;
         {
             let _guard = self.commit_latch.lock();
@@ -129,6 +131,9 @@ impl TransactionManager {
         }
         self.active.lock().remove(&txn.start_ts().0);
         txn.run_end_actions(true);
+        if writes > 0 {
+            crate::obs::DB_WRITES.add(writes as u64);
+        }
         self.completed.push(Arc::clone(txn));
         commit_ts
     }

@@ -23,6 +23,44 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Global WAL metrics (see `mainline-obs`): statically-registered handles,
+/// so the log thread's hot loop records with single relaxed `fetch_add`s.
+/// Registered (idempotently) by [`LogManager::start`].
+pub(crate) mod obs {
+    use mainline_obs::{Counter, Histogram, Metric};
+
+    /// Durability callbacks invoked (== commits acknowledged durable).
+    pub static COMMITS_ACKED: Counter =
+        Counter::new("wal_commits_acked", "commits acknowledged durable after a group fsync");
+    /// Bytes serialized to the log (process-wide; per-instance figures stay
+    /// on `LogManager::bytes_written`).
+    pub static BYTES_WRITTEN: Counter =
+        Counter::new("wal_bytes_written", "bytes serialized to the log across all log managers");
+    /// Active-segment rotations into archives.
+    pub static ROTATIONS: Counter =
+        Counter::new("wal_rotations", "active log segments rotated into archives");
+    /// Commits acknowledged per group fsync (the group-commit batch size).
+    pub static GROUP_COMMIT_TXNS: Histogram =
+        Histogram::new("wal_group_commit_txns", "commits acknowledged per group fsync");
+    /// Wall-clock nanoseconds per flush+fsync of a commit group.
+    pub static FSYNC_NANOS: Histogram =
+        Histogram::new("wal_fsync_nanos", "flush+fsync latency per commit group");
+
+    pub(crate) fn register() {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            mainline_obs::registry().register(&[
+                Metric::Counter(&COMMITS_ACKED),
+                Metric::Counter(&BYTES_WRITTEN),
+                Metric::Counter(&ROTATIONS),
+                Metric::Histogram(&GROUP_COMMIT_TXNS),
+                Metric::Histogram(&FSYNC_NANOS),
+            ]);
+        });
+    }
+}
 
 /// Tuning knobs for the log manager.
 #[derive(Debug, Clone)]
@@ -87,6 +125,7 @@ pub struct LogManager {
 impl LogManager {
     /// Start the logging thread.
     pub fn start(config: LogManagerConfig) -> Result<Arc<LogManager>> {
+        obs::register();
         let file = OpenOptions::new().create(true).append(true).open(&config.path)?;
         let existing = file.metadata().map(|m| m.len()).unwrap_or(0);
         let next_seq =
@@ -217,15 +256,18 @@ impl SegmentedWriter {
         self.out.write_all(bytes).expect("log write failed");
         self.active_bytes += bytes.len() as u64;
         self.bytes_written.fetch_add(bytes.len() as u64, Ordering::AcqRel);
+        obs::BYTES_WRITTEN.add(bytes.len() as u64);
         self.last_commit_ts = commit_ts;
         self.has_commits = true;
     }
 
     fn sync(&mut self) {
+        let t0 = Instant::now();
         self.out.flush().expect("log flush failed");
         if self.fsync {
             self.out.get_ref().sync_data().expect("log fsync failed");
         }
+        obs::FSYNC_NANOS.observe_duration(t0.elapsed());
     }
 
     /// Rotate the active file into an archive segment if it outgrew the
@@ -251,6 +293,7 @@ impl SegmentedWriter {
         self.next_seq += 1;
         self.active_bytes = 0;
         self.has_commits = false;
+        obs::ROTATIONS.inc();
     }
 }
 
@@ -263,6 +306,8 @@ fn run_loop(w: &mut SegmentedWriter, rx: Receiver<Msg>) {
             return;
         }
         w.sync();
+        obs::GROUP_COMMIT_TXNS.observe(callbacks.len() as u64);
+        obs::COMMITS_ACKED.add(callbacks.len() as u64);
         for cb in callbacks.drain(..) {
             cb();
         }

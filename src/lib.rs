@@ -57,6 +57,7 @@
 //! | [`export`] | the four export protocols |
 //! | [`db`] | catalog + assembled database |
 //! | [`server`] | network frontend: PG wire + Flight-style IPC over TCP |
+//! | [`obs`] | metrics registry + event ring, served via `mainline_metrics` |
 //! | [`workloads`] | TPC-C, TPC-H LINEITEM, row-vs-column drivers |
 
 pub use mainline_arrowlite as arrowlite;
@@ -66,6 +67,7 @@ pub use mainline_db as db;
 pub use mainline_export as export;
 pub use mainline_gc as gc;
 pub use mainline_index as index;
+pub use mainline_obs as obs;
 pub use mainline_server as server;
 pub use mainline_storage as storage;
 pub use mainline_transform as transform;
