@@ -1,0 +1,127 @@
+//! Contended-index sweep (ISSUE 10): point-lookup and mixed read/write
+//! throughput on the OLC B+-tree as reader/writer threads scale, plus the
+//! protocol's own health counters (descent restarts, scan fallbacks).
+//!
+//! Three series per thread count, each over the same pre-loaded tree:
+//!
+//! * **lookup** — pure point lookups, uniformly random over the loaded
+//!   keyspace (the latch-free descent path);
+//! * **mixed_90_10** — 90 % lookups / 10 % upserts into the same keyspace,
+//!   so writers keep bumping versions under the readers;
+//! * **scan100** — 100-entry range scans (the snapshot-per-leaf path).
+//!
+//! Lookup throughput should *rise* with threads on multi-core hardware —
+//! the whole point of replacing reader crabbing — so the core count is
+//! printed with the header: on a single-core runner the sweep can only
+//! show the protocol not collapsing under oversubscription.
+//!
+//! Knobs: `MAINLINE_INDEX_ROWS` (default 200000), `MAINLINE_INDEX_SECONDS`
+//! per cell (default 2), `MAINLINE_INDEX_THREADS` (default "1,2,4").
+
+use mainline_bench::{emit, env_usize};
+use mainline_common::rng::Xoshiro256;
+use mainline_index::{BPlusTree, KeyBuilder};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn key(i: u64) -> Vec<u8> {
+    KeyBuilder::new().add_i64(i as i64).finish()
+}
+
+fn counter(name: &str) -> u64 {
+    mainline_obs::registry().snapshot().counter(name).unwrap_or(0)
+}
+
+/// Run `threads` workers against `tree` for `seconds`; each worker calls
+/// `op(rng_draw) -> ops_done` in a loop. Returns total ops.
+fn drive(
+    tree: &Arc<BPlusTree<u64>>,
+    threads: u32,
+    seconds: u64,
+    rows: u64,
+    mixed: bool,
+    scan: bool,
+) -> u64 {
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let tree = Arc::clone(tree);
+        let stop = Arc::clone(&stop);
+        let total = Arc::clone(&total);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Xoshiro256::seed_from_u64(0x51CA + t as u64);
+            let mut done = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                for _ in 0..256 {
+                    let k = rng.int_range(0, rows as i64) as u64;
+                    if scan {
+                        let mut seen = 0u32;
+                        tree.scan_range(&key(k), None, |_, _| {
+                            seen += 1;
+                            seen < 100
+                        });
+                    } else if mixed && rng.next_below(10) == 0 {
+                        tree.upsert(&key(k), k ^ done);
+                    } else {
+                        std::hint::black_box(tree.get(&key(k)));
+                    }
+                    done += 1;
+                }
+            }
+            total.fetch_add(done, Ordering::Relaxed);
+        }));
+    }
+    std::thread::sleep(Duration::from_secs(seconds));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+    total.load(Ordering::Relaxed)
+}
+
+fn main() {
+    let rows = env_usize("MAINLINE_INDEX_ROWS", 200_000) as u64;
+    let seconds = env_usize("MAINLINE_INDEX_SECONDS", 2) as u64;
+    let threads: Vec<u32> = std::env::var("MAINLINE_INDEX_THREADS")
+        .unwrap_or_else(|_| "1,2,4".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "# fig_index — OLC B+-tree contention sweep ({rows} rows, {seconds}s per cell, \
+         threads {threads:?}, {cores} core(s))"
+    );
+    println!("figure,series,threads,value,unit");
+
+    let tree: Arc<BPlusTree<u64>> = Arc::new(BPlusTree::new());
+    for i in 0..rows {
+        tree.insert_unique(&key(i), i);
+    }
+
+    for &t in &threads {
+        let r0 = counter("index_descent_restarts");
+        let ops = drive(&tree, t, seconds, rows, false, false);
+        emit("fig_index", "lookup", t, ops as f64 / seconds as f64 / 1e6, "M_ops_per_s");
+
+        let ops = drive(&tree, t, seconds, rows, true, false);
+        emit("fig_index", "mixed_90_10", t, ops as f64 / seconds as f64 / 1e6, "M_ops_per_s");
+
+        let ops = drive(&tree, t, seconds, rows, false, true);
+        emit("fig_index", "scan100", t, ops as f64 / seconds as f64 / 1e3, "K_scans_per_s");
+
+        emit(
+            "fig_index",
+            "descent_restarts",
+            t,
+            (counter("index_descent_restarts") - r0) as f64,
+            "count",
+        );
+    }
+    emit("fig_index", "scan_fallbacks", "all", counter("index_scan_fallbacks") as f64, "count");
+    let snap = mainline_obs::registry().snapshot();
+    println!("# {}", snap.one_line(&["index_lookup_nanos", "index_descent_restarts"]));
+    println!("# done");
+}

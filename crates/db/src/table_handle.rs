@@ -140,7 +140,9 @@ impl TableHandle {
         inserted
     }
 
-    /// Approximate entry count of index `i` (test/metrics aid).
+    /// Exact entry count of index `i`: the underlying tree updates its
+    /// counter inside the leaf critical section, so this is linearizable
+    /// with the insert/remove that produced it.
     pub fn index_len(&self, i: usize) -> usize {
         self.indexes[i].tree.len()
     }

@@ -1,117 +1,298 @@
-//! Concurrent B+-tree with per-node reader-writer latches.
+//! Concurrent B+-tree with optimistic lock coupling (OLC).
 //!
-//! Concurrency protocol:
+//! # Concurrency protocol
 //!
-//! * **Readers** descend with hand-over-hand read latches (lock child, release
-//!   parent).
-//! * **Writers** descend with hand-over-hand write latches and *preemptively
-//!   split* any full child before entering it, so a writer never holds more
-//!   than two node latches (parent + child) and never needs to re-traverse.
-//! * **Deletes** are lazy: keys are removed from leaves without rebalancing,
-//!   so leaf sibling pointers are immutable once set and range scans can
-//!   hand-over-hand along the leaf level without deadlock.
+//! Every node carries a [`VersionLatch`] — one
+//! word packing an exclusive lock bit with a modification version — and the
+//! root *pointer* carries its own latch, closing the stale-root window the
+//! old crabbing tree had (it released the root-pointer lock before latching
+//! the root node, so a racing root split could strand a reader in the stale
+//! left half and lose a present key).
 //!
-//! Lock ordering is strictly top-down / left-to-right, which makes the
-//! protocol deadlock-free.
+//! * **Readers take no latches.** A descent reads each node through atomic
+//!   loads under an optimistic version, and the child handshake is:
+//!   obtain the child's version, then re-validate the parent — so the child
+//!   pointer is known to have been current. Any conflict (locked latch or
+//!   bumped version) restarts the descent from the root. Restart cost is
+//!   bounded by tree height; restarts are counted in
+//!   `index_descent_restarts`.
+//! * **Writers descend optimistically too**, then latch just the leaf (at
+//!   its validated version, so a changed leaf fails the lock and restarts).
+//!   Structural changes are *preemptive*: a writer that is about to enter a
+//!   full child latches parent + child (both at validated versions), splits,
+//!   and restarts — so descents never enter a full node and a leaf latch
+//!   always has room for the insert. A full root is split under the
+//!   root-pointer latch, which is version-bumped exactly like a node so
+//!   in-flight readers of the old root pointer fail validation.
+//! * **Deletes are lazy** (no merging), so a leaf's low bound is immutable:
+//!   splits only move a leaf's *upper* half right, which is what makes the
+//!   leaf-level next-pointer chain safe to walk during scans.
+//! * **Scans** capture one leaf at a time: snapshot the packed slot words
+//!   under an optimistic version, validate, then emit — so the user
+//!   callback never runs on a torn view and never needs undoing. After a
+//!   few failed optimistic captures a scan takes the leaf latch briefly
+//!   (`index_scan_fallbacks`) instead of restarting forever.
+//!
+//! # Why latch-free reads are sound here
+//!
+//! All reader-visible node state is atomic, and nothing a reader can load
+//! ever dangles:
+//!
+//! * a key slot is one `AtomicU64` packing `(len << 48) | ptr` into the
+//!   append-only [`KeyArena`], so a reader can
+//!   never see a torn pointer/length pair, and the bytes behind any
+//!   once-published word are immutable and live until the tree drops;
+//! * child/next pointers only ever hold nodes that are never freed before
+//!   the tree drops (splits allocate, deletes don't rebalance);
+//! * values are single `u64` words ([`IndexValue`]).
+//!
+//! A reader acting on a stale mixture of those words is caught by version
+//! validation and restarts; the point of the invariants above is that the
+//! stale read itself is memory-safe.
+//!
+//! # Inner-node comparisons: head truncation
+//!
+//! Each slot also stores the key's *head* — its first 8 bytes, zero-padded,
+//! as a big-endian `u64`. Unequal heads order exactly like the full keys
+//! (the head is a zero-padded prefix, and `KeyBuilder`'s encoding is
+//! memcmp-ordered), so a binary-search probe is usually one integer compare
+//! and only falls back to full key bytes on equal heads.
 
-use parking_lot::RwLock;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use crate::latch::{KeyArena, VersionLatch};
+use parking_lot::Mutex;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 /// Max keys per node before a preemptive split.
 const NODE_CAPACITY: usize = 64;
 
-type Key = Vec<u8>;
-type NodeRef<V> = Arc<RwLock<Node<V>>>;
+/// Optimistic capture attempts per leaf before a scan takes the latch.
+const SCAN_OPTIMISTIC_TRIES: usize = 3;
 
-enum Node<V> {
+type Key = Vec<u8>;
+
+/// A value storable in the tree: packed into one atomic 64-bit word so
+/// readers can load it without latching. The engine's indexes map keys to
+/// `TupleSlot` ids (`u64`), which is exactly this shape.
+pub trait IndexValue: Copy + Send + Sync + 'static {
+    /// Pack into the slot word.
+    fn to_word(self) -> u64;
+    /// Unpack from the slot word (inverse of [`to_word`](Self::to_word)).
+    fn from_word(w: u64) -> Self;
+}
+
+impl IndexValue for u64 {
+    fn to_word(self) -> u64 {
+        self
+    }
+    fn from_word(w: u64) -> Self {
+        w
+    }
+}
+
+impl IndexValue for u32 {
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    fn from_word(w: u64) -> Self {
+        w as u32
+    }
+}
+
+impl IndexValue for i64 {
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    fn from_word(w: u64) -> Self {
+        w as i64
+    }
+}
+
+impl IndexValue for usize {
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    fn from_word(w: u64) -> Self {
+        w as usize
+    }
+}
+
+/// First 8 key bytes, zero-padded, as a big-endian word (see module docs).
+#[inline]
+fn head_of(key: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    let n = key.len().min(8);
+    b[..n].copy_from_slice(&key[..n]);
+    u64::from_be_bytes(b)
+}
+
+/// Pack an arena key reference into one word: `(len << 48) | ptr`.
+#[inline]
+fn pack_key(ptr: *const u8, len: usize) -> u64 {
+    assert!(len < (1 << 16), "index keys are limited to 64 KiB");
+    let p = ptr as u64;
+    debug_assert_eq!(p >> 48, 0, "userspace pointers fit in 48 bits");
+    ((len as u64) << 48) | p
+}
+
+/// Reconstruct the key slice a packed word names.
+///
+/// # Safety
+/// `w` must be zero or a word produced by [`pack_key`] over bytes that are
+/// still live — which every word ever stored into a tree slot is, because
+/// arena bytes outlive the tree.
+#[inline]
+unsafe fn unpack_key<'a>(w: u64) -> &'a [u8] {
+    if w == 0 {
+        &[]
+    } else {
+        let ptr = (w & ((1 << 48) - 1)) as *const u8;
+        let len = (w >> 48) as usize;
+        std::slice::from_raw_parts(ptr, len)
+    }
+}
+
+/// Kind-specific node storage. The discriminant is fixed at allocation
+/// (splits create new nodes; a node never changes kind), so readers may
+/// match on it without holding the latch.
+enum Body {
     Leaf {
-        keys: Vec<Key>,
-        vals: Vec<V>,
-        next: Option<NodeRef<V>>,
+        /// Packed value words, parallel to `keys`.
+        vals: Box<[AtomicU64]>,
+        /// Right sibling (null at the rightmost leaf). Low bounds are
+        /// immutable, so this chain only ever grows rightward.
+        next: AtomicPtr<Node>,
     },
     Inner {
-        /// `keys[i]` separates `children[i]` (< key) from `children[i+1]` (>= key).
-        keys: Vec<Key>,
-        children: Vec<NodeRef<V>>,
+        /// `children[i]` holds keys `< keys[i]`; `children[count]` the rest.
+        /// `NODE_CAPACITY + 1` slots.
+        children: Box<[AtomicPtr<Node>]>,
     },
 }
 
-impl<V: Clone> Node<V> {
+struct Node {
+    latch: VersionLatch,
+    /// Live slots in `[0, NODE_CAPACITY]`. Readers clamp before indexing;
+    /// a torn count is caught by validation.
+    count: AtomicUsize,
+    /// Head-truncated keys (first 8 bytes, big-endian, zero-padded).
+    heads: Box<[AtomicU64]>,
+    /// Packed arena references for the full keys.
+    keys: Box<[AtomicU64]>,
+    body: Body,
+}
+
+fn atomic_u64_array(n: usize) -> Box<[AtomicU64]> {
+    (0..n).map(|_| AtomicU64::new(0)).collect()
+}
+
+fn atomic_ptr_array(n: usize) -> Box<[AtomicPtr<Node>]> {
+    (0..n).map(|_| AtomicPtr::new(std::ptr::null_mut())).collect()
+}
+
+impl Node {
+    fn new(leaf: bool) -> Box<Node> {
+        Box::new(Node {
+            latch: VersionLatch::new(),
+            count: AtomicUsize::new(0),
+            heads: atomic_u64_array(NODE_CAPACITY),
+            keys: atomic_u64_array(NODE_CAPACITY),
+            body: if leaf {
+                Body::Leaf {
+                    vals: atomic_u64_array(NODE_CAPACITY),
+                    next: AtomicPtr::new(std::ptr::null_mut()),
+                }
+            } else {
+                Body::Inner { children: atomic_ptr_array(NODE_CAPACITY + 1) }
+            },
+        })
+    }
+
     fn is_full(&self) -> bool {
-        match self {
-            Node::Leaf { keys, .. } => keys.len() >= NODE_CAPACITY,
-            Node::Inner { keys, .. } => keys.len() >= NODE_CAPACITY,
-        }
+        self.count.load(Ordering::Relaxed) >= NODE_CAPACITY
     }
 
-    /// Split a full node; returns (separator key, right sibling).
-    /// For leaves the separator is the first key of the right node.
-    fn split(&mut self) -> (Key, NodeRef<V>) {
-        match self {
-            Node::Leaf { keys, vals, next } => {
-                let mid = keys.len() / 2;
-                let right_keys = keys.split_off(mid);
-                let right_vals = vals.split_off(mid);
-                let sep = right_keys[0].clone();
-                let right = Arc::new(RwLock::new(Node::Leaf {
-                    keys: right_keys,
-                    vals: right_vals,
-                    next: next.take(),
-                }));
-                *next = Some(Arc::clone(&right));
-                (sep, right)
-            }
-            Node::Inner { keys, children } => {
-                let mid = keys.len() / 2;
-                // keys[mid] moves up; right gets keys[mid+1..], children[mid+1..].
-                let right_keys = keys.split_off(mid + 1);
-                let sep = keys.pop().unwrap();
-                let right_children = children.split_off(mid + 1);
-                let right = Arc::new(RwLock::new(Node::Inner {
-                    keys: right_keys,
-                    children: right_children,
-                }));
-                (sep, right)
+    /// Binary search over the live slots. Under optimism the result may be
+    /// garbage (torn view) — callers validate before trusting it, and every
+    /// index it produces is in bounds either way.
+    fn search(&self, key: &[u8], probe_head: u64) -> Result<usize, usize> {
+        let n = self.count.load(Ordering::Relaxed).min(NODE_CAPACITY);
+        let (mut lo, mut hi) = (0usize, n);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            let h = self.heads[mid].load(Ordering::Relaxed);
+            let ord = match h.cmp(&probe_head) {
+                std::cmp::Ordering::Equal => {
+                    let w = self.keys[mid].load(Ordering::Acquire);
+                    // SAFETY: slot words name live arena bytes (module docs).
+                    unsafe { unpack_key(w) }.cmp(key)
+                }
+                o => o,
+            };
+            match ord {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
             }
         }
+        Err(lo)
     }
 
-    /// Child index to descend into for `key`.
-    fn child_index(keys: &[Key], key: &[u8]) -> usize {
-        match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
-            Ok(i) => i + 1, // equal separators go right
+    /// Child slot to descend into for `key` (equal separators go right).
+    fn child_index(&self, key: &[u8], probe_head: u64) -> usize {
+        match self.search(key, probe_head) {
+            Ok(i) => i + 1,
             Err(i) => i,
         }
     }
 }
 
-/// A thread-safe ordered map from byte keys to values.
+/// A thread-safe ordered map from byte keys to word-sized values, built on
+/// optimistic lock coupling (see module docs for the protocol).
 pub struct BPlusTree<V> {
-    root: RwLock<NodeRef<V>>,
+    /// Versioned latch over the root *pointer* slot: bumped on every root
+    /// replacement, validated by every descent's handshake.
+    root_latch: VersionLatch,
+    root: AtomicPtr<Node>,
+    /// Exact live-entry count: only ever updated while the owning leaf's
+    /// latch is held, so it is linearizable with the structural change.
     len: AtomicUsize,
+    arena: KeyArena,
+    /// Every node ever allocated (splits never free); reclaimed in `Drop`.
+    nodes: Mutex<Vec<*mut Node>>,
+    _marker: PhantomData<fn() -> V>,
 }
 
-impl<V: Clone + 'static> Default for BPlusTree<V> {
+// SAFETY: all shared state is atomics or lock-protected; raw node pointers
+// are owned by the tree and freed only in `Drop` (which takes `&mut self`);
+// values cross threads as plain `u64` words (`IndexValue: Send + Sync`).
+unsafe impl<V> Send for BPlusTree<V> {}
+unsafe impl<V> Sync for BPlusTree<V> {}
+
+impl<V: IndexValue> Default for BPlusTree<V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<V: Clone + 'static> BPlusTree<V> {
+impl<V: IndexValue> BPlusTree<V> {
     /// Empty tree.
     pub fn new() -> Self {
+        crate::obs::register();
+        let root = Box::into_raw(Node::new(true));
         BPlusTree {
-            root: RwLock::new(Arc::new(RwLock::new(Node::Leaf {
-                keys: Vec::new(),
-                vals: Vec::new(),
-                next: None,
-            }))),
+            root_latch: VersionLatch::new(),
+            root: AtomicPtr::new(root),
             len: AtomicUsize::new(0),
+            arena: KeyArena::new(),
+            nodes: Mutex::new(vec![root]),
+            _marker: PhantomData,
         }
     }
 
-    /// Number of live entries (approximate under concurrency).
+    /// Number of live entries. Exact: the counter is updated while the
+    /// owning leaf's latch is held, so it is linearizable with the insert
+    /// or remove it reflects.
     pub fn len(&self) -> usize {
         self.len.load(Ordering::Relaxed)
     }
@@ -121,28 +302,96 @@ impl<V: Clone + 'static> BPlusTree<V> {
         self.len() == 0
     }
 
+    /// Allocate a node and record it for reclamation at drop.
+    fn alloc_node(&self, leaf: bool) -> *mut Node {
+        let p = Box::into_raw(Node::new(leaf));
+        self.nodes.lock().push(p);
+        p
+    }
+
+    /// The descent handshake at the root: returns `(root node, its
+    /// version, root-pointer version)` or `None` on conflict. Validating
+    /// the root latch *after* obtaining the node's version is what closes
+    /// the stale-root window — a root swap in between bumps the root latch
+    /// and fails the validation.
+    #[inline]
+    fn enter_root(&self) -> Option<(&Node, u64, u64)> {
+        let v_root = self.root_latch.optimistic()?;
+        let ptr = self.root.load(Ordering::Acquire);
+        // SAFETY: nodes live until the tree drops.
+        let node = unsafe { &*ptr };
+        let v = node.latch.optimistic()?;
+        if !self.root_latch.validate(v_root) {
+            return None;
+        }
+        Some((node, v, v_root))
+    }
+
+    /// Count a restart and, every so often, yield so a preempted latch
+    /// holder can finish (matters on oversubscribed cores).
+    #[cold]
+    fn note_restart(attempt: u32) {
+        crate::obs::INDEX_DESCENT_RESTARTS.inc();
+        if attempt.is_multiple_of(64) {
+            std::thread::yield_now();
+        }
+    }
+
     /// Point lookup.
     pub fn get(&self, key: &[u8]) -> Option<V> {
-        let root_ptr = self.root.read();
-        let mut cur = Arc::clone(&root_ptr);
-        drop(root_ptr);
-        let mut guard = cur.read_arc();
-        loop {
-            match &*guard {
-                Node::Leaf { keys, vals, .. } => {
-                    return keys
-                        .binary_search_by(|k| k.as_slice().cmp(key))
-                        .ok()
-                        .map(|i| vals[i].clone());
-                }
-                Node::Inner { keys, children } => {
-                    let idx = Node::<V>::child_index(keys, key);
-                    let child = Arc::clone(&children[idx]);
-                    let child_guard = child.read_arc();
-                    drop(guard);
-                    cur = child;
-                    let _ = &cur; // cur kept alive by guard's Arc already
-                    guard = child_guard;
+        use std::cell::Cell;
+        thread_local! {
+            static LOOKUP_TICK: Cell<u8> = const { Cell::new(0) };
+        }
+        let sampled = LOOKUP_TICK.with(|c| {
+            let n = c.get().wrapping_add(1);
+            c.set(n);
+            n & 7 == 0
+        });
+        let t0 = sampled.then(std::time::Instant::now);
+        let r = self.get_inner(key);
+        if let Some(t0) = t0 {
+            crate::obs::INDEX_LOOKUP_NANOS.observe_duration(t0.elapsed());
+        }
+        r
+    }
+
+    fn get_inner(&self, key: &[u8]) -> Option<V> {
+        let probe_head = head_of(key);
+        let mut attempt = 0u32;
+        'restart: loop {
+            attempt += 1;
+            if attempt > 1 {
+                Self::note_restart(attempt);
+            }
+            let Some((mut node, mut v, _)) = self.enter_root() else { continue 'restart };
+            loop {
+                match &node.body {
+                    Body::Inner { children } => {
+                        let idx = node.child_index(key, probe_head).min(NODE_CAPACITY);
+                        let child_ptr = children[idx].load(Ordering::Acquire);
+                        if child_ptr.is_null() {
+                            continue 'restart; // torn view of an in-progress split
+                        }
+                        // SAFETY: nodes live until the tree drops.
+                        let child = unsafe { &*child_ptr };
+                        let Some(v_child) = child.latch.optimistic() else { continue 'restart };
+                        if !node.latch.validate(v) {
+                            continue 'restart;
+                        }
+                        node = child;
+                        v = v_child;
+                    }
+                    Body::Leaf { vals, .. } => {
+                        let r = match node.search(key, probe_head) {
+                            Ok(i) => Some(vals[i].load(Ordering::Relaxed)),
+                            Err(_) => None,
+                        };
+                        if !node.latch.validate(v) {
+                            continue 'restart;
+                        }
+                        return r.map(V::from_word);
+                    }
                 }
             }
         }
@@ -151,174 +400,381 @@ impl<V: Clone + 'static> BPlusTree<V> {
     /// Insert if the key is absent. Returns `false` (and leaves the tree
     /// unchanged) if the key is already present — the unique-constraint path.
     pub fn insert_unique(&self, key: &[u8], val: V) -> bool {
-        self.write_leaf(key, |keys, vals, pos| match pos {
-            Ok(_) => false,
+        let w = val.to_word();
+        self.update_leaf(key, |leaf, pos| match pos {
+            Ok(_) => (false, false),
             Err(i) => {
-                keys.insert(i, key.to_vec());
-                vals.insert(i, val);
-                true
-            }
-        })
-        .inspect(|&inserted| {
-            if inserted {
+                self.leaf_insert(leaf, i, key, w);
                 self.len.fetch_add(1, Ordering::Relaxed);
+                (true, true)
             }
         })
-        .unwrap()
     }
 
     /// Insert or overwrite; returns the previous value if any.
     pub fn upsert(&self, key: &[u8], val: V) -> Option<V> {
-        let prev = self
-            .write_leaf(key, |keys, vals, pos| match pos {
-                Ok(i) => Some(std::mem::replace(&mut vals[i], val)),
-                Err(i) => {
-                    keys.insert(i, key.to_vec());
-                    vals.insert(i, val);
-                    None
-                }
-            })
-            .unwrap();
-        if prev.is_none() {
-            self.len.fetch_add(1, Ordering::Relaxed);
-        }
-        prev
+        let w = val.to_word();
+        self.update_leaf(key, |leaf, pos| match pos {
+            Ok(i) => {
+                let Body::Leaf { vals, .. } = &leaf.body else { unreachable!("leaf") };
+                let old = vals[i].load(Ordering::Relaxed);
+                vals[i].store(w, Ordering::Relaxed);
+                (Some(V::from_word(old)), true)
+            }
+            Err(i) => {
+                self.leaf_insert(leaf, i, key, w);
+                self.len.fetch_add(1, Ordering::Relaxed);
+                (None, true)
+            }
+        })
     }
 
     /// Remove a key; returns its value if it was present.
     pub fn remove(&self, key: &[u8]) -> Option<V> {
-        let removed = self
-            .write_leaf(key, |keys, vals, pos| match pos {
-                Ok(i) => {
-                    keys.remove(i);
-                    Some(vals.remove(i))
-                }
-                Err(_) => None,
-            })
-            .unwrap();
-        if removed.is_some() {
-            self.len.fetch_sub(1, Ordering::Relaxed);
-        }
-        removed
+        self.update_leaf(key, |leaf, pos| match pos {
+            Ok(i) => {
+                let old = Self::leaf_remove(leaf, i);
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                (Some(V::from_word(old)), true)
+            }
+            Err(_) => (None, false),
+        })
     }
 
-    /// Descend to the leaf owning `key` with write-crabbing and preemptive
-    /// splits, then run `f(keys, vals, binary_search_result)` on the leaf.
-    fn write_leaf<R>(
+    /// Optimistic write descent: split-ahead on full nodes, then run `op`
+    /// on the latched leaf with the key's search position. `op` returns
+    /// `(result, modified)`; it is called exactly once, restarts happen
+    /// only before the leaf latch is taken. The leaf is never full when
+    /// `op` runs (preemptive splits), so inserts always have room.
+    fn update_leaf<R>(
         &self,
         key: &[u8],
-        f: impl FnOnce(&mut Vec<Key>, &mut Vec<V>, std::result::Result<usize, usize>) -> R,
-    ) -> Option<R> {
-        // Handle a full root first (the only place the root pointer changes).
-        loop {
-            let root_ptr = self.root.upgradable_read();
-            let root = Arc::clone(&root_ptr);
-            let root_guard = root.write_arc();
-            if root_guard.is_full() {
-                let mut root_ptr = parking_lot::RwLockUpgradableReadGuard::upgrade(root_ptr);
-                // Re-check under the write lock on the root pointer: another
-                // writer may have already replaced the root.
-                if !Arc::ptr_eq(&root, &*root_ptr) {
-                    continue;
-                }
-                let mut old_root = root_guard;
-                let (sep, right) = old_root.split();
-                let new_root = Arc::new(RwLock::new(Node::Inner {
-                    keys: vec![sep],
-                    children: vec![Arc::clone(&root), right],
-                }));
-                *root_ptr = new_root;
-                // Restart: descend through the new root.
-                continue;
+        mut op: impl FnMut(&Node, Result<usize, usize>) -> (R, bool),
+    ) -> R {
+        let probe_head = head_of(key);
+        let mut attempt = 0u32;
+        'restart: loop {
+            attempt += 1;
+            if attempt > 1 {
+                Self::note_restart(attempt);
             }
-            drop(root_ptr);
-            // Descend holding only `guard` (parent) at a time.
-            let mut guard = root_guard;
+            let Some((root, v_root_node, v_root)) = self.enter_root() else { continue 'restart };
+            if root.is_full() {
+                // Split the root under the root-pointer latch + node latch.
+                if self.root_latch.try_lock_at(v_root) {
+                    if root.latch.try_lock_at(v_root_node) {
+                        self.split_root(root);
+                        root.latch.unlock_modified();
+                        self.root_latch.unlock_modified();
+                    } else {
+                        self.root_latch.unlock_clean();
+                    }
+                }
+                continue 'restart;
+            }
+            let mut node = root;
+            let mut v = v_root_node;
             loop {
-                // Preemptively split the child we are about to enter.
-                let next = match &mut *guard {
-                    Node::Leaf { keys, vals, .. } => {
-                        let pos = keys.binary_search_by(|k| k.as_slice().cmp(key));
-                        return Some(f(keys, vals, pos));
-                    }
-                    Node::Inner { keys, children } => {
-                        let idx = Node::<V>::child_index(keys, key);
-                        let child = Arc::clone(&children[idx]);
-                        let mut child_guard = child.write_arc();
-                        if child_guard.is_full() {
-                            let (sep, right) = child_guard.split();
-                            // Parent has room (invariant: we never descend
-                            // into a full node).
-                            keys.insert(idx, sep.clone());
-                            children.insert(idx + 1, Arc::clone(&right));
-                            if key >= sep.as_slice() {
-                                drop(child_guard);
-
-                                right.write_arc()
-                            } else {
-                                child_guard
-                            }
-                        } else {
-                            child_guard
+                match &node.body {
+                    Body::Inner { children } => {
+                        let idx = node.child_index(key, probe_head).min(NODE_CAPACITY);
+                        let child_ptr = children[idx].load(Ordering::Acquire);
+                        if child_ptr.is_null() {
+                            continue 'restart;
                         }
+                        // SAFETY: nodes live until the tree drops.
+                        let child = unsafe { &*child_ptr };
+                        let Some(v_child) = child.latch.optimistic() else { continue 'restart };
+                        if !node.latch.validate(v) {
+                            continue 'restart;
+                        }
+                        if child.is_full() {
+                            // Preemptive split: latch parent then child, both
+                            // at their validated versions (single try each —
+                            // no hold-and-spin, so no deadlock).
+                            if node.latch.try_lock_at(v) {
+                                if child.latch.try_lock_at(v_child) {
+                                    let (sep_head, sep_word, right) = self.split_node(child);
+                                    Self::insert_separator(node, idx, sep_head, sep_word, right);
+                                    child.latch.unlock_modified();
+                                    node.latch.unlock_modified();
+                                } else {
+                                    node.latch.unlock_clean();
+                                }
+                            }
+                            continue 'restart;
+                        }
+                        node = child;
+                        v = v_child;
                     }
-                };
-                guard = next;
+                    Body::Leaf { .. } => {
+                        if !node.latch.try_lock_at(v) {
+                            continue 'restart;
+                        }
+                        let pos = node.search(key, probe_head);
+                        let (r, modified) = op(node, pos);
+                        if modified {
+                            node.latch.unlock_modified();
+                        } else {
+                            node.latch.unlock_clean();
+                        }
+                        return r;
+                    }
+                }
             }
         }
+    }
+
+    /// Insert a key/value into a latched, non-full leaf at slot `i`,
+    /// shifting greater slots right. Requires the leaf latch held.
+    fn leaf_insert(&self, leaf: &Node, i: usize, key: &[u8], val_word: u64) {
+        let n = leaf.count.load(Ordering::Relaxed);
+        debug_assert!(n < NODE_CAPACITY, "preemptive splits keep leaves non-full");
+        let Body::Leaf { vals, .. } = &leaf.body else { unreachable!("leaf") };
+        let mut j = n;
+        while j > i {
+            leaf.heads[j].store(leaf.heads[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
+            leaf.keys[j].store(leaf.keys[j - 1].load(Ordering::Acquire), Ordering::Release);
+            vals[j].store(vals[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
+            j -= 1;
+        }
+        let ptr = self.arena.alloc(key);
+        leaf.heads[i].store(head_of(key), Ordering::Relaxed);
+        // Release-publishing the packed word orders the arena byte copy
+        // before any acquire-load of this slot.
+        leaf.keys[i].store(pack_key(ptr, key.len()), Ordering::Release);
+        vals[i].store(val_word, Ordering::Relaxed);
+        leaf.count.store(n + 1, Ordering::Relaxed);
+    }
+
+    /// Remove slot `i` from a latched leaf, shifting greater slots left.
+    /// Returns the removed value word. Requires the leaf latch held.
+    fn leaf_remove(leaf: &Node, i: usize) -> u64 {
+        let n = leaf.count.load(Ordering::Relaxed);
+        debug_assert!(i < n);
+        let Body::Leaf { vals, .. } = &leaf.body else { unreachable!("leaf") };
+        let old = vals[i].load(Ordering::Relaxed);
+        for j in i..n - 1 {
+            leaf.heads[j].store(leaf.heads[j + 1].load(Ordering::Relaxed), Ordering::Relaxed);
+            leaf.keys[j].store(leaf.keys[j + 1].load(Ordering::Acquire), Ordering::Release);
+            vals[j].store(vals[j + 1].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        leaf.count.store(n - 1, Ordering::Relaxed);
+        old
+    }
+
+    /// Split a latched, full node; returns the separator (head + packed
+    /// word) and the new right sibling. For leaves the separator is the
+    /// right node's first key; for inner nodes `keys[mid]` moves up.
+    /// Requires `node`'s latch held (plus the parent's, at the call sites).
+    fn split_node(&self, node: &Node) -> (u64, u64, *mut Node) {
+        let n = node.count.load(Ordering::Relaxed);
+        debug_assert_eq!(n, NODE_CAPACITY);
+        let mid = n / 2;
+        match &node.body {
+            Body::Leaf { vals, next } => {
+                let right_ptr = self.alloc_node(true);
+                // SAFETY: freshly allocated, unpublished — we are the only
+                // accessor until the stores below publish it.
+                let right = unsafe { &*right_ptr };
+                let Body::Leaf { vals: rvals, next: rnext } = &right.body else {
+                    unreachable!("leaf")
+                };
+                for j in mid..n {
+                    right.heads[j - mid]
+                        .store(node.heads[j].load(Ordering::Relaxed), Ordering::Relaxed);
+                    right.keys[j - mid]
+                        .store(node.keys[j].load(Ordering::Acquire), Ordering::Release);
+                    rvals[j - mid].store(vals[j].load(Ordering::Relaxed), Ordering::Relaxed);
+                }
+                rnext.store(next.load(Ordering::Acquire), Ordering::Release);
+                right.count.store(n - mid, Ordering::Relaxed);
+                let sep_head = node.heads[mid].load(Ordering::Relaxed);
+                let sep_word = node.keys[mid].load(Ordering::Acquire);
+                next.store(right_ptr, Ordering::Release);
+                node.count.store(mid, Ordering::Relaxed);
+                (sep_head, sep_word, right_ptr)
+            }
+            Body::Inner { children } => {
+                let right_ptr = self.alloc_node(false);
+                // SAFETY: freshly allocated, unpublished (as above).
+                let right = unsafe { &*right_ptr };
+                let Body::Inner { children: rchildren } = &right.body else {
+                    unreachable!("inner")
+                };
+                // keys[mid] moves up; right gets keys[mid+1..n] and
+                // children[mid+1..=n].
+                for j in mid + 1..n {
+                    right.heads[j - mid - 1]
+                        .store(node.heads[j].load(Ordering::Relaxed), Ordering::Relaxed);
+                    right.keys[j - mid - 1]
+                        .store(node.keys[j].load(Ordering::Acquire), Ordering::Release);
+                }
+                for j in mid + 1..=n {
+                    rchildren[j - mid - 1]
+                        .store(children[j].load(Ordering::Acquire), Ordering::Release);
+                }
+                right.count.store(n - mid - 1, Ordering::Relaxed);
+                let sep_head = node.heads[mid].load(Ordering::Relaxed);
+                let sep_word = node.keys[mid].load(Ordering::Acquire);
+                node.count.store(mid, Ordering::Relaxed);
+                (sep_head, sep_word, right_ptr)
+            }
+        }
+    }
+
+    /// Insert a separator + right child into a latched, non-full inner
+    /// node at key slot `idx` / child slot `idx + 1`. Requires the latch.
+    fn insert_separator(parent: &Node, idx: usize, sep_head: u64, sep_word: u64, right: *mut Node) {
+        let n = parent.count.load(Ordering::Relaxed);
+        debug_assert!(n < NODE_CAPACITY, "descents never enter a full node");
+        let Body::Inner { children } = &parent.body else { unreachable!("inner") };
+        let mut j = n;
+        while j > idx {
+            parent.heads[j].store(parent.heads[j - 1].load(Ordering::Relaxed), Ordering::Relaxed);
+            parent.keys[j].store(parent.keys[j - 1].load(Ordering::Acquire), Ordering::Release);
+            j -= 1;
+        }
+        let mut j = n + 1;
+        while j > idx + 1 {
+            children[j].store(children[j - 1].load(Ordering::Acquire), Ordering::Release);
+            j -= 1;
+        }
+        parent.heads[idx].store(sep_head, Ordering::Relaxed);
+        parent.keys[idx].store(sep_word, Ordering::Release);
+        children[idx + 1].store(right, Ordering::Release);
+        parent.count.store(n + 1, Ordering::Relaxed);
+    }
+
+    /// Replace a full root with a fresh inner node over its two halves.
+    /// Requires both the root-pointer latch and the root node's latch;
+    /// the caller's `unlock_modified` on both publishes the swap.
+    fn split_root(&self, root: &Node) {
+        let (sep_head, sep_word, right) = self.split_node(root);
+        let new_root_ptr = self.alloc_node(false);
+        // SAFETY: freshly allocated, unpublished until the store below.
+        let new_root = unsafe { &*new_root_ptr };
+        let Body::Inner { children } = &new_root.body else { unreachable!("inner") };
+        new_root.heads[0].store(sep_head, Ordering::Relaxed);
+        new_root.keys[0].store(sep_word, Ordering::Release);
+        children[0].store(root as *const Node as *mut Node, Ordering::Release);
+        children[1].store(right, Ordering::Release);
+        new_root.count.store(1, Ordering::Relaxed);
+        self.root.store(new_root_ptr, Ordering::Release);
+    }
+
+    /// Optimistic descent to the leaf whose range covers `key` (or one to
+    /// its left, if a racing split just moved the range right — the scan's
+    /// next-chain walk absorbs that).
+    fn find_leaf(&self, key: &[u8]) -> *const Node {
+        let probe_head = head_of(key);
+        let mut attempt = 0u32;
+        'restart: loop {
+            attempt += 1;
+            if attempt > 1 {
+                Self::note_restart(attempt);
+            }
+            let Some((mut node, mut v, _)) = self.enter_root() else { continue 'restart };
+            loop {
+                match &node.body {
+                    Body::Inner { children } => {
+                        let idx = node.child_index(key, probe_head).min(NODE_CAPACITY);
+                        let child_ptr = children[idx].load(Ordering::Acquire);
+                        if child_ptr.is_null() {
+                            continue 'restart;
+                        }
+                        // SAFETY: nodes live until the tree drops.
+                        let child = unsafe { &*child_ptr };
+                        let Some(v_child) = child.latch.optimistic() else { continue 'restart };
+                        if !node.latch.validate(v) {
+                            continue 'restart;
+                        }
+                        node = child;
+                        v = v_child;
+                    }
+                    Body::Leaf { .. } => return node as *const Node,
+                }
+            }
+        }
+    }
+
+    /// Snapshot a leaf's live `(key word, value word)` pairs and its next
+    /// pointer. Caller synchronizes (optimistic + validate, or the latch).
+    fn capture_into(leaf: &Node, snap: &mut Vec<(u64, u64)>) -> *mut Node {
+        let Body::Leaf { vals, next } = &leaf.body else { unreachable!("leaf") };
+        let n = leaf.count.load(Ordering::Relaxed).min(NODE_CAPACITY);
+        for i in 0..n {
+            snap.push((leaf.keys[i].load(Ordering::Acquire), vals[i].load(Ordering::Relaxed)));
+        }
+        next.load(Ordering::Acquire)
+    }
+
+    /// Capture one leaf for a scan: a few optimistic tries, then the
+    /// locked fallback (counted in `index_scan_fallbacks`) — scans never
+    /// restart from the root once they are emitting. Returns the captured
+    /// next pointer.
+    fn capture_leaf(leaf: &Node, snap: &mut Vec<(u64, u64)>) -> *mut Node {
+        for _ in 0..SCAN_OPTIMISTIC_TRIES {
+            snap.clear();
+            let Some(v) = leaf.latch.optimistic() else {
+                std::hint::spin_loop();
+                continue;
+            };
+            let next = Self::capture_into(leaf, snap);
+            if leaf.latch.validate(v) {
+                return next;
+            }
+        }
+        crate::obs::INDEX_SCAN_FALLBACKS.inc();
+        leaf.latch.lock();
+        snap.clear();
+        let next = Self::capture_into(leaf, snap);
+        leaf.latch.unlock_clean();
+        next
     }
 
     /// Range scan over `[lo, hi)` (hi `None` = unbounded). Calls `f(key, val)`
     /// for each entry in order; stop early by returning `false`.
+    ///
+    /// Each leaf is emitted from a validated snapshot, so `f` never sees a
+    /// torn node and is never re-invoked for the same snapshot. Entries
+    /// inserted behind the scan cursor after their leaf was captured may be
+    /// missed (same non-snapshot semantics as the crabbing tree).
     pub fn scan_range(&self, lo: &[u8], hi: Option<&[u8]>, mut f: impl FnMut(&[u8], &V) -> bool) {
-        // Descend to the leaf containing lo with read-crabbing.
-        let root_ptr = self.root.read();
-        let cur = Arc::clone(&root_ptr);
-        drop(root_ptr);
-        let mut guard = cur.read_arc();
-        while let Node::Inner { keys, children } = &*guard {
-            let idx = Node::<V>::child_index(keys, lo);
-            let child = Arc::clone(&children[idx]);
-            let child_guard = child.read_arc();
-            drop(guard);
-            guard = child_guard;
-        }
-        // Walk the leaf level.
-        loop {
-            let next = match &*guard {
-                Node::Leaf { keys, vals, next } => {
-                    let start = match keys.binary_search_by(|k| k.as_slice().cmp(lo)) {
-                        Ok(i) => i,
-                        Err(i) => i,
-                    };
-                    for i in start..keys.len() {
-                        if let Some(hi) = hi {
-                            if keys[i].as_slice() >= hi {
-                                return;
-                            }
-                        }
-                        if !f(&keys[i], &vals[i]) {
-                            return;
-                        }
-                    }
-                    match next {
-                        Some(n) => Arc::clone(n),
-                        None => return,
+        let mut cur = self.find_leaf(lo);
+        let mut snap: Vec<(u64, u64)> = Vec::with_capacity(NODE_CAPACITY);
+        while !cur.is_null() {
+            // SAFETY: nodes live until the tree drops.
+            let leaf = unsafe { &*cur };
+            let next = Self::capture_leaf(leaf, &mut snap);
+            for &(kw, vw) in snap.iter() {
+                // SAFETY: validated slot words name live arena bytes.
+                let k = unsafe { unpack_key(kw) };
+                if k < lo {
+                    continue;
+                }
+                if let Some(hi) = hi {
+                    if k >= hi {
+                        return;
                     }
                 }
-                Node::Inner { .. } => unreachable!("leaf level only"),
-            };
-            let next_guard = next.read_arc();
-            drop(guard);
-            guard = next_guard;
+                let v = V::from_word(vw);
+                if !f(k, &v) {
+                    return;
+                }
+            }
+            cur = next;
         }
     }
 
     /// Collect up to `limit` entries in `[lo, hi)`.
     pub fn range_collect(&self, lo: &[u8], hi: Option<&[u8]>, limit: usize) -> Vec<(Key, V)> {
         let mut out = Vec::new();
+        if limit == 0 {
+            return out;
+        }
         self.scan_range(lo, hi, |k, v| {
-            out.push((k.to_vec(), v.clone()));
+            out.push((k.to_vec(), *v));
             out.len() < limit
         });
         out
@@ -335,31 +791,56 @@ impl<V: Clone + 'static> BPlusTree<V> {
     pub fn first_at_or_after(&self, lo: &[u8]) -> Option<(Key, V)> {
         let mut out = None;
         self.scan_range(lo, None, |k, v| {
-            out = Some((k.to_vec(), v.clone()));
+            out = Some((k.to_vec(), *v));
             false
         });
         out
     }
 
-    /// Depth of the tree (test/debug aid; takes read locks down the left edge).
+    /// Depth of the tree (test/debug aid; optimistic walk down the left
+    /// edge, restarting on conflict like any other descent).
     pub fn depth(&self) -> usize {
-        let root_ptr = self.root.read();
-        let cur = Arc::clone(&root_ptr);
-        drop(root_ptr);
-        let mut d = 1;
-        let mut guard = cur.read_arc();
-        loop {
-            match &*guard {
-                Node::Leaf { .. } => return d,
-                Node::Inner { children, .. } => {
-                    let child = Arc::clone(&children[0]);
-                    let child_guard = child.read_arc();
-                    drop(guard);
-                    guard = child_guard;
-                    d += 1;
+        let mut attempt = 0u32;
+        'restart: loop {
+            attempt += 1;
+            if attempt > 1 {
+                Self::note_restart(attempt);
+            }
+            let Some((mut node, mut v, _)) = self.enter_root() else { continue 'restart };
+            let mut d = 1;
+            loop {
+                match &node.body {
+                    Body::Leaf { .. } => return d,
+                    Body::Inner { children } => {
+                        let child_ptr = children[0].load(Ordering::Acquire);
+                        if child_ptr.is_null() {
+                            continue 'restart;
+                        }
+                        // SAFETY: nodes live until the tree drops.
+                        let child = unsafe { &*child_ptr };
+                        let Some(v_child) = child.latch.optimistic() else { continue 'restart };
+                        if !node.latch.validate(v) {
+                            continue 'restart;
+                        }
+                        node = child;
+                        v = v_child;
+                        d += 1;
+                    }
                 }
             }
         }
+    }
+}
+
+impl<V> Drop for BPlusTree<V> {
+    fn drop(&mut self) {
+        let nodes = self.nodes.get_mut();
+        for &p in nodes.iter() {
+            // SAFETY: every pointer came from `Box::into_raw` in
+            // `alloc_node`/`new` and is dropped exactly once, here.
+            drop(unsafe { Box::from_raw(p) });
+        }
+        nodes.clear();
     }
 }
 
@@ -367,6 +848,7 @@ impl<V: Clone + 'static> BPlusTree<V> {
 mod tests {
     use super::*;
     use crate::key::KeyBuilder;
+    use std::sync::Arc;
 
     fn key(i: i64) -> Vec<u8> {
         KeyBuilder::new().add_i64(i).finish()
@@ -601,5 +1083,126 @@ mod tests {
         }
         assert_eq!(wins.load(Ordering::Relaxed), 500);
         assert_eq!(t.len(), 500);
+    }
+
+    #[test]
+    fn head_truncation_orders_colliding_and_short_keys() {
+        // Keys sharing an 8+ byte prefix force the equal-heads full-compare
+        // path; sub-8-byte keys exercise zero padding; an 8-byte-boundary
+        // pair checks the prefix property (head("longerXY") vs "longer").
+        let t: BPlusTree<u64> = BPlusTree::new();
+        let mut keys: Vec<Vec<u8>> = Vec::new();
+        for i in 0..500u64 {
+            keys.push(format!("shared-prefix-beyond-eight-bytes-{i:05}").into_bytes());
+        }
+        keys.push(b"a".to_vec());
+        keys.push(b"ab".to_vec());
+        keys.push(b"abcdefgh".to_vec());
+        keys.push(b"abcdefghi".to_vec());
+        keys.push(Vec::new()); // empty key
+        for (i, k) in keys.iter().enumerate() {
+            assert!(t.insert_unique(k, i as u64), "insert {i}");
+        }
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(t.get(k), Some(i as u64), "get {i}");
+        }
+        let all = t.range_collect(&[], None, usize::MAX);
+        assert_eq!(all.len(), keys.len());
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "memcmp order preserved");
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(all.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(), sorted);
+    }
+
+    #[test]
+    fn len_is_exact_after_concurrent_churn() {
+        // Satellite: len() is linearizable — the counter moves inside the
+        // leaf latch, so paired insert+remove churn must land back exactly.
+        let t = Arc::new(BPlusTree::new());
+        for i in 0..512 {
+            t.insert_unique(&key(i), i as u64);
+        }
+        let mut handles = vec![];
+        for tid in 0..4i64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..300i64 {
+                    let k = key(100_000 + tid * 1_000_000 + round);
+                    assert!(t.insert_unique(&k, 1));
+                    assert_eq!(t.remove(&k), Some(1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 512);
+    }
+
+    #[test]
+    fn reader_restarts_deterministically_while_root_latch_held() {
+        // Deterministic restart: hold the root-pointer latch; a get() must
+        // spin in restarts (counted) until release, then still answer right.
+        let t = Arc::new(BPlusTree::new());
+        for i in 0..100 {
+            t.insert_unique(&key(i), i as u64);
+        }
+        let before = crate::obs::INDEX_DESCENT_RESTARTS.get();
+        let v = t.root_latch.optimistic().unwrap();
+        assert!(t.root_latch.try_lock_at(v));
+        let reader = {
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || t.get(&key(63)))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        t.root_latch.unlock_clean();
+        assert_eq!(reader.join().unwrap(), Some(63));
+        assert!(
+            crate::obs::INDEX_DESCENT_RESTARTS.get() > before,
+            "the blocked reader must have restarted at least once"
+        );
+    }
+
+    #[test]
+    fn scan_takes_locked_fallback_when_leaf_latch_held() {
+        // Deterministic fallback: hold a leaf latch; capture_leaf must burn
+        // its optimistic tries, count a fallback, then block in lock() until
+        // release — and still capture a complete snapshot.
+        let t: BPlusTree<u64> = BPlusTree::new();
+        for i in 0..10 {
+            t.insert_unique(&key(i), i as u64);
+        }
+        // Ten keys fit in one leaf, so the root *is* the leaf.
+        let leaf: &'static Node = unsafe { &*t.root.load(Ordering::Acquire) };
+        let v = leaf.latch.optimistic().unwrap();
+        assert!(leaf.latch.try_lock_at(v));
+        let before = crate::obs::INDEX_SCAN_FALLBACKS.get();
+        let capturer = std::thread::spawn(move || {
+            let mut snap = Vec::new();
+            let next = BPlusTree::<u64>::capture_leaf(leaf, &mut snap);
+            (snap.len(), next.is_null())
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        leaf.latch.unlock_clean();
+        let (n, next_null) = capturer.join().unwrap();
+        assert_eq!(n, 10, "fallback capture must see the whole leaf");
+        assert!(next_null, "single-leaf tree has no right sibling");
+        assert!(
+            crate::obs::INDEX_SCAN_FALLBACKS.get() > before,
+            "the blocked capture must have taken the locked fallback"
+        );
+    }
+
+    #[test]
+    fn values_of_other_word_types_round_trip() {
+        let t: BPlusTree<i64> = BPlusTree::new();
+        t.insert_unique(&key(1), -42i64);
+        assert_eq!(t.get(&key(1)), Some(-42));
+        let t: BPlusTree<u32> = BPlusTree::new();
+        t.upsert(&key(1), 7u32);
+        assert_eq!(t.get(&key(1)), Some(7));
+        let t: BPlusTree<usize> = BPlusTree::new();
+        t.insert_unique(&key(1), usize::MAX);
+        assert_eq!(t.get(&key(1)), Some(usize::MAX));
     }
 }

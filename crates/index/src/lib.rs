@@ -5,8 +5,14 @@
 //! from memcmp-comparable composite keys to `TupleSlot`s, with unique-insert
 //! (for constraint checks), point lookup, deletion, and range scans (TPC-C's
 //! ORDER_LINE and NEW_ORDER access paths). This crate provides that as a
-//! B+-tree with per-node reader-writer latches and preemptive splits, plus a
-//! composite-key encoder that preserves ordering under byte comparison.
+//! B+-tree with **optimistic lock coupling**: versioned per-node latches
+//! ([`latch::VersionLatch`]), latch-free reader descents that validate and
+//! restart on conflict, preemptive splits, head-truncated key prefixes in
+//! node slots, and a locked fallback path for scans — plus a composite-key
+//! encoder that preserves ordering under byte comparison. Contention health
+//! is visible through the `index_descent_restarts` / `index_scan_fallbacks`
+//! counters and the sampled `index_lookup_nanos` histogram in the global
+//! metrics registry.
 //!
 //! # Example
 //!
@@ -30,6 +36,8 @@
 
 pub mod bptree;
 pub mod key;
+pub mod latch;
+pub mod obs;
 
-pub use bptree::BPlusTree;
+pub use bptree::{BPlusTree, IndexValue};
 pub use key::KeyBuilder;

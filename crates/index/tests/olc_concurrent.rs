@@ -1,0 +1,201 @@
+//! Concurrency battery for the OLC B+-tree, run against the real tree
+//! (the exhaustive schedule-level proof lives in `olc_interleavings.rs`).
+//!
+//! * the stale-root regression: readers hammer a key in the *upper half*
+//!   of a root leaf that is exactly full, while a writer triggers the root
+//!   split that moves the key into the new right sibling — the interleaving
+//!   the old crabbing tree lost reads on;
+//! * a multi-threaded proptest pitting the tree against `BTreeMap` with
+//!   overlapping key ranges (the in-crate model test is single-threaded);
+//! * an `index_descent_restarts > 0` check, so CI proves the optimistic
+//!   path actually restarts under contention instead of silently
+//!   degenerating into an always-valid (i.e. untested) fast path.
+
+use mainline_index::{BPlusTree, KeyBuilder};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+
+fn key(i: i64) -> Vec<u8> {
+    KeyBuilder::new().add_i64(i).finish()
+}
+
+fn restarts() -> u64 {
+    mainline_obs::registry()
+        .snapshot()
+        .counter("index_descent_restarts")
+        .expect("index metrics registered by BPlusTree::new")
+}
+
+/// The stale-root race, end to end: key 63 sits in the upper half of a
+/// root leaf holding exactly NODE_CAPACITY (64) keys, so the *next* insert
+/// splits the root and moves 63 into the new right sibling. Readers race
+/// that split; with the old protocol (root-pointer lock released before
+/// latching the root node) a reader stranded in the stale left half
+/// returned `None` for a key that was present the whole time. Many short
+/// rounds maximize the chance of landing a reader inside the split window.
+#[test]
+fn root_split_never_loses_the_migrating_key() {
+    for round in 0..200 {
+        let t = Arc::new(BPlusTree::new());
+        for i in 0..64 {
+            assert!(t.insert_unique(&key(i), i as u64));
+        }
+        let barrier = Arc::new(Barrier::new(3));
+        let split_done = Arc::new(AtomicBool::new(false));
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let t = Arc::clone(&t);
+            let barrier = Arc::clone(&barrier);
+            let split_done = Arc::clone(&split_done);
+            readers.push(std::thread::spawn(move || {
+                barrier.wait();
+                let mut polls = 0u32;
+                // Keep reading through the split and a little beyond it.
+                while !split_done.load(Ordering::Acquire) || polls < 64 {
+                    assert_eq!(
+                        t.get(&key(63)),
+                        Some(63),
+                        "round {round}: lost key 63 during the root split"
+                    );
+                    polls += 1;
+                }
+            }));
+        }
+        let splitter = {
+            let t = Arc::clone(&t);
+            let barrier = Arc::clone(&barrier);
+            let split_done = Arc::clone(&split_done);
+            std::thread::spawn(move || {
+                barrier.wait();
+                assert!(t.insert_unique(&key(64), 64)); // forces the root split
+                assert!(t.depth() > 1, "round {round}: insert 65th key must split the root");
+                split_done.store(true, Ordering::Release);
+            })
+        };
+        splitter.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(t.get(&key(63)), Some(63));
+        assert_eq!(t.len(), 65);
+    }
+}
+
+/// Contention must actually exercise the restart path: three writers
+/// hammering one leaf (same few keys) plus a reader guarantee overlapping
+/// critical sections eventually; the restart counter must move. Bounded
+/// retry keeps this robust on a single-core runner, where overlap needs a
+/// preemption to land mid-critical-section.
+#[test]
+fn descent_restarts_observed_under_contention() {
+    let t = Arc::new(BPlusTree::new());
+    for i in 0..8 {
+        t.insert_unique(&key(i), i as u64);
+    }
+    let before = restarts();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while restarts() == before {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no descent restart observed under sustained same-leaf contention"
+        );
+        let mut handles = Vec::new();
+        for tid in 0..3u64 {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    t.upsert(&key((i % 8) as i64), tid * 1_000_000 + i);
+                }
+            }));
+        }
+        {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    assert!(t.get(&key((i % 8) as i64)).is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+    assert!(restarts() > before);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Multi-threaded model check with overlapping key ranges: ops are
+    /// striped across three writers **by key** (all ops for one key run on
+    /// one thread, in program order), which keeps the final state
+    /// deterministic while the threads' *ranges* fully overlap — every
+    /// leaf sees all three writers. Concurrent readers and scanners run
+    /// unchecked during the churn (they must merely never tear or panic);
+    /// the final tree must equal the sequential model exactly, including
+    /// `len()`.
+    #[test]
+    fn concurrent_striped_ops_match_btreemap(
+        ops in proptest::collection::vec((0u16..96, 0u8..2), 60..400),
+    ) {
+        let t = Arc::new(BPlusTree::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let barrier = Arc::new(Barrier::new(3));
+
+        // Sequential model: per-key program order equals per-thread order.
+        let mut model = std::collections::BTreeMap::new();
+        for &(k, op) in &ops {
+            let kb = key(k as i64);
+            match op {
+                0 => { model.insert(kb, k as u64); }
+                _ => { model.remove(&kb); }
+            }
+        }
+
+        let mut aux = Vec::new();
+        for _ in 0..2 {
+            let t = Arc::clone(&t);
+            let stop = Arc::clone(&stop);
+            aux.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = t.get(&key(17));
+                    let got = t.range_collect(&key(0), Some(&key(96)), usize::MAX);
+                    // Snapshot-per-leaf emission must stay strictly sorted.
+                    assert!(got.windows(2).all(|w| w[0].0 < w[1].0));
+                    let _ = t.first_at_or_after(&key(48));
+                }
+            }));
+        }
+
+        let mut writers = Vec::new();
+        for stripe in 0..3u16 {
+            let t = Arc::clone(&t);
+            let barrier = Arc::clone(&barrier);
+            let my_ops: Vec<(u16, u8)> =
+                ops.iter().copied().filter(|(k, _)| k % 3 == stripe).collect();
+            writers.push(std::thread::spawn(move || {
+                barrier.wait();
+                for (k, op) in my_ops {
+                    let kb = key(k as i64);
+                    match op {
+                        0 => { t.upsert(&kb, k as u64); }
+                        _ => { t.remove(&kb); }
+                    }
+                }
+            }));
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for a in aux {
+            a.join().unwrap();
+        }
+
+        let all = t.range_collect(&[], None, usize::MAX);
+        let expect: Vec<_> = model.into_iter().collect();
+        prop_assert_eq!(t.len(), expect.len(), "len() must be exact after the churn");
+        prop_assert_eq!(all, expect);
+    }
+}

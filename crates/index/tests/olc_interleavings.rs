@@ -1,0 +1,509 @@
+//! Loom-style exhaustive interleaving check of the index's optimistic
+//! lock coupling protocol — the same explicit-state DFS technique as the
+//! storage crate's `fig9_interleavings` battery (the real crates.io `loom`
+//! is unavailable offline).
+//!
+//! The model is the smallest tree where the stale-root race exists: a
+//! single-leaf tree (leaf **A**, holding the probe key K) that a
+//! **splitter** thread turns into `inner I → [A, B]`, moving K into the
+//! new right sibling **B**. A **reader** descends for K concurrently, and
+//! (in the three-thread battery) a **remover** deletes K through the
+//! leaf-locked write path. Every latch operation executes against *real*
+//! [`VersionLatch`] words — the checker only schedules them, one atomic
+//! step at a time, exploring every reachable interleaving by DFS over
+//! configurations.
+//!
+//! The correctness predicate is the one the old crabbing tree violated:
+//! **a validated read must never miss a key that is present** (a MISS is
+//! legal only after the remover committed). Non-vacuity is enforced two
+//! ways: the outcome space must contain both descent routes and actual
+//! restarts, and three *mutants* of the protocol must reach a lost read —
+//! the pre-fix stale-root descent (no root-latch validation), a splitter
+//! that forgets the leaf version bump, and a splitter that forgets the
+//! root-pointer-latch bump. If any mutant passes, the battery is vacuous
+//! and the test fails.
+
+use mainline_index::latch::VersionLatch;
+use std::collections::HashSet;
+
+/// Nodes of the model tree.
+const NODE_A: u8 = 0; // initial root leaf; left half after the split
+const NODE_B: u8 = 1; // right sibling created by the split (owns K after)
+const NODE_I: u8 = 2; // inner root installed by the split
+
+/// Where the probe key K currently lives.
+const KEY_IN_A: u8 = 0;
+const KEY_IN_B: u8 = 1;
+const KEY_REMOVED: u8 = 2;
+
+/// Reader program counter.
+const R_READ_ROOT: u8 = 0; // optimistic root-pointer version + load root ptr
+const R_NODE_VER: u8 = 1; // node version, then validate the root latch
+const R_INNER: u8 = 2; // route K through the inner node (handshake)
+const R_LEAF: u8 = 3; // read the leaf, validate, report
+const R_DONE: u8 = 4;
+
+/// Splitter program counter (root split of full leaf A).
+const S_OPT_ROOT: u8 = 0; // optimistic root-pointer version
+const S_OPT_A: u8 = 1; // optimistic leaf version + validate root latch
+const S_LOCK_ROOT: u8 = 2; // lock the root-pointer slot at its version
+const S_LOCK_A: u8 = 3; // lock the leaf at its version
+const S_SPLIT: u8 = 4; // move K's upper half to B, install inner root
+const S_UNLOCK_A: u8 = 5; // release A (version bump — unless mutated)
+const S_UNLOCK_ROOT: u8 = 6; // release root slot (bump — unless mutated)
+const S_DONE: u8 = 7;
+
+/// Remover program counter (leaf-locked write descent for K).
+const M_READ_ROOT: u8 = 0;
+const M_NODE_VER: u8 = 1;
+const M_INNER: u8 = 2;
+const M_LOCK: u8 = 3; // try_lock_at the leaf's validated version
+const M_REMOVE: u8 = 4; // remove K under the latch, bump on unlock
+const M_DONE: u8 = 5;
+
+const OUTCOME_PENDING: u8 = 0;
+const OUTCOME_HIT: u8 = 1;
+const OUTCOME_MISS: u8 = 2;
+
+/// Protocol variant under test: the shipped protocol or one of the
+/// deliberately-broken mutants that prove the battery is non-vacuous.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Variant {
+    /// The shipped OLC protocol.
+    Fixed,
+    /// The pre-fix descent: the reader never validates the root-pointer
+    /// latch after loading the root pointer (the stale-root bug).
+    StaleRootReader,
+    /// Splitter releases the leaf with `unlock_clean` (no version bump).
+    NoLeafBump,
+    /// Splitter releases the root-pointer latch with `unlock_clean`.
+    NoRootSlotBump,
+}
+
+/// One explored configuration: the four real latch words, the abstract
+/// tree content, and every thread's PC + registers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+struct Config {
+    // Shared latch words (restored onto real VersionLatch instances).
+    rl: u64, // root-pointer slot latch
+    la: u64, // leaf A
+    lb: u64, // leaf B
+    li: u64, // inner root I
+    // Abstract shared tree state.
+    root_inner: bool, // false: root is leaf A; true: root is I → [A, B]
+    key_loc: u8,
+    // Reader.
+    rpc: u8,
+    r_v_root: u64,
+    r_v_node: u64,
+    r_node: u8,
+    r_took_inner: bool,
+    r_restarted: bool,
+    outcome: u8,
+    /// Set iff the reader reported MISS while K was present — the lost
+    /// read the protocol must make unreachable.
+    bad: bool,
+    // Splitter.
+    spc: u8,
+    s_v_root: u64,
+    s_v_a: u64,
+    // Remover.
+    mpc: u8,
+    m_v_root: u64,
+    m_v_node: u64,
+    m_node: u8,
+    removed: bool,
+}
+
+struct Model {
+    variant: Variant,
+    rl: VersionLatch,
+    la: VersionLatch,
+    lb: VersionLatch,
+    li: VersionLatch,
+}
+
+impl Model {
+    fn new(variant: Variant) -> Model {
+        Model {
+            variant,
+            rl: VersionLatch::new(),
+            la: VersionLatch::new(),
+            lb: VersionLatch::new(),
+            li: VersionLatch::new(),
+        }
+    }
+
+    fn latch(&self, node: u8) -> &VersionLatch {
+        match node {
+            NODE_A => &self.la,
+            NODE_B => &self.lb,
+            NODE_I => &self.li,
+            _ => unreachable!("unknown node"),
+        }
+    }
+
+    /// Load `cfg`'s latch words onto the real latches.
+    fn restore(&self, cfg: Config) {
+        self.rl.set_raw(cfg.rl);
+        self.la.set_raw(cfg.la);
+        self.lb.set_raw(cfg.lb);
+        self.li.set_raw(cfg.li);
+    }
+
+    /// Read the latch words back into `cfg`.
+    fn capture(&self, mut cfg: Config) -> Config {
+        cfg.rl = self.rl.raw();
+        cfg.la = self.la.raw();
+        cfg.lb = self.lb.raw();
+        cfg.li = self.li.raw();
+        cfg
+    }
+
+    /// Does leaf `node` currently hold K?
+    fn leaf_contains(node: u8, key_loc: u8) -> bool {
+        (node == NODE_A && key_loc == KEY_IN_A) || (node == NODE_B && key_loc == KEY_IN_B)
+    }
+
+    /// Reset the reader to the top of its descent (a restart).
+    fn reader_restart(cfg: &mut Config) {
+        cfg.rpc = R_READ_ROOT;
+        cfg.r_v_root = 0;
+        cfg.r_v_node = 0;
+        cfg.r_node = NODE_A;
+        cfg.r_restarted = true;
+    }
+
+    /// Execute one reader step (mirrors `BPlusTree::get_inner`).
+    fn reader_step(&self, cfg: Config) -> Config {
+        self.restore(cfg);
+        let mut c = cfg;
+        match cfg.rpc {
+            R_READ_ROOT => {
+                // Optimistic version of the root-pointer slot, then load
+                // the pointer. (The stale-root window opens here: the
+                // pointer may be replaced before the next step.)
+                match self.rl.optimistic() {
+                    Some(v) => {
+                        c.r_v_root = v;
+                        c.r_node = if cfg.root_inner { NODE_I } else { NODE_A };
+                        c.rpc = R_NODE_VER;
+                    }
+                    None => Self::reader_restart(&mut c),
+                }
+            }
+            R_NODE_VER => {
+                // Node version first, then re-validate the root latch —
+                // proving the pointer we hold was still current. The
+                // StaleRootReader mutant skips that validation, which is
+                // exactly the shipped bug being fixed.
+                match self.latch(cfg.r_node).optimistic() {
+                    Some(v) => {
+                        let root_ok = self.variant == Variant::StaleRootReader
+                            || self.rl.validate(cfg.r_v_root);
+                        if root_ok {
+                            c.r_v_node = v;
+                            c.rpc = if cfg.r_node == NODE_I { R_INNER } else { R_LEAF };
+                        } else {
+                            Self::reader_restart(&mut c);
+                        }
+                    }
+                    None => Self::reader_restart(&mut c),
+                }
+            }
+            R_INNER => {
+                // K sits in the upper half, so the inner node routes to B.
+                // Handshake: child version, then validate the parent.
+                match self.lb.optimistic() {
+                    Some(v_child) => {
+                        if self.li.validate(cfg.r_v_node) {
+                            c.r_node = NODE_B;
+                            c.r_v_node = v_child;
+                            c.r_took_inner = true;
+                            c.rpc = R_LEAF;
+                        } else {
+                            Self::reader_restart(&mut c);
+                        }
+                    }
+                    None => Self::reader_restart(&mut c),
+                }
+            }
+            R_LEAF => {
+                // Read the leaf, then validate before trusting the result.
+                let present = Self::leaf_contains(cfg.r_node, cfg.key_loc);
+                if self.latch(cfg.r_node).validate(cfg.r_v_node) {
+                    c.outcome = if present { OUTCOME_HIT } else { OUTCOME_MISS };
+                    if !present && cfg.key_loc != KEY_REMOVED {
+                        c.bad = true; // validated lost read
+                    }
+                    c.rpc = R_DONE;
+                } else {
+                    Self::reader_restart(&mut c);
+                }
+            }
+            _ => unreachable!("stepping a finished reader"),
+        }
+        self.capture(c)
+    }
+
+    /// Execute one splitter step (mirrors `update_leaf`'s root-split arm:
+    /// lock root slot + root node at validated versions, split, publish).
+    fn splitter_step(&self, cfg: Config) -> Config {
+        self.restore(cfg);
+        let mut c = cfg;
+        match cfg.spc {
+            S_OPT_ROOT => {
+                if let Some(v) = self.rl.optimistic() {
+                    c.s_v_root = v;
+                    c.spc = S_OPT_A;
+                }
+            }
+            S_OPT_A => match self.la.optimistic() {
+                Some(v) if self.rl.validate(cfg.s_v_root) => {
+                    c.s_v_a = v;
+                    c.spc = S_LOCK_ROOT;
+                }
+                _ => c.spc = S_OPT_ROOT,
+            },
+            S_LOCK_ROOT => {
+                if self.rl.try_lock_at(cfg.s_v_root) {
+                    c.spc = S_LOCK_A;
+                } else {
+                    c.spc = S_OPT_ROOT;
+                }
+            }
+            S_LOCK_A => {
+                if self.la.try_lock_at(cfg.s_v_a) {
+                    c.spc = S_SPLIT;
+                } else {
+                    self.rl.unlock_clean();
+                    c.spc = S_OPT_ROOT;
+                }
+            }
+            S_SPLIT => {
+                // Move the upper half (K, unless already removed) into B
+                // and install the inner root.
+                if cfg.key_loc == KEY_IN_A {
+                    c.key_loc = KEY_IN_B;
+                }
+                c.root_inner = true;
+                c.spc = S_UNLOCK_A;
+            }
+            S_UNLOCK_A => {
+                if self.variant == Variant::NoLeafBump {
+                    self.la.unlock_clean(); // mutant: forget the bump
+                } else {
+                    self.la.unlock_modified();
+                }
+                c.spc = S_UNLOCK_ROOT;
+            }
+            S_UNLOCK_ROOT => {
+                if self.variant == Variant::NoRootSlotBump {
+                    self.rl.unlock_clean(); // mutant: forget the bump
+                } else {
+                    self.rl.unlock_modified();
+                }
+                c.spc = S_DONE;
+            }
+            _ => unreachable!("stepping a finished splitter"),
+        }
+        self.capture(c)
+    }
+
+    /// Reset the remover to the top of its descent.
+    fn remover_restart(cfg: &mut Config) {
+        cfg.mpc = M_READ_ROOT;
+        cfg.m_v_root = 0;
+        cfg.m_v_node = 0;
+        cfg.m_node = NODE_A;
+    }
+
+    /// Execute one remover step (mirrors `update_leaf`'s leaf-locked arm).
+    fn remover_step(&self, cfg: Config) -> Config {
+        self.restore(cfg);
+        let mut c = cfg;
+        match cfg.mpc {
+            M_READ_ROOT => match self.rl.optimistic() {
+                Some(v) => {
+                    c.m_v_root = v;
+                    c.m_node = if cfg.root_inner { NODE_I } else { NODE_A };
+                    c.mpc = M_NODE_VER;
+                }
+                None => Self::remover_restart(&mut c),
+            },
+            M_NODE_VER => match self.latch(cfg.m_node).optimistic() {
+                Some(v) if self.rl.validate(cfg.m_v_root) => {
+                    c.m_v_node = v;
+                    c.mpc = if cfg.m_node == NODE_I { M_INNER } else { M_LOCK };
+                }
+                _ => Self::remover_restart(&mut c),
+            },
+            M_INNER => match self.lb.optimistic() {
+                Some(v_child) if self.li.validate(cfg.m_v_node) => {
+                    c.m_node = NODE_B;
+                    c.m_v_node = v_child;
+                    c.mpc = M_LOCK;
+                }
+                _ => Self::remover_restart(&mut c),
+            },
+            M_LOCK => {
+                if self.latch(cfg.m_node).try_lock_at(cfg.m_v_node) {
+                    c.mpc = M_REMOVE;
+                } else {
+                    Self::remover_restart(&mut c);
+                }
+            }
+            M_REMOVE => {
+                // Locking at the validated version guarantees the descent
+                // was not stale: the leaf must still hold K.
+                assert!(
+                    Self::leaf_contains(cfg.m_node, cfg.key_loc),
+                    "remover locked a leaf that lost K — stale write descent: {cfg:?}"
+                );
+                c.key_loc = KEY_REMOVED;
+                c.removed = true;
+                self.latch(cfg.m_node).unlock_modified();
+                c.mpc = M_DONE;
+            }
+            _ => unreachable!("stepping a finished remover"),
+        }
+        self.capture(c)
+    }
+}
+
+/// Explore every interleaving from `initial`; returns (all visited
+/// configurations, terminal configurations).
+fn explore(variant: Variant, initial: Config) -> (HashSet<Config>, HashSet<Config>) {
+    let model = Model::new(variant);
+    let mut visited: HashSet<Config> = HashSet::new();
+    let mut terminals: HashSet<Config> = HashSet::new();
+    let mut stack = vec![initial];
+    while let Some(cfg) = stack.pop() {
+        if !visited.insert(cfg) {
+            continue;
+        }
+        if cfg.rpc == R_DONE && cfg.spc == S_DONE && cfg.mpc == M_DONE {
+            terminals.insert(cfg);
+            continue;
+        }
+        if cfg.rpc != R_DONE {
+            stack.push(model.reader_step(cfg));
+        }
+        if cfg.spc != S_DONE {
+            stack.push(model.splitter_step(cfg));
+        }
+        if cfg.mpc != M_DONE {
+            stack.push(model.remover_step(cfg));
+        }
+    }
+    assert!(!terminals.is_empty(), "model never terminated");
+    (visited, terminals)
+}
+
+/// Initial condition shared by every battery: single-leaf tree, K in A.
+/// `with_remover` arms the third thread.
+fn initial(with_remover: bool) -> Config {
+    Config {
+        rl: 0,
+        la: 0,
+        lb: 0,
+        li: 0,
+        root_inner: false,
+        key_loc: KEY_IN_A,
+        rpc: R_READ_ROOT,
+        r_v_root: 0,
+        r_v_node: 0,
+        r_node: NODE_A,
+        r_took_inner: false,
+        r_restarted: false,
+        outcome: OUTCOME_PENDING,
+        bad: false,
+        spc: S_OPT_ROOT,
+        s_v_root: 0,
+        s_v_a: 0,
+        mpc: if with_remover { M_READ_ROOT } else { M_DONE },
+        m_v_root: 0,
+        m_v_node: 0,
+        m_node: NODE_A,
+        removed: false,
+    }
+}
+
+#[test]
+fn reader_vs_splitter_never_loses_a_present_key() {
+    let (visited, terminals) = explore(Variant::Fixed, initial(false));
+    // Safety: no schedule produces a validated lost read.
+    assert!(visited.iter().all(|c| !c.bad), "OLC protocol lost a present key in some schedule");
+    // Every terminal read found K (nothing ever removes it here).
+    for t in &terminals {
+        assert_eq!(t.outcome, OUTCOME_HIT, "reader terminated without finding K: {t:?}");
+        assert!(t.root_inner, "splitter terminated without publishing the new root: {t:?}");
+    }
+    // Non-vacuity: both descent routes and actual restarts are reachable.
+    assert!(
+        terminals.iter().any(|t| t.r_took_inner),
+        "no schedule descended through the post-split inner root"
+    );
+    assert!(
+        terminals.iter().any(|t| !t.r_took_inner),
+        "no schedule completed the read against the pre-split single-leaf root"
+    );
+    assert!(
+        terminals.iter().any(|t| t.r_restarted),
+        "no schedule forced a reader restart — the optimistic path is untested"
+    );
+}
+
+#[test]
+fn reader_vs_splitter_vs_remover_misses_only_after_the_remove() {
+    let (visited, terminals) = explore(Variant::Fixed, initial(true));
+    assert!(
+        visited.iter().all(|c| !c.bad),
+        "OLC protocol lost a present key in some three-thread schedule"
+    );
+    for t in &terminals {
+        assert!(t.removed, "remover terminated without removing K: {t:?}");
+        assert_eq!(t.key_loc, KEY_REMOVED);
+    }
+    // Non-vacuity: the reader must be able to win (HIT before the remove)
+    // and lose legally (MISS after the remove).
+    let outcomes: HashSet<u8> = terminals.iter().map(|t| t.outcome).collect();
+    assert!(outcomes.contains(&OUTCOME_HIT), "reader never beat the remover in any schedule");
+    assert!(outcomes.contains(&OUTCOME_MISS), "reader never saw the committed remove");
+}
+
+#[test]
+fn stale_root_descent_reproduces_the_lost_read() {
+    // The pre-fix protocol: load the root pointer, never re-validate the
+    // root-pointer latch. The DFS must find the lost read — this is the
+    // deterministic reproduction of the bug this PR fixes.
+    let (visited, _) = explore(Variant::StaleRootReader, initial(false));
+    assert!(
+        visited.iter().any(|c| c.bad),
+        "stale-root descent never lost a key — the model cannot see the bug it exists to catch"
+    );
+}
+
+#[test]
+fn mutation_check_missing_leaf_version_bump_is_caught() {
+    // A splitter that releases the leaf with `unlock_clean` lets a reader
+    // that captured the pre-split version validate a post-split read.
+    let (visited, _) = explore(Variant::NoLeafBump, initial(false));
+    assert!(
+        visited.iter().any(|c| c.bad),
+        "reverting the leaf version bump went unnoticed — the battery is vacuous"
+    );
+}
+
+#[test]
+fn mutation_check_missing_root_slot_bump_is_caught() {
+    // A splitter that releases the root-pointer latch with `unlock_clean`
+    // revives exactly the stale-root window: a reader that loaded the old
+    // root pointer before the split and took its node version after it
+    // validates a descent into the left half and misses K.
+    let (visited, _) = explore(Variant::NoRootSlotBump, initial(false));
+    assert!(
+        visited.iter().any(|c| c.bad),
+        "reverting the root-slot version bump went unnoticed — the battery is vacuous"
+    );
+}

@@ -141,7 +141,14 @@ fn tpcc_multiworker_oversubscribed_captures_run_one_panics() {
     tpcc.load(&db, 77).unwrap();
 
     let stop = Arc::new(AtomicBool::new(false));
-    let oltp_threads = (2 * cores).max(4); // oversubscribe on purpose
+    // Oversubscribe on purpose; MAINLINE_OLTP_OVERSUB raises the multiplier
+    // (the contended CI job runs this at 4x to force more preemption inside
+    // index critical sections).
+    let oversub = std::env::var("MAINLINE_OLTP_OVERSUB")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(2);
+    let oltp_threads = (oversub * cores).max(4);
     let mut handles = Vec::new();
     for t in 0..oltp_threads {
         let db = Arc::clone(&db);
